@@ -1,0 +1,74 @@
+// E8 (§1): load sharing — "since many processes can dequeue requests
+// from a single queue, this automatically shares the workload among
+// these processes." Throughput vs server-pool size, for CPU-bound
+// per-request work.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/request_system.h"
+
+namespace {
+
+using namespace rrq;  // NOLINT
+using bench::Fmt;
+
+double RunOnce(int threads, int work_micros, int requests) {
+  core::SystemOptions options;
+  options.sync_commits = false;  // Isolate scheduling from log cost.
+  core::RequestSystem system(options);
+  if (!system.Open().ok()) abort();
+  std::atomic<int> done{0};
+  auto server = system.MakeServer(
+      [&done, work_micros](txn::Transaction*, const queue::RequestEnvelope&)
+          -> Result<std::string> {
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(work_micros);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+        ++done;
+        return std::string("ok");
+      },
+      threads);
+
+  // Pre-load the batch, then start the pool and time the drain.
+  for (int i = 0; i < requests; ++i) {
+    queue::RequestEnvelope envelope;
+    envelope.rid = "r#" + std::to_string(i);
+    envelope.body = "work";
+    system.repo()->Enqueue(nullptr, core::RequestSystem::kRequestQueue,
+                           queue::EncodeRequestEnvelope(envelope));
+  }
+  bench::Stopwatch stopwatch;
+  if (!server->Start().ok()) abort();
+  while (done.load() < requests) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const double elapsed = stopwatch.ElapsedSeconds();
+  server->Stop();
+  return requests / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRequests = 1500;
+  constexpr int kWorkMicros = 500;
+  printf("E8: load sharing — one queue, N identical servers (%d requests, "
+         "%d us of work each)\n\n",
+         kRequests, kWorkMicros);
+  rrq::bench::Table table({"servers", "req/s", "scaling"});
+  double base = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double rate = RunOnce(threads, kWorkMicros, kRequests);
+    if (threads == 1) base = rate;
+    table.AddRow({std::to_string(threads), Fmt(rate, 0),
+                  Fmt(rate / base, 2) + "x"});
+  }
+  table.Print();
+  printf("\nPaper's claim (§1): the queue itself is the load balancer; "
+         "scaling should track available parallelism (this host has %u "
+         "hardware threads).\n",
+         std::thread::hardware_concurrency());
+  return 0;
+}

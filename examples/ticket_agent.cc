@@ -1,0 +1,97 @@
+// Ticket agent — exactly-once output on a non-idempotent device (§3).
+//
+// A clerk sells tickets: each reply must be printed on the ticket
+// printer EXACTLY once, even though the client crashes at the two
+// worst possible moments — after receiving a reply but before printing
+// it, and right after printing it. The printer is a "testable device":
+// the client checkpoints its state (the next ticket number) in the
+// Receive's ckpt parameter, and compares at reconnect.
+//
+//   ./ticket_agent
+#include <cstdio>
+
+#include "core/request_system.h"
+
+using rrq::Result;
+using rrq::Status;
+namespace client = rrq::client;
+namespace core = rrq::core;
+namespace queue = rrq::queue;
+
+int main() {
+  core::RequestSystem system;
+  if (!system.Open().ok()) return 1;
+  std::atomic<int> seat{0};
+  auto server = system.MakeServer(
+      [&seat](rrq::txn::Transaction*, const queue::RequestEnvelope& request)
+          -> Result<std::string> {
+        return "TICKET seat-" + std::to_string(++seat) + " for " +
+               request.body;
+      });
+  if (!server->Start().ok()) return 1;
+
+  // The printer is hardware: it survives every client crash below.
+  client::TicketPrinter printer;
+
+  printf("Selling one ticket normally...\n");
+  {
+    auto agent = system.MakeClient("agent", nullptr, &printer);
+    if (!agent.ok()) return 1;
+    if (!(*agent)->Execute("passenger-A").ok()) return 1;
+    printf("  printed: %zu ticket(s)\n", printer.printed().size());
+    // Agent terminal crashes WITHOUT disconnecting.
+  }
+
+  printf("Restarting the agent terminal (nothing pending)...\n");
+  {
+    client::ReliableClientOptions options;
+    options.clerk = system.MakeClerkOptions("agent");
+    options.device = &printer;
+    client::ReliableClient reborn(options, nullptr);
+    if (!reborn.Start().ok()) return 1;
+    // The device state proves the last reply was printed: no reprint.
+    printf("  printed after restart: %zu ticket(s) (no duplicates)\n",
+           printer.printed().size());
+
+    // Now the nasty case: receive a reply, crash BEFORE printing.
+    // Drive the clerk by hand to stop at exactly that point.
+    client::Clerk* clerk = reborn.clerk();
+    queue::RequestEnvelope envelope;
+    envelope.rid = "agent#2";
+    envelope.reply_queue = core::RequestSystem::ReplyQueueName("agent");
+    envelope.body = "passenger-B";
+    if (!clerk->Send(queue::EncodeRequestEnvelope(envelope), "agent#2").ok()) {
+      return 1;
+    }
+    Result<std::string> reply = Status::NotFound("pending");
+    for (int i = 0; i < 200 && !reply.ok(); ++i) {
+      reply = clerk->Receive(printer.ReadState());  // ckpt = device state
+    }
+    if (!reply.ok()) return 1;
+    printf("Reply received for passenger-B... and the terminal CRASHES "
+           "before printing.\n");
+  }
+  printf("  printed so far: %zu ticket(s)\n", printer.printed().size());
+
+  printf("Restarting the agent terminal again...\n");
+  {
+    client::ReliableClientOptions options;
+    options.clerk = system.MakeClerkOptions("agent");
+    options.device = &printer;
+    client::ReliableClient reborn(options, nullptr);
+    // Start() compares the device state with the recovered ckpt: they
+    // match, so the reply was NOT printed — print it now (once).
+    if (!reborn.Start().ok()) return 1;
+  }
+  server->Stop();
+
+  printf("\nFinal ticket log:\n");
+  for (const std::string& ticket : printer.printed()) {
+    printf("  %s\n", ticket.c_str());
+  }
+  const bool exactly_once = printer.printed().size() == 2;
+  printf("%s: 2 passengers, %zu tickets printed.\n",
+         exactly_once ? "EXACTLY-ONCE HOLDS" : "VIOLATION",
+         printer.printed().size());
+  return exactly_once ? 0 : 1;
+}

@@ -1,0 +1,152 @@
+#include "client/clerk.h"
+
+#include "util/coding.h"
+
+namespace rrq::client {
+
+std::string EncodeReplyTag(const Slice& rid, const Slice& ckpt) {
+  std::string tag;
+  util::PutLengthPrefixed(&tag, rid);
+  util::PutLengthPrefixed(&tag, ckpt);
+  return tag;
+}
+
+Status DecodeReplyTag(const Slice& tag, std::string* rid, std::string* ckpt) {
+  rid->clear();
+  ckpt->clear();
+  if (tag.empty()) return Status::OK();  // Fresh registration.
+  Slice input = tag;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, rid));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, ckpt));
+  return Status::OK();
+}
+
+Clerk::Clerk(ClerkOptions options) : options_(std::move(options)) {}
+
+Result<ConnectResult> Clerk::Connect() {
+  if (connected_) return Status::FailedPrecondition("already connected");
+
+  // Register with both queues; stable registration hands back the tags
+  // of this client's last incarnation (Fig 5's Connect).
+  RRQ_ASSIGN_OR_RETURN(
+      queue::RegistrationInfo req_info,
+      options_.api->Register(options_.request_queue, options_.client_id,
+                             /*stable=*/true));
+  RRQ_ASSIGN_OR_RETURN(
+      queue::RegistrationInfo reply_info,
+      options_.api->Register(options_.reply_queue, options_.client_id,
+                             /*stable=*/true));
+
+  ConnectResult result;
+  result.s_rid = req_info.last_tag;
+  result.last_request_eid = req_info.last_eid;
+  result.last_reply_eid = reply_info.last_eid;
+  RRQ_RETURN_IF_ERROR(
+      DecodeReplyTag(reply_info.last_tag, &result.r_rid, &result.ckpt));
+
+  // Fig 1: the Connect branches to the state the rids imply.
+  if (result.s_rid.empty()) {
+    result.resumed_state = SessionState::kConnected;
+  } else if (result.s_rid != result.r_rid) {
+    result.resumed_state = SessionState::kReqSent;
+  } else {
+    result.resumed_state = SessionState::kReplyRecvd;
+  }
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kConnect));
+  RRQ_RETURN_IF_ERROR(machine_.ResumeAt(result.resumed_state));
+
+  connected_ = true;
+  rid_tag_ = result.s_rid;
+  last_request_eid_ = result.last_request_eid;
+  last_reply_eid_ = result.last_reply_eid;
+  return result;
+}
+
+Status Clerk::Disconnect() {
+  if (!connected_) return Status::FailedPrecondition("not connected");
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kDisconnect));
+  connected_ = false;
+  Status s1 = options_.api->Deregister(options_.request_queue,
+                                       options_.client_id);
+  Status s2 = options_.api->Deregister(options_.reply_queue,
+                                       options_.client_id);
+  if (!s1.ok()) return s1;
+  return s2;
+}
+
+Status Clerk::Send(const Slice& request, const std::string& rid) {
+  if (!connected_) return Status::NotConnected("Send before Connect");
+  if (rid.empty()) return Status::InvalidArgument("rid must be non-empty");
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kSend));
+
+  auto r = options_.api->Enqueue(options_.request_queue, request,
+                                 options_.request_priority,
+                                 options_.client_id, rid,
+                                 options_.send_mode == SendMode::kOneWay);
+  if (!r.ok()) {
+    // The send is in doubt (e.g. lost acknowledgement). The session is
+    // no longer usable; the client resolves the doubt by reconnecting
+    // and comparing rids (§2). Reflect that by disconnecting locally.
+    machine_ = SessionStateMachine();
+    connected_ = false;
+    return r.status();
+  }
+  rid_tag_ = rid;
+  last_request_eid_ = *r;  // kInvalidElementId in one-way mode.
+  return Status::OK();
+}
+
+Result<std::string> Clerk::Receive(const Slice& ckpt) {
+  if (!connected_) return Status::NotConnected("Receive before Connect");
+  if (machine_.state() != SessionState::kReqSent) {
+    return Status::FailedPrecondition("Receive without an outstanding request");
+  }
+
+  const std::string tag = EncodeReplyTag(rid_tag_, ckpt);
+  auto r = options_.api->Dequeue(options_.reply_queue, options_.client_id,
+                                 tag, options_.receive_timeout_micros);
+  if (!r.ok()) {
+    if (r.status().IsUnavailable()) {
+      // Connectivity lost mid-dequeue: the dequeue may or may not have
+      // committed. Resolve by reconnecting.
+      machine_ = SessionStateMachine();
+      connected_ = false;
+    }
+    return r.status();
+  }
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kReceiveReply));
+  last_reply_eid_ = r->eid;
+  return r->contents;
+}
+
+Result<std::string> Clerk::Rereceive() {
+  if (!connected_) return Status::NotConnected("Rereceive before Connect");
+  if (last_reply_eid_ == queue::kInvalidElementId) {
+    return Status::FailedPrecondition("no previously received reply");
+  }
+  RRQ_ASSIGN_OR_RETURN(queue::Element element,
+                       options_.api->Read(options_.reply_queue,
+                                          last_reply_eid_));
+  return element.contents;
+}
+
+Result<std::string> Clerk::Transceive(const Slice& request,
+                                      const std::string& rid,
+                                      const Slice& ckpt) {
+  RRQ_RETURN_IF_ERROR(Send(request, rid));
+  return Receive(ckpt);
+}
+
+Result<bool> Clerk::CancelLastRequest() {
+  if (!connected_) return Status::NotConnected("Cancel before Connect");
+  if (last_request_eid_ == queue::kInvalidElementId) {
+    return Status::FailedPrecondition(
+        "no cancellable request (none sent, or sent one-way)");
+  }
+  RRQ_ASSIGN_OR_RETURN(bool killed, options_.api->KillElement(
+                                        options_.request_queue,
+                                        last_request_eid_));
+  return killed;
+}
+
+}  // namespace rrq::client

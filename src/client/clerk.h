@@ -1,0 +1,126 @@
+#ifndef RRQ_CLIENT_CLERK_H_
+#define RRQ_CLIENT_CLERK_H_
+
+#include <string>
+
+#include "client/session_state.h"
+#include "queue/queue_api.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::client {
+
+/// How Send moves the request to the queue manager (§5).
+enum class SendMode : int {
+  /// Enqueue as an RPC: when Send returns OK the request is stably
+  /// stored (the paper's default).
+  kRpc = 0,
+  /// Enqueue as a one-way message: no acknowledgement, one network
+  /// message saved; a lost request surfaces as a Receive timeout.
+  kOneWay = 1,
+};
+
+struct ClerkOptions {
+  /// Uniquely names this client; used as the registrant with both
+  /// queues. For concurrency within a client (§5), use one clerk per
+  /// thread with ids like "client-7/thread-2".
+  std::string client_id;
+  std::string request_queue;
+  std::string reply_queue;
+  /// How the queue manager is reached. Not owned; must outlive the
+  /// clerk.
+  queue::QueueApi* api = nullptr;
+  SendMode send_mode = SendMode::kRpc;
+  /// Bound on each Receive's wait for a reply to arrive.
+  uint64_t receive_timeout_micros = 2'000'000;
+  uint32_t request_priority = 0;
+};
+
+/// What Connect returns (§3): the rids the system remembers for this
+/// client, from which the client resynchronizes.
+struct ConnectResult {
+  /// rid of the last request this client successfully Sent ("" = none).
+  std::string s_rid;
+  /// rid of the request whose reply the client last Received ("" = none).
+  std::string r_rid;
+  /// The ckpt value the client passed to its last Receive.
+  std::string ckpt;
+  /// eid of the last sent request (for Cancel after recovery).
+  queue::ElementId last_request_eid = queue::kInvalidElementId;
+  /// eid of the last received reply (for Rereceive after recovery).
+  queue::ElementId last_reply_eid = queue::kInvalidElementId;
+  /// The protocol state these rids imply (Fig 1's Connect branches).
+  SessionState resumed_state = SessionState::kConnected;
+};
+
+/// The clerk — the client-side runtime library of the System Model
+/// (§5, Fig 5). Translates the five client operations (plus Transceive
+/// and Cancel) into queue operations, tagging each Send with its rid
+/// and each Receive with [previous rid, ckpt] so that persistent
+/// registration can resynchronize the client after any failure.
+///
+/// The clerk itself runs NO transactions: it is the fault-tolerant
+/// sequential program of §2, and the queue manager is its gateway into
+/// the transactional world.
+///
+/// Single-threaded (one clerk per client thread).
+class Clerk {
+ public:
+  explicit Clerk(ClerkOptions options);
+
+  Clerk(const Clerk&) = delete;
+  Clerk& operator=(const Clerk&) = delete;
+
+  /// Registers with the request and reply queues and returns the
+  /// stable rids/ckpt of this client's previous incarnation, leaving
+  /// the session in the state they imply.
+  Result<ConnectResult> Connect();
+
+  /// Deregisters from both queues (forgetting the stable state).
+  Status Disconnect();
+
+  /// Sends request `r` with request-id `rid`. In kRpc mode, an OK
+  /// return means the request and rid are stably stored. The rid must
+  /// be unique per request (it is the client's idempotency token).
+  Status Send(const Slice& request, const std::string& rid);
+
+  /// Returns the next reply, tagging the dequeue with the rid of the
+  /// previous Send and the caller's checkpoint. The ckpt is stored
+  /// stably with the dequeue and handed back by a later Connect —
+  /// this is how a small client state is checkpointed for free (§2).
+  Result<std::string> Receive(const Slice& ckpt);
+
+  /// Returns the reply most recently returned by Receive (reads the
+  /// retained copy; works even after the element left the queue).
+  Result<std::string> Rereceive();
+
+  /// Send + Receive fused (§5): blocks until the reply arrives.
+  Result<std::string> Transceive(const Slice& request, const std::string& rid,
+                                 const Slice& ckpt);
+
+  /// Cancels the last sent request (§7): succeeds iff the request has
+  /// not yet been consumed by a committed dequeue.
+  Result<bool> CancelLastRequest();
+
+  SessionState state() const { return machine_.state(); }
+  const std::string& last_sent_rid() const { return rid_tag_; }
+  queue::ElementId last_request_eid() const { return last_request_eid_; }
+
+ private:
+  ClerkOptions options_;
+  SessionStateMachine machine_;
+  bool connected_ = false;
+  std::string rid_tag_;  // rid of the last Send (Fig 5's global).
+  queue::ElementId last_request_eid_ = queue::kInvalidElementId;
+  queue::ElementId last_reply_eid_ = queue::kInvalidElementId;
+};
+
+/// Encodes / decodes the reply-queue tag, which carries the pair
+/// [rid, ckpt] (Fig 5's "reply-tag[rid-piece], reply-tag[ckpt-piece]").
+std::string EncodeReplyTag(const Slice& rid, const Slice& ckpt);
+Status DecodeReplyTag(const Slice& tag, std::string* rid, std::string* ckpt);
+
+}  // namespace rrq::client
+
+#endif  // RRQ_CLIENT_CLERK_H_

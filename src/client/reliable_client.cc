@@ -1,0 +1,258 @@
+#include "client/reliable_client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace rrq::client {
+
+ReliableClient::ReliableClient(ReliableClientOptions options,
+                               ReplyProcessor processor)
+    : options_(std::move(options)), processor_(std::move(processor)) {}
+
+std::string ReliableClient::MakeRid() {
+  return options_.clerk.client_id + "#" + std::to_string(next_seq_++);
+}
+
+uint64_t ReliableClient::ParseSeq(const std::string& rid) {
+  const size_t pos = rid.rfind('#');
+  if (pos == std::string::npos) return 0;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long seq = strtoull(rid.c_str() + pos + 1, &end, 10);
+  if (end == rid.c_str() + pos + 1 || errno != 0) return 0;
+  return seq;
+}
+
+std::string ReliableClient::DeviceState() const {
+  return options_.device == nullptr ? std::string() :
+                                      options_.device->ReadState();
+}
+
+Status ReliableClient::ProcessReply(const std::string& reply,
+                                    bool maybe_duplicate) {
+  if (maybe_duplicate) ++redeliveries_;
+  // The processor first (display etc., at-least-once), the
+  // non-idempotent device last: a crash in between makes the resync
+  // logic reprocess, re-running the processor but emitting exactly
+  // once overall.
+  if (processor_ != nullptr) {
+    RRQ_RETURN_IF_ERROR(processor_(reply, maybe_duplicate));
+  }
+  if (options_.device != nullptr) {
+    RRQ_RETURN_IF_ERROR(options_.device->Emit(reply));
+  }
+  return Status::OK();
+}
+
+Status ReliableClient::Reconnect(ConnectResult* result) {
+  Status last = Status::Unavailable("no reconnect attempts made");
+  for (int attempt = 0; attempt < options_.max_recovery_attempts; ++attempt) {
+    clerk_ = std::make_unique<Clerk>(options_.clerk);
+    auto r = clerk_->Connect();
+    if (r.ok()) {
+      *result = *r;
+      const uint64_t recovered = ParseSeq(r->s_rid);
+      if (recovered >= next_seq_) next_seq_ = recovered + 1;
+      return Status::OK();
+    }
+    last = r.status();
+    if (!last.IsUnavailable() && !last.IsTimedOut()) return last;
+    // Transient: back off briefly and retry (real time; partitions in
+    // tests heal asynchronously).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+  }
+  return last;
+}
+
+Result<queue::ReplyEnvelope> ReliableClient::DecodeAndCheck(
+    const std::string& raw, const std::string& rid) {
+  queue::ReplyEnvelope envelope;
+  RRQ_RETURN_IF_ERROR(queue::DecodeReplyEnvelope(raw, &envelope));
+  if (envelope.rid != rid) {
+    // The protocol guarantees Request-Reply Matching; a mismatch means
+    // the reply queue is shared or corrupted.
+    return Status::Internal("reply rid mismatch: expected " + rid + ", got " +
+                            envelope.rid);
+  }
+  return envelope;
+}
+
+Status ReliableClient::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  ConnectResult cr;
+  RRQ_RETURN_IF_ERROR(Reconnect(&cr));
+
+  // Fig 2 lines 2–11: connect-time resynchronization. In both branches
+  // the receive loop does the work: with an outstanding request it
+  // receives the pending reply; with a received-but-maybe-unprocessed
+  // reply (state Reply-Recvd) it rereads the retained copy and
+  // reprocesses unless the testable device proves it was processed.
+  if (!cr.s_rid.empty()) {
+    auto reply = AwaitReply(cr.s_rid, cr.ckpt);
+    if (!reply.ok() && !reply.status().IsAborted()) return reply.status();
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Result<std::string> ReliableClient::AwaitReply(const std::string& rid,
+                                               const std::string& ckpt_hint) {
+  // Tracks the ckpt value the most recent reconnect reported, for the
+  // testable-device "was it already processed?" comparison.
+  std::string resume_ckpt = ckpt_hint;
+  // True only when a Connect proved the dequeue for *this* rid already
+  // committed (r_rid == rid). A raw Reply-Recvd clerk state is not
+  // enough: after a mid-await reconnect it can refer to the previous
+  // request.
+  bool resumed_with_reply = clerk_->state() == SessionState::kReplyRecvd;
+
+  // Reconnects and asks the system what it saw for this rid. Returns
+  // NotFound when the request is not in the system at all (possible
+  // only for lost one-way sends) so Execute can resend it.
+  auto reconnect_and_classify = [this, &rid, &resume_ckpt,
+                                 &resumed_with_reply]() -> Status {
+    ConnectResult cr;
+    RRQ_RETURN_IF_ERROR(Reconnect(&cr));
+    if (cr.s_rid != rid) {
+      return Status::NotFound("request not in the system: " + rid);
+    }
+    resume_ckpt = cr.ckpt;
+    resumed_with_reply = cr.r_rid == rid;
+    return Status::OK();
+  };
+
+  // Timeouts (server still working) and recoveries (connectivity lost)
+  // spend separate budgets.
+  int polls = 0;
+  int recoveries = 0;
+  while (polls < options_.max_poll_attempts &&
+         recoveries < options_.max_recovery_attempts) {
+    if (resumed_with_reply) {
+      // The dequeue committed (a reconnect told us so) but we never
+      // saw the contents — read the retained copy (this is what
+      // Rereceive exists for, §3).
+      auto replay = clerk_->Rereceive();
+      if (!replay.ok()) {
+        const Status& s = replay.status();
+        if (s.IsUnavailable() || s.IsNotConnected()) {
+          ++recoveries;
+          RRQ_RETURN_IF_ERROR(reconnect_and_classify());
+          continue;
+        }
+        return s;
+      }
+      RRQ_ASSIGN_OR_RETURN(queue::ReplyEnvelope envelope,
+                           DecodeAndCheck(*replay, rid));
+      bool already_processed =
+          options_.device != nullptr && DeviceState() != resume_ckpt;
+      if (!already_processed) {
+        RRQ_RETURN_IF_ERROR(ProcessReply(
+            envelope.body, /*maybe_duplicate=*/options_.device == nullptr));
+      }
+      ++completed_;
+      if (!envelope.success) {
+        return Status::Aborted("request failed permanently: " + envelope.body);
+      }
+      return envelope.body;
+    }
+
+    const std::string ckpt = DeviceState();
+    auto r = clerk_->Receive(ckpt);
+    if (r.ok()) {
+      RRQ_ASSIGN_OR_RETURN(queue::ReplyEnvelope envelope,
+                           DecodeAndCheck(*r, rid));
+      RRQ_RETURN_IF_ERROR(
+          ProcessReply(envelope.body, /*maybe_duplicate=*/false));
+      ++completed_;
+      if (!envelope.success) {
+        return Status::Aborted("request failed permanently: " + envelope.body);
+      }
+      return envelope.body;
+    }
+    const Status& s = r.status();
+    if (s.IsTimedOut() || s.IsBusy() || s.IsNotFound()) {
+      ++polls;
+      // One-way sends are unacknowledged: after a stretch of fruitless
+      // polls, reconnect and ask whether the request ever arrived (§5:
+      // "can determine what happened when it reconnects"). A missing
+      // s_rid means the one-way message was lost — the NotFound makes
+      // Execute resend.
+      if (options_.clerk.send_mode == SendMode::kOneWay && polls % 8 == 0) {
+        ++recoveries;
+        RRQ_RETURN_IF_ERROR(reconnect_and_classify());
+      }
+      continue;  // Reply not there yet; poll again.
+    }
+    if (!s.IsUnavailable() && !s.IsNotConnected()) return s;
+
+    // Connectivity lost: the dequeue may or may not have committed.
+    ++recoveries;
+    RRQ_RETURN_IF_ERROR(reconnect_and_classify());
+    // If not resumed-with-reply we are back in Req-Sent: Receive again.
+  }
+  return Status::Unavailable("no reply for " + rid);
+}
+
+Result<std::string> ReliableClient::Execute(const Slice& request) {
+  if (!started_) return Status::FailedPrecondition("client not started");
+  const std::string rid = MakeRid();
+
+  queue::RequestEnvelope envelope;
+  envelope.rid = rid;
+  envelope.reply_queue = options_.clerk.reply_queue;
+  envelope.body = request.ToString();
+  const std::string wire = queue::EncodeRequestEnvelope(envelope);
+  const Slice wrapped(wire);
+
+  for (int round = 0; round < options_.max_recovery_attempts; ++round) {
+    // ---- Send with in-doubt resolution (§2). ---------------------------
+    bool sent = false;
+    for (int attempt = 0; !sent && attempt < options_.max_recovery_attempts;
+         ++attempt) {
+      Status s = clerk_->Send(wrapped, rid);
+      if (s.ok()) {
+        sent = true;
+        break;
+      }
+      if (s.IsFailedPrecondition() &&
+          clerk_->state() == SessionState::kReqSent &&
+          clerk_->last_sent_rid() == rid) {
+        sent = true;  // A resend round found the request already sent.
+        break;
+      }
+      if (!s.IsUnavailable() && !s.IsNotConnected()) return s;
+      // The send is in doubt. Reconnect and ask the system what it saw.
+      ConnectResult cr;
+      RRQ_RETURN_IF_ERROR(Reconnect(&cr));
+      if (cr.s_rid == rid) {
+        sent = true;  // The enqueue committed; only the ack was lost.
+      }
+      // Otherwise the request never arrived: loop and resend. Because
+      // the rid is compared, a resend can never double-submit.
+    }
+    if (!sent) return Status::Unavailable("could not submit request: " + rid);
+
+    auto reply = AwaitReply(rid);
+    if (reply.ok() || !reply.status().IsNotFound()) return reply;
+    // NotFound: a one-way send was lost in transit — resend this rid.
+  }
+  return Status::Unavailable("could not complete request: " + rid);
+}
+
+Result<bool> ReliableClient::CancelInFlight() {
+  if (clerk_ == nullptr) return Status::FailedPrecondition("not connected");
+  return clerk_->CancelLastRequest();
+}
+
+Status ReliableClient::Stop() {
+  if (!started_) return Status::OK();
+  started_ = false;
+  if (clerk_ != nullptr && clerk_->state() != SessionState::kDisconnected) {
+    return clerk_->Disconnect();
+  }
+  return Status::OK();
+}
+
+}  // namespace rrq::client

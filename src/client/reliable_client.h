@@ -1,0 +1,110 @@
+#ifndef RRQ_CLIENT_RELIABLE_CLIENT_H_
+#define RRQ_CLIENT_RELIABLE_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "client/clerk.h"
+#include "client/testable_device.h"
+#include "queue/envelope.h"
+#include "util/result.h"
+
+namespace rrq::client {
+
+/// Called for each reply, at least once per request. With a
+/// TestableDevice configured, exactly once (the device's state
+/// deduplicates). The second argument is true when this delivery may
+/// be a repeat (post-recovery redelivery).
+using ReplyProcessor =
+    std::function<Status(const std::string& reply, bool maybe_duplicate)>;
+
+struct ReliableClientOptions {
+  ClerkOptions clerk;
+  /// Optional: the non-idempotent output device replies are fed to.
+  /// Not owned; outlives the client (it is "hardware").
+  TestableDevice* device = nullptr;
+  /// How many reconnect attempts before an operation reports
+  /// Unavailable to the caller.
+  int max_recovery_attempts = 32;
+  /// How many Receive timeouts (each bounded by the clerk's
+  /// receive_timeout_micros) to tolerate while waiting for a slow
+  /// server, independent of the recovery budget.
+  int max_poll_attempts = 200;
+};
+
+/// The complete client program of Fig 2: a fault-tolerant sequential
+/// program wrapping a Clerk. Construction is cheap; Start() connects
+/// and performs the connect-time resynchronization (lines 2–11 of
+/// Fig 2), redelivering an unprocessed reply if the previous
+/// incarnation crashed between receiving and processing it.
+///
+/// Execute() submits one request and returns its reply, transparently
+/// riding out lost messages, queue-manager restarts, and partitions by
+/// reconnecting and comparing rids. The guarantees delivered are the
+/// paper's: exactly-once request processing, at-least-once reply
+/// processing (exactly-once with a device).
+class ReliableClient {
+ public:
+  ReliableClient(ReliableClientOptions options, ReplyProcessor processor);
+
+  ReliableClient(const ReliableClient&) = delete;
+  ReliableClient& operator=(const ReliableClient&) = delete;
+
+  /// Connects and resynchronizes. If the previous incarnation died
+  /// with a request in flight, its reply is received and processed
+  /// here; if it died holding an unprocessed reply, the reply is
+  /// reprocessed (unless the device proves it was processed).
+  Status Start();
+
+  /// Sends `request` under a fresh rid and returns the processed
+  /// reply. Retries across failures until the reply is obtained or
+  /// recovery attempts are exhausted.
+  Result<std::string> Execute(const Slice& request);
+
+  /// Cancels the in-flight request, if any (§7).
+  Result<bool> CancelInFlight();
+
+  Status Stop();
+
+  /// Number of requests successfully completed by this incarnation.
+  uint64_t completed() const { return completed_; }
+  /// Replies that were (possibly) delivered more than once to the
+  /// processor.
+  uint64_t redeliveries() const { return redeliveries_; }
+
+  Clerk* clerk() { return clerk_.get(); }
+
+ private:
+  // Makes "<client_id>#<seq>" rids; seq continues from the recovered
+  // rid so rids stay unique across incarnations.
+  std::string MakeRid();
+  static uint64_t ParseSeq(const std::string& rid);
+  std::string DeviceState() const;
+  Status ProcessReply(const std::string& reply, bool maybe_duplicate);
+  // The receive loop shared by Execute and the Start-time resync:
+  // polls for the reply to `rid`, riding out connectivity loss via
+  // reconnect + Rereceive. Processes the reply before returning it.
+  // `ckpt_hint` is the last Connect's ckpt (used by the device check
+  // when the session resumed in Reply-Recvd).
+  Result<std::string> AwaitReply(const std::string& rid,
+                                 const std::string& ckpt_hint = "");
+  // Unwraps a reply envelope and verifies Request-Reply Matching.
+  Result<queue::ReplyEnvelope> DecodeAndCheck(const std::string& raw,
+                                              const std::string& rid);
+  // Reconnects and resolves the fate of rid `rid` (Fig 2's branches);
+  // on success the session is in a state where the caller can proceed.
+  Status Reconnect(ConnectResult* result);
+
+  ReliableClientOptions options_;
+  ReplyProcessor processor_;
+  std::unique_ptr<Clerk> clerk_;
+  uint64_t next_seq_ = 1;
+  uint64_t completed_ = 0;
+  uint64_t redeliveries_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rrq::client
+
+#endif  // RRQ_CLIENT_RELIABLE_CLIENT_H_

@@ -1,0 +1,84 @@
+#include "client/session_state.h"
+
+#include <string>
+
+namespace rrq::client {
+
+std::string_view SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kDisconnected: return "Disconnected";
+    case SessionState::kConnected: return "Connected";
+    case SessionState::kReqSent: return "Req-Sent";
+    case SessionState::kIntermediateIo: return "Intermediate-I/O";
+    case SessionState::kReplyRecvd: return "Reply-Recvd";
+  }
+  return "?";
+}
+
+std::string_view SessionEventName(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kConnect: return "Connect";
+    case SessionEvent::kDisconnect: return "Disconnect";
+    case SessionEvent::kSend: return "Send";
+    case SessionEvent::kReceiveIntermediate: return "ReceiveIntermediate";
+    case SessionEvent::kSendIntermediate: return "SendIntermediate";
+    case SessionEvent::kReceiveReply: return "Receive";
+  }
+  return "?";
+}
+
+Status SessionStateMachine::Apply(SessionEvent event) {
+  auto reject = [this, event]() {
+    return Status::FailedPrecondition(
+        std::string(SessionEventName(event)) + " not allowed in state " +
+        std::string(SessionStateName(state_)));
+  };
+  switch (event) {
+    case SessionEvent::kConnect:
+      if (state_ != SessionState::kDisconnected) return reject();
+      state_ = SessionState::kConnected;
+      return Status::OK();
+    case SessionEvent::kDisconnect:
+      if (state_ == SessionState::kDisconnected) return reject();
+      state_ = SessionState::kDisconnected;
+      return Status::OK();
+    case SessionEvent::kSend:
+      // A Send implicitly acknowledges the previous reply (§3); legal
+      // from Connected (first request) or ReplyRecvd.
+      if (state_ != SessionState::kConnected &&
+          state_ != SessionState::kReplyRecvd) {
+        return reject();
+      }
+      state_ = SessionState::kReqSent;
+      return Status::OK();
+    case SessionEvent::kReceiveIntermediate:
+      if (state_ != SessionState::kReqSent) return reject();
+      state_ = SessionState::kIntermediateIo;
+      return Status::OK();
+    case SessionEvent::kSendIntermediate:
+      if (state_ != SessionState::kIntermediateIo) return reject();
+      state_ = SessionState::kReqSent;
+      return Status::OK();
+    case SessionEvent::kReceiveReply:
+      if (state_ != SessionState::kReqSent) return reject();
+      state_ = SessionState::kReplyRecvd;
+      return Status::OK();
+  }
+  return reject();
+}
+
+Status SessionStateMachine::ResumeAt(SessionState state) {
+  if (state_ != SessionState::kDisconnected &&
+      state_ != SessionState::kConnected) {
+    return Status::FailedPrecondition(
+        "ResumeAt is only valid at connect time");
+  }
+  if (state == SessionState::kDisconnected ||
+      state == SessionState::kIntermediateIo) {
+    return Status::InvalidArgument("invalid resume target");
+  }
+  state_ = state;
+  return Status::OK();
+}
+
+}  // namespace rrq::client

@@ -1,0 +1,60 @@
+#ifndef RRQ_CLIENT_SESSION_STATE_H_
+#define RRQ_CLIENT_SESSION_STATE_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rrq::client {
+
+/// The client's protocol states, covering both the non-interactive
+/// diagram (Fig 1: Disconnected, Connected, ReqSent, ReplyRecvd) and
+/// the interactive extension (Fig 7 adds IntermediateIo).
+enum class SessionState : int {
+  kDisconnected = 0,
+  kConnected = 1,
+  kReqSent = 2,
+  kIntermediateIo = 3,  // Interactive requests only (Fig 7).
+  kReplyRecvd = 4,
+};
+
+/// The operations that drive state transitions.
+enum class SessionEvent : int {
+  kConnect = 0,
+  kDisconnect = 1,
+  kSend = 2,
+  kReceiveIntermediate = 3,  // Received intermediate output (Fig 7).
+  kSendIntermediate = 4,     // Sent intermediate input (Fig 7).
+  kReceiveReply = 5,
+};
+
+std::string_view SessionStateName(SessionState state);
+std::string_view SessionEventName(SessionEvent event);
+
+/// Explicit encoding of the Fig 1 / Fig 7 state transition diagrams.
+/// The clerk drives one of these to reject out-of-protocol operations
+/// (e.g. two Sends without an intervening Receive — the model is
+/// strictly one-request-at-a-time, §3).
+class SessionStateMachine {
+ public:
+  SessionStateMachine() = default;
+
+  SessionState state() const { return state_; }
+
+  /// Applies `event`; FailedPrecondition when the transition is not in
+  /// the diagram. Connect may land in Connected, ReqSent, or
+  /// ReplyRecvd depending on the rids returned by the system — the
+  /// caller passes the resolved target via ResumeAt instead.
+  Status Apply(SessionEvent event);
+
+  /// Connect-time resynchronization: jump to the state the returned
+  /// rids imply (Fig 1's branches out of the Connect operation).
+  Status ResumeAt(SessionState state);
+
+ private:
+  SessionState state_ = SessionState::kDisconnected;
+};
+
+}  // namespace rrq::client
+
+#endif  // RRQ_CLIENT_SESSION_STATE_H_

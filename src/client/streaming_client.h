@@ -1,0 +1,102 @@
+#ifndef RRQ_CLIENT_STREAMING_CLIENT_H_
+#define RRQ_CLIENT_STREAMING_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/clerk.h"
+#include "queue/envelope.h"
+#include "queue/queue_api.h"
+#include "util/result.h"
+
+namespace rrq::client {
+
+/// §11's future-work extension, built: "One could extend the Client
+/// Model to support streaming of requests and replies, as in the
+/// Mercury system."
+///
+/// A StreamingClient keeps a window of K requests outstanding at once.
+/// Each window slot is an independent fault-tolerant session — its own
+/// registrant ("<client>/s<slot>"), its own private reply queue, its
+/// own rid sequence — so the §3 one-request-at-a-time discipline holds
+/// *per slot* and every guarantee (exactly-once processing,
+/// at-least-once replies, matching) carries over unchanged, while the
+/// client as a whole pipelines K requests deep. This is the same
+/// construction as §5's "concurrency within a client" (client-id plus
+/// thread-id), driven from one thread.
+///
+/// Single-threaded.
+class StreamingClient {
+ public:
+  /// Called once per finished request (at least once per rid).
+  using StreamProcessor = std::function<Status(
+      const std::string& rid, const std::string& reply, bool success)>;
+
+  struct Options {
+    std::string client_id;
+    std::string request_queue;
+    /// Slot s uses reply queue "<reply_queue_prefix><s>"; the queues
+    /// must exist (RequestSystem::MakeStreamingClient creates them).
+    std::string reply_queue_prefix;
+    queue::QueueApi* api = nullptr;
+    int window = 4;
+    /// Per-Receive poll bound while collecting replies.
+    uint64_t receive_timeout_micros = 20'000;
+    int max_recovery_attempts = 32;
+  };
+
+  StreamingClient(Options options, StreamProcessor processor);
+
+  StreamingClient(const StreamingClient&) = delete;
+  StreamingClient& operator=(const StreamingClient&) = delete;
+
+  /// Connects every slot and resynchronizes: slots whose previous
+  /// incarnation died with a request in flight collect and process
+  /// that reply before new work is accepted.
+  Status Start();
+
+  /// Submits one request, blocking (by polling for replies) only when
+  /// the window is full. Returns the rid assigned to the request.
+  Result<std::string> Submit(const Slice& body);
+
+  /// Collects any replies that have arrived; returns how many finished.
+  Result<int> Poll();
+
+  /// Blocks until every outstanding request has finished.
+  Status Drain();
+
+  Status Stop();
+
+  uint64_t completed() const { return completed_; }
+  int in_flight() const { return in_flight_; }
+  int window() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Clerk> clerk;
+    bool awaiting = false;
+    std::string rid;
+  };
+
+  std::string SlotRegistrant(int slot) const;
+  std::string SlotReplyQueue(int slot) const;
+  // (Re)connects slot `s`; processes a pending recovered reply if the
+  // registration shows one.
+  Status ConnectSlot(int s);
+  // One receive attempt on an awaiting slot; true when it finished.
+  Result<bool> TryCollect(int s);
+
+  Options options_;
+  StreamProcessor processor_;
+  std::vector<Slot> slots_;
+  uint64_t next_seq_ = 1;
+  uint64_t completed_ = 0;
+  int in_flight_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rrq::client
+
+#endif  // RRQ_CLIENT_STREAMING_CLIENT_H_

@@ -1,0 +1,108 @@
+#ifndef RRQ_CLIENT_TESTABLE_DEVICE_H_
+#define RRQ_CLIENT_TESTABLE_DEVICE_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::client {
+
+/// A "testable device" (§3, after [Pausch 88]): an output device whose
+/// state the client can read, making non-idempotent reply processing
+/// (printing a ticket, dispensing cash) exactly-once. The client reads
+/// the state before Receive, checkpoints it in the Receive's ckpt
+/// parameter, and compares at reconnect: a state mismatch means the
+/// reply was already processed.
+///
+/// Devices deliberately live OUTSIDE the client object — like real
+/// hardware, they survive a client crash.
+class TestableDevice {
+ public:
+  virtual ~TestableDevice() = default;
+
+  /// The device's externally readable state (e.g. next ticket number).
+  virtual std::string ReadState() const = 0;
+
+  /// Performs the non-idempotent output; advances the state.
+  virtual Status Emit(const Slice& output) = 0;
+};
+
+/// A ticket printer: each Emit prints one ticket and advances the
+/// ticket counter. Thread-safe.
+class TicketPrinter final : public TestableDevice {
+ public:
+  TicketPrinter() = default;
+
+  std::string ReadState() const override {
+    std::lock_guard<std::mutex> guard(mu_);
+    return std::to_string(next_ticket_);
+  }
+
+  Status Emit(const Slice& output) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    printed_.push_back(output.ToString());
+    ++next_ticket_;
+    return Status::OK();
+  }
+
+  /// Everything ever printed, in order (for verifying exactly-once).
+  std::vector<std::string> printed() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return printed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_ticket_ = 1;
+  std::vector<std::string> printed_;
+};
+
+/// A cash dispenser: Emit parses the output as a decimal amount and
+/// dispenses it; state is the total dispensed so far. Thread-safe.
+class CashDispenser final : public TestableDevice {
+ public:
+  CashDispenser() = default;
+
+  std::string ReadState() const override {
+    std::lock_guard<std::mutex> guard(mu_);
+    return std::to_string(total_dispensed_);
+  }
+
+  Status Emit(const Slice& output) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = output.ToString();
+    const long long amount = strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || amount < 0) {
+      return Status::InvalidArgument("not a cash amount: " + text);
+    }
+    total_dispensed_ += static_cast<uint64_t>(amount);
+    ++dispense_count_;
+    return Status::OK();
+  }
+
+  uint64_t total_dispensed() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return total_dispensed_;
+  }
+  uint64_t dispense_count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return dispense_count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t total_dispensed_ = 0;
+  uint64_t dispense_count_ = 0;
+};
+
+}  // namespace rrq::client
+
+#endif  // RRQ_CLIENT_TESTABLE_DEVICE_H_

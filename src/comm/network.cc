@@ -1,0 +1,124 @@
+#include "comm/network.h"
+
+namespace rrq::comm {
+
+namespace {
+std::pair<std::string, std::string> LinkKey(const std::string& a,
+                                            const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+Status Network::RegisterEndpoint(const std::string& name, Handler handler) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (endpoints_.count(name) > 0) {
+    return Status::AlreadyExists("endpoint exists: " + name);
+  }
+  endpoints_[name] = std::move(handler);
+  return Status::OK();
+}
+
+void Network::RemoveEndpoint(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  endpoints_.erase(name);
+}
+
+LinkFaults Network::FaultsFor(const std::string& a,
+                              const std::string& b) const {
+  auto it = links_.find(LinkKey(a, b));
+  return it == links_.end() ? LinkFaults{} : it->second;
+}
+
+bool Network::TransmitOk(const std::string& a, const std::string& b,
+                         bool* duplicate) {
+  LinkFaults faults;
+  bool drop = false;
+  bool dup = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    faults = FaultsFor(a, b);
+    if (faults.partitioned) {
+      drop = true;
+    } else {
+      if (faults.drop_probability > 0) drop = rng_.Bernoulli(faults.drop_probability);
+      if (!drop && faults.duplicate_probability > 0) {
+        dup = rng_.Bernoulli(faults.duplicate_probability);
+      }
+    }
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (faults.latency_micros > 0) clock_->SleepMicros(faults.latency_micros);
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (duplicate != nullptr) *duplicate = dup;
+  if (dup) duplicated_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status Network::Call(const std::string& from, const std::string& to,
+                     const Slice& request, std::string* reply) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      return Status::Unavailable("endpoint down: " + to);
+    }
+    handler = it->second;
+  }
+  // Request leg.
+  if (!TransmitOk(from, to, nullptr)) {
+    return Status::Unavailable("request lost: " + from + " -> " + to);
+  }
+  std::string response;
+  Status s = handler(request, &response);
+  if (!s.ok()) return s;
+  // Reply leg: if lost, the side effect at `to` has already happened.
+  if (!TransmitOk(to, from, nullptr)) {
+    return Status::Unavailable("reply lost: " + to + " -> " + from);
+  }
+  *reply = std::move(response);
+  return Status::OK();
+}
+
+Status Network::SendOneWay(const std::string& from, const std::string& to,
+                           const Slice& message) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      // One-way sends don't observe endpoint liveness.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      sent_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    handler = it->second;
+  }
+  bool duplicate = false;
+  if (!TransmitOk(from, to, &duplicate)) return Status::OK();
+  std::string ignored;
+  handler(message, &ignored);
+  if (duplicate) handler(message, &ignored);
+  return Status::OK();
+}
+
+void Network::SetLinkFaults(const std::string& a, const std::string& b,
+                            LinkFaults faults) {
+  std::lock_guard<std::mutex> guard(mu_);
+  links_[LinkKey(a, b)] = faults;
+}
+
+void Network::Partition(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> guard(mu_);
+  links_[LinkKey(a, b)].partitioned = true;
+}
+
+void Network::Heal(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> guard(mu_);
+  links_[LinkKey(a, b)].partitioned = false;
+}
+
+}  // namespace rrq::comm

@@ -1,0 +1,97 @@
+#ifndef RRQ_COMM_NETWORK_H_
+#define RRQ_COMM_NETWORK_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::comm {
+
+/// Fault model for one (symmetric) link.
+struct LinkFaults {
+  /// Probability a given message (request, reply, or one-way) is lost.
+  double drop_probability = 0.0;
+  /// Probability a one-way message is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Simulated per-message latency.
+  uint64_t latency_micros = 0;
+  /// Hard partition: every message is lost.
+  bool partitioned = false;
+};
+
+/// In-process simulated network. Endpoints register message handlers
+/// by name; peers exchange RPCs (request + reply, each independently
+/// subject to link faults) and one-way messages. Handlers run in the
+/// caller's thread, so delivery is deterministic given the fault seed.
+///
+/// The critical failure the paper's protocols must survive is modeled
+/// exactly: an RPC whose *reply* is dropped has executed at the server
+/// while the caller sees Unavailable — the "did my request happen?"
+/// uncertainty of §2.
+///
+/// Thread-safe.
+class Network {
+ public:
+  using Handler = std::function<Status(const Slice& request, std::string* reply)>;
+
+  explicit Network(uint64_t seed = 1, util::Clock* clock = nullptr)
+      : rng_(seed),
+        clock_(clock != nullptr ? clock : util::RealClock::Instance()) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Status RegisterEndpoint(const std::string& name, Handler handler);
+  void RemoveEndpoint(const std::string& name);
+
+  /// RPC: delivers `request` to `to`'s handler and returns its reply.
+  /// Unavailable when either direction faults or the endpoint is down;
+  /// when the reply is lost the handler HAS run.
+  Status Call(const std::string& from, const std::string& to,
+              const Slice& request, std::string* reply);
+
+  /// One-way message: no acknowledgement; silently lost on fault;
+  /// possibly delivered twice under duplication faults.
+  Status SendOneWay(const std::string& from, const std::string& to,
+                    const Slice& message);
+
+  /// Sets the fault model for the link between `a` and `b` (symmetric).
+  void SetLinkFaults(const std::string& a, const std::string& b,
+                     LinkFaults faults);
+  void Partition(const std::string& a, const std::string& b);
+  void Heal(const std::string& a, const std::string& b);
+
+  uint64_t messages_sent() const { return sent_.load(std::memory_order_relaxed); }
+  uint64_t messages_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_duplicated() const {
+    return duplicated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Returns false when the message is lost. Accounts stats and latency.
+  bool TransmitOk(const std::string& a, const std::string& b,
+                  bool* duplicate);
+  LinkFaults FaultsFor(const std::string& a, const std::string& b) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> endpoints_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> links_;
+  util::Rng rng_;
+  util::Clock* clock_;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+};
+
+}  // namespace rrq::comm
+
+#endif  // RRQ_COMM_NETWORK_H_

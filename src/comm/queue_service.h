@@ -1,0 +1,82 @@
+#ifndef RRQ_COMM_QUEUE_SERVICE_H_
+#define RRQ_COMM_QUEUE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "comm/network.h"
+#include "queue/queue_api.h"
+#include "queue/queue_repository.h"
+
+namespace rrq::comm {
+
+/// Exposes a QueueRepository's non-transactional operations as a
+/// network endpoint, so clerks on other "nodes" can reach the queue
+/// manager. The service performs no retry or deduplication of its
+/// own: at-most-once per message, with the uncertainty on failure that
+/// the paper's client protocol is designed to resolve.
+class QueueService {
+ public:
+  /// Registers endpoint `service_name` on `network`, serving `repo`.
+  /// Neither pointer is owned; both must outlive this object.
+  QueueService(Network* network, std::string service_name,
+               queue::QueueRepository* repo);
+  ~QueueService();
+
+  QueueService(const QueueService&) = delete;
+  QueueService& operator=(const QueueService&) = delete;
+
+  const std::string& service_name() const { return service_name_; }
+
+  /// Detaches from the network (simulates the QM node going down).
+  void Shutdown();
+  /// Re-registers the endpoint (node back up).
+  Status Restart();
+
+ private:
+  Status Handle(const Slice& request, std::string* reply);
+
+  Network* network_;
+  std::string service_name_;
+  queue::QueueRepository* repo_;
+  bool up_ = false;
+};
+
+/// queue::QueueApi implemented over Network RPCs to a QueueService.
+/// Network failures surface as Status::Unavailable; the caller (the
+/// clerk) resolves the resulting uncertainty through reconnection and
+/// persistent registration, never by blind retry.
+class RemoteQueueApi final : public queue::QueueApi {
+ public:
+  RemoteQueueApi(Network* network, std::string self_name,
+                 std::string service_name);
+
+  Result<queue::RegistrationInfo> Register(const std::string& queue,
+                                           const std::string& registrant,
+                                           bool stable) override;
+  Status Deregister(const std::string& queue,
+                    const std::string& registrant) override;
+  Result<queue::ElementId> Enqueue(const std::string& queue,
+                                   const Slice& contents, uint32_t priority,
+                                   const std::string& registrant,
+                                   const Slice& tag, bool one_way) override;
+  Result<queue::Element> Dequeue(const std::string& queue,
+                                 const std::string& registrant,
+                                 const Slice& tag,
+                                 uint64_t timeout_micros) override;
+  Result<queue::Element> Read(const std::string& queue,
+                              queue::ElementId eid) override;
+  Result<bool> KillElement(const std::string& queue,
+                           queue::ElementId eid) override;
+
+ private:
+  Status CallService(const std::string& request, std::string* payload);
+
+  Network* network_;
+  std::string self_name_;
+  std::string service_name_;
+};
+
+}  // namespace rrq::comm
+
+#endif  // RRQ_COMM_QUEUE_SERVICE_H_

@@ -1,0 +1,103 @@
+#include "core/baseline.h"
+
+#include "util/coding.h"
+
+namespace rrq::core {
+
+namespace {
+
+std::string EncodeRawMessage(const std::string& rid, const std::string& body) {
+  std::string out;
+  util::PutLengthPrefixed(&out, rid);
+  util::PutLengthPrefixed(&out, body);
+  return out;
+}
+
+Status DecodeRawMessage(const Slice& wire, std::string* rid,
+                        std::string* body) {
+  Slice input = wire;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, rid));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, body));
+  return Status::OK();
+}
+
+}  // namespace
+
+RawMessageServer::RawMessageServer(comm::Network* network,
+                                   std::string endpoint,
+                                   txn::TransactionManager* txn_mgr,
+                                   RawRequestHandler handler)
+    : network_(network),
+      endpoint_(std::move(endpoint)),
+      txn_mgr_(txn_mgr),
+      handler_(std::move(handler)) {}
+
+RawMessageServer::~RawMessageServer() { Unregister(); }
+
+Status RawMessageServer::Register() {
+  if (registered_) return Status::OK();
+  RRQ_RETURN_IF_ERROR(network_->RegisterEndpoint(
+      endpoint_, [this](const Slice& request, std::string* reply) {
+        return Handle(request, reply);
+      }));
+  registered_ = true;
+  return Status::OK();
+}
+
+void RawMessageServer::Unregister() {
+  if (registered_) {
+    network_->RemoveEndpoint(endpoint_);
+    registered_ = false;
+  }
+}
+
+Status RawMessageServer::Handle(const Slice& request, std::string* reply) {
+  std::string rid, body;
+  RRQ_RETURN_IF_ERROR(DecodeRawMessage(request, &rid, &body));
+  auto txn = txn_mgr_->Begin();
+  auto result = handler_(txn.get(), rid, body);
+  if (!result.ok()) {
+    txn->Abort();
+    return result.status();
+  }
+  RRQ_RETURN_IF_ERROR(txn->Commit());
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  *reply = EncodeRawMessage(rid, *result);
+  return Status::OK();
+}
+
+RawMessageClient::RawMessageClient(comm::Network* network, std::string self,
+                                   std::string server_endpoint,
+                                   RetryPolicy policy, int max_retries)
+    : network_(network),
+      self_(std::move(self)),
+      server_endpoint_(std::move(server_endpoint)),
+      policy_(policy),
+      max_retries_(max_retries) {}
+
+Result<std::string> RawMessageClient::Execute(const std::string& rid,
+                                              const std::string& body) {
+  const std::string wire = EncodeRawMessage(rid, body);
+  const int attempts = policy_ == RetryPolicy::kAtMostOnce ? 1 : max_retries_;
+  Status last = Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    sends_.fetch_add(1, std::memory_order_relaxed);
+    std::string reply;
+    Status s = network_->Call(self_, server_endpoint_, wire, &reply);
+    if (s.ok()) {
+      std::string echoed_rid, reply_body;
+      RRQ_RETURN_IF_ERROR(DecodeRawMessage(reply, &echoed_rid, &reply_body));
+      if (echoed_rid != rid) {
+        return Status::Internal("reply rid mismatch in raw protocol");
+      }
+      return reply_body;
+    }
+    last = s;
+    if (!s.IsUnavailable()) return s;
+    // At-least-once: blind retry — this is exactly where duplicate
+    // executions come from.
+  }
+  return last;
+}
+
+}  // namespace rrq::core

@@ -1,0 +1,87 @@
+#ifndef RRQ_CORE_BASELINE_H_
+#define RRQ_CORE_BASELINE_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "comm/network.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::core {
+
+/// The §2 strawman the paper improves on: requests and replies move as
+/// ordinary messages, with no recoverable queue between client and
+/// server. "An untimely system failure may cause either the request or
+/// the reply to be lost. The client may be unable to determine whether
+/// the request or reply has been lost."
+///
+/// The server executes each *delivered* request in a transaction
+/// (database-side atomicity is not the weakness; the request flow is).
+using RawRequestHandler = std::function<Result<std::string>(
+    txn::Transaction* t, const std::string& rid, const std::string& body)>;
+
+class RawMessageServer {
+ public:
+  RawMessageServer(comm::Network* network, std::string endpoint,
+                   txn::TransactionManager* txn_mgr,
+                   RawRequestHandler handler);
+  ~RawMessageServer();
+
+  RawMessageServer(const RawMessageServer&) = delete;
+  RawMessageServer& operator=(const RawMessageServer&) = delete;
+
+  Status Register();
+  void Unregister();
+
+  uint64_t executed_count() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status Handle(const Slice& request, std::string* reply);
+
+  comm::Network* network_;
+  std::string endpoint_;
+  txn::TransactionManager* txn_mgr_;
+  RawRequestHandler handler_;
+  bool registered_ = false;
+  std::atomic<uint64_t> executed_{0};
+};
+
+/// Client-side retry discipline for the raw-message baseline.
+enum class RetryPolicy : int {
+  /// Send once; a failure leaves the request's fate unknown — it may
+  /// be lost (never executed) or the reply may be lost (executed).
+  kAtMostOnce = 0,
+  /// Retry on failure until a reply arrives. Because many requests are
+  /// not idempotent, retries can execute the request more than once.
+  kAtLeastOnce = 1,
+};
+
+class RawMessageClient {
+ public:
+  RawMessageClient(comm::Network* network, std::string self,
+                   std::string server_endpoint, RetryPolicy policy,
+                   int max_retries = 8);
+
+  /// Sends one request. OK with the reply body; Unavailable when the
+  /// fate is unknown (at-most-once) or retries were exhausted.
+  Result<std::string> Execute(const std::string& rid, const std::string& body);
+
+  uint64_t sends() const { return sends_.load(std::memory_order_relaxed); }
+
+ private:
+  comm::Network* network_;
+  std::string self_;
+  std::string server_endpoint_;
+  RetryPolicy policy_;
+  int max_retries_;
+  std::atomic<uint64_t> sends_{0};
+};
+
+}  // namespace rrq::core
+
+#endif  // RRQ_CORE_BASELINE_H_

@@ -1,0 +1,54 @@
+#include "core/property_checker.h"
+
+namespace rrq::core {
+
+void PropertyChecker::RecordSubmission(const std::string& rid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++rids_[rid].submissions;
+}
+
+void PropertyChecker::RecordCommittedExecution(const std::string& rid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++rids_[rid].executions;
+}
+
+void PropertyChecker::RecordReplyProcessed(const std::string& rid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++rids_[rid].replies_processed;
+}
+
+void PropertyChecker::RecordMismatchedReply(const std::string& rid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++rids_[rid].mismatches;
+}
+
+PropertyChecker::Verdict PropertyChecker::Check() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  Verdict verdict;
+  for (const auto& [rid, record] : rids_) {
+    if (record.submissions > 0) {
+      ++verdict.submitted;
+      if (record.executions == 0) ++verdict.lost_requests;
+      if (record.executions > 1) ++verdict.duplicate_executions;
+      if (record.replies_processed == 0) ++verdict.unprocessed_replies;
+    } else if (record.executions > 0) {
+      ++verdict.phantom_executions;
+    }
+    verdict.mismatched_replies += record.mismatches;
+  }
+  return verdict;
+}
+
+std::vector<std::string> PropertyChecker::Offenders() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> offenders;
+  for (const auto& [rid, record] : rids_) {
+    if (record.submissions > 0 && record.executions != 1) {
+      offenders.push_back(rid + " (executions=" +
+                          std::to_string(record.executions) + ")");
+    }
+  }
+  return offenders;
+}
+
+}  // namespace rrq::core

@@ -1,0 +1,75 @@
+#ifndef RRQ_CORE_PROPERTY_CHECKER_H_
+#define RRQ_CORE_PROPERTY_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rrq::core {
+
+/// Records, per request id, the events the paper's §3 guarantees
+/// constrain, and judges the run afterwards:
+///
+///  - Exactly-Once Request Processing: every submitted rid has exactly
+///    one committed execution.
+///  - At-Least-Once Reply Processing: every submitted rid's reply is
+///    processed one or more times.
+///  - Request-Reply Matching: every processed reply carries the rid of
+///    a request this client submitted (mismatches are recorded by the
+///    client when an echoed rid is unexpected).
+///
+/// RecordCommittedExecution must be invoked only when the execution's
+/// transaction actually commits (hook it via Transaction::OnCommit);
+/// aborted attempts don't count — that's the whole point.
+///
+/// Thread-safe.
+class PropertyChecker {
+ public:
+  PropertyChecker() = default;
+
+  void RecordSubmission(const std::string& rid);
+  void RecordCommittedExecution(const std::string& rid);
+  void RecordReplyProcessed(const std::string& rid);
+  void RecordMismatchedReply(const std::string& rid);
+
+  struct Verdict {
+    uint64_t submitted = 0;
+    uint64_t duplicate_executions = 0;  ///< rids executed more than once.
+    uint64_t lost_requests = 0;         ///< rids executed zero times.
+    uint64_t unprocessed_replies = 0;   ///< rids whose reply was never processed.
+    uint64_t mismatched_replies = 0;
+    uint64_t phantom_executions = 0;    ///< executions of never-submitted rids.
+
+    bool ExactlyOnceHolds() const {
+      return duplicate_executions == 0 && lost_requests == 0 &&
+             phantom_executions == 0;
+    }
+    bool AtLeastOnceRepliesHold() const { return unprocessed_replies == 0; }
+    bool MatchingHolds() const { return mismatched_replies == 0; }
+    bool AllHold() const {
+      return ExactlyOnceHolds() && AtLeastOnceRepliesHold() && MatchingHolds();
+    }
+  };
+
+  Verdict Check() const;
+
+  /// rids that violate exactly-once (diagnostics).
+  std::vector<std::string> Offenders() const;
+
+ private:
+  struct PerRid {
+    uint64_t submissions = 0;
+    uint64_t executions = 0;
+    uint64_t replies_processed = 0;
+    uint64_t mismatches = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerRid> rids_;
+};
+
+}  // namespace rrq::core
+
+#endif  // RRQ_CORE_PROPERTY_CHECKER_H_

@@ -1,0 +1,205 @@
+#include "core/request_system.h"
+
+namespace rrq::core {
+
+/// Forwards every call to the system's *current* repository, so client
+/// handles stay valid across CrashAndRecover. While the back end is
+/// down, calls fail with Unavailable — exactly what a client of a
+/// crashed node would see.
+class RequestSystem::ForwardingQueueApi final : public queue::QueueApi {
+ public:
+  explicit ForwardingQueueApi(RequestSystem* system) : system_(system) {}
+
+  Result<queue::RegistrationInfo> Register(const std::string& queue,
+                                           const std::string& registrant,
+                                           bool stable) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->Register(queue, registrant, stable);
+  }
+  Status Deregister(const std::string& queue,
+                    const std::string& registrant) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->Deregister(queue, registrant);
+  }
+  Result<queue::ElementId> Enqueue(const std::string& queue,
+                                   const Slice& contents, uint32_t priority,
+                                   const std::string& registrant,
+                                   const Slice& tag,
+                                   bool /*one_way*/) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->Enqueue(nullptr, queue, contents, priority, registrant, tag);
+  }
+  Result<queue::Element> Dequeue(const std::string& queue,
+                                 const std::string& registrant,
+                                 const Slice& tag,
+                                 uint64_t timeout_micros) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->Dequeue(nullptr, queue, registrant, tag, timeout_micros);
+  }
+  Result<queue::Element> Read(const std::string& queue,
+                              queue::ElementId eid) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->Read(queue, eid);
+  }
+  Result<bool> KillElement(const std::string& queue,
+                           queue::ElementId eid) override {
+    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    queue::QueueRepository* repo = system_->repo_.get();
+    if (repo == nullptr) return Down();
+    return repo->KillElement(nullptr, queue, eid);
+  }
+
+ private:
+  static Status Down() { return Status::Unavailable("queue manager is down"); }
+  RequestSystem* system_;
+};
+
+RequestSystem::RequestSystem(SystemOptions options)
+    : options_(options), network_(options.seed) {}
+
+RequestSystem::~RequestSystem() = default;
+
+Status RequestSystem::BuildBackend() {
+  env::Env* env = options_.durable ? &mem_env_ : nullptr;
+
+  txn::TxnManagerOptions txn_options;
+  txn_options.env = env;
+  txn_options.dir = "/txn";
+  txn_options.sync_decisions = options_.sync_commits;
+  txn_mgr_ = std::make_unique<txn::TransactionManager>(txn_options);
+  RRQ_RETURN_IF_ERROR(txn_mgr_->Open());
+
+  queue::RepositoryOptions repo_options;
+  repo_options.env = env;
+  repo_options.dir = "/qm";
+  repo_options.sync_commits = options_.sync_commits;
+  repo_options.in_doubt_resolver = [this](txn::TxnId id) {
+    return txn_mgr_ != nullptr && txn_mgr_->WasCommitted(id);
+  };
+  repo_ = std::make_unique<queue::QueueRepository>("qm", repo_options);
+  RRQ_RETURN_IF_ERROR(repo_->Open());
+
+  Status s = repo_->CreateQueue(kRequestQueue, options_.request_queue_options);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+
+  if (options_.remote_clients) {
+    service_ = std::make_unique<comm::QueueService>(&network_,
+                                                    kQueueServiceName,
+                                                    repo_.get());
+  }
+  return Status::OK();
+}
+
+Status RequestSystem::Open() {
+  if (opened_) return Status::FailedPrecondition("system already open");
+  RRQ_RETURN_IF_ERROR(BuildBackend());
+  local_api_ = std::make_unique<ForwardingQueueApi>(this);
+  if (options_.remote_clients) {
+    remote_api_ = std::make_unique<comm::RemoteQueueApi>(
+        &network_, "clients", kQueueServiceName);
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+queue::QueueApi* RequestSystem::client_api() {
+  if (options_.remote_clients) return remote_api_.get();
+  return local_api_.get();
+}
+
+client::ClerkOptions RequestSystem::MakeClerkOptions(
+    const std::string& client_id) {
+  client::ClerkOptions clerk;
+  clerk.client_id = client_id;
+  clerk.request_queue = kRequestQueue;
+  clerk.reply_queue = ReplyQueueName(client_id);
+  clerk.api = client_api();
+  clerk.send_mode = options_.send_mode;
+  clerk.receive_timeout_micros = options_.receive_timeout_micros;
+  return clerk;
+}
+
+Result<std::unique_ptr<client::ReliableClient>> RequestSystem::MakeClient(
+    const std::string& client_id, client::ReplyProcessor processor,
+    client::TestableDevice* device) {
+  Status s = repo_->CreateQueue(ReplyQueueName(client_id),
+                                options_.request_queue_options);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  if (options_.remote_clients) {
+    network_.SetLinkFaults("clients", kQueueServiceName,
+                           options_.client_link_faults);
+  }
+  client::ReliableClientOptions options;
+  options.clerk = MakeClerkOptions(client_id);
+  options.device = device;
+  auto reliable = std::make_unique<client::ReliableClient>(
+      options, std::move(processor));
+  RRQ_RETURN_IF_ERROR(reliable->Start());
+  return reliable;
+}
+
+Result<std::unique_ptr<client::StreamingClient>>
+RequestSystem::MakeStreamingClient(
+    const std::string& client_id, int window,
+    client::StreamingClient::StreamProcessor processor) {
+  client::StreamingClient::Options options;
+  options.client_id = client_id;
+  options.request_queue = kRequestQueue;
+  options.reply_queue_prefix = "reply." + client_id + ".s";
+  options.api = client_api();
+  options.window = window;
+  options.receive_timeout_micros = options_.receive_timeout_micros;
+  if (options_.remote_clients) {
+    network_.SetLinkFaults("clients", kQueueServiceName,
+                           options_.client_link_faults);
+  }
+  for (int s = 0; s < window; ++s) {
+    Status status = repo_->CreateQueue(options.reply_queue_prefix +
+                                       std::to_string(s));
+    if (!status.ok() && !status.IsAlreadyExists()) return status;
+  }
+  auto streaming = std::make_unique<client::StreamingClient>(
+      options, std::move(processor));
+  RRQ_RETURN_IF_ERROR(streaming->Start());
+  return streaming;
+}
+
+std::unique_ptr<server::Server> RequestSystem::MakeServer(
+    server::RequestHandler handler, int threads) {
+  server::ServerOptions options;
+  options.name = "server";
+  options.request_queue = kRequestQueue;
+  options.threads = threads;
+  return std::make_unique<server::Server>(options, repo_.get(),
+                                          txn_mgr_.get(), std::move(handler));
+}
+
+Status RequestSystem::CrashAndRecover() {
+  if (!options_.durable) {
+    return Status::FailedPrecondition(
+        "crash recovery requires a durable system");
+  }
+  // Wait out in-flight client calls, then hold them off while the
+  // node is down.
+  std::unique_lock<std::shared_mutex> guard(backend_mu_);
+  // Tear down the node...
+  service_.reset();
+  repo_.reset();
+  txn_mgr_.reset();
+  // ...lose everything unsynced...
+  mem_env_.SimulateCrash();
+  // ...and recover from the WALs.
+  return BuildBackend();
+}
+
+}  // namespace rrq::core

@@ -1,0 +1,130 @@
+#ifndef RRQ_CORE_REQUEST_SYSTEM_H_
+#define RRQ_CORE_REQUEST_SYSTEM_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "client/reliable_client.h"
+#include "client/streaming_client.h"
+#include "comm/network.h"
+#include "comm/queue_service.h"
+#include "env/mem_env.h"
+#include "queue/queue_api.h"
+#include "queue/queue_repository.h"
+#include "server/server.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::core {
+
+/// Options for a RequestSystem.
+struct SystemOptions {
+  uint64_t seed = 42;
+  /// Durable back-end (MemEnv-backed WALs, survives CrashAndRecover)
+  /// vs fully volatile.
+  bool durable = true;
+  bool sync_commits = true;
+  /// When true, clients reach the queue manager through the simulated
+  /// network (front-end/back-end split); otherwise in-process.
+  bool remote_clients = false;
+  /// Fault model applied to every client <-> QM link (remote mode).
+  comm::LinkFaults client_link_faults;
+  /// The shared request queue's options.
+  queue::QueueOptions request_queue_options;
+  client::SendMode send_mode = client::SendMode::kRpc;
+  uint64_t receive_timeout_micros = 200'000;
+};
+
+/// The assembled System Model of Fig 4: an environment, a transaction
+/// manager, a queue repository (with its WAL), the shared request
+/// queue, per-client reply queues, and the plumbing to build clerks,
+/// reliable clients, and servers against it — plus whole-node crash
+/// simulation (everything unsynced is lost, then recovery replays the
+/// WALs).
+///
+/// This facade is the recommended entry point for applications; the
+/// individual layers remain usable directly.
+class RequestSystem {
+ public:
+  static constexpr const char* kRequestQueue = "requests";
+  static constexpr const char* kQueueServiceName = "qm";
+
+  explicit RequestSystem(SystemOptions options = {});
+  ~RequestSystem();
+
+  RequestSystem(const RequestSystem&) = delete;
+  RequestSystem& operator=(const RequestSystem&) = delete;
+
+  /// Builds (or, after CrashAndRecover, rebuilds) the back end.
+  Status Open();
+
+  queue::QueueRepository* repo() { return repo_.get(); }
+  txn::TransactionManager* txn_manager() { return txn_mgr_.get(); }
+  comm::Network* network() { return &network_; }
+  env::MemEnv* mem_env() { return &mem_env_; }
+
+  /// The QueueApi clients of this system should use (local or remote
+  /// per options; stable across CrashAndRecover).
+  queue::QueueApi* client_api();
+
+  /// Creates the reply queue for `client_id` and returns a started
+  /// ReliableClient bound to this system. The processor/device may be
+  /// null.
+  Result<std::unique_ptr<client::ReliableClient>> MakeClient(
+      const std::string& client_id, client::ReplyProcessor processor,
+      client::TestableDevice* device = nullptr);
+
+  /// Builds (but does not start) a server with `threads` workers on
+  /// the shared request queue.
+  std::unique_ptr<server::Server> MakeServer(server::RequestHandler handler,
+                                             int threads = 1);
+
+  /// Creates the per-slot reply queues and returns a started
+  /// StreamingClient (§11's streaming extension) with `window`
+  /// requests in flight at once.
+  Result<std::unique_ptr<client::StreamingClient>> MakeStreamingClient(
+      const std::string& client_id, int window,
+      client::StreamingClient::StreamProcessor processor);
+
+  /// Simulates a crash of the back-end node: all unsynced bytes are
+  /// dropped, the repository / transaction manager / queue service are
+  /// torn down and recovered from durable state. Clients keep their
+  /// QueueApi (it forwards to the recovered repository) and recover
+  /// via their own reconnect protocol. Servers must be stopped first.
+  Status CrashAndRecover();
+
+  /// Name of `client_id`'s private reply queue.
+  static std::string ReplyQueueName(const std::string& client_id) {
+    return "reply." + client_id;
+  }
+
+  /// Convenience: clerk options pre-wired to this system.
+  client::ClerkOptions MakeClerkOptions(const std::string& client_id);
+
+ private:
+  // QueueApi that forwards to the system's current repository, so
+  // client handles survive CrashAndRecover.
+  class ForwardingQueueApi;
+
+  Status BuildBackend();
+
+  SystemOptions options_;
+  env::MemEnv mem_env_;
+  comm::Network network_;
+  // Guards the back-end lifetime: client-side calls hold it shared,
+  // CrashAndRecover holds it exclusively while tearing down/rebuilding.
+  std::shared_mutex backend_mu_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<queue::QueueRepository> repo_;
+  std::unique_ptr<comm::QueueService> service_;
+  std::unique_ptr<ForwardingQueueApi> local_api_;
+  std::unique_ptr<comm::RemoteQueueApi> remote_api_;
+  bool opened_ = false;
+};
+
+}  // namespace rrq::core
+
+#endif  // RRQ_CORE_REQUEST_SYSTEM_H_

@@ -1,0 +1,107 @@
+#ifndef RRQ_ENV_ENV_H_
+#define RRQ_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::env {
+
+/// Sequential read-only file handle.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes. `scratch[0..n-1]` may be written; `*result`
+  /// points either into scratch or into implementation-owned memory.
+  /// An empty `*result` with OK status signals end-of-file.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  /// Skips `n` bytes (as if read and discarded).
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Positional read-only file handle. Safe for concurrent use.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// Append-only writable file handle. Not thread-safe; callers
+/// externally serialize (the WAL writer holds its own mutex).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+
+  /// Forces appended data to stable storage. Data not covered by a
+  /// completed Sync may be lost at a crash.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Abstraction over the host environment's filesystem, in the RocksDB
+/// Env style. All durable state in the library (WAL, checkpoints,
+/// registration tables) goes through an Env so tests can substitute
+/// the in-memory and fault-injecting implementations.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens an existing file for sequential reads.
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+
+  /// Opens an existing file for positional reads.
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+
+  /// Creates (truncating if present) a file for appending.
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  /// Opens (creating if absent) a file for appending, preserving
+  /// existing contents.
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+
+  /// Lists the names (not paths) of children of `dir`.
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+
+  /// Atomically renames `src` to `target`, replacing any existing file.
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// Returns the process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Convenience: reads the whole of `fname` into `*data`.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+/// Convenience: atomically replaces `fname` with `data` (write to a
+/// temporary, sync, rename).
+Status WriteStringToFileSync(Env* env, const Slice& data,
+                             const std::string& fname);
+
+}  // namespace rrq::env
+
+#endif  // RRQ_ENV_ENV_H_

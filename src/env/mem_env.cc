@@ -1,0 +1,217 @@
+#include "env/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rrq::env {
+
+namespace {
+
+// Normalizes "a//b/" -> "a/b". Keeps implementation simple: the
+// library always uses already-clean paths, this just guards tests.
+std::string CleanPath(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (c == '/' && !out.empty() && out.back() == '/') continue;
+    out.push_back(c);
+  }
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+class MemEnv::MemSequentialFile final : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+      : file_(std::move(file)), env_mu_(env_mu) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> guard(*env_mu_);
+    if (pos_ >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min(n, file_->data.size() - pos_);
+    memcpy(scratch, file_->data.data() + pos_, avail);
+    pos_ += avail;
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    std::lock_guard<std::mutex> guard(*env_mu_);
+    pos_ = std::min<size_t>(file_->data.size(), pos_ + static_cast<size_t>(n));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> file_;
+  std::mutex* env_mu_;
+  size_t pos_ = 0;
+};
+
+class MemEnv::MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+      : file_(std::move(file)), env_mu_(env_mu) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> guard(*env_mu_);
+    if (offset >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail =
+        std::min(n, file_->data.size() - static_cast<size_t>(offset));
+    memcpy(scratch, file_->data.data() + offset, avail);
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> file_;
+  std::mutex* env_mu_;
+};
+
+class MemEnv::MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+      : file_(std::move(file)), env_mu_(env_mu) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> guard(*env_mu_);
+    file_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> guard(*env_mu_);
+    file_->synced_size = file_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<FileState> file_;
+  std::mutex* env_mu_;
+};
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(CleanPath(fname));
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemSequentialFile>(it->second, &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(CleanPath(fname));
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemRandomAccessFile>(it->second, &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto state = std::make_shared<FileState>();
+  files_[CleanPath(fname)] = state;
+  *result = std::make_unique<MemWritableFile>(std::move(state), &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewAppendableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = files_[CleanPath(fname)];
+  if (slot == nullptr) slot = std::make_shared<FileState>();
+  *result = std::make_unique<MemWritableFile>(slot, &mu_);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return files_.count(CleanPath(fname)) > 0;
+}
+
+Status MemEnv::GetChildren(const std::string& dir,
+                           std::vector<std::string>* result) {
+  result->clear();
+  std::string prefix = CleanPath(dir);
+  if (!prefix.empty() && prefix.back() != '/') prefix.push_back('/');
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& [path, state] : files_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = path.substr(prefix.size());
+      // Only direct children.
+      if (rest.find('/') == std::string::npos) result->push_back(rest);
+    }
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (files_.erase(CleanPath(fname)) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dirname) {
+  std::lock_guard<std::mutex> guard(mu_);
+  dirs_[CleanPath(dirname)] = true;
+  return Status::OK();
+}
+
+Status MemEnv::RemoveDir(const std::string& dirname) {
+  std::lock_guard<std::mutex> guard(mu_);
+  dirs_.erase(CleanPath(dirname));
+  return Status::OK();
+}
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(CleanPath(fname));
+  if (it == files_.end()) return Status::NotFound(fname);
+  *size = it->second->data.size();
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(CleanPath(src));
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[CleanPath(target)] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+void MemEnv::SimulateCrash(util::Rng* torn_write_rng) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [path, state] : files_) {
+    uint64_t keep = state->synced_size;
+    uint64_t unsynced = state->data.size() - keep;
+    if (torn_write_rng != nullptr && unsynced > 0) {
+      keep += torn_write_rng->Uniform(unsynced + 1);
+    }
+    state->data.resize(static_cast<size_t>(keep));
+    state->synced_size = std::min<uint64_t>(state->synced_size, keep);
+  }
+}
+
+uint64_t MemEnv::TotalBytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, state] : files_) total += state->data.size();
+  return total;
+}
+
+}  // namespace rrq::env

@@ -1,0 +1,81 @@
+#ifndef RRQ_ENV_MEM_ENV_H_
+#define RRQ_ENV_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "util/random.h"
+
+namespace rrq::env {
+
+/// In-memory filesystem with crash simulation.
+///
+/// Each file tracks how many of its bytes are covered by a completed
+/// Sync(). SimulateCrash() discards everything that would not have
+/// survived a power failure: appended-but-unsynced bytes (optionally
+/// keeping a random prefix of them, simulating a torn page write).
+/// Metadata operations (create, rename, remove) are treated as durable
+/// immediately — a simplification relative to real directory-sync
+/// semantics, adequate because the library's recovery protocols never
+/// depend on losing metadata.
+///
+/// Thread-safe.
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  MemEnv(const MemEnv&) = delete;
+  MemEnv& operator=(const MemEnv&) = delete;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  /// Drops all unsynced bytes from every file, as a power failure
+  /// would. If `torn_write_rng` is non-null, each file instead keeps a
+  /// uniformly random prefix of its unsynced tail (torn write).
+  /// Outstanding file handles remain usable but observe the truncated
+  /// contents; correctness tests reopen files after a crash, as a
+  /// restarted process would.
+  void SimulateCrash(util::Rng* torn_write_rng = nullptr);
+
+  /// Total bytes currently buffered across all files (synced + not).
+  uint64_t TotalBytes() const;
+
+ private:
+  struct FileState {
+    std::string data;
+    uint64_t synced_size = 0;
+  };
+
+  class MemSequentialFile;
+  class MemRandomAccessFile;
+  class MemWritableFile;
+
+  mutable std::mutex mu_;
+  // Path -> file. shared_ptr so open handles survive RemoveFile.
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::map<std::string, bool> dirs_;
+};
+
+}  // namespace rrq::env
+
+#endif  // RRQ_ENV_MEM_ENV_H_

@@ -1,0 +1,97 @@
+#ifndef RRQ_QUEUE_ELEMENT_H_
+#define RRQ_QUEUE_ELEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rrq::queue {
+
+/// Unique element identifier (eid). Assigned at enqueue, unique within
+/// a repository, and stable as the element moves between queues
+/// (error-queue moves, redirection) — the element-identity property
+/// §10 of the paper calls for.
+using ElementId = uint64_t;
+
+constexpr ElementId kInvalidElementId = 0;
+
+/// The kind of the last data-manipulation operation a registrant
+/// performed, kept in the persistent registration record (§4.3: "the
+/// QM must maintain the type of the last operation executed by each
+/// registrant").
+enum class OpType : int {
+  kNone = 0,
+  kEnqueue = 1,
+  kDequeue = 2,
+};
+
+/// A queue element. Contents are uninterpreted by the queue manager.
+struct Element {
+  ElementId eid = kInvalidElementId;
+  /// Higher priority dequeues first; FIFO within a priority level.
+  uint32_t priority = 0;
+  /// Times the element was returned to a queue by an aborting
+  /// dequeuer. When it reaches the queue's `max_aborts`, the element
+  /// moves to the error queue (§4.2).
+  uint32_t abort_count = 0;
+  /// Set when the element was moved to an error queue; carries the
+  /// reason ("abort limit", "killed", ...).
+  std::string abort_code;
+  std::string contents;
+};
+
+/// Dequeue ordering/visibility policy (§10). kSkipLocked lets a
+/// dequeuer pass over elements locked by uncommitted transactions
+/// (non-strict FIFO, high concurrency — the paper's recommendation);
+/// kStrictFifo makes dequeuers wait for the head element's fate
+/// (serializes dequeuers; the baseline the paper argues against).
+enum class DequeuePolicy : int {
+  kSkipLocked = 0,
+  kStrictFifo = 1,
+};
+
+/// Per-queue attributes, fixed at creation.
+struct QueueOptions {
+  /// n: the n-th abort of a dequeuing transaction moves the element to
+  /// `error_queue` instead of returning it to this queue (§4.2).
+  uint32_t max_aborts = 3;
+  /// Destination for poisoned elements. Empty disables the error-queue
+  /// mechanism (elements requeue forever). Created on demand.
+  std::string error_queue;
+  /// Durable queues survive crashes; volatile queues (§10) lose their
+  /// contents but cost no logging.
+  bool durable = true;
+  DequeuePolicy policy = DequeuePolicy::kSkipLocked;
+  /// When non-zero, a committed enqueue that raises the depth to this
+  /// value fires the repository's alert callback (DECintact-style
+  /// alert thresholds, §9).
+  size_t alert_threshold = 0;
+  /// When non-empty, enqueues into this queue are transparently
+  /// forwarded to the named queue (queue redirection, §9). Chains are
+  /// followed up to 4 hops.
+  std::string redirect_to;
+};
+
+/// What Register() returns: the tag/eid/type of the registrant's most
+/// recent tagged operation, plus a copy of the element it operated on
+/// (§4.3). `tag` and `eid` are empty/invalid for a fresh registration.
+struct RegistrationInfo {
+  OpType last_op = OpType::kNone;
+  ElementId last_eid = kInvalidElementId;
+  std::string last_tag;
+  /// Copy of the last operated element's contents; lets a registrant
+  /// Read the element "even if the last operation was a Dequeue".
+  std::string last_element;
+  bool was_registered = false;  ///< True when recovering an old registration.
+};
+
+/// Chooses among the currently visible elements of a queue; used for
+/// content-based scheduling (§10: "highest dollar amount first").
+/// Returns the index into `candidates` to dequeue, or SIZE_MAX to
+/// dequeue none. Candidates are in default (priority, FIFO) order.
+using Selector = std::function<size_t(const std::vector<Element*>&)>;
+
+}  // namespace rrq::queue
+
+#endif  // RRQ_QUEUE_ELEMENT_H_

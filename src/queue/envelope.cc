@@ -1,0 +1,48 @@
+#include "queue/envelope.h"
+
+#include "util/coding.h"
+
+namespace rrq::queue {
+
+std::string EncodeRequestEnvelope(const RequestEnvelope& envelope) {
+  std::string out;
+  util::PutLengthPrefixed(&out, envelope.rid);
+  util::PutLengthPrefixed(&out, envelope.reply_queue);
+  util::PutVarint32(&out, envelope.reply_priority);
+  util::PutLengthPrefixed(&out, envelope.scratch);
+  util::PutLengthPrefixed(&out, envelope.body);
+  return out;
+}
+
+Status DecodeRequestEnvelope(const Slice& contents,
+                             RequestEnvelope* envelope) {
+  Slice input = contents;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &envelope->rid));
+  RRQ_RETURN_IF_ERROR(
+      util::GetLengthPrefixedString(&input, &envelope->reply_queue));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(&input, &envelope->reply_priority));
+  RRQ_RETURN_IF_ERROR(
+      util::GetLengthPrefixedString(&input, &envelope->scratch));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &envelope->body));
+  return Status::OK();
+}
+
+std::string EncodeReplyEnvelope(const ReplyEnvelope& envelope) {
+  std::string out;
+  util::PutLengthPrefixed(&out, envelope.rid);
+  out.push_back(envelope.success ? 1 : 0);
+  util::PutLengthPrefixed(&out, envelope.body);
+  return out;
+}
+
+Status DecodeReplyEnvelope(const Slice& contents, ReplyEnvelope* envelope) {
+  Slice input = contents;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &envelope->rid));
+  if (input.empty()) return Status::Corruption("truncated reply envelope");
+  envelope->success = input[0] != 0;
+  input.remove_prefix(1);
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &envelope->body));
+  return Status::OK();
+}
+
+}  // namespace rrq::queue

@@ -1,0 +1,48 @@
+#ifndef RRQ_QUEUE_ENVELOPE_H_
+#define RRQ_QUEUE_ENVELOPE_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::queue {
+
+/// Application-level framing of a request element. The queue manager
+/// never interprets element contents; this envelope is the convention
+/// the client and server libraries agree on. It carries:
+///  - the rid, echoed in the reply (the user-level matching identifier
+///    the paper's §11 asks for),
+///  - the client's private reply queue (the multi-client extension of
+///    §5: "passing that queue's name with the request"),
+///  - a scratch pad (IMS-style, §9) that multi-transaction pipelines
+///    use to carry state from one transaction to the next (§6), and
+///  - the request body proper.
+struct RequestEnvelope {
+  std::string rid;
+  std::string reply_queue;
+  uint32_t reply_priority = 0;
+  std::string scratch;
+  std::string body;
+};
+
+/// Framing of a reply element: the echoed rid, a success flag (§3: an
+/// unsuccessful execution attempt still produces a reply — "a promise
+/// that it will not attempt to execute the request any more"), and the
+/// reply body.
+struct ReplyEnvelope {
+  std::string rid;
+  bool success = true;
+  std::string body;
+};
+
+std::string EncodeRequestEnvelope(const RequestEnvelope& envelope);
+Status DecodeRequestEnvelope(const Slice& contents, RequestEnvelope* envelope);
+
+std::string EncodeReplyEnvelope(const ReplyEnvelope& envelope);
+Status DecodeReplyEnvelope(const Slice& contents, ReplyEnvelope* envelope);
+
+}  // namespace rrq::queue
+
+#endif  // RRQ_QUEUE_ENVELOPE_H_

@@ -1,0 +1,1389 @@
+#include "queue/queue_repository.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/coding.h"
+#include "util/logging.h"
+#include "wal/log_reader.h"
+
+namespace rrq::queue {
+
+namespace {
+
+// WAL record types (same pattern as the KV store).
+constexpr unsigned char kRecPrepare = 1;
+constexpr unsigned char kRecCommit = 2;
+constexpr unsigned char kRecCommitted = 3;  // Fused auto-commit / 1PC.
+
+constexpr int kMaxRedirectHops = 4;
+
+void EncodeElement(const Element& e, std::string* out) {
+  util::PutFixed64(out, e.eid);
+  util::PutVarint32(out, e.priority);
+  util::PutVarint32(out, e.abort_count);
+  util::PutLengthPrefixed(out, e.abort_code);
+  util::PutLengthPrefixed(out, e.contents);
+}
+
+Status DecodeElement(Slice* input, Element* e) {
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &e->eid));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->priority));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->abort_count));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->abort_code));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->contents));
+  return Status::OK();
+}
+
+void EncodeQueueOptions(const QueueOptions& o, std::string* out) {
+  util::PutVarint32(out, o.max_aborts);
+  util::PutLengthPrefixed(out, o.error_queue);
+  out->push_back(o.durable ? 1 : 0);
+  out->push_back(static_cast<char>(o.policy));
+  util::PutVarint64(out, o.alert_threshold);
+  util::PutLengthPrefixed(out, o.redirect_to);
+}
+
+Status DecodeQueueOptions(Slice* input, QueueOptions* o) {
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &o->max_aborts));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &o->error_queue));
+  if (input->size() < 2) return Status::Corruption("truncated queue options");
+  o->durable = (*input)[0] != 0;
+  o->policy = static_cast<DequeuePolicy>((*input)[1]);
+  input->remove_prefix(2);
+  uint64_t threshold = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(input, &threshold));
+  o->alert_threshold = static_cast<size_t>(threshold);
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &o->redirect_to));
+  return Status::OK();
+}
+
+void EncodeTrigger(const TriggerSpec& t, std::string* out) {
+  util::PutLengthPrefixed(out, t.watched_queue);
+  util::PutVarint64(out, t.remaining);
+  util::PutLengthPrefixed(out, t.target_queue);
+  util::PutLengthPrefixed(out, t.contents);
+  util::PutVarint32(out, t.priority);
+}
+
+Status DecodeTrigger(Slice* input, TriggerSpec* t) {
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &t->watched_queue));
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(input, &t->remaining));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &t->target_queue));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &t->contents));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &t->priority));
+  return Status::OK();
+}
+
+}  // namespace
+
+QueueRepository::QueueRepository(std::string name, RepositoryOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {}
+
+QueueRepository::~QueueRepository() = default;
+
+std::string QueueRepository::WalPath(uint64_t g) const {
+  return options_.dir + "/WAL-" + std::to_string(g);
+}
+std::string QueueRepository::CheckpointPath(uint64_t g) const {
+  return options_.dir + "/CHECKPOINT-" + std::to_string(g);
+}
+std::string QueueRepository::CurrentPath() const {
+  return options_.dir + "/CURRENT";
+}
+
+// ---------------------------------------------------------------------------
+// Micro-op serialization
+
+void QueueRepository::EncodeMicroOp(const MicroOp& op, std::string* out) {
+  out->push_back(static_cast<char>(op.kind));
+  util::PutLengthPrefixed(out, op.queue);
+  switch (op.kind) {
+    case MicroOp::kCreateQueue:
+      EncodeQueueOptions(op.qoptions, out);
+      break;
+    case MicroOp::kDestroyQueue:
+    case MicroOp::kStartQueue:
+    case MicroOp::kStopQueue:
+      break;
+    case MicroOp::kRegister:
+      util::PutLengthPrefixed(out, op.registrant);
+      out->push_back(op.stable ? 1 : 0);
+      break;
+    case MicroOp::kDeregister:
+      util::PutLengthPrefixed(out, op.registrant);
+      break;
+    case MicroOp::kInsert:
+      EncodeElement(op.element, out);
+      break;
+    case MicroOp::kRemove:
+    case MicroOp::kBumpAbortCount:
+      util::PutFixed64(out, op.element.eid);
+      break;
+    case MicroOp::kSetLastOp:
+      util::PutLengthPrefixed(out, op.registrant);
+      out->push_back(static_cast<char>(op.op_type));
+      util::PutLengthPrefixed(out, op.tag);
+      EncodeElement(op.element, out);
+      break;
+    case MicroOp::kSetTrigger:
+      EncodeTrigger(op.trigger, out);
+      break;
+    case MicroOp::kClearTrigger:
+      EncodeTrigger(op.trigger, out);
+      break;
+  }
+}
+
+Status QueueRepository::DecodeMicroOp(Slice* input, MicroOp* op) {
+  if (input->empty()) return Status::Corruption("truncated micro-op");
+  op->kind = static_cast<MicroOp::Kind>((*input)[0]);
+  input->remove_prefix(1);
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->queue));
+  switch (op->kind) {
+    case MicroOp::kCreateQueue:
+      return DecodeQueueOptions(input, &op->qoptions);
+    case MicroOp::kDestroyQueue:
+    case MicroOp::kStartQueue:
+    case MicroOp::kStopQueue:
+      return Status::OK();
+    case MicroOp::kRegister: {
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->registrant));
+      if (input->empty()) return Status::Corruption("truncated register op");
+      op->stable = (*input)[0] != 0;
+      input->remove_prefix(1);
+      return Status::OK();
+    }
+    case MicroOp::kDeregister:
+      return util::GetLengthPrefixedString(input, &op->registrant);
+    case MicroOp::kInsert:
+      return DecodeElement(input, &op->element);
+    case MicroOp::kRemove:
+    case MicroOp::kBumpAbortCount:
+      return util::GetFixed64(input, &op->element.eid);
+    case MicroOp::kSetLastOp: {
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->registrant));
+      if (input->empty()) return Status::Corruption("truncated last-op");
+      op->op_type = static_cast<OpType>((*input)[0]);
+      input->remove_prefix(1);
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->tag));
+      return DecodeElement(input, &op->element);
+    }
+    case MicroOp::kSetTrigger:
+    case MicroOp::kClearTrigger:
+      return DecodeTrigger(input, &op->trigger);
+  }
+  return Status::Corruption("unknown micro-op kind");
+}
+
+void QueueRepository::EncodeRecord(unsigned char type, txn::TxnId id,
+                                   const std::vector<MicroOp>& ops,
+                                   std::string* out) const {
+  out->push_back(static_cast<char>(type));
+  util::PutFixed64(out, id);
+  util::PutFixed64(out, next_eid_);
+  util::PutVarint64(out, ops.size());
+  for (const MicroOp& op : ops) EncodeMicroOp(op, out);
+}
+
+// ---------------------------------------------------------------------------
+// State access helpers
+
+QueueRepository::QueueState* QueueRepository::FindQueue(
+    const std::string& queue) {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+const QueueRepository::QueueState* QueueRepository::FindQueue(
+    const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? nullptr : it->second.get();
+}
+
+std::string QueueRepository::ResolveRedirect(const std::string& queue) const {
+  std::string current = queue;
+  for (int hop = 0; hop < kMaxRedirectHops; ++hop) {
+    const QueueState* qs = FindQueue(current);
+    if (qs == nullptr || qs->options.redirect_to.empty()) return current;
+    current = qs->options.redirect_to;
+  }
+  return current;
+}
+
+bool QueueRepository::NeedsLogging(const std::vector<MicroOp>& ops) const {
+  if (wal_ == nullptr) return false;
+  for (const MicroOp& op : ops) {
+    switch (op.kind) {
+      case MicroOp::kInsert:
+      case MicroOp::kRemove:
+      case MicroOp::kBumpAbortCount: {
+        const QueueState* qs = FindQueue(op.queue);
+        if (qs == nullptr || qs->options.durable) return true;
+        break;  // Element traffic on a volatile queue: no logging.
+      }
+      default:
+        return true;  // Metadata, registrations, tags: always durable.
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Applying committed micro-ops
+
+void QueueRepository::ApplyMicroOp(const MicroOp& op,
+                                   std::vector<std::string>* notify_queues) {
+  switch (op.kind) {
+    case MicroOp::kCreateQueue: {
+      if (queues_.count(op.queue) == 0) {
+        auto qs = std::make_unique<QueueState>();
+        qs->options = op.qoptions;
+        queues_[op.queue] = std::move(qs);
+      }
+      break;
+    }
+    case MicroOp::kDestroyQueue:
+      queues_.erase(op.queue);
+      break;
+    case MicroOp::kStartQueue: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs != nullptr) qs->started = true;
+      break;
+    }
+    case MicroOp::kStopQueue: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs != nullptr) qs->started = false;
+      break;
+    }
+    case MicroOp::kRegister: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs != nullptr) {
+        auto& reg = qs->registrations[op.registrant];  // Keeps existing last-op.
+        reg.stable = op.stable;
+      }
+      break;
+    }
+    case MicroOp::kDeregister: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs != nullptr) qs->registrations.erase(op.registrant);
+      break;
+    }
+    case MicroOp::kInsert: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs == nullptr) break;
+      InternalElement ie;
+      ie.element = op.element;
+      ie.seq = next_seq_++;
+      const ElementId eid = ie.element.eid;
+      const uint32_t inv_priority = ~ie.element.priority;
+      qs->order[{inv_priority, ie.seq}] = eid;
+      qs->elements[eid] = std::move(ie);
+      if (notify_queues != nullptr) notify_queues->push_back(op.queue);
+      break;
+    }
+    case MicroOp::kRemove: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs == nullptr) break;
+      auto it = qs->elements.find(op.element.eid);
+      if (it != qs->elements.end()) {
+        qs->order.erase({~it->second.element.priority, it->second.seq});
+        qs->elements.erase(it);
+        // Strict-FIFO waiters blocked on a locked head must re-examine
+        // the new head.
+        if (notify_queues != nullptr) notify_queues->push_back(op.queue);
+      }
+      break;
+    }
+    case MicroOp::kBumpAbortCount: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs == nullptr) break;
+      auto it = qs->elements.find(op.element.eid);
+      if (it != qs->elements.end()) {
+        ++it->second.element.abort_count;
+        if (notify_queues != nullptr) notify_queues->push_back(op.queue);
+      }
+      break;
+    }
+    case MicroOp::kSetLastOp: {
+      QueueState* qs = FindQueue(op.queue);
+      if (qs == nullptr) break;
+      auto it = qs->registrations.find(op.registrant);
+      if (it != qs->registrations.end() && it->second.stable) {
+        it->second.last.type = op.op_type;
+        it->second.last.eid = op.element.eid;
+        it->second.last.tag = op.tag;
+        it->second.last.element_copy = op.element;
+      }
+      break;
+    }
+    case MicroOp::kSetTrigger:
+      triggers_.push_back(op.trigger);
+      break;
+    case MicroOp::kClearTrigger: {
+      auto it = std::find_if(triggers_.begin(), triggers_.end(),
+                             [&op](const TriggerSpec& t) {
+                               return t.watched_queue == op.trigger.watched_queue &&
+                                      t.target_queue == op.trigger.target_queue;
+                             });
+      if (it != triggers_.end()) triggers_.erase(it);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commit plumbing
+
+Status QueueRepository::AutoCommit(std::vector<MicroOp> ops) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool log = NeedsLogging(ops);
+  if (log) {
+    std::string record;
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
+  const std::string replica = MaybeEncodeReplication(ops);
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    RRQ_RETURN_IF_ERROR(wal_->Sync());
+  }
+  AfterApply(notify);
+  return Replicate(replica);
+}
+
+void QueueRepository::BufferTxnOps(txn::Transaction* t,
+                                   std::vector<MicroOp> ops,
+                                   std::vector<LockedRef> locked) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    PendingTxn& pt = txns_[t->id()];
+    for (auto& op : ops) pt.ops.push_back(std::move(op));
+    for (auto& l : locked) pt.locked.push_back(std::move(l));
+  }
+  t->Enlist(this);
+}
+
+Status QueueRepository::Prepare(txn::TxnId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = txns_.find(id);
+  if (it == txns_.end()) {
+    // A transaction with no operations on this repository: trivially yes.
+    txns_[id].prepared = true;
+    return Status::OK();
+  }
+  PendingTxn& pt = it->second;
+  // Veto if any element we dequeued was killed out from under us (§7).
+  // Kill reservations made by this transaction itself don't veto.
+  for (const LockedRef& ref : pt.locked) {
+    if (ref.is_kill) continue;
+    QueueState* qs = FindQueue(ref.queue);
+    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end() || eit->second.killed) {
+      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
+    }
+  }
+  const bool log = NeedsLogging(pt.ops);
+  if (log) {
+    std::string record;
+    EncodeRecord(kRecPrepare, id, pt.ops, &record);
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  pt.prepared = true;
+  lock.unlock();
+  if (log) return wal_->Sync();  // A yes vote must be durable.
+  return Status::OK();
+}
+
+Status QueueRepository::CommitTxn(txn::TxnId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::OK();  // No ops here.
+  PendingTxn pt = std::move(it->second);
+  txns_.erase(it);
+  if (!pt.prepared) {
+    return Status::Internal("commit of unprepared transaction");
+  }
+  const bool log = NeedsLogging(pt.ops);
+  if (log) {
+    std::string record;
+    std::vector<MicroOp> empty;
+    EncodeRecord(kRecCommit, id, empty, &record);
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : pt.ops) ApplyMicroOp(op, &notify);
+  // Locked elements consumed by kRemove ops are gone; make sure any
+  // still-live ones (defensive) are unlocked.
+  for (const LockedRef& ref : pt.locked) {
+    QueueState* qs = FindQueue(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit != qs->elements.end() && eit->second.locked_by == id) {
+      eit->second.locked_by = txn::kInvalidTxnId;
+    }
+  }
+  const std::string replica = MaybeEncodeReplication(pt.ops);
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    RRQ_RETURN_IF_ERROR(wal_->Sync());
+  }
+  AfterApply(notify);
+  return Replicate(replica);
+}
+
+Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return Status::OK();
+  PendingTxn& pt = it->second;
+  for (const LockedRef& ref : pt.locked) {
+    if (ref.is_kill) continue;
+    QueueState* qs = FindQueue(ref.queue);
+    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end() || eit->second.killed) {
+      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
+    }
+  }
+  PendingTxn done = std::move(pt);
+  txns_.erase(it);
+  const bool log = NeedsLogging(done.ops);
+  if (log) {
+    std::string record;
+    EncodeRecord(kRecCommitted, id, done.ops, &record);
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : done.ops) ApplyMicroOp(op, &notify);
+  for (const LockedRef& ref : done.locked) {
+    QueueState* qs = FindQueue(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit != qs->elements.end() && eit->second.locked_by == id) {
+      eit->second.locked_by = txn::kInvalidTxnId;
+    }
+  }
+  const std::string replica = MaybeEncodeReplication(done.ops);
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    RRQ_RETURN_IF_ERROR(wal_->Sync());
+  }
+  AfterApply(notify);
+  return Replicate(replica);
+}
+
+void QueueRepository::AbortTxn(txn::TxnId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  PendingTxn pt = std::move(it->second);
+  txns_.erase(it);
+
+  // Abort side effects (§4.2): each element this transaction had
+  // dequeued returns to its queue with an incremented abort count; on
+  // the n-th abort it moves to the error queue instead. Killed
+  // elements are already durably deleted. These effects are themselves
+  // durable and are NOT undone by the abort — they auto-commit.
+  std::vector<MicroOp> side_effects;
+  for (const LockedRef& ref : pt.locked) {
+    QueueState* qs = FindQueue(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end()) continue;  // Killed & removed.
+    InternalElement& ie = eit->second;
+    if (ie.locked_by != id) continue;
+    ie.locked_by = txn::kInvalidTxnId;
+    if (ref.is_kill) {
+      // The kill was undone with the transaction: release the element
+      // intact.
+      ie.killed = false;
+      continue;
+    }
+    const uint32_t new_count = ie.element.abort_count + 1;
+    const QueueOptions& qopt = qs->options;
+    if (!qopt.error_queue.empty() && new_count >= qopt.max_aborts) {
+      // Move to the error queue (stable element identity, §10).
+      Element moved = ie.element;
+      moved.abort_count = new_count;
+      moved.abort_code = "abort limit reached";
+      MicroOp create;
+      create.kind = MicroOp::kCreateQueue;
+      create.queue = qopt.error_queue;
+      create.qoptions.durable = qopt.durable;
+      create.qoptions.max_aborts = 0;  // Error queues don't cascade.
+      if (queues_.count(qopt.error_queue) == 0) {
+        side_effects.push_back(std::move(create));
+      }
+      MicroOp remove;
+      remove.kind = MicroOp::kRemove;
+      remove.queue = ref.queue;
+      remove.element.eid = ref.eid;
+      side_effects.push_back(std::move(remove));
+      MicroOp insert;
+      insert.kind = MicroOp::kInsert;
+      insert.queue = qopt.error_queue;
+      insert.element = std::move(moved);
+      side_effects.push_back(std::move(insert));
+      error_moves_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      MicroOp bump;
+      bump.kind = MicroOp::kBumpAbortCount;
+      bump.queue = ref.queue;
+      bump.element.eid = ref.eid;
+      side_effects.push_back(std::move(bump));
+    }
+  }
+
+  std::vector<std::string> notify;
+  for (const LockedRef& ref : pt.locked) notify.push_back(ref.queue);
+  const bool log = !side_effects.empty() && NeedsLogging(side_effects);
+  if (log) {
+    std::string record;
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, side_effects, &record);
+    Status s = wal_->AddRecord(record);
+    if (!s.ok()) {
+      RRQ_LOG(kError) << name_ << ": abort side-effect logging failed: "
+                      << s.ToString();
+    }
+  }
+  for (const MicroOp& op : side_effects) ApplyMicroOp(op, &notify);
+  const std::string replica = MaybeEncodeReplication(side_effects);
+  lock.unlock();
+  if (log && options_.sync_commits) wal_->Sync();
+  AfterApply(notify);
+  Replicate(replica);
+}
+
+std::string QueueRepository::MaybeEncodeReplication(
+    const std::vector<MicroOp>& ops) const {
+  if (options_.replication_sink == nullptr || ops.empty()) return "";
+  std::string record;
+  EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+  return record;
+}
+
+Status QueueRepository::Replicate(const std::string& record) {
+  if (record.empty()) return Status::OK();
+  Status s = options_.replication_sink(record);
+  if (!s.ok()) {
+    replication_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Slice input = record;
+  if (input.empty()) return Status::InvalidArgument("empty record");
+  input.remove_prefix(1);  // Record type (always a committed set).
+  uint64_t id = 0;
+  uint64_t eid_watermark = 0;
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
+  next_eid_ = std::max(next_eid_, eid_watermark);
+  uint64_t op_count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
+  std::vector<MicroOp> ops;
+  ops.reserve(static_cast<size_t>(op_count));
+  for (uint64_t i = 0; i < op_count; ++i) {
+    MicroOp op;
+    RRQ_RETURN_IF_ERROR(DecodeMicroOp(&input, &op));
+    ops.push_back(std::move(op));
+  }
+  // Durable backups log the record verbatim (it is already a valid
+  // committed record carrying the eid watermark).
+  const bool log = NeedsLogging(ops);
+  if (log) {
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
+  const std::string chained = MaybeEncodeReplication(ops);
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    RRQ_RETURN_IF_ERROR(wal_->Sync());
+  }
+  AfterApply(notify, /*evaluate_reactions=*/false);
+  return Replicate(chained);
+}
+
+void QueueRepository::AfterApply(const std::vector<std::string>& notify_queues,
+                                 bool evaluate_reactions) {
+  // Wake dequeuers.
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const std::string& q : notify_queues) {
+      QueueState* qs = FindQueue(q);
+      if (qs != nullptr) qs->cv.notify_all();
+    }
+  }
+
+  // Alerts and triggers are evaluated against committed depth, outside
+  // the lock (they re-enter the public API). Replicated applies skip
+  // this: the primary's reactions replicate as ordinary records.
+  if (!evaluate_reactions) return;
+  std::vector<std::pair<std::string, size_t>> alerts;
+  std::vector<TriggerSpec> fired;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const std::string& q : notify_queues) {
+      QueueState* qs = FindQueue(q);
+      if (qs == nullptr) continue;
+      // Depth is O(queue) to compute; only pay for it when an alert or
+      // trigger actually watches this queue.
+      const bool has_alert = qs->options.alert_threshold != 0;
+      bool has_trigger = false;
+      for (const TriggerSpec& t : triggers_) {
+        if (t.watched_queue == q) {
+          has_trigger = true;
+          break;
+        }
+      }
+      if (!has_alert && !has_trigger) continue;
+      size_t depth = 0;
+      for (const auto& [key, eid] : qs->order) {
+        const auto& ie = qs->elements.at(eid);
+        if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) ++depth;
+      }
+      if (has_alert && depth == qs->options.alert_threshold) {
+        alerts.emplace_back(q, depth);
+      }
+      for (const TriggerSpec& t : triggers_) {
+        if (t.watched_queue == q && depth >= t.remaining) {
+          fired.push_back(t);
+        }
+      }
+    }
+  }
+  for (const auto& [q, depth] : alerts) {
+    if (options_.alert_callback) options_.alert_callback(q, depth);
+  }
+  for (const TriggerSpec& t : fired) {
+    // Clear first (durably), then fire — a crash in between loses the
+    // join request, which the installer can re-arm; firing twice would
+    // violate exactly-once.
+    MicroOp clear;
+    clear.kind = MicroOp::kClearTrigger;
+    clear.queue = t.watched_queue;
+    clear.trigger = t;
+    Status s = AutoCommit({clear});
+    if (s.ok()) {
+      Enqueue(nullptr, t.target_queue, t.contents, t.priority);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data definition
+
+Status QueueRepository::CreateQueue(const std::string& queue,
+                                    QueueOptions qoptions) {
+  if (queue.empty()) return Status::InvalidArgument("empty queue name");
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (queues_.count(queue) > 0) {
+      return Status::AlreadyExists("queue exists: " + queue);
+    }
+  }
+  MicroOp op;
+  op.kind = MicroOp::kCreateQueue;
+  op.queue = queue;
+  op.qoptions = std::move(qoptions);
+  return AutoCommit({std::move(op)});
+}
+
+Status QueueRepository::DestroyQueue(const std::string& queue) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    QueueState* qs = FindQueue(queue);
+    if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+    if (qs->waiters > 0) {
+      return Status::Busy("queue has blocked dequeuers: " + queue);
+    }
+    for (const auto& [eid, ie] : qs->elements) {
+      if (ie.locked_by != txn::kInvalidTxnId) {
+        return Status::Busy("queue has in-flight dequeues: " + queue);
+      }
+    }
+  }
+  MicroOp op;
+  op.kind = MicroOp::kDestroyQueue;
+  op.queue = queue;
+  return AutoCommit({std::move(op)});
+}
+
+Status QueueRepository::StartQueue(const std::string& queue) {
+  MicroOp op;
+  op.kind = MicroOp::kStartQueue;
+  op.queue = queue;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (FindQueue(queue) == nullptr) {
+      return Status::NotFound("no such queue: " + queue);
+    }
+  }
+  return AutoCommit({std::move(op)});
+}
+
+Status QueueRepository::StopQueue(const std::string& queue) {
+  MicroOp op;
+  op.kind = MicroOp::kStopQueue;
+  op.queue = queue;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (FindQueue(queue) == nullptr) {
+      return Status::NotFound("no such queue: " + queue);
+    }
+  }
+  return AutoCommit({std::move(op)});
+}
+
+bool QueueRepository::QueueExists(const std::string& queue) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return FindQueue(queue) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+Result<RegistrationInfo> QueueRepository::Register(
+    const std::string& queue, const std::string& registrant, bool stable) {
+  RegistrationInfo info;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    QueueState* qs = FindQueue(queue);
+    if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+    auto it = qs->registrations.find(registrant);
+    if (it != qs->registrations.end()) {
+      // Re-registration after a failure: hand back the stable last-op
+      // record (§4.3).
+      info.was_registered = true;
+      info.last_op = it->second.last.type;
+      info.last_eid = it->second.last.eid;
+      info.last_tag = it->second.last.tag;
+      info.last_element = it->second.last.element_copy.contents;
+      return info;
+    }
+  }
+  MicroOp op;
+  op.kind = MicroOp::kRegister;
+  op.queue = queue;
+  op.registrant = registrant;
+  op.stable = stable;
+  RRQ_RETURN_IF_ERROR(AutoCommit({std::move(op)}));
+  return info;
+}
+
+Status QueueRepository::Deregister(const std::string& queue,
+                                   const std::string& registrant) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    QueueState* qs = FindQueue(queue);
+    if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+    if (qs->registrations.count(registrant) == 0) {
+      return Status::NotFound("not registered: " + registrant);
+    }
+  }
+  MicroOp op;
+  op.kind = MicroOp::kDeregister;
+  op.queue = queue;
+  op.registrant = registrant;
+  return AutoCommit({std::move(op)});
+}
+
+// ---------------------------------------------------------------------------
+// Data manipulation
+
+QueueRepository::MicroOp QueueRepository::MakeLastOpMicro(
+    const std::string& queue, const std::string& registrant, OpType type,
+    const Slice& tag, const Element& element) const {
+  MicroOp op;
+  op.kind = MicroOp::kSetLastOp;
+  op.queue = queue;
+  op.registrant = registrant;
+  op.op_type = type;
+  op.tag = tag.ToString();
+  op.element = element;
+  return op;
+}
+
+Result<ElementId> QueueRepository::Enqueue(txn::Transaction* t,
+                                           const std::string& queue,
+                                           const Slice& contents,
+                                           uint32_t priority,
+                                           const std::string& registrant,
+                                           const Slice& tag) {
+  std::vector<MicroOp> ops;
+  ElementId eid;
+  std::string target;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    target = ResolveRedirect(queue);
+    QueueState* qs = FindQueue(target);
+    if (qs == nullptr) return Status::NotFound("no such queue: " + target);
+    if (!qs->started) {
+      return Status::FailedPrecondition("queue stopped: " + target);
+    }
+    if (!registrant.empty()) {
+      // Tagged operations require a registration on the *named* queue.
+      QueueState* named = FindQueue(queue);
+      auto rit = named->registrations.find(registrant);
+      if (rit == named->registrations.end()) {
+        return Status::NotConnected("not registered: " + registrant);
+      }
+      // Idempotent tagged enqueue: a resend (or a network-duplicated
+      // one-way message) carrying the registrant's current tag is the
+      // SAME logical request — acknowledge it without enqueuing again.
+      // This is the dedup persistent registration makes possible; it
+      // is what keeps Exactly-Once intact under message duplication.
+      if (rit->second.stable && !tag.empty() &&
+          rit->second.last.type == OpType::kEnqueue &&
+          Slice(rit->second.last.tag) == tag) {
+        return rit->second.last.eid;
+      }
+    }
+    eid = next_eid_++;
+  }
+
+  MicroOp insert;
+  insert.kind = MicroOp::kInsert;
+  insert.queue = target;
+  insert.element.eid = eid;
+  insert.element.priority = priority;
+  insert.element.contents = contents.ToString();
+  ops.push_back(insert);
+  if (!registrant.empty()) {
+    ops.push_back(
+        MakeLastOpMicro(queue, registrant, OpType::kEnqueue, tag,
+                        insert.element));
+  }
+  enqueues_.fetch_add(1, std::memory_order_relaxed);
+  if (t == nullptr) {
+    RRQ_RETURN_IF_ERROR(AutoCommit(std::move(ops)));
+  } else {
+    BufferTxnOps(t, std::move(ops), {});
+  }
+  return eid;
+}
+
+QueueRepository::InternalElement* QueueRepository::PickVisible(
+    QueueState* qs, const Selector* selector, bool* head_locked) {
+  *head_locked = false;
+  if (qs->options.policy == DequeuePolicy::kStrictFifo) {
+    // Strict: only the head is eligible; a locked head blocks.
+    auto it = qs->order.begin();
+    if (it == qs->order.end()) return nullptr;
+    InternalElement& ie = qs->elements.at(it->second);
+    if (ie.locked_by != txn::kInvalidTxnId || ie.killed) {
+      *head_locked = true;
+      return nullptr;
+    }
+    return &ie;
+  }
+  // Skip-locked scan in (priority, FIFO) order.
+  if (selector == nullptr) {
+    for (const auto& [key, eid] : qs->order) {
+      InternalElement& ie = qs->elements.at(eid);
+      if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) return &ie;
+    }
+    return nullptr;
+  }
+  std::vector<Element*> candidates;
+  std::vector<InternalElement*> internal;
+  for (const auto& [key, eid] : qs->order) {
+    InternalElement& ie = qs->elements.at(eid);
+    if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) {
+      candidates.push_back(&ie.element);
+      internal.push_back(&ie);
+    }
+  }
+  if (candidates.empty()) return nullptr;
+  size_t chosen = (*selector)(candidates);
+  if (chosen >= internal.size()) return nullptr;
+  return internal[chosen];
+}
+
+Result<Element> QueueRepository::DequeueInternal(
+    txn::Transaction* t, const std::string& queue, const Selector* selector,
+    const std::string& registrant, const Slice& tag,
+    uint64_t timeout_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  QueueState* qs = FindQueue(queue);
+  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+  if (!qs->started) return Status::FailedPrecondition("queue stopped: " + queue);
+  if (!registrant.empty() && qs->registrations.count(registrant) == 0) {
+    return Status::NotConnected("not registered: " + registrant);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  InternalElement* picked = nullptr;
+  bool head_locked = false;
+  while (true) {
+    picked = PickVisible(qs, selector, &head_locked);
+    if (picked != nullptr) break;
+    if (timeout_micros == 0) {
+      return head_locked
+                 ? Status::Busy("head element locked (strict FIFO): " + queue)
+                 : Status::NotFound("queue empty: " + queue);
+    }
+    ++qs->waiters;
+    const auto wait_result = qs->cv.wait_until(lock, deadline);
+    --qs->waiters;
+    // The queue may have been stopped (not destroyed: waiters pin it).
+    qs = FindQueue(queue);
+    if (qs == nullptr) return Status::NotFound("queue destroyed: " + queue);
+    if (!qs->started) {
+      return Status::FailedPrecondition("queue stopped: " + queue);
+    }
+    if (wait_result == std::cv_status::timeout) {
+      picked = PickVisible(qs, selector, &head_locked);
+      if (picked == nullptr) {
+        return head_locked
+                   ? Status::Busy("head element locked (strict FIFO): " + queue)
+                   : Status::TimedOut("dequeue timed out: " + queue);
+      }
+      break;
+    }
+  }
+
+  Element copy = picked->element;
+  dequeues_.fetch_add(1, std::memory_order_relaxed);
+
+  MicroOp remove;
+  remove.kind = MicroOp::kRemove;
+  remove.queue = queue;
+  remove.element.eid = copy.eid;
+  std::vector<MicroOp> ops;
+  ops.push_back(std::move(remove));
+  if (!registrant.empty()) {
+    ops.push_back(
+        MakeLastOpMicro(queue, registrant, OpType::kDequeue, tag, copy));
+  }
+
+  if (t == nullptr) {
+    // Auto-commit: log + apply while still holding the lock (via the
+    // Locked variant pattern inlined here to keep pick+consume atomic).
+    const bool log = NeedsLogging(ops);
+    if (log) {
+      std::string record;
+      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    }
+    std::vector<std::string> notify;
+    for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
+    const std::string replica = MaybeEncodeReplication(ops);
+    lock.unlock();
+    if (log && options_.sync_commits) {
+      RRQ_RETURN_IF_ERROR(wal_->Sync());
+    }
+    AfterApply(notify);
+    RRQ_RETURN_IF_ERROR(Replicate(replica));
+    return copy;
+  }
+
+  // Transactional: lock the element in place; removal applies at commit.
+  picked->locked_by = t->id();
+  lock.unlock();
+  BufferTxnOps(t, std::move(ops), {LockedRef{queue, copy.eid, false}});
+  return copy;
+}
+
+Result<Element> QueueRepository::Dequeue(txn::Transaction* t,
+                                         const std::string& queue,
+                                         const std::string& registrant,
+                                         const Slice& tag,
+                                         uint64_t timeout_micros) {
+  return DequeueInternal(t, queue, nullptr, registrant, tag, timeout_micros);
+}
+
+Result<Element> QueueRepository::DequeueSelected(txn::Transaction* t,
+                                                 const std::string& queue,
+                                                 const Selector& selector,
+                                                 const std::string& registrant,
+                                                 const Slice& tag) {
+  return DequeueInternal(t, queue, &selector, registrant, tag, 0);
+}
+
+Result<Element> QueueRepository::DequeueFromSet(
+    txn::Transaction* t, const std::vector<std::string>& queues,
+    const std::string& registrant, const Slice& tag) {
+  for (const std::string& q : queues) {
+    Result<Element> r = DequeueInternal(t, q, nullptr, registrant, tag, 0);
+    if (r.ok()) return r;
+    if (!r.status().IsNotFound() && !r.status().IsBusy()) return r;
+  }
+  return Status::NotFound("no element available in queue set");
+}
+
+Result<Element> QueueRepository::Read(const std::string& queue,
+                                      ElementId eid) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const QueueState* qs = FindQueue(queue);
+  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+  auto it = qs->elements.find(eid);
+  if (it != qs->elements.end()) return it->second.element;
+  // §4.3: a registrant may Read the element of its last operation even
+  // after it was dequeued — serve it from the stable last-op copies.
+  for (const auto& [registrant, reg] : qs->registrations) {
+    if (reg.last.eid == eid) return reg.last.element_copy;
+  }
+  return Status::NotFound("no such element: " + std::to_string(eid));
+}
+
+Result<bool> QueueRepository::KillElement(txn::Transaction* t,
+                                          const std::string& queue,
+                                          ElementId eid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  QueueState* qs = FindQueue(queue);
+  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+  auto it = qs->elements.find(eid);
+  if (it == qs->elements.end()) {
+    return false;  // Already consumed by a committed dequeue.
+  }
+  InternalElement& ie = it->second;
+
+  MicroOp remove;
+  remove.kind = MicroOp::kRemove;
+  remove.queue = queue;
+  remove.element.eid = eid;
+
+  if (ie.locked_by == txn::kInvalidTxnId) {
+    if (t != nullptr) {
+      // Reserve the element for this transaction so no dequeuer races
+      // us; the kill-flavored lock entry makes an abort of t release
+      // the element intact (no abort-count bump).
+      ie.locked_by = t->id();
+      ie.killed = true;
+      lock.unlock();
+      BufferTxnOps(t, {std::move(remove)}, {LockedRef{queue, eid, true}});
+      return true;
+    }
+    std::vector<MicroOp> ops{std::move(remove)};
+    const bool log = NeedsLogging(ops);
+    if (log) {
+      std::string record;
+      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    }
+    std::vector<std::string> notify;
+    for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
+    const std::string replica = MaybeEncodeReplication(ops);
+    lock.unlock();
+    if (log && options_.sync_commits) {
+      RRQ_RETURN_IF_ERROR(wal_->Sync());
+    }
+    AfterApply(notify);
+    RRQ_RETURN_IF_ERROR(Replicate(replica));
+    return true;
+  }
+
+  // Locked by an uncommitted dequeuer. If it already voted yes we can
+  // no longer unilaterally abort it (§7's "not yet committed" window
+  // closes at prepare).
+  auto tit = txns_.find(ie.locked_by);
+  if (tit != txns_.end() && tit->second.prepared) {
+    return false;
+  }
+  // Durably delete now; the dequeuer's prepare will find the element
+  // gone and veto, aborting its transaction.
+  std::vector<MicroOp> ops{std::move(remove)};
+  const bool log = NeedsLogging(ops);
+  if (log) {
+    std::string record;
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
+  const std::string replica = MaybeEncodeReplication(ops);
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    RRQ_RETURN_IF_ERROR(wal_->Sync());
+  }
+  AfterApply(notify);
+  RRQ_RETURN_IF_ERROR(Replicate(replica));
+  return true;
+}
+
+Status QueueRepository::SetTrigger(const TriggerSpec& spec) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (FindQueue(spec.watched_queue) == nullptr) {
+      return Status::NotFound("no such queue: " + spec.watched_queue);
+    }
+  }
+  MicroOp op;
+  op.kind = MicroOp::kSetTrigger;
+  op.queue = spec.watched_queue;
+  op.trigger = spec;
+  RRQ_RETURN_IF_ERROR(AutoCommit({std::move(op)}));
+  // The condition may already hold.
+  AfterApply({spec.watched_queue});
+  return Status::OK();
+}
+
+Result<size_t> QueueRepository::Depth(const std::string& queue) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const QueueState* qs = FindQueue(queue);
+  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+  size_t depth = 0;
+  for (const auto& [key, eid] : qs->order) {
+    const auto& ie = qs->elements.at(eid);
+    if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) ++depth;
+  }
+  return depth;
+}
+
+Result<QueueOptions> QueueRepository::GetQueueOptions(
+    const std::string& queue) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const QueueState* qs = FindQueue(queue);
+  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+  return qs->options;
+}
+
+std::vector<std::string> QueueRepository::ListQueues() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, qs] : queues_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: open / replay / checkpoint
+
+Status QueueRepository::Open() {
+  if (opened_) return Status::FailedPrecondition("repository already open");
+  if (options_.env == nullptr) {
+    opened_ = true;
+    return Status::OK();
+  }
+  env::Env* env = options_.env;
+  RRQ_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
+  if (env->FileExists(CurrentPath())) {
+    std::string current;
+    RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, CurrentPath(), &current));
+    Slice input(current);
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &generation_));
+    RRQ_RETURN_IF_ERROR(LoadCheckpoint(generation_));
+    RRQ_RETURN_IF_ERROR(ReplayWal(generation_));
+  }
+  RRQ_RETURN_IF_ERROR(OpenWalForAppend(generation_));
+  if (!env->FileExists(CurrentPath())) {
+    std::string current;
+    util::PutVarint64(&current, generation_);
+    RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status QueueRepository::OpenWalForAppend(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = WalPath(generation);
+  uint64_t size = 0;
+  if (env->FileExists(path)) {
+    RRQ_RETURN_IF_ERROR(env->GetFileSize(path, &size));
+  }
+  std::unique_ptr<env::WritableFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  return Status::OK();
+}
+
+void QueueRepository::EncodeSnapshot(std::string* out) const {
+  util::PutFixed64(out, next_eid_);
+  util::PutVarint64(out, queues_.size());
+  for (const auto& [name, qs] : queues_) {
+    util::PutLengthPrefixed(out, name);
+    EncodeQueueOptions(qs->options, out);
+    out->push_back(qs->started ? 1 : 0);
+    util::PutVarint64(out, qs->registrations.size());
+    for (const auto& [registrant, reg] : qs->registrations) {
+      util::PutLengthPrefixed(out, registrant);
+      out->push_back(reg.stable ? 1 : 0);
+      out->push_back(static_cast<char>(reg.last.type));
+      util::PutFixed64(out, reg.last.eid);
+      util::PutLengthPrefixed(out, reg.last.tag);
+      EncodeElement(reg.last.element_copy, out);
+    }
+    // Elements in dequeue order (volatile queues persist none).
+    if (qs->options.durable) {
+      util::PutVarint64(out, qs->order.size());
+      for (const auto& [key, eid] : qs->order) {
+        EncodeElement(qs->elements.at(eid).element, out);
+      }
+    } else {
+      util::PutVarint64(out, 0);
+    }
+  }
+  util::PutVarint64(out, triggers_.size());
+  for (const TriggerSpec& t : triggers_) EncodeTrigger(t, out);
+}
+
+Status QueueRepository::DecodeSnapshot(Slice input) {
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &next_eid_));
+  uint64_t queue_count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &queue_count));
+  for (uint64_t i = 0; i < queue_count; ++i) {
+    std::string name;
+    RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &name));
+    auto qs = std::make_unique<QueueState>();
+    RRQ_RETURN_IF_ERROR(DecodeQueueOptions(&input, &qs->options));
+    if (input.empty()) return Status::Corruption("truncated snapshot");
+    qs->started = input[0] != 0;
+    input.remove_prefix(1);
+    uint64_t reg_count = 0;
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &reg_count));
+    for (uint64_t r = 0; r < reg_count; ++r) {
+      std::string registrant;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
+      if (input.size() < 2) return Status::Corruption("truncated registration");
+      RegistrationRecord reg;
+      reg.stable = input[0] != 0;
+      reg.last.type = static_cast<OpType>(input[1]);
+      input.remove_prefix(2);
+      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &reg.last.eid));
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &reg.last.tag));
+      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &reg.last.element_copy));
+      qs->registrations[registrant] = std::move(reg);
+    }
+    uint64_t element_count = 0;
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &element_count));
+    for (uint64_t e = 0; e < element_count; ++e) {
+      InternalElement ie;
+      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &ie.element));
+      ie.seq = next_seq_++;
+      qs->order[{~ie.element.priority, ie.seq}] = ie.element.eid;
+      qs->elements[ie.element.eid] = std::move(ie);
+    }
+    queues_[name] = std::move(qs);
+  }
+  uint64_t trigger_count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &trigger_count));
+  for (uint64_t i = 0; i < trigger_count; ++i) {
+    TriggerSpec t;
+    RRQ_RETURN_IF_ERROR(DecodeTrigger(&input, &t));
+    triggers_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status QueueRepository::LoadCheckpoint(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = CheckpointPath(generation);
+  if (!env->FileExists(path)) return Status::OK();
+  std::string data;
+  RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, path, &data));
+  std::lock_guard<std::mutex> guard(mu_);
+  return DecodeSnapshot(Slice(data));
+}
+
+Status QueueRepository::ReplayWal(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = WalPath(generation);
+  if (!env->FileExists(path)) return Status::OK();
+  std::unique_ptr<env::SequentialFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewSequentialFile(path, &file));
+  wal::LogReader reader(std::move(file));
+
+  std::unordered_map<txn::TxnId, std::vector<MicroOp>> prepared;
+  Slice record;
+  std::string scratch;
+  std::lock_guard<std::mutex> guard(mu_);
+  while (reader.ReadRecord(&record, &scratch)) {
+    Slice input = record;
+    if (input.empty()) continue;
+    unsigned char type = static_cast<unsigned char>(input[0]);
+    input.remove_prefix(1);
+    uint64_t id = 0;
+    uint64_t eid_watermark = 0;
+    RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
+    RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
+    next_eid_ = std::max(next_eid_, eid_watermark);
+
+    uint64_t op_count = 0;
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
+    std::vector<MicroOp> ops;
+    ops.reserve(static_cast<size_t>(op_count));
+    for (uint64_t i = 0; i < op_count; ++i) {
+      MicroOp op;
+      RRQ_RETURN_IF_ERROR(DecodeMicroOp(&input, &op));
+      ops.push_back(std::move(op));
+    }
+
+    if (type == kRecCommitted) {
+      for (const MicroOp& op : ops) ApplyMicroOp(op, nullptr);
+    } else if (type == kRecPrepare) {
+      prepared[id] = std::move(ops);
+    } else if (type == kRecCommit) {
+      auto it = prepared.find(id);
+      if (it != prepared.end()) {
+        for (const MicroOp& op : it->second) ApplyMicroOp(op, nullptr);
+        prepared.erase(it);
+      }
+    } else {
+      return Status::Corruption("unknown repository WAL record type");
+    }
+  }
+
+  for (auto& [id, ops] : prepared) {
+    const bool committed =
+        options_.in_doubt_resolver != nullptr && options_.in_doubt_resolver(id);
+    if (committed) {
+      for (const MicroOp& op : ops) ApplyMicroOp(op, nullptr);
+      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                     << " resolved to COMMIT";
+    } else {
+      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                     << " resolved to ABORT (presumed)";
+    }
+  }
+  return Status::OK();
+}
+
+Status QueueRepository::Checkpoint() {
+  if (options_.env == nullptr) return Status::OK();
+  env::Env* env = options_.env;
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t next_gen = generation_ + 1;
+
+  std::string snapshot;
+  EncodeSnapshot(&snapshot);
+  RRQ_RETURN_IF_ERROR(
+      env::WriteStringToFileSync(env, snapshot, CheckpointPath(next_gen)));
+
+  std::unique_ptr<env::WritableFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
+  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file));
+  for (const auto& [id, pt] : txns_) {
+    if (!pt.prepared) continue;
+    std::string record;
+    EncodeRecord(kRecPrepare, id, pt.ops, &record);
+    RRQ_RETURN_IF_ERROR(new_wal->AddRecord(record));
+  }
+  RRQ_RETURN_IF_ERROR(new_wal->Sync());
+
+  std::string current;
+  util::PutVarint64(&current, next_gen);
+  RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
+
+  env->RemoveFile(WalPath(generation_));
+  env->RemoveFile(CheckpointPath(generation_));
+  generation_ = next_gen;
+  wal_ = std::move(new_wal);
+  return Status::OK();
+}
+
+uint64_t QueueRepository::wal_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->PhysicalSize();
+}
+
+}  // namespace rrq::queue

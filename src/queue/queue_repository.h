@@ -1,0 +1,342 @@
+#ifndef RRQ_QUEUE_QUEUE_REPOSITORY_H_
+#define RRQ_QUEUE_QUEUE_REPOSITORY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "env/env.h"
+#include "queue/element.h"
+#include "txn/resource_manager.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "wal/log_writer.h"
+
+namespace rrq::queue {
+
+/// Options for a QueueRepository.
+struct RepositoryOptions {
+  /// Environment for durable state; nullptr makes the whole repository
+  /// volatile.
+  env::Env* env = nullptr;
+  std::string dir;
+  /// Sync the WAL on every auto-committed operation and commit record.
+  bool sync_commits = true;
+  /// In-doubt resolution at recovery (presumed abort by default).
+  std::function<bool(txn::TxnId)> in_doubt_resolver;
+  /// Invoked (outside the repository lock) when a committed enqueue
+  /// raises a queue's depth to its alert_threshold.
+  std::function<void(const std::string& queue, size_t depth)> alert_callback;
+  /// Queue replication (§10): when set, every record of committed
+  /// effects is pushed through this sink, in apply order, after the
+  /// local apply. Feed the records to a backup repository's
+  /// ApplyReplicatedRecord (possibly across the simulated network) to
+  /// maintain a hot standby with identical eids, elements, and
+  /// registrations. Semi-synchronous: the local commit stands even if
+  /// the sink errors (the error is surfaced to the caller).
+  std::function<Status(const Slice& record)> replication_sink;
+};
+
+/// Fork/join trigger (§6): once `remaining` committed enqueues have
+/// arrived in `watched_queue`, enqueue `contents` into `target_queue`.
+struct TriggerSpec {
+  std::string watched_queue;
+  uint64_t remaining = 0;
+  std::string target_queue;
+  std::string contents;
+  uint32_t priority = 0;
+};
+
+/// A repository of recoverable queues — the paper's queue manager
+/// (§4), one instance per "node".
+///
+/// Every data-manipulation operation can run inside a transaction
+/// (pass the Transaction — effects commit/abort with it) or outside
+/// one (pass nullptr — the operation auto-commits atomically). The
+/// clerk uses the latter mode ("the queue is a gateway between the
+/// non-transaction world of front-ends and the transactional world of
+/// back-ends", §2); servers use the former.
+///
+/// Durability: a write-ahead log + checkpoint pair, recovered by
+/// Open(). Volatile queues (per-queue option) skip logging. The
+/// repository participates in one- and two-phase commit as a
+/// txn::ResourceManager.
+///
+/// Thread-safe.
+class QueueRepository final : public txn::ResourceManager {
+ public:
+  QueueRepository(std::string name, RepositoryOptions options = {});
+  ~QueueRepository() override;
+
+  QueueRepository(const QueueRepository&) = delete;
+  QueueRepository& operator=(const QueueRepository&) = delete;
+
+  /// Recovers durable state. Call once before use.
+  Status Open();
+
+  // ---- Data definition (§4.1) ---------------------------------------
+  // Auto-committed (durable immediately); not undoable.
+
+  Status CreateQueue(const std::string& queue, QueueOptions options = {});
+  Status DestroyQueue(const std::string& queue);
+  /// Stopped queues reject Enqueue/Dequeue with FailedPrecondition.
+  Status StartQueue(const std::string& queue);
+  Status StopQueue(const std::string& queue);
+  bool QueueExists(const std::string& queue) const;
+
+  // ---- Persistent registration (§4.3) --------------------------------
+
+  /// Registers `registrant` with `queue`. When `stable` is true the
+  /// repository durably maintains the registrant's last tagged
+  /// operation and returns it here on re-registration after a failure.
+  Result<RegistrationInfo> Register(const std::string& queue,
+                                    const std::string& registrant,
+                                    bool stable);
+  Status Deregister(const std::string& queue, const std::string& registrant);
+
+  // ---- Data manipulation (§4.2) ---------------------------------------
+
+  /// Enqueues `contents`. When `registrant` is a stable registrant of
+  /// `queue`, the operation is tagged with `tag` atomically with the
+  /// enqueue. Returns the new element's eid.
+  Result<ElementId> Enqueue(txn::Transaction* t, const std::string& queue,
+                            const Slice& contents, uint32_t priority = 0,
+                            const std::string& registrant = "",
+                            const Slice& tag = Slice());
+
+  /// Dequeues the next element per the queue's policy, waiting up to
+  /// `timeout_micros` for one to become visible (0 = no wait).
+  /// Returns NotFound on timeout with an empty queue, Busy on timeout
+  /// in strict-FIFO mode with a locked head.
+  Result<Element> Dequeue(txn::Transaction* t, const std::string& queue,
+                          const std::string& registrant = "",
+                          const Slice& tag = Slice(),
+                          uint64_t timeout_micros = 0);
+
+  /// Dequeue with a content-based selector (§10 request scheduling).
+  /// The selector sees the visible elements in (priority, FIFO) order.
+  Result<Element> DequeueSelected(txn::Transaction* t,
+                                  const std::string& queue,
+                                  const Selector& selector,
+                                  const std::string& registrant = "",
+                                  const Slice& tag = Slice());
+
+  /// Dequeues from the first of `queues` that has a visible element
+  /// (queue sets, §9).
+  Result<Element> DequeueFromSet(txn::Transaction* t,
+                                 const std::vector<std::string>& queues,
+                                 const std::string& registrant = "",
+                                 const Slice& tag = Slice());
+
+  /// Reads an element without removing it: first the live element with
+  /// that eid in `queue`, else any stable registrant's saved copy of it
+  /// (the paper's Read-after-Dequeue for Rereceive).
+  Result<Element> Read(const std::string& queue, ElementId eid) const;
+
+  /// Cancels an element (§7). If still enqueued: deletes it (in `t` or
+  /// auto-committed). If currently dequeued by an uncommitted
+  /// transaction: marks it killed — that transaction's commit will be
+  /// vetoed and the element deleted on its abort. Returns true when
+  /// the element was (or will be) deleted, false when it was already
+  /// consumed by a committed dequeue.
+  Result<bool> KillElement(txn::Transaction* t, const std::string& queue,
+                           ElementId eid);
+
+  /// Installs a durable fork/join trigger (§6).
+  Status SetTrigger(const TriggerSpec& spec);
+
+  /// Applies a record produced by another repository's
+  /// replication_sink (§10 queue replication). Ops apply with their
+  /// original eids; the eid counter advances past the primary's
+  /// watermark so a promoted backup never reuses ids. Durable backups
+  /// log the record before applying.
+  Status ApplyReplicatedRecord(const Slice& record);
+
+  // ---- Introspection ----------------------------------------------------
+
+  /// Committed, visible depth of `queue`.
+  Result<size_t> Depth(const std::string& queue) const;
+  std::vector<std::string> ListQueues() const;
+  Result<QueueOptions> GetQueueOptions(const std::string& queue) const;
+
+  // ---- txn::ResourceManager ----------------------------------------------
+  std::string_view rm_name() const override { return name_; }
+  Status Prepare(txn::TxnId txn) override;
+  Status CommitTxn(txn::TxnId txn) override;
+  void AbortTxn(txn::TxnId txn) override;
+  Status PrepareAndCommit(txn::TxnId txn) override;
+
+  // ---- Statistics -------------------------------------------------------
+  uint64_t enqueue_count() const { return enqueues_.load(std::memory_order_relaxed); }
+  uint64_t dequeue_count() const { return dequeues_.load(std::memory_order_relaxed); }
+  uint64_t error_move_count() const {
+    return error_moves_.load(std::memory_order_relaxed);
+  }
+  uint64_t wal_bytes() const;
+
+  /// Writes a checkpoint and truncates the WAL.
+  Status Checkpoint();
+
+ private:
+  // A single micro-operation inside a logged record. Records are
+  // redo-only: applying a micro-op mutates committed state.
+  struct MicroOp {
+    enum Kind : unsigned char {
+      kCreateQueue = 1,
+      kDestroyQueue = 2,
+      kStartQueue = 3,
+      kStopQueue = 4,
+      kRegister = 5,
+      kDeregister = 6,
+      kInsert = 7,       // element lands in queue (enqueue/move)
+      kRemove = 8,       // element leaves queue (dequeue/kill)
+      kSetLastOp = 9,    // registration tag update
+      kSetTrigger = 10,
+      kClearTrigger = 11,
+      kBumpAbortCount = 12,
+    };
+    Kind kind;
+    std::string queue;
+    std::string registrant;   // kRegister/kDeregister/kSetLastOp
+    Element element;          // kInsert (full), kRemove (eid only)
+    QueueOptions qoptions;    // kCreateQueue
+    bool stable = false;      // kRegister
+    OpType op_type = OpType::kNone;  // kSetLastOp
+    std::string tag;                 // kSetLastOp
+    TriggerSpec trigger;             // kSetTrigger
+  };
+
+  struct InternalElement {
+    Element element;
+    uint64_t seq = 0;                    // FIFO order within priority.
+    txn::TxnId locked_by = txn::kInvalidTxnId;  // Uncommitted dequeuer.
+    bool killed = false;                 // KillElement hit a locked element.
+  };
+
+  struct LastOpRecord {
+    OpType type = OpType::kNone;
+    ElementId eid = kInvalidElementId;
+    std::string tag;
+    Element element_copy;
+  };
+
+  struct RegistrationRecord {
+    bool stable = false;
+    LastOpRecord last;
+  };
+
+  struct QueueState {
+    QueueOptions options;
+    bool started = true;
+    // eid -> element. The ordered index drives dequeue order.
+    std::unordered_map<ElementId, InternalElement> elements;
+    // (inverted priority, seq) -> eid.
+    std::map<std::pair<uint32_t, uint64_t>, ElementId> order;
+    std::unordered_map<std::string, RegistrationRecord> registrations;
+    std::condition_variable cv;
+    int waiters = 0;  // Blocked dequeuers (pins the queue against destroy).
+  };
+
+  // An element a pending transaction holds locked: a dequeue (returned
+  // to the queue with abort bookkeeping if the txn aborts) or a kill
+  // reservation (simply unlocked if the txn aborts).
+  struct LockedRef {
+    std::string queue;
+    ElementId eid = kInvalidElementId;
+    bool is_kill = false;
+  };
+
+  struct PendingTxn {
+    std::vector<MicroOp> ops;
+    std::vector<LockedRef> locked;
+    bool prepared = false;
+  };
+
+  // ---- helpers (mu_ held unless noted) --------------------------------
+  QueueState* FindQueue(const std::string& queue);
+  const QueueState* FindQueue(const std::string& queue) const;
+  std::string ResolveRedirect(const std::string& queue) const;
+  // Applies a committed micro-op to in-memory state. Returns queues
+  // whose waiters should be notified / alerts to fire.
+  void ApplyMicroOp(const MicroOp& op,
+                    std::vector<std::string>* notify_queues);
+  // Serialization.
+  static void EncodeMicroOp(const MicroOp& op, std::string* out);
+  static Status DecodeMicroOp(Slice* input, MicroOp* op);
+  void EncodeRecord(unsigned char type, txn::TxnId id,
+                    const std::vector<MicroOp>& ops, std::string* out) const;
+  // Logs and applies an auto-committed op list. Handles durable vs
+  // volatile ops, notification, alerts. Takes mu_ itself.
+  Status AutoCommit(std::vector<MicroOp> ops);
+  // Buffers ops under txn `t` (enlists repository). Takes mu_ itself.
+  void BufferTxnOps(txn::Transaction* t, std::vector<MicroOp> ops,
+                    std::vector<LockedRef> locked);
+  // Whether any micro-op touches a durable queue (or repo metadata).
+  bool NeedsLogging(const std::vector<MicroOp>& ops) const;
+  // Core dequeue machinery shared by all dequeue flavors.
+  Result<Element> DequeueInternal(txn::Transaction* t,
+                                  const std::string& queue,
+                                  const Selector* selector,
+                                  const std::string& registrant,
+                                  const Slice& tag, uint64_t timeout_micros);
+  // Picks the next visible element. Requires mu_ held. Returns nullptr
+  // when none; sets *head_locked when strict-FIFO found a locked head.
+  InternalElement* PickVisible(QueueState* qs, const Selector* selector,
+                               bool* head_locked);
+  // Post-commit bookkeeping: notify waiters; when evaluate_reactions,
+  // also fire alerts & triggers (replicated applies don't — the
+  // primary's reactions arrive as ordinary records).
+  void AfterApply(const std::vector<std::string>& notify_queues,
+                  bool evaluate_reactions = true);
+  // Encodes `ops` for the replication sink (empty when none). mu_ held.
+  std::string MaybeEncodeReplication(const std::vector<MicroOp>& ops) const;
+  // Pushes one record to the sink. Call without mu_.
+  Status Replicate(const std::string& record);
+  MicroOp MakeLastOpMicro(const std::string& queue,
+                          const std::string& registrant, OpType type,
+                          const Slice& tag, const Element& element) const;
+  Status OpenWalForAppend(uint64_t generation);
+  Status LoadCheckpoint(uint64_t generation);
+  Status ReplayWal(uint64_t generation);
+  std::string WalPath(uint64_t g) const;
+  std::string CheckpointPath(uint64_t g) const;
+  std::string CurrentPath() const;
+  void EncodeSnapshot(std::string* out) const;
+  Status DecodeSnapshot(Slice input);
+
+  const std::string name_;
+  RepositoryOptions options_;
+  bool opened_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<QueueState>> queues_;
+  std::unordered_map<txn::TxnId, PendingTxn> txns_;
+  std::vector<TriggerSpec> triggers_;
+  uint64_t next_eid_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t generation_ = 0;
+  std::unique_ptr<wal::LogWriter> wal_;
+
+  std::atomic<uint64_t> enqueues_{0};
+  std::atomic<uint64_t> dequeues_{0};
+  std::atomic<uint64_t> error_moves_{0};
+  std::atomic<uint64_t> replication_failures_{0};
+
+ public:
+  uint64_t replication_failure_count() const {
+    return replication_failures_.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace rrq::queue
+
+#endif  // RRQ_QUEUE_QUEUE_REPOSITORY_H_

@@ -1,0 +1,46 @@
+#include "server/app_lock_table.h"
+
+namespace rrq::server {
+
+Status AppLockTable::Acquire(txn::Transaction* t, const std::string& resource,
+                             const std::string& owner) {
+  auto holder = store_->GetForUpdate(t, Key(resource));
+  if (holder.ok()) {
+    if (*holder == owner) return Status::OK();  // Re-entrant.
+    return Status::Busy("application lock held by " + *holder + ": " +
+                        resource);
+  }
+  if (!holder.status().IsNotFound()) return holder.status();
+  return store_->Put(t, Key(resource), owner);
+}
+
+Status AppLockTable::Release(txn::Transaction* t, const std::string& resource,
+                             const std::string& owner) {
+  auto holder = store_->GetForUpdate(t, Key(resource));
+  if (!holder.ok()) {
+    if (holder.status().IsNotFound()) {
+      return Status::FailedPrecondition("lock not held: " + resource);
+    }
+    return holder.status();
+  }
+  if (*holder != owner) {
+    return Status::FailedPrecondition("lock held by " + *holder + ", not " +
+                                      owner + ": " + resource);
+  }
+  return store_->Delete(t, Key(resource));
+}
+
+Status AppLockTable::ReleaseAll(txn::Transaction* t,
+                                const std::vector<std::string>& resources,
+                                const std::string& owner) {
+  for (const std::string& resource : resources) {
+    RRQ_RETURN_IF_ERROR(Release(t, resource, owner));
+  }
+  return Status::OK();
+}
+
+Result<std::string> AppLockTable::Holder(const std::string& resource) const {
+  return store_->GetCommitted(Key(resource));
+}
+
+}  // namespace rrq::server

@@ -1,0 +1,66 @@
+#ifndef RRQ_SERVER_APP_LOCK_TABLE_H_
+#define RRQ_SERVER_APP_LOCK_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/kv_store.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::server {
+
+/// The §6 "persistent database of locks": application-level locks that
+/// span the component transactions of a multi-transaction request,
+/// restoring request-level serializability when the underlying stores
+/// release their locks at each transaction boundary.
+///
+/// A lock is a KV pair ("<prefix><resource>" -> owner rid) written
+/// transactionally; acquiring it in stage k's transaction makes the
+/// acquisition atomic with stage k's work, and releasing all of a
+/// request's locks inside the final transaction makes the release
+/// atomic with completion — "releasing all of these application locks
+/// just before the final transaction of the multi-transaction request
+/// commits."
+///
+/// As the paper warns, this costs extra durable writes per lock; bench
+/// E4 measures exactly that.
+class AppLockTable {
+ public:
+  /// `store` is not owned and must outlive the table.
+  explicit AppLockTable(storage::KvStore* store,
+                        std::string prefix = "applock/")
+      : store_(store), prefix_(std::move(prefix)) {}
+
+  /// Acquires `resource` for `owner` inside `t`. Busy when another
+  /// owner holds it (caller should abort and retry later). Re-entrant
+  /// for the same owner.
+  Status Acquire(txn::Transaction* t, const std::string& resource,
+                 const std::string& owner);
+
+  /// Releases one lock. FailedPrecondition when `owner` does not hold it.
+  Status Release(txn::Transaction* t, const std::string& resource,
+                 const std::string& owner);
+
+  /// Releases every listed lock of `owner` (the final-transaction bulk
+  /// release of §6).
+  Status ReleaseAll(txn::Transaction* t,
+                    const std::vector<std::string>& resources,
+                    const std::string& owner);
+
+  /// Committed-state holder of `resource` (NotFound when free).
+  Result<std::string> Holder(const std::string& resource) const;
+
+ private:
+  std::string Key(const std::string& resource) const {
+    return prefix_ + resource;
+  }
+
+  storage::KvStore* store_;
+  std::string prefix_;
+};
+
+}  // namespace rrq::server
+
+#endif  // RRQ_SERVER_APP_LOCK_TABLE_H_

@@ -1,0 +1,81 @@
+#ifndef RRQ_SERVER_FORWARDER_H_
+#define RRQ_SERVER_FORWARDER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "queue/queue_repository.h"
+#include "txn/txn_manager.h"
+#include "util/status.h"
+
+namespace rrq::server {
+
+/// Store-and-forward relay — §1's availability mechanism: "If a client
+/// enqueues its requests to a local queue, and periodically moves its
+/// local requests to the remote input queue of a server process, then
+/// the server appears to provide a reliable service to the client even
+/// if the client and server nodes are frequently partitioned."
+///
+/// Each move is one transaction spanning both repositories (dequeue
+/// local + enqueue remote under two-phase commit), so a request is
+/// never lost and never duplicated in transit: a failure mid-move
+/// aborts, returning the element to the local queue for the next
+/// attempt. This is also CICS's "transaction routing" shape (§9).
+///
+/// The source queue should disable its abort limit (max_aborts = 0 or
+/// no error queue): forwarding failures are transient by nature.
+class Forwarder {
+ public:
+  struct Options {
+    std::string name = "forwarder";
+    std::string source_queue;
+    std::string target_queue;
+    /// Bound on each idle wait for local work.
+    uint64_t poll_timeout_micros = 20'000;
+    /// Backoff after a failed move (e.g. remote partitioned).
+    uint64_t retry_backoff_micros = 20'000;
+  };
+
+  /// Neither repository is owned. `txn_mgr` must be a coordinator both
+  /// repositories resolve in-doubt transactions against.
+  Forwarder(Options options, queue::QueueRepository* source,
+            queue::QueueRepository* target,
+            txn::TransactionManager* txn_mgr);
+  ~Forwarder();
+
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Moves one element now (caller's thread). NotFound when the local
+  /// queue is empty; Unavailable/Aborted when the remote side is
+  /// unreachable (the element stays local).
+  Status ForwardOne();
+
+  uint64_t forwarded_count() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  uint64_t failed_attempts() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  queue::QueueRepository* source_;
+  queue::QueueRepository* target_;
+  txn::TransactionManager* txn_mgr_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace rrq::server
+
+#endif  // RRQ_SERVER_FORWARDER_H_

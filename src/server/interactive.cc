@@ -1,0 +1,260 @@
+#include "server/interactive.h"
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace rrq::server {
+
+// ---------------------------------------------------------------------------
+// IoLog
+
+IoLog::IoLog(env::Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+Status IoLog::Open() {
+  if (env_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> guard(mu_);
+  if (env_->FileExists(path_)) {
+    std::string data;
+    RRQ_RETURN_IF_ERROR(env::ReadFileToString(env_, path_, &data));
+    Slice input(data);
+    while (!input.empty()) {
+      std::string rid, prompt, value;
+      uint32_t step = 0;
+      if (!util::GetLengthPrefixedString(&input, &rid).ok()) break;
+      if (!util::GetVarint32(&input, &step).ok()) break;
+      if (!util::GetLengthPrefixedString(&input, &prompt).ok()) break;
+      if (!util::GetLengthPrefixedString(&input, &value).ok()) break;
+      entries_[{rid, step}] = Entry{std::move(prompt), std::move(value)};
+    }
+  }
+  // Compact: rewrite surviving entries, then append from there.
+  std::string compacted;
+  for (const auto& [key, entry] : entries_) {
+    util::PutLengthPrefixed(&compacted, key.first);
+    util::PutVarint32(&compacted, key.second);
+    util::PutLengthPrefixed(&compacted, entry.prompt);
+    util::PutLengthPrefixed(&compacted, entry.input);
+  }
+  RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env_, compacted, path_));
+  return env_->NewAppendableFile(path_, &file_);
+}
+
+Status IoLog::Record(const std::string& rid, uint32_t step,
+                     const Slice& prompt, const Slice& input) {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_[{rid, step}] = Entry{prompt.ToString(), input.ToString()};
+  if (file_ != nullptr) {
+    std::string record;
+    util::PutLengthPrefixed(&record, rid);
+    util::PutVarint32(&record, step);
+    util::PutLengthPrefixed(&record, prompt);
+    util::PutLengthPrefixed(&record, input);
+    RRQ_RETURN_IF_ERROR(file_->Append(record));
+    RRQ_RETURN_IF_ERROR(file_->Sync());
+  }
+  return Status::OK();
+}
+
+Result<std::string> IoLog::Lookup(const std::string& rid, uint32_t step,
+                                  const Slice& prompt) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find({rid, step});
+  if (it == entries_.end()) return Status::NotFound("no logged exchange");
+  if (Slice(it->second.prompt) != prompt) {
+    // Divergent replay: this and all later logged inputs are invalid
+    // (§8.3 — "once the client receives intermediate output that
+    // differs from the previous incarnation, it must discard the
+    // remaining logged intermediate input").
+    auto erase_from = entries_.lower_bound({rid, step});
+    while (erase_from != entries_.end() && erase_from->first.first == rid) {
+      erase_from = entries_.erase(erase_from);
+    }
+    return Status::NotFound("prompt diverged from logged conversation");
+  }
+  replays_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.input;
+}
+
+void IoLog::Forget(const std::string& rid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.lower_bound({rid, 0});
+  while (it != entries_.end() && it->first.first == rid) {
+    it = entries_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prompt wire format
+
+std::string EncodePrompt(const std::string& rid, uint32_t step,
+                         const Slice& prompt) {
+  std::string out;
+  util::PutLengthPrefixed(&out, rid);
+  util::PutVarint32(&out, step);
+  util::PutLengthPrefixed(&out, prompt);
+  return out;
+}
+
+Status DecodePrompt(const Slice& wire, std::string* rid, uint32_t* step,
+                    std::string* prompt) {
+  Slice input = wire;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, rid));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(&input, step));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, prompt));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ConversationalServer
+
+ConversationalServer::ConversationalServer(ConversationalServerOptions options,
+                                           queue::QueueRepository* repo,
+                                           txn::TransactionManager* txn_mgr,
+                                           comm::Network* network,
+                                           ConversationHandler handler)
+    : options_(std::move(options)),
+      repo_(repo),
+      txn_mgr_(txn_mgr),
+      network_(network),
+      handler_(std::move(handler)) {}
+
+ConversationalServer::~ConversationalServer() { Stop(); }
+
+Status ConversationalServer::ProcessOne() {
+  auto txn = txn_mgr_->Begin();
+  auto dequeued = repo_->Dequeue(txn.get(), options_.request_queue, "",
+                                 Slice(), options_.poll_timeout_micros);
+  if (!dequeued.ok()) {
+    txn->Abort();
+    return dequeued.status();
+  }
+  queue::RequestEnvelope request;
+  Status parse = queue::DecodeRequestEnvelope(dequeued->contents, &request);
+  if (!parse.ok()) {
+    txn->Abort();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return parse;
+  }
+  // Convention: the client's endpoint travels in the scratch field.
+  const std::string client_endpoint = request.scratch;
+
+  uint32_t step = 0;
+  AskFn ask = [this, &request, &client_endpoint,
+               &step](const Slice& prompt) -> Result<std::string> {
+    ++step;
+    std::string reply;
+    Status s = network_->Call(options_.name, client_endpoint,
+                              EncodePrompt(request.rid, step, prompt), &reply);
+    if (!s.ok()) return s;  // Lost exchange: the whole txn will abort.
+    return reply;
+  };
+
+  auto reply_body = handler_(txn.get(), request, ask);
+  if (!reply_body.ok()) {
+    txn->Abort();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return reply_body.status();
+  }
+
+  const std::string& reply_queue = request.reply_queue.empty()
+                                       ? options_.default_reply_queue
+                                       : request.reply_queue;
+  if (!reply_queue.empty()) {
+    queue::ReplyEnvelope reply;
+    reply.rid = request.rid;
+    reply.success = true;
+    reply.body = std::move(*reply_body);
+    auto enq = repo_->Enqueue(txn.get(), reply_queue,
+                              queue::EncodeReplyEnvelope(reply),
+                              request.reply_priority);
+    if (!enq.ok()) {
+      txn->Abort();
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+      return enq.status();
+    }
+  }
+  Status commit = txn->Commit();
+  if (!commit.ok()) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return commit;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ConversationalServer::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  workers_.emplace_back([this]() { WorkerLoop(); });
+  return Status::OK();
+}
+
+void ConversationalServer::Stop() {
+  running_.store(false);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ConversationalServer::WorkerLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    ProcessOne();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InteractiveClient
+
+InteractiveClient::InteractiveClient(comm::Network* network,
+                                     std::string endpoint_name, IoLog* io_log,
+                                     InputFn user_input)
+    : network_(network),
+      endpoint_name_(std::move(endpoint_name)),
+      io_log_(io_log),
+      user_input_(std::move(user_input)) {}
+
+InteractiveClient::~InteractiveClient() { Unregister(); }
+
+Status InteractiveClient::Register() {
+  if (registered_) return Status::OK();
+  RRQ_RETURN_IF_ERROR(network_->RegisterEndpoint(
+      endpoint_name_, [this](const Slice& request, std::string* reply) {
+        return Handle(request, reply);
+      }));
+  registered_ = true;
+  return Status::OK();
+}
+
+void InteractiveClient::Unregister() {
+  if (registered_) {
+    network_->RemoveEndpoint(endpoint_name_);
+    registered_ = false;
+  }
+}
+
+Status InteractiveClient::Handle(const Slice& request, std::string* reply) {
+  std::string rid, prompt;
+  uint32_t step = 0;
+  RRQ_RETURN_IF_ERROR(DecodePrompt(request, &rid, &step, &prompt));
+
+  // Replay from the log when this prompt was already answered (§8.3).
+  auto logged = io_log_->Lookup(rid, step, prompt);
+  if (logged.ok()) {
+    *reply = *logged;
+    return Status::OK();
+  }
+
+  auto fresh = user_input_(step, prompt);
+  if (!fresh.ok()) return fresh.status();
+  fresh_inputs_.fetch_add(1, std::memory_order_relaxed);
+  // Log before answering: once the input leaves the client it must
+  // survive a server abort.
+  RRQ_RETURN_IF_ERROR(io_log_->Record(rid, step, prompt, *fresh));
+  *reply = *fresh;
+  return Status::OK();
+}
+
+}  // namespace rrq::server

@@ -1,0 +1,184 @@
+#ifndef RRQ_SERVER_INTERACTIVE_H_
+#define RRQ_SERVER_INTERACTIVE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/network.h"
+#include "env/env.h"
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::server {
+
+// §8.3's single-transaction alternative to pseudo-conversational
+// requests: the request executes as ONE transaction that solicits
+// intermediate inputs by exchanging ordinary (non-transactional)
+// messages with the client. Serializable, cancellable until the last
+// input — but intermediate I/O dies with an abort unless the client
+// logs it; IoLog implements that logging-and-replay discipline.
+// (The pseudo-conversational implementation of §8.2 needs no new
+// machinery: it is exactly a Pipeline whose stage boundaries are the
+// intermediate I/O points.)
+
+/// Client-side durable log of intermediate I/O, keyed by (rid, step).
+/// When the server's transaction aborts and re-executes, the replayed
+/// prompts are answered from the log — as long as each prompt matches
+/// the logged one; a divergent prompt invalidates the remainder of the
+/// logged conversation (§8.3).
+class IoLog {
+ public:
+  /// `env` may be nullptr (volatile log, for baselines).
+  IoLog(env::Env* env, std::string path);
+
+  IoLog(const IoLog&) = delete;
+  IoLog& operator=(const IoLog&) = delete;
+
+  /// Loads existing records. Call once before use.
+  Status Open();
+
+  /// Durably records one exchange.
+  Status Record(const std::string& rid, uint32_t step, const Slice& prompt,
+                const Slice& input);
+
+  /// Returns the logged input for (rid, step) iff the logged prompt
+  /// equals `prompt`; NotFound otherwise. A mismatched prompt also
+  /// discards all logged steps >= `step` for that rid.
+  Result<std::string> Lookup(const std::string& rid, uint32_t step,
+                             const Slice& prompt);
+
+  /// Drops a completed request's entries (in memory; the file is
+  /// compacted on the next Open).
+  void Forget(const std::string& rid);
+
+  uint64_t replay_count() const {
+    return replays_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::string prompt;
+    std::string input;
+  };
+
+  env::Env* env_;
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, uint32_t>, Entry> entries_;
+  std::unique_ptr<env::WritableFile> file_;
+  std::atomic<uint64_t> replays_{0};
+};
+
+/// Asks the client for one intermediate input; invoked by the
+/// conversation handler. Step numbers start at 1.
+using AskFn = std::function<Result<std::string>(const Slice& prompt)>;
+
+/// Application logic of a conversational request: runs inside ONE
+/// transaction, calling `ask` for each intermediate input.
+using ConversationHandler = std::function<Result<std::string>(
+    txn::Transaction* t, const queue::RequestEnvelope& request,
+    const AskFn& ask)>;
+
+struct ConversationalServerOptions {
+  std::string name = "conv-server";
+  std::string request_queue;
+  std::string default_reply_queue;
+  uint64_t poll_timeout_micros = 50'000;
+  int max_attempts = 5;
+};
+
+/// Single-transaction interactive server (§8.3). The client's network
+/// endpoint name travels in the request envelope's scratch field. A
+/// failed intermediate exchange aborts the transaction; the request
+/// returns to its queue and re-executes, with the client's IoLog
+/// supplying the already-given inputs.
+class ConversationalServer {
+ public:
+  ConversationalServer(ConversationalServerOptions options,
+                       queue::QueueRepository* repo,
+                       txn::TransactionManager* txn_mgr,
+                       comm::Network* network, ConversationHandler handler);
+  ~ConversationalServer();
+
+  ConversationalServer(const ConversationalServer&) = delete;
+  ConversationalServer& operator=(const ConversationalServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// One full conversation cycle on the caller's thread.
+  Status ProcessOne();
+
+  uint64_t completed_count() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted_count() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  ConversationalServerOptions options_;
+  queue::QueueRepository* repo_;
+  txn::TransactionManager* txn_mgr_;
+  comm::Network* network_;
+  ConversationHandler handler_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+/// Supplies a fresh intermediate input when the IoLog has no replay
+/// (i.e., the real user).
+using InputFn = std::function<Result<std::string>(uint32_t step,
+                                                  const std::string& prompt)>;
+
+/// Client-side endpoint answering a conversational server's prompts:
+/// replays from the IoLog when possible, otherwise asks the user and
+/// logs the exchange before answering (so the input is never lost once
+/// given, §8.3).
+class InteractiveClient {
+ public:
+  InteractiveClient(comm::Network* network, std::string endpoint_name,
+                    IoLog* io_log, InputFn user_input);
+  ~InteractiveClient();
+
+  Status Register();
+  void Unregister();
+
+  const std::string& endpoint_name() const { return endpoint_name_; }
+  uint64_t fresh_input_count() const {
+    return fresh_inputs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status Handle(const Slice& request, std::string* reply);
+
+  comm::Network* network_;
+  std::string endpoint_name_;
+  IoLog* io_log_;
+  InputFn user_input_;
+  bool registered_ = false;
+  std::atomic<uint64_t> fresh_inputs_{0};
+};
+
+/// Wire helpers for the prompt exchange (shared by both sides).
+std::string EncodePrompt(const std::string& rid, uint32_t step,
+                         const Slice& prompt);
+Status DecodePrompt(const Slice& wire, std::string* rid, uint32_t* step,
+                    std::string* prompt);
+
+}  // namespace rrq::server
+
+#endif  // RRQ_SERVER_INTERACTIVE_H_

@@ -1,0 +1,293 @@
+#include "server/pipeline.h"
+
+#include <chrono>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace rrq::server {
+
+Pipeline::Pipeline(PipelineOptions options, queue::QueueRepository* repo,
+                   txn::TransactionManager* txn_mgr,
+                   std::vector<PipelineStage> stages)
+    : options_(std::move(options)),
+      repo_(repo),
+      txn_mgr_(txn_mgr),
+      stages_(std::move(stages)) {}
+
+Pipeline::~Pipeline() { Stop(); }
+
+std::string Pipeline::StageQueue(size_t stage) const {
+  return options_.queue_prefix + "." + std::to_string(stage);
+}
+
+std::string Pipeline::CompensationQueue() const {
+  return options_.queue_prefix + ".comp";
+}
+
+Status Pipeline::Setup() {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    Status s = repo_->CreateQueue(StageQueue(i), options_.stage_queue_options);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  Status s = repo_->CreateQueue(CompensationQueue(),
+                                options_.stage_queue_options);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  return Status::OK();
+}
+
+std::string Pipeline::EncodeCompLog(
+    const std::vector<std::pair<uint32_t, std::string>>& log) {
+  std::string out;
+  util::PutVarint64(&out, log.size());
+  for (const auto& [stage, record] : log) {
+    util::PutVarint32(&out, stage);
+    util::PutLengthPrefixed(&out, record);
+  }
+  return out;
+}
+
+Status Pipeline::DecodeCompLog(
+    const Slice& scratch, std::vector<std::pair<uint32_t, std::string>>* log) {
+  log->clear();
+  if (scratch.empty()) return Status::OK();
+  Slice input = scratch;
+  uint64_t count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t stage = 0;
+    std::string record;
+    RRQ_RETURN_IF_ERROR(util::GetVarint32(&input, &stage));
+    RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &record));
+    log->emplace_back(stage, std::move(record));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::ProcessOneAt(size_t stage) {
+  if (stage >= stages_.size()) {
+    return Status::InvalidArgument("no such stage");
+  }
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    auto txn = txn_mgr_->Begin();
+    auto dequeued = repo_->Dequeue(txn.get(), StageQueue(stage), "", Slice(),
+                                   options_.poll_timeout_micros);
+    if (!dequeued.ok()) {
+      txn->Abort();
+      return dequeued.status();
+    }
+
+    queue::RequestEnvelope request;
+    Status parse = queue::DecodeRequestEnvelope(dequeued->contents, &request);
+    if (!parse.ok()) {
+      txn->Abort();
+      return parse;
+    }
+
+    auto result = stages_[stage].handler(txn.get(), request);
+    if (!result.ok()) {
+      txn->Abort();
+      last = result.status();
+      const Status& s = result.status();
+      if (s.IsAborted() || s.IsBusy() || s.IsTimedOut()) continue;
+      return s;
+    }
+
+    // Extend the compensation log carried in the scratch pad.
+    if (!result->compensation.empty()) {
+      std::vector<std::pair<uint32_t, std::string>> log;
+      Status decode = DecodeCompLog(request.scratch, &log);
+      if (!decode.ok()) {
+        txn->Abort();
+        return decode;
+      }
+      log.emplace_back(static_cast<uint32_t>(stage),
+                       std::move(result->compensation));
+      request.scratch = EncodeCompLog(log);
+    }
+    request.body = std::move(result->body);
+
+    Status enq_status;
+    if (stage + 1 < stages_.size()) {
+      auto enq = repo_->Enqueue(txn.get(), StageQueue(stage + 1),
+                                queue::EncodeRequestEnvelope(request));
+      enq_status = enq.status();
+    } else if (!request.reply_queue.empty()) {
+      queue::ReplyEnvelope reply;
+      reply.rid = request.rid;
+      reply.success = true;
+      reply.body = request.body;
+      auto enq = repo_->Enqueue(txn.get(), request.reply_queue,
+                                queue::EncodeReplyEnvelope(reply),
+                                request.reply_priority);
+      enq_status = enq.status();
+    }
+    if (!enq_status.ok()) {
+      txn->Abort();
+      return enq_status;
+    }
+
+    Status commit = txn->Commit();
+    if (!commit.ok()) {
+      last = commit;
+      continue;  // Deadlock victim or killed element: maybe retry.
+    }
+    if (stage + 1 == stages_.size()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+  return last.ok() ? Status::Aborted("stage retries exhausted") : last;
+}
+
+Status Pipeline::ProcessOneCompensation() {
+  auto txn = txn_mgr_->Begin();
+  auto dequeued = repo_->Dequeue(txn.get(), CompensationQueue());
+  if (!dequeued.ok()) {
+    txn->Abort();
+    return dequeued.status();
+  }
+  queue::RequestEnvelope request;
+  Status parse = queue::DecodeRequestEnvelope(dequeued->contents, &request);
+  if (!parse.ok()) {
+    txn->Abort();
+    return parse;
+  }
+  std::vector<std::pair<uint32_t, std::string>> log;
+  Status decode = DecodeCompLog(request.scratch, &log);
+  if (!decode.ok()) {
+    txn->Abort();
+    return decode;
+  }
+
+  if (!log.empty()) {
+    // Undo the most recent committed stage, then requeue the remainder
+    // — one compensating transaction per step (§7: compensations run
+    // as a serial multi-transaction request).
+    const auto [stage, record] = log.back();
+    log.pop_back();
+    if (stage < stages_.size() && stages_[stage].compensate != nullptr) {
+      Status comp = stages_[stage].compensate(txn.get(), record);
+      if (!comp.ok()) {
+        txn->Abort();
+        return comp;
+      }
+    }
+    request.scratch = EncodeCompLog(log);
+    if (!log.empty()) {
+      auto enq = repo_->Enqueue(txn.get(), CompensationQueue(),
+                                queue::EncodeRequestEnvelope(request));
+      if (!enq.ok()) {
+        txn->Abort();
+        return enq.status();
+      }
+    }
+  }
+
+  if (log.empty() && !request.reply_queue.empty()) {
+    queue::ReplyEnvelope reply;
+    reply.rid = request.rid;
+    reply.success = false;
+    reply.body = "request cancelled";
+    auto enq = repo_->Enqueue(txn.get(), request.reply_queue,
+                              queue::EncodeReplyEnvelope(reply),
+                              request.reply_priority);
+    if (!enq.ok()) {
+      txn->Abort();
+      return enq.status();
+    }
+  }
+
+  Status commit = txn->Commit();
+  if (commit.ok()) compensations_.fetch_add(1, std::memory_order_relaxed);
+  return commit;
+}
+
+Result<CancelOutcome> Pipeline::Cancel(const std::string& rid) {
+  // Look for the request between stages, newest position first (it
+  // can only move forward; scanning backward avoids chasing it).
+  for (size_t stage = stages_.size(); stage-- > 0;) {
+    auto txn = txn_mgr_->Begin();
+    queue::Selector match_rid =
+        [&rid](const std::vector<queue::Element*>& candidates) -> size_t {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        queue::RequestEnvelope envelope;
+        if (queue::DecodeRequestEnvelope(candidates[i]->contents, &envelope)
+                .ok() &&
+            envelope.rid == rid) {
+          return i;
+        }
+      }
+      return SIZE_MAX;
+    };
+    auto dequeued = repo_->DequeueSelected(txn.get(), StageQueue(stage),
+                                           match_rid);
+    if (!dequeued.ok()) {
+      txn->Abort();
+      continue;
+    }
+    queue::RequestEnvelope request;
+    Status parse = queue::DecodeRequestEnvelope(dequeued->contents, &request);
+    if (!parse.ok()) {
+      txn->Abort();
+      return parse;
+    }
+    std::vector<std::pair<uint32_t, std::string>> log;
+    RRQ_RETURN_IF_ERROR(DecodeCompLog(request.scratch, &log));
+    if (stage == 0 && log.empty()) {
+      // Nothing committed yet: plain §7 cancellation.
+      RRQ_RETURN_IF_ERROR(txn->Commit());
+      return CancelOutcome::kKilledInQueue;
+    }
+    // Atomically swap the in-flight request for a compensation request.
+    auto enq = repo_->Enqueue(txn.get(), CompensationQueue(),
+                              queue::EncodeRequestEnvelope(request));
+    if (!enq.ok()) {
+      txn->Abort();
+      return enq.status();
+    }
+    RRQ_RETURN_IF_ERROR(txn->Commit());
+    return CancelOutcome::kCompensating;
+  }
+  return CancelOutcome::kTooLate;
+}
+
+Status Pipeline::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("pipeline already running");
+  }
+  for (size_t stage = 0; stage < stages_.size(); ++stage) {
+    for (int t = 0; t < options_.threads_per_stage; ++t) {
+      workers_.emplace_back([this, stage]() { WorkerLoop(stage); });
+    }
+  }
+  workers_.emplace_back([this]() { CompensationLoop(); });
+  return Status::OK();
+}
+
+void Pipeline::Stop() {
+  running_.store(false);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Pipeline::WorkerLoop(size_t stage) {
+  while (running_.load(std::memory_order_relaxed)) {
+    ProcessOneAt(stage);
+  }
+}
+
+void Pipeline::CompensationLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    Status s = ProcessOneCompensation();
+    if (s.IsNotFound()) {
+      // Idle; ProcessOneCompensation uses a zero timeout.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+}  // namespace rrq::server

@@ -1,0 +1,145 @@
+#ifndef RRQ_SERVER_PIPELINE_H_
+#define RRQ_SERVER_PIPELINE_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::server {
+
+/// What one pipeline stage produces: the body passed to the next stage
+/// (or, for the final stage, the reply body) and an optional
+/// compensation record. A non-empty compensation is pushed onto the
+/// request's scratch pad and replayed — in reverse order, one
+/// transaction each — if the request is cancelled after this stage
+/// committed (§7, sagas).
+struct StageResult {
+  std::string body;
+  std::string compensation;
+};
+
+/// Stage application logic, run inside that stage's transaction.
+using StageHandler = std::function<Result<StageResult>(
+    txn::Transaction* t, const queue::RequestEnvelope& request)>;
+
+/// Undoes one stage's committed effects given its compensation record.
+using CompensationHandler =
+    std::function<Status(txn::Transaction* t, const std::string& compensation)>;
+
+struct PipelineStage {
+  std::string name;
+  StageHandler handler;
+  /// Required for cancellable pipelines; may be null otherwise.
+  CompensationHandler compensate;
+};
+
+struct PipelineOptions {
+  std::string name = "pipeline";
+  /// Stage i dequeues from "<queue_prefix>.<i>"; the compensation
+  /// queue is "<queue_prefix>.comp".
+  std::string queue_prefix;
+  int threads_per_stage = 1;
+  uint64_t poll_timeout_micros = 50'000;
+  /// Retry budget per stage execution (deadlock victims etc.).
+  int max_attempts = 3;
+  /// Queue options applied to every stage queue.
+  queue::QueueOptions stage_queue_options;
+};
+
+/// Outcome of Pipeline::Cancel (§7).
+enum class CancelOutcome : int {
+  /// The request was still in the entry queue; simply deleted.
+  kKilledInQueue = 0,
+  /// Found between stages; committed stages will be compensated and
+  /// the client will get a failure ("cancelled") reply.
+  kCompensating = 1,
+  /// Not found: it completed, or is locked by an executing stage right
+  /// now. Cancellation after completion needs an application-level
+  /// compensating request.
+  kTooLate = 2,
+};
+
+/// A serial multi-transaction request processor (Fig 6): a sequence of
+/// server stages connected by queue pairs. Each stage is one
+/// transaction {dequeue, process, enqueue-to-next}; the final stage
+/// enqueues the reply. State crosses transaction boundaries only
+/// through the request's scratch pad or a transactional store (§6's
+/// rule: local variables do not survive).
+///
+/// The chain cannot be broken by failures: any crash aborts one
+/// stage's transaction, returning the request to that stage's input
+/// queue. Exactly-once processing of the whole request follows from
+/// the single-transaction argument applied per stage.
+class Pipeline {
+ public:
+  Pipeline(PipelineOptions options, queue::QueueRepository* repo,
+           txn::TransactionManager* txn_mgr,
+           std::vector<PipelineStage> stages);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Creates the stage queues (idempotent).
+  Status Setup();
+
+  /// The queue clients Send requests to.
+  std::string entry_queue() const { return StageQueue(0); }
+
+  Status Start();
+  void Stop();
+
+  /// Runs one {dequeue, process, forward} cycle of stage `stage` on
+  /// the caller's thread (deterministic tests/benches). NotFound when
+  /// that stage's queue is empty.
+  Status ProcessOneAt(size_t stage);
+
+  /// Runs one compensation step (one transaction) if any compensation
+  /// request is pending. NotFound when none.
+  Status ProcessOneCompensation();
+
+  /// Cancels the request with `rid` (§7). See CancelOutcome.
+  Result<CancelOutcome> Cancel(const std::string& rid);
+
+  uint64_t completed_count() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t compensation_count() const {
+    return compensations_.load(std::memory_order_relaxed);
+  }
+
+  std::string StageQueue(size_t stage) const;
+  std::string CompensationQueue() const;
+
+ private:
+  // Scratch-pad compensation log: (stage index, record) pairs.
+  static std::string EncodeCompLog(
+      const std::vector<std::pair<uint32_t, std::string>>& log);
+  static Status DecodeCompLog(
+      const Slice& scratch,
+      std::vector<std::pair<uint32_t, std::string>>* log);
+
+  void WorkerLoop(size_t stage);
+  void CompensationLoop();
+
+  PipelineOptions options_;
+  queue::QueueRepository* repo_;
+  txn::TransactionManager* txn_mgr_;
+  std::vector<PipelineStage> stages_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> compensations_{0};
+};
+
+}  // namespace rrq::server
+
+#endif  // RRQ_SERVER_PIPELINE_H_

@@ -1,0 +1,167 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace rrq::server {
+
+Server::Server(ServerOptions options, queue::QueueRepository* repo,
+               txn::TransactionManager* txn_mgr, RequestHandler handler)
+    : options_(std::move(options)),
+      repo_(repo),
+      txn_mgr_(txn_mgr),
+      handler_(std::move(handler)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  running_.store(false);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Server::InjectCrashBeforeCommit(int after_requests) {
+  crash_after_.store(after_requests);
+}
+
+Status Server::ProcessOne() {
+  auto txn = txn_mgr_->Begin();
+  auto dequeued =
+      options_.scheduler != nullptr
+          ? repo_->DequeueSelected(txn.get(), options_.request_queue,
+                                   options_.scheduler)
+          : repo_->Dequeue(txn.get(), options_.request_queue,
+                           /*registrant=*/"", /*tag=*/Slice(),
+                           options_.poll_timeout_micros);
+  if (!dequeued.ok()) {
+    txn->Abort();
+    if (options_.scheduler != nullptr && dequeued.status().IsNotFound() &&
+        options_.poll_timeout_micros > 0) {
+      // Selector dequeues don't block; pace the idle loop.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.poll_timeout_micros));
+    }
+    return dequeued.status();
+  }
+
+  queue::RequestEnvelope request;
+  Status parse = queue::DecodeRequestEnvelope(dequeued->contents, &request);
+  if (!parse.ok()) {
+    // Malformed requests abort repeatedly and drain to the error queue,
+    // where the scavenger answers with a failure reply (§4.2).
+    txn->Abort();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return parse;
+  }
+
+  // Simulated server crash between dequeue and commit: the abort
+  // returns the request to the queue, so no work is lost (§2).
+  int expected = crash_after_.load(std::memory_order_relaxed);
+  while (expected >= 0 &&
+         !crash_after_.compare_exchange_weak(expected, expected - 1)) {
+  }
+  if (expected == 0) {
+    txn->Abort();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("injected server crash");
+  }
+
+  Result<std::string> reply_body = handler_(txn.get(), request);
+  if (!reply_body.ok()) {
+    txn->Abort();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return reply_body.status();
+  }
+
+  const std::string& reply_queue = request.reply_queue.empty()
+                                       ? options_.default_reply_queue
+                                       : request.reply_queue;
+  if (!reply_queue.empty()) {
+    queue::ReplyEnvelope reply;
+    reply.rid = request.rid;
+    reply.success = true;
+    reply.body = std::move(*reply_body);
+    auto enq = repo_->Enqueue(txn.get(), reply_queue,
+                              queue::EncodeReplyEnvelope(reply),
+                              request.reply_priority);
+    if (!enq.ok()) {
+      txn->Abort();
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+      return enq.status();
+    }
+  }
+
+  Status commit = txn->Commit();
+  if (!commit.ok()) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return commit;
+  }
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Server::ScavengeOneError() {
+  auto qopts = repo_->GetQueueOptions(options_.request_queue);
+  if (!qopts.ok() || qopts->error_queue.empty() ||
+      !repo_->QueueExists(qopts->error_queue)) {
+    return Status::NotFound("no error queue");
+  }
+  auto txn = txn_mgr_->Begin();
+  auto dead = repo_->Dequeue(txn.get(), qopts->error_queue);
+  if (!dead.ok()) {
+    txn->Abort();
+    return dead.status();
+  }
+  queue::RequestEnvelope request;
+  Status parse = queue::DecodeRequestEnvelope(dead->contents, &request);
+  const std::string reply_queue =
+      parse.ok() && !request.reply_queue.empty() ? request.reply_queue
+                                                 : options_.default_reply_queue;
+  if (!reply_queue.empty()) {
+    // §3: the failure reply is "a promise that it will not attempt to
+    // execute the request any more".
+    queue::ReplyEnvelope reply;
+    reply.rid = request.rid;
+    reply.success = false;
+    reply.body = "request failed permanently: " + dead->abort_code;
+    auto enq = repo_->Enqueue(txn.get(), reply_queue,
+                              queue::EncodeReplyEnvelope(reply),
+                              request.reply_priority);
+    if (!enq.ok()) {
+      txn->Abort();
+      return enq.status();
+    }
+  }
+  Status commit = txn->Commit();
+  if (commit.ok()) failure_replies_.fetch_add(1, std::memory_order_relaxed);
+  return commit;
+}
+
+void Server::WorkerLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    Status s = ProcessOne();
+    if (s.ok()) continue;
+    if (options_.reply_on_failure) {
+      // Opportunistically answer permanently failed requests.
+      ScavengeOneError();
+    }
+    // NotFound/TimedOut: queue idle. Aborted: the request went back to
+    // its queue; someone (maybe us) will redo it. Either way, loop.
+  }
+}
+
+}  // namespace rrq::server

@@ -1,0 +1,122 @@
+#ifndef RRQ_SERVER_SERVER_H_
+#define RRQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::server {
+
+/// The application logic a server runs for each request, inside the
+/// request's transaction (Fig 5: "process request and prepare reply").
+/// May read/write transactional stores by enlisting them on `t`.
+/// Returning OK produces the reply body; returning an error aborts the
+/// transaction, returning the request to its queue (and eventually to
+/// the error queue, §4.2).
+using RequestHandler = std::function<Result<std::string>(
+    txn::Transaction* t, const queue::RequestEnvelope& request)>;
+
+struct ServerOptions {
+  std::string name = "server";
+  /// The queue this server dequeues requests from.
+  std::string request_queue;
+  /// Where replies go when the request envelope names no reply queue.
+  std::string default_reply_queue;
+  /// Number of identical server threads dequeuing the same queue —
+  /// the paper's load sharing (§1).
+  int threads = 1;
+  /// Bound on each idle dequeue wait.
+  uint64_t poll_timeout_micros = 50'000;
+  /// When a request fails with a retryable error (deadlock victim),
+  /// how many times this server re-runs it before letting the abort
+  /// machinery requeue it.
+  int max_attempts = 1;
+  /// When true, requests that permanently fail (handler returns a
+  /// non-retryable error) still get a reply with success=false —
+  /// §3's "promise that it will not attempt to execute the request
+  /// any more".
+  bool reply_on_failure = true;
+  /// Optional request scheduler (§10: "requests may be scheduled for
+  /// the server by priority, request contents (highest dollar amount
+  /// first), submission time, etc."). When set, the server picks the
+  /// next request with this selector instead of (priority, FIFO)
+  /// order. Note: a selector bypasses the blocking wait, so idle polls
+  /// spin at poll_timeout granularity.
+  queue::Selector scheduler;
+};
+
+/// The server process of the System Model (Fig 5): an endless loop of
+/// {start transaction; dequeue request; process; enqueue reply;
+/// commit}. Multiple instances (threads) may serve one queue.
+///
+/// The repository, transaction manager, and handler are not owned and
+/// must outlive the server.
+class Server {
+ public:
+  Server(ServerOptions options, queue::QueueRepository* repo,
+         txn::TransactionManager* txn_mgr, RequestHandler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the worker threads.
+  Status Start();
+
+  /// Stops the workers (after their in-flight transaction resolves).
+  void Stop();
+
+  /// Runs a single {dequeue, process, reply, commit} cycle on the
+  /// caller's thread. Returns NotFound when no request was available.
+  /// Used by tests and by deterministic benchmarks that need
+  /// lock-step control instead of free-running threads.
+  Status ProcessOne();
+
+  /// Injects a crash before the next commit: the n-th future request
+  /// transaction is aborted mid-flight, simulating a server failure
+  /// between dequeue and commit. The request must survive (return to
+  /// its queue) — the §2 failure scenario.
+  void InjectCrashBeforeCommit(int after_requests);
+
+  /// Takes one element from the request queue's error queue and sends
+  /// the failure reply for it (§3/§4.2). Returns NotFound when the
+  /// error queue is absent or empty.
+  Status ScavengeOneError();
+
+  uint64_t processed_count() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted_count() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+  uint64_t failure_replies() const {
+    return failure_replies_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  ServerOptions options_;
+  queue::QueueRepository* repo_;
+  txn::TransactionManager* txn_mgr_;
+  RequestHandler handler_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> failure_replies_{0};
+  std::atomic<int> crash_after_{-1};
+};
+
+}  // namespace rrq::server
+
+#endif  // RRQ_SERVER_SERVER_H_

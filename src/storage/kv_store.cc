@@ -1,0 +1,404 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/logging.h"
+#include "wal/log_reader.h"
+
+namespace rrq::storage {
+
+namespace {
+
+// WAL record types.
+constexpr unsigned char kRecPrepare = 1;
+constexpr unsigned char kRecCommit = 2;
+// Fused 1PC record: write set that is committed the moment the record
+// is durable.
+constexpr unsigned char kRecCommitted = 3;
+
+// Write-op tags inside a prepare/committed record.
+constexpr unsigned char kOpPut = 1;
+constexpr unsigned char kOpDelete = 2;
+
+}  // namespace
+
+KvStore::KvStore(std::string name, KvStoreOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (options_.lock_prefix.empty()) {
+    options_.lock_prefix = options_.dir.empty() ? "kv:" + name_ : options_.dir;
+  }
+}
+
+KvStore::~KvStore() = default;
+
+std::string KvStore::LockKey(const Slice& key) const {
+  return options_.lock_prefix + "\x1f" + key.ToString();
+}
+
+std::string KvStore::WalPath(uint64_t generation) const {
+  return options_.dir + "/WAL-" + std::to_string(generation);
+}
+std::string KvStore::CheckpointPath(uint64_t generation) const {
+  return options_.dir + "/CHECKPOINT-" + std::to_string(generation);
+}
+std::string KvStore::CurrentPath() const { return options_.dir + "/CURRENT"; }
+
+Status KvStore::Open() {
+  if (opened_) return Status::FailedPrecondition("KvStore already open");
+  if (options_.env == nullptr) {
+    opened_ = true;
+    return Status::OK();
+  }
+  env::Env* env = options_.env;
+  RRQ_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
+
+  if (env->FileExists(CurrentPath())) {
+    std::string current;
+    RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, CurrentPath(), &current));
+    Slice input(current);
+    uint64_t generation = 0;
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &generation));
+    generation_ = generation;
+    RRQ_RETURN_IF_ERROR(LoadCheckpoint(generation_));
+    RRQ_RETURN_IF_ERROR(ReplayWal(generation_));
+  }
+  RRQ_RETURN_IF_ERROR(OpenWalForAppend(generation_));
+  if (!options_.env->FileExists(CurrentPath())) {
+    std::string current;
+    util::PutVarint64(&current, generation_);
+    RRQ_RETURN_IF_ERROR(
+        env::WriteStringToFileSync(env, current, CurrentPath()));
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status KvStore::LoadCheckpoint(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = CheckpointPath(generation);
+  if (!env->FileExists(path)) return Status::OK();  // Empty baseline.
+  std::string data;
+  RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, path, &data));
+  Slice input(data);
+  uint64_t count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &count));
+  std::lock_guard<std::mutex> guard(mu_);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key, value;
+    RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &key));
+    RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &value));
+    data_[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+Status KvStore::ReplayWal(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = WalPath(generation);
+  if (!env->FileExists(path)) return Status::OK();
+
+  std::unique_ptr<env::SequentialFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewSequentialFile(path, &file));
+  wal::LogReader reader(std::move(file));
+
+  std::unordered_map<txn::TxnId, WriteSet> prepared;
+  Slice record;
+  std::string scratch;
+  std::lock_guard<std::mutex> guard(mu_);
+  while (reader.ReadRecord(&record, &scratch)) {
+    Slice input = record;
+    if (input.empty()) continue;
+    unsigned char type = static_cast<unsigned char>(input[0]);
+    input.remove_prefix(1);
+    uint64_t id = 0;
+    RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
+
+    if (type == kRecCommit) {
+      auto it = prepared.find(id);
+      if (it != prepared.end()) {
+        ApplyLocked(it->second);
+        prepared.erase(it);
+        ++recovered_txns_;
+      }
+      continue;
+    }
+    if (type != kRecPrepare && type != kRecCommitted) {
+      return Status::Corruption("unknown KvStore WAL record type");
+    }
+    uint64_t op_count = 0;
+    RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
+    WriteSet ws;
+    ws.reserve(static_cast<size_t>(op_count));
+    for (uint64_t i = 0; i < op_count; ++i) {
+      if (input.empty()) return Status::Corruption("truncated write set");
+      unsigned char op = static_cast<unsigned char>(input[0]);
+      input.remove_prefix(1);
+      WriteOp w;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &w.key));
+      if (op == kOpPut) {
+        std::string value;
+        RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &value));
+        w.value = std::move(value);
+      } else if (op != kOpDelete) {
+        return Status::Corruption("unknown write-op tag");
+      }
+      ws.push_back(std::move(w));
+    }
+    if (type == kRecCommitted) {
+      ApplyLocked(ws);
+      ++recovered_txns_;
+    } else {
+      prepared[id] = std::move(ws);
+    }
+  }
+
+  // In-doubt resolution (presumed abort unless a resolver says
+  // otherwise).
+  for (auto& [id, ws] : prepared) {
+    const bool committed =
+        options_.in_doubt_resolver != nullptr && options_.in_doubt_resolver(id);
+    if (committed) {
+      ApplyLocked(ws);
+      ++recovered_txns_;
+      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                     << " resolved to COMMIT";
+    } else {
+      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                     << " resolved to ABORT (presumed)";
+    }
+  }
+  return Status::OK();
+}
+
+Status KvStore::OpenWalForAppend(uint64_t generation) {
+  env::Env* env = options_.env;
+  const std::string path = WalPath(generation);
+  uint64_t size = 0;
+  if (env->FileExists(path)) {
+    RRQ_RETURN_IF_ERROR(env->GetFileSize(path, &size));
+  }
+  std::unique_ptr<env::WritableFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  return Status::OK();
+}
+
+void KvStore::ApplyLocked(const WriteSet& ws) {
+  for (const WriteOp& op : ws) {
+    if (op.value.has_value()) {
+      data_[op.key] = *op.value;
+    } else {
+      data_.erase(op.key);
+    }
+  }
+}
+
+void KvStore::EncodeWriteSet(txn::TxnId id, const WriteSet& ws,
+                             unsigned char type, std::string* out) {
+  out->push_back(static_cast<char>(type));
+  util::PutFixed64(out, id);
+  util::PutVarint64(out, ws.size());
+  for (const WriteOp& op : ws) {
+    out->push_back(
+        static_cast<char>(op.value.has_value() ? kOpPut : kOpDelete));
+    util::PutLengthPrefixed(out, op.key);
+    if (op.value.has_value()) util::PutLengthPrefixed(out, *op.value);
+  }
+}
+
+Status KvStore::LogAndMaybeSync(const std::string& record, bool sync) {
+  if (wal_ == nullptr) return Status::OK();
+  RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+  if (sync) return wal_->Sync();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transactional operations
+
+Status KvStore::Put(txn::Transaction* t, const Slice& key,
+                    const Slice& value) {
+  RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kExclusive,
+                              options_.lock_timeout_micros));
+  t->Enlist(this);
+  std::lock_guard<std::mutex> guard(mu_);
+  pending_[t->id()].push_back(WriteOp{key.ToString(), value.ToString()});
+  return Status::OK();
+}
+
+Status KvStore::Delete(txn::Transaction* t, const Slice& key) {
+  RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kExclusive,
+                              options_.lock_timeout_micros));
+  t->Enlist(this);
+  std::lock_guard<std::mutex> guard(mu_);
+  pending_[t->id()].push_back(WriteOp{key.ToString(), std::nullopt});
+  return Status::OK();
+}
+
+Result<std::string> KvStore::Get(txn::Transaction* t, const Slice& key) {
+  RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kShared,
+                              options_.lock_timeout_micros));
+  std::lock_guard<std::mutex> guard(mu_);
+  // Read own (deferred) writes: scan the write set backwards.
+  auto it = pending_.find(t->id());
+  if (it != pending_.end()) {
+    const std::string needle = key.ToString();
+    for (auto op = it->second.rbegin(); op != it->second.rend(); ++op) {
+      if (op->key == needle) {
+        if (op->value.has_value()) return *op->value;
+        return Status::NotFound("deleted in this transaction");
+      }
+    }
+  }
+  auto found = data_.find(key.ToString());
+  if (found == data_.end()) return Status::NotFound(key.ToString());
+  return found->second;
+}
+
+Result<std::string> KvStore::GetForUpdate(txn::Transaction* t,
+                                          const Slice& key) {
+  RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kExclusive,
+                              options_.lock_timeout_micros));
+  return Get(t, key);  // S request is covered by the X hold.
+}
+
+Result<std::string> KvStore::GetCommitted(const Slice& key) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto found = data_.find(key.ToString());
+  if (found == data_.end()) return Status::NotFound(key.ToString());
+  return found->second;
+}
+
+std::vector<std::string> KvStore::ScanKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = data_.lower_bound(prefix);
+       it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+size_t KvStore::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return data_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ResourceManager
+
+Status KvStore::Prepare(txn::TxnId id) {
+  std::string record;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = pending_.find(id);
+    WriteSet ws = it == pending_.end() ? WriteSet{} : std::move(it->second);
+    if (it != pending_.end()) pending_.erase(it);
+    EncodeWriteSet(id, ws, kRecPrepare, &record);
+    prepared_[id] = std::move(ws);
+  }
+  // Prepared state must survive a crash: sync unconditionally.
+  Status s = LogAndMaybeSync(record, /*sync=*/wal_ != nullptr);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    prepared_.erase(id);
+    return s;
+  }
+  return Status::OK();
+}
+
+Status KvStore::CommitTxn(txn::TxnId id) {
+  std::string record;
+  record.push_back(static_cast<char>(kRecCommit));
+  util::PutFixed64(&record, id);
+  RRQ_RETURN_IF_ERROR(LogAndMaybeSync(record, options_.sync_commits));
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = prepared_.find(id);
+  if (it == prepared_.end()) {
+    return Status::Internal("commit of unprepared transaction");
+  }
+  ApplyLocked(it->second);
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+Status KvStore::PrepareAndCommit(txn::TxnId id) {
+  std::string record;
+  WriteSet ws;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      ws = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  EncodeWriteSet(id, ws, kRecCommitted, &record);
+  Status s = LogAndMaybeSync(record, options_.sync_commits);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> guard(mu_);
+  ApplyLocked(ws);
+  return Status::OK();
+}
+
+void KvStore::AbortTxn(txn::TxnId id) {
+  // Presumed abort: drop volatile state, log nothing.
+  std::lock_guard<std::mutex> guard(mu_);
+  pending_.erase(id);
+  prepared_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+Status KvStore::Checkpoint() {
+  if (options_.env == nullptr) return Status::OK();
+  env::Env* env = options_.env;
+
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t next_gen = generation_ + 1;
+
+  // 1. Snapshot committed state.
+  std::string snapshot;
+  util::PutVarint64(&snapshot, data_.size());
+  for (const auto& [key, value] : data_) {
+    util::PutLengthPrefixed(&snapshot, key);
+    util::PutLengthPrefixed(&snapshot, value);
+  }
+  RRQ_RETURN_IF_ERROR(
+      env::WriteStringToFileSync(env, snapshot, CheckpointPath(next_gen)));
+
+  // 2. Fresh WAL, re-logging in-flight prepares so in-doubt
+  //    transactions stay resolvable.
+  std::unique_ptr<env::WritableFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
+  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file));
+  for (const auto& [id, ws] : prepared_) {
+    std::string record;
+    EncodeWriteSet(id, ws, kRecPrepare, &record);
+    RRQ_RETURN_IF_ERROR(new_wal->AddRecord(record));
+  }
+  RRQ_RETURN_IF_ERROR(new_wal->Sync());
+
+  // 3. Activate.
+  std::string current;
+  util::PutVarint64(&current, next_gen);
+  RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
+
+  // 4. Retire the old generation.
+  env->RemoveFile(WalPath(generation_));
+  env->RemoveFile(CheckpointPath(generation_));
+  generation_ = next_gen;
+  wal_ = std::move(new_wal);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t KvStore::wal_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->PhysicalSize();
+}
+
+}  // namespace rrq::storage

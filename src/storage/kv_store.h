@@ -1,0 +1,145 @@
+#ifndef RRQ_STORAGE_KV_STORE_H_
+#define RRQ_STORAGE_KV_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "env/env.h"
+#include "txn/resource_manager.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_writer.h"
+
+namespace rrq::storage {
+
+/// Options for KvStore.
+struct KvStoreOptions {
+  /// Environment for durable state. nullptr makes the store volatile
+  /// (no WAL, no recovery) — useful for baselines and benchmarks.
+  env::Env* env = nullptr;
+  /// Directory for WAL / checkpoint / CURRENT files.
+  std::string dir;
+  /// Sync the commit record before acknowledging commit. Turning this
+  /// off trades the durability of the last few transactions for speed.
+  bool sync_commits = true;
+  /// Resolves in-doubt transactions found during recovery (prepared
+  /// but neither committed nor aborted). Defaults to presumed abort.
+  /// Wire this to TransactionManager::WasCommitted for 2PC.
+  std::function<bool(txn::TxnId)> in_doubt_resolver;
+  /// Prefix namespacing this store's keys in the shared lock manager.
+  /// Defaults to `dir` (or "kv" when dir is empty).
+  std::string lock_prefix;
+  /// Bound on every lock wait inside Get/Put/Delete. Waiters past the
+  /// bound fail with TimedOut (deadlock victims fail sooner, with
+  /// Aborted).
+  uint64_t lock_timeout_micros = 10'000'000;
+};
+
+/// A recoverable, transactional key-value store: the "shared updatable
+/// database" the paper's back-end servers operate on, and the
+/// substrate for the §6 application-lock table.
+///
+/// Design: main-memory std::map of committed state; per-transaction
+/// deferred write sets; strict 2PL via the enclosing transaction's
+/// lock manager; redo-only WAL (prepare record carries the write set,
+/// commit record makes it applicable); fuzzy checkpoint that snapshots
+/// committed state and re-logs in-flight prepares into a fresh WAL.
+///
+/// Thread-safe.
+class KvStore final : public txn::ResourceManager {
+ public:
+  explicit KvStore(std::string name, KvStoreOptions options = {});
+  ~KvStore() override;
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Recovers durable state (checkpoint + WAL replay). Must be called
+  /// once before use.
+  Status Open();
+
+  // ---- Transactional operations -------------------------------------
+  // Each auto-enlists this store in *t* and acquires the appropriate
+  // two-phase lock. Writes are deferred to commit; reads see the
+  // transaction's own writes.
+
+  Status Put(txn::Transaction* t, const Slice& key, const Slice& value);
+  Status Delete(txn::Transaction* t, const Slice& key);
+
+  /// Shared-locked read. NotFound when absent (or deleted by *t*).
+  Result<std::string> Get(txn::Transaction* t, const Slice& key);
+
+  /// Exclusive-locked read (read-for-update), avoiding S->X upgrade
+  /// deadlocks in read-modify-write transactions.
+  Result<std::string> GetForUpdate(txn::Transaction* t, const Slice& key);
+
+  // ---- Non-transactional reads (read committed, no locks) -----------
+
+  Result<std::string> GetCommitted(const Slice& key) const;
+  std::vector<std::string> ScanKeys(const std::string& prefix) const;
+  size_t size() const;
+
+  /// Writes a checkpoint and truncates the WAL.
+  Status Checkpoint();
+
+  // ---- txn::ResourceManager ------------------------------------------
+  std::string_view rm_name() const override { return name_; }
+  Status Prepare(txn::TxnId txn) override;
+  Status CommitTxn(txn::TxnId txn) override;
+  void AbortTxn(txn::TxnId txn) override;
+  Status PrepareAndCommit(txn::TxnId txn) override;
+
+  // ---- Introspection ---------------------------------------------------
+  uint64_t wal_bytes() const;
+  uint64_t checkpoint_count() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  uint64_t recovered_txn_count() const { return recovered_txns_; }
+
+ private:
+  struct WriteOp {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = delete
+  };
+  using WriteSet = std::vector<WriteOp>;
+
+  std::string LockKey(const Slice& key) const;
+  // Serialization of WAL records.
+  static void EncodeWriteSet(txn::TxnId id, const WriteSet& ws,
+                             unsigned char type, std::string* out);
+  Status LogAndMaybeSync(const std::string& record, bool sync);
+  // Applies a write set to committed state. Requires mu_ held.
+  void ApplyLocked(const WriteSet& ws);
+  Status OpenWalForAppend(uint64_t generation);
+  Status LoadCheckpoint(uint64_t generation);
+  Status ReplayWal(uint64_t generation);
+  std::string WalPath(uint64_t generation) const;
+  std::string CheckpointPath(uint64_t generation) const;
+  std::string CurrentPath() const;
+
+  const std::string name_;
+  KvStoreOptions options_;
+  bool opened_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;            // Committed state.
+  std::unordered_map<txn::TxnId, WriteSet> pending_;   // Active write sets.
+  std::unordered_map<txn::TxnId, WriteSet> prepared_;  // Voted yes.
+  uint64_t generation_ = 0;
+  std::unique_ptr<wal::LogWriter> wal_;
+  uint64_t recovered_txns_ = 0;
+  std::atomic<uint64_t> checkpoints_{0};
+};
+
+}  // namespace rrq::storage
+
+#endif  // RRQ_STORAGE_KV_STORE_H_

@@ -1,0 +1,197 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+#include <vector>
+
+namespace rrq::txn {
+
+bool LockManager::IsCompatible(const LockEntry& entry, TxnId txn,
+                               LockMode mode) const {
+  if (entry.exclusive_holder == txn) return true;  // Re-entrant (covers S).
+  if (entry.exclusive_holder != kInvalidTxnId) return false;
+  if (mode == LockMode::kShared) return true;
+  // Exclusive request: grantable when no other holder; an upgrade is
+  // grantable when txn is the sole shared holder.
+  if (entry.shared_holders.empty()) return true;
+  return entry.shared_holders.size() == 1 &&
+         entry.shared_holders.count(txn) == 1;
+}
+
+void LockManager::Grant(LockEntry* entry, TxnId txn, LockMode mode) {
+  if (mode == LockMode::kShared) {
+    if (entry->exclusive_holder != txn) entry->shared_holders.insert(txn);
+  } else {
+    entry->shared_holders.erase(txn);  // Upgrade consumes the S hold.
+    entry->exclusive_holder = txn;
+  }
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, const LockEntry& entry) const {
+  // DFS over the wait-for graph, starting from the holders `waiter`
+  // would block on, looking for a path back to `waiter`.
+  std::vector<TxnId> stack;
+  std::set<TxnId> visited;
+  auto push_holders = [&stack, &visited](const LockEntry& e) {
+    if (e.exclusive_holder != kInvalidTxnId &&
+        visited.insert(e.exclusive_holder).second) {
+      stack.push_back(e.exclusive_holder);
+    }
+    for (TxnId h : e.shared_holders) {
+      if (visited.insert(h).second) stack.push_back(h);
+    }
+  };
+  push_holders(entry);
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == waiter) return true;
+    auto it = wait_for_.find(t);
+    if (it == wait_for_.end()) continue;
+    for (TxnId next : it->second) {
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void LockManager::MaybeEraseEntry(const std::string& key) {
+  auto it = table_.find(key);
+  if (it != table_.end() && it->second.exclusive_holder == kInvalidTxnId &&
+      it->second.shared_holders.empty() && it->second.waiter_count == 0) {
+    table_.erase(it);
+  }
+}
+
+Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode,
+                         uint64_t timeout_micros) {
+  std::unique_lock<std::mutex> guard(mu_);
+  LockEntry& entry = table_[key];
+
+  if (IsCompatible(entry, txn, mode)) {
+    Grant(&entry, txn, mode);
+    held_[txn].insert(key);
+    return Status::OK();
+  }
+  if (timeout_micros == 0) {
+    MaybeEraseEntry(key);
+    return Status::Busy("lock not immediately available: " + key);
+  }
+  if (WouldDeadlock(txn, entry)) {
+    deadlocks_.fetch_add(1, std::memory_order_relaxed);
+    MaybeEraseEntry(key);
+    return Status::Aborted("deadlock detected waiting for " + key);
+  }
+
+  // Record wait-for edges and block.
+  auto& edges = wait_for_[txn];
+  if (entry.exclusive_holder != kInvalidTxnId) {
+    edges.insert(entry.exclusive_holder);
+  }
+  for (TxnId h : entry.shared_holders) {
+    if (h != txn) edges.insert(h);
+  }
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  ++entry.waiter_count;
+
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = timeout_micros != UINT64_MAX;
+  const auto deadline = start + std::chrono::microseconds(timeout_micros);
+
+  Status result = Status::OK();
+  while (true) {
+    // Re-fetch the entry reference each iteration: the table is a
+    // std::map so references are stable, but re-find defensively in
+    // case the entry was erased while we slept (waiter_count keeps it
+    // alive, so table_[key] is the same node).
+    LockEntry& e = table_[key];
+    if (IsCompatible(e, txn, mode)) {
+      Grant(&e, txn, mode);
+      held_[txn].insert(key);
+      break;
+    }
+    // Re-check deadlock: edges may have formed while we waited.
+    if (WouldDeadlock(txn, e)) {
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      result = Status::Aborted("deadlock detected waiting for " + key);
+      break;
+    }
+    // Refresh wait-for edges to the current holders.
+    auto& my_edges = wait_for_[txn];
+    my_edges.clear();
+    if (e.exclusive_holder != kInvalidTxnId) my_edges.insert(e.exclusive_holder);
+    for (TxnId h : e.shared_holders) {
+      if (h != txn) my_edges.insert(h);
+    }
+    if (bounded) {
+      if (e.cv.wait_until(guard, deadline) == std::cv_status::timeout &&
+          !IsCompatible(table_[key], txn, mode)) {
+        result = Status::TimedOut("lock wait timed out: " + key);
+        break;
+      }
+    } else {
+      // Bounded internal wait so new deadlock cycles are re-examined
+      // even without an explicit wakeup.
+      e.cv.wait_for(guard, std::chrono::milliseconds(50));
+    }
+  }
+
+  LockEntry& e = table_[key];
+  --e.waiter_count;
+  wait_for_.erase(txn);
+  wait_micros_.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()),
+      std::memory_order_relaxed);
+  if (!result.ok()) {
+    MaybeEraseEntry(key);
+    return result;
+  }
+  return Status::OK();
+}
+
+void LockManager::Unlock(TxnId txn, const std::string& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  LockEntry& entry = it->second;
+  if (entry.exclusive_holder == txn) entry.exclusive_holder = kInvalidTxnId;
+  entry.shared_holders.erase(txn);
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    hit->second.erase(key);
+    if (hit->second.empty()) held_.erase(hit);
+  }
+  entry.cv.notify_all();
+  MaybeEraseEntry(key);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  for (const std::string& key : hit->second) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    LockEntry& entry = it->second;
+    if (entry.exclusive_holder == txn) entry.exclusive_holder = kInvalidTxnId;
+    entry.shared_holders.erase(txn);
+    entry.cv.notify_all();
+    MaybeEraseEntry(key);
+  }
+  held_.erase(hit);
+  wait_for_.erase(txn);
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& key,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  const LockEntry& entry = it->second;
+  if (entry.exclusive_holder == txn) return true;
+  return mode == LockMode::kShared && entry.shared_holders.count(txn) > 0;
+}
+
+}  // namespace rrq::txn

@@ -1,0 +1,51 @@
+#ifndef RRQ_TXN_RESOURCE_MANAGER_H_
+#define RRQ_TXN_RESOURCE_MANAGER_H_
+
+#include <string_view>
+
+#include "txn/types.h"
+#include "util/status.h"
+
+namespace rrq::txn {
+
+/// A participant in transaction commit. Queue repositories, the
+/// recoverable KV store, the application-lock table, and even the
+/// paper's "reply processor" (a testable display device) implement
+/// this interface; the TransactionManager drives them through
+/// one-phase or two-phase commit.
+///
+/// Contract:
+///  - Prepare(t): make t's effects durable-but-undoable and vote. After
+///    an OK vote the participant must be able to either commit or
+///    abort t, surviving its own crash (in-doubt resolution goes back
+///    to the coordinator, presumed abort).
+///  - CommitTxn(t): make t's effects visible and permanent. Must
+///    succeed once Prepare voted yes (failures here are fatal
+///    invariant violations, not vetoes).
+///  - AbortTxn(t): undo all of t's effects. Must be idempotent and
+///    must work both before and after Prepare.
+class ResourceManager {
+ public:
+  virtual ~ResourceManager() = default;
+
+  /// Stable diagnostic name ("queue-repo:/bank", "kv:/accounts", ...).
+  virtual std::string_view rm_name() const = 0;
+
+  virtual Status Prepare(TxnId txn) = 0;
+  virtual Status CommitTxn(TxnId txn) = 0;
+  virtual void AbortTxn(TxnId txn) = 0;
+
+  /// One-phase-commit fast path used when this is the only participant:
+  /// the participant may fuse the prepare and commit records into one
+  /// durable write. A failure means the transaction aborted (the
+  /// coordinator will call AbortTxn). Default: Prepare then CommitTxn.
+  virtual Status PrepareAndCommit(TxnId txn) {
+    Status s = Prepare(txn);
+    if (!s.ok()) return s;
+    return CommitTxn(txn);
+  }
+};
+
+}  // namespace rrq::txn
+
+#endif  // RRQ_TXN_RESOURCE_MANAGER_H_

@@ -1,0 +1,264 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/logging.h"
+#include "wal/log_reader.h"
+
+namespace rrq::txn {
+
+namespace {
+
+constexpr unsigned char kDecisionCommit = 1;
+constexpr unsigned char kDecisionForget = 2;
+
+std::string DecisionLogPath(const std::string& dir) {
+  return dir + "/DECISIONS";
+}
+std::string EpochPath(const std::string& dir) { return dir + "/EPOCH"; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction
+
+Transaction::~Transaction() {
+  if (state_ == TxnState::kActive || state_ == TxnState::kPreparing) {
+    Abort();
+  }
+}
+
+void Transaction::Enlist(ResourceManager* rm) {
+  if (std::find(participants_.begin(), participants_.end(), rm) ==
+      participants_.end()) {
+    participants_.push_back(rm);
+  }
+}
+
+void Transaction::OnCommit(std::function<void()> fn) {
+  on_commit_.push_back(std::move(fn));
+}
+
+void Transaction::OnAbort(std::function<void()> fn) {
+  on_abort_.push_back(std::move(fn));
+}
+
+Status Transaction::Lock(const std::string& key, LockMode mode,
+                         uint64_t timeout_micros) {
+  if (state_ != TxnState::kActive) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  return mgr_->lock_manager()->Lock(id_, key, mode, timeout_micros);
+}
+
+Status Transaction::Commit() { return mgr_->CommitInternal(this); }
+
+Status Transaction::Abort() { return mgr_->AbortInternal(this); }
+
+// ---------------------------------------------------------------------------
+// TransactionManager
+
+TransactionManager::TransactionManager(TxnManagerOptions options)
+    : options_(std::move(options)) {}
+
+TransactionManager::~TransactionManager() = default;
+
+Status TransactionManager::Open() {
+  if (options_.env == nullptr) {
+    opened_ = true;
+    return Status::OK();
+  }
+  env::Env* env = options_.env;
+  RRQ_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
+
+  // Load and bump the epoch so TxnIds are never reused across restarts.
+  uint16_t prior_epoch = 0;
+  if (env->FileExists(EpochPath(options_.dir))) {
+    std::string data;
+    RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, EpochPath(options_.dir), &data));
+    if (data.size() >= 4) {
+      prior_epoch = static_cast<uint16_t>(util::DecodeFixed32(data.data()));
+    }
+  }
+  epoch_ = static_cast<uint16_t>(prior_epoch + 1);
+  std::string epoch_bytes(4, '\0');
+  util::EncodeFixed32(epoch_bytes.data(), epoch_);
+  RRQ_RETURN_IF_ERROR(
+      env::WriteStringToFileSync(env, epoch_bytes, EpochPath(options_.dir)));
+
+  // Replay the decision log: committed = commits − forgets.
+  const std::string log_path = DecisionLogPath(options_.dir);
+  if (env->FileExists(log_path)) {
+    std::unique_ptr<env::SequentialFile> file;
+    RRQ_RETURN_IF_ERROR(env->NewSequentialFile(log_path, &file));
+    wal::LogReader reader(std::move(file));
+    Slice record;
+    std::string scratch;
+    std::lock_guard<std::mutex> guard(mu_);
+    while (reader.ReadRecord(&record, &scratch)) {
+      if (record.size() != 9) continue;  // type + fixed64 id
+      unsigned char type = static_cast<unsigned char>(record[0]);
+      TxnId id = util::DecodeFixed64(record.data() + 1);
+      if (type == kDecisionCommit) {
+        committed_.insert(id);
+      } else if (type == kDecisionForget) {
+        committed_.erase(id);
+      }
+    }
+  }
+
+  uint64_t size = 0;
+  if (env->FileExists(log_path)) {
+    RRQ_RETURN_IF_ERROR(env->GetFileSize(log_path, &size));
+  }
+  std::unique_ptr<env::WritableFile> file;
+  RRQ_RETURN_IF_ERROR(env->NewAppendableFile(log_path, &file));
+  decision_log_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  opened_ = true;
+  return Status::OK();
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  uint64_t counter = next_counter_.fetch_add(1, std::memory_order_relaxed);
+  TxnId id = MakeTxnId(epoch_, counter);
+  return std::unique_ptr<Transaction>(new Transaction(this, id));
+}
+
+bool TransactionManager::WasCommitted(TxnId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return committed_.count(id) > 0;
+}
+
+Status TransactionManager::LogDecision(unsigned char type, TxnId id,
+                                       bool sync) {
+  if (decision_log_ == nullptr) return Status::OK();
+  std::string record;
+  record.push_back(static_cast<char>(type));
+  util::PutFixed64(&record, id);
+  RRQ_RETURN_IF_ERROR(decision_log_->AddRecord(record));
+  if (sync) return decision_log_->Sync();
+  return Status::OK();
+}
+
+Status TransactionManager::CommitInternal(Transaction* t) {
+  if (t->state_ == TxnState::kCommitted) return Status::OK();
+  if (t->state_ != TxnState::kActive) {
+    return Status::FailedPrecondition("commit of a non-active transaction");
+  }
+  t->state_ = TxnState::kPreparing;
+
+  // One-participant fast path: fused prepare+commit (1PC).
+  if (t->participants_.size() == 1) {
+    ResourceManager* rm = t->participants_[0];
+    Status s = rm->PrepareAndCommit(t->id_);
+    if (!s.ok()) {
+      t->state_ = TxnState::kActive;
+      AbortInternal(t);
+      return Status::Aborted("commit failed (" + std::string(rm->rm_name()) +
+                             "): " + std::string(s.message()));
+    }
+    t->state_ = TxnState::kCommitted;
+    locks_.ReleaseAll(t->id_);
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& fn : t->on_commit_) fn();
+    t->on_commit_.clear();
+    t->on_abort_.clear();
+    return Status::OK();
+  }
+
+  // Phase 1: collect votes.
+  for (ResourceManager* rm : t->participants_) {
+    Status s = rm->Prepare(t->id_);
+    if (!s.ok()) {
+      RRQ_LOG(kInfo) << "prepare veto from " << rm->rm_name() << ": "
+                     << s.ToString();
+      t->state_ = TxnState::kActive;  // Allow AbortInternal to proceed.
+      AbortInternal(t);
+      return Status::Aborted("prepare failed (" + std::string(rm->rm_name()) +
+                             "): " + std::string(s.message()));
+    }
+  }
+
+  // Decision point: with multiple participants the commit decision
+  // must be durable before phase 2 (presumed abort).
+  {
+    Status s = LogDecision(kDecisionCommit, t->id_, options_.sync_decisions);
+    if (!s.ok()) {
+      t->state_ = TxnState::kActive;
+      AbortInternal(t);
+      return Status::Aborted("decision logging failed: " +
+                             std::string(s.message()));
+    }
+    std::lock_guard<std::mutex> guard(mu_);
+    committed_.insert(t->id_);
+  }
+
+  // Phase 2.
+  Status phase2 = Status::OK();
+  for (ResourceManager* rm : t->participants_) {
+    Status s = rm->CommitTxn(t->id_);
+    if (!s.ok()) {
+      // After a durable commit decision a participant commit failure
+      // is an invariant violation; surface it but keep committing the
+      // rest (a real system would retry the participant).
+      RRQ_LOG(kError) << "post-decision commit failure from " << rm->rm_name()
+                      << ": " << s.ToString();
+      phase2 = Status::Internal("participant failed after commit decision: " +
+                                std::string(s.message()));
+    }
+  }
+
+  {
+    // All participants answered; the decision can be forgotten.
+    LogDecision(kDecisionForget, t->id_, /*sync=*/false);
+    std::lock_guard<std::mutex> guard(mu_);
+    committed_.erase(t->id_);
+  }
+
+  t->state_ = TxnState::kCommitted;
+  locks_.ReleaseAll(t->id_);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& fn : t->on_commit_) fn();
+  t->on_commit_.clear();
+  t->on_abort_.clear();
+  return phase2;
+}
+
+Status TransactionManager::AbortInternal(Transaction* t) {
+  if (t->state_ == TxnState::kAborted) return Status::OK();
+  if (t->state_ == TxnState::kCommitted) {
+    return Status::FailedPrecondition("abort of a committed transaction");
+  }
+  for (ResourceManager* rm : t->participants_) {
+    rm->AbortTxn(t->id_);
+  }
+  t->state_ = TxnState::kAborted;
+  locks_.ReleaseAll(t->id_);
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& fn : t->on_abort_) fn();
+  t->on_commit_.clear();
+  t->on_abort_.clear();
+  return Status::OK();
+}
+
+Status RunInTransaction(TransactionManager* mgr, int max_attempts,
+                        const std::function<Status(Transaction*)>& body) {
+  Status last = Status::Internal("RunInTransaction: no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto txn = mgr->Begin();
+    Status s = body(txn.get());
+    if (s.ok()) {
+      s = txn->Commit();
+      if (s.ok()) return Status::OK();
+    } else {
+      txn->Abort();
+    }
+    last = s;
+    const bool retryable = s.IsAborted() || s.IsBusy() || s.IsTimedOut();
+    if (!retryable) return s;
+  }
+  return last;
+}
+
+}  // namespace rrq::txn

@@ -1,0 +1,153 @@
+#ifndef RRQ_TXN_TXN_MANAGER_H_
+#define RRQ_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "env/env.h"
+#include "txn/lock_manager.h"
+#include "txn/resource_manager.h"
+#include "txn/types.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "wal/log_writer.h"
+
+namespace rrq::txn {
+
+class TransactionManager;
+
+/// Handle for one transaction. Obtained from
+/// TransactionManager::Begin(); single-threaded use (one transaction
+/// is driven by one thread, the paper's server model).
+///
+/// Destroying an active transaction aborts it.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+
+  /// Adds `rm` as a commit participant. Idempotent. `rm` must outlive
+  /// the transaction.
+  void Enlist(ResourceManager* rm);
+
+  /// Registers a volatile action to run after the commit decision is
+  /// final (e.g. waking a dequeuer). Not recovered across crashes.
+  void OnCommit(std::function<void()> fn);
+
+  /// Registers a volatile action to run if the transaction aborts.
+  void OnAbort(std::function<void()> fn);
+
+  /// Acquires a two-phase lock held until commit/abort.
+  Status Lock(const std::string& key, LockMode mode,
+              uint64_t timeout_micros = UINT64_MAX);
+
+  /// Commits: prepares every participant, durably logs the decision
+  /// (when more than one participant and the coordinator is durable),
+  /// then commits participants, releases locks, runs callbacks.
+  /// On any prepare failure the transaction aborts and the result is
+  /// Status::Aborted carrying the veto message.
+  Status Commit();
+
+  /// Aborts: undoes every participant, releases locks, runs abort
+  /// callbacks. Idempotent once terminal.
+  Status Abort();
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, TxnId id) : mgr_(mgr), id_(id) {}
+
+  TransactionManager* mgr_;
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<ResourceManager*> participants_;
+  std::vector<std::function<void()>> on_commit_;
+  std::vector<std::function<void()>> on_abort_;
+};
+
+/// Options for TransactionManager.
+struct TxnManagerOptions {
+  /// Environment for the durable decision log; nullptr makes the
+  /// coordinator volatile (fine for single-repository systems where
+  /// 1PC never writes a decision record).
+  env::Env* env = nullptr;
+  /// Directory for the decision log and epoch file.
+  std::string dir;
+  /// Sync the decision record before committing participants (2PC
+  /// correctness requires true; false trades durability for speed in
+  /// benchmarks that measure the difference).
+  bool sync_decisions = true;
+};
+
+/// The transaction coordinator. Issues transaction ids, drives
+/// one-phase and presumed-abort two-phase commit over enlisted
+/// ResourceManagers, owns the global LockManager, and durably records
+/// commit decisions so participants can resolve in-doubt transactions
+/// after a crash.
+///
+/// Thread-safe.
+class TransactionManager {
+ public:
+  explicit TransactionManager(TxnManagerOptions options = {});
+  ~TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Loads the decision log and advances the epoch. Must be called
+  /// once before Begin() when the coordinator is durable; a no-op for
+  /// volatile coordinators.
+  Status Open();
+
+  /// Starts a new transaction.
+  std::unique_ptr<Transaction> Begin();
+
+  LockManager* lock_manager() { return &locks_; }
+
+  /// Resolution for in-doubt participants (presumed abort): true iff a
+  /// commit decision for `id` was durably recorded and not yet
+  /// forgotten, or was decided in this incarnation.
+  bool WasCommitted(TxnId id) const;
+
+  uint64_t commit_count() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t abort_count() const { return aborts_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Transaction;
+
+  Status CommitInternal(Transaction* t);
+  Status AbortInternal(Transaction* t);
+  Status LogDecision(unsigned char type, TxnId id, bool sync);
+
+  TxnManagerOptions options_;
+  LockManager locks_;
+  std::atomic<uint64_t> next_counter_{1};
+  uint16_t epoch_ = 0;
+  bool opened_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_set<TxnId> committed_;  // Decided, not yet forgotten.
+  std::unique_ptr<wal::LogWriter> decision_log_;
+
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+/// Runs `body` inside a transaction, committing on OK, aborting and
+/// retrying (up to `max_attempts`) on Aborted/Busy/TimedOut — the
+/// standard server idiom for deadlock-victim retry. Any other error
+/// aborts and is returned as-is.
+Status RunInTransaction(TransactionManager* mgr, int max_attempts,
+                        const std::function<Status(Transaction*)>& body);
+
+}  // namespace rrq::txn
+
+#endif  // RRQ_TXN_TXN_MANAGER_H_

@@ -1,0 +1,32 @@
+#ifndef RRQ_TXN_TYPES_H_
+#define RRQ_TXN_TYPES_H_
+
+#include <cstdint>
+
+namespace rrq::txn {
+
+/// Transaction identifier. The high 16 bits carry the coordinator
+/// epoch (incremented on every coordinator restart), the low 48 bits a
+/// per-epoch counter — so identifiers are never reused across crashes
+/// and participants can key undo/redo state by TxnId alone.
+using TxnId = uint64_t;
+
+constexpr TxnId kInvalidTxnId = 0;
+
+constexpr TxnId MakeTxnId(uint16_t epoch, uint64_t counter) {
+  return (static_cast<uint64_t>(epoch) << 48) | (counter & 0xffffffffffffull);
+}
+
+constexpr uint16_t TxnIdEpoch(TxnId id) { return static_cast<uint16_t>(id >> 48); }
+constexpr uint64_t TxnIdCounter(TxnId id) { return id & 0xffffffffffffull; }
+
+enum class TxnState : int {
+  kActive = 0,
+  kPreparing = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+}  // namespace rrq::txn
+
+#endif  // RRQ_TXN_TYPES_H_

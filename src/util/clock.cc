@@ -1,0 +1,24 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rrq::util {
+
+uint64_t RealClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RealClock::SleepMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+}  // namespace rrq::util

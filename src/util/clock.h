@@ -1,0 +1,58 @@
+#ifndef RRQ_UTIL_CLOCK_H_
+#define RRQ_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace rrq::util {
+
+/// Time source abstraction. Production code uses RealClock; tests and
+/// deterministic benchmarks use SimClock so that timeouts and failure
+/// schedules are reproducible.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic time in microseconds.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Sleeps (really or virtually) for `micros`.
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+/// Wall-clock-backed monotonic clock.
+class RealClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+  void SleepMicros(uint64_t micros) override;
+
+  /// Process-wide shared instance.
+  static RealClock* Instance();
+};
+
+/// Virtual clock whose time advances only when told to (or when a
+/// "sleeper" sleeps). Thread-safe.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Virtual sleep: advances the clock. (A simplification adequate for
+  /// single-driver simulations; multi-threaded tests use RealClock.)
+  void SleepMicros(uint64_t micros) override { Advance(micros); }
+
+  void Advance(uint64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace rrq::util
+
+#endif  // RRQ_UTIL_CLOCK_H_

@@ -1,0 +1,51 @@
+#ifndef RRQ_UTIL_CODING_H_
+#define RRQ_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::util {
+
+// Little-endian fixed-width encodings plus LEB128 varints, the record
+// vocabulary used by the WAL, the queue manager's durable state, and
+// message serialization. All appenders write to a std::string; all
+// getters consume from a Slice (advancing it) and fail with
+// Status::Corruption on truncated input.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint32 length prefix followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+
+Status GetFixed32(Slice* input, uint32_t* value);
+Status GetFixed64(Slice* input, uint64_t* value);
+Status GetVarint32(Slice* input, uint32_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed byte string. The returned Slice aliases
+/// `input`'s underlying buffer.
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Parses a length-prefixed byte string into an owning std::string.
+Status GetLengthPrefixedString(Slice* input, std::string* value);
+
+/// Decodes a fixed32/fixed64 directly from a raw pointer (caller
+/// guarantees at least 4/8 readable bytes).
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+
+/// Number of bytes the varint encoding of `value` occupies.
+int VarintLength(uint64_t value);
+
+}  // namespace rrq::util
+
+#endif  // RRQ_UTIL_CODING_H_

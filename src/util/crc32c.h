@@ -1,0 +1,31 @@
+#ifndef RRQ_UTIL_CRC32C_H_
+#define RRQ_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rrq::util::crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of data[0, n-1], continuing from
+/// `init_crc` (the crc of a preceding byte range, or 0).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of data[0, n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masking for CRCs stored alongside the data they cover, so that the
+/// CRC of a string containing embedded CRCs does not degenerate
+/// (LevelDB/RocksDB convention).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace rrq::util::crc32c
+
+#endif  // RRQ_UTIL_CRC32C_H_

@@ -1,0 +1,50 @@
+#ifndef RRQ_UTIL_LOGGING_H_
+#define RRQ_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rrq::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+/// Defaults to kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr: "[LEVEL] file:line msg". Thread-safe.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace logging_internal {
+
+class LogLineBuilder {
+ public:
+  LogLineBuilder(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLineBuilder() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace rrq::util
+
+#define RRQ_LOG(level)                                                  \
+  if (::rrq::util::LogLevel::level < ::rrq::util::GetLogLevel()) {      \
+  } else                                                                \
+    ::rrq::util::logging_internal::LogLineBuilder(                      \
+        ::rrq::util::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // RRQ_UTIL_LOGGING_H_

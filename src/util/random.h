@@ -1,0 +1,95 @@
+#ifndef RRQ_UTIL_RANDOM_H_
+#define RRQ_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace rrq::util {
+
+/// Deterministic pseudo-random generator (xorshift128+). Every source
+/// of randomness in the library — failure schedules, workload
+/// generators, skip-list heights — goes through an explicitly seeded
+/// Rng so that test failures and benchmark runs replay exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to spread low-entropy seeds.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    auto mix = [&z]() {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random printable payload of `len` bytes (for workload generators).
+  std::string Bytes(size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return out;
+  }
+
+  /// Sample from a (truncated) zipfian over [0, n) with exponent theta,
+  /// used by contention-sweep benchmarks. O(n) setup avoided by
+  /// rejection-free inverse-power approximation; adequate for workload
+  /// skew, not for statistics.
+  uint64_t Zipf(uint64_t n, double theta) {
+    // Map a uniform draw through u^(1+theta) to concentrate mass at 0.
+    if (theta <= 0.0) return Uniform(n);
+    double u = NextDouble();
+    auto idx = static_cast<uint64_t>(static_cast<double>(n) *
+                                     std::pow(u, 1.0 + theta));
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace rrq::util
+
+#endif  // RRQ_UTIL_RANDOM_H_

@@ -1,0 +1,90 @@
+#ifndef RRQ_UTIL_RESULT_H_
+#define RRQ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rrq {
+
+/// A Status or a value of type T. The value is accessible only when
+/// `ok()`; accessing it otherwise is a programming error (asserts in
+/// debug builds).
+///
+/// Usage:
+///   Result<ElementId> r = queue->Enqueue(...);
+///   if (!r.ok()) return r.status();
+///   ElementId eid = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (OK result). Implicit so functions can
+  /// `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Implicit so functions can
+  /// `return Status::NotFound(...)`. Constructing from an OK status
+  /// is a bug (a Result must carry either a value or an error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (Status::OK() when ok()).
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status, on
+/// success assigns the value into `lhs` (which must be declared by the
+/// caller, e.g. `RRQ_ASSIGN_OR_RETURN(auto v, Compute());`).
+#define RRQ_ASSIGN_OR_RETURN(lhs, expr)                            \
+  RRQ_ASSIGN_OR_RETURN_IMPL_(RRQ_RESULT_CONCAT_(_rrq_result_, __LINE__), lhs, expr)
+
+#define RRQ_RESULT_CONCAT_INNER_(a, b) a##b
+#define RRQ_RESULT_CONCAT_(a, b) RRQ_RESULT_CONCAT_INNER_(a, b)
+#define RRQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = *std::move(tmp)
+
+}  // namespace rrq
+
+#endif  // RRQ_UTIL_RESULT_H_

@@ -1,0 +1,90 @@
+#include "util/status.h"
+
+namespace rrq {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kNotConnected: return "NotConnected";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string_view message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::string(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+Status Status::NotFound(std::string_view msg) {
+  return Status(StatusCode::kNotFound, msg);
+}
+Status Status::AlreadyExists(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, msg);
+}
+Status Status::InvalidArgument(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, msg);
+}
+Status Status::Corruption(std::string_view msg) {
+  return Status(StatusCode::kCorruption, msg);
+}
+Status Status::IOError(std::string_view msg) {
+  return Status(StatusCode::kIOError, msg);
+}
+Status Status::Busy(std::string_view msg) {
+  return Status(StatusCode::kBusy, msg);
+}
+Status Status::Aborted(std::string_view msg) {
+  return Status(StatusCode::kAborted, msg);
+}
+Status Status::TimedOut(std::string_view msg) {
+  return Status(StatusCode::kTimedOut, msg);
+}
+Status Status::NotConnected(std::string_view msg) {
+  return Status(StatusCode::kNotConnected, msg);
+}
+Status Status::Unavailable(std::string_view msg) {
+  return Status(StatusCode::kUnavailable, msg);
+}
+Status Status::FailedPrecondition(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, msg);
+}
+Status Status::Cancelled(std::string_view msg) {
+  return Status(StatusCode::kCancelled, msg);
+}
+Status Status::Internal(std::string_view msg) {
+  return Status(StatusCode::kInternal, msg);
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result.append(": ");
+  result.append(rep_->message);
+  return result;
+}
+
+}  // namespace rrq

@@ -1,0 +1,119 @@
+#ifndef RRQ_UTIL_STATUS_H_
+#define RRQ_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace rrq {
+
+/// Error categories used across the library. Codes are stable and are
+/// part of the public API: callers dispatch on them (e.g. a Dequeue on
+/// an empty queue returns kNotFound, a Dequeue that would block on a
+/// write-locked element returns kBusy in strict-FIFO mode).
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,         ///< Named object or element does not exist.
+  kAlreadyExists = 2,    ///< Creation of an object that already exists.
+  kInvalidArgument = 3,  ///< Malformed argument or misuse of the API.
+  kCorruption = 4,       ///< Stored data failed validation (CRC, format).
+  kIOError = 5,          ///< Environment/file operation failed.
+  kBusy = 6,             ///< Resource is locked by another transaction.
+  kAborted = 7,          ///< Transaction was aborted (deadlock, kill, ...).
+  kTimedOut = 8,         ///< A bounded wait expired.
+  kNotConnected = 9,     ///< Operation requires an active registration.
+  kUnavailable = 10,     ///< Transient failure (partition, crashed peer).
+  kFailedPrecondition = 11,  ///< Object in the wrong state for this op.
+  kCancelled = 12,       ///< Request was cancelled by the client.
+  kInternal = 13,        ///< Invariant violation inside the library.
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); carries a code plus a context message otherwise.
+///
+/// The library does not use exceptions: every fallible operation
+/// returns a Status (or a Result<T>, see result.h) and callers must
+/// check it. Statuses are ignorable only deliberately.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string_view message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg);
+  static Status AlreadyExists(std::string_view msg);
+  static Status InvalidArgument(std::string_view msg);
+  static Status Corruption(std::string_view msg);
+  static Status IOError(std::string_view msg);
+  static Status Busy(std::string_view msg);
+  static Status Aborted(std::string_view msg);
+  static Status TimedOut(std::string_view msg);
+  static Status NotConnected(std::string_view msg);
+  static Status Unavailable(std::string_view msg);
+  static Status FailedPrecondition(std::string_view msg);
+  static Status Cancelled(std::string_view msg);
+  static Status Internal(std::string_view msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsNotConnected() const { return code() == StatusCode::kNotConnected; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// The context message supplied at construction; empty for OK.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  /// "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; allocated only on the error path.
+  std::unique_ptr<Rep> rep_;
+};
+
+/// Two statuses are equal when their codes are equal (messages are
+/// diagnostic context, not identity).
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+/// Propagates a non-OK status to the caller. Usable in any function
+/// returning Status.
+#define RRQ_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::rrq::Status _rrq_status = (expr);           \
+    if (!_rrq_status.ok()) return _rrq_status;    \
+  } while (false)
+
+}  // namespace rrq
+
+#endif  // RRQ_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef RRQ_WAL_LOG_FORMAT_H_
+#define RRQ_WAL_LOG_FORMAT_H_
+
+namespace rrq::wal {
+
+// Physical log format (LevelDB-style):
+//
+// The log is a sequence of 32 KiB blocks. Each block holds a sequence
+// of fragments; a logical record is one FULL fragment or a
+// FIRST (MIDDLE)* LAST chain. A fragment never spans blocks; if fewer
+// than kHeaderSize bytes remain in a block, they are zero-filled and
+// the next fragment starts at the next block boundary.
+//
+// Fragment layout:
+//   crc32c  : 4 bytes  (masked CRC of type byte + payload)
+//   length  : 2 bytes  (little-endian payload length)
+//   type    : 1 byte
+//   payload : `length` bytes
+
+enum RecordType : unsigned char {
+  // Zero is reserved for the zero-filled block trailer.
+  kZeroType = 0,
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+
+constexpr int kMaxRecordType = kLastType;
+constexpr int kBlockSize = 32768;
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace rrq::wal
+
+#endif  // RRQ_WAL_LOG_FORMAT_H_

@@ -1,0 +1,56 @@
+#ifndef RRQ_WAL_LOG_READER_H_
+#define RRQ_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace rrq::wal {
+
+/// Sequentially decodes records written by LogWriter.
+///
+/// Corruption handling follows the recovery contract: a corrupt or
+/// torn fragment at the *tail* of the log (the common crash artifact)
+/// ends iteration cleanly; ReadRecord returns false and EndedCleanly()
+/// reports whether any mid-log corruption was skipped.
+class LogReader {
+ public:
+  /// Takes ownership of `file`.
+  explicit LogReader(std::unique_ptr<env::SequentialFile> file);
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Reads the next logical record into *record, which points into
+  /// *scratch. Returns false at end of log.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+  /// True when iteration ended at a clean end-of-file; false when
+  /// corrupt data was encountered and skipped.
+  bool EndedCleanly() const { return !saw_corruption_; }
+
+  /// Number of corrupt bytes skipped (diagnostic).
+  uint64_t DroppedBytes() const { return dropped_bytes_; }
+
+ private:
+  // Extended, in-memory-only record types returned by ReadPhysicalRecord.
+  static constexpr int kEof = kMaxRecordType + 1;
+  static constexpr int kBadRecord = kMaxRecordType + 2;
+
+  int ReadPhysicalRecord(Slice* result);
+
+  std::unique_ptr<env::SequentialFile> file_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;  // Unconsumed portion of the current block.
+  bool eof_ = false;
+  bool saw_corruption_ = false;
+  uint64_t dropped_bytes_ = 0;
+};
+
+}  // namespace rrq::wal
+
+#endif  // RRQ_WAL_LOG_READER_H_

@@ -1,0 +1,91 @@
+#include "wal/log_writer.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "wal/log_format.h"
+
+namespace rrq::wal {
+
+LogWriter::LogWriter(std::unique_ptr<env::WritableFile> dest,
+                     uint64_t initial_offset)
+    : dest_(std::move(dest)),
+      block_offset_(static_cast<int>(initial_offset % kBlockSize)),
+      physical_size_(initial_offset) {}
+
+Status LogWriter::AddRecord(const Slice& record) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  // Fragment the record as needed. Empty records emit one zero-length
+  // FULL fragment.
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Zero-fill the block trailer and start a new block.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        RRQ_RETURN_IF_ERROR(
+            dest_->Append(Slice(kZeroes, static_cast<size_t>(leftover))));
+        physical_size_ += static_cast<uint64_t>(leftover);
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = static_cast<size_t>(kBlockSize) -
+                         static_cast<size_t>(block_offset_) - kHeaderSize;
+    const size_t fragment_length = left < avail ? left : avail;
+    const bool end = (left == fragment_length);
+
+    unsigned char type;
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+
+    RRQ_RETURN_IF_ERROR(EmitPhysicalRecord(type, ptr, fragment_length));
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status LogWriter::EmitPhysicalRecord(unsigned char type, const char* ptr,
+                                     size_t n) {
+  char buf[kHeaderSize];
+  buf[4] = static_cast<char>(n & 0xff);
+  buf[5] = static_cast<char>(n >> 8);
+  buf[6] = static_cast<char>(type);
+
+  uint32_t crc = util::crc32c::Extend(
+      util::crc32c::Value(reinterpret_cast<char*>(&buf[6]), 1), ptr, n);
+  util::EncodeFixed32(buf, util::crc32c::Mask(crc));
+
+  RRQ_RETURN_IF_ERROR(dest_->Append(Slice(buf, kHeaderSize)));
+  RRQ_RETURN_IF_ERROR(dest_->Append(Slice(ptr, n)));
+  block_offset_ += kHeaderSize + static_cast<int>(n);
+  physical_size_ += kHeaderSize + n;
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  std::lock_guard<std::mutex> guard(mu_);
+  RRQ_RETURN_IF_ERROR(dest_->Flush());
+  return dest_->Sync();
+}
+
+uint64_t LogWriter::PhysicalSize() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return physical_size_;
+}
+
+}  // namespace rrq::wal

@@ -1,0 +1,48 @@
+#ifndef RRQ_WAL_LOG_WRITER_H_
+#define RRQ_WAL_LOG_WRITER_H_
+
+#include <memory>
+#include <mutex>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::wal {
+
+/// Appends length-delimited, checksummed records to a log file.
+/// Thread-safe: concurrent AddRecord calls are serialized internally
+/// (the queue manager's group-commit path relies on this).
+class LogWriter {
+ public:
+  /// Takes ownership of `dest`, which must be positioned at the end of
+  /// an empty or freshly created file (use `initial_offset` to resume
+  /// appending to a log with existing contents).
+  explicit LogWriter(std::unique_ptr<env::WritableFile> dest,
+                     uint64_t initial_offset = 0);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one logical record. The record is readable after the
+  /// call, but durable only after Sync().
+  Status AddRecord(const Slice& record);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// Bytes written so far (including headers and block padding).
+  uint64_t PhysicalSize() const;
+
+ private:
+  Status EmitPhysicalRecord(unsigned char type, const char* ptr, size_t n);
+
+  std::unique_ptr<env::WritableFile> dest_;
+  mutable std::mutex mu_;
+  int block_offset_;  // Current offset within the current block.
+  uint64_t physical_size_;
+};
+
+}  // namespace rrq::wal
+
+#endif  // RRQ_WAL_LOG_WRITER_H_

@@ -1,0 +1,234 @@
+#include "client/clerk.h"
+
+#include <gtest/gtest.h>
+
+#include "queue/queue_api.h"
+#include "txn/txn_manager.h"
+
+namespace rrq::client {
+namespace {
+
+class ClerkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    repo_ = std::make_unique<queue::QueueRepository>("qm");
+    ASSERT_TRUE(repo_->Open().ok());
+    ASSERT_TRUE(repo_->CreateQueue("req").ok());
+    ASSERT_TRUE(repo_->CreateQueue("rep").ok());
+    api_ = std::make_unique<queue::LocalQueueApi>(repo_.get());
+  }
+
+  ClerkOptions Options(const std::string& id = "c1") {
+    ClerkOptions options;
+    options.client_id = id;
+    options.request_queue = "req";
+    options.reply_queue = "rep";
+    options.api = api_.get();
+    options.receive_timeout_micros = 50'000;
+    return options;
+  }
+
+  // Acts as a trivial in-line server: dequeue request, reply with f(body).
+  void ServeOne(const std::string& transform = "done:") {
+    auto got = repo_->Dequeue(nullptr, "req");
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(
+        repo_->Enqueue(nullptr, "rep", transform + got->contents).ok());
+  }
+
+  std::unique_ptr<queue::QueueRepository> repo_;
+  std::unique_ptr<queue::LocalQueueApi> api_;
+};
+
+TEST_F(ClerkTest, FreshConnectIsConnectedState) {
+  Clerk clerk(Options());
+  auto cr = clerk.Connect();
+  ASSERT_TRUE(cr.ok());
+  EXPECT_TRUE(cr->s_rid.empty());
+  EXPECT_TRUE(cr->r_rid.empty());
+  EXPECT_EQ(cr->resumed_state, SessionState::kConnected);
+  EXPECT_EQ(clerk.state(), SessionState::kConnected);
+}
+
+TEST_F(ClerkTest, SendReceiveRoundTrip) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  ASSERT_TRUE(clerk.Send("ping", "rid-1").ok());
+  EXPECT_EQ(clerk.state(), SessionState::kReqSent);
+  ServeOne();
+  auto reply = clerk.Receive("my-ckpt");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "done:ping");
+  EXPECT_EQ(clerk.state(), SessionState::kReplyRecvd);
+}
+
+TEST_F(ClerkTest, SendRequiresRid) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  EXPECT_TRUE(clerk.Send("x", "").IsInvalidArgument());
+}
+
+TEST_F(ClerkTest, OperationsBeforeConnectRejected) {
+  Clerk clerk(Options());
+  EXPECT_TRUE(clerk.Send("x", "rid").IsNotConnected());
+  EXPECT_TRUE(clerk.Receive("").status().IsNotConnected());
+  EXPECT_TRUE(clerk.Rereceive().status().IsNotConnected());
+  EXPECT_TRUE(clerk.Disconnect().IsFailedPrecondition());
+}
+
+TEST_F(ClerkTest, ReconnectAfterSendResumesReqSent) {
+  {
+    Clerk clerk(Options());
+    ASSERT_TRUE(clerk.Connect().ok());
+    ASSERT_TRUE(clerk.Send("work", "rid-9").ok());
+    // Client crashes here (no Disconnect).
+  }
+  Clerk reborn(Options());
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  EXPECT_EQ(cr->s_rid, "rid-9");
+  EXPECT_TRUE(cr->r_rid.empty());
+  EXPECT_EQ(cr->resumed_state, SessionState::kReqSent);
+  // The reborn client can Receive the pending reply directly.
+  ServeOne();
+  auto reply = reborn.Receive("");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "done:work");
+}
+
+TEST_F(ClerkTest, ReconnectAfterReceiveResumesReplyRecvd) {
+  {
+    Clerk clerk(Options());
+    ASSERT_TRUE(clerk.Connect().ok());
+    ASSERT_TRUE(clerk.Send("w", "rid-1").ok());
+    ServeOne();
+    ASSERT_TRUE(clerk.Receive("ckpt-data").ok());
+    // Crash after receive, before processing.
+  }
+  Clerk reborn(Options());
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  EXPECT_EQ(cr->s_rid, "rid-1");
+  EXPECT_EQ(cr->r_rid, "rid-1");
+  EXPECT_EQ(cr->ckpt, "ckpt-data");
+  EXPECT_EQ(cr->resumed_state, SessionState::kReplyRecvd);
+  // Rereceive returns the retained copy.
+  auto replay = reborn.Rereceive();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(*replay, "done:w");
+}
+
+TEST_F(ClerkTest, TransceiveFusesSendAndReceive) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  // Pre-position the reply so the fused call completes instantly.
+  std::thread server([this]() {
+    // Wait for the request to show up, then serve it.
+    for (int i = 0; i < 100; ++i) {
+      auto got = repo_->Dequeue(nullptr, "req");
+      if (got.ok()) {
+        ASSERT_TRUE(repo_->Enqueue(nullptr, "rep", "t:" + got->contents).ok());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto reply = clerk.Transceive("body", "rid-t", "ck");
+  server.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "t:body");
+}
+
+TEST_F(ClerkTest, CancelLastRequestBeforeServiceSucceeds) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  ASSERT_TRUE(clerk.Send("cancel-me", "rid-c").ok());
+  auto killed = clerk.CancelLastRequest();
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  EXPECT_EQ(*repo_->Depth("req"), 0u);
+}
+
+TEST_F(ClerkTest, CancelAfterServiceFails) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  ASSERT_TRUE(clerk.Send("too-late", "rid-l").ok());
+  ServeOne();
+  auto killed = clerk.CancelLastRequest();
+  ASSERT_TRUE(killed.ok());
+  EXPECT_FALSE(*killed);
+}
+
+TEST_F(ClerkTest, CancelWithNothingSentRejected) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  EXPECT_TRUE(clerk.CancelLastRequest().status().IsFailedPrecondition());
+}
+
+TEST_F(ClerkTest, DisconnectForgetsEverything) {
+  {
+    Clerk clerk(Options());
+    ASSERT_TRUE(clerk.Connect().ok());
+    ASSERT_TRUE(clerk.Send("w", "rid-1").ok());
+    ServeOne();
+    ASSERT_TRUE(clerk.Receive("").ok());
+    ASSERT_TRUE(clerk.Disconnect().ok());
+  }
+  Clerk reborn(Options());
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  EXPECT_TRUE(cr->s_rid.empty());
+  EXPECT_EQ(cr->resumed_state, SessionState::kConnected);
+}
+
+TEST_F(ClerkTest, ReceiveTimesOutWhenServerSilent) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  ASSERT_TRUE(clerk.Send("slow", "rid-s").ok());
+  auto reply = clerk.Receive("");
+  EXPECT_TRUE(reply.status().IsTimedOut()) << reply.status().ToString();
+  // Still in Req-Sent; a later Receive can succeed.
+  ServeOne();
+  EXPECT_TRUE(clerk.Receive("").ok());
+}
+
+TEST_F(ClerkTest, ReplyTagEncodingRoundTrip) {
+  std::string tag = EncodeReplyTag("rid-x", "ckpt-y");
+  std::string rid, ckpt;
+  ASSERT_TRUE(DecodeReplyTag(tag, &rid, &ckpt).ok());
+  EXPECT_EQ(rid, "rid-x");
+  EXPECT_EQ(ckpt, "ckpt-y");
+  // Empty tag (fresh registration) decodes to empty pieces.
+  ASSERT_TRUE(DecodeReplyTag(Slice(), &rid, &ckpt).ok());
+  EXPECT_TRUE(rid.empty());
+  EXPECT_TRUE(ckpt.empty());
+}
+
+TEST_F(ClerkTest, TwoClientsKeepSeparateState) {
+  ASSERT_TRUE(repo_->CreateQueue("rep2").ok());
+  Clerk c1(Options("c1"));
+  ClerkOptions o2 = Options("c2");
+  o2.reply_queue = "rep2";
+  Clerk c2(o2);
+  ASSERT_TRUE(c1.Connect().ok());
+  ASSERT_TRUE(c2.Connect().ok());
+  ASSERT_TRUE(c1.Send("from-c1", "c1#1").ok());
+  ASSERT_TRUE(c2.Send("from-c2", "c2#1").ok());
+
+  // Server replies to each client's own queue.
+  for (int i = 0; i < 2; ++i) {
+    auto got = repo_->Dequeue(nullptr, "req");
+    ASSERT_TRUE(got.ok());
+    const std::string target = got->contents == "from-c1" ? "rep" : "rep2";
+    ASSERT_TRUE(repo_->Enqueue(nullptr, target, "r:" + got->contents).ok());
+  }
+  auto r1 = c1.Receive("");
+  auto r2 = c2.Receive("");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, "r:from-c1");
+  EXPECT_EQ(*r2, "r:from-c2");
+}
+
+}  // namespace
+}  // namespace rrq::client

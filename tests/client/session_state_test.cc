@@ -1,0 +1,122 @@
+#include "client/session_state.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::client {
+namespace {
+
+TEST(SessionStateTest, InitialStateIsDisconnected) {
+  SessionStateMachine machine;
+  EXPECT_EQ(machine.state(), SessionState::kDisconnected);
+}
+
+TEST(SessionStateTest, NonInteractiveHappyPath) {
+  // Fig 1: Connect -> Send -> Receive -> Send -> Receive -> Disconnect.
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  EXPECT_EQ(machine.state(), SessionState::kConnected);
+  ASSERT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  EXPECT_EQ(machine.state(), SessionState::kReqSent);
+  ASSERT_TRUE(machine.Apply(SessionEvent::kReceiveReply).ok());
+  EXPECT_EQ(machine.state(), SessionState::kReplyRecvd);
+  ASSERT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  ASSERT_TRUE(machine.Apply(SessionEvent::kReceiveReply).ok());
+  ASSERT_TRUE(machine.Apply(SessionEvent::kDisconnect).ok());
+  EXPECT_EQ(machine.state(), SessionState::kDisconnected);
+}
+
+TEST(SessionStateTest, InteractiveHappyPath) {
+  // Fig 7: Send -> (ReceiveIntermediate -> SendIntermediate)* -> Receive.
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  ASSERT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(machine.Apply(SessionEvent::kReceiveIntermediate).ok());
+    EXPECT_EQ(machine.state(), SessionState::kIntermediateIo);
+    ASSERT_TRUE(machine.Apply(SessionEvent::kSendIntermediate).ok());
+    EXPECT_EQ(machine.state(), SessionState::kReqSent);
+  }
+  ASSERT_TRUE(machine.Apply(SessionEvent::kReceiveReply).ok());
+  EXPECT_EQ(machine.state(), SessionState::kReplyRecvd);
+}
+
+TEST(SessionStateTest, DoubleSendRejected) {
+  // §3: one request at a time.
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  ASSERT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  EXPECT_TRUE(machine.Apply(SessionEvent::kSend).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, ReceiveWithoutSendRejected) {
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  EXPECT_TRUE(
+      machine.Apply(SessionEvent::kReceiveReply).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, OperationsWhileDisconnectedRejected) {
+  SessionStateMachine machine;
+  EXPECT_TRUE(machine.Apply(SessionEvent::kSend).IsFailedPrecondition());
+  EXPECT_TRUE(
+      machine.Apply(SessionEvent::kReceiveReply).IsFailedPrecondition());
+  EXPECT_TRUE(machine.Apply(SessionEvent::kDisconnect).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, DoubleConnectRejected) {
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  EXPECT_TRUE(machine.Apply(SessionEvent::kConnect).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, IntermediateEventsRequireInteractiveContext) {
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  EXPECT_TRUE(machine.Apply(SessionEvent::kReceiveIntermediate)
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(
+      machine.Apply(SessionEvent::kSendIntermediate).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, ResumeAtImplementsConnectBranches) {
+  // Fig 1: the Connect operation branches to Req-Sent or Reply-Recvd
+  // based on the recovered rids.
+  {
+    SessionStateMachine machine;
+    ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+    ASSERT_TRUE(machine.ResumeAt(SessionState::kReqSent).ok());
+    // Can immediately Receive the outstanding reply.
+    EXPECT_TRUE(machine.Apply(SessionEvent::kReceiveReply).ok());
+  }
+  {
+    SessionStateMachine machine;
+    ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+    ASSERT_TRUE(machine.ResumeAt(SessionState::kReplyRecvd).ok());
+    EXPECT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  }
+}
+
+TEST(SessionStateTest, ResumeAtOnlyValidAtConnectTime) {
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  ASSERT_TRUE(machine.Apply(SessionEvent::kSend).ok());
+  EXPECT_TRUE(
+      machine.ResumeAt(SessionState::kReplyRecvd).IsFailedPrecondition());
+}
+
+TEST(SessionStateTest, ResumeTargetsValidated) {
+  SessionStateMachine machine;
+  ASSERT_TRUE(machine.Apply(SessionEvent::kConnect).ok());
+  EXPECT_TRUE(
+      machine.ResumeAt(SessionState::kDisconnected).IsInvalidArgument());
+  EXPECT_TRUE(
+      machine.ResumeAt(SessionState::kIntermediateIo).IsInvalidArgument());
+}
+
+TEST(SessionStateTest, NamesAreHumanReadable) {
+  EXPECT_EQ(SessionStateName(SessionState::kReqSent), "Req-Sent");
+  EXPECT_EQ(SessionEventName(SessionEvent::kReceiveReply), "Receive");
+}
+
+}  // namespace
+}  // namespace rrq::client

@@ -1,0 +1,55 @@
+#include "client/testable_device.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::client {
+namespace {
+
+TEST(TicketPrinterTest, StateAdvancesWithEachEmit) {
+  TicketPrinter printer;
+  EXPECT_EQ(printer.ReadState(), "1");
+  ASSERT_TRUE(printer.Emit("ticket for Alice").ok());
+  EXPECT_EQ(printer.ReadState(), "2");
+  ASSERT_TRUE(printer.Emit("ticket for Bob").ok());
+  EXPECT_EQ(printer.ReadState(), "3");
+  auto printed = printer.printed();
+  ASSERT_EQ(printed.size(), 2u);
+  EXPECT_EQ(printed[0], "ticket for Alice");
+  EXPECT_EQ(printed[1], "ticket for Bob");
+}
+
+TEST(TicketPrinterTest, StateComparisonDetectsProcessing) {
+  // The §3 exactly-once discipline: read state, checkpoint it, emit;
+  // a mismatch later proves the emit happened.
+  TicketPrinter printer;
+  const std::string ckpt = printer.ReadState();
+  EXPECT_EQ(printer.ReadState(), ckpt);  // Not processed yet.
+  ASSERT_TRUE(printer.Emit("t").ok());
+  EXPECT_NE(printer.ReadState(), ckpt);  // Processed.
+}
+
+TEST(CashDispenserTest, DispensesParsedAmounts) {
+  CashDispenser atm;
+  EXPECT_EQ(atm.ReadState(), "0");
+  ASSERT_TRUE(atm.Emit("250").ok());
+  ASSERT_TRUE(atm.Emit("100").ok());
+  EXPECT_EQ(atm.total_dispensed(), 350u);
+  EXPECT_EQ(atm.dispense_count(), 2u);
+  EXPECT_EQ(atm.ReadState(), "350");
+}
+
+TEST(CashDispenserTest, RejectsGarbage) {
+  CashDispenser atm;
+  EXPECT_TRUE(atm.Emit("not-money").IsInvalidArgument());
+  EXPECT_TRUE(atm.Emit("-50").IsInvalidArgument());
+  EXPECT_EQ(atm.total_dispensed(), 0u);
+}
+
+TEST(CashDispenserTest, AmountWithSuffixParsesLeadingNumber) {
+  CashDispenser atm;
+  ASSERT_TRUE(atm.Emit("75 dollars").ok());
+  EXPECT_EQ(atm.total_dispensed(), 75u);
+}
+
+}  // namespace
+}  // namespace rrq::client

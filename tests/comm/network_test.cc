@@ -1,0 +1,131 @@
+#include "comm/network.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::comm {
+namespace {
+
+TEST(NetworkTest, RpcRoundTrip) {
+  Network net(1);
+  ASSERT_TRUE(net.RegisterEndpoint("echo", [](const Slice& req,
+                                              std::string* reply) {
+                   *reply = "echo:" + req.ToString();
+                   return Status::OK();
+                 })
+                  .ok());
+  std::string reply;
+  ASSERT_TRUE(net.Call("client", "echo", "hello", &reply).ok());
+  EXPECT_EQ(reply, "echo:hello");
+  EXPECT_EQ(net.messages_sent(), 2u);  // Request + reply.
+}
+
+TEST(NetworkTest, CallToMissingEndpointIsUnavailable) {
+  Network net(1);
+  std::string reply;
+  EXPECT_TRUE(net.Call("client", "nobody", "x", &reply).IsUnavailable());
+}
+
+TEST(NetworkTest, DuplicateEndpointRejected) {
+  Network net(1);
+  auto handler = [](const Slice&, std::string*) { return Status::OK(); };
+  ASSERT_TRUE(net.RegisterEndpoint("e", handler).ok());
+  EXPECT_TRUE(net.RegisterEndpoint("e", handler).IsAlreadyExists());
+  net.RemoveEndpoint("e");
+  EXPECT_TRUE(net.RegisterEndpoint("e", handler).ok());
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirections) {
+  Network net(1);
+  int executions = 0;
+  ASSERT_TRUE(net.RegisterEndpoint("server", [&executions](const Slice&,
+                                                           std::string*) {
+                   ++executions;
+                   return Status::OK();
+                 })
+                  .ok());
+  net.Partition("client", "server");
+  std::string reply;
+  EXPECT_TRUE(net.Call("client", "server", "x", &reply).IsUnavailable());
+  EXPECT_EQ(executions, 0);  // Request never arrived.
+  net.Heal("client", "server");
+  EXPECT_TRUE(net.Call("client", "server", "x", &reply).ok());
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(NetworkTest, LostReplyStillExecutesHandler) {
+  // The §2 failure: with a 100% drop on the reply leg only, the server
+  // executes but the client can't tell.
+  Network net(7);
+  int executions = 0;
+  ASSERT_TRUE(net.RegisterEndpoint("server", [&executions](const Slice&,
+                                                           std::string*) {
+                   ++executions;
+                   return Status::OK();
+                 })
+                  .ok());
+  LinkFaults faults;
+  faults.drop_probability = 0.5;
+  net.SetLinkFaults("client", "server", faults);
+  int unavailable = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string reply;
+    if (!net.Call("client", "server", "x", &reply).ok()) ++unavailable;
+  }
+  EXPECT_GT(unavailable, 0);
+  // Some failures executed anyway (dropped reply, not dropped request).
+  EXPECT_GT(executions, 200 - unavailable);
+  EXPECT_GT(net.messages_dropped(), 0u);
+}
+
+TEST(NetworkTest, OneWayMessagesDropSilently) {
+  Network net(3);
+  int deliveries = 0;
+  ASSERT_TRUE(net.RegisterEndpoint("sink", [&deliveries](const Slice&,
+                                                         std::string*) {
+                   ++deliveries;
+                   return Status::OK();
+                 })
+                  .ok());
+  LinkFaults faults;
+  faults.drop_probability = 0.5;
+  net.SetLinkFaults("a", "sink", faults);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(net.SendOneWay("a", "sink", "m").ok());  // Never fails.
+  }
+  EXPECT_GT(deliveries, 50);
+  EXPECT_LT(deliveries, 150);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Network net(5);
+  int deliveries = 0;
+  ASSERT_TRUE(net.RegisterEndpoint("sink", [&deliveries](const Slice&,
+                                                         std::string*) {
+                   ++deliveries;
+                   return Status::OK();
+                 })
+                  .ok());
+  LinkFaults faults;
+  faults.duplicate_probability = 1.0;
+  net.SetLinkFaults("a", "sink", faults);
+  ASSERT_TRUE(net.SendOneWay("a", "sink", "m").ok());
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(net.messages_duplicated(), 1u);
+}
+
+TEST(NetworkTest, FaultsAreSymmetricPerLink) {
+  Network net(1);
+  auto ok_handler = [](const Slice&, std::string* r) {
+    *r = "ok";
+    return Status::OK();
+  };
+  ASSERT_TRUE(net.RegisterEndpoint("s1", ok_handler).ok());
+  ASSERT_TRUE(net.RegisterEndpoint("s2", ok_handler).ok());
+  net.Partition("c", "s1");
+  std::string reply;
+  EXPECT_TRUE(net.Call("c", "s1", "x", &reply).IsUnavailable());
+  EXPECT_TRUE(net.Call("c", "s2", "x", &reply).ok());  // Other link fine.
+}
+
+}  // namespace
+}  // namespace rrq::comm

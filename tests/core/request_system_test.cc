@@ -1,0 +1,90 @@
+#include "core/request_system.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::core {
+namespace {
+
+TEST(RequestSystemTest, OpenCreatesRequestQueue) {
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  EXPECT_TRUE(system.repo()->QueueExists(RequestSystem::kRequestQueue));
+  EXPECT_TRUE(system.Open().IsFailedPrecondition());  // Double open.
+}
+
+TEST(RequestSystemTest, ClerkOptionsAreWired) {
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  auto options = system.MakeClerkOptions("x");
+  EXPECT_EQ(options.client_id, "x");
+  EXPECT_EQ(options.request_queue, RequestSystem::kRequestQueue);
+  EXPECT_EQ(options.reply_queue, RequestSystem::ReplyQueueName("x"));
+  EXPECT_NE(options.api, nullptr);
+}
+
+TEST(RequestSystemTest, MakeClientCreatesReplyQueue) {
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  auto client = system.MakeClient("carol", nullptr);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(system.repo()->QueueExists(RequestSystem::ReplyQueueName("carol")));
+  // A second client with the same id reuses the queue and resumes the
+  // registration (it is the same logical client).
+  ASSERT_TRUE((*client)->Stop().ok());
+  auto again = system.MakeClient("carol", nullptr);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(RequestSystemTest, VolatileSystemRefusesCrashRecovery) {
+  SystemOptions options;
+  options.durable = false;
+  RequestSystem system(options);
+  ASSERT_TRUE(system.Open().ok());
+  EXPECT_TRUE(system.CrashAndRecover().IsFailedPrecondition());
+}
+
+TEST(RequestSystemTest, ApiReportsUnavailableWhileBackendDown) {
+  // During CrashAndRecover the forwarding API must fail cleanly, not
+  // crash — clients see the node as down.
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  queue::QueueApi* api = system.client_api();
+  // Normal operation works.
+  ASSERT_TRUE(api->Register(RequestSystem::kRequestQueue, "probe", true).ok());
+  ASSERT_TRUE(system.CrashAndRecover().ok());
+  // After recovery, the same handle keeps working, and the durable
+  // registration survived.
+  auto info = api->Register(RequestSystem::kRequestQueue, "probe", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->was_registered);
+}
+
+TEST(RequestSystemTest, QueueOptionsPlumbThrough) {
+  SystemOptions options;
+  options.request_queue_options.max_aborts = 7;
+  options.request_queue_options.error_queue = "dead-letters";
+  RequestSystem system(options);
+  ASSERT_TRUE(system.Open().ok());
+  auto qopts = system.repo()->GetQueueOptions(RequestSystem::kRequestQueue);
+  ASSERT_TRUE(qopts.ok());
+  EXPECT_EQ(qopts->max_aborts, 7u);
+  EXPECT_EQ(qopts->error_queue, "dead-letters");
+}
+
+TEST(RequestSystemTest, RegistrationsSurviveBackendCrash) {
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  auto client = system.MakeClient("durable-reg", nullptr);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(system.CrashAndRecover().ok());
+  // The reply queue and registration recovered.
+  EXPECT_TRUE(
+      system.repo()->QueueExists(RequestSystem::ReplyQueueName("durable-reg")));
+  auto info = system.repo()->Register(RequestSystem::kRequestQueue,
+                                      "durable-reg", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->was_registered);
+}
+
+}  // namespace
+}  // namespace rrq::core

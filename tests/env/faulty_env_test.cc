@@ -1,0 +1,103 @@
+#include "env/faulty_env.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+
+namespace rrq::env {
+namespace {
+
+TEST(FaultyEnvTest, PassesThroughWithoutFaults) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("data").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "/f", &out).ok());
+  EXPECT_EQ(out, "data");
+  EXPECT_EQ(env.injected_fault_count(), 0u);
+}
+
+TEST(FaultyEnvTest, CountsOperations) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("12345").ok());
+  ASSERT_TRUE(file->Append("678").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(env.append_count(), 2u);
+  EXPECT_EQ(env.bytes_appended(), 8u);
+  EXPECT_EQ(env.sync_count(), 1u);
+}
+
+TEST(FaultyEnvTest, InjectsSyncFailures) {
+  MemEnv base;
+  FaultConfig config;
+  config.sync_failure_one_in = 1;  // Every sync fails.
+  FaultyEnv env(&base, config);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("x").ok());
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_GE(env.injected_fault_count(), 1u);
+}
+
+TEST(FaultyEnvTest, InjectsWriteFailuresAtConfiguredRate) {
+  MemEnv base;
+  FaultConfig config;
+  config.write_failure_one_in = 4;
+  config.seed = 7;
+  FaultyEnv env(&base, config);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  int failures = 0;
+  const int kWrites = 400;
+  for (int i = 0; i < kWrites; ++i) {
+    if (!file->Append("x").ok()) ++failures;
+  }
+  EXPECT_GT(failures, kWrites / 8);
+  EXPECT_LT(failures, kWrites / 2);
+}
+
+TEST(FaultyEnvTest, SuppressionDisablesFaults) {
+  MemEnv base;
+  FaultConfig config;
+  config.write_failure_one_in = 1;
+  FaultyEnv env(&base, config);
+  env.SetFaultsSuppressed(true);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(file->Append("x").ok());
+  }
+  env.SetFaultsSuppressed(false);
+  EXPECT_TRUE(file->Append("x").IsIOError());
+}
+
+TEST(FaultyEnvTest, OpenFailuresInjected) {
+  MemEnv base;
+  FaultConfig config;
+  config.open_failure_one_in = 1;
+  FaultyEnv env(&base, config);
+  std::unique_ptr<WritableFile> file;
+  EXPECT_TRUE(env.NewWritableFile("/f", &file).IsIOError());
+}
+
+TEST(FaultyEnvTest, MetadataOpsPassThrough) {
+  MemEnv base;
+  FaultyEnv env(&base);
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/d/f", &file).ok());
+  EXPECT_TRUE(env.FileExists("/d/f"));
+  ASSERT_TRUE(env.RenameFile("/d/f", "/d/g").ok());
+  EXPECT_TRUE(env.FileExists("/d/g"));
+  ASSERT_TRUE(env.RemoveFile("/d/g").ok());
+  EXPECT_FALSE(env.FileExists("/d/g"));
+}
+
+}  // namespace
+}  // namespace rrq::env

@@ -1,0 +1,184 @@
+#include "env/mem_env.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rrq::env {
+namespace {
+
+class MemEnvTest : public ::testing::Test {
+ protected:
+  MemEnv env_;
+};
+
+TEST_F(MemEnvTest, WriteThenReadBack) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("hello ").ok());
+  ASSERT_TRUE(file->Append("world").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_EQ(data, "hello world");
+}
+
+TEST_F(MemEnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(env_.NewSequentialFile("/missing", &file).IsNotFound());
+  EXPECT_FALSE(env_.FileExists("/missing"));
+  uint64_t size;
+  EXPECT_TRUE(env_.GetFileSize("/missing", &size).IsNotFound());
+}
+
+TEST_F(MemEnvTest, WritableTruncatesAppendablePreserves) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("aaa").ok());
+  file.reset();
+
+  ASSERT_TRUE(env_.NewAppendableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("bbb").ok());
+  file.reset();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_EQ(data, "aaabbb");
+
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("c").ok());
+  file.reset();
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_EQ(data, "c");
+}
+
+TEST_F(MemEnvTest, RandomAccessReads) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("0123456789").ok());
+
+  std::unique_ptr<RandomAccessFile> reader;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/f", &reader).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(reader->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "3456");
+  // Reads past EOF return empty.
+  ASSERT_TRUE(reader->Read(100, 4, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_F(MemEnvTest, SequentialReadAndSkip) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("0123456789").ok());
+
+  std::unique_ptr<SequentialFile> reader;
+  ASSERT_TRUE(env_.NewSequentialFile("/f", &reader).ok());
+  char scratch[4];
+  Slice result;
+  ASSERT_TRUE(reader->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "012");
+  ASSERT_TRUE(reader->Skip(4).ok());
+  ASSERT_TRUE(reader->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "789");
+  ASSERT_TRUE(reader->Read(3, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());  // EOF.
+}
+
+TEST_F(MemEnvTest, RenameReplacesTarget) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/a", &file).ok());
+  ASSERT_TRUE(file->Append("A").ok());
+  ASSERT_TRUE(env_.NewWritableFile("/b", &file).ok());
+  ASSERT_TRUE(file->Append("B").ok());
+  file.reset();
+
+  ASSERT_TRUE(env_.RenameFile("/a", "/b").ok());
+  EXPECT_FALSE(env_.FileExists("/a"));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/b", &data).ok());
+  EXPECT_EQ(data, "A");
+}
+
+TEST_F(MemEnvTest, GetChildrenListsDirectChildrenOnly) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/dir/a", &file).ok());
+  ASSERT_TRUE(env_.NewWritableFile("/dir/b", &file).ok());
+  ASSERT_TRUE(env_.NewWritableFile("/dir/sub/c", &file).ok());
+  ASSERT_TRUE(env_.NewWritableFile("/other/d", &file).ok());
+
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_.GetChildren("/dir", &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST_F(MemEnvTest, CrashDropsUnsyncedBytes) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("-volatile").ok());
+
+  env_.SimulateCrash();
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_EQ(data, "durable");
+}
+
+TEST_F(MemEnvTest, CrashWithNoSyncLosesEverything) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("gone").ok());
+  env_.SimulateCrash();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_TRUE(data.empty());
+}
+
+TEST_F(MemEnvTest, TornWriteKeepsPrefixOfUnsyncedTail) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("SYNCED").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("UNSYNCED").ok());
+
+  util::Rng rng(99);
+  env_.SimulateCrash(&rng);
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  ASSERT_GE(data.size(), 6u);
+  ASSERT_LE(data.size(), 14u);
+  EXPECT_EQ(data.substr(0, 6), "SYNCED");
+}
+
+TEST_F(MemEnvTest, SyncAfterCrashReestablishesDurability) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("one").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  env_.SimulateCrash();
+  // Reopen (as a recovering process would) and continue.
+  ASSERT_TRUE(env_.NewAppendableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("two").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  env_.SimulateCrash();
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &data).ok());
+  EXPECT_EQ(data, "onetwo");
+}
+
+TEST_F(MemEnvTest, RemoveFileWithOpenHandleKeepsHandleUsable) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("x").ok());
+  ASSERT_TRUE(env_.RemoveFile("/f").ok());
+  EXPECT_FALSE(env_.FileExists("/f"));
+  // Open handle still works (POSIX unlink semantics).
+  EXPECT_TRUE(file->Append("y").ok());
+}
+
+}  // namespace
+}  // namespace rrq::env

@@ -1,0 +1,110 @@
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace rrq::env {
+namespace {
+
+class PosixEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    char tmpl[] = "/tmp/rrq_posix_env_test_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    std::vector<std::string> children;
+    if (env_->GetChildren(dir_, &children).ok()) {
+      for (const std::string& child : children) {
+        env_->RemoveFile(dir_ + "/" + child);
+      }
+    }
+    env_->RemoveDir(dir_);
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(PosixEnvTest, WriteSyncReadRoundTrip) {
+  const std::string path = dir_ + "/file";
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("hello posix").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "hello posix");
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(path, &size).ok());
+  EXPECT_EQ(size, 11u);
+}
+
+TEST_F(PosixEnvTest, MissingFileIsNotFound) {
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(env_->NewSequentialFile(dir_ + "/nope", &file).IsNotFound());
+}
+
+TEST_F(PosixEnvTest, AppendableFilePreservesContents) {
+  const std::string path = dir_ + "/file";
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("one").ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(env_->NewAppendableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("two").ok());
+  ASSERT_TRUE(file->Close().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "onetwo");
+}
+
+TEST_F(PosixEnvTest, RandomAccessPread) {
+  const std::string path = dir_ + "/file";
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append("0123456789").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  std::unique_ptr<RandomAccessFile> reader;
+  ASSERT_TRUE(env_->NewRandomAccessFile(path, &reader).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(reader->Read(2, 5, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "23456");
+}
+
+TEST_F(PosixEnvTest, RenameAndChildren) {
+  const std::string a = dir_ + "/a";
+  const std::string b = dir_ + "/b";
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(a, &file).ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  EXPECT_TRUE(env_->FileExists(b));
+
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "b");
+}
+
+TEST_F(PosixEnvTest, AtomicWriteStringToFile) {
+  const std::string path = dir_ + "/current";
+  ASSERT_TRUE(WriteStringToFileSync(env_, "v1", path).ok());
+  ASSERT_TRUE(WriteStringToFileSync(env_, "v2", path).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "v2");
+}
+
+}  // namespace
+}  // namespace rrq::env

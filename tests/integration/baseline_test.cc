@@ -1,0 +1,127 @@
+// Head-to-head: the §2 raw-message baselines really do lose or
+// duplicate requests under the same fault levels the queued protocol
+// survives. This is the paper's central motivating comparison.
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/property_checker.h"
+#include "core/request_system.h"
+#include "storage/kv_store.h"
+
+namespace rrq::core {
+namespace {
+
+struct BaselineRun {
+  uint64_t executed = 0;   // Committed server-side executions.
+  uint64_t completed = 0;  // Client saw a reply.
+  uint64_t unknown = 0;    // Client gave up with fate unknown.
+  PropertyChecker checker;
+};
+
+void RunBaseline(RetryPolicy policy, double drop_probability, int requests,
+                 BaselineRun* out) {
+  comm::Network net(/*seed=*/policy == RetryPolicy::kAtMostOnce ? 77 : 78);
+  txn::TransactionManager txn_mgr;
+  ASSERT_TRUE(txn_mgr.Open().ok());
+
+  RawMessageServer server(
+      &net, "srv", &txn_mgr,
+      [out](txn::Transaction* t, const std::string& rid,
+            const std::string&) -> Result<std::string> {
+        t->OnCommit([out, rid]() {
+          out->checker.RecordCommittedExecution(rid);
+          ++out->executed;
+        });
+        return std::string("ok");
+      });
+  ASSERT_TRUE(server.Register().ok());
+
+  comm::LinkFaults faults;
+  faults.drop_probability = drop_probability;
+  net.SetLinkFaults("cli", "srv", faults);
+
+  RawMessageClient client(&net, "cli", "srv", policy);
+  for (int i = 0; i < requests; ++i) {
+    const std::string rid = "raw#" + std::to_string(i);
+    out->checker.RecordSubmission(rid);
+    auto reply = client.Execute(rid, "work");
+    if (reply.ok()) {
+      ++out->completed;
+      out->checker.RecordReplyProcessed(rid);
+    } else {
+      ++out->unknown;
+    }
+  }
+}
+
+TEST(BaselineTest, AtMostOnceLosesRequests) {
+  BaselineRun run;
+  RunBaseline(RetryPolicy::kAtMostOnce, 0.25, 200, &run);
+  auto verdict = run.checker.Check();
+  // Without queues and without retry, some requests are simply lost.
+  EXPECT_GT(verdict.lost_requests, 0u);
+  // And at-most-once means no duplicates.
+  EXPECT_EQ(verdict.duplicate_executions, 0u);
+  EXPECT_GT(run.unknown, 0u);
+}
+
+TEST(BaselineTest, AtLeastOnceDuplicatesRequests) {
+  BaselineRun run;
+  RunBaseline(RetryPolicy::kAtLeastOnce, 0.25, 200, &run);
+  auto verdict = run.checker.Check();
+  // Blind retry executes some non-idempotent requests twice or more.
+  EXPECT_GT(verdict.duplicate_executions, 0u);
+}
+
+TEST(BaselineTest, AtMostOnceUncertaintyIsReal) {
+  // The §2 dilemma in one assertion: among the failures the client
+  // observed, some requests DID execute (lost reply) and some did NOT
+  // (lost request) — the client cannot tell which from the error.
+  BaselineRun run;
+  RunBaseline(RetryPolicy::kAtMostOnce, 0.25, 300, &run);
+  auto verdict = run.checker.Check();
+  const uint64_t executed_but_failed =
+      run.executed - run.completed;  // Executions the client missed.
+  EXPECT_GT(executed_but_failed, 0u);
+  EXPECT_GT(verdict.lost_requests, 0u);
+}
+
+TEST(BaselineTest, QueuedProtocolSurvivesSameFaultLevel) {
+  SystemOptions options;
+  options.remote_clients = true;
+  options.client_link_faults.drop_probability = 0.25;
+  options.seed = 79;
+  options.receive_timeout_micros = 20'000;
+  RequestSystem system(options);
+  ASSERT_TRUE(system.Open().ok());
+  PropertyChecker checker;
+  auto server = system.MakeServer(
+      [&checker](txn::Transaction* t, const queue::RequestEnvelope& request)
+          -> Result<std::string> {
+        const std::string rid = request.rid;
+        t->OnCommit(
+            [&checker, rid]() { checker.RecordCommittedExecution(rid); });
+        return std::string("ok");
+      });
+  ASSERT_TRUE(server->Start().ok());
+  auto client = system.MakeClient("queued", nullptr);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  constexpr int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    checker.RecordSubmission("queued#" + std::to_string(i + 1));
+    auto reply = (*client)->Execute("w");
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().ToString();
+    checker.RecordReplyProcessed("queued#" + std::to_string(i + 1));
+  }
+  server->Stop();
+  auto verdict = checker.Check();
+  EXPECT_TRUE(verdict.AllHold()) << "dups=" << verdict.duplicate_executions
+                                 << " lost=" << verdict.lost_requests;
+  EXPECT_EQ(verdict.submitted, static_cast<uint64_t>(kRequests));
+  // The network really was this hostile.
+  EXPECT_GT(system.network()->messages_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace rrq::core

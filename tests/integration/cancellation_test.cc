@@ -1,0 +1,172 @@
+// §7 end-to-end: cancellation through the client API — KillElement for
+// still-queued requests, prepare-veto for in-flight dequeues, saga
+// compensation for committed pipeline stages.
+#include <gtest/gtest.h>
+
+#include "core/request_system.h"
+#include "server/pipeline.h"
+#include "storage/kv_store.h"
+
+namespace rrq::core {
+namespace {
+
+TEST(CancellationTest, CancelBeforeServerTouchesIt) {
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  // No server running.
+  auto client = system.MakeClient("canceller", nullptr);
+  ASSERT_TRUE(client.ok());
+
+  // Fire a request and cancel it before any server dequeues it. Use
+  // the raw clerk so Execute's receive loop doesn't block us.
+  client::Clerk* clerk = (*client)->clerk();
+  queue::RequestEnvelope envelope;
+  envelope.rid = "canceller#777";
+  envelope.reply_queue = RequestSystem::ReplyQueueName("canceller");
+  envelope.body = "never-run";
+  // The ReliableClient has already connected this clerk; drive it
+  // directly.
+  ASSERT_TRUE(
+      clerk->Send(queue::EncodeRequestEnvelope(envelope), "canceller#777")
+          .ok());
+  auto killed = clerk->CancelLastRequest();
+  ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+  EXPECT_TRUE(*killed);
+  EXPECT_EQ(*system.repo()->Depth(RequestSystem::kRequestQueue), 0u);
+}
+
+TEST(CancellationTest, CancelRacesDequeuerAndWins) {
+  // The §7 semantics: killing an element held by an uncommitted
+  // dequeuer aborts that transaction and deletes the element, undoing
+  // any database work the server did for it.
+  RequestSystem system;
+  ASSERT_TRUE(system.Open().ok());
+  storage::KvStore db("db", {});
+  ASSERT_TRUE(db.Open().ok());
+  {
+    auto txn = system.txn_manager()->Begin();
+    ASSERT_TRUE(db.Put(txn.get(), "applied", "0").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::atomic<bool> server_in_handler{false};
+  std::atomic<bool> cancel_done{false};
+  auto server = system.MakeServer(
+      [&](txn::Transaction* t,
+          const queue::RequestEnvelope&) -> Result<std::string> {
+        RRQ_RETURN_IF_ERROR(db.Put(t, "applied", "1"));
+        server_in_handler.store(true);
+        // Hold the transaction open until the cancel lands.
+        for (int i = 0; i < 1000 && !cancel_done.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return std::string("too-late?");
+      });
+
+  auto client = system.MakeClient("racer", nullptr);
+  ASSERT_TRUE(client.ok());
+  client::Clerk* clerk = (*client)->clerk();
+  queue::RequestEnvelope envelope;
+  envelope.rid = "racer#1";
+  envelope.reply_queue = RequestSystem::ReplyQueueName("racer");
+  envelope.body = "cancel-me";
+  ASSERT_TRUE(
+      clerk->Send(queue::EncodeRequestEnvelope(envelope), "racer#1").ok());
+
+  std::thread server_thread([&server]() { server->ProcessOne(); });
+  while (!server_in_handler.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto killed = clerk->CancelLastRequest();
+  cancel_done.store(true);
+  server_thread.join();
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  // The server's transaction was vetoed: no database effect.
+  EXPECT_EQ(*db.GetCommitted("applied"), "0");
+  EXPECT_EQ(server->processed_count(), 0u);
+}
+
+TEST(CancellationTest, MultiTransactionCancelNeedsCompensation) {
+  // §7: "With multi-transaction requests, the cancellation request
+  // fails once the first transaction in the sequence has committed.
+  // Later cancellation can still be arranged by supporting
+  // compensating transactions and sagas."
+  txn::TransactionManager txn_mgr;
+  ASSERT_TRUE(txn_mgr.Open().ok());
+  queue::QueueRepository repo("qm");
+  ASSERT_TRUE(repo.Open().ok());
+  ASSERT_TRUE(repo.CreateQueue("rep").ok());
+  storage::KvStore db("bank", {});
+  ASSERT_TRUE(db.Open().ok());
+  {
+    auto txn = txn_mgr.Begin();
+    ASSERT_TRUE(db.Put(txn.get(), "A", "1000").ok());
+    ASSERT_TRUE(db.Put(txn.get(), "B", "0").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto adjust = [&db](txn::Transaction* t, const std::string& account,
+                      int delta) -> Status {
+    auto v = db.GetForUpdate(t, account);
+    if (!v.ok()) return v.status();
+    return db.Put(t, account, std::to_string(std::stoi(*v) + delta));
+  };
+
+  server::PipelineStage debit{
+      "debit",
+      [&adjust](txn::Transaction* t, const queue::RequestEnvelope&)
+          -> Result<server::StageResult> {
+        RRQ_RETURN_IF_ERROR(adjust(t, "A", -100));
+        return server::StageResult{"debited", "100"};
+      },
+      [&adjust](txn::Transaction* t, const std::string& amount) -> Status {
+        return adjust(t, "A", std::stoi(amount));
+      }};
+  server::PipelineStage credit{
+      "credit",
+      [&adjust](txn::Transaction* t, const queue::RequestEnvelope&)
+          -> Result<server::StageResult> {
+        RRQ_RETURN_IF_ERROR(adjust(t, "B", +100));
+        return server::StageResult{"credited", "100"};
+      },
+      [&adjust](txn::Transaction* t, const std::string& amount) -> Status {
+        return adjust(t, "B", -std::stoi(amount));
+      }};
+  server::PipelineOptions poptions;
+  poptions.queue_prefix = "xfer";
+  poptions.poll_timeout_micros = 0;
+  server::Pipeline pipeline(poptions, &repo, &txn_mgr, {debit, credit});
+  ASSERT_TRUE(pipeline.Setup().ok());
+
+  queue::RequestEnvelope envelope;
+  envelope.rid = "xfer#1";
+  envelope.reply_queue = "rep";
+  envelope.body = "transfer 100 A->B";
+  ASSERT_TRUE(repo.Enqueue(nullptr, pipeline.entry_queue(),
+                           queue::EncodeRequestEnvelope(envelope))
+                  .ok());
+
+  // First transaction commits.
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  EXPECT_EQ(*db.GetCommitted("A"), "900");
+
+  // Plain KillElement-style cancel is now impossible (the element left
+  // the entry queue); the saga path takes over.
+  auto outcome = pipeline.Cancel("xfer#1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, server::CancelOutcome::kCompensating);
+  ASSERT_TRUE(pipeline.ProcessOneCompensation().ok());
+
+  // Compensated: money restored, client told.
+  EXPECT_EQ(*db.GetCommitted("A"), "1000");
+  EXPECT_EQ(*db.GetCommitted("B"), "0");
+  auto reply = repo.Dequeue(nullptr, "rep");
+  ASSERT_TRUE(reply.ok());
+  queue::ReplyEnvelope decoded;
+  ASSERT_TRUE(queue::DecodeReplyEnvelope(reply->contents, &decoded).ok());
+  EXPECT_EQ(decoded.rid, "xfer#1");
+  EXPECT_FALSE(decoded.success);
+}
+
+}  // namespace
+}  // namespace rrq::core

@@ -1,0 +1,71 @@
+#include "queue/envelope.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::queue {
+namespace {
+
+TEST(RequestEnvelopeTest, RoundTrip) {
+  RequestEnvelope envelope;
+  envelope.rid = "client-7#42";
+  envelope.reply_queue = "reply.client-7";
+  envelope.reply_priority = 9;
+  envelope.scratch = std::string("binary\0scratch", 14);
+  envelope.body = "transfer 100";
+
+  RequestEnvelope decoded;
+  ASSERT_TRUE(
+      DecodeRequestEnvelope(EncodeRequestEnvelope(envelope), &decoded).ok());
+  EXPECT_EQ(decoded.rid, envelope.rid);
+  EXPECT_EQ(decoded.reply_queue, envelope.reply_queue);
+  EXPECT_EQ(decoded.reply_priority, envelope.reply_priority);
+  EXPECT_EQ(decoded.scratch, envelope.scratch);
+  EXPECT_EQ(decoded.body, envelope.body);
+}
+
+TEST(RequestEnvelopeTest, EmptyFieldsRoundTrip) {
+  RequestEnvelope envelope;
+  RequestEnvelope decoded;
+  ASSERT_TRUE(
+      DecodeRequestEnvelope(EncodeRequestEnvelope(envelope), &decoded).ok());
+  EXPECT_TRUE(decoded.rid.empty());
+  EXPECT_TRUE(decoded.body.empty());
+}
+
+TEST(RequestEnvelopeTest, TruncationDetected) {
+  RequestEnvelope envelope;
+  envelope.rid = "rid";
+  envelope.body = "a-body-of-some-length";
+  std::string wire = EncodeRequestEnvelope(envelope);
+  for (size_t cut : {wire.size() - 1, wire.size() / 2, size_t{1}, size_t{0}}) {
+    RequestEnvelope decoded;
+    EXPECT_TRUE(DecodeRequestEnvelope(Slice(wire.data(), cut), &decoded)
+                    .IsCorruption())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ReplyEnvelopeTest, RoundTripBothOutcomes) {
+  for (bool success : {true, false}) {
+    ReplyEnvelope envelope;
+    envelope.rid = "r#1";
+    envelope.success = success;
+    envelope.body = success ? "result" : "request failed permanently";
+    ReplyEnvelope decoded;
+    ASSERT_TRUE(
+        DecodeReplyEnvelope(EncodeReplyEnvelope(envelope), &decoded).ok());
+    EXPECT_EQ(decoded.rid, "r#1");
+    EXPECT_EQ(decoded.success, success);
+    EXPECT_EQ(decoded.body, envelope.body);
+  }
+}
+
+TEST(ReplyEnvelopeTest, GarbageRejected) {
+  ReplyEnvelope decoded;
+  EXPECT_FALSE(DecodeReplyEnvelope("not an envelope at all...", &decoded).ok() &&
+               decoded.rid == "not");
+  EXPECT_TRUE(DecodeReplyEnvelope(Slice(), &decoded).IsCorruption());
+}
+
+}  // namespace
+}  // namespace rrq::queue

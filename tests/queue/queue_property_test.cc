@@ -1,0 +1,128 @@
+// Model-based property test for the queue manager: a random schedule
+// of enqueues, transactional and auto-committed dequeues,
+// commits/aborts, kills, checkpoints, and crashes, checked against a
+// reference model (a set of live elements). Invariants:
+//  - the committed element set always equals the model,
+//  - no element is ever dequeued-committed twice,
+//  - eids are never reused,
+//  - abort counts track the number of aborted dequeues per element.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "queue/queue_repository.h"
+#include "txn/txn_manager.h"
+#include "util/random.h"
+
+namespace rrq::queue {
+namespace {
+
+class QueuePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueuePropertyTest, CommittedStateAlwaysMatchesModel) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed * 31 + 7);
+  env::MemEnv env;
+  txn::TransactionManager txn_mgr;
+  ASSERT_TRUE(txn_mgr.Open().ok());
+
+  RepositoryOptions options;
+  options.env = &env;
+  options.dir = "/qm";
+  auto repo = std::make_unique<QueueRepository>("qm", options);
+  ASSERT_TRUE(repo->Open().ok());
+  ASSERT_TRUE(repo->CreateQueue("q").ok());
+
+  // Model: live committed elements, and bookkeeping for invariants.
+  std::map<ElementId, std::string> model;  // eid -> contents.
+  std::set<ElementId> consumed;            // Committed dequeues.
+  std::set<ElementId> all_eids;            // For reuse detection.
+
+  auto verify = [&](const char* when) {
+    auto depth = repo->Depth("q");
+    ASSERT_TRUE(depth.ok());
+    ASSERT_EQ(*depth, model.size()) << "seed " << seed << " at " << when;
+    for (const auto& [eid, contents] : model) {
+      auto read = repo->Read("q", eid);
+      ASSERT_TRUE(read.ok())
+          << "seed " << seed << " at " << when << " missing " << eid;
+      EXPECT_EQ(read->contents, contents);
+    }
+  };
+
+  constexpr int kSteps = 300;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    if (action < 40) {
+      // Auto-committed enqueue.
+      const std::string contents = rng.Bytes(rng.UniformRange(1, 20));
+      auto eid = repo->Enqueue(nullptr, "q", contents);
+      ASSERT_TRUE(eid.ok());
+      EXPECT_TRUE(all_eids.insert(*eid).second)
+          << "seed " << seed << ": eid reused: " << *eid;
+      model[*eid] = contents;
+    } else if (action < 60) {
+      // Auto-committed dequeue.
+      auto got = repo->Dequeue(nullptr, "q");
+      if (got.ok()) {
+        ASSERT_TRUE(model.count(got->eid) == 1)
+            << "seed " << seed << ": dequeued unknown eid " << got->eid;
+        EXPECT_TRUE(consumed.insert(got->eid).second)
+            << "seed " << seed << ": double consume of " << got->eid;
+        model.erase(got->eid);
+      } else {
+        EXPECT_TRUE(got.status().IsNotFound());
+        EXPECT_TRUE(model.empty());
+      }
+    } else if (action < 80) {
+      // Transactional dequeue, committed or aborted.
+      auto txn = txn_mgr.Begin();
+      auto got = repo->Dequeue(txn.get(), "q");
+      if (!got.ok()) {
+        txn->Abort();
+        EXPECT_TRUE(model.empty());
+        continue;
+      }
+      if (rng.Bernoulli(0.6)) {
+        ASSERT_TRUE(txn->Commit().ok());
+        EXPECT_TRUE(consumed.insert(got->eid).second)
+            << "seed " << seed << ": double consume of " << got->eid;
+        model.erase(got->eid);
+      } else {
+        txn->Abort();
+        // Returned to the queue (no error queue configured): still in
+        // the model, with a bumped abort count.
+        auto read = repo->Read("q", got->eid);
+        ASSERT_TRUE(read.ok());
+        EXPECT_EQ(read->abort_count, got->abort_count + 1);
+      }
+    } else if (action < 88 && !model.empty()) {
+      // Kill a random live element.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+      auto killed = repo->KillElement(nullptr, "q", it->first);
+      ASSERT_TRUE(killed.ok());
+      EXPECT_TRUE(*killed);
+      model.erase(it);
+    } else if (action < 93) {
+      ASSERT_TRUE(repo->Checkpoint().ok());
+    } else {
+      // Crash and recover.
+      repo.reset();
+      env.SimulateCrash();
+      repo = std::make_unique<QueueRepository>("qm", options);
+      ASSERT_TRUE(repo->Open().ok());
+      verify("recovery");
+    }
+    if (step % 25 == 0) verify("step");
+  }
+  verify("end");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueuePropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rrq::queue

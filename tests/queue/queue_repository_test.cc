@@ -1,0 +1,697 @@
+#include "queue/queue_repository.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "txn/txn_manager.h"
+
+namespace rrq::queue {
+namespace {
+
+class QueueRepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    repo_ = MakeRepo();
+    ASSERT_TRUE(repo_->CreateQueue("q").ok());
+  }
+
+  std::unique_ptr<QueueRepository> MakeRepo() {
+    RepositoryOptions options;
+    options.env = &env_;
+    options.dir = "/qm";
+    options.in_doubt_resolver = [this](txn::TxnId id) {
+      return txn_mgr_->WasCommitted(id);
+    };
+    auto repo = std::make_unique<QueueRepository>("qm", options);
+    EXPECT_TRUE(repo->Open().ok());
+    return repo;
+  }
+
+  ElementId MustEnqueue(const std::string& queue, const std::string& contents,
+                        uint32_t priority = 0) {
+    auto r = repo_->Enqueue(nullptr, queue, contents, priority);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  std::string MustDequeue(const std::string& queue) {
+    auto r = repo_->Dequeue(nullptr, queue);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->contents : "";
+  }
+
+  env::MemEnv env_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<QueueRepository> repo_;
+};
+
+// ---------------------------------------------------------------------------
+// Data definition
+
+TEST_F(QueueRepositoryTest, CreateDestroyQueue) {
+  EXPECT_TRUE(repo_->QueueExists("q"));
+  EXPECT_TRUE(repo_->CreateQueue("q").IsAlreadyExists());
+  ASSERT_TRUE(repo_->DestroyQueue("q").ok());
+  EXPECT_FALSE(repo_->QueueExists("q"));
+  EXPECT_TRUE(repo_->DestroyQueue("q").IsNotFound());
+  EXPECT_TRUE(repo_->CreateQueue("").IsInvalidArgument());
+}
+
+TEST_F(QueueRepositoryTest, StopRejectsTraffic) {
+  ASSERT_TRUE(repo_->StopQueue("q").ok());
+  EXPECT_TRUE(repo_->Enqueue(nullptr, "q", "x").status().IsFailedPrecondition());
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsFailedPrecondition());
+  ASSERT_TRUE(repo_->StartQueue("q").ok());
+  EXPECT_TRUE(repo_->Enqueue(nullptr, "q", "x").ok());
+}
+
+TEST_F(QueueRepositoryTest, ListQueues) {
+  ASSERT_TRUE(repo_->CreateQueue("a").ok());
+  ASSERT_TRUE(repo_->CreateQueue("b").ok());
+  auto names = repo_->ListQueues();
+  EXPECT_EQ(names.size(), 3u);  // q, a, b
+}
+
+// ---------------------------------------------------------------------------
+// Basic data manipulation
+
+TEST_F(QueueRepositoryTest, FifoOrderWithinPriority) {
+  MustEnqueue("q", "one");
+  MustEnqueue("q", "two");
+  MustEnqueue("q", "three");
+  EXPECT_EQ(MustDequeue("q"), "one");
+  EXPECT_EQ(MustDequeue("q"), "two");
+  EXPECT_EQ(MustDequeue("q"), "three");
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsNotFound());
+}
+
+TEST_F(QueueRepositoryTest, HigherPriorityFirst) {
+  MustEnqueue("q", "low", 1);
+  MustEnqueue("q", "high", 9);
+  MustEnqueue("q", "mid", 5);
+  MustEnqueue("q", "high2", 9);
+  EXPECT_EQ(MustDequeue("q"), "high");
+  EXPECT_EQ(MustDequeue("q"), "high2");  // FIFO within priority.
+  EXPECT_EQ(MustDequeue("q"), "mid");
+  EXPECT_EQ(MustDequeue("q"), "low");
+}
+
+TEST_F(QueueRepositoryTest, ElementIdsAreUniqueAndStable) {
+  ElementId a = MustEnqueue("q", "a");
+  ElementId b = MustEnqueue("q", "b");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kInvalidElementId);
+  auto read = repo_->Read("q", a);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->contents, "a");
+  EXPECT_EQ(read->eid, a);
+}
+
+TEST_F(QueueRepositoryTest, DepthCountsVisible) {
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+  MustEnqueue("q", "a");
+  MustEnqueue("q", "b");
+  EXPECT_EQ(*repo_->Depth("q"), 2u);
+  MustDequeue("q");
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+}
+
+TEST_F(QueueRepositoryTest, BlockingDequeueWakesOnEnqueue) {
+  std::string got;
+  std::thread consumer([this, &got]() {
+    auto r = repo_->Dequeue(nullptr, "q", "", Slice(), 2'000'000);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    got = r->contents;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  MustEnqueue("q", "wakeup");
+  consumer.join();
+  EXPECT_EQ(got, "wakeup");
+}
+
+TEST_F(QueueRepositoryTest, DequeueTimesOutOnEmptyQueue) {
+  auto r = repo_->Dequeue(nullptr, "q", "", Slice(), 30'000);
+  EXPECT_TRUE(r.status().IsTimedOut()) << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Transactional semantics
+
+TEST_F(QueueRepositoryTest, TransactionalEnqueueInvisibleUntilCommit) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), "q", "pending").ok());
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsNotFound());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+  EXPECT_EQ(MustDequeue("q"), "pending");
+}
+
+TEST_F(QueueRepositoryTest, AbortedEnqueueVanishes) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), "q", "ghost").ok());
+  txn->Abort();
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+}
+
+TEST_F(QueueRepositoryTest, TransactionalDequeueLocksElement) {
+  MustEnqueue("q", "only");
+  auto txn = txn_mgr_->Begin();
+  auto got = repo_->Dequeue(txn.get(), "q");
+  ASSERT_TRUE(got.ok());
+  // Skip-locked: other dequeuers see an empty queue.
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsNotFound());
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsNotFound());
+}
+
+TEST_F(QueueRepositoryTest, AbortedDequeueReturnsElement) {
+  MustEnqueue("q", "retry-me");
+  auto txn = txn_mgr_->Begin();
+  auto got = repo_->Dequeue(txn.get(), "q");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->abort_count, 0u);
+  txn->Abort();
+  auto again = repo_->Dequeue(nullptr, "q");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->contents, "retry-me");
+  EXPECT_EQ(again->abort_count, 1u);  // The abort was counted.
+  EXPECT_EQ(again->eid, got->eid);    // Identity is stable.
+}
+
+TEST_F(QueueRepositoryTest, NthAbortMovesToErrorQueue) {
+  QueueOptions qopts;
+  qopts.max_aborts = 3;
+  qopts.error_queue = "q.err";
+  ASSERT_TRUE(repo_->CreateQueue("poison-q", qopts).ok());
+  ElementId eid = *repo_->Enqueue(nullptr, "poison-q", "poison");
+
+  for (int round = 0; round < 3; ++round) {
+    auto txn = txn_mgr_->Begin();
+    auto got = repo_->Dequeue(txn.get(), "poison-q");
+    ASSERT_TRUE(got.ok()) << "round " << round;
+    txn->Abort();
+  }
+  // After the third abort the element is in the error queue.
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "poison-q").status().IsNotFound());
+  ASSERT_TRUE(repo_->QueueExists("q.err"));
+  auto dead = repo_->Dequeue(nullptr, "q.err");
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(dead->contents, "poison");
+  EXPECT_EQ(dead->eid, eid);
+  EXPECT_EQ(dead->abort_count, 3u);
+  EXPECT_FALSE(dead->abort_code.empty());
+  EXPECT_EQ(repo_->error_move_count(), 1u);
+}
+
+TEST_F(QueueRepositoryTest, DequeueEnqueueAcrossQueuesIsAtomic) {
+  ASSERT_TRUE(repo_->CreateQueue("q2").ok());
+  MustEnqueue("q", "hop");
+  {
+    auto txn = txn_mgr_->Begin();
+    auto got = repo_->Dequeue(txn.get(), "q");
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(repo_->Enqueue(txn.get(), "q2", got->contents).ok());
+    txn->Abort();  // Nothing moved.
+  }
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+  EXPECT_EQ(*repo_->Depth("q2"), 0u);
+  {
+    auto txn = txn_mgr_->Begin();
+    auto got = repo_->Dequeue(txn.get(), "q");
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(repo_->Enqueue(txn.get(), "q2", got->contents).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+  EXPECT_EQ(*repo_->Depth("q2"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent registration (§4.3)
+
+TEST_F(QueueRepositoryTest, FreshRegistrationIsEmpty) {
+  auto info = repo_->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->was_registered);
+  EXPECT_EQ(info->last_op, OpType::kNone);
+  EXPECT_EQ(info->last_eid, kInvalidElementId);
+  EXPECT_TRUE(info->last_tag.empty());
+}
+
+TEST_F(QueueRepositoryTest, ReRegistrationReturnsLastTaggedOp) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "req-body", 0, "client-1",
+                             "rid-42").ok());
+  auto info = repo_->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->was_registered);
+  EXPECT_EQ(info->last_op, OpType::kEnqueue);
+  EXPECT_EQ(info->last_tag, "rid-42");
+  EXPECT_EQ(info->last_element, "req-body");
+}
+
+TEST_F(QueueRepositoryTest, DequeueTagRecordedAtomically) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  MustEnqueue("q", "reply-body");
+  auto got = repo_->Dequeue(nullptr, "q", "client-1", "ckpt-7");
+  ASSERT_TRUE(got.ok());
+  auto info = repo_->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->last_op, OpType::kDequeue);
+  EXPECT_EQ(info->last_tag, "ckpt-7");
+  EXPECT_EQ(info->last_eid, got->eid);
+}
+
+TEST_F(QueueRepositoryTest, ReadAfterDequeueViaRegistrationCopy) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  MustEnqueue("q", "keepsake");
+  auto got = repo_->Dequeue(nullptr, "q", "client-1", "t");
+  ASSERT_TRUE(got.ok());
+  // Element is gone from the queue, but the registrant can still read it.
+  auto read = repo_->Read("q", got->eid);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->contents, "keepsake");
+}
+
+TEST_F(QueueRepositoryTest, DeregisterForgetsState) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "x", 0, "client-1", "rid").ok());
+  ASSERT_TRUE(repo_->Deregister("q", "client-1").ok());
+  auto info = repo_->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->was_registered);
+  EXPECT_TRUE(repo_->Deregister("q", "nobody").IsNotFound());
+}
+
+TEST_F(QueueRepositoryTest, TaggedOpRequiresRegistration) {
+  auto r = repo_->Enqueue(nullptr, "q", "x", 0, "stranger", "rid");
+  EXPECT_TRUE(r.status().IsNotConnected());
+}
+
+TEST_F(QueueRepositoryTest, AbortedTaggedOperationLeavesTagUnchanged) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  ASSERT_TRUE(
+      repo_->Enqueue(nullptr, "q", "first", 0, "client-1", "rid-1").ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(
+      repo_->Enqueue(txn.get(), "q", "second", 0, "client-1", "rid-2").ok());
+  txn->Abort();
+  auto info = repo_->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->last_tag, "rid-1");  // rid-2 was never durable.
+}
+
+// ---------------------------------------------------------------------------
+// KillElement (§7)
+
+TEST_F(QueueRepositoryTest, KillRemovesQueuedElement) {
+  ElementId eid = MustEnqueue("q", "doomed");
+  auto killed = repo_->KillElement(nullptr, "q", eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+}
+
+TEST_F(QueueRepositoryTest, KillAfterCommittedDequeueFails) {
+  ElementId eid = MustEnqueue("q", "gone");
+  MustDequeue("q");
+  auto killed = repo_->KillElement(nullptr, "q", eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_FALSE(*killed);
+}
+
+TEST_F(QueueRepositoryTest, KillAbortsUncommittedDequeuer) {
+  ElementId eid = MustEnqueue("q", "contested");
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "q").ok());
+  auto killed = repo_->KillElement(nullptr, "q", eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  // The dequeuing transaction is doomed: commit must fail.
+  Status s = txn->Commit();
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  // And the element is gone for good.
+  EXPECT_EQ(*repo_->Depth("q"), 0u);
+  EXPECT_TRUE(repo_->Dequeue(nullptr, "q").status().IsNotFound());
+}
+
+TEST_F(QueueRepositoryTest, KillFailsOncePrepared) {
+  ElementId eid = MustEnqueue("q", "prepared");
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "q").ok());
+  ASSERT_TRUE(repo_->Prepare(txn->id()).ok());
+  auto killed = repo_->KillElement(nullptr, "q", eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_FALSE(*killed);  // Too late: the dequeuer voted yes.
+  ASSERT_TRUE(repo_->CommitTxn(txn->id()).ok());
+  txn->Abort();  // Clean up the handle (repo already committed).
+}
+
+TEST_F(QueueRepositoryTest, TransactionalKillUndoneByAbort) {
+  ElementId eid = MustEnqueue("q", "survivor");
+  auto txn = txn_mgr_->Begin();
+  auto killed = repo_->KillElement(txn.get(), "q", eid);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed);
+  txn->Abort();
+  // The kill aborted with its transaction: the element survives.
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+  EXPECT_EQ(MustDequeue("q"), "survivor");
+}
+
+// ---------------------------------------------------------------------------
+// Policies: strict FIFO, selector, queue sets, redirection
+
+TEST_F(QueueRepositoryTest, StrictFifoBlocksOnLockedHead) {
+  QueueOptions qopts;
+  qopts.policy = DequeuePolicy::kStrictFifo;
+  ASSERT_TRUE(repo_->CreateQueue("strict", qopts).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "strict", "head").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "strict", "next").ok());
+
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "strict").ok());
+  // Head is locked: a second dequeuer must NOT skip to "next".
+  auto blocked = repo_->Dequeue(nullptr, "strict");
+  EXPECT_TRUE(blocked.status().IsBusy()) << blocked.status().ToString();
+  ASSERT_TRUE(txn->Commit().ok());
+  auto now = repo_->Dequeue(nullptr, "strict");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->contents, "next");
+}
+
+TEST_F(QueueRepositoryTest, SkipLockedDequeuesPastLockedElement) {
+  MustEnqueue("q", "first");
+  MustEnqueue("q", "second");
+  auto txn = txn_mgr_->Begin();
+  auto first = repo_->Dequeue(txn.get(), "q");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->contents, "first");
+  // Skip-locked (§10): another dequeuer gets "second" immediately.
+  EXPECT_EQ(MustDequeue("q"), "second");
+  txn->Abort();
+  // The anomalous ordering the paper tolerates: "first" now follows.
+  EXPECT_EQ(MustDequeue("q"), "first");
+}
+
+TEST_F(QueueRepositoryTest, SelectorPicksByContent) {
+  MustEnqueue("q", "amount:10");
+  MustEnqueue("q", "amount:90");
+  MustEnqueue("q", "amount:50");
+  // "Highest dollar amount first" (§10).
+  Selector highest = [](const std::vector<Element*>& candidates) -> size_t {
+    size_t best = 0;
+    int best_amount = -1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int amount = std::stoi(candidates[i]->contents.substr(7));
+      if (amount > best_amount) {
+        best_amount = amount;
+        best = i;
+      }
+    }
+    return best;
+  };
+  auto got = repo_->DequeueSelected(nullptr, "q", highest);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "amount:90");
+}
+
+TEST_F(QueueRepositoryTest, DequeueFromSetTakesFirstNonEmpty) {
+  ASSERT_TRUE(repo_->CreateQueue("empty1").ok());
+  ASSERT_TRUE(repo_->CreateQueue("loaded").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "loaded", "found").ok());
+  auto got = repo_->DequeueFromSet(nullptr, {"empty1", "loaded", "q"});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "found");
+  EXPECT_TRUE(repo_->DequeueFromSet(nullptr, {"empty1", "q"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueueRepositoryTest, RedirectionForwardsEnqueues) {
+  QueueOptions redirecting;
+  redirecting.redirect_to = "q";
+  ASSERT_TRUE(repo_->CreateQueue("front", redirecting).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "front", "forwarded").ok());
+  EXPECT_EQ(*repo_->Depth("front"), 0u);
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+  EXPECT_EQ(MustDequeue("q"), "forwarded");
+}
+
+TEST_F(QueueRepositoryTest, AlertThresholdFires) {
+  RepositoryOptions options;
+  options.env = nullptr;
+  std::vector<std::pair<std::string, size_t>> alerts;
+  options.alert_callback = [&alerts](const std::string& q, size_t depth) {
+    alerts.emplace_back(q, depth);
+  };
+  QueueRepository repo("alerting", options);
+  ASSERT_TRUE(repo.Open().ok());
+  QueueOptions qopts;
+  qopts.alert_threshold = 3;
+  ASSERT_TRUE(repo.CreateQueue("watched", qopts).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(repo.Enqueue(nullptr, "watched", "x").ok());
+  }
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].first, "watched");
+  EXPECT_EQ(alerts[0].second, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Triggers (§6 fork/join)
+
+TEST_F(QueueRepositoryTest, TriggerFiresWhenCountReached) {
+  ASSERT_TRUE(repo_->CreateQueue("replies").ok());
+  ASSERT_TRUE(repo_->CreateQueue("join").ok());
+  TriggerSpec trigger;
+  trigger.watched_queue = "replies";
+  trigger.remaining = 3;
+  trigger.target_queue = "join";
+  trigger.contents = "all-replies-in";
+  ASSERT_TRUE(repo_->SetTrigger(trigger).ok());
+
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "replies", "r1").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "replies", "r2").ok());
+  EXPECT_EQ(*repo_->Depth("join"), 0u);
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "replies", "r3").ok());
+  ASSERT_EQ(*repo_->Depth("join"), 1u);
+  auto join = repo_->Dequeue(nullptr, "join");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->contents, "all-replies-in");
+  // Fires once only.
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "replies", "r4").ok());
+  EXPECT_EQ(*repo_->Depth("join"), 0u);
+}
+
+TEST_F(QueueRepositoryTest, TriggerAlreadySatisfiedFiresOnInstall) {
+  ASSERT_TRUE(repo_->CreateQueue("join").ok());
+  MustEnqueue("q", "r1");
+  MustEnqueue("q", "r2");
+  TriggerSpec trigger;
+  trigger.watched_queue = "q";
+  trigger.remaining = 2;
+  trigger.target_queue = "join";
+  trigger.contents = "go";
+  ASSERT_TRUE(repo_->SetTrigger(trigger).ok());
+  EXPECT_EQ(*repo_->Depth("join"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Volatile queues
+
+TEST_F(QueueRepositoryTest, VolatileQueueLosesContentsAtCrash) {
+  QueueOptions vopts;
+  vopts.durable = false;
+  ASSERT_TRUE(repo_->CreateQueue("scratch", vopts).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "scratch", "ephemeral").ok());
+  MustEnqueue("q", "durable");
+
+  env_.SimulateCrash();
+  auto recovered = MakeRepo();
+  // The volatile queue itself survives (metadata is durable)...
+  EXPECT_TRUE(recovered->QueueExists("scratch"));
+  // ...but its contents do not.
+  EXPECT_EQ(*recovered->Depth("scratch"), 0u);
+  EXPECT_EQ(*recovered->Depth("q"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+TEST_F(QueueRepositoryTest, CommittedElementsSurviveCrash) {
+  MustEnqueue("q", "a");
+  MustEnqueue("q", "b");
+  MustDequeue("q");  // Consume "a".
+  env_.SimulateCrash();
+
+  auto recovered = MakeRepo();
+  EXPECT_EQ(*recovered->Depth("q"), 1u);
+  auto got = recovered->Dequeue(nullptr, "q");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "b");
+}
+
+TEST_F(QueueRepositoryTest, UncommittedOpsRollBackAtCrash) {
+  MustEnqueue("q", "stay");
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "q").ok());
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), "q", "phantom").ok());
+  // Crash with the transaction unprepared.
+  env_.SimulateCrash();
+  auto recovered = MakeRepo();
+  EXPECT_EQ(*recovered->Depth("q"), 1u);
+  auto got = recovered->Dequeue(nullptr, "q");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "stay");
+  txn->Abort();
+}
+
+TEST_F(QueueRepositoryTest, RegistrationSurvivesCrash) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "body", 0, "client-1",
+                             "rid-99").ok());
+  env_.SimulateCrash();
+  auto recovered = MakeRepo();
+  auto info = recovered->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->was_registered);
+  EXPECT_EQ(info->last_tag, "rid-99");
+  EXPECT_EQ(info->last_element, "body");
+}
+
+TEST_F(QueueRepositoryTest, EidsNeverReusedAfterCrash) {
+  ElementId before = MustEnqueue("q", "x");
+  env_.SimulateCrash();
+  auto recovered = MakeRepo();
+  auto after = recovered->Enqueue(nullptr, "q", "y");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(*after, before);
+}
+
+TEST_F(QueueRepositoryTest, CheckpointCompactsAndPreservesEverything) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  for (int i = 0; i < 20; ++i) MustEnqueue("q", "e" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) MustDequeue("q");
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "tagged", 7, "client-1",
+                             "rid-5").ok());
+  const uint64_t wal_before = repo_->wal_bytes();
+  ASSERT_TRUE(repo_->Checkpoint().ok());
+  EXPECT_LT(repo_->wal_bytes(), wal_before);
+
+  MustEnqueue("q", "post-ckpt");
+  env_.SimulateCrash();
+  auto recovered = MakeRepo();
+  EXPECT_EQ(*recovered->Depth("q"), 17u);  // 20 - 5 + tagged + post.
+  auto info = recovered->Register("q", "client-1", true);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->last_tag, "rid-5");
+  // Priority survives the checkpoint: "tagged" (priority 7) comes first.
+  auto got = recovered->Dequeue(nullptr, "q");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "tagged");
+}
+
+TEST_F(QueueRepositoryTest, PreparedTransactionRecoversViaResolver) {
+  MustEnqueue("q", "consumed-if-committed");
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "q").ok());
+  ASSERT_TRUE(repo_->Prepare(txn->id()).ok());
+  const txn::TxnId id = txn->id();
+  env_.SimulateCrash();
+
+  // Resolver says committed: the dequeue applies during recovery.
+  {
+    RepositoryOptions options;
+    options.env = &env_;
+    options.dir = "/qm";
+    options.in_doubt_resolver = [id](txn::TxnId q) { return q == id; };
+    QueueRepository recovered("qm", options);
+    ASSERT_TRUE(recovered.Open().ok());
+    EXPECT_EQ(*recovered.Depth("q"), 0u);
+  }
+  txn->Abort();
+}
+
+TEST_F(QueueRepositoryTest, PreparedTransactionPresumedAbortRestoresElement) {
+  MustEnqueue("q", "restored");
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), "q").ok());
+  ASSERT_TRUE(repo_->Prepare(txn->id()).ok());
+  env_.SimulateCrash();
+
+  RepositoryOptions options;
+  options.env = &env_;
+  options.dir = "/qm";
+  QueueRepository recovered("qm", options);  // No resolver: presumed abort.
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(*recovered.Depth("q"), 1u);
+  txn->Abort();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+
+TEST_F(QueueRepositoryTest, ConcurrentDequeuersNeverDuplicate) {
+  constexpr int kElements = 300;
+  for (int i = 0; i < kElements; ++i) MustEnqueue("q", std::to_string(i));
+
+  std::mutex mu;
+  std::vector<std::string> consumed;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &mu, &consumed]() {
+      while (true) {
+        auto txn = txn_mgr_->Begin();
+        auto got = repo_->Dequeue(txn.get(), "q");
+        if (!got.ok()) {
+          txn->Abort();
+          break;
+        }
+        ASSERT_TRUE(txn->Commit().ok());
+        std::lock_guard<std::mutex> guard(mu);
+        consumed.push_back(got->contents);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(consumed.size(), static_cast<size_t>(kElements));
+  std::sort(consumed.begin(), consumed.end());
+  EXPECT_EQ(std::unique(consumed.begin(), consumed.end()), consumed.end());
+}
+
+TEST_F(QueueRepositoryTest, TaggedEnqueueIsIdempotent) {
+  // A resend (or network-duplicated one-way message) carrying the
+  // registrant's current tag must not double-submit: persistent
+  // registration is the idempotency key.
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  auto first = repo_->Enqueue(nullptr, "q", "pay-100", 0, "client-1", "rid-1");
+  ASSERT_TRUE(first.ok());
+  auto duplicate =
+      repo_->Enqueue(nullptr, "q", "pay-100", 0, "client-1", "rid-1");
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(*duplicate, *first);  // Acknowledged, not re-enqueued.
+  EXPECT_EQ(*repo_->Depth("q"), 1u);
+  // A NEW tag is a new request.
+  auto next = repo_->Enqueue(nullptr, "q", "pay-200", 0, "client-1", "rid-2");
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(*next, *first);
+  EXPECT_EQ(*repo_->Depth("q"), 2u);
+}
+
+TEST_F(QueueRepositoryTest, UntaggedEnqueuesNeverDedup) {
+  ASSERT_TRUE(repo_->Register("q", "client-1", true).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "same-body").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "same-body").ok());
+  EXPECT_EQ(*repo_->Depth("q"), 2u);
+}
+
+}  // namespace
+}  // namespace rrq::queue

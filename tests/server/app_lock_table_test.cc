@@ -1,0 +1,122 @@
+#include "server/app_lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+
+namespace rrq::server {
+namespace {
+
+class AppLockTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    storage::KvStoreOptions options;
+    options.env = &env_;
+    options.dir = "/locks";
+    store_ = std::make_unique<storage::KvStore>("locks", options);
+    ASSERT_TRUE(store_->Open().ok());
+    table_ = std::make_unique<AppLockTable>(store_.get());
+  }
+
+  env::MemEnv env_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<storage::KvStore> store_;
+  std::unique_ptr<AppLockTable> table_;
+};
+
+TEST_F(AppLockTableTest, AcquireReleaseRoundTrip) {
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(*table_->Holder("acct/1"), "req-1");
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Release(txn.get(), "acct/1", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_TRUE(table_->Holder("acct/1").status().IsNotFound());
+}
+
+TEST_F(AppLockTableTest, ConflictingOwnerGetsBusy) {
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = txn_mgr_->Begin();
+  EXPECT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-2").IsBusy());
+  txn->Abort();
+}
+
+TEST_F(AppLockTableTest, ReentrantForSameOwner) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+  EXPECT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST_F(AppLockTableTest, ReleaseByNonOwnerRejected) {
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = txn_mgr_->Begin();
+  EXPECT_TRUE(
+      table_->Release(txn.get(), "acct/1", "req-2").IsFailedPrecondition());
+  EXPECT_TRUE(
+      table_->Release(txn.get(), "never-locked", "req-2").IsFailedPrecondition());
+  txn->Abort();
+}
+
+TEST_F(AppLockTableTest, ReleaseAllInFinalTransaction) {
+  // §6: all the request's application locks release atomically with
+  // the final transaction's commit.
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Acquire(txn.get(), "a", "req-1").ok());
+    ASSERT_TRUE(table_->Acquire(txn.get(), "b", "req-1").ok());
+    ASSERT_TRUE(table_->Acquire(txn.get(), "c", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto final_txn = txn_mgr_->Begin();
+  ASSERT_TRUE(table_->ReleaseAll(final_txn.get(), {"a", "b", "c"}, "req-1").ok());
+  // Until the final transaction commits, the locks still bind.
+  EXPECT_EQ(*table_->Holder("a"), "req-1");
+  ASSERT_TRUE(final_txn->Commit().ok());
+  EXPECT_TRUE(table_->Holder("a").status().IsNotFound());
+  EXPECT_TRUE(table_->Holder("b").status().IsNotFound());
+  EXPECT_TRUE(table_->Holder("c").status().IsNotFound());
+}
+
+TEST_F(AppLockTableTest, AbortedAcquireLeavesLockFree) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+  txn->Abort();
+  EXPECT_TRUE(table_->Holder("acct/1").status().IsNotFound());
+}
+
+TEST_F(AppLockTableTest, LocksSurviveCrash) {
+  // Application locks exist precisely because they must span
+  // transactions — and transactions may be separated by crashes.
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(table_->Acquire(txn.get(), "acct/1", "req-1").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  env_.SimulateCrash();
+  storage::KvStoreOptions options;
+  options.env = &env_;
+  options.dir = "/locks";
+  storage::KvStore recovered("locks", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  AppLockTable recovered_table(&recovered);
+  EXPECT_EQ(*recovered_table.Holder("acct/1"), "req-1");
+}
+
+}  // namespace
+}  // namespace rrq::server

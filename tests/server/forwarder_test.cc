@@ -1,0 +1,150 @@
+#include "server/forwarder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "env/mem_env.h"
+
+namespace rrq::server {
+namespace {
+
+class ForwarderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    local_ = std::make_unique<queue::QueueRepository>("front");
+    ASSERT_TRUE(local_->Open().ok());
+    remote_ = std::make_unique<queue::QueueRepository>("back");
+    ASSERT_TRUE(remote_->Open().ok());
+    ASSERT_TRUE(local_->CreateQueue("outbox").ok());
+    ASSERT_TRUE(remote_->CreateQueue("requests").ok());
+  }
+
+  Forwarder::Options Options() {
+    Forwarder::Options options;
+    options.source_queue = "outbox";
+    options.target_queue = "requests";
+    options.poll_timeout_micros = 0;
+    options.retry_backoff_micros = 1'000;
+    return options;
+  }
+
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<queue::QueueRepository> local_;
+  std::unique_ptr<queue::QueueRepository> remote_;
+};
+
+TEST_F(ForwarderTest, MovesElementsPreservingContentsAndPriority) {
+  ASSERT_TRUE(local_->Enqueue(nullptr, "outbox", "first", 1).ok());
+  ASSERT_TRUE(local_->Enqueue(nullptr, "outbox", "urgent", 9).ok());
+  Forwarder forwarder(Options(), local_.get(), remote_.get(), txn_mgr_.get());
+  ASSERT_TRUE(forwarder.ForwardOne().ok());
+  ASSERT_TRUE(forwarder.ForwardOne().ok());
+  EXPECT_TRUE(forwarder.ForwardOne().IsNotFound());  // Drained.
+  EXPECT_EQ(*local_->Depth("outbox"), 0u);
+  EXPECT_EQ(*remote_->Depth("requests"), 2u);
+  // Priority survives the hop: "urgent" dequeues first remotely.
+  auto got = remote_->Dequeue(nullptr, "requests");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "urgent");
+  EXPECT_EQ(got->priority, 9u);
+  EXPECT_EQ(forwarder.forwarded_count(), 2u);
+}
+
+TEST_F(ForwarderTest, FailedMoveLeavesElementLocal) {
+  ASSERT_TRUE(local_->Enqueue(nullptr, "outbox", "stranded").ok());
+  // "Partition": the remote queue refuses traffic.
+  ASSERT_TRUE(remote_->StopQueue("requests").ok());
+  Forwarder forwarder(Options(), local_.get(), remote_.get(), txn_mgr_.get());
+  EXPECT_FALSE(forwarder.ForwardOne().ok());
+  EXPECT_EQ(forwarder.failed_attempts(), 1u);
+  // Safe at home; nothing leaked to the remote side.
+  EXPECT_EQ(*local_->Depth("outbox"), 1u);
+  ASSERT_TRUE(remote_->StartQueue("requests").ok());
+  EXPECT_EQ(*remote_->Depth("requests"), 0u);
+  // Heal: the same element moves, exactly once.
+  ASSERT_TRUE(forwarder.ForwardOne().ok());
+  EXPECT_EQ(*remote_->Depth("requests"), 1u);
+}
+
+TEST_F(ForwarderTest, BackgroundRelaySurvivesPartitionWindow) {
+  // §1's scenario end-to-end: the client keeps submitting locally
+  // while the back end is unreachable; when the partition heals, the
+  // backlog drains with nothing lost or duplicated.
+  ASSERT_TRUE(remote_->StopQueue("requests").ok());
+  Forwarder forwarder(Options(), local_.get(), remote_.get(), txn_mgr_.get());
+  ASSERT_TRUE(forwarder.Start().ok());
+
+  std::set<std::string> sent;
+  for (int i = 0; i < 30; ++i) {
+    const std::string body = "req-" + std::to_string(i);
+    ASSERT_TRUE(local_->Enqueue(nullptr, "outbox", body).ok());
+    sent.insert(body);
+    if (i == 15) {
+      // Mid-stream, the partition heals.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ASSERT_TRUE(remote_->StartQueue("requests").ok());
+    }
+  }
+  // Wait for the relay to drain the outbox.
+  for (int i = 0; i < 1000 && *local_->Depth("outbox") > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  forwarder.Stop();
+
+  EXPECT_EQ(*local_->Depth("outbox"), 0u);
+  std::set<std::string> received;
+  while (true) {
+    auto got = remote_->Dequeue(nullptr, "requests");
+    if (!got.ok()) break;
+    EXPECT_TRUE(received.insert(got->contents).second)
+        << "duplicate: " << got->contents;
+  }
+  EXPECT_EQ(received, sent);  // Nothing lost, nothing duplicated.
+  EXPECT_GT(forwarder.failed_attempts(), 0u);  // The partition was real.
+}
+
+TEST_F(ForwarderTest, CrashMidMoveNeverDuplicates) {
+  // Durable repos + crash between prepare and commit: presumed abort
+  // keeps the element local; a coordinator-confirmed commit moves it.
+  env::MemEnv env_local, env_remote;
+  queue::RepositoryOptions lo, ro;
+  lo.env = &env_local;
+  lo.dir = "/front";
+  ro.env = &env_remote;
+  ro.dir = "/back";
+  auto durable_local = std::make_unique<queue::QueueRepository>("front", lo);
+  auto durable_remote = std::make_unique<queue::QueueRepository>("back", ro);
+  ASSERT_TRUE(durable_local->Open().ok());
+  ASSERT_TRUE(durable_remote->Open().ok());
+  ASSERT_TRUE(durable_local->CreateQueue("outbox").ok());
+  ASSERT_TRUE(durable_remote->CreateQueue("requests").ok());
+  ASSERT_TRUE(durable_local->Enqueue(nullptr, "outbox", "precious").ok());
+
+  // Drive the move by hand up to prepared-everywhere, then crash both.
+  auto txn = txn_mgr_->Begin();
+  auto got = durable_local->Dequeue(txn.get(), "outbox");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(
+      durable_remote->Enqueue(txn.get(), "requests", got->contents).ok());
+  ASSERT_TRUE(durable_local->Prepare(txn->id()).ok());
+  ASSERT_TRUE(durable_remote->Prepare(txn->id()).ok());
+  env_local.SimulateCrash();
+  env_remote.SimulateCrash();
+  txn->Abort();
+
+  // Recovery with presumed abort: element home, remote empty.
+  durable_local.reset();
+  durable_remote.reset();
+  queue::QueueRepository recovered_local("front", lo);
+  queue::QueueRepository recovered_remote("back", ro);
+  ASSERT_TRUE(recovered_local.Open().ok());
+  ASSERT_TRUE(recovered_remote.Open().ok());
+  EXPECT_EQ(*recovered_local.Depth("outbox"), 1u);
+  EXPECT_EQ(*recovered_remote.Depth("requests"), 0u);
+}
+
+}  // namespace
+}  // namespace rrq::server

@@ -1,0 +1,276 @@
+#include "server/interactive.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+
+namespace rrq::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IoLog
+
+class IoLogTest : public ::testing::Test {
+ protected:
+  env::MemEnv env_;
+};
+
+TEST_F(IoLogTest, RecordAndLookup) {
+  IoLog log(&env_, "/iolog");
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Record("rid-1", 1, "name?", "Alice").ok());
+  auto hit = log.Lookup("rid-1", 1, "name?");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, "Alice");
+  EXPECT_EQ(log.replay_count(), 1u);
+}
+
+TEST_F(IoLogTest, MissingEntryIsNotFound) {
+  IoLog log(&env_, "/iolog");
+  ASSERT_TRUE(log.Open().ok());
+  EXPECT_TRUE(log.Lookup("rid-1", 1, "x").status().IsNotFound());
+}
+
+TEST_F(IoLogTest, DivergentPromptInvalidatesSuffix) {
+  // §8.3: once the replayed output differs, the rest of the logged
+  // conversation is useless.
+  IoLog log(&env_, "/iolog");
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Record("rid-1", 1, "q1", "a1").ok());
+  ASSERT_TRUE(log.Record("rid-1", 2, "q2", "a2").ok());
+  ASSERT_TRUE(log.Record("rid-1", 3, "q3", "a3").ok());
+  // Replay matches step 1...
+  EXPECT_TRUE(log.Lookup("rid-1", 1, "q1").ok());
+  // ...diverges at step 2...
+  EXPECT_TRUE(log.Lookup("rid-1", 2, "DIFFERENT").status().IsNotFound());
+  // ...which also discards step 3.
+  EXPECT_TRUE(log.Lookup("rid-1", 3, "q3").status().IsNotFound());
+  // Step 1 survives (it was before the divergence point).
+  EXPECT_TRUE(log.Lookup("rid-1", 1, "q1").ok());
+}
+
+TEST_F(IoLogTest, SurvivesClientCrash) {
+  {
+    IoLog log(&env_, "/iolog");
+    ASSERT_TRUE(log.Open().ok());
+    ASSERT_TRUE(log.Record("rid-1", 1, "q1", "a1").ok());
+  }
+  env_.SimulateCrash();
+  IoLog recovered(&env_, "/iolog");
+  ASSERT_TRUE(recovered.Open().ok());
+  auto hit = recovered.Lookup("rid-1", 1, "q1");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, "a1");
+}
+
+TEST_F(IoLogTest, ForgetDropsRequest) {
+  IoLog log(&env_, "/iolog");
+  ASSERT_TRUE(log.Open().ok());
+  ASSERT_TRUE(log.Record("rid-1", 1, "q", "a").ok());
+  ASSERT_TRUE(log.Record("rid-2", 1, "q", "b").ok());
+  log.Forget("rid-1");
+  EXPECT_TRUE(log.Lookup("rid-1", 1, "q").status().IsNotFound());
+  EXPECT_TRUE(log.Lookup("rid-2", 1, "q").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Conversational server + interactive client
+
+class ConversationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    repo_ = std::make_unique<queue::QueueRepository>("qm");
+    ASSERT_TRUE(repo_->Open().ok());
+    ASSERT_TRUE(repo_->CreateQueue("req").ok());
+    ASSERT_TRUE(repo_->CreateQueue("rep").ok());
+    io_log_ = std::make_unique<IoLog>(&env_, "/iolog");
+    ASSERT_TRUE(io_log_->Open().ok());
+  }
+
+  void Submit(const std::string& rid, const std::string& body) {
+    queue::RequestEnvelope envelope;
+    envelope.rid = rid;
+    envelope.reply_queue = "rep";
+    envelope.scratch = "client-ep";  // Interactive convention.
+    envelope.body = body;
+    ASSERT_TRUE(
+        repo_->Enqueue(nullptr, "req", queue::EncodeRequestEnvelope(envelope))
+            .ok());
+  }
+
+  ConversationalServerOptions Options() {
+    ConversationalServerOptions options;
+    options.name = "conv";
+    options.request_queue = "req";
+    options.default_reply_queue = "rep";
+    options.poll_timeout_micros = 0;
+    return options;
+  }
+
+  env::MemEnv env_;
+  comm::Network net_{21};
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<queue::QueueRepository> repo_;
+  std::unique_ptr<IoLog> io_log_;
+};
+
+TEST_F(ConversationTest, PromptWireFormatRoundTrip) {
+  std::string wire = EncodePrompt("rid-1", 3, "how many?");
+  std::string rid, prompt;
+  uint32_t step = 0;
+  ASSERT_TRUE(DecodePrompt(wire, &rid, &step, &prompt).ok());
+  EXPECT_EQ(rid, "rid-1");
+  EXPECT_EQ(step, 3u);
+  EXPECT_EQ(prompt, "how many?");
+}
+
+TEST_F(ConversationTest, SingleTransactionConversationCompletes) {
+  InteractiveClient client(&net_, "client-ep", io_log_.get(),
+                           [](uint32_t step, const std::string&) {
+                             return Result<std::string>(
+                                 "answer-" + std::to_string(step));
+                           });
+  ASSERT_TRUE(client.Register().ok());
+
+  ConversationalServer server(
+      Options(), repo_.get(), txn_mgr_.get(), &net_,
+      [](txn::Transaction*, const queue::RequestEnvelope& request,
+         const AskFn& ask) -> Result<std::string> {
+        RRQ_ASSIGN_OR_RETURN(std::string first, ask("first?"));
+        RRQ_ASSIGN_OR_RETURN(std::string second, ask("second?"));
+        return request.body + "/" + first + "/" + second;
+      });
+
+  Submit("rid-1", "order");
+  ASSERT_TRUE(server.ProcessOne().ok());
+  auto reply_element = repo_->Dequeue(nullptr, "rep");
+  ASSERT_TRUE(reply_element.ok());
+  queue::ReplyEnvelope reply;
+  ASSERT_TRUE(
+      queue::DecodeReplyEnvelope(reply_element->contents, &reply).ok());
+  EXPECT_EQ(reply.body, "order/answer-1/answer-2");
+  EXPECT_EQ(client.fresh_input_count(), 2u);
+}
+
+TEST_F(ConversationTest, AbortedConversationReplaysLoggedInputs) {
+  // The §8.3 scenario: the transaction aborts after the user already
+  // answered; on re-execution the answers replay from the IoLog and
+  // the user is NOT asked again.
+  int user_asks = 0;
+  InteractiveClient client(&net_, "client-ep", io_log_.get(),
+                           [&user_asks](uint32_t step, const std::string&) {
+                             ++user_asks;
+                             return Result<std::string>(
+                                 "input-" + std::to_string(step));
+                           });
+  ASSERT_TRUE(client.Register().ok());
+
+  int executions = 0;
+  ConversationalServer server(
+      Options(), repo_.get(), txn_mgr_.get(), &net_,
+      [&executions](txn::Transaction*, const queue::RequestEnvelope&,
+                    const AskFn& ask) -> Result<std::string> {
+        RRQ_ASSIGN_OR_RETURN(std::string a, ask("alpha?"));
+        RRQ_ASSIGN_OR_RETURN(std::string b, ask("beta?"));
+        if (++executions == 1) {
+          return Status::Aborted("server crash after inputs gathered");
+        }
+        return a + "+" + b;
+      });
+
+  Submit("rid-1", "x");
+  EXPECT_FALSE(server.ProcessOne().ok());  // First run aborts.
+  EXPECT_EQ(user_asks, 2);
+  ASSERT_TRUE(server.ProcessOne().ok());  // Replay run succeeds.
+  EXPECT_EQ(user_asks, 2);                // User was not re-asked.
+  EXPECT_EQ(io_log_->replay_count(), 2u);
+
+  auto reply_element = repo_->Dequeue(nullptr, "rep");
+  ASSERT_TRUE(reply_element.ok());
+  queue::ReplyEnvelope reply;
+  ASSERT_TRUE(
+      queue::DecodeReplyEnvelope(reply_element->contents, &reply).ok());
+  EXPECT_EQ(reply.body, "input-1+input-2");
+}
+
+TEST_F(ConversationTest, LostIntermediateExchangeAbortsAndRetries) {
+  InteractiveClient client(&net_, "client-ep", io_log_.get(),
+                           [](uint32_t, const std::string&) {
+                             return Result<std::string>("ans");
+                           });
+  ASSERT_TRUE(client.Register().ok());
+
+  ConversationalServer server(
+      Options(), repo_.get(), txn_mgr_.get(), &net_,
+      [](txn::Transaction*, const queue::RequestEnvelope&,
+         const AskFn& ask) -> Result<std::string> {
+        RRQ_ASSIGN_OR_RETURN(std::string a, ask("q?"));
+        return a;
+      });
+
+  Submit("rid-1", "x");
+  net_.Partition("conv", "client-ep");
+  EXPECT_FALSE(server.ProcessOne().ok());
+  EXPECT_EQ(server.aborted_count(), 1u);
+  EXPECT_EQ(*repo_->Depth("req"), 1u);  // Request survived.
+  net_.Heal("conv", "client-ep");
+  ASSERT_TRUE(server.ProcessOne().ok());
+  EXPECT_EQ(server.completed_count(), 1u);
+}
+
+TEST_F(ConversationTest, ClientCrashDuringConversationRecoversViaLog) {
+  // First incarnation answers one question, then the client "crashes"
+  // (endpoint gone). The server aborts. A recovered client (fresh
+  // IoLog instance over the same durable file) replays.
+  {
+    InteractiveClient client(&net_, "client-ep", io_log_.get(),
+                             [](uint32_t, const std::string&) {
+                               return Result<std::string>("first-answer");
+                             });
+    ASSERT_TRUE(client.Register().ok());
+    ConversationalServer server(
+        Options(), repo_.get(), txn_mgr_.get(), &net_,
+        [&client](txn::Transaction*, const queue::RequestEnvelope&,
+                  const AskFn& ask) -> Result<std::string> {
+          RRQ_ASSIGN_OR_RETURN(std::string a, ask("q1?"));
+          client.Unregister();  // Client dies mid-conversation.
+          RRQ_ASSIGN_OR_RETURN(std::string b, ask("q2?"));
+          return a + b;
+        });
+    Submit("rid-1", "x");
+    EXPECT_FALSE(server.ProcessOne().ok());
+  }
+  env_.SimulateCrash();
+
+  // Recovered client: the durable IoLog still has (rid-1, 1).
+  IoLog recovered_log(&env_, "/iolog");
+  ASSERT_TRUE(recovered_log.Open().ok());
+  int fresh = 0;
+  InteractiveClient reborn(&net_, "client-ep", &recovered_log,
+                           [&fresh](uint32_t, const std::string&) {
+                             ++fresh;
+                             return Result<std::string>("second-answer");
+                           });
+  ASSERT_TRUE(reborn.Register().ok());
+  ConversationalServer server(
+      Options(), repo_.get(), txn_mgr_.get(), &net_,
+      [](txn::Transaction*, const queue::RequestEnvelope&,
+         const AskFn& ask) -> Result<std::string> {
+        RRQ_ASSIGN_OR_RETURN(std::string a, ask("q1?"));
+        RRQ_ASSIGN_OR_RETURN(std::string b, ask("q2?"));
+        return a + "|" + b;
+      });
+  ASSERT_TRUE(server.ProcessOne().ok());
+  EXPECT_EQ(fresh, 1);  // Only q2 needed fresh input.
+  auto reply_element = repo_->Dequeue(nullptr, "rep");
+  ASSERT_TRUE(reply_element.ok());
+  queue::ReplyEnvelope reply;
+  ASSERT_TRUE(
+      queue::DecodeReplyEnvelope(reply_element->contents, &reply).ok());
+  EXPECT_EQ(reply.body, "first-answer|second-answer");
+}
+
+}  // namespace
+}  // namespace rrq::server

@@ -1,0 +1,267 @@
+#include "server/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/kv_store.h"
+
+namespace rrq::server {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    repo_ = std::make_unique<queue::QueueRepository>("qm");
+    ASSERT_TRUE(repo_->Open().ok());
+    ASSERT_TRUE(repo_->CreateQueue("rep").ok());
+  }
+
+  PipelineOptions Options() {
+    PipelineOptions options;
+    options.queue_prefix = "pipe";
+    options.poll_timeout_micros = 0;
+    return options;
+  }
+
+  void Submit(Pipeline* pipeline, const std::string& rid,
+              const std::string& body) {
+    queue::RequestEnvelope envelope;
+    envelope.rid = rid;
+    envelope.reply_queue = "rep";
+    envelope.body = body;
+    ASSERT_TRUE(repo_->Enqueue(nullptr, pipeline->entry_queue(),
+                               queue::EncodeRequestEnvelope(envelope))
+                    .ok());
+  }
+
+  queue::ReplyEnvelope TakeReply() {
+    auto got = repo_->Dequeue(nullptr, "rep");
+    EXPECT_TRUE(got.ok()) << got.status().ToString();
+    queue::ReplyEnvelope reply;
+    if (got.ok()) {
+      EXPECT_TRUE(queue::DecodeReplyEnvelope(got->contents, &reply).ok());
+    }
+    return reply;
+  }
+
+  static PipelineStage AppendStage(const std::string& name) {
+    PipelineStage stage;
+    stage.name = name;
+    stage.handler = [name](txn::Transaction*,
+                           const queue::RequestEnvelope& request)
+        -> Result<StageResult> {
+      return StageResult{request.body + "+" + name, ""};
+    };
+    return stage;
+  }
+
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<queue::QueueRepository> repo_;
+};
+
+TEST_F(PipelineTest, ThreeStagesRunSerially) {
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(),
+                    {AppendStage("debit"), AppendStage("credit"),
+                     AppendStage("log")});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-1", "xfer");
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  // After stage 0, the request sits between stages.
+  EXPECT_EQ(*repo_->Depth(pipeline.StageQueue(1)), 1u);
+  ASSERT_TRUE(pipeline.ProcessOneAt(1).ok());
+  ASSERT_TRUE(pipeline.ProcessOneAt(2).ok());
+  auto reply = TakeReply();
+  EXPECT_EQ(reply.rid, "rid-1");
+  EXPECT_TRUE(reply.success);
+  EXPECT_EQ(reply.body, "xfer+debit+credit+log");
+  EXPECT_EQ(pipeline.completed_count(), 1u);
+}
+
+TEST_F(PipelineTest, StageFailureKeepsRequestAtThatStage) {
+  int attempts = 0;
+  PipelineStage flaky;
+  flaky.name = "flaky";
+  flaky.handler = [&attempts](txn::Transaction*, const queue::RequestEnvelope&)
+      -> Result<StageResult> {
+    if (++attempts < 3) return Status::Aborted("transient");
+    return StageResult{"finally", ""};
+  };
+  PipelineOptions options = Options();
+  options.max_attempts = 1;  // One attempt per ProcessOneAt call.
+  Pipeline pipeline(options, repo_.get(), txn_mgr_.get(), {flaky});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-2", "x");
+  EXPECT_FALSE(pipeline.ProcessOneAt(0).ok());
+  EXPECT_EQ(*repo_->Depth(pipeline.StageQueue(0)), 1u);  // Still there.
+  EXPECT_FALSE(pipeline.ProcessOneAt(0).ok());
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  EXPECT_EQ(TakeReply().body, "finally");
+}
+
+TEST_F(PipelineTest, RetryBudgetRetriesWithinOneCall) {
+  int attempts = 0;
+  PipelineStage flaky;
+  flaky.name = "flaky";
+  flaky.handler = [&attempts](txn::Transaction*, const queue::RequestEnvelope&)
+      -> Result<StageResult> {
+    if (++attempts < 3) return Status::Aborted("deadlock victim");
+    return StageResult{"done", ""};
+  };
+  PipelineOptions options = Options();
+  options.max_attempts = 5;
+  Pipeline pipeline(options, repo_.get(), txn_mgr_.get(), {flaky});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-3", "x");
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST_F(PipelineTest, ScratchPadCarriesStateAcrossTransactions) {
+  // §6: state crosses transaction boundaries only via the request.
+  PipelineStage first;
+  first.name = "first";
+  first.handler = [](txn::Transaction*, const queue::RequestEnvelope& request)
+      -> Result<StageResult> {
+    StageResult result;
+    result.body = request.body;
+    result.compensation = "undo:" + request.body;  // Rides the scratch pad.
+    return result;
+  };
+  PipelineStage second;
+  second.name = "second";
+  std::string observed_scratch;
+  second.handler = [&observed_scratch](txn::Transaction*,
+                                       const queue::RequestEnvelope& request)
+      -> Result<StageResult> {
+    observed_scratch = request.scratch;
+    return StageResult{"ok", ""};
+  };
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(), {first, second});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-4", "payload");
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  ASSERT_TRUE(pipeline.ProcessOneAt(1).ok());
+  EXPECT_FALSE(observed_scratch.empty());  // Compensation log is aboard.
+}
+
+TEST_F(PipelineTest, CancelInEntryQueueKills) {
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(),
+                    {AppendStage("a"), AppendStage("b")});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-5", "x");
+  auto outcome = pipeline.Cancel("rid-5");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, CancelOutcome::kKilledInQueue);
+  EXPECT_EQ(*repo_->Depth(pipeline.StageQueue(0)), 0u);
+}
+
+TEST_F(PipelineTest, CancelMidPipelineCompensatesCommittedStages) {
+  // A two-stage saga over a KV store: stage A debits, stage B credits.
+  storage::KvStore store("bank", {});
+  ASSERT_TRUE(store.Open().ok());
+  {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(store.Put(txn.get(), "src", "100").ok());
+    ASSERT_TRUE(store.Put(txn.get(), "dst", "0").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto adjust = [&store](txn::Transaction* t, const std::string& account,
+                         int delta) -> Status {
+    auto v = store.GetForUpdate(t, account);
+    if (!v.ok()) return v.status();
+    return store.Put(t, account, std::to_string(std::stoi(*v) + delta));
+  };
+
+  PipelineStage debit;
+  debit.name = "debit";
+  debit.handler = [&adjust](txn::Transaction* t, const queue::RequestEnvelope&)
+      -> Result<StageResult> {
+    RRQ_RETURN_IF_ERROR(adjust(t, "src", -40));
+    return StageResult{"debited", "src:40"};
+  };
+  debit.compensate = [&adjust](txn::Transaction* t,
+                               const std::string& record) -> Status {
+    (void)record;
+    return adjust(t, "src", +40);
+  };
+  PipelineStage credit;
+  credit.name = "credit";
+  credit.handler = [&adjust](txn::Transaction* t,
+                             const queue::RequestEnvelope&)
+      -> Result<StageResult> {
+    RRQ_RETURN_IF_ERROR(adjust(t, "dst", +40));
+    return StageResult{"credited", "dst:40"};
+  };
+  credit.compensate = [&adjust](txn::Transaction* t,
+                                const std::string&) -> Status {
+    return adjust(t, "dst", -40);
+  };
+
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(), {debit, credit});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-6", "transfer");
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());  // Debit committed.
+  EXPECT_EQ(*store.GetCommitted("src"), "60");
+
+  // Cancel between the stages (§7: too late for KillElement; saga time).
+  auto outcome = pipeline.Cancel("rid-6");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, CancelOutcome::kCompensating);
+  // One compensation step (the committed debit) runs, then the
+  // cancelled reply goes out.
+  ASSERT_TRUE(pipeline.ProcessOneCompensation().ok());
+  EXPECT_EQ(*store.GetCommitted("src"), "100");  // Money restored.
+  EXPECT_EQ(*store.GetCommitted("dst"), "0");
+  auto reply = TakeReply();
+  EXPECT_EQ(reply.rid, "rid-6");
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.body, "request cancelled");
+}
+
+TEST_F(PipelineTest, CancelCompletedRequestIsTooLate) {
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(),
+                    {AppendStage("only")});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "rid-7", "x");
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  auto outcome = pipeline.Cancel("rid-7");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, CancelOutcome::kTooLate);
+}
+
+TEST_F(PipelineTest, CancelTargetsOnlyTheNamedRid) {
+  Pipeline pipeline(Options(), repo_.get(), txn_mgr_.get(),
+                    {AppendStage("a")});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  Submit(&pipeline, "keep", "x");
+  Submit(&pipeline, "kill", "y");
+  auto outcome = pipeline.Cancel("kill");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, CancelOutcome::kKilledInQueue);
+  EXPECT_EQ(*repo_->Depth(pipeline.StageQueue(0)), 1u);
+  ASSERT_TRUE(pipeline.ProcessOneAt(0).ok());
+  EXPECT_EQ(TakeReply().rid, "keep");
+}
+
+TEST_F(PipelineTest, ThreadedPipelineCompletesAll) {
+  PipelineOptions options = Options();
+  options.poll_timeout_micros = 5'000;
+  Pipeline pipeline(options, repo_.get(), txn_mgr_.get(),
+                    {AppendStage("a"), AppendStage("b"), AppendStage("c")});
+  ASSERT_TRUE(pipeline.Setup().ok());
+  constexpr int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    Submit(&pipeline, "rid-" + std::to_string(i), "r" + std::to_string(i));
+  }
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (int i = 0; i < 1000 && pipeline.completed_count() < kRequests; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pipeline.Stop();
+  EXPECT_EQ(pipeline.completed_count(), static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(*repo_->Depth("rep"), static_cast<size_t>(kRequests));
+}
+
+}  // namespace
+}  // namespace rrq::server

@@ -1,0 +1,101 @@
+// Model-based property test: a KvStore driven by a random operation
+// schedule (puts, deletes, commits, aborts, checkpoints, crashes) must
+// always agree with a trivial in-memory reference model that applies
+// only the committed write sets.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "storage/kv_store.h"
+#include "util/random.h"
+
+namespace rrq::storage {
+namespace {
+
+class KvStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvStorePropertyTest, AgreesWithReferenceModelAcrossCrashes) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  env::MemEnv env;
+  txn::TransactionManager txn_mgr;
+  ASSERT_TRUE(txn_mgr.Open().ok());
+
+  KvStoreOptions options;
+  options.env = &env;
+  options.dir = "/kv";
+  auto store = std::make_unique<KvStore>("kv", options);
+  ASSERT_TRUE(store->Open().ok());
+
+  std::map<std::string, std::string> model;
+
+  constexpr int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    if (action < 70) {
+      // A transaction of 1-4 random writes, committed or aborted.
+      auto txn = txn_mgr.Begin();
+      std::map<std::string, std::optional<std::string>> pending;
+      const uint64_t writes = rng.UniformRange(1, 4);
+      bool ok = true;
+      for (uint64_t w = 0; w < writes && ok; ++w) {
+        const std::string key = "k" + std::to_string(rng.Uniform(20));
+        if (rng.Bernoulli(0.25)) {
+          ok = store->Delete(txn.get(), key).ok();
+          pending[key] = std::nullopt;
+        } else {
+          const std::string value = rng.Bytes(rng.UniformRange(1, 30));
+          ok = store->Put(txn.get(), key, value).ok();
+          pending[key] = value;
+        }
+      }
+      ASSERT_TRUE(ok);
+      if (rng.Bernoulli(0.8)) {
+        ASSERT_TRUE(txn->Commit().ok());
+        for (auto& [key, value] : pending) {
+          if (value.has_value()) {
+            model[key] = *value;
+          } else {
+            model.erase(key);
+          }
+        }
+      } else {
+        txn->Abort();
+      }
+    } else if (action < 85) {
+      // Read-only spot check of a random key.
+      const std::string key = "k" + std::to_string(rng.Uniform(20));
+      auto got = store->GetCommitted(key);
+      auto expected = model.find(key);
+      if (expected == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << "seed " << seed << " " << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << "seed " << seed << " " << key;
+        EXPECT_EQ(*got, expected->second);
+      }
+    } else if (action < 92) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    } else {
+      // Crash and recover.
+      store.reset();
+      env.SimulateCrash();
+      store = std::make_unique<KvStore>("kv", options);
+      ASSERT_TRUE(store->Open().ok());
+    }
+  }
+
+  // Final full comparison.
+  EXPECT_EQ(store->size(), model.size()) << "seed " << seed;
+  for (const auto& [key, value] : model) {
+    auto got = store->GetCommitted(key);
+    ASSERT_TRUE(got.ok()) << "seed " << seed << " missing " << key;
+    EXPECT_EQ(*got, value) << "seed " << seed << " " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvStorePropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rrq::storage

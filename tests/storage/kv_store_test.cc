@@ -1,0 +1,240 @@
+#include "storage/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+
+namespace rrq::storage {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    store_ = MakeStore();
+  }
+
+  std::unique_ptr<KvStore> MakeStore() {
+    KvStoreOptions options;
+    options.env = &env_;
+    options.dir = "/kv";
+    auto store = std::make_unique<KvStore>("kv", options);
+    EXPECT_TRUE(store->Open().ok());
+    return store;
+  }
+
+  Status Put(const std::string& key, const std::string& value) {
+    auto txn = txn_mgr_->Begin();
+    RRQ_RETURN_IF_ERROR(store_->Put(txn.get(), key, value));
+    return txn->Commit();
+  }
+
+  env::MemEnv env_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_F(KvStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(Put("alpha", "1").ok());
+  auto txn = txn_mgr_->Begin();
+  auto v = store_->Get(txn.get(), "alpha");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1");
+  txn->Abort();
+  EXPECT_EQ(*store_->GetCommitted("alpha"), "1");
+}
+
+TEST_F(KvStoreTest, GetMissingIsNotFound) {
+  auto txn = txn_mgr_->Begin();
+  EXPECT_TRUE(store_->Get(txn.get(), "nope").status().IsNotFound());
+  txn->Abort();
+  EXPECT_TRUE(store_->GetCommitted("nope").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, TransactionReadsOwnWrites) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "k", "v1").ok());
+  EXPECT_EQ(*store_->Get(txn.get(), "k"), "v1");
+  ASSERT_TRUE(store_->Put(txn.get(), "k", "v2").ok());
+  EXPECT_EQ(*store_->Get(txn.get(), "k"), "v2");
+  ASSERT_TRUE(store_->Delete(txn.get(), "k").ok());
+  EXPECT_TRUE(store_->Get(txn.get(), "k").status().IsNotFound());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(store_->GetCommitted("k").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, AbortDiscardsWrites) {
+  ASSERT_TRUE(Put("k", "old").ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "k", "new").ok());
+  txn->Abort();
+  EXPECT_EQ(*store_->GetCommitted("k"), "old");
+}
+
+TEST_F(KvStoreTest, UncommittedWritesInvisibleToOthers) {
+  auto writer = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(writer.get(), "k", "v").ok());
+  EXPECT_TRUE(store_->GetCommitted("k").status().IsNotFound());
+  // A reader blocks on the lock (bounded) rather than seeing dirt.
+  auto reader = txn_mgr_->Begin();
+  EXPECT_TRUE(store_->Get(reader.get(), "k").status().IsTimedOut() ||
+              store_->Get(reader.get(), "k").status().IsBusy());
+  reader->Abort();
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST_F(KvStoreTest, DeleteThenGetNotFound) {
+  ASSERT_TRUE(Put("k", "v").ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Delete(txn.get(), "k").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(store_->GetCommitted("k").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, ScanKeysByPrefix) {
+  ASSERT_TRUE(Put("acct/1", "100").ok());
+  ASSERT_TRUE(Put("acct/2", "200").ok());
+  ASSERT_TRUE(Put("other/3", "x").ok());
+  auto keys = store_->ScanKeys("acct/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "acct/1");
+  EXPECT_EQ(keys[1], "acct/2");
+  EXPECT_EQ(store_->size(), 3u);
+}
+
+TEST_F(KvStoreTest, CommittedDataSurvivesCrash) {
+  ASSERT_TRUE(Put("durable", "yes").ok());
+  env_.SimulateCrash();
+  auto recovered = MakeStore();
+  EXPECT_EQ(*recovered->GetCommitted("durable"), "yes");
+  EXPECT_EQ(recovered->recovered_txn_count(), 1u);
+}
+
+TEST_F(KvStoreTest, UncommittedDataLostAtCrash) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "volatile", "no").ok());
+  // No commit. Crash.
+  env_.SimulateCrash();
+  auto recovered = MakeStore();
+  EXPECT_TRUE(recovered->GetCommitted("volatile").status().IsNotFound());
+}
+
+TEST_F(KvStoreTest, PreparedInDoubtResolvedByResolver) {
+  // Drive the RM interface directly to stop between prepare and commit.
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "indoubt", "v").ok());
+  txn::TxnId id = txn->id();
+  ASSERT_TRUE(store_->Prepare(id).ok());
+  // Crash before commit. (Abort the handle without touching the store:
+  // simulate coordinator loss by releasing locks manually.)
+  env_.SimulateCrash();
+
+  // Recovery with a resolver that says "committed".
+  {
+    KvStoreOptions options;
+    options.env = &env_;
+    options.dir = "/kv";
+    options.in_doubt_resolver = [id](txn::TxnId q) { return q == id; };
+    KvStore recovered("kv", options);
+    ASSERT_TRUE(recovered.Open().ok());
+    EXPECT_EQ(*recovered.GetCommitted("indoubt"), "v");
+  }
+  // Recovery with presumed abort (no resolver).
+  {
+    KvStoreOptions options;
+    options.env = &env_;
+    options.dir = "/kv";
+    KvStore recovered("kv", options);
+    ASSERT_TRUE(recovered.Open().ok());
+    EXPECT_TRUE(recovered.GetCommitted("indoubt").status().IsNotFound());
+  }
+  txn->Abort();
+}
+
+TEST_F(KvStoreTest, CheckpointTruncatesWalAndPreservesData) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(Put("k" + std::to_string(i), std::to_string(i)).ok());
+  }
+  const uint64_t wal_before = store_->wal_bytes();
+  ASSERT_TRUE(store_->Checkpoint().ok());
+  EXPECT_LT(store_->wal_bytes(), wal_before);
+  EXPECT_EQ(store_->checkpoint_count(), 1u);
+
+  // More writes after the checkpoint.
+  ASSERT_TRUE(Put("post", "ckpt").ok());
+  env_.SimulateCrash();
+  auto recovered = MakeStore();
+  EXPECT_EQ(recovered->size(), 51u);
+  EXPECT_EQ(*recovered->GetCommitted("k17"), "17");
+  EXPECT_EQ(*recovered->GetCommitted("post"), "ckpt");
+}
+
+TEST_F(KvStoreTest, CheckpointCarriesPreparedTransactions) {
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "prep", "v").ok());
+  txn::TxnId id = txn->id();
+  ASSERT_TRUE(store_->Prepare(id).ok());
+  ASSERT_TRUE(store_->Checkpoint().ok());
+  env_.SimulateCrash();
+
+  KvStoreOptions options;
+  options.env = &env_;
+  options.dir = "/kv";
+  options.in_doubt_resolver = [id](txn::TxnId q) { return q == id; };
+  KvStore recovered("kv", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(*recovered.GetCommitted("prep"), "v");
+  txn->Abort();
+}
+
+TEST_F(KvStoreTest, VolatileStoreWorksWithoutEnv) {
+  KvStore store("volatile", {});
+  ASSERT_TRUE(store.Open().ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store.Put(txn.get(), "k", "v").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*store.GetCommitted("k"), "v");
+}
+
+TEST_F(KvStoreTest, TwoStoresInOneTransactionCommitAtomically) {
+  KvStoreOptions options2;
+  options2.env = &env_;
+  options2.dir = "/kv2";
+  KvStore store2("kv2", options2);
+  ASSERT_TRUE(store2.Open().ok());
+
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(store_->Put(txn.get(), "a", "1").ok());
+  ASSERT_TRUE(store2.Put(txn.get(), "b", "2").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*store_->GetCommitted("a"), "1");
+  EXPECT_EQ(*store2.GetCommitted("b"), "2");
+}
+
+TEST_F(KvStoreTest, ConflictingWritersSerialize) {
+  ASSERT_TRUE(Put("ctr", "0").ok());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        Status s = txn::RunInTransaction(
+            txn_mgr_.get(), 10, [this](txn::Transaction* txn) -> Status {
+              auto v = store_->GetForUpdate(txn, "ctr");
+              if (!v.ok()) return v.status();
+              return store_->Put(txn, "ctr",
+                                 std::to_string(std::stoi(*v) + 1));
+            });
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(*store_->GetCommitted("ctr"),
+            std::to_string(kThreads * kIncrements));
+}
+
+}  // namespace
+}  // namespace rrq::storage

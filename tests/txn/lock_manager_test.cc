@@ -1,0 +1,188 @@
+#include "txn/lock_manager.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rrq::txn {
+namespace {
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared, 0).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, "k", LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveExcludesEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared, 0).IsBusy());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive, 0).IsBusy());
+}
+
+TEST(LockManagerTest, SharedBlocksExclusive) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive, 0).IsBusy());
+}
+
+TEST(LockManagerTest, ReentrantAcquisition) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());  // X covers S.
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+  // Another reader is now excluded.
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared, 0).IsBusy());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());
+  ASSERT_TRUE(lm.Lock(2, "k", LockMode::kShared, 0).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).IsBusy());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "a", LockMode::kExclusive, 0).ok());
+  ASSERT_TRUE(lm.Lock(1, "b", LockMode::kExclusive, 0).ok());
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.Holds(1, "a", LockMode::kShared));
+  EXPECT_TRUE(lm.Lock(2, "a", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "b", LockMode::kExclusive, 0).ok());
+}
+
+TEST(LockManagerTest, UnlockSingleKey) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "a", LockMode::kExclusive, 0).ok());
+  ASSERT_TRUE(lm.Lock(1, "b", LockMode::kExclusive, 0).ok());
+  lm.Unlock(1, "a");
+  EXPECT_TRUE(lm.Lock(2, "a", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "b", LockMode::kExclusive, 0).IsBusy());
+}
+
+TEST(LockManagerTest, BlockedWaiterAcquiresAfterRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&lm, &acquired]() {
+    Status s = lm.Lock(2, "k", LockMode::kExclusive);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(lm.wait_count(), 1u);
+}
+
+TEST(LockManagerTest, WaitTimesOut) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  Status s = lm.Lock(2, "k", LockMode::kExclusive, 20'000);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "a", LockMode::kExclusive, 0).ok());
+  ASSERT_TRUE(lm.Lock(2, "b", LockMode::kExclusive, 0).ok());
+
+  std::atomic<int> aborted{0};
+  std::atomic<int> succeeded{0};
+  std::thread t1([&]() {
+    Status s = lm.Lock(1, "b", LockMode::kExclusive, 2'000'000);
+    if (s.IsAborted()) {
+      ++aborted;
+      lm.ReleaseAll(1);
+    } else if (s.ok()) {
+      ++succeeded;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::thread t2([&]() {
+    Status s = lm.Lock(2, "a", LockMode::kExclusive, 2'000'000);
+    if (s.IsAborted()) {
+      ++aborted;
+      lm.ReleaseAll(2);
+    } else if (s.ok()) {
+      ++succeeded;
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  // At least one transaction must have been chosen as a victim, and
+  // the other must then have made progress.
+  EXPECT_GE(aborted.load(), 1);
+  EXPECT_GE(lm.deadlock_count(), 1u);
+  EXPECT_EQ(aborted.load() + succeeded.load(), 2);
+}
+
+TEST(LockManagerTest, SelfUpgradeDeadlockDetected) {
+  // Two readers both trying to upgrade: a classic conversion deadlock.
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kShared, 0).ok());
+  ASSERT_TRUE(lm.Lock(2, "k", LockMode::kShared, 0).ok());
+  std::atomic<int> aborted{0};
+  std::thread t1([&]() {
+    Status s = lm.Lock(1, "k", LockMode::kExclusive, 2'000'000);
+    if (s.IsAborted()) ++aborted;
+    lm.ReleaseAll(1);
+  });
+  std::thread t2([&]() {
+    Status s = lm.Lock(2, "k", LockMode::kExclusive, 2'000'000);
+    if (s.IsAborted()) ++aborted;
+    lm.ReleaseAll(2);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(aborted.load(), 1);
+}
+
+TEST(LockManagerTest, StatsAccumulate) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive, 0).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive, 10'000).IsTimedOut());
+  EXPECT_GE(lm.wait_count(), 1u);
+  EXPECT_GE(lm.total_wait_micros(), 5'000u);
+}
+
+TEST(LockManagerTest, ManyThreadsManyKeysNoLostLocks) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  std::atomic<int> counters[4] = {{0}, {0}, {0}, {0}};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lm, &counters, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        TxnId txn = static_cast<TxnId>(t * kIterations + i + 1);
+        const std::string key = "k" + std::to_string(i % 4);
+        Status s = lm.Lock(txn, key, LockMode::kExclusive);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        // Exclusive section: no concurrent holder of this key.
+        int expected = counters[i % 4].fetch_add(1) + 1;
+        EXPECT_EQ(counters[i % 4].load(), expected);
+        counters[i % 4].fetch_sub(1);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace rrq::txn

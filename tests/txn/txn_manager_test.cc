@@ -1,0 +1,286 @@
+#include "txn/txn_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+
+namespace rrq::txn {
+namespace {
+
+/// Scripted in-memory participant for driving the coordinator.
+class FakeResource final : public ResourceManager {
+ public:
+  explicit FakeResource(std::string name) : name_(std::move(name)) {}
+
+  std::string_view rm_name() const override { return name_; }
+
+  Status Prepare(TxnId txn) override {
+    ++prepares;
+    last_txn = txn;
+    if (veto) return Status::Aborted("scripted veto");
+    return Status::OK();
+  }
+  Status CommitTxn(TxnId txn) override {
+    ++commits;
+    last_txn = txn;
+    return Status::OK();
+  }
+  void AbortTxn(TxnId txn) override {
+    ++aborts;
+    last_txn = txn;
+  }
+
+  int prepares = 0;
+  int commits = 0;
+  int aborts = 0;
+  bool veto = false;
+  TxnId last_txn = kInvalidTxnId;
+
+ private:
+  std::string name_;
+};
+
+TEST(TxnIdTest, EpochAndCounterRoundTrip) {
+  TxnId id = MakeTxnId(7, 123456789);
+  EXPECT_EQ(TxnIdEpoch(id), 7);
+  EXPECT_EQ(TxnIdCounter(id), 123456789u);
+}
+
+TEST(TxnManagerTest, SingleParticipantUsesFusedPath) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource rm("rm");
+  auto txn = mgr.Begin();
+  txn->Enlist(&rm);
+  ASSERT_TRUE(txn->Commit().ok());
+  // Default PrepareAndCommit = Prepare + CommitTxn.
+  EXPECT_EQ(rm.prepares, 1);
+  EXPECT_EQ(rm.commits, 1);
+  EXPECT_EQ(rm.aborts, 0);
+  EXPECT_EQ(mgr.commit_count(), 1u);
+}
+
+TEST(TxnManagerTest, TwoParticipantsTwoPhase) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource a("a"), b("b");
+  auto txn = mgr.Begin();
+  txn->Enlist(&a);
+  txn->Enlist(&b);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(a.prepares, 1);
+  EXPECT_EQ(b.prepares, 1);
+  EXPECT_EQ(a.commits, 1);
+  EXPECT_EQ(b.commits, 1);
+}
+
+TEST(TxnManagerTest, VetoAbortsEveryone) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource a("a"), b("b");
+  b.veto = true;
+  auto txn = mgr.Begin();
+  txn->Enlist(&a);
+  txn->Enlist(&b);
+  Status s = txn->Commit();
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+  EXPECT_EQ(a.aborts, 1);
+  EXPECT_EQ(b.aborts, 1);
+  EXPECT_EQ(a.commits, 0);
+  EXPECT_EQ(b.commits, 0);
+  EXPECT_EQ(mgr.abort_count(), 1u);
+}
+
+TEST(TxnManagerTest, EnlistIsIdempotent) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource rm("rm");
+  auto txn = mgr.Begin();
+  txn->Enlist(&rm);
+  txn->Enlist(&rm);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(rm.commits, 1);
+}
+
+TEST(TxnManagerTest, ExplicitAbortUndoesParticipants) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource rm("rm");
+  auto txn = mgr.Begin();
+  txn->Enlist(&rm);
+  ASSERT_TRUE(txn->Abort().ok());
+  EXPECT_EQ(rm.aborts, 1);
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+  // Abort is idempotent; commit afterwards is rejected.
+  EXPECT_TRUE(txn->Abort().ok());
+  EXPECT_TRUE(txn->Commit().IsFailedPrecondition());
+}
+
+TEST(TxnManagerTest, DestructionAbortsActiveTransaction) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  FakeResource rm("rm");
+  {
+    auto txn = mgr.Begin();
+    txn->Enlist(&rm);
+  }
+  EXPECT_EQ(rm.aborts, 1);
+}
+
+TEST(TxnManagerTest, CallbacksFireOnCommitOnly) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  int committed = 0, aborted = 0;
+  {
+    auto txn = mgr.Begin();
+    txn->OnCommit([&committed]() { ++committed; });
+    txn->OnAbort([&aborted]() { ++aborted; });
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 0);
+  {
+    auto txn = mgr.Begin();
+    txn->OnCommit([&committed]() { ++committed; });
+    txn->OnAbort([&aborted]() { ++aborted; });
+    txn->Abort();
+  }
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 1);
+}
+
+TEST(TxnManagerTest, TransactionIdsAreUnique) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  auto t1 = mgr.Begin();
+  auto t2 = mgr.Begin();
+  EXPECT_NE(t1->id(), t2->id());
+  EXPECT_NE(t1->id(), kInvalidTxnId);
+}
+
+TEST(TxnManagerTest, LocksReleasedAtCommitAndAbort) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  {
+    auto txn = mgr.Begin();
+    ASSERT_TRUE(txn->Lock("k", LockMode::kExclusive).ok());
+    auto other = mgr.Begin();
+    EXPECT_TRUE(
+        mgr.lock_manager()->Lock(other->id(), "k", LockMode::kShared, 0)
+            .IsBusy());
+    ASSERT_TRUE(txn->Commit().ok());
+    EXPECT_TRUE(
+        mgr.lock_manager()->Lock(other->id(), "k", LockMode::kShared, 0).ok());
+    other->Abort();
+  }
+}
+
+TEST(TxnManagerTest, EpochAdvancesAcrossRestarts) {
+  env::MemEnv env;
+  uint16_t epoch1, epoch2;
+  {
+    TxnManagerOptions options;
+    options.env = &env;
+    options.dir = "/txn";
+    TransactionManager mgr(options);
+    ASSERT_TRUE(mgr.Open().ok());
+    epoch1 = TxnIdEpoch(mgr.Begin()->id());
+  }
+  {
+    TxnManagerOptions options;
+    options.env = &env;
+    options.dir = "/txn";
+    TransactionManager mgr(options);
+    ASSERT_TRUE(mgr.Open().ok());
+    epoch2 = TxnIdEpoch(mgr.Begin()->id());
+  }
+  EXPECT_GT(epoch2, epoch1);
+}
+
+TEST(TxnManagerTest, CommitDecisionSurvivesCrashUntilForgotten) {
+  env::MemEnv env;
+  // A participant that "hangs" at commit: prepare succeeds, the
+  // decision is logged, then we crash the coordinator before the
+  // forget record is durable.
+  class StuckResource final : public ResourceManager {
+   public:
+    std::string_view rm_name() const override { return "stuck"; }
+    Status Prepare(TxnId) override { return Status::OK(); }
+    Status CommitTxn(TxnId id) override {
+      committed_id = id;
+      return Status::OK();
+    }
+    void AbortTxn(TxnId) override {}
+    TxnId committed_id = kInvalidTxnId;
+  };
+
+  TxnId decided = kInvalidTxnId;
+  {
+    TxnManagerOptions options;
+    options.env = &env;
+    options.dir = "/txn";
+    TransactionManager mgr(options);
+    ASSERT_TRUE(mgr.Open().ok());
+    StuckResource a, b;
+    auto txn = mgr.Begin();
+    txn->Enlist(&a);
+    txn->Enlist(&b);
+    decided = txn->id();
+    ASSERT_TRUE(txn->Commit().ok());
+    // In this incarnation the decision has been forgotten already
+    // (both participants acked); simulate a crash where the forget
+    // record (unsynced) is lost but the commit record (synced) stays.
+  }
+  env.SimulateCrash();
+  {
+    TxnManagerOptions options;
+    options.env = &env;
+    options.dir = "/txn";
+    TransactionManager mgr(options);
+    ASSERT_TRUE(mgr.Open().ok());
+    // The synced commit decision must be visible for in-doubt
+    // resolution after recovery (presumed abort would otherwise wreck
+    // a prepared participant).
+    EXPECT_TRUE(mgr.WasCommitted(decided));
+  }
+}
+
+TEST(RunInTransactionTest, RetriesOnAbort) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  int calls = 0;
+  Status s = RunInTransaction(&mgr, 5, [&calls](Transaction*) -> Status {
+    ++calls;
+    if (calls < 3) return Status::Aborted("try again");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunInTransactionTest, GivesUpAfterMaxAttempts) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  int calls = 0;
+  Status s = RunInTransaction(&mgr, 3, [&calls](Transaction*) -> Status {
+    ++calls;
+    return Status::Busy("always");
+  });
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunInTransactionTest, NonRetryableErrorsStopImmediately) {
+  TransactionManager mgr;
+  ASSERT_TRUE(mgr.Open().ok());
+  int calls = 0;
+  Status s = RunInTransaction(&mgr, 5, [&calls](Transaction*) -> Status {
+    ++calls;
+    return Status::InvalidArgument("bad");
+  });
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace rrq::txn

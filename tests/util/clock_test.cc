@@ -1,0 +1,54 @@
+#include "util/clock.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rrq::util {
+namespace {
+
+TEST(RealClockTest, TimeAdvancesMonotonically) {
+  RealClock* clock = RealClock::Instance();
+  const uint64_t a = clock->NowMicros();
+  const uint64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(RealClockTest, SleepAdvancesAtLeastRequested) {
+  RealClock* clock = RealClock::Instance();
+  const uint64_t before = clock->NowMicros();
+  clock->SleepMicros(2000);
+  EXPECT_GE(clock->NowMicros() - before, 2000u);
+}
+
+TEST(RealClockTest, InstanceIsProcessWide) {
+  EXPECT_EQ(RealClock::Instance(), RealClock::Instance());
+}
+
+TEST(SimClockTest, StartsWhereTold) {
+  SimClock clock(500);
+  EXPECT_EQ(clock.NowMicros(), 500u);
+}
+
+TEST(SimClockTest, AdvanceAndVirtualSleep) {
+  SimClock clock;
+  clock.Advance(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.SleepMicros(50);  // Virtual: no wall time passes.
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+TEST(SimClockTest, ThreadSafeAdvance) {
+  SimClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock]() {
+      for (int i = 0; i < 1000; ++i) clock.Advance(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(clock.NowMicros(), 4000u);
+}
+
+}  // namespace
+}  // namespace rrq::util

@@ -1,0 +1,133 @@
+#include "util/coding.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rrq::util {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  const uint32_t values[] = {0, 1, 0xff, 0x1234, 0xdeadbeef,
+                             std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : values) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    Slice input(buf);
+    uint32_t out = 0;
+    ASSERT_TRUE(GetFixed32(&input, &out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  const uint64_t values[] = {0, 1, 0xffffffffull, 0x0123456789abcdefull,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    Slice input(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetFixed64(&input, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, FixedIsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(CodingTest, Varint64RoundTripAcrossBoundaries) {
+  std::vector<uint64_t> values = {0};
+  for (int shift = 0; shift < 64; shift += 7) {
+    values.push_back((1ull << shift) - 1);
+    values.push_back(1ull << shift);
+    values.push_back((1ull << shift) + 1);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice input(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&input, &out).ok()) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOutOfRange) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  Slice input(buf);
+  uint32_t out = 0;
+  EXPECT_TRUE(GetVarint32(&input, &out).IsCorruption());
+}
+
+TEST(CodingTest, TruncatedInputsFailCleanly) {
+  std::string buf;
+  PutFixed64(&buf, 12345);
+  buf.resize(5);
+  Slice input(buf);
+  uint64_t out = 0;
+  EXPECT_TRUE(GetFixed64(&input, &out).IsCorruption());
+
+  std::string vbuf;
+  PutVarint64(&vbuf, 1ull << 40);
+  vbuf.resize(2);  // Cut mid-varint.
+  Slice vinput(vbuf);
+  EXPECT_TRUE(GetVarint64(&vinput, &out).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  const std::string payloads[] = {"", "a", std::string(1000, 'x'),
+                                  std::string("\0binary\xff", 8)};
+  for (const std::string& p : payloads) {
+    std::string buf;
+    PutLengthPrefixed(&buf, p);
+    Slice input(buf);
+    Slice out;
+    ASSERT_TRUE(GetLengthPrefixed(&input, &out).ok());
+    EXPECT_EQ(out.ToString(), p);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  buf.resize(buf.size() - 3);
+  Slice input(buf);
+  Slice out;
+  EXPECT_TRUE(GetLengthPrefixed(&input, &out).IsCorruption());
+}
+
+TEST(CodingTest, SequentialDecodingConsumesExactly) {
+  std::string buf;
+  PutVarint64(&buf, 7);
+  PutLengthPrefixed(&buf, "abc");
+  PutFixed32(&buf, 99);
+  Slice input(buf);
+  uint64_t v = 0;
+  std::string s;
+  uint32_t f = 0;
+  ASSERT_TRUE(GetVarint64(&input, &v).ok());
+  ASSERT_TRUE(GetLengthPrefixedString(&input, &s).ok());
+  ASSERT_TRUE(GetFixed32(&input, &f).ok());
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(f, 99u);
+  EXPECT_TRUE(input.empty());
+}
+
+}  // namespace
+}  // namespace rrq::util

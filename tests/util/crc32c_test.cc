@@ -1,0 +1,50 @@
+#include "util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rrq::util::crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors (RFC 3720 / iSCSI).
+  char buf[32];
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x8a9136aau);
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x62a8ab43u);
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x46dd794eu);
+  const std::string numbers = "123456789";
+  EXPECT_EQ(Value(numbers.data(), numbers.size()), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "hello recoverable world";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Value(data.data(), split);
+    uint32_t full = Extend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(full, Value(data.data(), data.size())) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Value("a", 1), Value("b", 1));
+  EXPECT_NE(Value("ab", 2), Value("ba", 2));
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  const uint32_t crcs[] = {0, 1, 0xdeadbeef, 0xffffffff, 0x12345678};
+  for (uint32_t crc : crcs) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // Masking must change the value.
+  }
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Value("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace rrq::util::crc32c

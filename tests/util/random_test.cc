@@ -1,0 +1,91 @@
+#include "util/random.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rrq::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BytesHasRequestedLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.Bytes(0).size(), 0u);
+  EXPECT_EQ(rng.Bytes(100).size(), 100u);
+}
+
+TEST(RngTest, ZipfSkewsTowardZero) {
+  Rng rng(17);
+  const uint64_t n = 100;
+  int low_bucket = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    uint64_t v = rng.Zipf(n, 0.99);
+    ASSERT_LT(v, n);
+    if (v < n / 10) ++low_bucket;
+  }
+  // With heavy skew, far more than 10% of draws land in the lowest 10%.
+  EXPECT_GT(low_bucket, trials / 4);
+}
+
+}  // namespace
+}  // namespace rrq::util

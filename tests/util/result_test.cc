@@ -1,0 +1,76 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rrq {
+namespace {
+
+Result<int> Half(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = *std::move(r);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, FunctionReturningResult) {
+  auto ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  auto err = Half(3);
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto chain = [](int n) -> Result<int> {
+    RRQ_ASSIGN_OR_RETURN(int h, Half(n));
+    RRQ_ASSIGN_OR_RETURN(int q, Half(h));
+    return q;
+  };
+  auto ok = chain(20);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_TRUE(chain(10).status().IsInvalidArgument());  // 10/2=5 is odd.
+}
+
+TEST(ResultTest, CopyableResultCopies) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "x");
+  EXPECT_EQ(*a, "x");
+}
+
+}  // namespace
+}  // namespace rrq

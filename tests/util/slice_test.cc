@@ -1,0 +1,68 @@
+#include "util/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, ConstructionFromVariousSources) {
+  std::string str = "hello";
+  Slice from_string(str);
+  EXPECT_EQ(from_string.size(), 5u);
+  Slice from_cstr("hello");
+  EXPECT_EQ(from_cstr.size(), 5u);
+  Slice from_ptr(str.data(), 3);
+  EXPECT_EQ(from_ptr.ToString(), "hel");
+  std::string_view sv = "abc";
+  Slice from_sv(sv);
+  EXPECT_EQ(from_sv.ToString(), "abc");
+}
+
+TEST(SliceTest, EqualityIsByteWise) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+  EXPECT_NE(Slice("abc"), Slice("ab"));
+  std::string binary1("a\0b", 3), binary2("a\0b", 3), binary3("a\0c", 3);
+  EXPECT_EQ(Slice(binary1), Slice(binary2));
+  EXPECT_NE(Slice(binary1), Slice(binary3));
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // Prefix sorts first.
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello world");
+  s.remove_prefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+  s.remove_prefix(5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, StartsWith) {
+  Slice s("hello world");
+  EXPECT_TRUE(s.starts_with(Slice("hello")));
+  EXPECT_TRUE(s.starts_with(Slice("")));
+  EXPECT_FALSE(s.starts_with(Slice("world")));
+  EXPECT_FALSE(Slice("hi").starts_with(Slice("hello")));
+}
+
+TEST(SliceTest, IndexingAndClear) {
+  Slice s("abc");
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[2], 'c');
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace rrq

@@ -1,0 +1,107 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::NotFound("a"), StatusCode::kNotFound},
+      {Status::AlreadyExists("b"), StatusCode::kAlreadyExists},
+      {Status::InvalidArgument("c"), StatusCode::kInvalidArgument},
+      {Status::Corruption("d"), StatusCode::kCorruption},
+      {Status::IOError("e"), StatusCode::kIOError},
+      {Status::Busy("f"), StatusCode::kBusy},
+      {Status::Aborted("g"), StatusCode::kAborted},
+      {Status::TimedOut("h"), StatusCode::kTimedOut},
+      {Status::NotConnected("i"), StatusCode::kNotConnected},
+      {Status::Unavailable("j"), StatusCode::kUnavailable},
+      {Status::FailedPrecondition("k"), StatusCode::kFailedPrecondition},
+      {Status::Cancelled("l"), StatusCode::kCancelled},
+      {Status::Internal("m"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsBusy());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::Corruption("bad checksum");
+  EXPECT_EQ(s.ToString(), "Corruption: bad checksum");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::IOError("disk gone");
+  Status copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.code(), StatusCode::kIOError);
+  EXPECT_EQ(copy.message(), "disk gone");
+  // Copy-assign over an error.
+  Status target = Status::Busy("other");
+  target = original;
+  EXPECT_EQ(target.code(), StatusCode::kIOError);
+  // Copy-assign an OK status clears.
+  target = Status::OK();
+  EXPECT_TRUE(target.ok());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status original = Status::TimedOut("slow");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(moved.message(), "slow");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Busy("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::Busy("inner"); };
+  auto outer = [&fails]() -> Status {
+    RRQ_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsBusy());
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer2 = [&succeeds]() -> Status {
+    RRQ_RETURN_IF_ERROR(succeeds());
+    return Status::NotFound("reached");
+  };
+  EXPECT_TRUE(outer2().IsNotFound());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace rrq
