@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_models.dir/bench_client_models.cc.o"
+  "CMakeFiles/bench_client_models.dir/bench_client_models.cc.o.d"
+  "bench_client_models"
+  "bench_client_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

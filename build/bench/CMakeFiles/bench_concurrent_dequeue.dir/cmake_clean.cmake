@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_dequeue.dir/bench_concurrent_dequeue.cc.o"
+  "CMakeFiles/bench_concurrent_dequeue.dir/bench_concurrent_dequeue.cc.o.d"
+  "bench_concurrent_dequeue"
+  "bench_concurrent_dequeue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_dequeue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

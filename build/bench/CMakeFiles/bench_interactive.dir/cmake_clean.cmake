@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interactive.dir/bench_interactive.cc.o"
+  "CMakeFiles/bench_interactive.dir/bench_interactive.cc.o.d"
+  "bench_interactive"
+  "bench_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_sharing.dir/bench_load_sharing.cc.o"
+  "CMakeFiles/bench_load_sharing.dir/bench_load_sharing.cc.o.d"
+  "bench_load_sharing"
+  "bench_load_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_txn.dir/bench_multi_txn.cc.o"
+  "CMakeFiles/bench_multi_txn.dir/bench_multi_txn.cc.o.d"
+  "bench_multi_txn"
+  "bench_multi_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_ops.dir/bench_queue_ops.cc.o"
+  "CMakeFiles/bench_queue_ops.dir/bench_queue_ops.cc.o.d"
+  "bench_queue_ops"
+  "bench_queue_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_request_locks.dir/bench_request_locks.cc.o"
+  "CMakeFiles/bench_request_locks.dir/bench_request_locks.cc.o.d"
+  "bench_request_locks"
+  "bench_request_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_request_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

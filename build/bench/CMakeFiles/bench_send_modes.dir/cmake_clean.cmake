@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_send_modes.dir/bench_send_modes.cc.o"
+  "CMakeFiles/bench_send_modes.dir/bench_send_modes.cc.o.d"
+  "bench_send_modes"
+  "bench_send_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_send_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_load_sharing.dir/batch_load_sharing.cc.o"
+  "CMakeFiles/batch_load_sharing.dir/batch_load_sharing.cc.o.d"
+  "batch_load_sharing"
+  "batch_load_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_load_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_order.dir/interactive_order.cc.o"
+  "CMakeFiles/interactive_order.dir/interactive_order.cc.o.d"
+  "interactive_order"
+  "interactive_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

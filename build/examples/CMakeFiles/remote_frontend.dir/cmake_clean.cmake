@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_frontend.dir/remote_frontend.cc.o"
+  "CMakeFiles/remote_frontend.dir/remote_frontend.cc.o.d"
+  "remote_frontend"
+  "remote_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_agent.dir/ticket_agent.cc.o"
+  "CMakeFiles/ticket_agent.dir/ticket_agent.cc.o.d"
+  "ticket_agent"
+  "ticket_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

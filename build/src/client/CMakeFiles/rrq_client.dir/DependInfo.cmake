@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/clerk.cc" "src/client/CMakeFiles/rrq_client.dir/clerk.cc.o" "gcc" "src/client/CMakeFiles/rrq_client.dir/clerk.cc.o.d"
+  "/root/repo/src/client/reliable_client.cc" "src/client/CMakeFiles/rrq_client.dir/reliable_client.cc.o" "gcc" "src/client/CMakeFiles/rrq_client.dir/reliable_client.cc.o.d"
+  "/root/repo/src/client/session_state.cc" "src/client/CMakeFiles/rrq_client.dir/session_state.cc.o" "gcc" "src/client/CMakeFiles/rrq_client.dir/session_state.cc.o.d"
+  "/root/repo/src/client/streaming_client.cc" "src/client/CMakeFiles/rrq_client.dir/streaming_client.cc.o" "gcc" "src/client/CMakeFiles/rrq_client.dir/streaming_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/rrq_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rrq_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/rrq_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rrq_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_client.dir/clerk.cc.o"
+  "CMakeFiles/rrq_client.dir/clerk.cc.o.d"
+  "CMakeFiles/rrq_client.dir/reliable_client.cc.o"
+  "CMakeFiles/rrq_client.dir/reliable_client.cc.o.d"
+  "CMakeFiles/rrq_client.dir/session_state.cc.o"
+  "CMakeFiles/rrq_client.dir/session_state.cc.o.d"
+  "CMakeFiles/rrq_client.dir/streaming_client.cc.o"
+  "CMakeFiles/rrq_client.dir/streaming_client.cc.o.d"
+  "librrq_client.a"
+  "librrq_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/network.cc" "src/comm/CMakeFiles/rrq_comm.dir/network.cc.o" "gcc" "src/comm/CMakeFiles/rrq_comm.dir/network.cc.o.d"
+  "/root/repo/src/comm/queue_service.cc" "src/comm/CMakeFiles/rrq_comm.dir/queue_service.cc.o" "gcc" "src/comm/CMakeFiles/rrq_comm.dir/queue_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/rrq_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rrq_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/rrq_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rrq_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

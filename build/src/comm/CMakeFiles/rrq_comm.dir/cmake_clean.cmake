@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_comm.dir/network.cc.o"
+  "CMakeFiles/rrq_comm.dir/network.cc.o.d"
+  "CMakeFiles/rrq_comm.dir/queue_service.cc.o"
+  "CMakeFiles/rrq_comm.dir/queue_service.cc.o.d"
+  "librrq_comm.a"
+  "librrq_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_core.dir/baseline.cc.o"
+  "CMakeFiles/rrq_core.dir/baseline.cc.o.d"
+  "CMakeFiles/rrq_core.dir/property_checker.cc.o"
+  "CMakeFiles/rrq_core.dir/property_checker.cc.o.d"
+  "CMakeFiles/rrq_core.dir/request_system.cc.o"
+  "CMakeFiles/rrq_core.dir/request_system.cc.o.d"
+  "librrq_core.a"
+  "librrq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_env.dir/faulty_env.cc.o"
+  "CMakeFiles/rrq_env.dir/faulty_env.cc.o.d"
+  "CMakeFiles/rrq_env.dir/mem_env.cc.o"
+  "CMakeFiles/rrq_env.dir/mem_env.cc.o.d"
+  "CMakeFiles/rrq_env.dir/posix_env.cc.o"
+  "CMakeFiles/rrq_env.dir/posix_env.cc.o.d"
+  "librrq_env.a"
+  "librrq_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

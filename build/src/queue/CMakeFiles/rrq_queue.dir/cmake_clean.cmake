@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_queue.dir/envelope.cc.o"
+  "CMakeFiles/rrq_queue.dir/envelope.cc.o.d"
+  "CMakeFiles/rrq_queue.dir/queue_repository.cc.o"
+  "CMakeFiles/rrq_queue.dir/queue_repository.cc.o.d"
+  "librrq_queue.a"
+  "librrq_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

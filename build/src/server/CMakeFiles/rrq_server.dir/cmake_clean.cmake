@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_server.dir/app_lock_table.cc.o"
+  "CMakeFiles/rrq_server.dir/app_lock_table.cc.o.d"
+  "CMakeFiles/rrq_server.dir/forwarder.cc.o"
+  "CMakeFiles/rrq_server.dir/forwarder.cc.o.d"
+  "CMakeFiles/rrq_server.dir/interactive.cc.o"
+  "CMakeFiles/rrq_server.dir/interactive.cc.o.d"
+  "CMakeFiles/rrq_server.dir/pipeline.cc.o"
+  "CMakeFiles/rrq_server.dir/pipeline.cc.o.d"
+  "CMakeFiles/rrq_server.dir/server.cc.o"
+  "CMakeFiles/rrq_server.dir/server.cc.o.d"
+  "librrq_server.a"
+  "librrq_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

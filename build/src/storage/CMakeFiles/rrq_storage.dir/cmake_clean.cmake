@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_storage.dir/kv_store.cc.o"
+  "CMakeFiles/rrq_storage.dir/kv_store.cc.o.d"
+  "librrq_storage.a"
+  "librrq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

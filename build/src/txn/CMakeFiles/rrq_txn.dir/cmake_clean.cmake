@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/rrq_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/rrq_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/rrq_txn.dir/txn_manager.cc.o.d"
+  "librrq_txn.a"
+  "librrq_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

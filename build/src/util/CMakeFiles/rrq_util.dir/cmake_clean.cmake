@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_util.dir/clock.cc.o"
+  "CMakeFiles/rrq_util.dir/clock.cc.o.d"
+  "CMakeFiles/rrq_util.dir/coding.cc.o"
+  "CMakeFiles/rrq_util.dir/coding.cc.o.d"
+  "CMakeFiles/rrq_util.dir/crc32c.cc.o"
+  "CMakeFiles/rrq_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/rrq_util.dir/logging.cc.o"
+  "CMakeFiles/rrq_util.dir/logging.cc.o.d"
+  "CMakeFiles/rrq_util.dir/status.cc.o"
+  "CMakeFiles/rrq_util.dir/status.cc.o.d"
+  "librrq_util.a"
+  "librrq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrq_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/log_reader.cc" "src/wal/CMakeFiles/rrq_wal.dir/log_reader.cc.o" "gcc" "src/wal/CMakeFiles/rrq_wal.dir/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/wal/CMakeFiles/rrq_wal.dir/log_writer.cc.o" "gcc" "src/wal/CMakeFiles/rrq_wal.dir/log_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rrq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rrq_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrq_wal.dir/log_reader.cc.o"
+  "CMakeFiles/rrq_wal.dir/log_reader.cc.o.d"
+  "CMakeFiles/rrq_wal.dir/log_writer.cc.o"
+  "CMakeFiles/rrq_wal.dir/log_writer.cc.o.d"
+  "librrq_wal.a"
+  "librrq_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrq_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_lock_table_test.dir/server/app_lock_table_test.cc.o"
+  "CMakeFiles/app_lock_table_test.dir/server/app_lock_table_test.cc.o.d"
+  "app_lock_table_test"
+  "app_lock_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_lock_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

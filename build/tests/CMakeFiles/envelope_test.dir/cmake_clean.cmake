@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_test.dir/queue/envelope_test.cc.o"
+  "CMakeFiles/envelope_test.dir/queue/envelope_test.cc.o.d"
+  "envelope_test"
+  "envelope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

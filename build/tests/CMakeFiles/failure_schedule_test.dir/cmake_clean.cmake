@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_schedule_test.dir/integration/failure_schedule_test.cc.o"
+  "CMakeFiles/failure_schedule_test.dir/integration/failure_schedule_test.cc.o.d"
+  "failure_schedule_test"
+  "failure_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faulty_env_test.dir/env/faulty_env_test.cc.o"
+  "CMakeFiles/faulty_env_test.dir/env/faulty_env_test.cc.o.d"
+  "faulty_env_test"
+  "faulty_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faulty_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarder_test.dir/server/forwarder_test.cc.o"
+  "CMakeFiles/forwarder_test.dir/server/forwarder_test.cc.o.d"
+  "forwarder_test"
+  "forwarder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_checker_test.dir/core/property_checker_test.cc.o"
+  "CMakeFiles/property_checker_test.dir/core/property_checker_test.cc.o.d"
+  "property_checker_test"
+  "property_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_config_matrix_test.dir/queue/queue_config_matrix_test.cc.o"
+  "CMakeFiles/queue_config_matrix_test.dir/queue/queue_config_matrix_test.cc.o.d"
+  "queue_config_matrix_test"
+  "queue_config_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_config_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

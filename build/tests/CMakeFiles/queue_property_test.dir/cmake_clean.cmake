@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_property_test.dir/queue/queue_property_test.cc.o"
+  "CMakeFiles/queue_property_test.dir/queue/queue_property_test.cc.o.d"
+  "queue_property_test"
+  "queue_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_repository_test.dir/queue/queue_repository_test.cc.o"
+  "CMakeFiles/queue_repository_test.dir/queue/queue_repository_test.cc.o.d"
+  "queue_repository_test"
+  "queue_repository_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_service_test.dir/comm/queue_service_test.cc.o"
+  "CMakeFiles/queue_service_test.dir/comm/queue_service_test.cc.o.d"
+  "queue_service_test"
+  "queue_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_client_test.dir/client/reliable_client_test.cc.o"
+  "CMakeFiles/reliable_client_test.dir/client/reliable_client_test.cc.o.d"
+  "reliable_client_test"
+  "reliable_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

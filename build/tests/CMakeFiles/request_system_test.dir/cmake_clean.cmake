@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_system_test.dir/core/request_system_test.cc.o"
+  "CMakeFiles/request_system_test.dir/core/request_system_test.cc.o.d"
+  "request_system_test"
+  "request_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

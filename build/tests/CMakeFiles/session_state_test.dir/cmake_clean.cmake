@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_state_test.dir/client/session_state_test.cc.o"
+  "CMakeFiles/session_state_test.dir/client/session_state_test.cc.o.d"
+  "session_state_test"
+  "session_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_client_test.dir/client/streaming_client_test.cc.o"
+  "CMakeFiles/streaming_client_test.dir/client/streaming_client_test.cc.o.d"
+  "streaming_client_test"
+  "streaming_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

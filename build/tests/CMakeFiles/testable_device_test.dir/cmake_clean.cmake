@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testable_device_test.dir/client/testable_device_test.cc.o"
+  "CMakeFiles/testable_device_test.dir/client/testable_device_test.cc.o.d"
+  "testable_device_test"
+  "testable_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testable_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

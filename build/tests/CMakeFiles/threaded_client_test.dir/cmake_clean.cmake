@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_client_test.dir/integration/threaded_client_test.cc.o"
+  "CMakeFiles/threaded_client_test.dir/integration/threaded_client_test.cc.o.d"
+  "threaded_client_test"
+  "threaded_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
