@@ -1,0 +1,200 @@
+// E15: group commit — batching WAL syncs across concurrent committers.
+//
+// N client threads perform durable auto-commit enqueues against one
+// QueueRepository (sync_commits=true). Per-operation mode pays one
+// physical sync per enqueue, serialized; group-commit mode elects a
+// sync leader whose single sync covers every record appended before
+// it ran. The environment wraps MemEnv with a fixed 200 us sync
+// latency modeling a commodity-SSD fsync, so the run is deterministic
+// and the sync cost — the thing group commit amortizes — dominates.
+//
+// Emits BENCH_group_commit.json with per-thread-count throughput for
+// both modes, the speedup, and the records-per-sync batching factor.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "env/mem_env.h"
+#include "queue/queue_repository.h"
+
+namespace {
+
+using namespace rrq;  // NOLINT
+using bench::Fmt;
+
+constexpr int kSyncDelayMicros = 200;
+constexpr int kOpsPerThread = 200;
+
+// WritableFile that charges a fixed latency per Sync, delegating the
+// rest to the wrapped MemEnv file.
+class DelayedSyncFile final : public env::WritableFile {
+ public:
+  explicit DelayedSyncFile(std::unique_ptr<env::WritableFile> base)
+      : base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override { return base_->Append(data); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    // Sleep rather than spin: a real fsync blocks in the kernel and
+    // frees the CPU for concurrent committers to queue up behind the
+    // leader — spinning would serialize the machine on small hosts.
+    std::this_thread::sleep_for(std::chrono::microseconds(kSyncDelayMicros));
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<env::WritableFile> base_;
+};
+
+class DelayedSyncEnv final : public env::Env {
+ public:
+  explicit DelayedSyncEnv(env::Env* base) : base_(base) {}
+
+  Status NewSequentialFile(
+      const std::string& fname,
+      std::unique_ptr<env::SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<env::RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<env::WritableFile>* result) override {
+    RRQ_RETURN_IF_ERROR(base_->NewWritableFile(fname, result));
+    *result = std::make_unique<DelayedSyncFile>(std::move(*result));
+    return Status::OK();
+  }
+  Status NewAppendableFile(
+      const std::string& fname,
+      std::unique_ptr<env::WritableFile>* result) override {
+    RRQ_RETURN_IF_ERROR(base_->NewAppendableFile(fname, result));
+    *result = std::make_unique<DelayedSyncFile>(std::move(*result));
+    return Status::OK();
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  env::Env* base_;
+};
+
+struct RunResult {
+  double ops_per_sec = 0;
+  uint64_t syncs = 0;
+  uint64_t sync_requests = 0;
+  double records_per_sync = 0;
+};
+
+RunResult RunEnqueues(int threads, bool group_commit) {
+  env::MemEnv mem;
+  DelayedSyncEnv env(&mem);
+  queue::RepositoryOptions options;
+  options.env = &env;
+  options.dir = "/bench";
+  options.sync_commits = true;
+  options.group_commit = group_commit;
+  queue::QueueRepository repo("bench", options);
+  if (!repo.Open().ok()) abort();
+  if (!repo.CreateQueue("q").ok()) abort();
+
+  bench::Stopwatch watch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&repo, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        auto r = repo.Enqueue(nullptr, "q",
+                              "payload-" + std::to_string(t) + "-" +
+                                  std::to_string(i));
+        if (!r.ok()) abort();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  RunResult result;
+  result.ops_per_sec = threads * kOpsPerThread / elapsed;
+  result.syncs = repo.wal_sync_count();
+  result.sync_requests = repo.wal_sync_request_count();
+  result.records_per_sync =
+      result.syncs == 0 ? 0.0
+                        : static_cast<double>(threads * kOpsPerThread) /
+                              static_cast<double>(result.syncs);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  printf("E15: group commit (durable enqueues, %d us simulated sync, "
+         "%d ops/thread)\n\n",
+         kSyncDelayMicros, kOpsPerThread);
+
+  bench::Table table({"threads", "per-op sync (ops/s)", "group commit (ops/s)",
+                      "speedup", "syncs (per-op)", "syncs (group)",
+                      "records/sync"});
+
+  std::string json = "{\n  \"sync_delay_micros\": " +
+                     std::to_string(kSyncDelayMicros) +
+                     ",\n  \"ops_per_thread\": " +
+                     std::to_string(kOpsPerThread) + ",\n  \"runs\": [\n";
+  bool first = true;
+  for (int threads : {1, 2, 4, 8}) {
+    RunResult per_op = RunEnqueues(threads, /*group_commit=*/false);
+    RunResult grouped = RunEnqueues(threads, /*group_commit=*/true);
+    const double speedup = grouped.ops_per_sec / per_op.ops_per_sec;
+    table.AddRow({std::to_string(threads), Fmt(per_op.ops_per_sec, 0),
+                  Fmt(grouped.ops_per_sec, 0), Fmt(speedup, 2) + "x",
+                  std::to_string(per_op.syncs), std::to_string(grouped.syncs),
+                  Fmt(grouped.records_per_sync, 1)});
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"threads\": " + std::to_string(threads) +
+            ", \"per_op_ops_per_sec\": " + Fmt(per_op.ops_per_sec, 0) +
+            ", \"group_ops_per_sec\": " + Fmt(grouped.ops_per_sec, 0) +
+            ", \"speedup\": " + Fmt(speedup, 2) +
+            ", \"per_op_syncs\": " + std::to_string(per_op.syncs) +
+            ", \"group_syncs\": " + std::to_string(grouped.syncs) +
+            ", \"group_sync_requests\": " +
+            std::to_string(grouped.sync_requests) +
+            ", \"records_per_sync\": " + Fmt(grouped.records_per_sync, 1) +
+            "}";
+  }
+  json += "\n  ]\n}\n";
+  table.Print();
+
+  FILE* out = fopen("BENCH_group_commit.json", "w");
+  if (out != nullptr) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("\nwrote BENCH_group_commit.json\n");
+  }
+  return 0;
+}

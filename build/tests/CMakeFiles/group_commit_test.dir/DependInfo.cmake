@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wal/group_commit_test.cc" "tests/CMakeFiles/group_commit_test.dir/wal/group_commit_test.cc.o" "gcc" "tests/CMakeFiles/group_commit_test.dir/wal/group_commit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/rrq_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/rrq_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rrq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rrq_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/rrq_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rrq_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/rrq_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rrq_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rrq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_commit_test.dir/wal/group_commit_test.cc.o"
+  "CMakeFiles/group_commit_test.dir/wal/group_commit_test.cc.o.d"
+  "group_commit_test"
+  "group_commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

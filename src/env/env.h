@@ -34,8 +34,14 @@ class RandomAccessFile {
                       char* scratch) const = 0;
 };
 
-/// Append-only writable file handle. Not thread-safe; callers
-/// externally serialize (the WAL writer holds its own mutex).
+/// Append-only writable file handle. Appends are not thread-safe;
+/// callers externally serialize them (the WAL writer holds its own
+/// mutex). Flush+Sync, however, may run concurrently with Append —
+/// group commit relies on this: the sync leader flushes while later
+/// committers keep appending. A sync concurrent with an append must
+/// persist at least every byte from appends that completed before the
+/// sync began (implementations: Posix uses unbuffered write(2) +
+/// fdatasync; MemEnv serializes everything under the env mutex).
 class WritableFile {
  public:
   virtual ~WritableFile() = default;

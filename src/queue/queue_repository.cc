@@ -181,7 +181,7 @@ void QueueRepository::EncodeRecord(unsigned char type, txn::TxnId id,
                                    std::string* out) const {
   out->push_back(static_cast<char>(type));
   util::PutFixed64(out, id);
-  util::PutFixed64(out, next_eid_);
+  util::PutFixed64(out, next_eid_.load(std::memory_order_relaxed));
   util::PutVarint64(out, ops.size());
   for (const MicroOp& op : ops) EncodeMicroOp(op, out);
 }
@@ -336,22 +336,31 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
 // Commit plumbing
 
 Status QueueRepository::AutoCommit(std::vector<MicroOp> ops) {
+  // Encode the record outside mu_ — only the WAL append and the
+  // in-memory apply need the lock. The eid watermark in the record is
+  // safe to read here because every eid in `ops` was allocated before
+  // this call. The replication sink reuses the same bytes.
+  const bool replicate = options_.replication_sink != nullptr && !ops.empty();
+  std::string record;
+  if (options_.env != nullptr || replicate) {
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+  }
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = nullptr;
   std::unique_lock<std::mutex> lock(mu_);
   const bool log = NeedsLogging(ops);
   if (log) {
-    std::string record;
-    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
+    wal = wal_.get();
   }
   std::vector<std::string> notify;
   for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-  const std::string replica = MaybeEncodeReplication(ops);
   lock.unlock();
   if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal_->Sync());
+    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
   }
   AfterApply(notify);
-  return Replicate(replica);
+  return Replicate(replicate ? record : std::string());
 }
 
 void QueueRepository::BufferTxnOps(txn::Transaction* t,
@@ -387,18 +396,25 @@ Status QueueRepository::Prepare(txn::TxnId id) {
     }
   }
   const bool log = NeedsLogging(pt.ops);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
     std::string record;
     EncodeRecord(kRecPrepare, id, pt.ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
   }
   pt.prepared = true;
   lock.unlock();
-  if (log) return wal_->Sync();  // A yes vote must be durable.
+  if (log) return wal->SyncTo(end_offset);  // A yes vote must be durable.
   return Status::OK();
 }
 
 Status QueueRepository::CommitTxn(txn::TxnId id) {
+  // The commit record carries no ops; encode it before taking mu_.
+  std::string record;
+  if (options_.env != nullptr) {
+    EncodeRecord(kRecCommit, id, {}, &record);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   auto it = txns_.find(id);
   if (it == txns_.end()) return Status::OK();  // No ops here.
@@ -408,11 +424,10 @@ Status QueueRepository::CommitTxn(txn::TxnId id) {
     return Status::Internal("commit of unprepared transaction");
   }
   const bool log = NeedsLogging(pt.ops);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
-    std::string record;
-    std::vector<MicroOp> empty;
-    EncodeRecord(kRecCommit, id, empty, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
   }
   std::vector<std::string> notify;
   for (const MicroOp& op : pt.ops) ApplyMicroOp(op, &notify);
@@ -429,7 +444,7 @@ Status QueueRepository::CommitTxn(txn::TxnId id) {
   const std::string replica = MaybeEncodeReplication(pt.ops);
   lock.unlock();
   if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal_->Sync());
+    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
   }
   AfterApply(notify);
   return Replicate(replica);
@@ -452,10 +467,12 @@ Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
   PendingTxn done = std::move(pt);
   txns_.erase(it);
   const bool log = NeedsLogging(done.ops);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
     std::string record;
     EncodeRecord(kRecCommitted, id, done.ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
   }
   std::vector<std::string> notify;
   for (const MicroOp& op : done.ops) ApplyMicroOp(op, &notify);
@@ -470,7 +487,7 @@ Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
   const std::string replica = MaybeEncodeReplication(done.ops);
   lock.unlock();
   if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal_->Sync());
+    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
   }
   AfterApply(notify);
   return Replicate(replica);
@@ -541,10 +558,12 @@ void QueueRepository::AbortTxn(txn::TxnId id) {
   std::vector<std::string> notify;
   for (const LockedRef& ref : pt.locked) notify.push_back(ref.queue);
   const bool log = !side_effects.empty() && NeedsLogging(side_effects);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
     std::string record;
     EncodeRecord(kRecCommitted, txn::kInvalidTxnId, side_effects, &record);
-    Status s = wal_->AddRecord(record);
+    Status s = wal_->AddRecord(record, &end_offset);
     if (!s.ok()) {
       RRQ_LOG(kError) << name_ << ": abort side-effect logging failed: "
                       << s.ToString();
@@ -553,7 +572,7 @@ void QueueRepository::AbortTxn(txn::TxnId id) {
   for (const MicroOp& op : side_effects) ApplyMicroOp(op, &notify);
   const std::string replica = MaybeEncodeReplication(side_effects);
   lock.unlock();
-  if (log && options_.sync_commits) wal_->Sync();
+  if (log && options_.sync_commits) wal->SyncTo(end_offset);
   AfterApply(notify);
   Replicate(replica);
 }
@@ -584,7 +603,9 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
   uint64_t eid_watermark = 0;
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
-  next_eid_ = std::max(next_eid_, eid_watermark);
+  if (eid_watermark > next_eid_.load(std::memory_order_relaxed)) {
+    next_eid_.store(eid_watermark, std::memory_order_relaxed);
+  }
   uint64_t op_count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
   std::vector<MicroOp> ops;
@@ -597,15 +618,17 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
   // Durable backups log the record verbatim (it is already a valid
   // committed record carrying the eid watermark).
   const bool log = NeedsLogging(ops);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
   }
   std::vector<std::string> notify;
   for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
   const std::string chained = MaybeEncodeReplication(ops);
   lock.unlock();
   if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal_->Sync());
+    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
   }
   AfterApply(notify, /*evaluate_reactions=*/false);
   return Replicate(chained);
@@ -969,17 +992,19 @@ Result<Element> QueueRepository::DequeueInternal(
     // Auto-commit: log + apply while still holding the lock (via the
     // Locked variant pattern inlined here to keep pick+consume atomic).
     const bool log = NeedsLogging(ops);
+    uint64_t end_offset = 0;
+    wal::LogWriter* wal = wal_.get();
     if (log) {
       std::string record;
       EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
     }
     std::vector<std::string> notify;
     for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
     const std::string replica = MaybeEncodeReplication(ops);
     lock.unlock();
     if (log && options_.sync_commits) {
-      RRQ_RETURN_IF_ERROR(wal_->Sync());
+      RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
     }
     AfterApply(notify);
     RRQ_RETURN_IF_ERROR(Replicate(replica));
@@ -1065,17 +1090,19 @@ Result<bool> QueueRepository::KillElement(txn::Transaction* t,
     }
     std::vector<MicroOp> ops{std::move(remove)};
     const bool log = NeedsLogging(ops);
+    uint64_t end_offset = 0;
+    wal::LogWriter* wal = wal_.get();
     if (log) {
       std::string record;
       EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
     }
     std::vector<std::string> notify;
     for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
     const std::string replica = MaybeEncodeReplication(ops);
     lock.unlock();
     if (log && options_.sync_commits) {
-      RRQ_RETURN_IF_ERROR(wal_->Sync());
+      RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
     }
     AfterApply(notify);
     RRQ_RETURN_IF_ERROR(Replicate(replica));
@@ -1093,17 +1120,19 @@ Result<bool> QueueRepository::KillElement(txn::Transaction* t,
   // gone and veto, aborting its transaction.
   std::vector<MicroOp> ops{std::move(remove)};
   const bool log = NeedsLogging(ops);
+  uint64_t end_offset = 0;
+  wal::LogWriter* wal = wal_.get();
   if (log) {
     std::string record;
     EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
+    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
   }
   std::vector<std::string> notify;
   for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
   const std::string replica = MaybeEncodeReplication(ops);
   lock.unlock();
   if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal_->Sync());
+    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
   }
   AfterApply(notify);
   RRQ_RETURN_IF_ERROR(Replicate(replica));
@@ -1193,12 +1222,13 @@ Status QueueRepository::OpenWalForAppend(uint64_t generation) {
   }
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
-  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size,
+                                          options_.group_commit);
   return Status::OK();
 }
 
 void QueueRepository::EncodeSnapshot(std::string* out) const {
-  util::PutFixed64(out, next_eid_);
+  util::PutFixed64(out, next_eid_.load(std::memory_order_relaxed));
   util::PutVarint64(out, queues_.size());
   for (const auto& [name, qs] : queues_) {
     util::PutLengthPrefixed(out, name);
@@ -1228,7 +1258,9 @@ void QueueRepository::EncodeSnapshot(std::string* out) const {
 }
 
 Status QueueRepository::DecodeSnapshot(Slice input) {
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &next_eid_));
+  uint64_t next_eid = 0;
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &next_eid));
+  next_eid_.store(next_eid, std::memory_order_relaxed);
   uint64_t queue_count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &queue_count));
   for (uint64_t i = 0; i < queue_count; ++i) {
@@ -1306,7 +1338,9 @@ Status QueueRepository::ReplayWal(uint64_t generation) {
     uint64_t eid_watermark = 0;
     RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
     RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
-    next_eid_ = std::max(next_eid_, eid_watermark);
+    if (eid_watermark > next_eid_.load(std::memory_order_relaxed)) {
+      next_eid_.store(eid_watermark, std::memory_order_relaxed);
+    }
 
     uint64_t op_count = 0;
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
@@ -1361,7 +1395,8 @@ Status QueueRepository::Checkpoint() {
 
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
-  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file));
+  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file), 0,
+                                                  options_.group_commit);
   for (const auto& [id, pt] : txns_) {
     if (!pt.prepared) continue;
     std::string record;
@@ -1384,6 +1419,16 @@ Status QueueRepository::Checkpoint() {
 uint64_t QueueRepository::wal_bytes() const {
   std::lock_guard<std::mutex> guard(mu_);
   return wal_ == nullptr ? 0 : wal_->PhysicalSize();
+}
+
+uint64_t QueueRepository::wal_sync_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->sync_count();
+}
+
+uint64_t QueueRepository::wal_sync_request_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->sync_request_count();
 }
 
 }  // namespace rrq::queue

@@ -31,6 +31,10 @@ struct RepositoryOptions {
   std::string dir;
   /// Sync the WAL on every auto-committed operation and commit record.
   bool sync_commits = true;
+  /// Batch WAL syncs across concurrent committers (leader/follower
+  /// group commit). Disable to restore per-operation syncing, the
+  /// baseline the group-commit benchmark measures against.
+  bool group_commit = true;
   /// In-doubt resolution at recovery (presumed abort by default).
   std::function<bool(txn::TxnId)> in_doubt_resolver;
   /// Invoked (outside the repository lock) when a committed enqueue
@@ -182,6 +186,13 @@ class QueueRepository final : public txn::ResourceManager {
     return error_moves_.load(std::memory_order_relaxed);
   }
   uint64_t wal_bytes() const;
+  /// Physical WAL syncs issued. Under concurrent committers this is
+  /// less than wal_sync_request_count(): the ratio is the group-commit
+  /// batching factor.
+  uint64_t wal_sync_count() const;
+  /// Durability requests made against the WAL (commits that needed a
+  /// sync).
+  uint64_t wal_sync_request_count() const;
 
   /// Writes a checkpoint and truncates the WAL.
   Status Checkpoint();
@@ -321,7 +332,10 @@ class QueueRepository final : public txn::ResourceManager {
   std::map<std::string, std::unique_ptr<QueueState>> queues_;
   std::unordered_map<txn::TxnId, PendingTxn> txns_;
   std::vector<TriggerSpec> triggers_;
-  uint64_t next_eid_ = 1;
+  // Atomic so commit records can be encoded outside mu_: a record's
+  // eid watermark only has to cover the eids of its own ops, which are
+  // always allocated before the record is encoded.
+  std::atomic<uint64_t> next_eid_{1};
   uint64_t next_seq_ = 1;
   uint64_t generation_ = 0;
   std::unique_ptr<wal::LogWriter> wal_;

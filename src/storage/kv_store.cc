@@ -180,7 +180,8 @@ Status KvStore::OpenWalForAppend(uint64_t generation) {
   }
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
-  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size,
+                                          options_.group_commit);
   return Status::OK();
 }
 
@@ -208,9 +209,16 @@ void KvStore::EncodeWriteSet(txn::TxnId id, const WriteSet& ws,
 }
 
 Status KvStore::LogAndMaybeSync(const std::string& record, bool sync) {
-  if (wal_ == nullptr) return Status::OK();
-  RRQ_RETURN_IF_ERROR(wal_->AddRecord(record));
-  if (sync) return wal_->Sync();
+  // Snapshot the writer pointer under mu_; Checkpoint() swaps wal_.
+  wal::LogWriter* wal = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    wal = wal_.get();
+  }
+  if (wal == nullptr) return Status::OK();
+  uint64_t end_offset = 0;
+  RRQ_RETURN_IF_ERROR(wal->AddRecord(record, &end_offset));
+  if (sync) return wal->SyncTo(end_offset);
   return Status::OK();
 }
 
@@ -374,7 +382,8 @@ Status KvStore::Checkpoint() {
   //    transactions stay resolvable.
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
-  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file));
+  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file), 0,
+                                                  options_.group_commit);
   for (const auto& [id, ws] : prepared_) {
     std::string record;
     EncodeWriteSet(id, ws, kRecPrepare, &record);
@@ -399,6 +408,16 @@ Status KvStore::Checkpoint() {
 uint64_t KvStore::wal_bytes() const {
   std::lock_guard<std::mutex> guard(mu_);
   return wal_ == nullptr ? 0 : wal_->PhysicalSize();
+}
+
+uint64_t KvStore::wal_sync_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->sync_count();
+}
+
+uint64_t KvStore::wal_sync_request_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return wal_ == nullptr ? 0 : wal_->sync_request_count();
 }
 
 }  // namespace rrq::storage

@@ -31,6 +31,9 @@ struct KvStoreOptions {
   /// Sync the commit record before acknowledging commit. Turning this
   /// off trades the durability of the last few transactions for speed.
   bool sync_commits = true;
+  /// Batch WAL syncs across concurrent committers (leader/follower
+  /// group commit). Disable for the per-operation-sync baseline.
+  bool group_commit = true;
   /// Resolves in-doubt transactions found during recovery (prepared
   /// but neither committed nor aborted). Defaults to presumed abort.
   /// Wire this to TransactionManager::WasCommitted for 2PC.
@@ -100,6 +103,10 @@ class KvStore final : public txn::ResourceManager {
 
   // ---- Introspection ---------------------------------------------------
   uint64_t wal_bytes() const;
+  /// Physical WAL syncs vs durability requests; the ratio is the
+  /// group-commit batching factor.
+  uint64_t wal_sync_count() const;
+  uint64_t wal_sync_request_count() const;
   uint64_t checkpoint_count() const {
     return checkpoints_.load(std::memory_order_relaxed);
   }

@@ -114,7 +114,8 @@ Status TransactionManager::Open() {
   }
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewAppendableFile(log_path, &file));
-  decision_log_ = std::make_unique<wal::LogWriter>(std::move(file), size);
+  decision_log_ = std::make_unique<wal::LogWriter>(std::move(file), size,
+                                                   options_.group_commit);
   opened_ = true;
   return Status::OK();
 }
@@ -136,8 +137,9 @@ Status TransactionManager::LogDecision(unsigned char type, TxnId id,
   std::string record;
   record.push_back(static_cast<char>(type));
   util::PutFixed64(&record, id);
-  RRQ_RETURN_IF_ERROR(decision_log_->AddRecord(record));
-  if (sync) return decision_log_->Sync();
+  uint64_t end_offset = 0;
+  RRQ_RETURN_IF_ERROR(decision_log_->AddRecord(record, &end_offset));
+  if (sync) return decision_log_->SyncTo(end_offset);
   return Status::OK();
 }
 

@@ -85,6 +85,10 @@ struct TxnManagerOptions {
   /// correctness requires true; false trades durability for speed in
   /// benchmarks that measure the difference).
   bool sync_decisions = true;
+  /// Batch decision-log syncs across concurrent coordinators
+  /// (leader/follower group commit). Disable for the
+  /// per-operation-sync baseline.
+  bool group_commit = true;
 };
 
 /// The transaction coordinator. Issues transaction ids, drives

@@ -9,12 +9,14 @@
 namespace rrq::wal {
 
 LogWriter::LogWriter(std::unique_ptr<env::WritableFile> dest,
-                     uint64_t initial_offset)
+                     uint64_t initial_offset, bool group_commit)
     : dest_(std::move(dest)),
+      group_commit_(group_commit),
       block_offset_(static_cast<int>(initial_offset % kBlockSize)),
-      physical_size_(initial_offset) {}
+      physical_size_(initial_offset),
+      durable_offset_(initial_offset) {}
 
-Status LogWriter::AddRecord(const Slice& record) {
+Status LogWriter::AddRecord(const Slice& record, uint64_t* end_offset) {
   std::lock_guard<std::mutex> guard(mu_);
   const char* ptr = record.data();
   size_t left = record.size();
@@ -56,6 +58,8 @@ Status LogWriter::AddRecord(const Slice& record) {
     left -= fragment_length;
     begin = false;
   } while (left > 0);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (end_offset != nullptr) *end_offset = physical_size_;
   return Status::OK();
 }
 
@@ -77,15 +81,70 @@ Status LogWriter::EmitPhysicalRecord(unsigned char type, const char* ptr,
   return Status::OK();
 }
 
-Status LogWriter::Sync() {
-  std::lock_guard<std::mutex> guard(mu_);
-  RRQ_RETURN_IF_ERROR(dest_->Flush());
-  return dest_->Sync();
+Status LogWriter::SyncTo(uint64_t offset) {
+  if (!group_commit_) {
+    // Per-operation mode: every committer pays its own physical sync,
+    // serialized. This is the baseline group commit is measured
+    // against.
+    sync_requests_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(sync_mu_);
+    uint64_t target;
+    {
+      std::lock_guard<std::mutex> append_guard(mu_);
+      target = physical_size_;
+    }
+    RRQ_RETURN_IF_ERROR(dest_->Flush());
+    RRQ_RETURN_IF_ERROR(dest_->Sync());
+    physical_syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (target > durable_offset_) durable_offset_ = target;
+    return Status::OK();
+  }
+
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  if (durable_offset_ >= offset) return Status::OK();  // Already covered.
+  sync_requests_.fetch_add(1, std::memory_order_relaxed);
+  while (true) {
+    if (durable_offset_ >= offset) return Status::OK();  // Leader covered us.
+    if (!sync_in_progress_) break;
+    sync_cv_.wait(lock);
+  }
+
+  // Become the sync leader. The physical sync runs without sync_mu_ so
+  // new committers can append and queue up behind this round.
+  sync_in_progress_ = true;
+  lock.unlock();
+
+  // Snapshot the append frontier first: the sync below covers at least
+  // these bytes (it may cover more — that only over-delivers
+  // durability, which is always safe for a redo-only log).
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> append_guard(mu_);
+    target = physical_size_;
+  }
+  Status s = dest_->Flush();
+  if (s.ok()) s = dest_->Sync();
+
+  lock.lock();
+  sync_in_progress_ = false;
+  if (s.ok()) {
+    physical_syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (target > durable_offset_) durable_offset_ = target;
+  }
+  sync_cv_.notify_all();
+  return s;
 }
+
+Status LogWriter::Sync() { return SyncTo(PhysicalSize()); }
 
 uint64_t LogWriter::PhysicalSize() const {
   std::lock_guard<std::mutex> guard(mu_);
   return physical_size_;
+}
+
+uint64_t LogWriter::durable_offset() const {
+  std::lock_guard<std::mutex> guard(sync_mu_);
+  return durable_offset_;
 }
 
 }  // namespace rrq::wal

@@ -113,7 +113,13 @@ TEST_F(StreamingClientTest, RecoversInFlightWindowAfterClientCrash) {
       EXPECT_TRUE(replies_.count(rid) == 1) << "lost reply for " << rid;
     }
   }
-  // Exactly-once on the server side, across the crash.
+  // Exactly-once on the server side, across the crash. A reply becomes
+  // visible when the server's transaction commits, but the handler's
+  // OnCommit callback (which records the execution) runs in the worker
+  // thread just after — so quiesce the server before consulting the
+  // checker. Stop() joins the workers; TearDown's second Stop() is a
+  // no-op.
+  server_->Stop();
   for (const std::string& rid : rids) checker_.RecordSubmission(rid);
   auto verdict = checker_.Check();
   EXPECT_EQ(verdict.duplicate_executions, 0u);

@@ -83,8 +83,12 @@ TEST_F(ForwarderTest, BackgroundRelaySurvivesPartitionWindow) {
     ASSERT_TRUE(local_->Enqueue(nullptr, "outbox", body).ok());
     sent.insert(body);
     if (i == 15) {
-      // Mid-stream, the partition heals.
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      // Mid-stream, the partition heals — but only after the relay
+      // thread has demonstrably hit it at least once, so the
+      // failed_attempts assertion below never depends on scheduling.
+      for (int w = 0; w < 2000 && forwarder.failed_attempts() == 0; ++w) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
       ASSERT_TRUE(remote_->StartQueue("requests").ok());
     }
   }
