@@ -7,8 +7,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-log_test|group_commit_test|queue_repository_test|queue_property_test|kv_store_test|txn_manager_test|streaming_client_test|server_test}"
+FILTER="${1:-log_test|group_commit_test|queue_repository_test|queue_property_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test}"
 
 cmake -B "$BUILD_DIR" -S . -DRRQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"
+# Full sweep: every crash index in every mode, torn writes included.
+RRQ_CRASH_SWEEP_FULL=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"

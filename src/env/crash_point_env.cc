@@ -1,0 +1,147 @@
+#include "env/crash_point_env.h"
+
+namespace rrq::env {
+
+class CrashPointEnv::CrashWritableFile final : public WritableFile {
+ public:
+  CrashWritableFile(std::unique_ptr<WritableFile> base, CrashPointEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    RRQ_RETURN_IF_ERROR(env_->OnMutatingOp(&data, base_.get()));
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    RRQ_RETURN_IF_ERROR(env_->OnMutatingOp(nullptr, nullptr));
+    return base_->Sync();
+  }
+
+  // Closing costs nothing durable; destructors of a "dead" process's
+  // handles must not fail.
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  CrashPointEnv* env_;
+};
+
+Status CrashPointEnv::OnMutatingOp(const Slice* payload, WritableFile* dest) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t index = ops_++;
+  if (down_) {
+    return Status::IOError("crashed process: I/O after crash point");
+  }
+  if (!armed_ || index != crash_at_) return Status::OK();
+  // This operation IS the crash. In torn mode an append's payload
+  // lands in the page cache first so the torn truncation can keep a
+  // prefix of it.
+  if (torn_rng_ != nullptr && payload != nullptr && dest != nullptr) {
+    dest->Append(*payload);
+  }
+  base_->SimulateCrash(torn_rng_);
+  down_ = true;
+  crashed_ = true;
+  return Status::IOError("simulated crash at I/O point " +
+                         std::to_string(index));
+}
+
+void CrashPointEnv::ArmCrash(uint64_t op_index, util::Rng* torn_rng) {
+  std::lock_guard<std::mutex> guard(mu_);
+  armed_ = true;
+  crash_at_ = op_index;
+  torn_rng_ = torn_rng;
+}
+
+void CrashPointEnv::Disarm() {
+  std::lock_guard<std::mutex> guard(mu_);
+  armed_ = false;
+  down_ = false;
+  torn_rng_ = nullptr;
+}
+
+bool CrashPointEnv::crashed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return crashed_;
+}
+
+bool CrashPointEnv::down() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return down_;
+}
+
+uint64_t CrashPointEnv::mutating_op_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ops_;
+}
+
+void CrashPointEnv::ResetCounter() {
+  std::lock_guard<std::mutex> guard(mu_);
+  ops_ = 0;
+  crashed_ = false;
+}
+
+Status CrashPointEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  return base_->NewSequentialFile(fname, result);
+}
+
+Status CrashPointEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  return base_->NewRandomAccessFile(fname, result);
+}
+
+Status CrashPointEnv::NewWritableFile(const std::string& fname,
+                                      std::unique_ptr<WritableFile>* result) {
+  RRQ_RETURN_IF_ERROR(OnMutatingOp(nullptr, nullptr));
+  std::unique_ptr<WritableFile> file;
+  RRQ_RETURN_IF_ERROR(base_->NewWritableFile(fname, &file));
+  *result = std::make_unique<CrashWritableFile>(std::move(file), this);
+  return Status::OK();
+}
+
+Status CrashPointEnv::NewAppendableFile(const std::string& fname,
+                                        std::unique_ptr<WritableFile>* result) {
+  RRQ_RETURN_IF_ERROR(OnMutatingOp(nullptr, nullptr));
+  std::unique_ptr<WritableFile> file;
+  RRQ_RETURN_IF_ERROR(base_->NewAppendableFile(fname, &file));
+  *result = std::make_unique<CrashWritableFile>(std::move(file), this);
+  return Status::OK();
+}
+
+bool CrashPointEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status CrashPointEnv::GetChildren(const std::string& dir,
+                                  std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status CrashPointEnv::RemoveFile(const std::string& fname) {
+  RRQ_RETURN_IF_ERROR(OnMutatingOp(nullptr, nullptr));
+  return base_->RemoveFile(fname);
+}
+
+Status CrashPointEnv::CreateDirIfMissing(const std::string& dirname) {
+  // Directory metadata is a MemEnv no-op; not a crash point.
+  return base_->CreateDirIfMissing(dirname);
+}
+
+Status CrashPointEnv::RemoveDir(const std::string& dirname) {
+  return base_->RemoveDir(dirname);
+}
+
+Status CrashPointEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status CrashPointEnv::RenameFile(const std::string& src,
+                                 const std::string& target) {
+  RRQ_RETURN_IF_ERROR(OnMutatingOp(nullptr, nullptr));
+  return base_->RenameFile(src, target);
+}
+
+}  // namespace rrq::env

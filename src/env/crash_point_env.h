@@ -1,0 +1,111 @@
+#ifndef RRQ_ENV_CRASH_POINT_ENV_H_
+#define RRQ_ENV_CRASH_POINT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "env/mem_env.h"
+#include "util/random.h"
+
+namespace rrq::env {
+
+/// Env wrapper for deterministic crash-point sweeps. Every MUTATING
+/// I/O operation that passes through — NewWritableFile,
+/// NewAppendableFile, RemoveFile, RenameFile, and Append/Sync on files
+/// opened through this env — is assigned a global 0-based index. When
+/// armed at index k, the k-th mutating operation does NOT execute;
+/// instead the underlying MemEnv suffers a power failure
+/// (SimulateCrash: all unsynced bytes are dropped) and the operation
+/// returns IOError. Every later mutating operation also fails with
+/// IOError ("the process is dead") until Disarm() is called, which
+/// models the restart: recovery code then reads whatever the crash
+/// left on "disk".
+///
+/// Torn writes: when armed with a Rng, the crash keeps a uniformly
+/// random prefix of each file's unsynced tail instead of dropping it
+/// whole, and a crash landing on an Append first applies the full
+/// payload so its bytes participate in the torn truncation — i.e. the
+/// append itself may be torn mid-record.
+///
+/// Read-only operations always pass through (they model inspecting the
+/// disk, not the dead process acting), so a sweep driver can examine
+/// post-crash state without disarming first.
+///
+/// Thread-safe.
+class CrashPointEnv final : public Env {
+ public:
+  /// Does not take ownership of `base`, which must outlive this.
+  explicit CrashPointEnv(MemEnv* base) : base_(base) {}
+
+  CrashPointEnv(const CrashPointEnv&) = delete;
+  CrashPointEnv& operator=(const CrashPointEnv&) = delete;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  /// Arms the crash: the mutating operation with index `op_index`
+  /// (counted from construction or the last ResetCounter) triggers the
+  /// simulated power failure. `torn_rng` (not owned, may be null)
+  /// selects torn-write semantics; it must outlive the armed period.
+  void ArmCrash(uint64_t op_index, util::Rng* torn_rng = nullptr);
+
+  /// Ends the "dead process" period: subsequent operations execute
+  /// normally again (recovery / next incarnation).
+  void Disarm();
+
+  /// True once the armed crash point was hit.
+  bool crashed() const;
+
+  /// True while the simulated process is dead (crash hit, Disarm not
+  /// yet called). Unlike crashed(), this clears on Disarm — workload
+  /// drivers use it to tell "this incarnation just died" from "a crash
+  /// happened earlier in the run".
+  bool down() const;
+
+  /// Mutating operations seen so far (crash-replaced and post-crash
+  /// failed operations are still counted: the index space is stable
+  /// regardless of where the crash lands).
+  uint64_t mutating_op_count() const;
+
+  void ResetCounter();
+
+ private:
+  class CrashWritableFile;
+
+  // Per-operation gate. Returns the error that replaces the operation,
+  // or OK when it should execute. `payload` is the Append body (so a
+  // torn crash can apply it first), null for other operations.
+  Status OnMutatingOp(const Slice* payload, WritableFile* dest);
+
+  MemEnv* base_;
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_ = 0;
+  bool armed_ = false;
+  bool down_ = false;
+  bool crashed_ = false;
+  util::Rng* torn_rng_ = nullptr;
+};
+
+}  // namespace rrq::env
+
+#endif  // RRQ_ENV_CRASH_POINT_ENV_H_

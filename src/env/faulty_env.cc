@@ -95,6 +95,9 @@ Status FaultyEnv::GetChildren(const std::string& dir,
 }
 
 Status FaultyEnv::RemoveFile(const std::string& fname) {
+  if (ShouldFail(config_.remove_failure_one_in)) {
+    return Status::IOError("injected remove failure");
+  }
   return base_->RemoveFile(fname);
 }
 

@@ -17,6 +17,7 @@ struct FaultConfig {
   uint32_t write_failure_one_in = 0;  ///< Append() returns IOError.
   uint32_t sync_failure_one_in = 0;   ///< Sync() returns IOError.
   uint32_t open_failure_one_in = 0;   ///< New*File() returns IOError.
+  uint32_t remove_failure_one_in = 0; ///< RemoveFile() returns IOError.
   uint64_t seed = 42;                 ///< Rng seed for fault decisions.
 };
 

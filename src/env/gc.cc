@@ -1,0 +1,62 @@
+#include "env/gc.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rrq::env {
+
+namespace {
+
+// Parses `name` as `prefix` + decimal generation. Returns false for
+// anything else (including trailing garbage like "WAL-3.tmp", which
+// the .tmp rule handles instead).
+bool ParseGeneration(const std::string& name, const std::string& prefix,
+                     uint64_t* generation) {
+  if (name.size() <= prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = value;
+  return true;
+}
+
+bool IsTmpFile(const std::string& name) {
+  static constexpr char kSuffix[] = ".tmp";
+  return name.size() > 4 && name.compare(name.size() - 4, 4, kSuffix) == 0;
+}
+
+}  // namespace
+
+Status RetireStaleGenerations(Env* env, const std::string& dir,
+                              uint64_t current_generation, GcStats* stats) {
+  std::vector<std::string> children;
+  RRQ_RETURN_IF_ERROR(env->GetChildren(dir, &children));
+  for (const std::string& name : children) {
+    uint64_t generation = 0;
+    const bool stale_generation =
+        (ParseGeneration(name, "WAL-", &generation) ||
+         ParseGeneration(name, "CHECKPOINT-", &generation)) &&
+        generation != current_generation;
+    if (!stale_generation && !IsTmpFile(name)) continue;
+    const std::string path = dir + "/" + name;
+    Status s = env->RemoveFile(path);
+    if (s.ok()) {
+      ++stats->removed;
+      RRQ_LOG(kInfo) << "recovery GC removed orphan " << path;
+    } else {
+      ++stats->failures;
+      RRQ_LOG(kWarn) << "recovery GC failed to remove " << path << ": "
+                     << s.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rrq::env

@@ -1,0 +1,33 @@
+#ifndef RRQ_ENV_GC_H_
+#define RRQ_ENV_GC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace rrq::env {
+
+/// Tally of one RetireStaleGenerations pass.
+struct GcStats {
+  uint64_t removed = 0;   ///< Files successfully deleted.
+  uint64_t failures = 0;  ///< RemoveFile calls that returned an error.
+};
+
+/// Removes the orphans a crashed checkpoint can leave in a
+/// CURRENT/WAL-<gen>/CHECKPOINT-<gen> directory: every "WAL-<n>" and
+/// "CHECKPOINT-<n>" whose generation is not `current_generation`, plus
+/// every "*.tmp" straggler from an interrupted atomic file write.
+/// Files that match neither pattern are left alone. Remove failures
+/// are logged and counted but do not fail the pass — recovery must
+/// proceed; the caller surfaces `failures` through its own counter.
+///
+/// Call this only from recovery (Open()), before any new temporary
+/// files are created, so an in-use .tmp can never be swept.
+Status RetireStaleGenerations(Env* env, const std::string& dir,
+                              uint64_t current_generation, GcStats* stats);
+
+}  // namespace rrq::env
+
+#endif  // RRQ_ENV_GC_H_

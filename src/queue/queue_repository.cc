@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "env/gc.h"
 #include "util/coding.h"
 #include "util/logging.h"
 #include "wal/log_reader.h"
@@ -17,6 +18,26 @@ constexpr unsigned char kRecCommit = 2;
 constexpr unsigned char kRecCommitted = 3;  // Fused auto-commit / 1PC.
 
 constexpr int kMaxRedirectHops = 4;
+
+// Persistent formats store enums as raw bytes; a corrupted or torn
+// byte must surface as Corruption at decode time, never as an
+// out-of-range enum value that downstream switches silently ignore.
+Status DecodeOpType(uint8_t raw, OpType* out) {
+  if (raw > static_cast<uint8_t>(OpType::kDequeue)) {
+    return Status::Corruption("invalid registration op type " +
+                              std::to_string(raw));
+  }
+  *out = static_cast<OpType>(raw);
+  return Status::OK();
+}
+
+Status DecodeDequeuePolicy(uint8_t raw, DequeuePolicy* out) {
+  if (raw > static_cast<uint8_t>(DequeuePolicy::kStrictFifo)) {
+    return Status::Corruption("invalid dequeue policy " + std::to_string(raw));
+  }
+  *out = static_cast<DequeuePolicy>(raw);
+  return Status::OK();
+}
 
 void EncodeElement(const Element& e, std::string* out) {
   util::PutFixed64(out, e.eid);
@@ -49,7 +70,8 @@ Status DecodeQueueOptions(Slice* input, QueueOptions* o) {
   RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &o->error_queue));
   if (input->size() < 2) return Status::Corruption("truncated queue options");
   o->durable = (*input)[0] != 0;
-  o->policy = static_cast<DequeuePolicy>((*input)[1]);
+  RRQ_RETURN_IF_ERROR(
+      DecodeDequeuePolicy(static_cast<uint8_t>((*input)[1]), &o->policy));
   input->remove_prefix(2);
   uint64_t threshold = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(input, &threshold));
@@ -164,7 +186,8 @@ Status QueueRepository::DecodeMicroOp(Slice* input, MicroOp* op) {
     case MicroOp::kSetLastOp: {
       RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->registrant));
       if (input->empty()) return Status::Corruption("truncated last-op");
-      op->op_type = static_cast<OpType>((*input)[0]);
+      RRQ_RETURN_IF_ERROR(
+          DecodeOpType(static_cast<uint8_t>((*input)[0]), &op->op_type));
       input->remove_prefix(1);
       RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->tag));
       return DecodeElement(input, &op->element);
@@ -1200,6 +1223,20 @@ Status QueueRepository::Open() {
     RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, CurrentPath(), &current));
     Slice input(current);
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &generation_));
+  }
+  // A crash inside Checkpoint() can strand the previous generation's
+  // WAL/checkpoint (crash between the CURRENT switch and the retire),
+  // a freshly written next generation (crash before the CURRENT
+  // switch), or a half-written *.tmp. Sweep them before recovery
+  // creates any files of its own.
+  {
+    env::GcStats gc;
+    RRQ_RETURN_IF_ERROR(
+        env::RetireStaleGenerations(env, options_.dir, generation_, &gc));
+    gc_removed_.fetch_add(gc.removed, std::memory_order_relaxed);
+    remove_failures_.fetch_add(gc.failures, std::memory_order_relaxed);
+  }
+  if (env->FileExists(CurrentPath())) {
     RRQ_RETURN_IF_ERROR(LoadCheckpoint(generation_));
     RRQ_RETURN_IF_ERROR(ReplayWal(generation_));
   }
@@ -1279,7 +1316,8 @@ Status QueueRepository::DecodeSnapshot(Slice input) {
       if (input.size() < 2) return Status::Corruption("truncated registration");
       RegistrationRecord reg;
       reg.stable = input[0] != 0;
-      reg.last.type = static_cast<OpType>(input[1]);
+      RRQ_RETURN_IF_ERROR(
+          DecodeOpType(static_cast<uint8_t>(input[1]), &reg.last.type));
       input.remove_prefix(2);
       RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &reg.last.eid));
       RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &reg.last.tag));
@@ -1409,11 +1447,19 @@ Status QueueRepository::Checkpoint() {
   util::PutVarint64(&current, next_gen);
   RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
 
-  env->RemoveFile(WalPath(generation_));
-  env->RemoveFile(CheckpointPath(generation_));
+  RemoveRetiredFile(WalPath(generation_));
+  RemoveRetiredFile(CheckpointPath(generation_));
   generation_ = next_gen;
   wal_ = std::move(new_wal);
   return Status::OK();
+}
+
+void QueueRepository::RemoveRetiredFile(const std::string& path) {
+  Status s = options_.env->RemoveFile(path);
+  if (s.ok() || s.IsNotFound()) return;  // Gen 0 has no checkpoint file.
+  remove_failures_.fetch_add(1, std::memory_order_relaxed);
+  RRQ_LOG(kWarn) << name_ << ": failed to retire " << path << ": "
+                 << s.ToString() << " (recovery GC will re-attempt)";
 }
 
 uint64_t QueueRepository::wal_bytes() const {

@@ -186,6 +186,16 @@ class QueueRepository final : public txn::ResourceManager {
     return error_moves_.load(std::memory_order_relaxed);
   }
   uint64_t wal_bytes() const;
+  /// Failed RemoveFile calls on the retirement/GC path (checkpoint
+  /// retiring the previous generation, recovery GC). Nonzero means
+  /// orphan files may be accumulating; the crash sweep asserts on it.
+  uint64_t remove_failure_count() const {
+    return remove_failures_.load(std::memory_order_relaxed);
+  }
+  /// Orphan files (stale generations, stray .tmp) deleted by Open().
+  uint64_t recovery_gc_removed_count() const {
+    return gc_removed_.load(std::memory_order_relaxed);
+  }
   /// Physical WAL syncs issued. Under concurrent committers this is
   /// less than wal_sync_request_count(): the ratio is the group-commit
   /// batching factor.
@@ -340,10 +350,15 @@ class QueueRepository final : public txn::ResourceManager {
   uint64_t generation_ = 0;
   std::unique_ptr<wal::LogWriter> wal_;
 
+  // Removes a retired/orphaned file, logging and counting failures.
+  void RemoveRetiredFile(const std::string& path);
+
   std::atomic<uint64_t> enqueues_{0};
   std::atomic<uint64_t> dequeues_{0};
   std::atomic<uint64_t> error_moves_{0};
   std::atomic<uint64_t> replication_failures_{0};
+  std::atomic<uint64_t> remove_failures_{0};
+  std::atomic<uint64_t> gc_removed_{0};
 
  public:
   uint64_t replication_failure_count() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "env/gc.h"
 #include "util/coding.h"
 #include "util/logging.h"
 #include "wal/log_reader.h"
@@ -60,6 +61,20 @@ Status KvStore::Open() {
     uint64_t generation = 0;
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &generation));
     generation_ = generation;
+  }
+  // A crash inside Checkpoint() can strand the previous generation's
+  // WAL/checkpoint (crash between the CURRENT switch and the retire),
+  // a freshly written next generation (crash before the CURRENT
+  // switch), or a half-written *.tmp. Sweep them before recovery
+  // creates any files of its own.
+  {
+    env::GcStats gc;
+    RRQ_RETURN_IF_ERROR(
+        env::RetireStaleGenerations(env, options_.dir, generation_, &gc));
+    gc_removed_.fetch_add(gc.removed, std::memory_order_relaxed);
+    remove_failures_.fetch_add(gc.failures, std::memory_order_relaxed);
+  }
+  if (env->FileExists(CurrentPath())) {
     RRQ_RETURN_IF_ERROR(LoadCheckpoint(generation_));
     RRQ_RETURN_IF_ERROR(ReplayWal(generation_));
   }
@@ -397,12 +412,20 @@ Status KvStore::Checkpoint() {
   RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
 
   // 4. Retire the old generation.
-  env->RemoveFile(WalPath(generation_));
-  env->RemoveFile(CheckpointPath(generation_));
+  RemoveRetiredFile(WalPath(generation_));
+  RemoveRetiredFile(CheckpointPath(generation_));
   generation_ = next_gen;
   wal_ = std::move(new_wal);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void KvStore::RemoveRetiredFile(const std::string& path) {
+  Status s = options_.env->RemoveFile(path);
+  if (s.ok() || s.IsNotFound()) return;  // Gen 0 has no checkpoint file.
+  remove_failures_.fetch_add(1, std::memory_order_relaxed);
+  RRQ_LOG(kWarn) << name_ << ": failed to retire " << path << ": "
+                 << s.ToString() << " (recovery GC will re-attempt)";
 }
 
 uint64_t KvStore::wal_bytes() const {

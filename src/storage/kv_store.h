@@ -111,6 +111,16 @@ class KvStore final : public txn::ResourceManager {
     return checkpoints_.load(std::memory_order_relaxed);
   }
   uint64_t recovered_txn_count() const { return recovered_txns_; }
+  /// Failed RemoveFile calls on the retirement/GC path (checkpoint
+  /// retiring the previous generation, recovery GC). Nonzero means
+  /// orphan files may be accumulating; the crash sweep asserts on it.
+  uint64_t remove_failure_count() const {
+    return remove_failures_.load(std::memory_order_relaxed);
+  }
+  /// Orphan files (stale generations, stray .tmp) deleted by Open().
+  uint64_t recovery_gc_removed_count() const {
+    return gc_removed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct WriteOp {
@@ -126,6 +136,7 @@ class KvStore final : public txn::ResourceManager {
   Status LogAndMaybeSync(const std::string& record, bool sync);
   // Applies a write set to committed state. Requires mu_ held.
   void ApplyLocked(const WriteSet& ws);
+  void RemoveRetiredFile(const std::string& path);
   Status OpenWalForAppend(uint64_t generation);
   Status LoadCheckpoint(uint64_t generation);
   Status ReplayWal(uint64_t generation);
@@ -145,6 +156,8 @@ class KvStore final : public txn::ResourceManager {
   std::unique_ptr<wal::LogWriter> wal_;
   uint64_t recovered_txns_ = 0;
   std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> remove_failures_{0};
+  std::atomic<uint64_t> gc_removed_{0};
 };
 
 }  // namespace rrq::storage

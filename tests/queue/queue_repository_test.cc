@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "env/faulty_env.h"
 #include "env/mem_env.h"
 #include "txn/txn_manager.h"
 
@@ -691,6 +692,80 @@ TEST_F(QueueRepositoryTest, UntaggedEnqueuesNeverDedup) {
   ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "same-body").ok());
   ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "same-body").ok());
   EXPECT_EQ(*repo_->Depth("q"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint generation hygiene (crash-sweep regressions)
+
+TEST_F(QueueRepositoryTest, OpenRemovesOrphanGenerations) {
+  MustEnqueue("q", "survivor");
+  ASSERT_TRUE(repo_->Checkpoint().ok());  // Now at generation 1.
+  repo_.reset();
+  // A crash inside Checkpoint() can strand the retiring generation, a
+  // freshly written next generation, or a half-written tmp. Plant the
+  // full zoo and reopen.
+  ASSERT_TRUE(env::WriteStringToFileSync(&env_, "stale", "/qm/WAL-0").ok());
+  ASSERT_TRUE(
+      env::WriteStringToFileSync(&env_, "stale", "/qm/CHECKPOINT-7").ok());
+  ASSERT_TRUE(
+      env::WriteStringToFileSync(&env_, "half", "/qm/CHECKPOINT-2.tmp").ok());
+  repo_ = MakeRepo();
+  EXPECT_GE(repo_->recovery_gc_removed_count(), 3u);
+  EXPECT_FALSE(env_.FileExists("/qm/WAL-0"));
+  EXPECT_FALSE(env_.FileExists("/qm/CHECKPOINT-7"));
+  EXPECT_FALSE(env_.FileExists("/qm/CHECKPOINT-2.tmp"));
+  EXPECT_TRUE(env_.FileExists("/qm/WAL-1"));  // Live generation survives.
+  EXPECT_EQ(MustDequeue("q"), "survivor");
+}
+
+TEST_F(QueueRepositoryTest, FailedRetirementIsCountedNotFatal) {
+  env::FaultConfig faults;
+  faults.remove_failure_one_in = 1;  // Every RemoveFile fails.
+  env::FaultyEnv flaky(&env_, faults);
+  RepositoryOptions options;
+  options.env = &flaky;
+  options.dir = "/flaky-qm";
+  {
+    QueueRepository repo("flaky-qm", options);
+    ASSERT_TRUE(repo.Open().ok());
+    ASSERT_TRUE(repo.CreateQueue("q").ok());
+    ASSERT_TRUE(repo.Enqueue(nullptr, "q", "x").ok());
+    // Retiring WAL-0 fails; the checkpoint itself must still succeed
+    // and the failure must be counted, not swallowed.
+    ASSERT_TRUE(repo.Checkpoint().ok());
+    EXPECT_GE(repo.remove_failure_count(), 1u);
+    EXPECT_TRUE(env_.FileExists("/flaky-qm/WAL-0"));  // Orphaned.
+  }
+  // The next clean open reclaims what retirement could not.
+  RepositoryOptions clean;
+  clean.env = &env_;
+  clean.dir = "/flaky-qm";
+  QueueRepository reopened("flaky-qm", clean);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_GE(reopened.recovery_gc_removed_count(), 1u);
+  EXPECT_FALSE(env_.FileExists("/flaky-qm/WAL-0"));
+  EXPECT_EQ(reopened.remove_failure_count(), 0u);
+}
+
+TEST_F(QueueRepositoryTest, CorruptRegistrationTypeFailsOpen) {
+  ASSERT_TRUE(repo_->Register("q", "REGCORRUPT", true).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, "q", "pay", 0, "REGCORRUPT", "t1").ok());
+  ASSERT_TRUE(repo_->Checkpoint().ok());  // Snapshot carries the registration.
+  repo_.reset();
+  std::string data;
+  ASSERT_TRUE(env::ReadFileToString(&env_, "/qm/CHECKPOINT-1", &data).ok());
+  // Snapshot registration layout: length-prefixed registrant, stable
+  // byte, op-type byte.
+  const std::string needle = std::string(1, '\x0a') + "REGCORRUPT";
+  const size_t pos = data.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  data[pos + needle.size() + 1] = '\x7f';
+  ASSERT_TRUE(env::WriteStringToFileSync(&env_, data, "/qm/CHECKPOINT-1").ok());
+  RepositoryOptions options;
+  options.env = &env_;
+  options.dir = "/qm";
+  QueueRepository corrupt("qm", options);
+  EXPECT_TRUE(corrupt.Open().IsCorruption());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "env/faulty_env.h"
 #include "env/mem_env.h"
 
 namespace rrq::storage {
@@ -234,6 +235,58 @@ TEST_F(KvStoreTest, ConflictingWritersSerialize) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(*store_->GetCommitted("ctr"),
             std::to_string(kThreads * kIncrements));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint generation hygiene (crash-sweep regressions)
+
+TEST_F(KvStoreTest, OpenRemovesOrphanGenerations) {
+  ASSERT_TRUE(Put("k", "survivor").ok());
+  ASSERT_TRUE(store_->Checkpoint().ok());  // Now at generation 1.
+  store_.reset();
+  // A crash inside Checkpoint() can strand the retiring generation, a
+  // freshly written next generation, or a half-written tmp.
+  ASSERT_TRUE(env::WriteStringToFileSync(&env_, "stale", "/kv/WAL-0").ok());
+  ASSERT_TRUE(
+      env::WriteStringToFileSync(&env_, "stale", "/kv/CHECKPOINT-9").ok());
+  ASSERT_TRUE(env::WriteStringToFileSync(&env_, "half", "/kv/WAL-2.tmp").ok());
+  store_ = MakeStore();
+  EXPECT_GE(store_->recovery_gc_removed_count(), 3u);
+  EXPECT_FALSE(env_.FileExists("/kv/WAL-0"));
+  EXPECT_FALSE(env_.FileExists("/kv/CHECKPOINT-9"));
+  EXPECT_FALSE(env_.FileExists("/kv/WAL-2.tmp"));
+  EXPECT_TRUE(env_.FileExists("/kv/WAL-1"));  // Live generation survives.
+  EXPECT_EQ(*store_->GetCommitted("k"), "survivor");
+}
+
+TEST_F(KvStoreTest, FailedRetirementIsCountedNotFatal) {
+  env::FaultConfig faults;
+  faults.remove_failure_one_in = 1;  // Every RemoveFile fails.
+  env::FaultyEnv flaky(&env_, faults);
+  KvStoreOptions options;
+  options.env = &flaky;
+  options.dir = "/flaky-kv";
+  {
+    KvStore store("flaky-kv", options);
+    ASSERT_TRUE(store.Open().ok());
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(store.Put(txn.get(), "k", "v").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    // Retiring WAL-0 fails; the checkpoint itself must still succeed
+    // and the failure must be counted, not swallowed.
+    ASSERT_TRUE(store.Checkpoint().ok());
+    EXPECT_GE(store.remove_failure_count(), 1u);
+    EXPECT_TRUE(env_.FileExists("/flaky-kv/WAL-0"));  // Orphaned.
+  }
+  // The next clean open reclaims what retirement could not.
+  KvStoreOptions clean;
+  clean.env = &env_;
+  clean.dir = "/flaky-kv";
+  KvStore reopened("flaky-kv", clean);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_GE(reopened.recovery_gc_removed_count(), 1u);
+  EXPECT_FALSE(env_.FileExists("/flaky-kv/WAL-0"));
+  EXPECT_EQ(reopened.remove_failure_count(), 0u);
 }
 
 }  // namespace
