@@ -190,11 +190,6 @@ int main() {
   json += "\n  ]\n}\n";
   table.Print();
 
-  FILE* out = fopen("BENCH_group_commit.json", "w");
-  if (out != nullptr) {
-    fputs(json.c_str(), out);
-    fclose(out);
-    printf("\nwrote BENCH_group_commit.json\n");
-  }
+  rrq::bench::WriteBenchJson("group_commit", json);
   return 0;
 }

@@ -1,0 +1,208 @@
+// E17: TCP transport — RPC round-trip latency and queue-op throughput
+// over a real socket, against the simulated in-process network as the
+// baseline.
+//
+// An rrqd-equivalent service (TcpServer + QueueServiceDispatcher over
+// a volatile repository) runs in-process and is reached over loopback
+// TCP, so the numbers isolate the transport cost: framing, CRC,
+// syscalls, and loopback scheduling — no fsync in the loop. Latency is
+// measured as Depth() round trips on one channel; throughput as
+// Enqueue+Dequeue pairs from N concurrent channels (one per clerk
+// thread, each on a private queue, the paper's client model).
+//
+// Emits BENCH_net.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/network.h"
+#include "comm/queue_service.h"
+#include "net/queue_wire.h"
+#include "net/tcp_transport.h"
+#include "queue/queue_repository.h"
+
+namespace {
+
+using namespace rrq;  // NOLINT
+using bench::Fmt;
+
+constexpr int kLatencyRounds = 2000;
+constexpr int kPairsPerThread = 2000;
+
+struct LatencyStats {
+  double mean_micros = 0;
+  double p50_micros = 0;
+  double p99_micros = 0;
+};
+
+LatencyStats Percentiles(std::vector<uint64_t> samples) {
+  LatencyStats stats;
+  if (samples.empty()) return stats;
+  double sum = 0;
+  for (uint64_t s : samples) sum += static_cast<double>(s);
+  stats.mean_micros = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  stats.p50_micros = static_cast<double>(samples[samples.size() / 2]);
+  stats.p99_micros =
+      static_cast<double>(samples[samples.size() * 99 / 100]);
+  return stats;
+}
+
+// Adapts any QueueApi into the Depth-shaped probe MeasureLatency
+// expects: one Read of a missing element is a pure RPC round trip
+// (one request frame, one status-only reply, no queue mutation), and
+// it exists on both the simulated and the TCP transport.
+template <typename Api>
+struct ReadProbe {
+  Api* inner;
+  Result<size_t> Depth(const std::string& queue) {
+    auto r = inner->Read(queue, 1);
+    if (r.ok() || r.status().IsNotFound()) return size_t{0};
+    return r.status();
+  }
+};
+
+// One Depth() round trip per sample through `api`.
+template <typename Api>
+LatencyStats MeasureLatency(Api* api, const std::string& queue) {
+  std::vector<uint64_t> samples;
+  samples.reserve(kLatencyRounds);
+  for (int i = 0; i < kLatencyRounds; ++i) {
+    bench::Stopwatch watch;
+    auto depth = api->Depth(queue);
+    if (!depth.ok()) {
+      fprintf(stderr, "depth: %s\n", depth.status().ToString().c_str());
+      std::exit(1);
+    }
+    samples.push_back(watch.ElapsedMicros());
+  }
+  return Percentiles(std::move(samples));
+}
+
+double MeasureTcpThroughput(uint16_t port, int threads) {
+  std::vector<std::thread> workers;
+  bench::Stopwatch watch;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([port, t]() {
+      net::TcpChannelOptions options;
+      options.port = port;
+      net::TcpChannel channel(options);
+      net::ChannelQueueApi api(&channel);
+      const std::string queue = "bench.t" + std::to_string(t);
+      const std::string clerk = "clerk-" + std::to_string(t);
+      auto reg = api.Register(queue, clerk, /*stable=*/true);
+      if (!reg.ok()) {
+        fprintf(stderr, "register: %s\n", reg.status().ToString().c_str());
+        std::exit(1);
+      }
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        auto eid = api.Enqueue(queue, "payload-0123456789", 0, clerk,
+                               "tag" + std::to_string(i), /*one_way=*/false);
+        if (!eid.ok()) {
+          fprintf(stderr, "enqueue: %s\n", eid.status().ToString().c_str());
+          std::exit(1);
+        }
+        auto element = api.Dequeue(queue, clerk, "tag" + std::to_string(i),
+                                   /*timeout_micros=*/1'000'000);
+        if (!element.ok()) {
+          fprintf(stderr, "dequeue: %s\n",
+                  element.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = watch.ElapsedSeconds();
+  return 2.0 * kPairsPerThread * threads / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  printf("E17: TCP transport latency and throughput (volatile repository,\n"
+         "loopback TCP vs the simulated in-process network)\n\n");
+
+  // Service side, shared by every measurement below.
+  queue::QueueRepository repo("qm", {});
+  if (!repo.Open().ok()) return 1;
+  for (int t = 0; t < 8; ++t) {
+    if (!repo.CreateQueue("bench.t" + std::to_string(t)).ok()) return 1;
+  }
+  if (!repo.CreateQueue("probe").ok()) return 1;
+
+  net::QueueServiceDispatcher dispatcher(&repo);
+  net::TcpServer server({}, [&dispatcher](const Slice& request,
+                                          std::string* reply) {
+    return dispatcher.Handle(request, reply);
+  });
+  if (!server.Start().ok()) return 1;
+
+  // Baseline: the same dispatcher behind the simulated Network.
+  comm::Network network(17);
+  comm::QueueService sim_service(&network, "qm", &repo);
+
+  // ---- Latency ------------------------------------------------------
+  net::TcpChannelOptions channel_options;
+  channel_options.port = server.port();
+  net::TcpChannel channel(channel_options);
+  net::ChannelQueueApi tcp_api(&channel);
+  const LatencyStats tcp_latency = MeasureLatency(&tcp_api, "probe");
+
+  // The simulated network's RemoteQueueApi has no Depth op, so the
+  // head-to-head comparison uses the Read probe on both transports.
+  ReadProbe<net::ChannelQueueApi> tcp_probe{&tcp_api};
+  const LatencyStats tcp_read_latency = MeasureLatency(&tcp_probe, "probe");
+  comm::RemoteQueueApi sim_api(&network, "clerk-0", "qm");
+  ReadProbe<comm::RemoteQueueApi> sim_probe{&sim_api};
+  const LatencyStats sim_read_latency = MeasureLatency(&sim_probe, "probe");
+
+  bench::Table latency_table(
+      {"probe", "transport", "mean us", "p50 us", "p99 us"});
+  latency_table.AddRow({"Depth", "tcp", Fmt(tcp_latency.mean_micros),
+                        Fmt(tcp_latency.p50_micros),
+                        Fmt(tcp_latency.p99_micros)});
+  latency_table.AddRow({"Read", "tcp", Fmt(tcp_read_latency.mean_micros),
+                        Fmt(tcp_read_latency.p50_micros),
+                        Fmt(tcp_read_latency.p99_micros)});
+  latency_table.AddRow({"Read", "sim", Fmt(sim_read_latency.mean_micros),
+                        Fmt(sim_read_latency.p50_micros),
+                        Fmt(sim_read_latency.p99_micros)});
+  latency_table.Print();
+  printf("\n");
+
+  // ---- Throughput ---------------------------------------------------
+  bench::Table tput_table({"threads", "tcp ops/s", "us/op"});
+  std::string json = "{\n  \"experiment\": \"net\",\n  \"latency\": {\n";
+  json += "    \"tcp_depth\": {\"mean_us\": " + Fmt(tcp_latency.mean_micros) +
+          ", \"p50_us\": " + Fmt(tcp_latency.p50_micros) +
+          ", \"p99_us\": " + Fmt(tcp_latency.p99_micros) + "},\n";
+  json += "    \"tcp_read\": {\"mean_us\": " +
+          Fmt(tcp_read_latency.mean_micros) +
+          ", \"p50_us\": " + Fmt(tcp_read_latency.p50_micros) +
+          ", \"p99_us\": " + Fmt(tcp_read_latency.p99_micros) + "},\n";
+  json += "    \"sim_read\": {\"mean_us\": " +
+          Fmt(sim_read_latency.mean_micros) +
+          ", \"p50_us\": " + Fmt(sim_read_latency.p50_micros) +
+          ", \"p99_us\": " + Fmt(sim_read_latency.p99_micros) + "}\n  },\n";
+  json += "  \"throughput\": [\n";
+  bool first = true;
+  for (int threads : {1, 2, 4, 8}) {
+    const double ops = MeasureTcpThroughput(server.port(), threads);
+    tput_table.AddRow({std::to_string(threads), Fmt(ops, 0),
+                       Fmt(1e6 * threads / ops, 1)});
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"threads\": " + std::to_string(threads) +
+            ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
+  }
+  json += "\n  ]\n}\n";
+  tput_table.Print();
+
+  bench::WriteBenchJson("net", json);
+  server.Stop();
+  return 0;
+}

@@ -1,60 +1,15 @@
 #include "comm/queue_service.h"
 
-#include "util/coding.h"
-
 namespace rrq::comm {
-
-namespace {
-
-// Wire op codes.
-constexpr unsigned char kOpRegister = 1;
-constexpr unsigned char kOpDeregister = 2;
-constexpr unsigned char kOpEnqueue = 3;
-constexpr unsigned char kOpDequeue = 4;
-constexpr unsigned char kOpRead = 5;
-constexpr unsigned char kOpKill = 6;
-
-void EncodeStatus(const Status& s, std::string* out) {
-  util::PutVarint32(out, static_cast<uint32_t>(s.code()));
-  util::PutLengthPrefixed(out, s.message());
-}
-
-Status DecodeStatus(Slice* input) {
-  uint32_t code = 0;
-  std::string message;
-  if (!util::GetVarint32(input, &code).ok() ||
-      !util::GetLengthPrefixedString(input, &message).ok()) {
-    return Status::Corruption("malformed status in reply");
-  }
-  if (code == 0) return Status::OK();
-  return Status(static_cast<StatusCode>(code), message);
-}
-
-void EncodeElement(const queue::Element& e, std::string* out) {
-  util::PutFixed64(out, e.eid);
-  util::PutVarint32(out, e.priority);
-  util::PutVarint32(out, e.abort_count);
-  util::PutLengthPrefixed(out, e.abort_code);
-  util::PutLengthPrefixed(out, e.contents);
-}
-
-Status DecodeElement(Slice* input, queue::Element* e) {
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &e->eid));
-  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->priority));
-  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->abort_count));
-  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->abort_code));
-  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->contents));
-  return Status::OK();
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // QueueService
 
 QueueService::QueueService(Network* network, std::string service_name,
                            queue::QueueRepository* repo)
-    : network_(network), service_name_(std::move(service_name)), repo_(repo) {
+    : network_(network),
+      service_name_(std::move(service_name)),
+      dispatcher_(repo) {
   Restart();
 }
 
@@ -71,87 +26,10 @@ Status QueueService::Restart() {
   if (up_) return Status::OK();
   RRQ_RETURN_IF_ERROR(network_->RegisterEndpoint(
       service_name_, [this](const Slice& request, std::string* reply) {
-        return Handle(request, reply);
+        return dispatcher_.Handle(request, reply);
       }));
   up_ = true;
   return Status::OK();
-}
-
-Status QueueService::Handle(const Slice& request, std::string* reply) {
-  Slice input = request;
-  if (input.empty()) return Status::InvalidArgument("empty request");
-  const unsigned char op = static_cast<unsigned char>(input[0]);
-  input.remove_prefix(1);
-
-  std::string queue;
-  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &queue));
-
-  switch (op) {
-    case kOpRegister: {
-      std::string registrant;
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
-      if (input.empty()) return Status::Corruption("truncated register");
-      const bool stable = input[0] != 0;
-      auto r = repo_->Register(queue, registrant, stable);
-      EncodeStatus(r.status(), reply);
-      if (r.ok()) {
-        reply->push_back(r->was_registered ? 1 : 0);
-        reply->push_back(static_cast<char>(r->last_op));
-        util::PutFixed64(reply, r->last_eid);
-        util::PutLengthPrefixed(reply, r->last_tag);
-        util::PutLengthPrefixed(reply, r->last_element);
-      }
-      return Status::OK();
-    }
-    case kOpDeregister: {
-      std::string registrant;
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
-      EncodeStatus(repo_->Deregister(queue, registrant), reply);
-      return Status::OK();
-    }
-    case kOpEnqueue: {
-      std::string contents, registrant, tag;
-      uint32_t priority = 0;
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &contents));
-      RRQ_RETURN_IF_ERROR(util::GetVarint32(&input, &priority));
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &tag));
-      auto r = repo_->Enqueue(nullptr, queue, contents, priority, registrant,
-                              tag);
-      EncodeStatus(r.status(), reply);
-      if (r.ok()) util::PutFixed64(reply, *r);
-      return Status::OK();
-    }
-    case kOpDequeue: {
-      std::string registrant, tag;
-      uint64_t timeout = 0;
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
-      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &tag));
-      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &timeout));
-      auto r = repo_->Dequeue(nullptr, queue, registrant, tag, timeout);
-      EncodeStatus(r.status(), reply);
-      if (r.ok()) EncodeElement(*r, reply);
-      return Status::OK();
-    }
-    case kOpRead: {
-      uint64_t eid = 0;
-      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
-      auto r = repo_->Read(queue, eid);
-      EncodeStatus(r.status(), reply);
-      if (r.ok()) EncodeElement(*r, reply);
-      return Status::OK();
-    }
-    case kOpKill: {
-      uint64_t eid = 0;
-      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
-      auto r = repo_->KillElement(nullptr, queue, eid);
-      EncodeStatus(r.status(), reply);
-      if (r.ok()) reply->push_back(*r ? 1 : 0);
-      return Status::OK();
-    }
-    default:
-      return Status::InvalidArgument("unknown queue-service op");
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -159,120 +37,40 @@ Status QueueService::Handle(const Slice& request, std::string* reply) {
 
 RemoteQueueApi::RemoteQueueApi(Network* network, std::string self_name,
                                std::string service_name)
-    : network_(network),
-      self_name_(std::move(self_name)),
-      service_name_(std::move(service_name)) {}
-
-Status RemoteQueueApi::CallService(const std::string& request,
-                                   std::string* payload) {
-  std::string reply;
-  RRQ_RETURN_IF_ERROR(
-      network_->Call(self_name_, service_name_, request, &reply));
-  Slice input(reply);
-  Status s = DecodeStatus(&input);
-  if (!s.ok()) return s;
-  payload->assign(input.data(), input.size());
-  return Status::OK();
-}
+    : channel_(network, std::move(self_name), std::move(service_name)),
+      api_(&channel_) {}
 
 Result<queue::RegistrationInfo> RemoteQueueApi::Register(
     const std::string& queue, const std::string& registrant, bool stable) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpRegister));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutLengthPrefixed(&request, registrant);
-  request.push_back(stable ? 1 : 0);
-  std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
-  Slice input(payload);
-  if (input.size() < 2) return Status::Corruption("truncated register reply");
-  queue::RegistrationInfo info;
-  info.was_registered = input[0] != 0;
-  info.last_op = static_cast<queue::OpType>(input[1]);
-  input.remove_prefix(2);
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &info.last_eid));
-  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &info.last_tag));
-  RRQ_RETURN_IF_ERROR(
-      util::GetLengthPrefixedString(&input, &info.last_element));
-  return info;
+  return api_.Register(queue, registrant, stable);
 }
 
 Status RemoteQueueApi::Deregister(const std::string& queue,
                                   const std::string& registrant) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpDeregister));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutLengthPrefixed(&request, registrant);
-  std::string payload;
-  return CallService(request, &payload);
+  return api_.Deregister(queue, registrant);
 }
 
 Result<queue::ElementId> RemoteQueueApi::Enqueue(
     const std::string& queue, const Slice& contents, uint32_t priority,
     const std::string& registrant, const Slice& tag, bool one_way) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpEnqueue));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutLengthPrefixed(&request, contents);
-  util::PutVarint32(&request, priority);
-  util::PutLengthPrefixed(&request, registrant);
-  util::PutLengthPrefixed(&request, tag);
-  if (one_way) {
-    // Fire-and-forget (§5): one message, no eid back, no failure signal.
-    RRQ_RETURN_IF_ERROR(
-        network_->SendOneWay(self_name_, service_name_, request));
-    return queue::kInvalidElementId;
-  }
-  std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
-  Slice input(payload);
-  uint64_t eid = 0;
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
-  return eid;
+  return api_.Enqueue(queue, contents, priority, registrant, tag, one_way);
 }
 
 Result<queue::Element> RemoteQueueApi::Dequeue(const std::string& queue,
                                                const std::string& registrant,
                                                const Slice& tag,
                                                uint64_t timeout_micros) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpDequeue));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutLengthPrefixed(&request, registrant);
-  util::PutLengthPrefixed(&request, tag);
-  util::PutFixed64(&request, timeout_micros);
-  std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
-  Slice input(payload);
-  queue::Element element;
-  RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
-  return element;
+  return api_.Dequeue(queue, registrant, tag, timeout_micros);
 }
 
 Result<queue::Element> RemoteQueueApi::Read(const std::string& queue,
                                             queue::ElementId eid) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpRead));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutFixed64(&request, eid);
-  std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
-  Slice input(payload);
-  queue::Element element;
-  RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
-  return element;
+  return api_.Read(queue, eid);
 }
 
 Result<bool> RemoteQueueApi::KillElement(const std::string& queue,
                                          queue::ElementId eid) {
-  std::string request;
-  request.push_back(static_cast<char>(kOpKill));
-  util::PutLengthPrefixed(&request, queue);
-  util::PutFixed64(&request, eid);
-  std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
-  if (payload.empty()) return Status::Corruption("truncated kill reply");
-  return payload[0] != 0;
+  return api_.KillElement(queue, eid);
 }
 
 }  // namespace rrq::comm

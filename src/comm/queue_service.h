@@ -5,6 +5,7 @@
 #include <string>
 
 #include "comm/network.h"
+#include "net/queue_wire.h"
 #include "queue/queue_api.h"
 #include "queue/queue_repository.h"
 
@@ -12,9 +13,10 @@ namespace rrq::comm {
 
 /// Exposes a QueueRepository's non-transactional operations as a
 /// network endpoint, so clerks on other "nodes" can reach the queue
-/// manager. The service performs no retry or deduplication of its
-/// own: at-most-once per message, with the uncertainty on failure that
-/// the paper's client protocol is designed to resolve.
+/// manager. The byte protocol (and its no-retry, no-dedup contract) is
+/// net::QueueServiceDispatcher — the same dispatcher the rrqd TCP
+/// daemon serves, so the simulated and real transports speak identical
+/// bytes.
 class QueueService {
  public:
   /// Registers endpoint `service_name` on `network`, serving `repo`.
@@ -34,18 +36,18 @@ class QueueService {
   Status Restart();
 
  private:
-  Status Handle(const Slice& request, std::string* reply);
-
   Network* network_;
   std::string service_name_;
-  queue::QueueRepository* repo_;
+  net::QueueServiceDispatcher dispatcher_;
   bool up_ = false;
 };
 
 /// queue::QueueApi implemented over Network RPCs to a QueueService.
 /// Network failures surface as Status::Unavailable; the caller (the
 /// clerk) resolves the resulting uncertainty through reconnection and
-/// persistent registration, never by blind retry.
+/// persistent registration, never by blind retry. The encoding lives
+/// in net::ChannelQueueApi; this class only adapts the simulated
+/// Network to the net::Channel interface.
 class RemoteQueueApi final : public queue::QueueApi {
  public:
   RemoteQueueApi(Network* network, std::string self_name,
@@ -70,11 +72,31 @@ class RemoteQueueApi final : public queue::QueueApi {
                            queue::ElementId eid) override;
 
  private:
-  Status CallService(const std::string& request, std::string* payload);
+  /// net::Channel over one (self, service) pair of the simulated
+  /// network.
+  class NetworkChannel final : public net::Channel {
+   public:
+    NetworkChannel(Network* network, std::string self_name,
+                   std::string service_name)
+        : network_(network),
+          self_name_(std::move(self_name)),
+          service_name_(std::move(service_name)) {}
 
-  Network* network_;
-  std::string self_name_;
-  std::string service_name_;
+    Status Call(const Slice& request, std::string* reply) override {
+      return network_->Call(self_name_, service_name_, request, reply);
+    }
+    Status SendOneWay(const Slice& message) override {
+      return network_->SendOneWay(self_name_, service_name_, message);
+    }
+
+   private:
+    Network* network_;
+    std::string self_name_;
+    std::string service_name_;
+  };
+
+  NetworkChannel channel_;
+  net::ChannelQueueApi api_;
 };
 
 }  // namespace rrq::comm

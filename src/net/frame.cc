@@ -1,0 +1,77 @@
+#include "net/frame.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace rrq::net {
+
+void AppendFrame(std::string* out, const Slice& payload) {
+  util::PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  util::PutFixed32(
+      out, util::crc32c::Mask(util::crc32c::Value(payload.data(),
+                                                  payload.size())));
+  out->append(payload.data(), payload.size());
+}
+
+void EncodeStatus(const Status& s, std::string* out) {
+  util::PutVarint32(out, static_cast<uint32_t>(s.code()));
+  util::PutLengthPrefixed(out, s.message());
+}
+
+Status DecodeStatus(Slice* input) {
+  uint32_t code = 0;
+  std::string message;
+  if (!util::GetVarint32(input, &code).ok() ||
+      !util::GetLengthPrefixedString(input, &message).ok() ||
+      code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::Corruption("malformed status in reply");
+  }
+  if (code == 0) return Status::OK();
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+void FrameReader::Feed(const Slice& data) {
+  // Compact the consumed prefix before growing the buffer further.
+  if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= 4096)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(data.data(), data.size());
+}
+
+Status FrameReader::Next(std::string* payload) {
+  if (poisoned_) return Status::Corruption("frame stream is poisoned");
+  if (buffer_.size() - pos_ < kFrameHeaderSize) {
+    return Status::NotFound("incomplete frame header");
+  }
+  const uint32_t length = util::DecodeFixed32(buffer_.data() + pos_);
+  if (length > kMaxFramePayload) {
+    poisoned_ = true;
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds limit");
+  }
+  if (buffer_.size() - pos_ - kFrameHeaderSize < length) {
+    return Status::NotFound("incomplete frame payload");
+  }
+  const uint32_t expected =
+      util::crc32c::Unmask(util::DecodeFixed32(buffer_.data() + pos_ + 4));
+  const char* data = buffer_.data() + pos_ + kFrameHeaderSize;
+  if (util::crc32c::Value(data, length) != expected) {
+    poisoned_ = true;
+    return Status::Corruption("frame CRC mismatch");
+  }
+  payload->assign(data, length);
+  pos_ += kFrameHeaderSize + length;
+  return Status::OK();
+}
+
+Status FrameReader::AtEnd() const {
+  if (poisoned_) return Status::Corruption("frame stream is poisoned");
+  if (buffered() != 0) {
+    return Status::Corruption("torn frame: stream ended with " +
+                              std::to_string(buffered()) + " stray bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace rrq::net

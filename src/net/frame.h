@@ -1,0 +1,72 @@
+#ifndef RRQ_NET_FRAME_H_
+#define RRQ_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+// Wire framing for the TCP transport. Every message travels as one
+// frame:
+//
+//   +----------------+--------------------+------------------+
+//   | fixed32 length | fixed32 masked CRC |  payload bytes   |
+//   +----------------+--------------------+------------------+
+//        4 bytes           4 bytes            `length` bytes
+//
+// `length` counts only the payload; the CRC is crc32c(payload),
+// masked with the LevelDB convention so payloads that themselves
+// contain CRCs stay checkable. A real socket delivers arbitrary
+// bytes, so the decoder is a trust boundary: an impossible length, a
+// CRC mismatch, or a stream that ends inside a frame (a torn frame)
+// is rejected as Corruption, never acted on.
+
+constexpr size_t kFrameHeaderSize = 8;
+
+/// Upper bound on a frame payload. Queue elements are far smaller;
+/// its real job is rejecting garbage lengths before any allocation.
+constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// Appends one frame carrying `payload` to `*out`.
+void AppendFrame(std::string* out, const Slice& payload);
+
+/// Status codec shared by the transport (the handler's result travels
+/// ahead of the reply bytes) and the queue-service byte protocol.
+void EncodeStatus(const Status& s, std::string* out);
+Status DecodeStatus(Slice* input);
+
+/// Incremental frame decoder. Feed() bytes in any fragmentation; each
+/// successful Next() yields one validated payload. After any
+/// Corruption the reader stays poisoned — a byte stream with a bad
+/// frame cannot be resynchronized, the connection must be dropped.
+class FrameReader {
+ public:
+  FrameReader() = default;
+
+  void Feed(const Slice& data);
+
+  /// OK: `*payload` holds the next frame's payload. NotFound: the
+  /// buffered bytes do not yet complete a frame (feed more).
+  /// Corruption: invalid length or CRC mismatch.
+  Status Next(std::string* payload);
+
+  /// Verdict once the stream has ended (peer closed the connection):
+  /// OK when no partial frame is buffered, Corruption otherwise (the
+  /// stream was torn mid-frame).
+  Status AtEnd() const;
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_FRAME_H_

@@ -1,0 +1,286 @@
+#include "net/queue_wire.h"
+
+#include "net/frame.h"
+#include "util/coding.h"
+
+namespace rrq::net {
+
+void EncodeElement(const queue::Element& e, std::string* out) {
+  util::PutFixed64(out, e.eid);
+  util::PutVarint32(out, e.priority);
+  util::PutVarint32(out, e.abort_count);
+  util::PutLengthPrefixed(out, e.abort_code);
+  util::PutLengthPrefixed(out, e.contents);
+}
+
+Status DecodeElement(Slice* input, queue::Element* e) {
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &e->eid));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->priority));
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &e->abort_count));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->abort_code));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &e->contents));
+  return Status::OK();
+}
+
+void EncodeQueueOptions(const queue::QueueOptions& options, std::string* out) {
+  util::PutVarint32(out, options.max_aborts);
+  util::PutLengthPrefixed(out, options.error_queue);
+  out->push_back(options.durable ? 1 : 0);
+  out->push_back(static_cast<char>(options.policy));
+  util::PutVarint64(out, options.alert_threshold);
+  util::PutLengthPrefixed(out, options.redirect_to);
+}
+
+Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options) {
+  RRQ_RETURN_IF_ERROR(util::GetVarint32(input, &options->max_aborts));
+  RRQ_RETURN_IF_ERROR(
+      util::GetLengthPrefixedString(input, &options->error_queue));
+  if (input->size() < 2) return Status::Corruption("truncated queue options");
+  options->durable = (*input)[0] != 0;
+  const unsigned char policy = static_cast<unsigned char>((*input)[1]);
+  if (policy > static_cast<unsigned char>(queue::DequeuePolicy::kStrictFifo)) {
+    return Status::Corruption("invalid dequeue policy byte");
+  }
+  options->policy = static_cast<queue::DequeuePolicy>(policy);
+  input->remove_prefix(2);
+  uint64_t alert = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(input, &alert));
+  options->alert_threshold = static_cast<size_t>(alert);
+  RRQ_RETURN_IF_ERROR(
+      util::GetLengthPrefixedString(input, &options->redirect_to));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// QueueServiceDispatcher
+
+Status QueueServiceDispatcher::Handle(const Slice& request,
+                                      std::string* reply) {
+  Slice input = request;
+  if (input.empty()) return Status::InvalidArgument("empty request");
+  const unsigned char op = static_cast<unsigned char>(input[0]);
+  input.remove_prefix(1);
+
+  std::string queue;
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &queue));
+
+  switch (op) {
+    case kOpRegister: {
+      std::string registrant;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
+      if (input.empty()) return Status::Corruption("truncated register");
+      const bool stable = input[0] != 0;
+      auto r = repo_->Register(queue, registrant, stable);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) {
+        reply->push_back(r->was_registered ? 1 : 0);
+        reply->push_back(static_cast<char>(r->last_op));
+        util::PutFixed64(reply, r->last_eid);
+        util::PutLengthPrefixed(reply, r->last_tag);
+        util::PutLengthPrefixed(reply, r->last_element);
+      }
+      return Status::OK();
+    }
+    case kOpDeregister: {
+      std::string registrant;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
+      EncodeStatus(repo_->Deregister(queue, registrant), reply);
+      return Status::OK();
+    }
+    case kOpEnqueue: {
+      std::string contents, registrant, tag;
+      uint32_t priority = 0;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &contents));
+      RRQ_RETURN_IF_ERROR(util::GetVarint32(&input, &priority));
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &tag));
+      auto r = repo_->Enqueue(nullptr, queue, contents, priority, registrant,
+                              tag);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) util::PutFixed64(reply, *r);
+      return Status::OK();
+    }
+    case kOpDequeue: {
+      std::string registrant, tag;
+      uint64_t timeout = 0;
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &registrant));
+      RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &tag));
+      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &timeout));
+      auto r = repo_->Dequeue(nullptr, queue, registrant, tag, timeout);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) EncodeElement(*r, reply);
+      return Status::OK();
+    }
+    case kOpRead: {
+      uint64_t eid = 0;
+      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
+      auto r = repo_->Read(queue, eid);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) EncodeElement(*r, reply);
+      return Status::OK();
+    }
+    case kOpKill: {
+      uint64_t eid = 0;
+      RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
+      auto r = repo_->KillElement(nullptr, queue, eid);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) reply->push_back(*r ? 1 : 0);
+      return Status::OK();
+    }
+    case kOpCreateQueue: {
+      queue::QueueOptions options;
+      RRQ_RETURN_IF_ERROR(DecodeQueueOptions(&input, &options));
+      EncodeStatus(repo_->CreateQueue(queue, options), reply);
+      return Status::OK();
+    }
+    case kOpDepth: {
+      auto r = repo_->Depth(queue);
+      EncodeStatus(r.status(), reply);
+      if (r.ok()) util::PutFixed64(reply, *r);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown queue-service op");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ChannelQueueApi
+
+Status ChannelQueueApi::CallService(const std::string& request,
+                                    std::string* payload) {
+  std::string reply;
+  RRQ_RETURN_IF_ERROR(channel_->Call(request, &reply));
+  Slice input(reply);
+  Status s = DecodeStatus(&input);
+  if (!s.ok()) return s;
+  payload->assign(input.data(), input.size());
+  return Status::OK();
+}
+
+Result<queue::RegistrationInfo> ChannelQueueApi::Register(
+    const std::string& queue, const std::string& registrant, bool stable) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpRegister));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, registrant);
+  request.push_back(stable ? 1 : 0);
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  if (input.size() < 2) return Status::Corruption("truncated register reply");
+  queue::RegistrationInfo info;
+  info.was_registered = input[0] != 0;
+  const unsigned char op = static_cast<unsigned char>(input[1]);
+  if (op > static_cast<unsigned char>(queue::OpType::kDequeue)) {
+    return Status::Corruption("invalid op-type byte in register reply");
+  }
+  info.last_op = static_cast<queue::OpType>(op);
+  input.remove_prefix(2);
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &info.last_eid));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &info.last_tag));
+  RRQ_RETURN_IF_ERROR(
+      util::GetLengthPrefixedString(&input, &info.last_element));
+  return info;
+}
+
+Status ChannelQueueApi::Deregister(const std::string& queue,
+                                   const std::string& registrant) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpDeregister));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, registrant);
+  std::string payload;
+  return CallService(request, &payload);
+}
+
+Result<queue::ElementId> ChannelQueueApi::Enqueue(
+    const std::string& queue, const Slice& contents, uint32_t priority,
+    const std::string& registrant, const Slice& tag, bool one_way) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpEnqueue));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, contents);
+  util::PutVarint32(&request, priority);
+  util::PutLengthPrefixed(&request, registrant);
+  util::PutLengthPrefixed(&request, tag);
+  if (one_way) {
+    // Fire-and-forget (§5): one message, no eid back, no failure signal.
+    RRQ_RETURN_IF_ERROR(channel_->SendOneWay(request));
+    return queue::kInvalidElementId;
+  }
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  uint64_t eid = 0;
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid));
+  return eid;
+}
+
+Result<queue::Element> ChannelQueueApi::Dequeue(const std::string& queue,
+                                                const std::string& registrant,
+                                                const Slice& tag,
+                                                uint64_t timeout_micros) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpDequeue));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, registrant);
+  util::PutLengthPrefixed(&request, tag);
+  util::PutFixed64(&request, timeout_micros);
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  queue::Element element;
+  RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
+  return element;
+}
+
+Result<queue::Element> ChannelQueueApi::Read(const std::string& queue,
+                                             queue::ElementId eid) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpRead));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutFixed64(&request, eid);
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  queue::Element element;
+  RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
+  return element;
+}
+
+Result<bool> ChannelQueueApi::KillElement(const std::string& queue,
+                                          queue::ElementId eid) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpKill));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutFixed64(&request, eid);
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  if (payload.empty()) return Status::Corruption("truncated kill reply");
+  return payload[0] != 0;
+}
+
+Status ChannelQueueApi::CreateQueue(const std::string& queue,
+                                    const queue::QueueOptions& options) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpCreateQueue));
+  util::PutLengthPrefixed(&request, queue);
+  EncodeQueueOptions(options, &request);
+  std::string payload;
+  return CallService(request, &payload);
+}
+
+Result<size_t> ChannelQueueApi::Depth(const std::string& queue) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpDepth));
+  util::PutLengthPrefixed(&request, queue);
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  uint64_t depth = 0;
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &depth));
+  return static_cast<size_t>(depth);
+}
+
+}  // namespace rrq::net

@@ -1,0 +1,104 @@
+#ifndef RRQ_NET_QUEUE_WIRE_H_
+#define RRQ_NET_QUEUE_WIRE_H_
+
+#include <string>
+
+#include "net/transport.h"
+#include "queue/queue_api.h"
+#include "queue/queue_repository.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+// The queue-service byte protocol: how a clerk's QueueApi calls are
+// serialized for any transport (the simulated comm::Network or a real
+// TCP connection to an rrqd daemon). One opcode byte, then the queue
+// name, then per-op fields; replies carry an app-level Status followed
+// by the result payload. Decoders fail closed — truncated or invalid
+// bytes yield Corruption/InvalidArgument, never undefined behavior —
+// because on a real socket this is the trust boundary.
+
+constexpr unsigned char kOpRegister = 1;
+constexpr unsigned char kOpDeregister = 2;
+constexpr unsigned char kOpEnqueue = 3;
+constexpr unsigned char kOpDequeue = 4;
+constexpr unsigned char kOpRead = 5;
+constexpr unsigned char kOpKill = 6;
+// Admin extensions, used by out-of-process clients to provision their
+// reply queues on the daemon and to observe depths.
+constexpr unsigned char kOpCreateQueue = 7;
+constexpr unsigned char kOpDepth = 8;
+
+void EncodeElement(const queue::Element& e, std::string* out);
+Status DecodeElement(Slice* input, queue::Element* e);
+void EncodeQueueOptions(const queue::QueueOptions& options, std::string* out);
+Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options);
+
+/// Serves the byte protocol against a local repository. This is the
+/// whole server side of the protocol: the simulated QueueService and
+/// the rrqd daemon's TCP loop both delegate here, so every transport
+/// speaks identical bytes. At-most-once per message, no retry or
+/// deduplication — the uncertainty on failure is the client
+/// protocol's to resolve (§2).
+class QueueServiceDispatcher {
+ public:
+  /// `repo` is not owned and must outlive the dispatcher.
+  explicit QueueServiceDispatcher(queue::QueueRepository* repo) : repo_(repo) {}
+
+  /// Decodes one request and executes it. Malformed requests return
+  /// Corruption/InvalidArgument with `*reply` untouched; well-formed
+  /// requests return OK with the app-level status encoded inside
+  /// `*reply`.
+  Status Handle(const Slice& request, std::string* reply);
+
+ private:
+  queue::QueueRepository* repo_;
+};
+
+/// queue::QueueApi over any Channel speaking the byte protocol — the
+/// client side, shared by the simulated comm::RemoteQueueApi and the
+/// TCP-backed TcpRemoteQueueApi. Transport failures surface as
+/// Unavailable; the clerk resolves the resulting uncertainty through
+/// reconnection and persistent registration, never blind retry.
+class ChannelQueueApi final : public queue::QueueApi {
+ public:
+  /// `channel` is not owned and must outlive this object.
+  explicit ChannelQueueApi(Channel* channel) : channel_(channel) {}
+
+  Result<queue::RegistrationInfo> Register(const std::string& queue,
+                                           const std::string& registrant,
+                                           bool stable) override;
+  Status Deregister(const std::string& queue,
+                    const std::string& registrant) override;
+  Result<queue::ElementId> Enqueue(const std::string& queue,
+                                   const Slice& contents, uint32_t priority,
+                                   const std::string& registrant,
+                                   const Slice& tag, bool one_way) override;
+  Result<queue::Element> Dequeue(const std::string& queue,
+                                 const std::string& registrant,
+                                 const Slice& tag,
+                                 uint64_t timeout_micros) override;
+  Result<queue::Element> Read(const std::string& queue,
+                              queue::ElementId eid) override;
+  Result<bool> KillElement(const std::string& queue,
+                           queue::ElementId eid) override;
+
+  // ---- Admin extensions (not part of QueueApi) ----------------------
+
+  /// Creates `queue` on the remote repository (a remote client's only
+  /// way to provision its private reply queue).
+  Status CreateQueue(const std::string& queue,
+                     const queue::QueueOptions& options = {});
+  Result<size_t> Depth(const std::string& queue);
+
+ private:
+  Status CallService(const std::string& request, std::string* payload);
+
+  Channel* channel_;
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_QUEUE_WIRE_H_

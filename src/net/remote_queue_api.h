@@ -1,0 +1,70 @@
+#ifndef RRQ_NET_REMOTE_QUEUE_API_H_
+#define RRQ_NET_REMOTE_QUEUE_API_H_
+
+#include <string>
+
+#include "net/queue_wire.h"
+#include "net/tcp_transport.h"
+#include "queue/queue_api.h"
+
+namespace rrq::net {
+
+/// queue::QueueApi over a real TCP connection to an rrqd daemon. The
+/// clerk/ReliableClient code runs unmodified against this: transport
+/// failures surface as Unavailable, and the client protocol resolves
+/// the resulting §2 uncertainty through reconnection and persistent
+/// registration. Owns its channel — one clerk, one connection, which
+/// keeps calls serialized without wire-level request ids.
+class TcpRemoteQueueApi final : public queue::QueueApi {
+ public:
+  explicit TcpRemoteQueueApi(TcpChannelOptions options)
+      : channel_(std::move(options)), api_(&channel_) {}
+
+  Result<queue::RegistrationInfo> Register(const std::string& queue,
+                                           const std::string& registrant,
+                                           bool stable) override {
+    return api_.Register(queue, registrant, stable);
+  }
+  Status Deregister(const std::string& queue,
+                    const std::string& registrant) override {
+    return api_.Deregister(queue, registrant);
+  }
+  Result<queue::ElementId> Enqueue(const std::string& queue,
+                                   const Slice& contents, uint32_t priority,
+                                   const std::string& registrant,
+                                   const Slice& tag, bool one_way) override {
+    return api_.Enqueue(queue, contents, priority, registrant, tag, one_way);
+  }
+  Result<queue::Element> Dequeue(const std::string& queue,
+                                 const std::string& registrant,
+                                 const Slice& tag,
+                                 uint64_t timeout_micros) override {
+    return api_.Dequeue(queue, registrant, tag, timeout_micros);
+  }
+  Result<queue::Element> Read(const std::string& queue,
+                              queue::ElementId eid) override {
+    return api_.Read(queue, eid);
+  }
+  Result<bool> KillElement(const std::string& queue,
+                           queue::ElementId eid) override {
+    return api_.KillElement(queue, eid);
+  }
+
+  /// Provisions `queue` on the daemon (a remote client's only way to
+  /// create its private reply queue).
+  Status CreateQueue(const std::string& queue,
+                     const queue::QueueOptions& options = {}) {
+    return api_.CreateQueue(queue, options);
+  }
+  Result<size_t> Depth(const std::string& queue) { return api_.Depth(queue); }
+
+  TcpChannel* channel() { return &channel_; }
+
+ private:
+  TcpChannel channel_;
+  ChannelQueueApi api_;
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_REMOTE_QUEUE_API_H_

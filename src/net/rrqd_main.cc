@@ -1,0 +1,207 @@
+// rrqd — the recoverable-request queue daemon.
+//
+// Hosts a durable queue repository (plus a transaction manager and a
+// demo KvStore-backed request server) and serves the queue-service
+// byte protocol over TCP, so clerks in *other processes* run the
+// paper's client protocol against a queue manager that really can be
+// killed and restarted out from under them. All state lives under
+// --dir; a restart with the same --dir recovers it from the WALs.
+//
+//   rrqd --dir /var/lib/rrqd [--host 127.0.0.1] [--port 0]
+//        [--threads 2] [--request-queue requests] [--no-server]
+//
+// --port 0 binds an ephemeral port; the actual address is announced on
+// stdout as "rrqd: listening on <host>:<port> (pid <pid>)". The
+// built-in server executes each request transactionally: it increments
+// a per-rid execution counter in the KvStore and replies
+// "done:<rid>:<count>" — so a post-mortem inspection of the store
+// reveals exactly how many times each request executed, which is what
+// the cross-process exactly-once test verifies.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "env/env.h"
+#include "net/queue_wire.h"
+#include "net/tcp_transport.h"
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+#include "server/server.h"
+#include "storage/kv_store.h"
+#include "txn/txn_manager.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*sig*/) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dir <state-dir> [--host H] [--port P] "
+               "[--threads N] [--request-queue NAME] [--no-server]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrq;
+
+  std::string dir;
+  std::string host = "127.0.0.1";
+  std::string request_queue = "requests";
+  int port = 0;
+  int threads = 1;
+  bool run_server = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--request-queue") {
+      request_queue = next();
+    } else if (arg == "--no-server") {
+      run_server = false;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (dir.empty() || port < 0 || port > 65535 || threads < 1) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  env::Env* env = env::Env::Default();
+  for (const char* sub : {"", "/txn", "/qm", "/db"}) {
+    Status s = env->CreateDirIfMissing(dir + sub);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rrqd: cannot create %s%s: %s\n", dir.c_str(), sub,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Durable backend: coordinator, queue repository, and the demo
+  // server's database, all recovering from WALs under --dir.
+  txn::TxnManagerOptions txn_options;
+  txn_options.env = env;
+  txn_options.dir = dir + "/txn";
+  txn::TransactionManager txn_mgr(txn_options);
+  if (Status s = txn_mgr.Open(); !s.ok()) {
+    std::fprintf(stderr, "rrqd: txn manager: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  queue::RepositoryOptions repo_options;
+  repo_options.env = env;
+  repo_options.dir = dir + "/qm";
+  repo_options.in_doubt_resolver = [&txn_mgr](txn::TxnId id) {
+    return txn_mgr.WasCommitted(id);
+  };
+  queue::QueueRepository repo("qm", repo_options);
+  if (Status s = repo.Open(); !s.ok()) {
+    std::fprintf(stderr, "rrqd: repository: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = repo.CreateQueue(request_queue);
+      !s.ok() && !s.IsAlreadyExists()) {
+    std::fprintf(stderr, "rrqd: create queue: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  storage::KvStoreOptions db_options;
+  db_options.env = env;
+  db_options.dir = dir + "/db";
+  db_options.in_doubt_resolver = [&txn_mgr](txn::TxnId id) {
+    return txn_mgr.WasCommitted(id);
+  };
+  storage::KvStore db("db", db_options);
+  if (Status s = db.Open(); !s.ok()) {
+    std::fprintf(stderr, "rrqd: kv store: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The demo back end: count executions per rid, transactionally with
+  // the dequeue/reply, so every request's execution count is exactly
+  // the number of committed server transactions that processed it.
+  std::unique_ptr<server::Server> server;
+  if (run_server) {
+    server::ServerOptions server_options;
+    server_options.name = "rrqd-server";
+    server_options.request_queue = request_queue;
+    server_options.threads = threads;
+    server = std::make_unique<server::Server>(
+        server_options, &repo, &txn_mgr,
+        [&db](txn::Transaction* t,
+              const queue::RequestEnvelope& request) -> Result<std::string> {
+          const std::string key = "exec/" + request.rid;
+          uint64_t count = 0;
+          auto prior = db.GetForUpdate(t, key);
+          if (prior.ok()) {
+            count = std::strtoull(prior->c_str(), nullptr, 10);
+          } else if (!prior.status().IsNotFound()) {
+            return prior.status();
+          }
+          ++count;
+          RRQ_RETURN_IF_ERROR(db.Put(t, key, std::to_string(count)));
+          return "done:" + request.rid + ":" + std::to_string(count);
+        });
+    if (Status s = server->Start(); !s.ok()) {
+      std::fprintf(stderr, "rrqd: server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  net::QueueServiceDispatcher dispatcher(&repo);
+  net::TcpServerOptions tcp_options;
+  tcp_options.bind_address = host;
+  tcp_options.port = static_cast<uint16_t>(port);
+  net::TcpServer tcp(tcp_options,
+                     [&dispatcher](const Slice& request, std::string* reply) {
+                       return dispatcher.Handle(request, reply);
+                     });
+  if (Status s = tcp.Start(); !s.ok()) {
+    std::fprintf(stderr, "rrqd: listen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("rrqd: listening on %s:%u (pid %d)\n", host.c_str(),
+              static_cast<unsigned>(tcp.port()), static_cast<int>(getpid()));
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("rrqd: shutting down\n");
+  std::fflush(stdout);
+  tcp.Stop();
+  if (server != nullptr) server->Stop();
+  return 0;
+}

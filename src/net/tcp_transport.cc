@@ -1,0 +1,423 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace rrq::net {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Waits until `fd` is ready for `events` or `deadline_micros` (steady
+// clock) passes. OK / TimedOut / IOError.
+Status PollFd(int fd, short events, uint64_t deadline_micros) {
+  while (true) {
+    const uint64_t now = NowMicros();
+    if (now >= deadline_micros) return Status::TimedOut("poll deadline");
+    pollfd pfd{fd, events, 0};
+    const int timeout_ms =
+        static_cast<int>((deadline_micros - now + 999) / 1000);
+    const int n = poll(&pfd, 1, timeout_ms);
+    if (n > 0) return Status::OK();
+    if (n == 0) return Status::TimedOut("poll deadline");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpServer
+
+TcpServer::TcpServer(TcpServerOptions options, RpcHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+
+  sockaddr_in addr;
+  RRQ_RETURN_IF_ERROR(MakeAddr(options_.bind_address, options_.port, &addr));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // Connection sockets a killed predecessor left in TIME_WAIT must not
+  // block rebinding the listener — a restarted daemon reclaims its port.
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind " + options_.bind_address + ":" +
+                     std::to_string(options_.port));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, options_.backlog) != 0) {
+    Status s = Errno("listen");
+    close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Errno("getsockname");
+    close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  listen_fd_.store(fd);
+  running_.store(true);
+  acceptor_ = std::thread([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Unblock accept(), then unblock every connection's recv().
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    shutdown(listen_fd, SHUT_RDWR);
+    close(listen_fd);
+  }
+  {
+    std::lock_guard<std::mutex> guard(conn_mu_);
+    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> guard(conn_mu_);
+    workers.swap(conn_threads_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed by Stop() (or fatal: stop accepting).
+    }
+    if (!running_.load()) {
+      close(fd);
+      return;
+    }
+    SetNoDelay(fd);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd]() { ConnectionLoop(fd); });
+  }
+}
+
+void TcpServer::ConnectionLoop(int fd) {
+  FrameReader reader;
+  char buf[16384];
+  bool protocol_error = false;
+
+  while (running_.load() && !protocol_error) {
+    // Drain every complete frame already buffered.
+    std::string payload;
+    while (true) {
+      Status next = reader.Next(&payload);
+      if (next.IsNotFound()) break;
+      if (!next.ok()) {  // Corrupt frame: drop the connection.
+        protocol_error = true;
+        break;
+      }
+      if (payload.empty()) {  // No message kind byte.
+        protocol_error = true;
+        break;
+      }
+      const unsigned char kind = static_cast<unsigned char>(payload[0]);
+      const Slice request(payload.data() + 1, payload.size() - 1);
+      if (kind == kMsgCall) {
+        std::string reply;
+        const Status handled = handler_(request, &reply);
+        std::string out;
+        EncodeStatus(handled, &out);
+        out.append(reply);
+        std::string framed;
+        AppendFrame(&framed, out);
+        // Count before sending: a caller that has its reply in hand
+        // must observe the counter already bumped.
+        served_.fetch_add(1, std::memory_order_relaxed);
+        size_t sent = 0;
+        while (sent < framed.size()) {
+          const ssize_t n = send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+          if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            protocol_error = true;  // Peer gone; nothing left to do.
+            break;
+          }
+          sent += static_cast<size_t>(n);
+        }
+        if (protocol_error) break;
+      } else if (kind == kMsgOneWay) {
+        std::string ignored;
+        handler_(request, &ignored);
+        served_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        protocol_error = true;
+        break;
+      }
+    }
+    if (protocol_error) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // Clean close must not leave a partial frame behind.
+      if (!reader.AtEnd().ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Reset/shutdown: connection is gone.
+    }
+    reader.Feed(Slice(buf, static_cast<size_t>(n)));
+  }
+  close(fd);
+  std::lock_guard<std::mutex> guard(conn_mu_);
+  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+    if (*it == fd) {
+      conn_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpChannel
+
+TcpChannel::TcpChannel(TcpChannelOptions options)
+    : options_(std::move(options)) {}
+
+TcpChannel::~TcpChannel() { Close(); }
+
+void TcpChannel::Close() {
+  std::lock_guard<std::mutex> guard(mu_);
+  CloseLocked();
+}
+
+void TcpChannel::CloseLocked() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader();
+}
+
+Status TcpChannel::ConnectOnceLocked() {
+  sockaddr_in addr;
+  RRQ_RETURN_IF_ERROR(MakeAddr(options_.host, options_.port, &addr));
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  // Non-blocking connect so the attempt honors the connect deadline.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const uint64_t deadline = NowMicros() + options_.connect_timeout_micros;
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    Status ready = PollFd(fd, POLLOUT, deadline);
+    if (!ready.ok()) {
+      close(fd);
+      return ready.IsTimedOut() ? Status::TimedOut("connect timed out")
+                                : ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close(fd);
+      return Status::IOError("connect: " + std::string(std::strerror(err)));
+    }
+  } else if (rc != 0) {
+    Status s = Errno("connect");
+    close(fd);
+    return s;
+  }
+  fcntl(fd, F_SETFL, flags);
+  SetNoDelay(fd);
+  fd_ = fd;
+  reader_ = FrameReader();
+  connects_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TcpChannel::EnsureConnectedLocked() {
+  if (fd_ >= 0) return Status::OK();
+  // Reconnect-with-backoff, bounded. This is the only retry loop in
+  // the transport, and it runs strictly before any request bytes are
+  // sent — so it can never duplicate a request.
+  uint64_t backoff = options_.backoff_initial_micros;
+  Status last = Status::Unavailable("no connect attempts made");
+  for (int attempt = 0; attempt < options_.max_connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff = std::min(backoff * 2, options_.backoff_max_micros);
+    }
+    last = ConnectOnceLocked();
+    if (last.ok()) return last;
+    if (last.IsInvalidArgument()) return last;  // Bad address: hopeless.
+  }
+  return Status::Unavailable("connect to " + options_.host + ":" +
+                             std::to_string(options_.port) + " failed: " +
+                             last.ToString());
+}
+
+Status TcpChannel::SendAllLocked(const Slice& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable("send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpChannel::ReadReplyLocked(std::string* payload) {
+  const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
+  char buf[16384];
+  while (true) {
+    Status next = reader_.Next(payload);
+    if (next.ok()) return next;
+    if (next.IsCorruption()) return next;  // Protocol violation: loud.
+    Status ready = PollFd(fd_, POLLIN, deadline);
+    if (!ready.ok()) {
+      if (ready.IsTimedOut()) {
+        // A straggler reply may still arrive on this stream, so the
+        // connection cannot be reused; the caller closes it.
+        return Status::Unavailable("call deadline exceeded");
+      }
+      return Status::Unavailable("poll failed: " + ready.ToString());
+    }
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // EOF before the reply completed: the server died with our
+      // request possibly executed — the §2 uncertainty. A torn frame
+      // (Corruption from AtEnd) and a clean mid-call close look the
+      // same to the clerk: Unavailable, resolve via reconnect.
+      Status torn = reader_.AtEnd();
+      return Status::Unavailable(torn.ok()
+                                     ? "connection closed before reply"
+                                     : "connection torn mid-reply: " +
+                                           torn.ToString());
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    reader_.Feed(Slice(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status TcpChannel::Call(const Slice& request, std::string* reply) {
+  std::lock_guard<std::mutex> guard(mu_);
+  RRQ_RETURN_IF_ERROR(EnsureConnectedLocked());
+
+  std::string framed;
+  {
+    std::string payload;
+    payload.push_back(static_cast<char>(kMsgCall));
+    payload.append(request.data(), request.size());
+    AppendFrame(&framed, payload);
+  }
+  Status s = SendAllLocked(framed);
+  if (!s.ok()) {
+    CloseLocked();
+    return s;
+  }
+  std::string wire;
+  s = ReadReplyLocked(&wire);
+  if (!s.ok()) {
+    CloseLocked();
+    return s;
+  }
+  // [handler status][reply bytes], exactly like the simulated network
+  // propagating a handler's return value.
+  Slice input(wire);
+  Status handled = DecodeStatus(&input);
+  if (!handled.ok()) return handled;
+  reply->assign(input.data(), input.size());
+  return Status::OK();
+}
+
+Status TcpChannel::SendOneWay(const Slice& message) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Status s = EnsureConnectedLocked();
+  if (s.ok()) {
+    std::string framed;
+    std::string payload;
+    payload.push_back(static_cast<char>(kMsgOneWay));
+    payload.append(message.data(), message.size());
+    AppendFrame(&framed, payload);
+    s = SendAllLocked(framed);
+    if (!s.ok()) CloseLocked();
+  }
+  if (!s.ok()) {
+    // Lost, like any dropped one-way message: no failure signal (§5) —
+    // the sender finds out through a Receive timeout, by design.
+    one_ways_lost_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace rrq::net

@@ -1,0 +1,153 @@
+#ifndef RRQ_NET_TCP_TRANSPORT_H_
+#define RRQ_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+// RPC convention on top of the frame layer: a request frame's payload
+// is [1-byte kind][request bytes]. kCall expects exactly one reply
+// frame back, whose payload is [EncodeStatus(handler result)][reply
+// bytes] — mirroring the simulated Network, where a handler's non-OK
+// return reaches the caller as the Call result. kOneWay expects no
+// reply at all. Calls on one connection are strictly serialized
+// (request, then its reply), so no ids are needed on the wire; for
+// concurrency, open one channel per clerk, as the paper's client
+// model already prescribes.
+constexpr unsigned char kMsgCall = 1;
+constexpr unsigned char kMsgOneWay = 2;
+
+struct TcpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result from port().
+  uint16_t port = 0;
+  int backlog = 64;
+};
+
+/// Serves an RpcHandler over TCP: a listener thread accepts
+/// connections, and each connection gets a worker thread running the
+/// frame/RPC protocol until the peer disconnects or violates it.
+/// Stop() (and the destructor) shuts down the listener and every
+/// connection and joins all threads.
+class TcpServer {
+ public:
+  TcpServer(TcpServerOptions options, RpcHandler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. IOError when the address
+  /// cannot be bound.
+  Status Start();
+  void Stop();
+
+  /// The actually bound port (resolves port 0 after Start()).
+  uint16_t port() const { return port_; }
+
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for sending invalid frames or unknown
+  /// message kinds.
+  uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  TcpServerOptions options_;
+  RpcHandler handler_;
+  std::atomic<bool> running_{false};
+  // Atomic: Stop() clears it concurrently with the acceptor thread's
+  // reads (closing the fd is what unblocks that thread's accept()).
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+struct TcpChannelOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Deadline on each TCP connect attempt.
+  uint64_t connect_timeout_micros = 1'000'000;
+  /// Deadline on a whole Call (send + wait for the reply frame). Must
+  /// exceed the longest server-side blocking operation (a Dequeue's
+  /// wait timeout rides inside the request, not the transport).
+  uint64_t call_timeout_micros = 15'000'000;
+  /// Bounded reconnect: attempts per Call at establishing a
+  /// connection, with exponential backoff between attempts. Only
+  /// connecting retries — a request whose bytes may have reached the
+  /// server is never resent (§2: its fate is resolved by the client
+  /// protocol, not the transport).
+  int max_connect_attempts = 10;
+  uint64_t backoff_initial_micros = 2'000;
+  uint64_t backoff_max_micros = 250'000;
+};
+
+/// Client connection to a TcpServer. Connects lazily on first use and
+/// reconnects (with backoff, bounded) whenever a Call finds the
+/// channel disconnected. Thread-safe; calls are serialized.
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(TcpChannelOptions options);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  Status Call(const Slice& request, std::string* reply) override;
+
+  /// Best effort: a one-way message that cannot be sent is silently
+  /// lost (the §5 contract — no failure signal exists for it).
+  Status SendOneWay(const Slice& message) override;
+
+  /// Drops the connection; the next Call reconnects.
+  void Close();
+
+  uint64_t connects() const { return connects_.load(std::memory_order_relaxed); }
+  uint64_t one_ways_lost() const {
+    return one_ways_lost_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // All Locked methods require mu_ held.
+  Status EnsureConnectedLocked();
+  Status ConnectOnceLocked();
+  Status SendAllLocked(const Slice& data);
+  // Reads one reply frame within the call deadline. On any failure the
+  // connection is unusable; the caller must CloseLocked().
+  Status ReadReplyLocked(std::string* payload);
+  void CloseLocked();
+
+  TcpChannelOptions options_;
+  std::mutex mu_;
+  int fd_ = -1;
+  FrameReader reader_;
+  std::atomic<uint64_t> connects_{0};
+  std::atomic<uint64_t> one_ways_lost_{0};
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,47 @@
+#ifndef RRQ_NET_TRANSPORT_H_
+#define RRQ_NET_TRANSPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+/// Server-side request handler — the same shape as the simulated
+/// comm::Network::Handler, so one service implementation (the queue
+/// service dispatcher) serves both transports.
+using RpcHandler =
+    std::function<Status(const Slice& request, std::string* reply)>;
+
+/// Client side of one logical connection to a service. Two
+/// implementations: TcpChannel (a real socket) and the simulated
+/// network's channel inside comm::RemoteQueueApi — tests and
+/// deployments swap them under the same clerk code.
+///
+/// The failure contract is the paper's §2 uncertainty, on both
+/// transports: when Call fails with Unavailable, the request MAY have
+/// executed at the server (the reply was lost, the connection died
+/// mid-exchange, ...). Implementations therefore never resend a
+/// request whose bytes may already have reached the server — the
+/// caller resolves the in-doubt outcome through reconnection and
+/// persistent registration, never blind retry.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// At-most-once RPC: delivers `request`, returns the handler's
+  /// status, and fills `*reply` with the handler's reply bytes on OK.
+  /// Unavailable on any connectivity failure.
+  virtual Status Call(const Slice& request, std::string* reply) = 0;
+
+  /// Fire-and-forget message (§5's one-way Send): no acknowledgement,
+  /// no failure signal — a lost message surfaces later as a Receive
+  /// timeout, by design.
+  virtual Status SendOneWay(const Slice& message) = 0;
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_TRANSPORT_H_

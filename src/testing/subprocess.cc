@@ -1,0 +1,157 @@
+#include "testing/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace rrq::testing {
+
+namespace {
+
+uint64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Subprocess::~Subprocess() {
+  if (Running()) {
+    ::kill(pid_, SIGKILL);
+    (void)Wait();
+  }
+  CloseOut();
+}
+
+void Subprocess::CloseOut() {
+  if (out_fd_ >= 0) {
+    ::close(out_fd_);
+    out_fd_ = -1;
+  }
+}
+
+Status Subprocess::Spawn(const std::vector<std::string>& argv) {
+  if (Running()) return Status::FailedPrecondition("child already running");
+  if (argv.empty()) return Status::InvalidArgument("empty argv");
+  CloseOut();
+  buffer_.clear();
+  reaped_ = false;
+  wait_status_ = 0;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  const int pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::IOError("fork: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec. Only async-signal-safe calls
+    // between fork and exec.
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    ::execv(c_argv[0], c_argv.data());
+    // exec failed; report on the (redirected) stdout and die hard.
+    const char msg[] = "subprocess: exec failed\n";
+    ssize_t ignored = ::write(STDOUT_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+    ::_exit(127);
+  }
+
+  ::close(pipe_fds[1]);
+  pid_ = pid;
+  out_fd_ = pipe_fds[0];
+  return Status::OK();
+}
+
+Result<std::string> Subprocess::WaitForLine(const std::string& token,
+                                            uint64_t timeout_micros) {
+  if (out_fd_ < 0) return Status::FailedPrecondition("no child stdout");
+  const uint64_t deadline = NowMicros() + timeout_micros;
+  bool eof = false;
+  for (;;) {
+    // Consume complete lines already buffered; non-matching lines are
+    // discarded (the callers wait for markers in order).
+    size_t nl;
+    while ((nl = buffer_.find('\n')) != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (line.find(token) != std::string::npos) return line;
+    }
+    if (eof) return Status::Unavailable("child closed stdout");
+
+    const uint64_t now = NowMicros();
+    if (now >= deadline) {
+      return Status::TimedOut("no \"" + token + "\" line from child");
+    }
+    struct pollfd pfd;
+    pfd.fd = out_fd_;
+    pfd.events = POLLIN;
+    const int timeout_ms =
+        static_cast<int>((deadline - now + 999) / 1000);
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::TimedOut("no \"" + token + "\" line from child");
+    }
+    char chunk[4096];
+    const ssize_t r = ::read(out_fd_, chunk, sizeof(chunk));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read: " + std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      eof = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<size_t>(r));
+  }
+}
+
+Status Subprocess::Signal(int sig) {
+  if (pid_ <= 0) return Status::FailedPrecondition("no child");
+  if (::kill(pid_, sig) != 0) {
+    return Status::IOError("kill: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<int> Subprocess::Wait() {
+  if (pid_ <= 0) return Status::FailedPrecondition("no child");
+  if (reaped_) return wait_status_;
+  int status = 0;
+  for (;;) {
+    const int r = ::waitpid(pid_, &status, 0);
+    if (r == pid_) break;
+    if (r < 0 && errno == EINTR) continue;
+    return Status::IOError("waitpid: " + std::string(std::strerror(errno)));
+  }
+  reaped_ = true;
+  wait_status_ = status;
+  CloseOut();
+  return status;
+}
+
+}  // namespace rrq::testing

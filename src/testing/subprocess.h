@@ -1,0 +1,58 @@
+#ifndef RRQ_TESTING_SUBPROCESS_H_
+#define RRQ_TESTING_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rrq::testing {
+
+/// A child process whose stdout we can watch — the process-level
+/// failure injector for out-of-process tests: spawn a real rrqd, wait
+/// for its "listening" line, SIGKILL it mid-workload, respawn it, and
+/// let recovery prove itself. No PTY, no shell; stdout is a pipe read
+/// incrementally with a deadline.
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// fork+exec `argv` (argv[0] is the binary path) with stdout
+  /// redirected into our pipe. FailedPrecondition if already running.
+  Status Spawn(const std::vector<std::string>& argv);
+
+  /// Reads stdout until a line containing `token` appears; the line is
+  /// returned. TimedOut on deadline, Unavailable when the child closes
+  /// stdout (exits) first. Previously buffered lines are consulted
+  /// first, so a line is never missed by arriving "too early".
+  Result<std::string> WaitForLine(const std::string& token,
+                                  uint64_t timeout_micros);
+
+  /// Sends `sig` (e.g. SIGKILL, SIGTERM) to the child.
+  Status Signal(int sig);
+
+  /// Reaps the child; returns its raw wait() status. Idempotent.
+  Result<int> Wait();
+
+  bool Running() const { return pid_ > 0 && !reaped_; }
+  int pid() const { return pid_; }
+
+ private:
+  void CloseOut();
+
+  int pid_ = -1;
+  int out_fd_ = -1;
+  bool reaped_ = false;
+  int wait_status_ = 0;
+  /// Stdout bytes read but not yet consumed by WaitForLine.
+  std::string buffer_;
+};
+
+}  // namespace rrq::testing
+
+#endif  // RRQ_TESTING_SUBPROCESS_H_

@@ -1,0 +1,169 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace rrq::net {
+namespace {
+
+TEST(FrameTest, RoundTripSingleFrame) {
+  std::string wire;
+  AppendFrame(&wire, "hello queue");
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + 11);
+
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&payload).ok());
+  EXPECT_EQ(payload, "hello queue");
+  EXPECT_TRUE(reader.Next(&payload).IsNotFound());
+  EXPECT_TRUE(reader.AtEnd().ok());
+}
+
+TEST(FrameTest, RoundTripEmptyPayload) {
+  std::string wire;
+  AppendFrame(&wire, "");
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload = "sentinel";
+  ASSERT_TRUE(reader.Next(&payload).ok());
+  EXPECT_TRUE(payload.empty());
+  EXPECT_TRUE(reader.AtEnd().ok());
+}
+
+TEST(FrameTest, ManyFramesByteAtATime) {
+  std::string wire;
+  std::vector<std::string> sent;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(std::string(i * 7, static_cast<char>('a' + i)));
+    AppendFrame(&wire, sent.back());
+  }
+
+  FrameReader reader;
+  std::vector<std::string> received;
+  for (char c : wire) {
+    reader.Feed(Slice(&c, 1));
+    std::string payload;
+    Status s = reader.Next(&payload);
+    if (s.ok()) {
+      received.push_back(payload);
+    } else {
+      ASSERT_TRUE(s.IsNotFound()) << s.ToString();
+    }
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_TRUE(reader.AtEnd().ok());
+}
+
+TEST(FrameTest, IncompleteFrameIsNotFoundThenTornAtEnd) {
+  std::string wire;
+  AppendFrame(&wire, "partially delivered");
+
+  FrameReader reader;
+  reader.Feed(Slice(wire.data(), wire.size() - 1));
+  std::string payload;
+  EXPECT_TRUE(reader.Next(&payload).IsNotFound());
+  // The peer hangs up here: a torn frame.
+  EXPECT_TRUE(reader.AtEnd().IsCorruption());
+}
+
+TEST(FrameTest, BitFlipInPayloadIsCorruption) {
+  std::string wire;
+  AppendFrame(&wire, "checksummed payload");
+  wire[kFrameHeaderSize + 3] ^= 0x40;
+
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  EXPECT_TRUE(reader.Next(&payload).IsCorruption());
+}
+
+TEST(FrameTest, BitFlipInCrcIsCorruption) {
+  std::string wire;
+  AppendFrame(&wire, "checksummed payload");
+  wire[5] ^= 0x01;  // inside the masked-CRC field
+
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  EXPECT_TRUE(reader.Next(&payload).IsCorruption());
+}
+
+TEST(FrameTest, OversizedLengthIsCorruptionWithoutAllocation) {
+  std::string wire;
+  util::PutFixed32(&wire, kMaxFramePayload + 1);
+  util::PutFixed32(&wire, 0xdeadbeef);
+
+  FrameReader reader;
+  reader.Feed(wire);
+  std::string payload;
+  EXPECT_TRUE(reader.Next(&payload).IsCorruption());
+}
+
+TEST(FrameTest, PoisonedReaderStaysPoisoned) {
+  std::string bad;
+  AppendFrame(&bad, "frame one");
+  bad[kFrameHeaderSize] ^= 0xff;
+
+  FrameReader reader;
+  reader.Feed(bad);
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&payload).IsCorruption());
+
+  // Even a perfectly good frame after the bad one must not decode: the
+  // stream cannot be resynchronized.
+  std::string good;
+  AppendFrame(&good, "frame two");
+  reader.Feed(good);
+  EXPECT_TRUE(reader.Next(&payload).IsCorruption());
+  EXPECT_TRUE(reader.AtEnd().IsCorruption());
+}
+
+TEST(FrameTest, RandomGarbageNeverDecodes) {
+  util::Rng rng(301);
+  int decoded = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const int len = 1 + rng.Uniform(64);
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    FrameReader reader;
+    reader.Feed(garbage);
+    std::string payload;
+    Status s = reader.Next(&payload);
+    // A random 4-byte CRC match is a ~2^-32 event; treat any decode as
+    // a bug in practice.
+    if (s.ok()) ++decoded;
+    EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsCorruption()) << s.ToString();
+  }
+  EXPECT_EQ(decoded, 0);
+}
+
+TEST(FrameTest, StatusCodecRoundTrip) {
+  for (const Status& original :
+       {Status::OK(), Status::NotFound("nf"), Status::Unavailable("net down"),
+        Status::Corruption("bad bytes")}) {
+    std::string wire;
+    EncodeStatus(original, &wire);
+    Slice input(wire);
+    Status decoded = DecodeStatus(&input);
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(FrameTest, StatusCodecRejectsInvalidCode) {
+  std::string wire;
+  util::PutVarint32(&wire, 200);  // out of StatusCode range
+  util::PutLengthPrefixed(&wire, "msg");
+  Slice input(wire);
+  EXPECT_TRUE(DecodeStatus(&input).IsCorruption());
+}
+
+}  // namespace
+}  // namespace rrq::net

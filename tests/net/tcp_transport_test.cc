@@ -1,0 +1,225 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+
+namespace rrq::net {
+namespace {
+
+TcpChannelOptions ChannelTo(uint16_t port) {
+  TcpChannelOptions options;
+  options.port = port;
+  options.max_connect_attempts = 3;
+  options.backoff_initial_micros = 1'000;
+  return options;
+}
+
+TEST(TcpTransportTest, CallRoundTrip) {
+  TcpServer server({}, [](const Slice& request, std::string* reply) {
+    reply->assign("echo:" + request.ToString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  TcpChannel channel(ChannelTo(server.port()));
+  std::string reply;
+  ASSERT_TRUE(channel.Call("ping", &reply).ok());
+  EXPECT_EQ(reply, "echo:ping");
+  ASSERT_TRUE(channel.Call("pong", &reply).ok());
+  EXPECT_EQ(reply, "echo:pong");
+  EXPECT_EQ(channel.connects(), 1u);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(TcpTransportTest, HandlerErrorStatusPropagates) {
+  TcpServer server({}, [](const Slice& request, std::string* /*reply*/) {
+    return Status::NotFound("no queue " + request.ToString());
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannel channel(ChannelTo(server.port()));
+  std::string reply;
+  Status s = channel.Call("q1", &reply);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  // The connection survives an application-level error.
+  s = channel.Call("q2", &reply);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_EQ(channel.connects(), 1u);
+}
+
+TEST(TcpTransportTest, LargePayloadRoundTrip) {
+  TcpServer server({}, [](const Slice& request, std::string* reply) {
+    reply->assign(request.ToString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannel channel(ChannelTo(server.port()));
+  std::string big(1 << 20, 'x');
+  big[12345] = 'y';
+  std::string reply;
+  ASSERT_TRUE(channel.Call(big, &reply).ok());
+  EXPECT_EQ(reply, big);
+}
+
+TEST(TcpTransportTest, NoServerIsUnavailable) {
+  TcpServer probe({}, [](const Slice&, std::string*) { return Status::OK(); });
+  ASSERT_TRUE(probe.Start().ok());
+  const uint16_t dead_port = probe.port();
+  probe.Stop();
+
+  TcpChannel channel(ChannelTo(dead_port));
+  std::string reply;
+  Status s = channel.Call("ping", &reply);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(TcpTransportTest, ReconnectsAfterServerRestartOnSamePort) {
+  auto echo = [](const Slice& request, std::string* reply) {
+    reply->assign(request.ToString());
+    return Status::OK();
+  };
+  auto server = std::make_unique<TcpServer>(TcpServerOptions{}, echo);
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  TcpChannelOptions options = ChannelTo(port);
+  options.max_connect_attempts = 10;
+  TcpChannel channel(options);
+  std::string reply;
+  ASSERT_TRUE(channel.Call("one", &reply).ok());
+
+  // Server goes down: in-flight channel state is now garbage.
+  server->Stop();
+  server.reset();
+  Status s = channel.Call("two", &reply);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+
+  // Server comes back on the same port; the channel recovers by
+  // reconnecting on the next Call — never by resending "two".
+  TcpServerOptions restart_options;
+  restart_options.port = port;
+  server = std::make_unique<TcpServer>(restart_options, echo);
+  ASSERT_TRUE(server->Start().ok());
+
+  Status recovered = Status::Unavailable("never called");
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    recovered = channel.Call("three", &reply);
+    if (recovered.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  EXPECT_EQ(reply, "three");
+  EXPECT_GE(channel.connects(), 2u);
+}
+
+TEST(TcpTransportTest, OneWayIsDeliveredWithoutReply) {
+  std::atomic<int> one_ways{0};
+  TcpServer server({}, [&one_ways](const Slice& request, std::string* reply) {
+    if (request == Slice("oneway")) {
+      one_ways.fetch_add(1);
+    } else {
+      reply->assign("acked");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannel channel(ChannelTo(server.port()));
+  ASSERT_TRUE(channel.SendOneWay("oneway").ok());
+  // A Call on the same channel orders after the one-way frame, so once
+  // it returns the one-way has been handled.
+  std::string reply;
+  ASSERT_TRUE(channel.Call("sync", &reply).ok());
+  EXPECT_EQ(reply, "acked");
+  EXPECT_EQ(one_ways.load(), 1);
+  EXPECT_EQ(channel.one_ways_lost(), 0u);
+}
+
+TEST(TcpTransportTest, OneWayToDeadServerIsSilentlyLost) {
+  TcpServer probe({}, [](const Slice&, std::string*) { return Status::OK(); });
+  ASSERT_TRUE(probe.Start().ok());
+  const uint16_t dead_port = probe.port();
+  probe.Stop();
+
+  TcpChannel channel(ChannelTo(dead_port));
+  // §5 contract: no failure signal for a lost one-way.
+  EXPECT_TRUE(channel.SendOneWay("lost").ok());
+  EXPECT_EQ(channel.one_ways_lost(), 1u);
+}
+
+TEST(TcpTransportTest, CallDeadlineExpiresAsUnavailable) {
+  TcpServer server({}, [](const Slice&, std::string* reply) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    reply->assign("late");
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options = ChannelTo(server.port());
+  options.call_timeout_micros = 50'000;
+  TcpChannel channel(options);
+  std::string reply;
+  Status s = channel.Call("slow", &reply);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(TcpTransportTest, GarbageBytesDropTheConnection) {
+  TcpServer server({}, [](const Slice&, std::string* reply) {
+    reply->assign("ok");
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Raw socket spraying non-frame bytes at the server.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char garbage[] = "\xff\xff\xff\xff not a frame at all";
+  ASSERT_GT(send(fd, garbage, sizeof(garbage), 0), 0);
+
+  // The server must close on us (recv sees EOF), not crash or hang.
+  char buf[64];
+  ssize_t n = -1;
+  for (int i = 0; i < 100; ++i) {
+    n = recv(fd, buf, sizeof(buf), 0);
+    if (n >= 0) break;
+  }
+  EXPECT_EQ(n, 0);
+  close(fd);
+  EXPECT_GE(server.protocol_errors(), 1u);
+
+  // And keeps serving well-behaved clients.
+  TcpChannel channel(ChannelTo(server.port()));
+  std::string reply;
+  ASSERT_TRUE(channel.Call("still alive?", &reply).ok());
+  EXPECT_EQ(reply, "ok");
+}
+
+TEST(TcpTransportTest, InvalidAddressFailsFastWithoutRetry) {
+  TcpChannelOptions options;
+  options.host = "not-a-host-name";
+  options.port = 1;
+  TcpChannel channel(options);
+  std::string reply;
+  Status s = channel.Call("x", &reply);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace rrq::net
