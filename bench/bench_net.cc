@@ -1,18 +1,33 @@
-// E17: TCP transport — RPC round-trip latency and queue-op throughput
-// over a real socket, against the simulated in-process network as the
-// baseline.
+// E18 (supersedes E17): TCP transport — RPC latency and queue-op
+// throughput over a real socket, comparing three client models against
+// the same epoll-driven server:
+//
+//   serialized_v1   one v1 channel per clerk thread, one call in
+//                   flight per connection (the PR 3 protocol) — the
+//                   "before" baseline;
+//   shared_channel  every clerk thread issues synchronous calls on ONE
+//                   multiplexed v2 channel (demuxed by correlation id);
+//   pipelined       K asynchronous call chains in flight per channel ×
+//                   M channels, the wire kept full instead of idling a
+//                   round trip per op.
 //
 // An rrqd-equivalent service (TcpServer + QueueServiceDispatcher over
 // a volatile repository) runs in-process and is reached over loopback
-// TCP, so the numbers isolate the transport cost: framing, CRC,
-// syscalls, and loopback scheduling — no fsync in the loop. Latency is
-// measured as Depth() round trips on one channel; throughput as
-// Enqueue+Dequeue pairs from N concurrent channels (one per clerk
-// thread, each on a private queue, the paper's client model).
+// TCP, so the numbers isolate the transport: framing, CRC, syscalls,
+// scheduling — no fsync in the loop. Latency is measured as round
+// trips on one channel (p50/p99/p99.9); throughput as Enqueue+Dequeue
+// pairs, each clerk on a private queue (the paper's client model).
 //
-// Emits BENCH_net.json.
+// Each throughput point takes the best of three trials to damp loopback
+// scheduler noise (one trial under --smoke).
+//
+// Emits BENCH_net.json (full runs only; --smoke skips the write).
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,13 +44,16 @@ namespace {
 using namespace rrq;  // NOLINT
 using bench::Fmt;
 
-constexpr int kLatencyRounds = 2000;
-constexpr int kPairsPerThread = 2000;
+// Scaled down by --smoke (CI just proves the harness runs end to end).
+int latency_rounds = 2000;
+int pairs_per_clerk = 2000;
+int trials = 3;
 
 struct LatencyStats {
   double mean_micros = 0;
   double p50_micros = 0;
   double p99_micros = 0;
+  double p999_micros = 0;
 };
 
 LatencyStats Percentiles(std::vector<uint64_t> samples) {
@@ -46,8 +64,9 @@ LatencyStats Percentiles(std::vector<uint64_t> samples) {
   stats.mean_micros = sum / static_cast<double>(samples.size());
   std::sort(samples.begin(), samples.end());
   stats.p50_micros = static_cast<double>(samples[samples.size() / 2]);
-  stats.p99_micros =
-      static_cast<double>(samples[samples.size() * 99 / 100]);
+  stats.p99_micros = static_cast<double>(samples[samples.size() * 99 / 100]);
+  stats.p999_micros =
+      static_cast<double>(samples[samples.size() * 999 / 1000]);
   return stats;
 }
 
@@ -69,8 +88,8 @@ struct ReadProbe {
 template <typename Api>
 LatencyStats MeasureLatency(Api* api, const std::string& queue) {
   std::vector<uint64_t> samples;
-  samples.reserve(kLatencyRounds);
-  for (int i = 0; i < kLatencyRounds; ++i) {
+  samples.reserve(static_cast<size_t>(latency_rounds));
+  for (int i = 0; i < latency_rounds; ++i) {
     bench::Stopwatch watch;
     auto depth = api->Depth(queue);
     if (!depth.ok()) {
@@ -82,51 +101,190 @@ LatencyStats MeasureLatency(Api* api, const std::string& queue) {
   return Percentiles(std::move(samples));
 }
 
-double MeasureTcpThroughput(uint16_t port, int threads) {
+void Die(const char* what, const Status& status) {
+  fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+// Synchronous Enqueue+Dequeue pairs from `threads` clerks. With
+// `shared_channel` each clerk calls through one multiplexed v2
+// channel; otherwise each clerk owns a v1 channel (one call in flight
+// per connection — the serialized PR 3 model).
+double MeasureSyncThroughput(uint16_t port, int threads, bool shared_channel) {
+  net::TcpChannelOptions options;
+  options.port = port;
+  std::unique_ptr<net::TcpChannel> shared;
+  std::unique_ptr<net::ChannelQueueApi> shared_api;
+  if (shared_channel) {
+    shared = std::make_unique<net::TcpChannel>(options);
+    shared_api = std::make_unique<net::ChannelQueueApi>(shared.get());
+  } else {
+    options.max_protocol_version = net::kProtocolV1;
+  }
   std::vector<std::thread> workers;
   bench::Stopwatch watch;
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([port, t]() {
-      net::TcpChannelOptions options;
-      options.port = port;
-      net::TcpChannel channel(options);
-      net::ChannelQueueApi api(&channel);
+    workers.emplace_back([port, t, options, &shared_api]() {
+      std::unique_ptr<net::TcpChannel> own;
+      std::unique_ptr<net::ChannelQueueApi> own_api;
+      net::ChannelQueueApi* api = shared_api.get();
+      if (api == nullptr) {
+        own = std::make_unique<net::TcpChannel>(options);
+        own_api = std::make_unique<net::ChannelQueueApi>(own.get());
+        api = own_api.get();
+      }
       const std::string queue = "bench.t" + std::to_string(t);
       const std::string clerk = "clerk-" + std::to_string(t);
-      auto reg = api.Register(queue, clerk, /*stable=*/true);
-      if (!reg.ok()) {
-        fprintf(stderr, "register: %s\n", reg.status().ToString().c_str());
-        std::exit(1);
-      }
-      for (int i = 0; i < kPairsPerThread; ++i) {
-        auto eid = api.Enqueue(queue, "payload-0123456789", 0, clerk,
-                               "tag" + std::to_string(i), /*one_way=*/false);
-        if (!eid.ok()) {
-          fprintf(stderr, "enqueue: %s\n", eid.status().ToString().c_str());
-          std::exit(1);
-        }
-        auto element = api.Dequeue(queue, clerk, "tag" + std::to_string(i),
-                                   /*timeout_micros=*/1'000'000);
-        if (!element.ok()) {
-          fprintf(stderr, "dequeue: %s\n",
-                  element.status().ToString().c_str());
-          std::exit(1);
-        }
+      auto reg = api->Register(queue, clerk, /*stable=*/true);
+      if (!reg.ok()) Die("register", reg.status());
+      for (int i = 0; i < pairs_per_clerk; ++i) {
+        auto eid = api->Enqueue(queue, "payload-0123456789", 0, clerk,
+                                "tag" + std::to_string(i), /*one_way=*/false);
+        if (!eid.ok()) Die("enqueue", eid.status());
+        // Timeout 0: the element is already committed, and a nonzero
+        // wait would route every dequeue to the server's elastic
+        // blocking threads (a thread spawn per op) — this measures the
+        // transport, not long-poll parking.
+        auto element = api->Dequeue(queue, clerk, "tag" + std::to_string(i),
+                                    /*timeout_micros=*/0);
+        if (!element.ok()) Die("dequeue", element.status());
       }
     });
   }
   for (auto& w : workers) w.join();
   const double elapsed = watch.ElapsedSeconds();
-  return 2.0 * kPairsPerThread * threads / elapsed;
+  return 2.0 * pairs_per_clerk * threads / elapsed;
+}
+
+// One asynchronous Enqueue→Dequeue call chain. Each completion starts
+// the next call from the channel's demux thread, so the chain keeps
+// exactly one op in flight without a dedicated client thread; K chains
+// on a channel keep K ops in flight on one socket.
+struct Chain {
+  net::ChannelQueueApi* api = nullptr;
+  std::string queue;
+  std::string clerk;
+  int remaining = 0;
+  std::atomic<int>* outstanding = nullptr;
+  std::mutex* mu = nullptr;
+  std::condition_variable* cv = nullptr;
+  std::atomic<bool>* failed = nullptr;
+
+  void Finish() {
+    if (outstanding->fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(*mu);
+      cv->notify_all();
+    }
+  }
+
+  void StartPair() {
+    api->EnqueueAsync(
+        queue, "payload-0123456789", 0, clerk, "tag" + std::to_string(remaining),
+        [this](Result<queue::ElementId> eid) {
+          if (!eid.ok()) {
+            failed->store(true);
+            Finish();
+            return;
+          }
+          // Timeout 0 for the same reason as the sync path: the
+          // enqueue's reply already confirmed the commit.
+          api->DequeueAsync(queue, clerk, "tag" + std::to_string(remaining),
+                            /*timeout_micros=*/0,
+                            [this](Result<queue::Element> element) {
+                              if (!element.ok()) failed->store(true);
+                              if (element.ok() && --remaining > 0) {
+                                StartPair();
+                              } else {
+                                Finish();
+                              }
+                            });
+        });
+  }
+};
+
+// K in-flight chains per channel × M channels. Chain setup (queue
+// creation, registration) happens before the clock starts.
+double MeasurePipelinedThroughput(uint16_t port, int channels,
+                                  int inflight_per_channel) {
+  net::TcpChannelOptions options;
+  options.port = port;
+  std::vector<std::unique_ptr<net::TcpChannel>> chans;
+  std::vector<std::unique_ptr<net::ChannelQueueApi>> apis;
+  for (int m = 0; m < channels; ++m) {
+    chans.push_back(std::make_unique<net::TcpChannel>(options));
+    apis.push_back(std::make_unique<net::ChannelQueueApi>(chans.back().get()));
+  }
+
+  const int total = channels * inflight_per_channel;
+  std::atomic<int> outstanding{total};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> failed{false};
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (int m = 0; m < channels; ++m) {
+    for (int k = 0; k < inflight_per_channel; ++k) {
+      auto chain = std::make_unique<Chain>();
+      chain->api = apis[static_cast<size_t>(m)].get();
+      chain->queue =
+          "bench.p" + std::to_string(m) + "." + std::to_string(k);
+      chain->clerk = "pipeclerk-" + chain->queue;
+      chain->remaining = pairs_per_clerk;
+      chain->outstanding = &outstanding;
+      chain->mu = &mu;
+      chain->cv = &cv;
+      chain->failed = &failed;
+      auto created = chain->api->CreateQueue(chain->queue);
+      if (!created.ok() && !created.IsAlreadyExists()) {
+        Die("create queue", created);
+      }
+      auto reg = chain->api->Register(chain->queue, chain->clerk,
+                                      /*stable=*/true);
+      if (!reg.ok()) Die("register", reg.status());
+      chains.push_back(std::move(chain));
+    }
+  }
+
+  bench::Stopwatch watch;
+  for (auto& chain : chains) chain->StartPair();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding.load() == 0; });
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  if (failed.load()) {
+    fprintf(stderr, "pipelined chain failed\n");
+    std::exit(1);
+  }
+  return 2.0 * pairs_per_clerk * total / elapsed;
+}
+
+template <typename Fn>
+double BestOf(Fn measure) {
+  double best = 0;
+  for (int i = 0; i < trials; ++i) best = std::max(best, measure());
+  return best;
 }
 
 }  // namespace
 
-int main() {
-  printf("E17: TCP transport latency and throughput (volatile repository,\n"
-         "loopback TCP vs the simulated in-process network)\n\n");
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    latency_rounds = 200;
+    pairs_per_clerk = 100;
+    trials = 1;
+  }
 
-  // Service side, shared by every measurement below.
+  printf("E18: TCP transport latency and throughput (volatile repository,\n"
+         "loopback TCP vs the simulated in-process network)%s\n\n",
+         smoke ? " [smoke]" : "");
+
+  // Service side, shared by every measurement below. Worker count is
+  // pinned so the comparison is between client models, not host core
+  // counts.
   queue::QueueRepository repo("qm", {});
   if (!repo.Open().ok()) return 1;
   for (int t = 0; t < 8; ++t) {
@@ -135,10 +293,14 @@ int main() {
   if (!repo.CreateQueue("probe").ok()) return 1;
 
   net::QueueServiceDispatcher dispatcher(&repo);
-  net::TcpServer server({}, [&dispatcher](const Slice& request,
-                                          std::string* reply) {
-    return dispatcher.Handle(request, reply);
-  });
+  net::TcpServerOptions server_options;
+  server_options.workers = 2;
+  net::TcpServer server(server_options,
+                        [&dispatcher](const Slice& request,
+                                      std::string* reply) {
+                          return dispatcher.Handle(request, reply);
+                        });
+  server.set_blocking_hint(net::QueueRequestMayBlock);
   if (!server.Start().ok()) return 1;
 
   // Baseline: the same dispatcher behind the simulated Network.
@@ -161,48 +323,102 @@ int main() {
   const LatencyStats sim_read_latency = MeasureLatency(&sim_probe, "probe");
 
   bench::Table latency_table(
-      {"probe", "transport", "mean us", "p50 us", "p99 us"});
-  latency_table.AddRow({"Depth", "tcp", Fmt(tcp_latency.mean_micros),
-                        Fmt(tcp_latency.p50_micros),
-                        Fmt(tcp_latency.p99_micros)});
-  latency_table.AddRow({"Read", "tcp", Fmt(tcp_read_latency.mean_micros),
-                        Fmt(tcp_read_latency.p50_micros),
-                        Fmt(tcp_read_latency.p99_micros)});
-  latency_table.AddRow({"Read", "sim", Fmt(sim_read_latency.mean_micros),
-                        Fmt(sim_read_latency.p50_micros),
-                        Fmt(sim_read_latency.p99_micros)});
+      {"probe", "transport", "mean us", "p50 us", "p99 us", "p99.9 us"});
+  auto add_latency = [&latency_table](const char* probe, const char* transport,
+                                      const LatencyStats& s) {
+    latency_table.AddRow({probe, transport, Fmt(s.mean_micros),
+                          Fmt(s.p50_micros), Fmt(s.p99_micros),
+                          Fmt(s.p999_micros)});
+  };
+  add_latency("Depth", "tcp", tcp_latency);
+  add_latency("Read", "tcp", tcp_read_latency);
+  add_latency("Read", "sim", sim_read_latency);
   latency_table.Print();
   printf("\n");
 
   // ---- Throughput ---------------------------------------------------
-  bench::Table tput_table({"threads", "tcp ops/s", "us/op"});
-  std::string json = "{\n  \"experiment\": \"net\",\n  \"latency\": {\n";
-  json += "    \"tcp_depth\": {\"mean_us\": " + Fmt(tcp_latency.mean_micros) +
-          ", \"p50_us\": " + Fmt(tcp_latency.p50_micros) +
-          ", \"p99_us\": " + Fmt(tcp_latency.p99_micros) + "},\n";
-  json += "    \"tcp_read\": {\"mean_us\": " +
-          Fmt(tcp_read_latency.mean_micros) +
-          ", \"p50_us\": " + Fmt(tcp_read_latency.p50_micros) +
-          ", \"p99_us\": " + Fmt(tcp_read_latency.p99_micros) + "},\n";
-  json += "    \"sim_read\": {\"mean_us\": " +
-          Fmt(sim_read_latency.mean_micros) +
-          ", \"p50_us\": " + Fmt(sim_read_latency.p50_micros) +
-          ", \"p99_us\": " + Fmt(sim_read_latency.p99_micros) + "}\n  },\n";
-  json += "  \"throughput\": [\n";
-  bool first = true;
-  for (int threads : {1, 2, 4, 8}) {
-    const double ops = MeasureTcpThroughput(server.port(), threads);
-    tput_table.AddRow({std::to_string(threads), Fmt(ops, 0),
-                       Fmt(1e6 * threads / ops, 1)});
-    if (!first) json += ",\n";
-    first = false;
-    json += "    {\"threads\": " + std::to_string(threads) +
-            ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
-  }
-  json += "\n  ]\n}\n";
-  tput_table.Print();
+  const uint16_t port = server.port();
 
-  bench::WriteBenchJson("net", json);
+  bench::Table tput_table({"mode", "channels", "in flight", "ops/s", "vs v1@8"});
+  std::string serialized_json;
+  std::string shared_json;
+  std::string pipelined_json;
+
+  double serialized_at_8 = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double ops = BestOf(
+        [&] { return MeasureSyncThroughput(port, threads, false); });
+    if (threads == 8) serialized_at_8 = ops;
+    tput_table.AddRow({"serialized v1", std::to_string(threads),
+                       std::to_string(threads), Fmt(ops, 0), "-"});
+    if (!serialized_json.empty()) serialized_json += ",\n";
+    serialized_json += "    {\"threads\": " + std::to_string(threads) +
+                       ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    const double ops =
+        BestOf([&] { return MeasureSyncThroughput(port, threads, true); });
+    tput_table.AddRow({"shared channel", "1", std::to_string(threads),
+                       Fmt(ops, 0), Fmt(ops / serialized_at_8, 2) + "x"});
+    if (!shared_json.empty()) shared_json += ",\n";
+    shared_json += "    {\"threads\": " + std::to_string(threads) +
+                   ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
+  }
+
+  double pipelined_at_8 = 0;
+  struct PipelinePoint {
+    int channels;
+    int inflight;
+  };
+  for (const auto& point : std::vector<PipelinePoint>{
+           {1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 4}, {2, 8}, {4, 8}}) {
+    const double ops = BestOf([&] {
+      return MeasurePipelinedThroughput(port, point.channels, point.inflight);
+    });
+    const int total = point.channels * point.inflight;
+    if (point.channels == 1 && point.inflight == 8) pipelined_at_8 = ops;
+    tput_table.AddRow({"pipelined", std::to_string(point.channels),
+                       std::to_string(total), Fmt(ops, 0),
+                       Fmt(ops / serialized_at_8, 2) + "x"});
+    if (!pipelined_json.empty()) pipelined_json += ",\n";
+    pipelined_json += "    {\"channels\": " + std::to_string(point.channels) +
+                      ", \"inflight_per_channel\": " +
+                      std::to_string(point.inflight) +
+                      ", \"total_inflight\": " + std::to_string(total) +
+                      ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
+  }
+  tput_table.Print();
+  printf("\npipelined (1x8) vs serialized v1 (8 threads): %.2fx\n",
+         pipelined_at_8 / serialized_at_8);
+
+  if (!smoke) {
+    std::string json = "{\n  \"experiment\": \"net\",\n  \"latency\": {\n";
+    auto latency_json = [](const LatencyStats& s) {
+      return "{\"mean_us\": " + Fmt(s.mean_micros) +
+             ", \"p50_us\": " + Fmt(s.p50_micros) +
+             ", \"p99_us\": " + Fmt(s.p99_micros) +
+             ", \"p999_us\": " + Fmt(s.p999_micros) + "}";
+    };
+    json += "    \"tcp_depth\": " + latency_json(tcp_latency) + ",\n";
+    json += "    \"tcp_read\": " + latency_json(tcp_read_latency) + ",\n";
+    json += "    \"sim_read\": " + latency_json(sim_read_latency) + "\n  },\n";
+    json += "  \"serialized_v1\": [\n" + serialized_json + "\n  ],\n";
+    json += "  \"shared_channel\": [\n" + shared_json + "\n  ],\n";
+    json += "  \"pipelined\": [\n" + pipelined_json + "\n  ],\n";
+    // The PR 3 thread-per-connection server's committed 8-thread
+    // number, kept as the fixed before/after reference (the fresh
+    // serialized_v1 curve above also rides the new epoll server, which
+    // made even the old protocol faster).
+    constexpr double kPr3SerializedAt8 = 64474.0;
+    json += "  \"pipelined_1x8_vs_serialized_8\": " +
+            Fmt(pipelined_at_8 / serialized_at_8, 2) + ",\n";
+    json += "  \"pr3_serialized_8_baseline\": " + Fmt(kPr3SerializedAt8, 0) +
+            ",\n";
+    json += "  \"pipelined_1x8_vs_pr3_baseline\": " +
+            Fmt(pipelined_at_8 / kPr3SerializedAt8, 2) + "\n}\n";
+    bench::WriteBenchJson("net", json);
+  }
   server.Stop();
   return 0;
 }

@@ -120,6 +120,87 @@ void BM_DepthScan(benchmark::State& state) {
 }
 BENCHMARK(BM_DepthScan)->Arg(10)->Arg(1000)->Arg(100000)->ArgName("depth");
 
+// ---- Multi-thread scaling -------------------------------------------
+//
+// The repository serializes all state changes behind one global mutex;
+// what keeps that viable is how little work happens inside it. Element
+// payloads are shared immutable strings, so Read/Dequeue only bump a
+// refcount under the lock and copy the bytes outside it. These
+// benchmarks measure how operation throughput scales with threads on
+// one shared repository — the regression they guard is payload-sized
+// work creeping back under mu_.
+
+void BM_MultiThreadRead(benchmark::State& state) {
+  static Fixture* fixture = nullptr;
+  static rrq::queue::ElementId eid = 0;
+  if (state.thread_index() == 0) {
+    fixture = new Fixture(Durability::kVolatile);
+    rrq::util::Rng rng(5);
+    auto r = fixture->repo->Enqueue(
+        nullptr, "q", rng.Bytes(static_cast<size_t>(state.range(0))));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    eid = *r;
+  }
+  for (auto _ : state) {
+    auto e = fixture->repo->Read("q", eid);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  if (state.thread_index() == 0) {
+    delete fixture;
+    fixture = nullptr;
+  }
+}
+BENCHMARK(BM_MultiThreadRead)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->ArgName("bytes")
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+void BM_MultiThreadEnqueueDequeue(benchmark::State& state) {
+  // Each thread drives its own queue so the contention is purely the
+  // repository-global lock and WAL, not element stealing.
+  static Fixture* fixture = nullptr;
+  if (state.thread_index() == 0) {
+    const auto durability = static_cast<Durability>(state.range(0));
+    fixture = new Fixture(durability);
+    QueueOptions qopts;
+    qopts.durable = durability != Durability::kVolatile;
+    for (int t = 0; t < state.threads(); ++t) {
+      if (!fixture->repo->CreateQueue("q" + std::to_string(t), qopts).ok()) {
+        state.SkipWithError("queue setup failed");
+        return;
+      }
+    }
+  }
+  const std::string queue = "q" + std::to_string(state.thread_index());
+  rrq::util::Rng rng(10 + static_cast<uint64_t>(state.thread_index()));
+  const std::string payload = rng.Bytes(1024);
+  for (auto _ : state) {
+    auto e = fixture->repo->Enqueue(nullptr, queue, payload);
+    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
+    auto d = fixture->repo->Dequeue(nullptr, queue);
+    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete fixture;
+    fixture = nullptr;
+  }
+}
+BENCHMARK(BM_MultiThreadEnqueueDequeue)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("durability")
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
 void BM_PriorityEnqueueDequeue(benchmark::State& state) {
   // Priority-ordered dequeue vs plain FIFO at a standing depth.
   Fixture fixture(Durability::kVolatile);

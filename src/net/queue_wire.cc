@@ -51,6 +51,24 @@ Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options) {
   return Status::OK();
 }
 
+bool QueueRequestMayBlock(const Slice& request) {
+  Slice input = request;
+  if (input.empty() ||
+      static_cast<unsigned char>(input[0]) != kOpDequeue) {
+    return false;
+  }
+  input.remove_prefix(1);
+  std::string queue, registrant, tag;
+  uint64_t timeout = 0;
+  if (!util::GetLengthPrefixedString(&input, &queue).ok() ||
+      !util::GetLengthPrefixedString(&input, &registrant).ok() ||
+      !util::GetLengthPrefixedString(&input, &tag).ok() ||
+      !util::GetFixed64(&input, &timeout).ok()) {
+    return false;
+  }
+  return timeout > 0;
+}
+
 // ---------------------------------------------------------------------------
 // QueueServiceDispatcher
 
@@ -233,6 +251,70 @@ Result<queue::Element> ChannelQueueApi::Dequeue(const std::string& queue,
   queue::Element element;
   RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
   return element;
+}
+
+void ChannelQueueApi::EnqueueAsync(
+    const std::string& queue, const Slice& contents, uint32_t priority,
+    const std::string& registrant, const Slice& tag,
+    std::function<void(Result<queue::ElementId>)> done) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpEnqueue));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, contents);
+  util::PutVarint32(&request, priority);
+  util::PutLengthPrefixed(&request, registrant);
+  util::PutLengthPrefixed(&request, tag);
+  channel_->CallAsync(
+      request, [done = std::move(done)](Status s, std::string reply) {
+        if (!s.ok()) {
+          done(std::move(s));
+          return;
+        }
+        Slice input(reply);
+        Status service = DecodeStatus(&input);
+        if (!service.ok()) {
+          done(std::move(service));
+          return;
+        }
+        uint64_t eid = 0;
+        Status parsed = util::GetFixed64(&input, &eid);
+        if (!parsed.ok()) {
+          done(std::move(parsed));
+          return;
+        }
+        done(queue::ElementId{eid});
+      });
+}
+
+void ChannelQueueApi::DequeueAsync(
+    const std::string& queue, const std::string& registrant, const Slice& tag,
+    uint64_t timeout_micros, std::function<void(Result<queue::Element>)> done) {
+  std::string request;
+  request.push_back(static_cast<char>(kOpDequeue));
+  util::PutLengthPrefixed(&request, queue);
+  util::PutLengthPrefixed(&request, registrant);
+  util::PutLengthPrefixed(&request, tag);
+  util::PutFixed64(&request, timeout_micros);
+  channel_->CallAsync(
+      request, [done = std::move(done)](Status s, std::string reply) {
+        if (!s.ok()) {
+          done(std::move(s));
+          return;
+        }
+        Slice input(reply);
+        Status service = DecodeStatus(&input);
+        if (!service.ok()) {
+          done(std::move(service));
+          return;
+        }
+        queue::Element element;
+        Status parsed = DecodeElement(&input, &element);
+        if (!parsed.ok()) {
+          done(std::move(parsed));
+          return;
+        }
+        done(std::move(element));
+      });
 }
 
 Result<queue::Element> ChannelQueueApi::Read(const std::string& queue,

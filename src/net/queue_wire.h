@@ -1,6 +1,7 @@
 #ifndef RRQ_NET_QUEUE_WIRE_H_
 #define RRQ_NET_QUEUE_WIRE_H_
 
+#include <functional>
 #include <string>
 
 #include "net/transport.h"
@@ -36,6 +37,13 @@ Status DecodeElement(Slice* input, queue::Element* e);
 void EncodeQueueOptions(const queue::QueueOptions& options, std::string* out);
 Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options);
 
+/// True when `request` is an op that may park its server thread for a
+/// long time — a Dequeue carrying a nonzero wait timeout. The TCP
+/// server's blocking hint (TcpServer::set_blocking_hint) uses this to
+/// keep long-polls off the bounded worker pool. Malformed requests
+/// return false (the dispatcher rejects them quickly anyway).
+bool QueueRequestMayBlock(const Slice& request);
+
 /// Serves the byte protocol against a local repository. This is the
 /// whole server side of the protocol: the simulated QueueService and
 /// the rrqd daemon's TCP loop both delegate here, so every transport
@@ -62,6 +70,13 @@ class QueueServiceDispatcher {
 /// TCP-backed TcpRemoteQueueApi. Transport failures surface as
 /// Unavailable; the clerk resolves the resulting uncertainty through
 /// reconnection and persistent registration, never blind retry.
+///
+/// Holds no per-call state, so it is exactly as thread-safe as its
+/// channel: over a multiplexed TcpChannel, one shared ChannelQueueApi
+/// serves many clerk threads, their calls pipelined on one socket.
+/// The *Async variants put multiple queue ops in flight from a single
+/// thread; callbacks follow Channel::CallAsync's rules (may run on the
+/// channel's demux thread, must not block).
 class ChannelQueueApi final : public queue::QueueApi {
  public:
   /// `channel` is not owned and must outlive this object.
@@ -84,6 +99,16 @@ class ChannelQueueApi final : public queue::QueueApi {
                               queue::ElementId eid) override;
   Result<bool> KillElement(const std::string& queue,
                            queue::ElementId eid) override;
+
+  // ---- Pipelined variants (not part of QueueApi) --------------------
+
+  void EnqueueAsync(const std::string& queue, const Slice& contents,
+                    uint32_t priority, const std::string& registrant,
+                    const Slice& tag,
+                    std::function<void(Result<queue::ElementId>)> done);
+  void DequeueAsync(const std::string& queue, const std::string& registrant,
+                    const Slice& tag, uint64_t timeout_micros,
+                    std::function<void(Result<queue::Element>)> done);
 
   // ---- Admin extensions (not part of QueueApi) ----------------------
 

@@ -13,8 +13,11 @@ namespace rrq::net {
 /// clerk/ReliableClient code runs unmodified against this: transport
 /// failures surface as Unavailable, and the client protocol resolves
 /// the resulting §2 uncertainty through reconnection and persistent
-/// registration. Owns its channel — one clerk, one connection, which
-/// keeps calls serialized without wire-level request ids.
+/// registration. Owns its channel; since wire v2 the channel
+/// multiplexes, so one TcpRemoteQueueApi can be shared by many clerk
+/// threads — their calls pipeline on the single connection, each with
+/// its own correlation id and deadline (against a v1 daemon the
+/// channel falls back to serialized calls, which is merely slower).
 class TcpRemoteQueueApi final : public queue::QueueApi {
  public:
   explicit TcpRemoteQueueApi(TcpChannelOptions options)

@@ -8,7 +8,14 @@
 // --dir; a restart with the same --dir recovers it from the WALs.
 //
 //   rrqd --dir /var/lib/rrqd [--host 127.0.0.1] [--port 0]
-//        [--threads 2] [--request-queue requests] [--no-server]
+//        [--threads 2] [--workers N] [--request-queue requests]
+//        [--no-server]
+//
+// --workers sizes the TCP handler pool (0 = hardware concurrency):
+// that many queue-service requests execute in parallel, their commits
+// coalescing into group-commit batches. Long-poll Dequeues are kept
+// off the pool via the blocking hint, so parked clerks never starve
+// short ops.
 //
 // --port 0 binds an ephemeral port; the actual address is announced on
 // stdout as "rrqd: listening on <host>:<port> (pid <pid>)". The
@@ -47,7 +54,8 @@ void HandleSignal(int /*sig*/) { g_stop = 1; }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <state-dir> [--host H] [--port P] "
-               "[--threads N] [--request-queue NAME] [--no-server]\n",
+               "[--threads N] [--workers N] [--request-queue NAME] "
+               "[--no-server]\n",
                argv0);
 }
 
@@ -61,6 +69,7 @@ int main(int argc, char** argv) {
   std::string request_queue = "requests";
   int port = 0;
   int threads = 1;
+  int workers = 0;  // 0 = hardware concurrency
   bool run_server = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
       port = std::atoi(next());
     } else if (arg == "--threads") {
       threads = std::atoi(next());
+    } else if (arg == "--workers") {
+      workers = std::atoi(next());
     } else if (arg == "--request-queue") {
       request_queue = next();
     } else if (arg == "--no-server") {
@@ -89,7 +100,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (dir.empty() || port < 0 || port > 65535 || threads < 1) {
+  if (dir.empty() || port < 0 || port > 65535 || threads < 1 || workers < 0) {
     Usage(argv[0]);
     return 2;
   }
@@ -179,10 +190,13 @@ int main(int argc, char** argv) {
   net::TcpServerOptions tcp_options;
   tcp_options.bind_address = host;
   tcp_options.port = static_cast<uint16_t>(port);
+  tcp_options.workers = workers;
   net::TcpServer tcp(tcp_options,
                      [&dispatcher](const Slice& request, std::string* reply) {
                        return dispatcher.Handle(request, reply);
                      });
+  tcp.set_blocking_hint(
+      [](const Slice& request) { return net::QueueRequestMayBlock(request); });
   if (Status s = tcp.Start(); !s.ok()) {
     std::fprintf(stderr, "rrqd: listen: %s\n", s.ToString().c_str());
     return 1;

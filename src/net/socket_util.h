@@ -1,0 +1,76 @@
+#ifndef RRQ_NET_SOCKET_UTIL_H_
+#define RRQ_NET_SOCKET_UTIL_H_
+
+// Internal socket helpers shared by the TcpChannel and TcpServer
+// implementations. Not part of the public net/ surface.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace rrq::net::internal {
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+inline Status MakeAddr(const std::string& host, uint16_t port,
+                       sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+inline void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+inline void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Waits until `fd` is ready for `events` or `deadline_micros` (steady
+// clock) passes. OK / TimedOut / IOError.
+inline Status PollFd(int fd, short events, uint64_t deadline_micros) {
+  while (true) {
+    const uint64_t now = NowMicros();
+    if (now >= deadline_micros) return Status::TimedOut("poll deadline");
+    pollfd pfd{fd, events, 0};
+    const int timeout_ms =
+        static_cast<int>((deadline_micros - now + 999) / 1000);
+    const int n = poll(&pfd, 1, timeout_ms);
+    if (n > 0) return Status::OK();
+    if (n == 0) return Status::TimedOut("poll deadline");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace rrq::net::internal
+
+#endif  // RRQ_NET_SOCKET_UTIL_H_

@@ -1,0 +1,672 @@
+// TcpServer: one epoll-driven I/O loop plus a bounded worker pool.
+//
+// Threading model, kept deliberately narrow:
+//   - The loop thread is the only code that accepts, reads sockets,
+//     mutates the connection roster, or calls epoll_ctl.
+//   - Workers run handlers and write replies. A reply is appended to
+//     the connection's outbox under its mutex; a pool worker defers
+//     the socket write until it runs out of queued tasks (or hits a
+//     cap), so all the replies one drain produced go out corked in one
+//     writev — and a batch of pipelined requests costs one reply
+//     syscall, not one per request. Elastic threads and backpressured
+//     sockets flush as before: on EAGAIN the writer leaves
+//     `want_write` set and asks the loop to arm EPOLLOUT.
+//   - Connection objects travel by shared_ptr, so a worker finishing a
+//     handler after the peer hung up writes to nothing: `closed` is
+//     checked under the same mutex that guards the fd.
+//
+// v1 connections (first frame is kMsgCall/kMsgOneWay) keep the PR 3
+// contract — one request at a time, in order — via a per-connection
+// backlog chain: a new task runs only when the previous one finished.
+// v2 connections dispatch every decoded call straight to the pool, so
+// concurrent calls from one socket execute in parallel and their
+// commits meet in the WAL's group-commit window.
+
+#include <sys/epoll.h>
+#include <sys/uio.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket_util.h"
+#include "net/tcp_transport.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace rrq::net {
+
+using internal::Errno;
+using internal::MakeAddr;
+using internal::SetNoDelay;
+using internal::SetNonBlocking;
+
+struct TcpServer::Task {
+  unsigned char kind = 0;  // kMsgCall, kMsgCallV2, or kMsgOneWay
+  uint64_t corr_id = 0;    // kMsgCallV2 only
+  std::string body;
+};
+
+struct TcpServer::Conn {
+  int fd = -1;
+  // Loop-thread-only state.
+  FrameReader reader;
+  uint32_t version = 0;  // 0 until the first frame decides the mode
+
+  std::mutex mu;
+  bool closed = false;
+  bool want_write = false;
+  bool write_failed = false;
+  std::deque<std::string> outbox;  // framed replies awaiting the socket
+  size_t head_off = 0;             // bytes of outbox.front() already sent
+  // v1 in-order execution chain.
+  bool v1_busy = false;
+  std::deque<Task> v1_backlog;
+};
+
+TcpServer::TcpServer(TcpServerOptions options, RpcHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+
+  sockaddr_in addr;
+  RRQ_RETURN_IF_ERROR(MakeAddr(options_.bind_address, options_.port, &addr));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // Connection sockets a killed predecessor left in TIME_WAIT must not
+  // block rebinding the listener — a restarted daemon reclaims its port.
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind " + options_.bind_address + ":" +
+                     std::to_string(options_.port));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, options_.backlog) != 0) {
+    Status s = Errno("listen");
+    close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Errno("getsockname");
+    close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(fd);
+
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status s = Errno(epoll_fd_ < 0 ? "epoll_create1" : "eventfd");
+    close(fd);
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    return s;
+  }
+  listen_fd_ = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 4;
+  }
+  pool_stop_ = false;
+  running_.store(true);
+  loop_ = std::thread([this] { LoopMain(); });
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const uint64_t one = 1;
+    ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+  if (loop_.joinable()) loop_.join();
+
+  // Drain the pool: queued tasks still run (their replies go to
+  // sockets that are still open), then workers exit.
+  {
+    std::lock_guard<std::mutex> guard(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::unique_lock<std::mutex> guard(pool_mu_);
+    std::vector<std::thread> elastic;
+    elastic.swap(blocking_live_);
+    blocking_finished_.clear();
+    guard.unlock();
+    for (auto& t : elastic) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> guard(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [fd, conn] : conns) {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    conn->closed = true;
+    close(conn->fd);
+  }
+  active_conns_.store(0, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+std::shared_ptr<TcpServer::Conn> TcpServer::LookupConn(int fd) {
+  std::lock_guard<std::mutex> guard(conns_mu_);
+  auto it = conns_.find(fd);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+void TcpServer::RequestAttention(int fd) {
+  {
+    std::lock_guard<std::mutex> guard(attention_mu_);
+    attention_.push_back(fd);
+  }
+  const uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void TcpServer::ProcessAttention() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> guard(attention_mu_);
+    fds.swap(attention_);
+  }
+  for (int fd : fds) {
+    std::shared_ptr<Conn> conn = LookupConn(fd);
+    if (!conn) continue;
+    bool failed, want;
+    {
+      std::lock_guard<std::mutex> guard(conn->mu);
+      failed = conn->write_failed;
+      want = conn->want_write;
+    }
+    if (failed) {
+      CloseConn(conn, false);
+    } else if (want) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.fd = conn->fd;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+  }
+}
+
+void TcpServer::LoopMain() {
+  epoll_event events[128];
+  while (running_.load(std::memory_order_relaxed)) {
+    const int n = epoll_wait(epoll_fd_, events, 128, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t tick;
+        while (read(wake_fd_, &tick, sizeof(tick)) > 0) {
+        }
+        continue;
+      }
+      if (!running_.load(std::memory_order_relaxed)) return;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      std::shared_ptr<Conn> conn = LookupConn(fd);
+      if (!conn) continue;  // Closed earlier in this batch.
+      if (events[i].events & EPOLLERR) {
+        CloseConn(conn, false);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      if (LookupConn(fd) != conn) continue;  // HandleWritable closed it.
+      if (events[i].events & (EPOLLIN | EPOLLHUP)) HandleReadable(conn);
+    }
+    ProcessAttention();
+  }
+}
+
+void TcpServer::HandleAccept() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained (or a transient error; epoll re-fires).
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> guard(conns_mu_);
+      conns_[fd] = conn;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[65536];
+  // Bounded reads per wakeup so one firehose connection cannot pin the
+  // loop; level-triggered epoll re-fires for the rest.
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->reader.Feed(Slice(buf, static_cast<size_t>(n)));
+      if (!DrainFrames(conn)) {
+        CloseConn(conn, /*protocol_error=*/true);
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn, /*protocol_error=*/!conn->reader.AtEnd().ok());
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn, false);  // Reset: the peer is gone.
+    break;
+  }
+  // Everything this sweep decoded goes to the pool in one handoff.
+  SubmitBatch();
+}
+
+bool TcpServer::DrainFrames(const std::shared_ptr<Conn>& conn) {
+  std::string payload;
+  while (true) {
+    Status next = conn->reader.Next(&payload);
+    if (next.IsNotFound()) return true;
+    if (!next.ok() || payload.empty()) return false;
+    const unsigned char kind = static_cast<unsigned char>(payload[0]);
+
+    if (conn->version == 0) {
+      // The first frame fixes the connection's wire version.
+      if (kind == kMsgHello) {
+        uint32_t offered = 0;
+        if (!ParseHelloBody(Slice(payload.data() + 1, payload.size() - 1),
+                            &offered)
+                 .ok()) {
+          return false;
+        }
+        const uint32_t common = std::min(kProtocolV2, offered);
+        conn->version = common;
+        if (common < kProtocolV2) {
+          v1_conns_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::string hello;
+        AppendHelloPayload(&hello, common);
+        std::string framed;
+        AppendFrame(&framed, hello);
+        EnqueueReply(conn, std::move(framed));
+        continue;
+      }
+      if (kind == kMsgCall || kind == kMsgOneWay) {
+        conn->version = kProtocolV1;
+        v1_conns_.fetch_add(1, std::memory_order_relaxed);
+      } else if (kind == kMsgCallV2) {
+        conn->version = kProtocolV2;  // hello-less v2 peer: accepted
+      } else {
+        return false;
+      }
+    } else if (kind == kMsgHello) {
+      return false;  // Hello is only ever the first frame.
+    }
+
+    Task task;
+    task.kind = kind;
+    if (kind == kMsgCallV2) {
+      if (conn->version != kProtocolV2) return false;
+      Slice p(payload.data() + 1, payload.size() - 1);
+      if (!util::GetVarint64(&p, &task.corr_id).ok()) return false;
+      task.body.assign(p.data(), p.size());
+    } else if (kind == kMsgCall) {
+      if (conn->version != kProtocolV1) return false;
+      task.body.assign(payload.data() + 1, payload.size() - 1);
+    } else if (kind == kMsgOneWay) {
+      task.body.assign(payload.data() + 1, payload.size() - 1);
+    } else {
+      return false;
+    }
+    Dispatch(conn, std::move(task));
+  }
+}
+
+void TcpServer::Dispatch(const std::shared_ptr<Conn>& conn, Task task) {
+  const bool blocking = hint_ && hint_(Slice(task.body));
+  if (conn->version == kProtocolV1) {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->v1_busy) {
+      conn->v1_backlog.push_back(std::move(task));
+      return;
+    }
+    conn->v1_busy = true;
+  }
+  auto shared_task = std::make_shared<Task>(std::move(task));
+  if (blocking) {
+    // Straight to an elastic thread — a long-poll must not wait behind
+    // the rest of this sweep's batch. Its reply flushes immediately.
+    SubmitToPool(
+        [this, conn, shared_task] {
+          RunTask(conn, std::move(*shared_task), /*defer_flush=*/false);
+        },
+        true);
+    return;
+  }
+  loop_pending_.push_back([this, conn, shared_task] {
+    RunTask(conn, std::move(*shared_task), /*defer_flush=*/true);
+  });
+}
+
+void TcpServer::SubmitBatch() {
+  if (loop_pending_.empty()) return;
+  {
+    std::lock_guard<std::mutex> guard(pool_mu_);
+    if (pool_stop_) {
+      loop_pending_.clear();
+      return;
+    }
+    for (auto& fn : loop_pending_) pool_queue_.push_back(std::move(fn));
+    loop_pending_.clear();
+  }
+  // One wakeup per batch; workers chain further wakeups while the
+  // queue stays non-empty (see WorkerMain), so a deep batch still
+  // fans out across the pool without notifying per task.
+  pool_cv_.notify_one();
+}
+
+void TcpServer::RunTask(const std::shared_ptr<Conn>& conn, Task task,
+                        bool defer_flush) {
+  if (task.kind == kMsgOneWay) {
+    std::string ignored;
+    handler_(Slice(task.body), &ignored);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::string reply;
+    const Status handled = handler_(Slice(task.body), &reply);
+    std::string out;
+    if (task.kind == kMsgCallV2) {
+      out.push_back(static_cast<char>(kMsgReplyV2));
+      util::PutVarint64(&out, task.corr_id);
+    }
+    EncodeStatus(handled, &out);
+    out.append(reply);
+    std::string framed;
+    AppendFrame(&framed, out);
+    // Count before sending: a caller that has its reply in hand must
+    // observe the counter already bumped.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueReply(conn, std::move(framed), defer_flush);
+  }
+
+  if (conn->version == kProtocolV1) {
+    // Release the in-order chain: run the next backlogged request, if
+    // any arrived while this one executed.
+    Task next;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> guard(conn->mu);
+      if (!conn->v1_backlog.empty()) {
+        next = std::move(conn->v1_backlog.front());
+        conn->v1_backlog.pop_front();
+        have = true;
+      } else {
+        conn->v1_busy = false;
+      }
+    }
+    if (have) {
+      const bool blocking = hint_ && hint_(Slice(next.body));
+      auto shared_task = std::make_shared<Task>(std::move(next));
+      // Deferred flushing is only safe on pool workers (they flush
+      // before sleeping); an elastic thread exits right after the
+      // task, so its reply must flush inline.
+      const bool defer = !blocking;
+      SubmitToPool(
+          [this, conn, shared_task, defer] {
+            RunTask(conn, std::move(*shared_task), defer);
+          },
+          blocking);
+    }
+  }
+}
+
+void TcpServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
+                             std::string framed, bool defer_flush) {
+  {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->closed || conn->write_failed) return;
+    conn->outbox.push_back(std::move(framed));
+    // If the loop is already watching for writability, just queue: the
+    // next EPOLLOUT flushes everything accumulated — corked in one
+    // writev. Otherwise write now, or — on a pool worker — leave the
+    // bytes queued for FlushDeferred so the replies this drain
+    // produces go out in one writev instead of one syscall each.
+    if (conn->want_write) return;
+    if (!defer_flush) {
+      FlushLocked(conn.get());
+      if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
+      return;
+    }
+  }
+  auto& deferred = Deferred();
+  for (const auto& c : deferred) {
+    if (c == conn) return;
+  }
+  deferred.push_back(conn);
+}
+
+std::vector<std::shared_ptr<TcpServer::Conn>>& TcpServer::Deferred() {
+  static thread_local std::vector<std::shared_ptr<Conn>> deferred;
+  return deferred;
+}
+
+void TcpServer::FlushDeferred() {
+  auto& deferred = Deferred();
+  for (const auto& conn : deferred) {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->closed || conn->write_failed) continue;
+    if (conn->want_write) continue;  // EPOLLOUT will flush the outbox.
+    FlushLocked(conn.get());
+    if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
+  }
+  deferred.clear();
+}
+
+void TcpServer::FlushLocked(Conn* conn) {
+  while (!conn->outbox.empty()) {
+    iovec iov[64];
+    int cnt = 0;
+    for (const auto& b : conn->outbox) {
+      const size_t off = (cnt == 0) ? conn->head_off : 0;
+      iov[cnt].iov_base = const_cast<char*>(b.data()) + off;
+      iov[cnt].iov_len = b.size() - off;
+      if (++cnt == 64) break;
+    }
+    const ssize_t n = writev(conn->fd, iov, cnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn->want_write = true;
+        return;
+      }
+      conn->write_failed = true;  // Peer gone; the loop reaps us.
+      return;
+    }
+    size_t left = static_cast<size_t>(n);
+    while (left > 0) {
+      const size_t avail = conn->outbox.front().size() - conn->head_off;
+      if (left >= avail) {
+        left -= avail;
+        conn->outbox.pop_front();
+        conn->head_off = 0;
+      } else {
+        conn->head_off += left;
+        left = 0;
+      }
+    }
+  }
+}
+
+void TcpServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  bool failed;
+  bool drained;
+  {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->closed) return;
+    conn->want_write = false;
+    FlushLocked(conn.get());
+    failed = conn->write_failed;
+    drained = !conn->want_write;
+  }
+  if (failed) {
+    CloseConn(conn, false);
+    return;
+  }
+  if (drained) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
+                          bool protocol_error) {
+  {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    // Count before closing: a peer that has observed the FIN must
+    // already see the error reflected in the counter.
+    if (protocol_error) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // closing the fd removes it from the epoll set.
+    close(conn->fd);
+  }
+  {
+    std::lock_guard<std::mutex> guard(conns_mu_);
+    conns_.erase(conn->fd);
+  }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TcpServer::SubmitToPool(std::function<void()> fn, bool blocking) {
+  if (blocking) {
+    std::lock_guard<std::mutex> guard(pool_mu_);
+    if (pool_stop_) return;
+    ReapBlockingThreadsLocked();
+    if (blocking_threads_ < options_.max_blocking_threads) {
+      ++blocking_threads_;
+      blocking_live_.emplace_back([this, fn = std::move(fn)] {
+        fn();
+        // Belt and braces: elastic tasks flush inline, but if one ever
+        // deferred, the bytes must not die with this thread.
+        FlushDeferred();
+        std::lock_guard<std::mutex> guard2(pool_mu_);
+        --blocking_threads_;
+        blocking_finished_.push_back(std::this_thread::get_id());
+      });
+      return;
+    }
+    // Overflow cap hit: fall through to the bounded pool.
+  }
+  {
+    std::lock_guard<std::mutex> guard(pool_mu_);
+    if (pool_stop_) return;
+    pool_queue_.push_back(std::move(fn));
+  }
+  pool_cv_.notify_one();
+}
+
+void TcpServer::ReapBlockingThreadsLocked() {
+  for (const auto& id : blocking_finished_) {
+    for (auto it = blocking_live_.begin(); it != blocking_live_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();  // The thread already ran its body; this is instant.
+        blocking_live_.erase(it);
+        break;
+      }
+    }
+  }
+  blocking_finished_.clear();
+}
+
+void TcpServer::WorkerMain() {
+  // Upper bound on connections corked per flush: keeps the deferral
+  // window short under a steady firehose while still amortizing the
+  // writev.
+  constexpr size_t kMaxDeferredConns = 32;
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      if (pool_queue_.empty() && !pool_stop_) {
+        // About to sleep: send corked replies first — a deferred
+        // flush may be all that stands between clients and their
+        // replies, and nothing else would send it.
+        lock.unlock();
+        FlushDeferred();
+        lock.lock();
+        pool_cv_.wait(lock,
+                      [this] { return pool_stop_ || !pool_queue_.empty(); });
+      }
+      if (pool_queue_.empty()) {  // pool_stop_ and drained.
+        lock.unlock();
+        FlushDeferred();
+        return;
+      }
+      fn = std::move(pool_queue_.front());
+      pool_queue_.pop_front();
+      // Wake chaining: SubmitBatch notifies once per batch; each
+      // worker that takes a task passes the baton while work remains,
+      // so deep batches fan out without a notify per task.
+      if (!pool_queue_.empty()) pool_cv_.notify_one();
+    }
+    fn();
+    if (Deferred().size() >= kMaxDeferredConns) FlushDeferred();
+  }
+}
+
+}  // namespace rrq::net

@@ -1,244 +1,81 @@
 #include "net/tcp_transport.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "net/socket_util.h"
+#include "util/coding.h"
 #include "util/logging.h"
 
 namespace rrq::net {
 
+using internal::Errno;
+using internal::MakeAddr;
+using internal::NowMicros;
+using internal::PollFd;
+using internal::SetNoDelay;
+
 namespace {
 
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-Status Errno(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
-}
-
-Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
-  std::memset(addr, 0, sizeof(*addr));
-  addr->sin_family = AF_INET;
-  addr->sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
-    return Status::InvalidArgument("not an IPv4 address: " + host);
+Status SendAll(int fd, const Slice& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable("send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-void SetNoDelay(int fd) {
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+void DrainEventFd(int fd) {
+  uint64_t tick;
+  while (read(fd, &tick, sizeof(tick)) > 0) {
+  }
 }
 
-// Waits until `fd` is ready for `events` or `deadline_micros` (steady
-// clock) passes. OK / TimedOut / IOError.
-Status PollFd(int fd, short events, uint64_t deadline_micros) {
-  while (true) {
-    const uint64_t now = NowMicros();
-    if (now >= deadline_micros) return Status::TimedOut("poll deadline");
-    pollfd pfd{fd, events, 0};
-    const int timeout_ms =
-        static_cast<int>((deadline_micros - now + 999) / 1000);
-    const int n = poll(&pfd, 1, timeout_ms);
-    if (n > 0) return Status::OK();
-    if (n == 0) return Status::TimedOut("poll deadline");
-    if (errno == EINTR) continue;
-    return Errno("poll");
-  }
+void KickEventFd(int fd) {
+  const uint64_t one = 1;
+  ssize_t ignored = write(fd, &one, sizeof(one));
+  (void)ignored;
 }
 
 }  // namespace
 
-// ---------------------------------------------------------------------------
-// TcpServer
+// The socket plus the eventfd that wakes its demux reader. Shared by
+// every thread touching the connection; the fds close when the last
+// holder lets go, so a send racing a teardown can never hit a reused
+// fd number.
+struct TcpChannel::Sock {
+  int fd = -1;
+  int wake_fd = -1;
+  std::atomic<bool> broken{false};
+  FrameReader v1_reader;  // v1 mode only; guarded by the channel's write_mu_
 
-TcpServer::TcpServer(TcpServerOptions options, RpcHandler handler)
-    : options_(std::move(options)), handler_(std::move(handler)) {}
+  // v2 combining writer (SendV2): frames append to `outbuf` under
+  // `out_mu`; whichever thread finds no writer active becomes one and
+  // drains until the buffer stays empty. Concurrent callers cork their
+  // frames into the active writer's next send instead of queueing on a
+  // lock for a syscall apiece.
+  std::mutex out_mu;
+  std::string outbuf;
+  bool writer_active = false;
 
-TcpServer::~TcpServer() { Stop(); }
-
-Status TcpServer::Start() {
-  if (running_.load()) return Status::FailedPrecondition("already started");
-
-  sockaddr_in addr;
-  RRQ_RETURN_IF_ERROR(MakeAddr(options_.bind_address, options_.port, &addr));
-
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  // Connection sockets a killed predecessor left in TIME_WAIT must not
-  // block rebinding the listener — a restarted daemon reclaims its port.
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Errno("bind " + options_.bind_address + ":" +
-                     std::to_string(options_.port));
-    close(fd);
-    return s;
+  ~Sock() {
+    if (fd >= 0) close(fd);
+    if (wake_fd >= 0) close(wake_fd);
   }
-  if (listen(fd, options_.backlog) != 0) {
-    Status s = Errno("listen");
-    close(fd);
-    return s;
-  }
-  sockaddr_in bound;
-  socklen_t len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    Status s = Errno("getsockname");
-    close(fd);
-    return s;
-  }
-  port_ = ntohs(bound.sin_port);
-
-  listen_fd_.store(fd);
-  running_.store(true);
-  acceptor_ = std::thread([this]() { AcceptLoop(); });
-  return Status::OK();
-}
-
-void TcpServer::Stop() {
-  if (!running_.exchange(false)) {
-    if (acceptor_.joinable()) acceptor_.join();
-    return;
-  }
-  // Unblock accept(), then unblock every connection's recv().
-  const int listen_fd = listen_fd_.exchange(-1);
-  if (listen_fd >= 0) {
-    shutdown(listen_fd, SHUT_RDWR);
-    close(listen_fd);
-  }
-  {
-    std::lock_guard<std::mutex> guard(conn_mu_);
-    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> guard(conn_mu_);
-    workers.swap(conn_threads_);
-  }
-  for (auto& t : workers) {
-    if (t.joinable()) t.join();
-  }
-}
-
-void TcpServer::AcceptLoop() {
-  while (running_.load()) {
-    const int fd = accept(listen_fd_.load(), nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // Listener closed by Stop() (or fatal: stop accepting).
-    }
-    if (!running_.load()) {
-      close(fd);
-      return;
-    }
-    SetNoDelay(fd);
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> guard(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd]() { ConnectionLoop(fd); });
-  }
-}
-
-void TcpServer::ConnectionLoop(int fd) {
-  FrameReader reader;
-  char buf[16384];
-  bool protocol_error = false;
-
-  while (running_.load() && !protocol_error) {
-    // Drain every complete frame already buffered.
-    std::string payload;
-    while (true) {
-      Status next = reader.Next(&payload);
-      if (next.IsNotFound()) break;
-      if (!next.ok()) {  // Corrupt frame: drop the connection.
-        protocol_error = true;
-        break;
-      }
-      if (payload.empty()) {  // No message kind byte.
-        protocol_error = true;
-        break;
-      }
-      const unsigned char kind = static_cast<unsigned char>(payload[0]);
-      const Slice request(payload.data() + 1, payload.size() - 1);
-      if (kind == kMsgCall) {
-        std::string reply;
-        const Status handled = handler_(request, &reply);
-        std::string out;
-        EncodeStatus(handled, &out);
-        out.append(reply);
-        std::string framed;
-        AppendFrame(&framed, out);
-        // Count before sending: a caller that has its reply in hand
-        // must observe the counter already bumped.
-        served_.fetch_add(1, std::memory_order_relaxed);
-        size_t sent = 0;
-        while (sent < framed.size()) {
-          const ssize_t n = send(fd, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
-          if (n <= 0) {
-            if (n < 0 && errno == EINTR) continue;
-            protocol_error = true;  // Peer gone; nothing left to do.
-            break;
-          }
-          sent += static_cast<size_t>(n);
-        }
-        if (protocol_error) break;
-      } else if (kind == kMsgOneWay) {
-        std::string ignored;
-        handler_(request, &ignored);
-        served_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        protocol_error = true;
-        break;
-      }
-    }
-    if (protocol_error) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
-
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n == 0) {
-      // Clean close must not leave a partial frame behind.
-      if (!reader.AtEnd().ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      }
-      break;
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // Reset/shutdown: connection is gone.
-    }
-    reader.Feed(Slice(buf, static_cast<size_t>(n)));
-  }
-  close(fd);
-  std::lock_guard<std::mutex> guard(conn_mu_);
-  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
-    if (*it == fd) {
-      conn_fds_.erase(it);
-      break;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// TcpChannel
+};
 
 TcpChannel::TcpChannel(TcpChannelOptions options)
     : options_(std::move(options)) {}
@@ -246,19 +83,30 @@ TcpChannel::TcpChannel(TcpChannelOptions options)
 TcpChannel::~TcpChannel() { Close(); }
 
 void TcpChannel::Close() {
-  std::lock_guard<std::mutex> guard(mu_);
-  CloseLocked();
-}
-
-void TcpChannel::CloseLocked() {
-  if (fd_ >= 0) {
-    close(fd_);
-    fd_ = -1;
+  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_ptr<Sock> sock = sock_;
+  if (sock) {
+    if (wire_version_ >= kProtocolV2) {
+      // The reader owns teardown: it fails every pending call, clears
+      // sock_, and announces its exit.
+      sock->broken.store(true, std::memory_order_release);
+      shutdown(sock->fd, SHUT_RDWR);
+      KickEventFd(sock->wake_fd);
+    } else {
+      sock_.reset();
+      // Unblock a concurrent v1 exchange parked in recv().
+      shutdown(sock->fd, SHUT_RDWR);
+    }
   }
-  reader_ = FrameReader();
+  if (reader_.joinable()) {
+    reader_exit_cv_.wait(lock, [this] { return reader_done_; });
+    // The reader no longer touches channel state; joining under mu_
+    // cannot deadlock.
+    reader_.join();
+  }
 }
 
-Status TcpChannel::ConnectOnceLocked() {
+Status TcpChannel::ConnectOnce(int* fd_out) {
   sockaddr_in addr;
   RRQ_RETURN_IF_ERROR(MakeAddr(options_.host, options_.port, &addr));
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
@@ -290,14 +138,70 @@ Status TcpChannel::ConnectOnceLocked() {
   }
   fcntl(fd, F_SETFL, flags);
   SetNoDelay(fd);
-  fd_ = fd;
-  reader_ = FrameReader();
-  connects_.fetch_add(1, std::memory_order_relaxed);
+  *fd_out = fd;
   return Status::OK();
 }
 
-Status TcpChannel::EnsureConnectedLocked() {
-  if (fd_ >= 0) return Status::OK();
+Status TcpChannel::NegotiateV2(int fd, uint32_t* version) {
+  std::string framed;
+  {
+    std::string payload;
+    AppendHelloPayload(&payload, options_.max_protocol_version);
+    AppendFrame(&framed, payload);
+  }
+  RRQ_RETURN_IF_ERROR(SendAll(fd, framed));
+
+  FrameReader reader;
+  char buf[4096];
+  const uint64_t deadline = NowMicros() + options_.connect_timeout_micros;
+  while (true) {
+    std::string payload;
+    Status next = reader.Next(&payload);
+    if (next.ok()) {
+      if (payload.empty() ||
+          static_cast<unsigned char>(payload[0]) != kMsgHello) {
+        return Status::Corruption("expected hello reply");
+      }
+      uint32_t server_version = 0;
+      RRQ_RETURN_IF_ERROR(ParseHelloBody(
+          Slice(payload.data() + 1, payload.size() - 1), &server_version));
+      if (reader.buffered() != 0) {
+        // The server must not speak before our first call.
+        return Status::Corruption("unexpected bytes after hello");
+      }
+      *version = std::min(options_.max_protocol_version, server_version);
+      return Status::OK();
+    }
+    if (!next.IsNotFound()) return next;  // Corruption.
+    Status ready = PollFd(fd, POLLIN, deadline);
+    if (!ready.ok()) {
+      return ready.IsTimedOut() ? Status::TimedOut("hello timed out") : ready;
+    }
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0 || (n < 0 && errno == ECONNRESET)) {
+      // A v1 server drops the connection on the unknown hello kind.
+      // Nothing but the hello was sent, so reconnecting as v1 resends
+      // no request — the §2 rule holds.
+      return Status::FailedPrecondition("server closed on hello");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    reader.Feed(Slice(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status TcpChannel::EnsureConnectedLocked(std::unique_lock<std::mutex>& lock) {
+  if (sock_) return Status::OK();
+  if (reader_.joinable()) {
+    // A previous connection's reader may still be failing its pending
+    // calls; wait for it to finish with channel state before rebuilding.
+    reader_exit_cv_.wait(lock, [this] { return reader_done_; });
+    reader_.join();
+  }
+
   // Reconnect-with-backoff, bounded. This is the only retry loop in
   // the transport, and it runs strictly before any request bytes are
   // sent — so it can never duplicate a request.
@@ -308,71 +212,220 @@ Status TcpChannel::EnsureConnectedLocked() {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
       backoff = std::min(backoff * 2, options_.backoff_max_micros);
     }
-    last = ConnectOnceLocked();
-    if (last.ok()) return last;
+    int fd = -1;
+    last = ConnectOnce(&fd);
     if (last.IsInvalidArgument()) return last;  // Bad address: hopeless.
+    if (!last.ok()) continue;
+
+    uint32_t version = kProtocolV1;
+    if (options_.max_protocol_version >= kProtocolV2 &&
+        server_version_hint_ != kProtocolV1) {
+      last = NegotiateV2(fd, &version);
+      if (last.IsFailedPrecondition()) {
+        // v1 server: remember, reconnect, speak the old protocol.
+        close(fd);
+        server_version_hint_ = kProtocolV1;
+        last = ConnectOnce(&fd);
+        if (!last.ok()) continue;
+        version = kProtocolV1;
+      } else if (!last.ok()) {
+        close(fd);
+        continue;
+      }
+    }
+
+    auto sock = std::make_shared<Sock>();
+    sock->fd = fd;
+    if (version >= kProtocolV2) {
+      sock->wake_fd = eventfd(0, EFD_NONBLOCK);
+      if (sock->wake_fd < 0) {
+        last = Errno("eventfd");
+        continue;  // sock closes fd on destruction.
+      }
+    }
+    sock_ = sock;
+    wire_version_ = version;
+    version_.store(version, std::memory_order_relaxed);
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    if (version >= kProtocolV2) {
+      reader_done_ = false;
+      reader_wait_until_ = UINT64_MAX;
+      reader_ = std::thread([this, sock] { ReaderMain(sock); });
+    }
+    return Status::OK();
   }
   return Status::Unavailable("connect to " + options_.host + ":" +
                              std::to_string(options_.port) + " failed: " +
                              last.ToString());
 }
 
-Status TcpChannel::SendAllLocked(const Slice& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return Status::Unavailable("send failed: " +
-                                 std::string(std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::OK();
+void TcpChannel::BreakConnection(const std::shared_ptr<Sock>& sock) {
+  sock->broken.store(true, std::memory_order_release);
+  shutdown(sock->fd, SHUT_RDWR);
+  if (sock->wake_fd >= 0) KickEventFd(sock->wake_fd);
 }
 
-Status TcpChannel::ReadReplyLocked(std::string* payload) {
-  const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
-  char buf[16384];
-  while (true) {
-    Status next = reader_.Next(payload);
-    if (next.ok()) return next;
-    if (next.IsCorruption()) return next;  // Protocol violation: loud.
-    Status ready = PollFd(fd_, POLLIN, deadline);
-    if (!ready.ok()) {
-      if (ready.IsTimedOut()) {
-        // A straggler reply may still arrive on this stream, so the
-        // connection cannot be reused; the caller closes it.
-        return Status::Unavailable("call deadline exceeded");
+void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
+  FrameReader reader;
+  char buf[65536];
+  Status fail;  // set => tear the connection down
+
+  while (fail.ok()) {
+    if (sock->broken.load(std::memory_order_acquire)) {
+      fail = Status::Unavailable("connection closed");
+      break;
+    }
+    // Expire per-call deadlines. The call fails; the connection does
+    // not — its straggler reply, if any, is discarded by id below.
+    {
+      const uint64_t now = NowMicros();
+      std::vector<Callback> expired;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+          if (it->second.deadline_micros <= now) {
+            expired.push_back(std::move(it->second.done));
+            it = pending_.erase(it);
+          } else {
+            ++it;
+          }
+        }
       }
-      return Status::Unavailable("poll failed: " + ready.ToString());
+      for (auto& done : expired) {
+        deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
+        done(Status::Unavailable("call deadline exceeded"), std::string());
+      }
     }
-    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
-    if (n == 0) {
-      // EOF before the reply completed: the server died with our
-      // request possibly executed — the §2 uncertainty. A torn frame
-      // (Corruption from AtEnd) and a clean mid-call close look the
-      // same to the clerk: Unavailable, resolve via reconnect.
-      Status torn = reader_.AtEnd();
-      return Status::Unavailable(torn.ok()
-                                     ? "connection closed before reply"
-                                     : "connection torn mid-reply: " +
-                                           torn.ToString());
+
+    // Fast path: on a busy pipelined connection the next replies are
+    // usually already buffered, so try the read before paying for a
+    // poll syscall.
+    const ssize_t r = recv(sock->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nothing buffered. Sleep until the socket is readable, a new
+      // earlier deadline is registered (wake_fd), or the earliest
+      // pending deadline passes — then loop back to the checks above.
+      int timeout_ms = -1;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        uint64_t min_deadline = UINT64_MAX;
+        for (const auto& [id, pc] : pending_) {
+          min_deadline = std::min(min_deadline, pc.deadline_micros);
+        }
+        reader_wait_until_ = min_deadline;
+        if (min_deadline != UINT64_MAX) {
+          const uint64_t now = NowMicros();
+          timeout_ms =
+              min_deadline <= now
+                  ? 0
+                  : static_cast<int>(std::min<uint64_t>(
+                        (min_deadline - now + 999) / 1000, 60'000));
+        }
+      }
+      pollfd pfds[2] = {{sock->fd, POLLIN, 0}, {sock->wake_fd, POLLIN, 0}};
+      const int n = poll(pfds, 2, timeout_ms);
+      if (n < 0 && errno != EINTR) {
+        fail = Status::Unavailable("poll failed: " +
+                                   std::string(std::strerror(errno)));
+        break;
+      }
+      if (n > 0 && pfds[1].revents != 0) DrainEventFd(sock->wake_fd);
+      continue;
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable("recv failed: " +
+    if (r == 0) {
+      // EOF with calls possibly executed server-side: the §2
+      // uncertainty, surfaced as Unavailable to every pending call.
+      fail = Status::Unavailable(reader.AtEnd().ok()
+                                     ? "connection closed by server"
+                                     : "connection torn mid-reply");
+      break;
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      fail = Status::Unavailable("recv failed: " +
                                  std::string(std::strerror(errno)));
+      break;
     }
-    reader_.Feed(Slice(buf, static_cast<size_t>(n)));
+    reader.Feed(Slice(buf, static_cast<size_t>(r)));
+
+    // Claim the writer role for the duration of this reply burst:
+    // calls issued by the callbacks below (a pipelined clerk's next
+    // op, typically) accumulate in the outbuf and go to the socket in
+    // one send after the burst instead of one syscall per callback.
+    const bool corked = CorkOutbuf(sock);
+    std::string payload;
+    while (fail.ok()) {
+      Status next = reader.Next(&payload);
+      if (next.IsNotFound()) break;
+      if (!next.ok()) {
+        fail = Status::Unavailable("protocol corruption: " + next.ToString());
+        break;
+      }
+      Slice p(payload);
+      uint64_t id = 0;
+      if (p.empty() || static_cast<unsigned char>(p[0]) != kMsgReplyV2) {
+        fail = Status::Unavailable("protocol corruption: bad reply kind");
+        break;
+      }
+      p.remove_prefix(1);
+      if (!util::GetVarint64(&p, &id).ok()) {
+        fail = Status::Unavailable("protocol corruption: bad correlation id");
+        break;
+      }
+      // A malformed status encoding is delivered to the one matching
+      // call as Corruption; the stream itself is still well framed.
+      Status handled = DecodeStatus(&p);
+      Callback done;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          done = std::move(it->second.done);
+          pending_.erase(it);
+        }
+      }
+      if (!done) {
+        // Straggler from an expired deadline (or an id the server made
+        // up): discard. Never resent, never re-matched — §2 holds.
+        late_replies_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (handled.ok()) {
+        done(Status::OK(), std::string(p.data(), p.size()));
+      } else {
+        done(std::move(handled), std::string());
+      }
+    }
+    if (corked) {
+      // Send whatever the burst's callbacks queued, in one syscall.
+      Status drained = DrainOutbuf(sock);
+      if (fail.ok() && !drained.ok()) {
+        fail = Status::Unavailable("send failed: " + drained.ToString());
+      }
+    }
   }
+
+  // Teardown: fail every pending call, release the connection, and
+  // only then announce the exit (a reconnect must not race us).
+  std::vector<Callback> victims;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [id, pc] : pending_) victims.push_back(std::move(pc.done));
+    pending_.clear();
+    if (sock_ == sock) sock_.reset();
+  }
+  shutdown(sock->fd, SHUT_RDWR);  // Unblock writers still holding sock.
+  for (auto& done : victims) done(fail, std::string());
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    reader_done_ = true;
+  }
+  reader_exit_cv_.notify_all();
 }
 
-Status TcpChannel::Call(const Slice& request, std::string* reply) {
-  std::lock_guard<std::mutex> guard(mu_);
-  RRQ_RETURN_IF_ERROR(EnsureConnectedLocked());
-
+Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
+                          const Slice& request, std::string* reply) {
+  std::lock_guard<std::mutex> wguard(write_mu_);
   std::string framed;
   {
     std::string payload;
@@ -380,16 +433,46 @@ Status TcpChannel::Call(const Slice& request, std::string* reply) {
     payload.append(request.data(), request.size());
     AppendFrame(&framed, payload);
   }
-  Status s = SendAllLocked(framed);
+  Status s = SendAll(sock->fd, framed);
   if (!s.ok()) {
-    CloseLocked();
+    TearDownV1(sock);
     return s;
   }
+
+  const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
+  char buf[16384];
   std::string wire;
-  s = ReadReplyLocked(&wire);
-  if (!s.ok()) {
-    CloseLocked();
-    return s;
+  while (true) {
+    Status next = sock->v1_reader.Next(&wire);
+    if (next.ok()) break;
+    if (next.IsCorruption()) {
+      TearDownV1(sock);
+      return Status::Unavailable("protocol corruption: " + next.ToString());
+    }
+    Status ready = PollFd(sock->fd, POLLIN, deadline);
+    if (!ready.ok()) {
+      // A straggler reply may still arrive on this stream and v1
+      // replies carry no ids, so the connection cannot be reused.
+      TearDownV1(sock);
+      return Status::Unavailable(ready.IsTimedOut()
+                                     ? "call deadline exceeded"
+                                     : "poll failed: " + ready.ToString());
+    }
+    const ssize_t n = recv(sock->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Status torn = sock->v1_reader.AtEnd();
+      TearDownV1(sock);
+      return Status::Unavailable(torn.ok() ? "connection closed before reply"
+                                           : "connection torn mid-reply: " +
+                                                 torn.ToString());
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TearDownV1(sock);
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    sock->v1_reader.Feed(Slice(buf, static_cast<size_t>(n)));
   }
   // [handler status][reply bytes], exactly like the simulated network
   // propagating a handler's return value.
@@ -400,17 +483,154 @@ Status TcpChannel::Call(const Slice& request, std::string* reply) {
   return Status::OK();
 }
 
-Status TcpChannel::SendOneWay(const Slice& message) {
+void TcpChannel::TearDownV1(const std::shared_ptr<Sock>& sock) {
+  shutdown(sock->fd, SHUT_RDWR);
   std::lock_guard<std::mutex> guard(mu_);
-  Status s = EnsureConnectedLocked();
+  if (sock_ == sock) sock_.reset();
+}
+
+void TcpChannel::CallAsync(const Slice& request, Callback done) {
+  std::shared_ptr<Sock> sock;
+  uint32_t version = 0;
+  uint64_t id = 0;
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Status s = EnsureConnectedLocked(lock);
+    if (!s.ok()) {
+      lock.unlock();
+      done(std::move(s), std::string());
+      return;
+    }
+    sock = sock_;
+    version = wire_version_;
+    if (version >= kProtocolV2) {
+      id = next_id_++;
+      const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
+      pending_.emplace(id, PendingCall{std::move(done), deadline});
+      wake = deadline < reader_wait_until_;
+    }
+  }
+
+  if (version < kProtocolV2) {
+    std::string reply;
+    Status s = CallV1(sock, request, &reply);
+    done(std::move(s), std::move(reply));
+    return;
+  }
+
+  std::string framed;
+  {
+    std::string payload;
+    payload.push_back(static_cast<char>(kMsgCallV2));
+    util::PutVarint64(&payload, id);
+    payload.append(request.data(), request.size());
+    AppendFrame(&framed, payload);
+  }
+  Status sent = SendV2(sock, std::move(framed));
+  if (!sent.ok()) {
+    // A partial send breaks the stream for everyone; the reader fails
+    // all pending calls — including this one, exactly once.
+    BreakConnection(sock);
+    return;
+  }
+  if (wake) KickEventFd(sock->wake_fd);
+}
+
+Status TcpChannel::SendV2(const std::shared_ptr<Sock>& sock,
+                          std::string framed) {
+  {
+    std::lock_guard<std::mutex> guard(sock->out_mu);
+    sock->outbuf.append(framed);
+    // An active writer is obliged to re-check the buffer before it
+    // retires, so these bytes ride its next send.
+    if (sock->writer_active) return Status::OK();
+    sock->writer_active = true;
+  }
+  return DrainOutbuf(sock);
+}
+
+bool TcpChannel::CorkOutbuf(const std::shared_ptr<Sock>& sock) {
+  std::lock_guard<std::mutex> guard(sock->out_mu);
+  if (sock->writer_active) return false;
+  sock->writer_active = true;
+  return true;
+}
+
+Status TcpChannel::DrainOutbuf(const std::shared_ptr<Sock>& sock) {
+  std::string local;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> guard(sock->out_mu);
+      if (sock->outbuf.empty()) {
+        sock->writer_active = false;
+        return Status::OK();
+      }
+      local.clear();
+      local.swap(sock->outbuf);
+    }
+    Status s = SendAll(sock->fd, Slice(local));
+    if (!s.ok()) {
+      // The stream is broken mid-frame; callers whose bytes we
+      // combined are failed with everyone else when the caller breaks
+      // the connection and the reader sweeps pending_.
+      std::lock_guard<std::mutex> guard(sock->out_mu);
+      sock->writer_active = false;
+      return s;
+    }
+  }
+}
+
+Status TcpChannel::Call(const Slice& request, std::string* reply) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::string reply;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  CallAsync(request, [waiter](Status s, std::string r) {
+    std::lock_guard<std::mutex> guard(waiter->mu);
+    waiter->status = std::move(s);
+    waiter->reply = std::move(r);
+    waiter->done = true;
+    waiter->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  if (waiter->status.ok()) *reply = std::move(waiter->reply);
+  return waiter->status;
+}
+
+Status TcpChannel::SendOneWay(const Slice& message) {
+  std::shared_ptr<Sock> sock;
+  uint32_t version = 0;
+  Status s;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s = EnsureConnectedLocked(lock);
+    if (s.ok()) {
+      sock = sock_;
+      version = wire_version_;
+    }
+  }
   if (s.ok()) {
     std::string framed;
-    std::string payload;
-    payload.push_back(static_cast<char>(kMsgOneWay));
-    payload.append(message.data(), message.size());
-    AppendFrame(&framed, payload);
-    s = SendAllLocked(framed);
-    if (!s.ok()) CloseLocked();
+    {
+      std::string payload;
+      payload.push_back(static_cast<char>(kMsgOneWay));
+      payload.append(message.data(), message.size());
+      AppendFrame(&framed, payload);
+    }
+    if (version >= kProtocolV2) {
+      s = SendV2(sock, std::move(framed));
+      if (!s.ok()) BreakConnection(sock);
+    } else {
+      std::lock_guard<std::mutex> wguard(write_mu_);
+      s = SendAll(sock->fd, framed);
+      if (!s.ok()) TearDownV1(sock);
+    }
   }
   if (!s.ok()) {
     // Lost, like any dropped one-way message: no failure signal (§5) —

@@ -2,52 +2,72 @@
 #define RRQ_NET_TCP_TRANSPORT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/frame.h"
 #include "net/transport.h"
+#include "net/wire.h"
 #include "util/status.h"
 
 namespace rrq::net {
 
-// RPC convention on top of the frame layer: a request frame's payload
-// is [1-byte kind][request bytes]. kCall expects exactly one reply
-// frame back, whose payload is [EncodeStatus(handler result)][reply
-// bytes] — mirroring the simulated Network, where a handler's non-OK
-// return reaches the caller as the Call result. kOneWay expects no
-// reply at all. Calls on one connection are strictly serialized
-// (request, then its reply), so no ids are needed on the wire; for
-// concurrency, open one channel per clerk, as the paper's client
-// model already prescribes.
-constexpr unsigned char kMsgCall = 1;
-constexpr unsigned char kMsgOneWay = 2;
+// See net/wire.h for the v1/v2 payload layouts and how the version is
+// negotiated on the first frame of each connection.
 
 struct TcpServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 binds an ephemeral port; read the result from port().
   uint16_t port = 0;
-  int backlog = 64;
+  int backlog = 128;
+  /// Handler worker threads. 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Requests flagged by the blocking hint run on elastic overflow
+  /// threads (spawned on demand, reaped as they finish) so a parked
+  /// long-poll cannot starve the bounded pool. This caps how many may
+  /// exist at once; past the cap such requests fall back to the pool.
+  int max_blocking_threads = 64;
 };
 
-/// Serves an RpcHandler over TCP: a listener thread accepts
-/// connections, and each connection gets a worker thread running the
-/// frame/RPC protocol until the peer disconnects or violates it.
-/// Stop() (and the destructor) shuts down the listener and every
-/// connection and joins all threads.
+/// Serves an RpcHandler over TCP. One epoll-driven I/O loop owns every
+/// socket (accept, reads, backpressured writes); decoded requests are
+/// executed on a bounded worker pool, so concurrent calls from one v2
+/// connection — and from many connections — run handlers in parallel
+/// and their commits coalesce into group-commit batches. Completed
+/// replies are appended to a per-connection outbox and flushed with
+/// writev, corking whatever has accumulated by the time the socket is
+/// writable. v1 connections keep the PR 3 contract: requests execute
+/// one at a time, in arrival order, replies in request order.
+///
+/// Connection state lives exactly as long as the connection: the loop
+/// drops it the moment the socket closes (no per-connection thread to
+/// reap, no fd roster that only Stop() trims).
 class TcpServer {
  public:
+  /// Returns true for requests that may park their worker thread for a
+  /// long time (e.g. a Dequeue carrying a wait timeout); see
+  /// TcpServerOptions::max_blocking_threads. Must be set before
+  /// Start() and must be thread-safe.
+  using BlockingHint = std::function<bool(const Slice& request)>;
+
   TcpServer(TcpServerOptions options, RpcHandler handler);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and starts accepting. IOError when the address
-  /// cannot be bound.
+  void set_blocking_hint(BlockingHint hint) { hint_ = std::move(hint); }
+
+  /// Binds, listens, and starts the I/O loop and worker pool. IOError
+  /// when the address cannot be bound.
   Status Start();
   void Stop();
 
@@ -65,31 +85,101 @@ class TcpServer {
   uint64_t protocol_errors() const {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
+  /// Currently open connections — returns to zero when clients hang
+  /// up, regardless of how many came and went (the PR 3 server only
+  /// reclaimed connection state in Stop()).
+  uint64_t active_connections() const {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
+  /// Connections that negotiated (or defaulted to) the serialized v1
+  /// protocol.
+  uint64_t v1_connections() const {
+    return v1_conns_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void AcceptLoop();
-  void ConnectionLoop(int fd);
+  struct Conn;
+  struct Task;
+
+  void LoopMain();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  // Decodes buffered frames into dispatched tasks; false on protocol
+  // violation (caller closes the connection).
+  bool DrainFrames(const std::shared_ptr<Conn>& conn);
+  void Dispatch(const std::shared_ptr<Conn>& conn, Task task);
+  // Submits whatever Dispatch accumulated in loop_pending_ with one
+  // pool lock and one wakeup, however many frames the readable sweep
+  // decoded. Loop thread only.
+  void SubmitBatch();
+  void RunTask(const std::shared_ptr<Conn>& conn, Task task, bool defer_flush);
+  // With defer_flush the reply is appended to the outbox but the
+  // socket write is left to FlushDeferred(), so replies completed by
+  // one worker drain go out corked in a single writev.
+  void EnqueueReply(const std::shared_ptr<Conn>& conn, std::string framed,
+                    bool defer_flush = false);
+  // The calling thread's connections with deferred (unflushed) reply
+  // bytes. Per worker thread; the loop thread never defers.
+  std::vector<std::shared_ptr<Conn>>& Deferred();
+  void FlushDeferred();
+  // Requires conn->mu. Writes the outbox until empty, EAGAIN
+  // (want_write set), or a hard error (write_failed set).
+  void FlushLocked(Conn* conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn, bool protocol_error);
+  std::shared_ptr<Conn> LookupConn(int fd);
+  // Asks the loop to re-examine `fd` (arm EPOLLOUT / reap a failed
+  // writer). Safe from any thread.
+  void RequestAttention(int fd);
+  void ProcessAttention();
+  void SubmitToPool(std::function<void()> fn, bool blocking);
+  void WorkerMain();
+  // Requires pool_mu_. Joins elastic threads that have finished.
+  void ReapBlockingThreadsLocked();
 
   TcpServerOptions options_;
   RpcHandler handler_;
+  BlockingHint hint_;
   std::atomic<bool> running_{false};
-  // Atomic: Stop() clears it concurrently with the acceptor thread's
-  // reads (closing the fd is what unblocks that thread's accept()).
-  std::atomic<int> listen_fd_{-1};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::thread loop_;
+
+  // Connection roster. The loop thread is the only mutator; workers
+  // reach connections through the shared_ptr captured at dispatch.
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  std::mutex attention_mu_;
+  std::vector<int> attention_;
+
+  // Tasks decoded by the current readable sweep, awaiting SubmitBatch.
+  // Loop thread only.
+  std::vector<std::function<void()>> loop_pending_;
+
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::deque<std::function<void()>> pool_queue_;
+  std::vector<std::thread> workers_;
+  bool pool_stop_ = false;
+  int blocking_threads_ = 0;
+  std::vector<std::thread> blocking_live_;
+  std::vector<std::thread::id> blocking_finished_;
+
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> active_conns_{0};
+  std::atomic<uint64_t> v1_conns_{0};
 };
 
 struct TcpChannelOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
-  /// Deadline on each TCP connect attempt.
+  /// Deadline on each TCP connect attempt (and on the v2 hello
+  /// exchange riding on a fresh connection).
   uint64_t connect_timeout_micros = 1'000'000;
   /// Deadline on a whole Call (send + wait for the reply frame). Must
   /// exceed the longest server-side blocking operation (a Dequeue's
@@ -103,11 +193,30 @@ struct TcpChannelOptions {
   int max_connect_attempts = 10;
   uint64_t backoff_initial_micros = 2'000;
   uint64_t backoff_max_micros = 250'000;
+  /// Highest wire version to offer (net/wire.h). kProtocolV1 forces
+  /// the serialized PR 3 protocol — useful against old servers and in
+  /// interop tests; kProtocolV2 multiplexes and falls back to v1
+  /// automatically when the server drops the hello.
+  uint32_t max_protocol_version = kProtocolV2;
 };
 
 /// Client connection to a TcpServer. Connects lazily on first use and
-/// reconnects (with backoff, bounded) whenever a Call finds the
-/// channel disconnected. Thread-safe; calls are serialized.
+/// reconnects (with backoff, bounded) whenever a call finds the
+/// channel disconnected.
+///
+/// On a v2 connection many calls share the one socket: writers
+/// serialize on a single send path, a demux reader thread matches
+/// kMsgReplyV2 correlation ids to pending calls, and each call carries
+/// its own deadline. A deadline expiry fails that call alone
+/// (Unavailable; a straggler reply is later discarded by id) — only
+/// protocol corruption or a dead socket poisons the connection, which
+/// fails every pending call and reconnects on next use. Thread-safe:
+/// one shared channel serves many clerk threads.
+///
+/// On a v1 connection (old server, or max_protocol_version = 1) calls
+/// are serialized exactly as in PR 3, and a timeout must poison the
+/// connection because v1 replies carry no ids to tell stragglers
+/// apart.
 class TcpChannel final : public Channel {
  public:
   explicit TcpChannel(TcpChannelOptions options);
@@ -116,36 +225,106 @@ class TcpChannel final : public Channel {
   TcpChannel(const TcpChannel&) = delete;
   TcpChannel& operator=(const TcpChannel&) = delete;
 
+  /// Futures-style synchronous call, built on CallAsync: registers the
+  /// call, then blocks until its callback fires.
   Status Call(const Slice& request, std::string* reply) override;
+
+  /// Pipelined call: returns as soon as the request is on the wire
+  /// (or has failed). `done` fires exactly once — from the demux
+  /// reader on a reply, a deadline expiry, or connection teardown;
+  /// inline on a v1 connection or when the send itself fails. The
+  /// callback must not call Close() or destroy the channel.
+  void CallAsync(const Slice& request, Callback done) override;
 
   /// Best effort: a one-way message that cannot be sent is silently
   /// lost (the §5 contract — no failure signal exists for it).
   Status SendOneWay(const Slice& message) override;
 
-  /// Drops the connection; the next Call reconnects.
+  /// Fails every pending call and drops the connection; the next call
+  /// reconnects. Must not be called from a call's callback.
   void Close();
 
   uint64_t connects() const { return connects_.load(std::memory_order_relaxed); }
   uint64_t one_ways_lost() const {
     return one_ways_lost_.load(std::memory_order_relaxed);
   }
+  /// v2 replies whose correlation id matched no pending call —
+  /// stragglers from expired deadlines (discarded, §2-safe) or a
+  /// misbehaving server.
+  uint64_t late_replies() const {
+    return late_replies_.load(std::memory_order_relaxed);
+  }
+  /// Calls failed by their own deadline while the connection lived on.
+  uint64_t deadline_expiries() const {
+    return deadline_expiries_.load(std::memory_order_relaxed);
+  }
+  /// Wire version of the current (or most recent) connection; 0 before
+  /// the first connect.
+  uint32_t negotiated_version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
 
  private:
-  // All Locked methods require mu_ held.
-  Status EnsureConnectedLocked();
-  Status ConnectOnceLocked();
-  Status SendAllLocked(const Slice& data);
-  // Reads one reply frame within the call deadline. On any failure the
-  // connection is unusable; the caller must CloseLocked().
-  Status ReadReplyLocked(std::string* payload);
-  void CloseLocked();
+  struct Sock;  // fd + reader-wake eventfd; closed when the last user lets go
+  struct PendingCall {
+    Callback done;
+    uint64_t deadline_micros = 0;
+  };
+
+  // Connect + negotiate. Requires mu_ held (may sleep in backoff).
+  Status EnsureConnectedLocked(std::unique_lock<std::mutex>& lock);
+  Status ConnectOnce(int* fd_out);
+  // Sends the hello and waits for the server's. FailedPrecondition is
+  // the internal "v1 server closed on us" verdict (never escapes).
+  Status NegotiateV2(int fd, uint32_t* version);
+  void ReaderMain(std::shared_ptr<Sock> sock);
+  // Marks the socket dead and wakes the reader, which fails every
+  // pending call and clears the connection.
+  void BreakConnection(const std::shared_ptr<Sock>& sock);
+  // v2 send path: appends the frame to the socket's combining buffer
+  // and drains it if no other thread is already writing, so frames
+  // issued concurrently (or from reply callbacks in a burst) cork into
+  // few sends. An error means the stream broke mid-frame; the caller
+  // must BreakConnection.
+  Status SendV2(const std::shared_ptr<Sock>& sock, std::string framed);
+  // Claims the combining-writer role without sending (true on
+  // success); the claimant must later DrainOutbuf — which sends the
+  // accumulated frames and retires the writer role — even on failure
+  // paths.
+  bool CorkOutbuf(const std::shared_ptr<Sock>& sock);
+  Status DrainOutbuf(const std::shared_ptr<Sock>& sock);
+  // v1 serialized exchange (PR 3 semantics) under write_mu_.
+  Status CallV1(const std::shared_ptr<Sock>& sock, const Slice& request,
+                std::string* reply);
+  void TearDownV1(const std::shared_ptr<Sock>& sock);
 
   TcpChannelOptions options_;
+
   std::mutex mu_;
-  int fd_ = -1;
-  FrameReader reader_;
+  std::condition_variable reader_exit_cv_;
+  std::shared_ptr<Sock> sock_;     // null while disconnected
+  uint32_t wire_version_ = 0;      // of sock_
+  uint32_t server_version_hint_ = 0;  // 1 after a v1 server dropped a hello
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  // Deadline the reader is currently sleeping toward (UINT64_MAX =
+  // none); a new call with an earlier one kicks the wake eventfd.
+  uint64_t reader_wait_until_ = 0;
+  std::thread reader_;
+  bool reader_done_ = true;
+
+  // Serializes socket writes (the single writer path); on a v1
+  // connection it also covers the reply read, i.e. the whole exchange
+  // (each Sock carries its own v1 FrameReader, so a straggling
+  // exchange on a torn-down socket never shares state with a fresh
+  // connection).
+  std::mutex write_mu_;
+
   std::atomic<uint64_t> connects_{0};
   std::atomic<uint64_t> one_ways_lost_{0};
+  std::atomic<uint64_t> late_replies_{0};
+  std::atomic<uint64_t> deadline_expiries_{0};
+  std::atomic<uint32_t> version_{0};
 };
 
 }  // namespace rrq::net

@@ -29,12 +29,28 @@ using RpcHandler =
 /// persistent registration, never blind retry.
 class Channel {
  public:
+  /// Completion of an asynchronous Call: the handler's status plus the
+  /// reply bytes (empty unless the status is OK). Invoked exactly once,
+  /// possibly on an internal transport thread — callbacks must not
+  /// block for long and must not destroy the channel.
+  using Callback = std::function<void(Status, std::string reply)>;
+
   virtual ~Channel() = default;
 
   /// At-most-once RPC: delivers `request`, returns the handler's
   /// status, and fills `*reply` with the handler's reply bytes on OK.
   /// Unavailable on any connectivity failure.
   virtual Status Call(const Slice& request, std::string* reply) = 0;
+
+  /// Asynchronous Call. The base implementation degrades to the
+  /// synchronous Call and invokes `done` inline, so every channel is
+  /// pipelinable in interface even when the transport underneath is
+  /// serialized; TcpChannel overrides this with true wire multiplexing.
+  virtual void CallAsync(const Slice& request, Callback done) {
+    std::string reply;
+    Status s = Call(request, &reply);
+    done(std::move(s), std::move(reply));
+  }
 
   /// Fire-and-forget message (§5's one-way Send): no acknowledgement,
   /// no failure signal — a lost message surfaces later as a Receive

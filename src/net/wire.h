@@ -1,0 +1,65 @@
+#ifndef RRQ_NET_WIRE_H_
+#define RRQ_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+// RPC conventions on top of the frame layer. Two wire versions share
+// the same frame format ([fixed32 length][fixed32 masked CRC][payload])
+// and differ only in the payload layout:
+//
+//   v1 (PR 3, serialized — one call in flight per connection):
+//     request  [kMsgCall   ][body]            -> exactly one reply
+//     reply    [EncodeStatus][reply bytes]     (no kind, no id)
+//     one-way  [kMsgOneWay ][body]            -> no reply
+//
+//   v2 (multiplexed — many calls in flight, replies in any order):
+//     hello    [kMsgHello  ][varint version]  -> hello back from server
+//     request  [kMsgCallV2 ][varint id][body] -> one reply, eventually
+//     reply    [kMsgReplyV2][varint id][EncodeStatus][reply bytes]
+//     one-way  [kMsgOneWay ][body]            -> no reply
+//
+// Version negotiation rides on the first frame of a connection. A v2
+// client opens with kMsgHello carrying the highest version it speaks;
+// a v2 server answers with its own hello (min of the two) and switches
+// the connection to multiplexed mode. A v1 server treats the unknown
+// kind as a protocol error and drops the connection — the client
+// detects the close-after-hello, reconnects, and speaks v1. That
+// downgrade is safe under the §2 never-resend rule because a hello
+// carries no request: nothing that may have executed is ever resent.
+// A v1 client's first frame is kMsgCall/kMsgOneWay, which a v2 server
+// recognizes and serves with the exact PR 3 behavior (in-order, one
+// reply at a time, no ids).
+
+constexpr unsigned char kMsgCall = 1;     // v1 call
+constexpr unsigned char kMsgOneWay = 2;   // both versions
+constexpr unsigned char kMsgHello = 3;    // v2 version negotiation
+constexpr unsigned char kMsgCallV2 = 4;   // v2 call, correlation id
+constexpr unsigned char kMsgReplyV2 = 5;  // v2 reply, correlation id
+
+constexpr uint32_t kProtocolV1 = 1;
+constexpr uint32_t kProtocolV2 = 2;
+
+inline void AppendHelloPayload(std::string* out, uint32_t version) {
+  out->push_back(static_cast<char>(kMsgHello));
+  util::PutVarint32(out, version);
+}
+
+/// Parses the body of a kMsgHello frame (the bytes after the kind).
+inline Status ParseHelloBody(Slice body, uint32_t* version) {
+  if (!util::GetVarint32(&body, version).ok() || !body.empty() ||
+      *version == 0) {
+    return Status::Corruption("malformed hello");
+  }
+  return Status::OK();
+}
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_WIRE_H_

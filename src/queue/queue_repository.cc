@@ -39,12 +39,18 @@ Status DecodeDequeuePolicy(uint8_t raw, DequeuePolicy* out) {
   return Status::OK();
 }
 
-void EncodeElement(const Element& e, std::string* out) {
-  util::PutFixed64(out, e.eid);
-  util::PutVarint32(out, e.priority);
-  util::PutVarint32(out, e.abort_count);
-  util::PutLengthPrefixed(out, e.abort_code);
-  util::PutLengthPrefixed(out, e.contents);
+// Element wire encoding (the inverse of DecodeElement). The contents
+// come from the shared payload when one is attached (live ops share
+// the stored payload instead of copying it into the op); ops decoded
+// from the WAL carry them inline in meta.contents.
+void EncodeElementParts(const Element& meta,
+                        const std::shared_ptr<const std::string>& payload,
+                        std::string* out) {
+  util::PutFixed64(out, meta.eid);
+  util::PutVarint32(out, meta.priority);
+  util::PutVarint32(out, meta.abort_count);
+  util::PutLengthPrefixed(out, meta.abort_code);
+  util::PutLengthPrefixed(out, payload != nullptr ? *payload : meta.contents);
 }
 
 Status DecodeElement(Slice* input, Element* e) {
@@ -136,7 +142,7 @@ void QueueRepository::EncodeMicroOp(const MicroOp& op, std::string* out) {
       util::PutLengthPrefixed(out, op.registrant);
       break;
     case MicroOp::kInsert:
-      EncodeElement(op.element, out);
+      EncodeElementParts(op.element, op.payload, out);
       break;
     case MicroOp::kRemove:
     case MicroOp::kBumpAbortCount:
@@ -146,7 +152,7 @@ void QueueRepository::EncodeMicroOp(const MicroOp& op, std::string* out) {
       util::PutLengthPrefixed(out, op.registrant);
       out->push_back(static_cast<char>(op.op_type));
       util::PutLengthPrefixed(out, op.tag);
-      EncodeElement(op.element, out);
+      EncodeElementParts(op.element, op.payload, out);
       break;
     case MicroOp::kSetTrigger:
       EncodeTrigger(op.trigger, out);
@@ -296,10 +302,15 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       QueueState* qs = FindQueue(op.queue);
       if (qs == nullptr) break;
       InternalElement ie;
-      ie.element = op.element;
+      ie.meta = op.element;
+      ie.meta.contents.clear();
+      ie.payload = op.payload != nullptr
+                       ? op.payload
+                       : std::make_shared<const std::string>(
+                             op.element.contents);
       ie.seq = next_seq_++;
-      const ElementId eid = ie.element.eid;
-      const uint32_t inv_priority = ~ie.element.priority;
+      const ElementId eid = ie.meta.eid;
+      const uint32_t inv_priority = ~ie.meta.priority;
       qs->order[{inv_priority, ie.seq}] = eid;
       qs->elements[eid] = std::move(ie);
       if (notify_queues != nullptr) notify_queues->push_back(op.queue);
@@ -310,7 +321,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       if (qs == nullptr) break;
       auto it = qs->elements.find(op.element.eid);
       if (it != qs->elements.end()) {
-        qs->order.erase({~it->second.element.priority, it->second.seq});
+        qs->order.erase({~it->second.meta.priority, it->second.seq});
         qs->elements.erase(it);
         // Strict-FIFO waiters blocked on a locked head must re-examine
         // the new head.
@@ -323,7 +334,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       if (qs == nullptr) break;
       auto it = qs->elements.find(op.element.eid);
       if (it != qs->elements.end()) {
-        ++it->second.element.abort_count;
+        ++it->second.meta.abort_count;
         if (notify_queues != nullptr) notify_queues->push_back(op.queue);
       }
       break;
@@ -336,7 +347,12 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
         it->second.last.type = op.op_type;
         it->second.last.eid = op.element.eid;
         it->second.last.tag = op.tag;
-        it->second.last.element_copy = op.element;
+        it->second.last.meta = op.element;
+        it->second.last.meta.contents.clear();
+        it->second.last.payload =
+            op.payload != nullptr ? op.payload
+                                  : std::make_shared<const std::string>(
+                                        op.element.contents);
       }
       break;
     }
@@ -543,13 +559,15 @@ void QueueRepository::AbortTxn(txn::TxnId id) {
       ie.killed = false;
       continue;
     }
-    const uint32_t new_count = ie.element.abort_count + 1;
+    const uint32_t new_count = ie.meta.abort_count + 1;
     const QueueOptions& qopt = qs->options;
     if (!qopt.error_queue.empty() && new_count >= qopt.max_aborts) {
-      // Move to the error queue (stable element identity, §10).
-      Element moved = ie.element;
+      // Move to the error queue (stable element identity, §10). The
+      // payload is shared, not copied — only the metadata changes.
+      Element moved = ie.meta;
       moved.abort_count = new_count;
       moved.abort_code = "abort limit reached";
+      std::shared_ptr<const std::string> moved_payload = ie.payload;
       MicroOp create;
       create.kind = MicroOp::kCreateQueue;
       create.queue = qopt.error_queue;
@@ -567,6 +585,7 @@ void QueueRepository::AbortTxn(txn::TxnId id) {
       insert.kind = MicroOp::kInsert;
       insert.queue = qopt.error_queue;
       insert.element = std::move(moved);
+      insert.payload = std::move(moved_payload);
       side_effects.push_back(std::move(insert));
       error_moves_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -799,6 +818,7 @@ bool QueueRepository::QueueExists(const std::string& queue) const {
 Result<RegistrationInfo> QueueRepository::Register(
     const std::string& queue, const std::string& registrant, bool stable) {
   RegistrationInfo info;
+  std::shared_ptr<const std::string> last_payload;
   {
     std::lock_guard<std::mutex> guard(mu_);
     QueueState* qs = FindQueue(queue);
@@ -806,14 +826,18 @@ Result<RegistrationInfo> QueueRepository::Register(
     auto it = qs->registrations.find(registrant);
     if (it != qs->registrations.end()) {
       // Re-registration after a failure: hand back the stable last-op
-      // record (§4.3).
+      // record (§4.3). Only the payload refcount is touched under mu_;
+      // the byte copy happens below, after unlocking.
       info.was_registered = true;
       info.last_op = it->second.last.type;
       info.last_eid = it->second.last.eid;
       info.last_tag = it->second.last.tag;
-      info.last_element = it->second.last.element_copy.contents;
-      return info;
+      last_payload = it->second.last.payload;
     }
+  }
+  if (info.was_registered) {
+    if (last_payload != nullptr) info.last_element = *last_payload;
+    return info;
   }
   MicroOp op;
   op.kind = MicroOp::kRegister;
@@ -846,14 +870,16 @@ Status QueueRepository::Deregister(const std::string& queue,
 
 QueueRepository::MicroOp QueueRepository::MakeLastOpMicro(
     const std::string& queue, const std::string& registrant, OpType type,
-    const Slice& tag, const Element& element) const {
+    const Slice& tag, const Element& meta,
+    std::shared_ptr<const std::string> payload) const {
   MicroOp op;
   op.kind = MicroOp::kSetLastOp;
   op.queue = queue;
   op.registrant = registrant;
   op.op_type = type;
   op.tag = tag.ToString();
-  op.element = element;
+  op.element = meta;
+  op.payload = std::move(payload);
   return op;
 }
 
@@ -895,17 +921,19 @@ Result<ElementId> QueueRepository::Enqueue(txn::Transaction* t,
     eid = next_eid_++;
   }
 
+  // The contents are copied exactly once, outside mu_, into a shared
+  // immutable payload; the insert op, the last-op record, and the
+  // stored element all reference the same bytes.
   MicroOp insert;
   insert.kind = MicroOp::kInsert;
   insert.queue = target;
   insert.element.eid = eid;
   insert.element.priority = priority;
-  insert.element.contents = contents.ToString();
+  insert.payload = std::make_shared<const std::string>(contents.ToString());
   ops.push_back(insert);
   if (!registrant.empty()) {
-    ops.push_back(
-        MakeLastOpMicro(queue, registrant, OpType::kEnqueue, tag,
-                        insert.element));
+    ops.push_back(MakeLastOpMicro(queue, registrant, OpType::kEnqueue, tag,
+                                  insert.element, insert.payload));
   }
   enqueues_.fetch_add(1, std::memory_order_relaxed);
   if (t == nullptr) {
@@ -938,16 +966,26 @@ QueueRepository::InternalElement* QueueRepository::PickVisible(
     }
     return nullptr;
   }
-  std::vector<Element*> candidates;
+  // Content-based selection must show the selector full elements, so
+  // this path (and only this path) materializes contents under mu_.
   std::vector<InternalElement*> internal;
   for (const auto& [key, eid] : qs->order) {
     InternalElement& ie = qs->elements.at(eid);
     if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) {
-      candidates.push_back(&ie.element);
       internal.push_back(&ie);
     }
   }
-  if (candidates.empty()) return nullptr;
+  if (internal.empty()) return nullptr;
+  std::vector<Element> materialized;
+  materialized.reserve(internal.size());
+  std::vector<Element*> candidates;
+  candidates.reserve(internal.size());
+  for (InternalElement* ie : internal) {
+    Element e = ie->meta;
+    if (ie->payload != nullptr) e.contents = *ie->payload;
+    materialized.push_back(std::move(e));
+    candidates.push_back(&materialized.back());
+  }
   size_t chosen = (*selector)(candidates);
   if (chosen >= internal.size()) return nullptr;
   return internal[chosen];
@@ -997,7 +1035,10 @@ Result<Element> QueueRepository::DequeueInternal(
     }
   }
 
-  Element copy = picked->element;
+  // Take the metadata and a reference to the shared payload under the
+  // lock; the payload byte copy for the caller happens after unlock.
+  Element copy = picked->meta;
+  std::shared_ptr<const std::string> payload = picked->payload;
   dequeues_.fetch_add(1, std::memory_order_relaxed);
 
   MicroOp remove;
@@ -1007,8 +1048,8 @@ Result<Element> QueueRepository::DequeueInternal(
   std::vector<MicroOp> ops;
   ops.push_back(std::move(remove));
   if (!registrant.empty()) {
-    ops.push_back(
-        MakeLastOpMicro(queue, registrant, OpType::kDequeue, tag, copy));
+    ops.push_back(MakeLastOpMicro(queue, registrant, OpType::kDequeue, tag,
+                                  copy, payload));
   }
 
   if (t == nullptr) {
@@ -1026,6 +1067,7 @@ Result<Element> QueueRepository::DequeueInternal(
     for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
     const std::string replica = MaybeEncodeReplication(ops);
     lock.unlock();
+    if (payload != nullptr) copy.contents = *payload;
     if (log && options_.sync_commits) {
       RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
     }
@@ -1037,6 +1079,7 @@ Result<Element> QueueRepository::DequeueInternal(
   // Transactional: lock the element in place; removal applies at commit.
   picked->locked_by = t->id();
   lock.unlock();
+  if (payload != nullptr) copy.contents = *payload;
   BufferTxnOps(t, std::move(ops), {LockedRef{queue, copy.eid, false}});
   return copy;
 }
@@ -1070,17 +1113,40 @@ Result<Element> QueueRepository::DequeueFromSet(
 
 Result<Element> QueueRepository::Read(const std::string& queue,
                                       ElementId eid) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  const QueueState* qs = FindQueue(queue);
-  if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
-  auto it = qs->elements.find(eid);
-  if (it != qs->elements.end()) return it->second.element;
-  // §4.3: a registrant may Read the element of its last operation even
-  // after it was dequeued — serve it from the stable last-op copies.
-  for (const auto& [registrant, reg] : qs->registrations) {
-    if (reg.last.eid == eid) return reg.last.element_copy;
+  // Under mu_: find the element and bump the payload refcount. The
+  // contents copy — the expensive part for large payloads — happens
+  // after unlock, off the global lock's critical path.
+  Element result;
+  std::shared_ptr<const std::string> payload;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const QueueState* qs = FindQueue(queue);
+    if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
+    auto it = qs->elements.find(eid);
+    if (it != qs->elements.end()) {
+      result = it->second.meta;
+      payload = it->second.payload;
+      found = true;
+    } else {
+      // §4.3: a registrant may Read the element of its last operation
+      // even after it was dequeued — serve it from the stable last-op
+      // copies.
+      for (const auto& [registrant, reg] : qs->registrations) {
+        if (reg.last.eid == eid) {
+          result = reg.last.meta;
+          payload = reg.last.payload;
+          found = true;
+          break;
+        }
+      }
+    }
   }
-  return Status::NotFound("no such element: " + std::to_string(eid));
+  if (!found) {
+    return Status::NotFound("no such element: " + std::to_string(eid));
+  }
+  if (payload != nullptr) result.contents = *payload;
+  return result;
 }
 
 Result<bool> QueueRepository::KillElement(txn::Transaction* t,
@@ -1278,13 +1344,14 @@ void QueueRepository::EncodeSnapshot(std::string* out) const {
       out->push_back(static_cast<char>(reg.last.type));
       util::PutFixed64(out, reg.last.eid);
       util::PutLengthPrefixed(out, reg.last.tag);
-      EncodeElement(reg.last.element_copy, out);
+      EncodeElementParts(reg.last.meta, reg.last.payload, out);
     }
     // Elements in dequeue order (volatile queues persist none).
     if (qs->options.durable) {
       util::PutVarint64(out, qs->order.size());
       for (const auto& [key, eid] : qs->order) {
-        EncodeElement(qs->elements.at(eid).element, out);
+        const InternalElement& ie = qs->elements.at(eid);
+        EncodeElementParts(ie.meta, ie.payload, out);
       }
     } else {
       util::PutVarint64(out, 0);
@@ -1321,17 +1388,27 @@ Status QueueRepository::DecodeSnapshot(Slice input) {
       input.remove_prefix(2);
       RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &reg.last.eid));
       RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &reg.last.tag));
-      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &reg.last.element_copy));
+      Element last_element;
+      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &last_element));
+      reg.last.payload = std::make_shared<const std::string>(
+          std::move(last_element.contents));
+      last_element.contents.clear();
+      reg.last.meta = std::move(last_element);
       qs->registrations[registrant] = std::move(reg);
     }
     uint64_t element_count = 0;
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &element_count));
     for (uint64_t e = 0; e < element_count; ++e) {
+      Element decoded;
+      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &decoded));
       InternalElement ie;
-      RRQ_RETURN_IF_ERROR(DecodeElement(&input, &ie.element));
+      ie.payload =
+          std::make_shared<const std::string>(std::move(decoded.contents));
+      decoded.contents.clear();
+      ie.meta = std::move(decoded);
       ie.seq = next_seq_++;
-      qs->order[{~ie.element.priority, ie.seq}] = ie.element.eid;
-      qs->elements[ie.element.eid] = std::move(ie);
+      qs->order[{~ie.meta.priority, ie.seq}] = ie.meta.eid;
+      qs->elements[ie.meta.eid] = std::move(ie);
     }
     queues_[name] = std::move(qs);
   }

@@ -210,6 +210,12 @@ class QueueRepository final : public txn::ResourceManager {
  private:
   // A single micro-operation inside a logged record. Records are
   // redo-only: applying a micro-op mutates committed state.
+  //
+  // Element contents ride in `payload` (immutable, refcounted) when
+  // the op was built from live state — sharing the bytes instead of
+  // copying them under mu_. Ops decoded from the WAL carry contents
+  // inline in `element.contents`; PayloadOf() normalizes the two.
+  // EncodeMicroOp writes identical bytes either way.
   struct MicroOp {
     enum Kind : unsigned char {
       kCreateQueue = 1,
@@ -229,15 +235,21 @@ class QueueRepository final : public txn::ResourceManager {
     std::string queue;
     std::string registrant;   // kRegister/kDeregister/kSetLastOp
     Element element;          // kInsert (full), kRemove (eid only)
+    std::shared_ptr<const std::string> payload;  // kInsert/kSetLastOp contents
     QueueOptions qoptions;    // kCreateQueue
     bool stable = false;      // kRegister
     OpType op_type = OpType::kNone;  // kSetLastOp
-    std::string tag;                 // kSetLastOp
     TriggerSpec trigger;             // kSetTrigger
+    std::string tag;                 // kSetLastOp
   };
 
+  // A live element. The metadata (eid, priority, abort bookkeeping)
+  // lives in `meta` with empty contents; the contents are a shared
+  // immutable string, so handing an element to a reader is a refcount
+  // bump under mu_ and the byte copy happens outside the lock.
   struct InternalElement {
-    Element element;
+    Element meta;                        // meta.contents is always empty.
+    std::shared_ptr<const std::string> payload;
     uint64_t seq = 0;                    // FIFO order within priority.
     txn::TxnId locked_by = txn::kInvalidTxnId;  // Uncommitted dequeuer.
     bool killed = false;                 // KillElement hit a locked element.
@@ -247,7 +259,8 @@ class QueueRepository final : public txn::ResourceManager {
     OpType type = OpType::kNone;
     ElementId eid = kInvalidElementId;
     std::string tag;
-    Element element_copy;
+    Element meta;                        // meta.contents is always empty.
+    std::shared_ptr<const std::string> payload;
   };
 
   struct RegistrationRecord {
@@ -324,7 +337,8 @@ class QueueRepository final : public txn::ResourceManager {
   Status Replicate(const std::string& record);
   MicroOp MakeLastOpMicro(const std::string& queue,
                           const std::string& registrant, OpType type,
-                          const Slice& tag, const Element& element) const;
+                          const Slice& tag, const Element& meta,
+                          std::shared_ptr<const std::string> payload) const;
   Status OpenWalForAppend(uint64_t generation);
   Status LoadCheckpoint(uint64_t generation);
   Status ReplayWal(uint64_t generation);
@@ -338,6 +352,10 @@ class QueueRepository final : public txn::ResourceManager {
   RepositoryOptions options_;
   bool opened_ = false;
 
+  // Global repository lock. Element payloads are shared immutable
+  // strings, so the hot paths (Read / Dequeue / Register recovery)
+  // only bump a refcount while holding mu_ and materialize the byte
+  // copy for the caller after unlocking.
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<QueueState>> queues_;
   std::unordered_map<txn::TxnId, PendingTxn> txns_;

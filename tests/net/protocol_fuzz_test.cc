@@ -6,14 +6,25 @@
 // even a buffer that parses as a Dequeue returns NotFound immediately
 // instead of blocking on a wait timeout decoded from garbage.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/frame.h"
 #include "net/queue_wire.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
 #include "queue/queue_repository.h"
 #include "util/coding.h"
 #include "util/random.h"
@@ -203,6 +214,324 @@ TEST(ProtocolFuzzTest, TruncatedRepliesAreRejectedByTheClientCodec) {
     queue::QueueOptions decoded;
     EXPECT_FALSE(DecodeQueueOptions(&input, &decoded).ok()) << "len " << len;
   }
+}
+
+// ---- Wire v2 correlation-id fuzzing ---------------------------------
+//
+// Both peers of the multiplexed protocol face a trust boundary at the
+// correlation id: a corrupt, duplicate, or unknown id must never
+// crash, hang, or cross-wire replies. Framing violations poison the
+// one connection (and only it); an unknown-but-well-formed id is
+// discarded per the demux rules.
+
+int ConnectTo(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendRaw(int fd, const std::string& bytes) {
+  return send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(bytes.size());
+}
+
+// Reads one frame off `fd`, feeding `reader` as needed. Returns false
+// on EOF, socket error, or stream corruption.
+bool ReadOneFrame(int fd, FrameReader* reader, std::string* frame) {
+  while (true) {
+    Status s = reader->Next(frame);
+    if (s.ok()) return true;
+    if (!s.IsNotFound()) return false;
+    char buf[4096];
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    reader->Feed(Slice(buf, static_cast<size_t>(n)));
+  }
+}
+
+// True when the peer closed the connection (recv returns 0 or reset).
+bool WaitForClose(int fd) {
+  char buf[256];
+  for (int i = 0; i < 200; ++i) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return true;
+    if (n < 0) return errno == ECONNRESET || errno == EPIPE;
+  }
+  return false;
+}
+
+std::string MakeHelloFrame(uint32_t version) {
+  std::string payload;
+  AppendHelloPayload(&payload, version);
+  std::string wire;
+  AppendFrame(&wire, payload);
+  return wire;
+}
+
+std::string MakeV2CallFrame(uint64_t corr_id, const std::string& body) {
+  std::string payload(1, static_cast<char>(kMsgCallV2));
+  util::PutVarint64(&payload, corr_id);
+  payload += body;
+  std::string wire;
+  AppendFrame(&wire, payload);
+  return wire;
+}
+
+std::string MakeV2ReplyFrame(uint64_t corr_id, const Status& s,
+                             const std::string& body) {
+  std::string payload(1, static_cast<char>(kMsgReplyV2));
+  util::PutVarint64(&payload, corr_id);
+  EncodeStatus(s, &payload);
+  payload += body;
+  std::string wire;
+  AppendFrame(&wire, payload);
+  return wire;
+}
+
+TEST(ProtocolFuzzTest, ServerDropsCorruptAndUnknownCorrelationFrames) {
+  TcpServer server({}, [](const Slice& request, std::string* reply) {
+    reply->assign(request.ToString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // A kMsgCallV2 frame whose correlation varint never terminates.
+  {
+    const int fd = ConnectTo(server.port());
+    ASSERT_GE(fd, 0);
+    std::string payload(1, static_cast<char>(kMsgCallV2));
+    payload.append(10, static_cast<char>(0x80));
+    std::string wire;
+    AppendFrame(&wire, payload);
+    ASSERT_TRUE(SendRaw(fd, wire));
+    EXPECT_TRUE(WaitForClose(fd));
+    close(fd);
+  }
+  // An unknown frame kind.
+  {
+    const int fd = ConnectTo(server.port());
+    ASSERT_GE(fd, 0);
+    std::string payload(1, static_cast<char>(9));
+    payload += "mystery";
+    std::string wire;
+    AppendFrame(&wire, payload);
+    ASSERT_TRUE(SendRaw(fd, wire));
+    EXPECT_TRUE(WaitForClose(fd));
+    close(fd);
+  }
+  // A second hello after the handshake already completed.
+  {
+    const int fd = ConnectTo(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendRaw(fd, MakeHelloFrame(kProtocolV2)));
+    FrameReader reader;
+    std::string frame;
+    ASSERT_TRUE(ReadOneFrame(fd, &reader, &frame));  // Server's hello.
+    ASSERT_TRUE(SendRaw(fd, MakeHelloFrame(kProtocolV2)));
+    EXPECT_TRUE(WaitForClose(fd));
+    close(fd);
+  }
+  EXPECT_GE(server.protocol_errors(), 3u);
+
+  // None of it hurt well-behaved clients.
+  TcpChannelOptions options;
+  options.port = server.port();
+  TcpChannel channel(options);
+  std::string reply;
+  ASSERT_TRUE(channel.Call("fine", &reply).ok());
+  EXPECT_EQ(reply, "fine");
+}
+
+TEST(ProtocolFuzzTest, ServerAnswersDuplicateCorrelationIdsIndependently) {
+  // The server does not police id uniqueness — ids are client
+  // bookkeeping. Two calls with the same id get two replies carrying
+  // that id, and the connection stays healthy.
+  TcpServer server({}, [](const Slice& request, std::string* reply) {
+    reply->assign("r:" + request.ToString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendRaw(fd, MakeHelloFrame(kProtocolV2)));
+  FrameReader reader;
+  std::string frame;
+  ASSERT_TRUE(ReadOneFrame(fd, &reader, &frame));
+  ASSERT_FALSE(frame.empty());
+  ASSERT_EQ(static_cast<unsigned char>(frame[0]), kMsgHello);
+
+  ASSERT_TRUE(SendRaw(fd, MakeV2CallFrame(7, "a")));
+  ASSERT_TRUE(SendRaw(fd, MakeV2CallFrame(7, "b")));
+  std::set<std::string> bodies;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(ReadOneFrame(fd, &reader, &frame));
+    Slice input(frame);
+    ASSERT_FALSE(input.empty());
+    ASSERT_EQ(static_cast<unsigned char>(input[0]), kMsgReplyV2);
+    input.remove_prefix(1);
+    uint64_t id = 0;
+    ASSERT_TRUE(util::GetVarint64(&input, &id).ok());
+    EXPECT_EQ(id, 7u);
+    ASSERT_TRUE(DecodeStatus(&input).ok());
+    bodies.insert(input.ToString());
+  }
+  EXPECT_EQ(bodies, (std::set<std::string>{"r:a", "r:b"}));
+  close(fd);
+}
+
+// A scripted v2 peer for client-side reply fuzzing: completes the
+// hello handshake, then answers each call with whatever raw bytes the
+// script produces for that call's correlation id.
+class ScriptedV2Server {
+ public:
+  using Script = std::function<std::string(uint64_t corr_id)>;
+
+  explicit ScriptedV2Server(Script script) : script_(std::move(script)) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    listen(listen_fd_, 8);
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~ScriptedV2Server() {
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Run() {
+    while (true) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      Serve(fd);
+      close(fd);
+    }
+  }
+
+  void Serve(int fd) {
+    FrameReader reader;
+    std::string frame;
+    bool hello_done = false;
+    while (ReadOneFrame(fd, &reader, &frame)) {
+      if (frame.empty()) return;
+      if (!hello_done) {
+        if (static_cast<unsigned char>(frame[0]) != kMsgHello) return;
+        if (!SendRaw(fd, MakeHelloFrame(kProtocolV2))) return;
+        hello_done = true;
+        continue;
+      }
+      if (static_cast<unsigned char>(frame[0]) != kMsgCallV2) return;
+      Slice input(frame);
+      input.remove_prefix(1);
+      uint64_t id = 0;
+      if (!util::GetVarint64(&input, &id).ok()) return;
+      const std::string out = script_(id);
+      if (!out.empty() && !SendRaw(fd, out)) return;
+    }
+  }
+
+  Script script_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TcpChannelOptions FuzzChannelTo(uint16_t port) {
+  TcpChannelOptions options;
+  options.port = port;
+  options.max_connect_attempts = 5;
+  options.backoff_initial_micros = 1'000;
+  options.call_timeout_micros = 2'000'000;
+  return options;
+}
+
+TEST(ProtocolFuzzTest, ClientDiscardsUnknownCorrelationIdReplies) {
+  ScriptedV2Server server([](uint64_t id) {
+    // A ghost reply for an id that was never issued, then the real one.
+    return MakeV2ReplyFrame(id + 1'000'000, Status::OK(), "ghost") +
+           MakeV2ReplyFrame(id, Status::OK(), "real");
+  });
+
+  TcpChannel channel(FuzzChannelTo(server.port()));
+  std::string reply;
+  ASSERT_TRUE(channel.Call("x", &reply).ok());
+  EXPECT_EQ(reply, "real");
+  EXPECT_EQ(channel.late_replies(), 1u);
+  EXPECT_EQ(channel.connects(), 1u);
+}
+
+TEST(ProtocolFuzzTest, ClientIgnoresDuplicateReplies) {
+  ScriptedV2Server server([](uint64_t id) {
+    return MakeV2ReplyFrame(id, Status::OK(), "first") +
+           MakeV2ReplyFrame(id, Status::OK(), "dup");
+  });
+
+  TcpChannel channel(FuzzChannelTo(server.port()));
+  std::string reply;
+  ASSERT_TRUE(channel.Call("x", &reply).ok());
+  EXPECT_EQ(reply, "first");
+  // The duplicate lands as an unknown id (the call is already gone)
+  // and is dropped without poisoning the connection.
+  for (int i = 0; i < 200 && channel.late_replies() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(channel.late_replies(), 1u);
+  ASSERT_TRUE(channel.Call("y", &reply).ok());
+  EXPECT_EQ(reply, "first");
+  EXPECT_EQ(channel.connects(), 1u);
+}
+
+TEST(ProtocolFuzzTest, ClientPoisonsConnectionOnCorruptCorrelationVarint) {
+  ScriptedV2Server server([](uint64_t /*id*/) {
+    std::string payload(1, static_cast<char>(kMsgReplyV2));
+    payload.append(10, static_cast<char>(0x80));  // Varint never ends.
+    std::string wire;
+    AppendFrame(&wire, payload);
+    return wire;
+  });
+
+  TcpChannel channel(FuzzChannelTo(server.port()));
+  std::string reply;
+  Status s = channel.Call("x", &reply);
+  EXPECT_FALSE(s.ok());
+  // The channel recovers by reconnecting — and fails the same way
+  // again, proving the failure is per-connection, not a wedged state.
+  s = channel.Call("y", &reply);
+  EXPECT_FALSE(s.ok());
+  EXPECT_GE(channel.connects(), 2u);
+}
+
+TEST(ProtocolFuzzTest, ClientPoisonsConnectionOnWrongReplyKind) {
+  ScriptedV2Server server([](uint64_t id) {
+    // A call frame where a reply should be: framing violation.
+    return MakeV2CallFrame(id, "confused peer");
+  });
+
+  TcpChannel channel(FuzzChannelTo(server.port()));
+  std::string reply;
+  Status s = channel.Call("x", &reply);
+  EXPECT_FALSE(s.ok());
 }
 
 }  // namespace
