@@ -1,227 +1,274 @@
-// E5 (§4/§10): queue-manager operation cost — durable vs volatile
-// queues, synced vs unsynced commits, across element sizes. The paper
-// argues queues can be managed as a main-memory database with a log;
-// this bench quantifies what the log costs.
-#include <benchmark/benchmark.h>
+// E5/E19 (§4/§10): queue-manager operation cost and shard scaling.
+//
+// Each worker thread drives enqueue/dequeue pairs against its own
+// queue, with queue names chosen (via shard_of) so the queues spread
+// round-robin across the repository's shards — the disjoint-queue
+// workload the sharded repository is built for. Four durability modes:
+//
+//   volatile  no env, no logging — pure lock/apply cost
+//   nosync    MemEnv WAL appends, no fsync — logging CPU cost
+//   group     sync_commits + group commit, 200 us simulated fsync
+//   syncop    sync_commits, per-operation fsync, 200 us simulated
+//
+// The sync-bound modes model a commodity-SSD fsync with a fixed sleep,
+// so the number of *independent durability channels* (one WAL stream
+// per shard) is what throughput scales with; on a single-core host the
+// volatile/nosync modes stay flat by design. The headline acceptance
+// number is syncop at 8 threads: shards=8 vs shards=1.
+//
+// Emits BENCH_queue_ops.json (full runs only; --smoke runs a reduced
+// sweep to prove the harness end to end and skips the write).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "env/mem_env.h"
 #include "queue/queue_repository.h"
 #include "util/random.h"
 
 namespace {
 
-using rrq::queue::QueueOptions;
-using rrq::queue::QueueRepository;
-using rrq::queue::RepositoryOptions;
+using namespace rrq;  // NOLINT
+using bench::Fmt;
 
-enum class Durability : int { kVolatile = 0, kDurableNoSync = 1, kDurableSync = 2 };
+constexpr int kSyncDelayMicros = 200;
+constexpr size_t kPayloadBytes = 256;
 
-struct Fixture {
-  explicit Fixture(Durability durability) {
-    RepositoryOptions options;
-    if (durability != Durability::kVolatile) {
-      options.env = &env;
-      options.dir = "/qm";
-      options.sync_commits = durability == Durability::kDurableSync;
-    }
-    repo = std::make_unique<QueueRepository>("bench", options);
-    if (!repo->Open().ok()) abort();
-    QueueOptions qopts;
-    qopts.durable = durability != Durability::kVolatile;
-    if (!repo->CreateQueue("q", qopts).ok()) abort();
+// WritableFile that charges a fixed latency per Sync, delegating the
+// rest to the wrapped MemEnv file (same device model as E15).
+class DelayedSyncFile final : public env::WritableFile {
+ public:
+  explicit DelayedSyncFile(std::unique_ptr<env::WritableFile> base)
+      : base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override { return base_->Append(data); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    // Sleep rather than spin: a real fsync blocks in the kernel, so
+    // syncs on distinct shard WALs overlap even on one core.
+    std::this_thread::sleep_for(std::chrono::microseconds(kSyncDelayMicros));
+    return base_->Sync();
   }
+  Status Close() override { return base_->Close(); }
 
-  rrq::env::MemEnv env;
-  std::unique_ptr<QueueRepository> repo;
+ private:
+  std::unique_ptr<env::WritableFile> base_;
 };
 
-void BM_Enqueue(benchmark::State& state) {
-  Fixture fixture(static_cast<Durability>(state.range(0)));
-  rrq::util::Rng rng(1);
-  const std::string payload = rng.Bytes(static_cast<size_t>(state.range(1)));
-  for (auto _ : state) {
-    auto r = fixture.repo->Enqueue(nullptr, "q", payload);
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+class DelayedSyncEnv final : public env::Env {
+ public:
+  explicit DelayedSyncEnv(env::Env* base) : base_(base) {}
+
+  Status NewSequentialFile(
+      const std::string& fname,
+      std::unique_ptr<env::SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
   }
-  state.SetItemsProcessed(state.iterations());
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<int64_t>(payload.size()));
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<env::RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<env::WritableFile>* result) override {
+    RRQ_RETURN_IF_ERROR(base_->NewWritableFile(fname, result));
+    *result = std::make_unique<DelayedSyncFile>(std::move(*result));
+    return Status::OK();
+  }
+  Status NewAppendableFile(
+      const std::string& fname,
+      std::unique_ptr<env::WritableFile>* result) override {
+    RRQ_RETURN_IF_ERROR(base_->NewAppendableFile(fname, result));
+    *result = std::make_unique<DelayedSyncFile>(std::move(*result));
+    return Status::OK();
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  env::Env* base_;
+};
+
+enum class Mode { kVolatile, kNoSync, kGroup, kSyncOp };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kVolatile: return "volatile";
+    case Mode::kNoSync: return "nosync";
+    case Mode::kGroup: return "group";
+    case Mode::kSyncOp: return "syncop";
+  }
+  return "?";
 }
-BENCHMARK(BM_Enqueue)
-    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384}})
-    ->ArgNames({"durability", "bytes"});
 
-void BM_EnqueueDequeuePair(benchmark::State& state) {
-  Fixture fixture(static_cast<Durability>(state.range(0)));
-  rrq::util::Rng rng(2);
-  const std::string payload = rng.Bytes(static_cast<size_t>(state.range(1)));
-  for (auto _ : state) {
-    auto e = fixture.repo->Enqueue(nullptr, "q", payload);
-    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
-    auto d = fixture.repo->Dequeue(nullptr, "q");
-    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_EnqueueDequeuePair)
-    ->ArgsProduct({{0, 1, 2}, {64, 1024}})
-    ->ArgNames({"durability", "bytes"});
+struct RunResult {
+  double pairs_per_sec = 0;
+  double pair_ns = 0;
+  uint64_t wal_syncs = 0;
+};
 
-void BM_TransactionalHop(benchmark::State& state) {
-  // The server pattern: {dequeue; enqueue} in one transaction.
-  Fixture fixture(static_cast<Durability>(state.range(0)));
-  if (!fixture.repo
-           ->CreateQueue("q2", QueueOptions{.max_aborts = 3, .error_queue = "", .durable = state.range(0) != 0, .policy = rrq::queue::DequeuePolicy::kSkipLocked, .alert_threshold = 0, .redirect_to = ""})
-           .ok()) {
-    state.SkipWithError("setup failed");
-    return;
+// `threads` workers, each `pairs` enqueue/dequeue pairs against its
+// own queue; queue t is pinned to shard t % `shards` by name choice.
+RunResult RunPairs(Mode mode, unsigned shards, int threads, int pairs) {
+  env::MemEnv mem;
+  DelayedSyncEnv delayed(&mem);
+  queue::RepositoryOptions options;
+  options.shards = shards;
+  if (mode != Mode::kVolatile) {
+    options.env = mode == Mode::kNoSync ? static_cast<env::Env*>(&mem)
+                                        : static_cast<env::Env*>(&delayed);
+    options.dir = "/bench";
+    options.sync_commits = mode != Mode::kNoSync;
+    options.group_commit = mode != Mode::kSyncOp;
   }
-  rrq::txn::TransactionManager txn_mgr;
-  if (!txn_mgr.Open().ok()) {
-    state.SkipWithError("txn mgr");
-    return;
-  }
-  rrq::util::Rng rng(3);
-  const std::string payload = rng.Bytes(256);
-  for (auto _ : state) {
-    state.PauseTiming();
-    fixture.repo->Enqueue(nullptr, "q", payload);
-    state.ResumeTiming();
-    auto txn = txn_mgr.Begin();
-    auto d = fixture.repo->Dequeue(txn.get(), "q");
-    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
-    auto e = fixture.repo->Enqueue(txn.get(), "q2", d.ok() ? d->contents : "");
-    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
-    if (!txn->Commit().ok()) state.SkipWithError("commit failed");
-    state.PauseTiming();
-    fixture.repo->Dequeue(nullptr, "q2");
-    state.ResumeTiming();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TransactionalHop)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2)
-    ->ArgName("durability");
+  queue::QueueRepository repo("bench", options);
+  if (!repo.Open().ok()) abort();
 
-void BM_DepthScan(benchmark::State& state) {
-  // Cost of the committed-depth scan at various queue depths (drives
-  // alert/trigger evaluation).
-  Fixture fixture(Durability::kVolatile);
-  const int64_t depth = state.range(0);
-  for (int64_t i = 0; i < depth; ++i) {
-    fixture.repo->Enqueue(nullptr, "q", "x");
-  }
-  for (auto _ : state) {
-    auto d = fixture.repo->Depth("q");
-    benchmark::DoNotOptimize(d);
-  }
-}
-BENCHMARK(BM_DepthScan)->Arg(10)->Arg(1000)->Arg(100000)->ArgName("depth");
-
-// ---- Multi-thread scaling -------------------------------------------
-//
-// The repository serializes all state changes behind one global mutex;
-// what keeps that viable is how little work happens inside it. Element
-// payloads are shared immutable strings, so Read/Dequeue only bump a
-// refcount under the lock and copy the bytes outside it. These
-// benchmarks measure how operation throughput scales with threads on
-// one shared repository — the regression they guard is payload-sized
-// work creeping back under mu_.
-
-void BM_MultiThreadRead(benchmark::State& state) {
-  static Fixture* fixture = nullptr;
-  static rrq::queue::ElementId eid = 0;
-  if (state.thread_index() == 0) {
-    fixture = new Fixture(Durability::kVolatile);
-    rrq::util::Rng rng(5);
-    auto r = fixture->repo->Enqueue(
-        nullptr, "q", rng.Bytes(static_cast<size_t>(state.range(0))));
-    if (!r.ok()) {
-      state.SkipWithError(r.status().ToString().c_str());
-      return;
-    }
-    eid = *r;
-  }
-  for (auto _ : state) {
-    auto e = fixture->repo->Read("q", eid);
-    benchmark::DoNotOptimize(e);
-  }
-  state.SetItemsProcessed(state.iterations());
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-  if (state.thread_index() == 0) {
-    delete fixture;
-    fixture = nullptr;
-  }
-}
-BENCHMARK(BM_MultiThreadRead)
-    ->Arg(1024)
-    ->Arg(16384)
-    ->ArgName("bytes")
-    ->ThreadRange(1, 8)
-    ->UseRealTime();
-
-void BM_MultiThreadEnqueueDequeue(benchmark::State& state) {
-  // Each thread drives its own queue so the contention is purely the
-  // repository-global lock and WAL, not element stealing.
-  static Fixture* fixture = nullptr;
-  if (state.thread_index() == 0) {
-    const auto durability = static_cast<Durability>(state.range(0));
-    fixture = new Fixture(durability);
-    QueueOptions qopts;
-    qopts.durable = durability != Durability::kVolatile;
-    for (int t = 0; t < state.threads(); ++t) {
-      if (!fixture->repo->CreateQueue("q" + std::to_string(t), qopts).ok()) {
-        state.SkipWithError("queue setup failed");
-        return;
+  queue::QueueOptions qopts;
+  qopts.durable = mode != Mode::kVolatile;
+  std::vector<std::string> queues;
+  for (int t = 0; t < threads; ++t) {
+    const size_t want = static_cast<size_t>(t) % repo.shard_count();
+    for (int i = 0;; ++i) {
+      std::string name = "q" + std::to_string(t) + "-" + std::to_string(i);
+      if (repo.shard_of(name) == want) {
+        queues.push_back(name);
+        break;
       }
     }
+    if (!repo.CreateQueue(queues.back(), qopts).ok()) abort();
   }
-  const std::string queue = "q" + std::to_string(state.thread_index());
-  rrq::util::Rng rng(10 + static_cast<uint64_t>(state.thread_index()));
-  const std::string payload = rng.Bytes(1024);
-  for (auto _ : state) {
-    auto e = fixture->repo->Enqueue(nullptr, queue, payload);
-    if (!e.ok()) state.SkipWithError(e.status().ToString().c_str());
-    auto d = fixture->repo->Dequeue(nullptr, queue);
-    if (!d.ok()) state.SkipWithError(d.status().ToString().c_str());
-  }
-  state.SetItemsProcessed(state.iterations());
-  if (state.thread_index() == 0) {
-    delete fixture;
-    fixture = nullptr;
-  }
-}
-BENCHMARK(BM_MultiThreadEnqueueDequeue)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2)
-    ->ArgName("durability")
-    ->ThreadRange(1, 8)
-    ->UseRealTime();
 
-void BM_PriorityEnqueueDequeue(benchmark::State& state) {
-  // Priority-ordered dequeue vs plain FIFO at a standing depth.
-  Fixture fixture(Durability::kVolatile);
-  rrq::util::Rng rng(4);
-  const bool priorities = state.range(0) != 0;
-  for (int i = 0; i < 1000; ++i) {
-    fixture.repo->Enqueue(nullptr, "q", "seed",
-                          priorities ? static_cast<uint32_t>(rng.Uniform(8))
-                                     : 0);
+  util::Rng rng(7);
+  const std::string payload = rng.Bytes(kPayloadBytes);
+  bench::Stopwatch watch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&repo, &queues, &payload, t, pairs]() {
+      const std::string& queue = queues[static_cast<size_t>(t)];
+      for (int i = 0; i < pairs; ++i) {
+        if (!repo.Enqueue(nullptr, queue, payload).ok()) abort();
+        if (!repo.Dequeue(nullptr, queue).ok()) abort();
+      }
+    });
   }
-  for (auto _ : state) {
-    fixture.repo->Enqueue(nullptr, "q", "x",
-                          priorities ? static_cast<uint32_t>(rng.Uniform(8))
-                                     : 0);
-    auto d = fixture.repo->Dequeue(nullptr, "q");
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetItemsProcessed(state.iterations());
+  for (auto& w : workers) w.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  RunResult result;
+  const double total = static_cast<double>(threads) * pairs;
+  result.pairs_per_sec = total / elapsed;
+  result.pair_ns = elapsed * 1e9 / total;
+  result.wal_syncs = repo.wal_sync_count();
+  return result;
 }
-BENCHMARK(BM_PriorityEnqueueDequeue)->Arg(0)->Arg(1)->ArgName("priorities");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<unsigned> shard_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  auto pairs_for = [smoke](Mode mode) {
+    if (mode == Mode::kGroup || mode == Mode::kSyncOp) return smoke ? 20 : 150;
+    return smoke ? 50 : 2000;
+  };
+
+  printf("E19: queue ops across shards (%zu B payloads, %d us simulated "
+         "fsync on sync modes)%s\n\n",
+         kPayloadBytes, kSyncDelayMicros, smoke ? " [smoke]" : "");
+
+  std::string json =
+      "{\n  \"sync_delay_micros\": " + std::to_string(kSyncDelayMicros) +
+      ",\n  \"payload_bytes\": " + std::to_string(kPayloadBytes) +
+      ",\n  \"modes\": [\n";
+  double shard1_at8 = 0, shard8_at8 = 0;
+  bool first_mode = true;
+  for (Mode mode :
+       {Mode::kVolatile, Mode::kNoSync, Mode::kGroup, Mode::kSyncOp}) {
+    const int pairs = pairs_for(mode);
+    printf("mode=%s (%d pairs/thread)\n", ModeName(mode), pairs);
+    std::vector<std::string> headers = {"threads"};
+    for (unsigned s : shard_counts) {
+      headers.push_back("shards=" + std::to_string(s) + " (pairs/s)");
+    }
+    bench::Table table(headers);
+    if (!first_mode) json += ",\n";
+    first_mode = false;
+    json += "    {\"mode\": \"" + std::string(ModeName(mode)) +
+            "\", \"pairs_per_thread\": " + std::to_string(pairs) +
+            ", \"runs\": [\n";
+    bool first_run = true;
+    for (int threads : thread_counts) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      for (unsigned shards : shard_counts) {
+        RunResult r = RunPairs(mode, shards, threads, pairs);
+        row.push_back(Fmt(r.pairs_per_sec, 0));
+        if (!first_run) json += ",\n";
+        first_run = false;
+        json += "      {\"threads\": " + std::to_string(threads) +
+                ", \"shards\": " + std::to_string(shards) +
+                ", \"pairs_per_sec\": " + Fmt(r.pairs_per_sec, 0) +
+                ", \"pair_ns\": " + Fmt(r.pair_ns, 0) +
+                ", \"wal_syncs\": " + std::to_string(r.wal_syncs) + "}";
+        if (mode == Mode::kSyncOp && threads == 8) {
+          if (shards == 1) shard1_at8 = r.pairs_per_sec;
+          if (shards == 8) shard8_at8 = r.pairs_per_sec;
+        }
+      }
+      table.AddRow(row);
+    }
+    json += "\n    ]}";
+    table.Print();
+    printf("\n");
+  }
+  json += "\n  ]";
+  if (shard1_at8 > 0 && shard8_at8 > 0) {
+    const double speedup = shard8_at8 / shard1_at8;
+    printf("headline (syncop, 8 threads): shards=1 %s pairs/s -> shards=8 "
+           "%s pairs/s (%sx)\n",
+           Fmt(shard1_at8, 0).c_str(), Fmt(shard8_at8, 0).c_str(),
+           Fmt(speedup, 2).c_str());
+    json += ",\n  \"headline\": {\"mode\": \"syncop\", \"threads\": 8, "
+            "\"shards1_pairs_per_sec\": " +
+            Fmt(shard1_at8, 0) + ", \"shards8_pairs_per_sec\": " +
+            Fmt(shard8_at8, 0) + ", \"speedup\": " + Fmt(speedup, 2) + "}";
+  }
+  json += "\n}\n";
+
+  if (!smoke) {
+    rrq::bench::WriteBenchJson("queue_ops", json);
+  }
+  return 0;
+}

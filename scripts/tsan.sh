@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Builds the project under ThreadSanitizer and runs the concurrency-
 # sensitive tests: the WAL group-commit path (leader syncs while other
-# committers append), the repository, the KV store, the client/server
-# stack, and the TCP transport (acceptor + per-connection threads,
-# clerk vs daemon-kill races). Usage: scripts/tsan.sh [ctest -R regex]
+# committers append), the repository (including the sharded cross-
+# shard commit protocol, per-shard replication tickets, and parallel
+# shard recovery), the KV store, the client/server stack, and the TCP
+# transport (acceptor + per-connection threads, clerk vs daemon-kill
+# races). Usage: scripts/tsan.sh [ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-log_test|group_commit_test|queue_repository_test|queue_property_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test}"
+FILTER="${1:-log_test|group_commit_test|queue_repository_test|queue_property_test|replication_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test}"
 
 cmake -B "$BUILD_DIR" -S . -DRRQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j

@@ -8,9 +8,11 @@ namespace rrq::env {
 
 namespace {
 
-// Parses `name` as `prefix` + decimal generation. Returns false for
-// anything else (including trailing garbage like "WAL-3.tmp", which
-// the .tmp rule handles instead).
+// Parses `name` as `prefix` + decimal generation, optionally followed
+// by "-" + decimal shard index (sharded repositories write one
+// WAL/checkpoint stream per shard: WAL-<gen>-<shard>). Returns false
+// for anything else (including trailing garbage like "WAL-3.tmp",
+// which the .tmp rule handles instead).
 bool ParseGeneration(const std::string& name, const std::string& prefix,
                      uint64_t* generation) {
   if (name.size() <= prefix.size() ||
@@ -18,10 +20,22 @@ bool ParseGeneration(const std::string& name, const std::string& prefix,
     return false;
   }
   uint64_t value = 0;
-  for (size_t i = prefix.size(); i < name.size(); ++i) {
+  size_t i = prefix.size();
+  bool any = false;
+  for (; i < name.size(); ++i) {
     const char c = name[i];
-    if (c < '0' || c > '9') return false;
+    if (c < '0' || c > '9') break;
     value = value * 10 + static_cast<uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any) return false;
+  if (i != name.size()) {
+    // Optional per-shard suffix: "-<digits>" and nothing after it.
+    if (name[i] != '-' || i + 1 == name.size()) return false;
+    for (++i; i < name.size(); ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') return false;
+    }
   }
   *generation = value;
   return true;

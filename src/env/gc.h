@@ -17,7 +17,8 @@ struct GcStats {
 
 /// Removes the orphans a crashed checkpoint can leave in a
 /// CURRENT/WAL-<gen>/CHECKPOINT-<gen> directory: every "WAL-<n>" and
-/// "CHECKPOINT-<n>" whose generation is not `current_generation`, plus
+/// "CHECKPOINT-<n>" (or per-shard "WAL-<n>-<s>" / "CHECKPOINT-<n>-<s>")
+/// whose generation is not `current_generation`, plus
 /// every "*.tmp" straggler from an interrupted atomic file write.
 /// Files that match neither pattern are left alone. Remove failures
 /// are logged and counted but do not fail the pass — recovery must

@@ -54,8 +54,12 @@ void HandleSignal(int /*sig*/) { g_stop = 1; }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <state-dir> [--host H] [--port P] "
-               "[--threads N] [--workers N] [--request-queue NAME] "
-               "[--no-server]\n",
+               "[--threads N] [--workers N] [--shards N] "
+               "[--request-queue NAME] [--no-server]\n"
+               "  --shards N  queue-repository shards (per-shard WAL "
+               "streams; 0 = hardware concurrency).\n"
+               "              An existing --dir keeps its on-disk shard "
+               "count.\n",
                argv0);
 }
 
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   int port = 0;
   int threads = 1;
   int workers = 0;  // 0 = hardware concurrency
+  int shards = 0;   // 0 = hardware concurrency
   bool run_server = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +96,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (arg == "--workers") {
       workers = std::atoi(next());
+    } else if (arg == "--shards") {
+      shards = std::atoi(next());
     } else if (arg == "--request-queue") {
       request_queue = next();
     } else if (arg == "--no-server") {
@@ -100,7 +107,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (dir.empty() || port < 0 || port > 65535 || threads < 1 || workers < 0) {
+  if (dir.empty() || port < 0 || port > 65535 || threads < 1 || workers < 0 ||
+      shards < 0) {
     Usage(argv[0]);
     return 2;
   }
@@ -129,6 +137,7 @@ int main(int argc, char** argv) {
   queue::RepositoryOptions repo_options;
   repo_options.env = env;
   repo_options.dir = dir + "/qm";
+  repo_options.shards = static_cast<unsigned>(shards);
   repo_options.in_doubt_resolver = [&txn_mgr](txn::TxnId id) {
     return txn_mgr.WasCommitted(id);
   };

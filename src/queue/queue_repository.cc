@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+#include <unordered_set>
 
 #include "env/gc.h"
 #include "util/coding.h"
@@ -18,6 +20,22 @@ constexpr unsigned char kRecCommit = 2;
 constexpr unsigned char kRecCommitted = 3;  // Fused auto-commit / 1PC.
 
 constexpr int kMaxRedirectHops = 4;
+
+// Internal cross-shard auto-commits (redirected tagged enqueues,
+// cross-shard error-queue moves, replicated records spanning shards)
+// run the prepare/commit protocol under an id drawn from the eid
+// counter with this bit set. The bit keeps internal ids out of the
+// TransactionManager id space (epoch << 48 | counter never reaches bit
+// 63 until epoch 0x8000) so recovery never consults the in-doubt
+// resolver for them: an internal prepare without a commit record on
+// any shard is always a presumed abort.
+constexpr txn::TxnId kInternalTxnBit = txn::TxnId{1} << 63;
+
+size_t ResolveShardCount(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 // Persistent formats store enums as raw bytes; a corrupted or torn
 // byte must surface as Corruption at decode time, never as an
@@ -105,16 +123,144 @@ Status DecodeTrigger(Slice* input, TriggerSpec* t) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Shard
+
+// One shard of the repository: a slice of the queue namespace with its
+// own lock, WAL stream (and therefore its own group-commit leader),
+// pending-transaction table, and triggers. The shard is the
+// ResourceManager transactions enlist: a transaction spanning shards
+// has one participant per shard and the TransactionManager runs real
+// 2PC across them; a single-shard transaction keeps the fused
+// one-phase fast path.
+struct QueueRepository::Shard final : public txn::ResourceManager {
+  Shard(QueueRepository* repo, size_t index)
+      : repo(repo),
+        index(index),
+        rm_label(repo->name_ + "/" + std::to_string(index)) {}
+
+  QueueRepository* const repo;
+  const size_t index;
+  const std::string rm_label;
+
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<QueueState>> queues;
+  std::unordered_map<txn::TxnId, PendingTxn> txns;
+  std::vector<TriggerSpec> triggers;
+  uint64_t next_seq = 1;
+  // shared_ptr so a committer can keep syncing the writer it appended
+  // to after releasing `mu`, even if a concurrent Checkpoint() swaps
+  // in the next generation's writer meanwhile.
+  std::shared_ptr<wal::LogWriter> wal;
+
+  // Replication delivery slots: tickets are taken under `mu` at apply
+  // time and the sink is called in ticket order, so a backup sees this
+  // shard's records in exactly the order they applied here.
+  std::mutex repl_mu;
+  std::condition_variable repl_cv;
+  uint64_t repl_next = 0;
+  uint64_t repl_done = 0;
+
+  QueueState* Find(const std::string& queue) {
+    auto it = queues.find(queue);
+    return it == queues.end() ? nullptr : it->second.get();
+  }
+  const QueueState* Find(const std::string& queue) const {
+    auto it = queues.find(queue);
+    return it == queues.end() ? nullptr : it->second.get();
+  }
+
+  // Whether any micro-op touches a durable queue (or repo metadata).
+  // Requires `mu`.
+  bool NeedsLogging(const std::vector<MicroOp>& ops) const {
+    if (wal == nullptr) return false;
+    for (const MicroOp& op : ops) {
+      switch (op.kind) {
+        case MicroOp::kInsert:
+        case MicroOp::kRemove:
+        case MicroOp::kBumpAbortCount: {
+          const QueueState* qs = Find(op.queue);
+          if (qs == nullptr || qs->options.durable) return true;
+          break;  // Element traffic on a volatile queue: no logging.
+        }
+        default:
+          return true;  // Metadata, registrations, tags: always durable.
+      }
+    }
+    return false;
+  }
+
+  bool HasTxn(txn::TxnId id) const {
+    std::lock_guard<std::mutex> guard(mu);
+    return txns.count(id) > 0;
+  }
+
+  // ---- txn::ResourceManager (bodies below, after the repo helpers) ----
+  std::string_view rm_name() const override { return rm_label; }
+  Status Prepare(txn::TxnId id) override;
+  Status CommitTxn(txn::TxnId id) override;
+  void AbortTxn(txn::TxnId id) override;
+  Status PrepareAndCommit(txn::TxnId id) override;
+};
+
+// Per-shard recovery scratch: leftover prepared transactions in WAL
+// order, and every commit-record id seen (merged across shards to
+// resolve cross-shard internal commits atomically).
+struct QueueRepository::ShardRecovery {
+  std::vector<txn::TxnId> prepared_order;
+  std::unordered_map<txn::TxnId, std::vector<MicroOp>> prepared;
+  std::unordered_set<txn::TxnId> committed;
+};
+
 QueueRepository::QueueRepository(std::string name, RepositoryOptions options)
-    : name_(std::move(name)), options_(std::move(options)) {}
+    : name_(std::move(name)), options_(std::move(options)) {
+  BuildShards(ResolveShardCount(options_.shards));
+}
 
 QueueRepository::~QueueRepository() = default;
 
-std::string QueueRepository::WalPath(uint64_t g) const {
-  return options_.dir + "/WAL-" + std::to_string(g);
+void QueueRepository::BuildShards(size_t count) {
+  if (count == 0) count = 1;
+  shards_.clear();
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(this, i));
+  }
 }
-std::string QueueRepository::CheckpointPath(uint64_t g) const {
-  return options_.dir + "/CHECKPOINT-" + std::to_string(g);
+
+size_t QueueRepository::ShardIndexOf(const std::string& queue) const {
+  if (shards_.size() <= 1) return 0;
+  // FNV-1a: stable across processes and standard libraries, so a queue
+  // recovers onto the same shard (and the same WAL stream) that logged
+  // it. std::hash carries no such guarantee.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : queue) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h % shards_.size();
+}
+
+QueueRepository::Shard* QueueRepository::ShardFor(const std::string& queue) {
+  return shards_[ShardIndexOf(queue)].get();
+}
+
+const QueueRepository::Shard* QueueRepository::ShardFor(
+    const std::string& queue) const {
+  return shards_[ShardIndexOf(queue)].get();
+}
+
+std::string QueueRepository::WalPath(uint64_t g, size_t shard) const {
+  std::string path = options_.dir + "/WAL-" + std::to_string(g);
+  // Single-shard repositories keep the pre-sharding file names, so
+  // their directories stay byte-compatible in both directions.
+  if (shards_.size() > 1) path += "-" + std::to_string(shard);
+  return path;
+}
+std::string QueueRepository::CheckpointPath(uint64_t g, size_t shard) const {
+  std::string path = options_.dir + "/CHECKPOINT-" + std::to_string(g);
+  if (shards_.size() > 1) path += "-" + std::to_string(shard);
+  return path;
 }
 std::string QueueRepository::CurrentPath() const {
   return options_.dir + "/CURRENT";
@@ -218,75 +364,59 @@ void QueueRepository::EncodeRecord(unsigned char type, txn::TxnId id,
 // ---------------------------------------------------------------------------
 // State access helpers
 
-QueueRepository::QueueState* QueueRepository::FindQueue(
-    const std::string& queue) {
-  auto it = queues_.find(queue);
-  return it == queues_.end() ? nullptr : it->second.get();
-}
-
-const QueueRepository::QueueState* QueueRepository::FindQueue(
-    const std::string& queue) const {
-  auto it = queues_.find(queue);
-  return it == queues_.end() ? nullptr : it->second.get();
-}
-
 std::string QueueRepository::ResolveRedirect(const std::string& queue) const {
   std::string current = queue;
   for (int hop = 0; hop < kMaxRedirectHops; ++hop) {
-    const QueueState* qs = FindQueue(current);
-    if (qs == nullptr || qs->options.redirect_to.empty()) return current;
-    current = qs->options.redirect_to;
+    const Shard* s = ShardFor(current);
+    std::string next;
+    {
+      std::lock_guard<std::mutex> guard(s->mu);
+      const QueueState* qs = s->Find(current);
+      if (qs == nullptr || qs->options.redirect_to.empty()) return current;
+      next = qs->options.redirect_to;  // Immutable after creation.
+    }
+    current = std::move(next);
   }
   return current;
 }
 
-bool QueueRepository::NeedsLogging(const std::vector<MicroOp>& ops) const {
-  if (wal_ == nullptr) return false;
-  for (const MicroOp& op : ops) {
-    switch (op.kind) {
-      case MicroOp::kInsert:
-      case MicroOp::kRemove:
-      case MicroOp::kBumpAbortCount: {
-        const QueueState* qs = FindQueue(op.queue);
-        if (qs == nullptr || qs->options.durable) return true;
-        break;  // Element traffic on a volatile queue: no logging.
-      }
-      default:
-        return true;  // Metadata, registrations, tags: always durable.
-    }
+void QueueRepository::AdvanceEid(uint64_t floor) {
+  uint64_t cur = next_eid_.load(std::memory_order_relaxed);
+  while (floor > cur &&
+         !next_eid_.compare_exchange_weak(cur, floor,
+                                          std::memory_order_relaxed)) {
   }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
 // Applying committed micro-ops
 
-void QueueRepository::ApplyMicroOp(const MicroOp& op,
+void QueueRepository::ApplyMicroOp(Shard* s, const MicroOp& op,
                                    std::vector<std::string>* notify_queues) {
   switch (op.kind) {
     case MicroOp::kCreateQueue: {
-      if (queues_.count(op.queue) == 0) {
+      if (s->queues.count(op.queue) == 0) {
         auto qs = std::make_unique<QueueState>();
         qs->options = op.qoptions;
-        queues_[op.queue] = std::move(qs);
+        s->queues[op.queue] = std::move(qs);
       }
       break;
     }
     case MicroOp::kDestroyQueue:
-      queues_.erase(op.queue);
+      s->queues.erase(op.queue);
       break;
     case MicroOp::kStartQueue: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs != nullptr) qs->started = true;
       break;
     }
     case MicroOp::kStopQueue: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs != nullptr) qs->started = false;
       break;
     }
     case MicroOp::kRegister: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs != nullptr) {
         auto& reg = qs->registrations[op.registrant];  // Keeps existing last-op.
         reg.stable = op.stable;
@@ -294,12 +424,12 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       break;
     }
     case MicroOp::kDeregister: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs != nullptr) qs->registrations.erase(op.registrant);
       break;
     }
     case MicroOp::kInsert: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs == nullptr) break;
       InternalElement ie;
       ie.meta = op.element;
@@ -308,7 +438,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
                        ? op.payload
                        : std::make_shared<const std::string>(
                              op.element.contents);
-      ie.seq = next_seq_++;
+      ie.seq = s->next_seq++;
       const ElementId eid = ie.meta.eid;
       const uint32_t inv_priority = ~ie.meta.priority;
       qs->order[{inv_priority, ie.seq}] = eid;
@@ -317,7 +447,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       break;
     }
     case MicroOp::kRemove: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs == nullptr) break;
       auto it = qs->elements.find(op.element.eid);
       if (it != qs->elements.end()) {
@@ -330,7 +460,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       break;
     }
     case MicroOp::kBumpAbortCount: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs == nullptr) break;
       auto it = qs->elements.find(op.element.eid);
       if (it != qs->elements.end()) {
@@ -340,7 +470,7 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       break;
     }
     case MicroOp::kSetLastOp: {
-      QueueState* qs = FindQueue(op.queue);
+      QueueState* qs = s->Find(op.queue);
       if (qs == nullptr) break;
       auto it = qs->registrations.find(op.registrant);
       if (it != qs->registrations.end() && it->second.stable) {
@@ -357,15 +487,15 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
       break;
     }
     case MicroOp::kSetTrigger:
-      triggers_.push_back(op.trigger);
+      s->triggers.push_back(op.trigger);
       break;
     case MicroOp::kClearTrigger: {
-      auto it = std::find_if(triggers_.begin(), triggers_.end(),
+      auto it = std::find_if(s->triggers.begin(), s->triggers.end(),
                              [&op](const TriggerSpec& t) {
                                return t.watched_queue == op.trigger.watched_queue &&
                                       t.target_queue == op.trigger.target_queue;
                              });
-      if (it != triggers_.end()) triggers_.erase(it);
+      if (it != s->triggers.end()) s->triggers.erase(it);
       break;
     }
   }
@@ -373,251 +503,6 @@ void QueueRepository::ApplyMicroOp(const MicroOp& op,
 
 // ---------------------------------------------------------------------------
 // Commit plumbing
-
-Status QueueRepository::AutoCommit(std::vector<MicroOp> ops) {
-  // Encode the record outside mu_ — only the WAL append and the
-  // in-memory apply need the lock. The eid watermark in the record is
-  // safe to read here because every eid in `ops` was allocated before
-  // this call. The replication sink reuses the same bytes.
-  const bool replicate = options_.replication_sink != nullptr && !ops.empty();
-  std::string record;
-  if (options_.env != nullptr || replicate) {
-    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-  }
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = nullptr;
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool log = NeedsLogging(ops);
-  if (log) {
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-    wal = wal_.get();
-  }
-  std::vector<std::string> notify;
-  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-  lock.unlock();
-  if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-  }
-  AfterApply(notify);
-  return Replicate(replicate ? record : std::string());
-}
-
-void QueueRepository::BufferTxnOps(txn::Transaction* t,
-                                   std::vector<MicroOp> ops,
-                                   std::vector<LockedRef> locked) {
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    PendingTxn& pt = txns_[t->id()];
-    for (auto& op : ops) pt.ops.push_back(std::move(op));
-    for (auto& l : locked) pt.locked.push_back(std::move(l));
-  }
-  t->Enlist(this);
-}
-
-Status QueueRepository::Prepare(txn::TxnId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  if (it == txns_.end()) {
-    // A transaction with no operations on this repository: trivially yes.
-    txns_[id].prepared = true;
-    return Status::OK();
-  }
-  PendingTxn& pt = it->second;
-  // Veto if any element we dequeued was killed out from under us (§7).
-  // Kill reservations made by this transaction itself don't veto.
-  for (const LockedRef& ref : pt.locked) {
-    if (ref.is_kill) continue;
-    QueueState* qs = FindQueue(ref.queue);
-    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
-    auto eit = qs->elements.find(ref.eid);
-    if (eit == qs->elements.end() || eit->second.killed) {
-      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
-    }
-  }
-  const bool log = NeedsLogging(pt.ops);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    std::string record;
-    EncodeRecord(kRecPrepare, id, pt.ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-  }
-  pt.prepared = true;
-  lock.unlock();
-  if (log) return wal->SyncTo(end_offset);  // A yes vote must be durable.
-  return Status::OK();
-}
-
-Status QueueRepository::CommitTxn(txn::TxnId id) {
-  // The commit record carries no ops; encode it before taking mu_.
-  std::string record;
-  if (options_.env != nullptr) {
-    EncodeRecord(kRecCommit, id, {}, &record);
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  if (it == txns_.end()) return Status::OK();  // No ops here.
-  PendingTxn pt = std::move(it->second);
-  txns_.erase(it);
-  if (!pt.prepared) {
-    return Status::Internal("commit of unprepared transaction");
-  }
-  const bool log = NeedsLogging(pt.ops);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-  }
-  std::vector<std::string> notify;
-  for (const MicroOp& op : pt.ops) ApplyMicroOp(op, &notify);
-  // Locked elements consumed by kRemove ops are gone; make sure any
-  // still-live ones (defensive) are unlocked.
-  for (const LockedRef& ref : pt.locked) {
-    QueueState* qs = FindQueue(ref.queue);
-    if (qs == nullptr) continue;
-    auto eit = qs->elements.find(ref.eid);
-    if (eit != qs->elements.end() && eit->second.locked_by == id) {
-      eit->second.locked_by = txn::kInvalidTxnId;
-    }
-  }
-  const std::string replica = MaybeEncodeReplication(pt.ops);
-  lock.unlock();
-  if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-  }
-  AfterApply(notify);
-  return Replicate(replica);
-}
-
-Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  if (it == txns_.end()) return Status::OK();
-  PendingTxn& pt = it->second;
-  for (const LockedRef& ref : pt.locked) {
-    if (ref.is_kill) continue;
-    QueueState* qs = FindQueue(ref.queue);
-    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
-    auto eit = qs->elements.find(ref.eid);
-    if (eit == qs->elements.end() || eit->second.killed) {
-      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
-    }
-  }
-  PendingTxn done = std::move(pt);
-  txns_.erase(it);
-  const bool log = NeedsLogging(done.ops);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    std::string record;
-    EncodeRecord(kRecCommitted, id, done.ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-  }
-  std::vector<std::string> notify;
-  for (const MicroOp& op : done.ops) ApplyMicroOp(op, &notify);
-  for (const LockedRef& ref : done.locked) {
-    QueueState* qs = FindQueue(ref.queue);
-    if (qs == nullptr) continue;
-    auto eit = qs->elements.find(ref.eid);
-    if (eit != qs->elements.end() && eit->second.locked_by == id) {
-      eit->second.locked_by = txn::kInvalidTxnId;
-    }
-  }
-  const std::string replica = MaybeEncodeReplication(done.ops);
-  lock.unlock();
-  if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-  }
-  AfterApply(notify);
-  return Replicate(replica);
-}
-
-void QueueRepository::AbortTxn(txn::TxnId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  if (it == txns_.end()) return;
-  PendingTxn pt = std::move(it->second);
-  txns_.erase(it);
-
-  // Abort side effects (§4.2): each element this transaction had
-  // dequeued returns to its queue with an incremented abort count; on
-  // the n-th abort it moves to the error queue instead. Killed
-  // elements are already durably deleted. These effects are themselves
-  // durable and are NOT undone by the abort — they auto-commit.
-  std::vector<MicroOp> side_effects;
-  for (const LockedRef& ref : pt.locked) {
-    QueueState* qs = FindQueue(ref.queue);
-    if (qs == nullptr) continue;
-    auto eit = qs->elements.find(ref.eid);
-    if (eit == qs->elements.end()) continue;  // Killed & removed.
-    InternalElement& ie = eit->second;
-    if (ie.locked_by != id) continue;
-    ie.locked_by = txn::kInvalidTxnId;
-    if (ref.is_kill) {
-      // The kill was undone with the transaction: release the element
-      // intact.
-      ie.killed = false;
-      continue;
-    }
-    const uint32_t new_count = ie.meta.abort_count + 1;
-    const QueueOptions& qopt = qs->options;
-    if (!qopt.error_queue.empty() && new_count >= qopt.max_aborts) {
-      // Move to the error queue (stable element identity, §10). The
-      // payload is shared, not copied — only the metadata changes.
-      Element moved = ie.meta;
-      moved.abort_count = new_count;
-      moved.abort_code = "abort limit reached";
-      std::shared_ptr<const std::string> moved_payload = ie.payload;
-      MicroOp create;
-      create.kind = MicroOp::kCreateQueue;
-      create.queue = qopt.error_queue;
-      create.qoptions.durable = qopt.durable;
-      create.qoptions.max_aborts = 0;  // Error queues don't cascade.
-      if (queues_.count(qopt.error_queue) == 0) {
-        side_effects.push_back(std::move(create));
-      }
-      MicroOp remove;
-      remove.kind = MicroOp::kRemove;
-      remove.queue = ref.queue;
-      remove.element.eid = ref.eid;
-      side_effects.push_back(std::move(remove));
-      MicroOp insert;
-      insert.kind = MicroOp::kInsert;
-      insert.queue = qopt.error_queue;
-      insert.element = std::move(moved);
-      insert.payload = std::move(moved_payload);
-      side_effects.push_back(std::move(insert));
-      error_moves_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      MicroOp bump;
-      bump.kind = MicroOp::kBumpAbortCount;
-      bump.queue = ref.queue;
-      bump.element.eid = ref.eid;
-      side_effects.push_back(std::move(bump));
-    }
-  }
-
-  std::vector<std::string> notify;
-  for (const LockedRef& ref : pt.locked) notify.push_back(ref.queue);
-  const bool log = !side_effects.empty() && NeedsLogging(side_effects);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    std::string record;
-    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, side_effects, &record);
-    Status s = wal_->AddRecord(record, &end_offset);
-    if (!s.ok()) {
-      RRQ_LOG(kError) << name_ << ": abort side-effect logging failed: "
-                      << s.ToString();
-    }
-  }
-  for (const MicroOp& op : side_effects) ApplyMicroOp(op, &notify);
-  const std::string replica = MaybeEncodeReplication(side_effects);
-  lock.unlock();
-  if (log && options_.sync_commits) wal->SyncTo(end_offset);
-  AfterApply(notify);
-  Replicate(replica);
-}
 
 std::string QueueRepository::MaybeEncodeReplication(
     const std::vector<MicroOp>& ops) const {
@@ -627,100 +512,84 @@ std::string QueueRepository::MaybeEncodeReplication(
   return record;
 }
 
-Status QueueRepository::Replicate(const std::string& record) {
-  if (record.empty()) return Status::OK();
-  Status s = options_.replication_sink(record);
-  if (!s.ok()) {
-    replication_failures_.fetch_add(1, std::memory_order_relaxed);
-  }
-  return s;
+QueueRepository::ReplTicket QueueRepository::AcquireReplTicket(Shard* s) {
+  std::lock_guard<std::mutex> guard(s->repl_mu);
+  return ReplTicket{s, s->repl_next++};
 }
 
-Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Slice input = record;
-  if (input.empty()) return Status::InvalidArgument("empty record");
-  input.remove_prefix(1);  // Record type (always a committed set).
-  uint64_t id = 0;
-  uint64_t eid_watermark = 0;
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
-  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
-  if (eid_watermark > next_eid_.load(std::memory_order_relaxed)) {
-    next_eid_.store(eid_watermark, std::memory_order_relaxed);
+Status QueueRepository::DeliverReplica(const std::vector<ReplTicket>& tickets,
+                                       const std::string& record) {
+  if (tickets.empty()) return Status::OK();
+  // Wait for every earlier slot on every involved shard. Tickets for a
+  // multi-shard record are taken while holding all its shard locks, so
+  // any two deliveries sharing a shard have consistent relative order
+  // on every shard they share — the ascending waits cannot cycle.
+  for (const ReplTicket& t : tickets) {
+    std::unique_lock<std::mutex> lock(t.shard->repl_mu);
+    t.shard->repl_cv.wait(lock,
+                          [&t] { return t.shard->repl_done == t.ticket; });
   }
-  uint64_t op_count = 0;
-  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
-  std::vector<MicroOp> ops;
-  ops.reserve(static_cast<size_t>(op_count));
-  for (uint64_t i = 0; i < op_count; ++i) {
-    MicroOp op;
-    RRQ_RETURN_IF_ERROR(DecodeMicroOp(&input, &op));
-    ops.push_back(std::move(op));
-  }
-  // Durable backups log the record verbatim (it is already a valid
-  // committed record carrying the eid watermark).
-  const bool log = NeedsLogging(ops);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-  }
-  std::vector<std::string> notify;
-  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-  const std::string chained = MaybeEncodeReplication(ops);
-  lock.unlock();
-  if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-  }
-  AfterApply(notify, /*evaluate_reactions=*/false);
-  return Replicate(chained);
-}
-
-void QueueRepository::AfterApply(const std::vector<std::string>& notify_queues,
-                                 bool evaluate_reactions) {
-  // Wake dequeuers.
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    for (const std::string& q : notify_queues) {
-      QueueState* qs = FindQueue(q);
-      if (qs != nullptr) qs->cv.notify_all();
+  Status result = Status::OK();
+  if (!record.empty()) {
+    result = options_.replication_sink(record);
+    if (!result.ok()) {
+      replication_failures_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  for (const ReplTicket& t : tickets) {
+    {
+      std::lock_guard<std::mutex> guard(t.shard->repl_mu);
+      ++t.shard->repl_done;
+    }
+    t.shard->repl_cv.notify_all();
+  }
+  return result;
+}
 
+void QueueRepository::NotifyWaiters(
+    const std::vector<std::string>& notify_queues) {
+  for (const std::string& q : notify_queues) {
+    Shard* s = ShardFor(q);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(q);
+    if (qs != nullptr) qs->cv.notify_all();
+  }
+}
+
+void QueueRepository::EvaluateReactions(
+    const std::vector<std::string>& notify_queues) {
+  if (notify_queues.empty()) return;
   // Alerts and triggers are evaluated against committed depth, outside
-  // the lock (they re-enter the public API). Replicated applies skip
-  // this: the primary's reactions replicate as ordinary records.
-  if (!evaluate_reactions) return;
+  // the shard locks (they re-enter the public API).
   std::vector<std::pair<std::string, size_t>> alerts;
   std::vector<TriggerSpec> fired;
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    for (const std::string& q : notify_queues) {
-      QueueState* qs = FindQueue(q);
-      if (qs == nullptr) continue;
-      // Depth is O(queue) to compute; only pay for it when an alert or
-      // trigger actually watches this queue.
-      const bool has_alert = qs->options.alert_threshold != 0;
-      bool has_trigger = false;
-      for (const TriggerSpec& t : triggers_) {
-        if (t.watched_queue == q) {
-          has_trigger = true;
-          break;
-        }
+  for (const std::string& q : notify_queues) {
+    Shard* s = ShardFor(q);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(q);
+    if (qs == nullptr) continue;
+    // Depth is O(queue) to compute; only pay for it when an alert or
+    // trigger actually watches this queue.
+    const bool has_alert = qs->options.alert_threshold != 0;
+    bool has_trigger = false;
+    for (const TriggerSpec& t : s->triggers) {
+      if (t.watched_queue == q) {
+        has_trigger = true;
+        break;
       }
-      if (!has_alert && !has_trigger) continue;
-      size_t depth = 0;
-      for (const auto& [key, eid] : qs->order) {
-        const auto& ie = qs->elements.at(eid);
-        if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) ++depth;
-      }
-      if (has_alert && depth == qs->options.alert_threshold) {
-        alerts.emplace_back(q, depth);
-      }
-      for (const TriggerSpec& t : triggers_) {
-        if (t.watched_queue == q && depth >= t.remaining) {
-          fired.push_back(t);
-        }
+    }
+    if (!has_alert && !has_trigger) continue;
+    size_t depth = 0;
+    for (const auto& [key, eid] : qs->order) {
+      const auto& ie = qs->elements.at(eid);
+      if (ie.locked_by == txn::kInvalidTxnId && !ie.killed) ++depth;
+    }
+    if (has_alert && depth == qs->options.alert_threshold) {
+      alerts.emplace_back(q, depth);
+    }
+    for (const TriggerSpec& t : s->triggers) {
+      if (t.watched_queue == q && depth >= t.remaining) {
+        fired.push_back(t);
       }
     }
   }
@@ -742,6 +611,597 @@ void QueueRepository::AfterApply(const std::vector<std::string>& notify_queues,
   }
 }
 
+Status QueueRepository::CommitOnShardLocked(Shard* s,
+                                            std::unique_lock<std::mutex>& lock,
+                                            std::vector<MicroOp> ops,
+                                            std::string record,
+                                            bool evaluate_reactions) {
+  const bool replicate =
+      options_.replication_sink != nullptr && !ops.empty();
+  const bool log = s->NeedsLogging(ops);
+  if (record.empty() && (log || replicate)) {
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+  }
+  uint64_t end_offset = 0;
+  std::shared_ptr<wal::LogWriter> wal;
+  if (log) {
+    wal = s->wal;
+    RRQ_RETURN_IF_ERROR(wal->AddRecord(record, &end_offset));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : ops) ApplyMicroOp(s, op, &notify);
+  std::vector<ReplTicket> tickets;
+  if (replicate) tickets.push_back(AcquireReplTicket(s));
+  lock.unlock();
+  if (log && options_.sync_commits) {
+    Status sync = wal->SyncTo(end_offset);
+    if (!sync.ok()) {
+      DeliverReplica(tickets, "");  // Consume the slot; nothing to send.
+      return sync;
+    }
+  }
+  NotifyWaiters(notify);
+  Status rs = DeliverReplica(tickets, replicate ? record : std::string());
+  // Reactions fire after the replication delivery so a trigger's own
+  // record cannot overtake (or deadlock behind) the record that fired
+  // it.
+  if (evaluate_reactions) EvaluateReactions(notify);
+  return rs;
+}
+
+Status QueueRepository::CommitOnShard(Shard* s, std::vector<MicroOp> ops,
+                                      std::string record,
+                                      bool evaluate_reactions) {
+  // Encode the record outside the shard lock — only the WAL append and
+  // the in-memory apply need it. The eid watermark in the record is
+  // safe to read here because every eid in `ops` was allocated before
+  // this call. The replication sink reuses the same bytes.
+  const bool replicate =
+      options_.replication_sink != nullptr && !ops.empty();
+  if (record.empty() && (options_.env != nullptr || replicate)) {
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+  }
+  std::unique_lock<std::mutex> lock(s->mu);
+  return CommitOnShardLocked(s, lock, std::move(ops), std::move(record),
+                             evaluate_reactions);
+}
+
+Status QueueRepository::CommitSpanning(std::vector<MicroOp> ops,
+                                       std::string record,
+                                       bool evaluate_reactions) {
+  const bool replicate =
+      options_.replication_sink != nullptr && !ops.empty();
+  if (record.empty() && (options_.env != nullptr || replicate)) {
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
+  }
+  // Partition by shard, preserving per-shard op order.
+  std::map<size_t, std::vector<MicroOp>> by_shard;
+  for (MicroOp& op : ops) {
+    by_shard[ShardIndexOf(op.queue)].push_back(std::move(op));
+  }
+  if (by_shard.size() <= 1) {
+    Shard* s =
+        by_shard.empty() ? shards_[0].get() : shards_[by_shard.begin()->first].get();
+    std::vector<MicroOp> sops;
+    if (!by_shard.empty()) sops = std::move(by_shard.begin()->second);
+    std::unique_lock<std::mutex> lock(s->mu);
+    return CommitOnShardLocked(s, lock, std::move(sops), std::move(record),
+                               evaluate_reactions);
+  }
+
+  struct Part {
+    Shard* s = nullptr;
+    std::vector<MicroOp> ops;
+    bool log = false;
+    std::shared_ptr<wal::LogWriter> wal;
+    uint64_t end = 0;
+  };
+  std::vector<Part> parts;
+  parts.reserve(by_shard.size());
+  for (auto& [idx, sops] : by_shard) {
+    Part part;
+    part.s = shards_[idx].get();
+    part.ops = std::move(sops);
+    parts.push_back(std::move(part));
+  }
+
+  // The internal commit id. Drawing it from the eid counter guarantees
+  // uniqueness against every id this repository will ever log (the
+  // counter recovers past the WAL watermark); the high bit keeps it
+  // out of the TransactionManager's id space.
+  const txn::TxnId iid =
+      kInternalTxnBit | next_eid_.fetch_add(1, std::memory_order_relaxed);
+
+  auto erase_pending = [&parts, iid]() {
+    for (Part& p : parts) {
+      std::lock_guard<std::mutex> guard(p.s->mu);
+      p.s->txns.erase(iid);
+    }
+  };
+
+  // Phase 1: register the pending ops and append a prepare record on
+  // every involved shard, locks held in ascending shard order. The
+  // pending-txn entry makes an interleaved Checkpoint() carry the
+  // prepare into the new WAL generation.
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(parts.size());
+    for (Part& p : parts) locks.emplace_back(p.s->mu);
+    for (Part& p : parts) {
+      PendingTxn& pt = p.s->txns[iid];
+      pt.ops = p.ops;
+      pt.prepared = true;
+      p.log = p.s->NeedsLogging(pt.ops);
+      if (p.log) {
+        std::string prep;
+        EncodeRecord(kRecPrepare, iid, pt.ops, &prep);
+        Status s = p.s->wal->AddRecord(prep, &p.end);
+        if (!s.ok()) {
+          for (auto& l : locks) l.unlock();
+          erase_pending();
+          return s;
+        }
+        p.wal = p.s->wal;
+      }
+    }
+  }
+  // Make every prepare durable before any commit record exists: a
+  // recovered shard holding a commit record then implies every sibling
+  // holds (at least) its prepare, so the global committed-id set
+  // resolves the leftovers to COMMIT everywhere.
+  if (options_.sync_commits) {
+    for (Part& p : parts) {
+      if (!p.log) continue;
+      Status s = p.wal->SyncTo(p.end);
+      if (!s.ok()) {
+        erase_pending();
+        return s;  // Nothing applied; replay presumed-aborts the id.
+      }
+    }
+  }
+
+  // Phase 2: under all involved shard locks, append the commit record
+  // to every logging shard, apply, and take replication tickets. Only
+  // the first (coordinator) commit record is synced: any later durable
+  // record on a sibling shard's WAL implies its earlier commit record
+  // is durable too (log durability is prefix-monotone), and if the
+  // sibling's record is lost the global set from the coordinator still
+  // commits the sibling's leftover prepare.
+  std::string commit_rec;
+  EncodeRecord(kRecCommit, iid, {}, &commit_rec);
+  std::vector<std::string> notify;
+  std::vector<ReplTicket> tickets;
+  std::shared_ptr<wal::LogWriter> coord_wal;
+  uint64_t coord_end = 0;
+  Status first_error;  // Keep applying for memory consistency; surface later.
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(parts.size());
+    for (Part& p : parts) locks.emplace_back(p.s->mu);
+    for (Part& p : parts) {
+      std::vector<MicroOp> sops;
+      auto it = p.s->txns.find(iid);
+      if (it != p.s->txns.end()) {
+        sops = std::move(it->second.ops);
+        p.s->txns.erase(it);
+      } else {
+        sops = std::move(p.ops);
+      }
+      if (p.log) {
+        // Re-fetch the writer: a checkpoint may have swapped it (the
+        // new generation carries our prepare record).
+        std::shared_ptr<wal::LogWriter> w = p.s->wal;
+        uint64_t end = 0;
+        Status s = w->AddRecord(commit_rec, &end);
+        if (!s.ok() && first_error.ok()) first_error = s;
+        if (s.ok() && coord_wal == nullptr) {
+          coord_wal = std::move(w);
+          coord_end = end;
+        }
+      }
+      for (const MicroOp& op : sops) ApplyMicroOp(p.s, op, &notify);
+      if (replicate) tickets.push_back(AcquireReplTicket(p.s));
+    }
+  }
+  if (coord_wal != nullptr && options_.sync_commits) {
+    Status s = coord_wal->SyncTo(coord_end);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  if (!first_error.ok()) {
+    DeliverReplica(tickets, "");
+    return first_error;
+  }
+  NotifyWaiters(notify);
+  Status rs = DeliverReplica(tickets, replicate ? record : std::string());
+  if (evaluate_reactions) EvaluateReactions(notify);
+  return rs;
+}
+
+Status QueueRepository::AutoCommit(std::vector<MicroOp> ops) {
+  if (ops.empty()) return Status::OK();
+  const size_t first = ShardIndexOf(ops[0].queue);
+  bool multi = false;
+  for (const MicroOp& op : ops) {
+    if (ShardIndexOf(op.queue) != first) {
+      multi = true;
+      break;
+    }
+  }
+  if (!multi) {
+    return CommitOnShard(shards_[first].get(), std::move(ops), "", true);
+  }
+  return CommitSpanning(std::move(ops), "", true);
+}
+
+void QueueRepository::BufferTxnOps(txn::Transaction* t,
+                                   std::vector<MicroOp> ops,
+                                   std::vector<LockedRef> locked) {
+  // Partition by shard and enlist each involved shard: the
+  // TransactionManager sees one participant per shard and coordinates
+  // cross-shard commits with its decision log (single-shard
+  // transactions keep the fused one-phase fast path).
+  std::map<size_t, std::pair<std::vector<MicroOp>, std::vector<LockedRef>>>
+      by_shard;
+  for (MicroOp& op : ops) {
+    by_shard[ShardIndexOf(op.queue)].first.push_back(std::move(op));
+  }
+  for (LockedRef& l : locked) {
+    by_shard[ShardIndexOf(l.queue)].second.push_back(std::move(l));
+  }
+  for (auto& [idx, part] : by_shard) {
+    Shard* s = shards_[idx].get();
+    {
+      std::lock_guard<std::mutex> guard(s->mu);
+      PendingTxn& pt = s->txns[t->id()];
+      for (MicroOp& op : part.first) pt.ops.push_back(std::move(op));
+      for (LockedRef& l : part.second) pt.locked.push_back(std::move(l));
+    }
+    t->Enlist(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard as a 2PC participant
+
+Status QueueRepository::Shard::Prepare(txn::TxnId id) {
+  QueueRepository* r = repo;
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = txns.find(id);
+  if (it == txns.end()) {
+    // A transaction with no operations on this shard: trivially yes.
+    txns[id].prepared = true;
+    return Status::OK();
+  }
+  PendingTxn& pt = it->second;
+  // Veto if any element we dequeued was killed out from under us (§7).
+  // Kill reservations made by this transaction itself don't veto.
+  for (const LockedRef& ref : pt.locked) {
+    if (ref.is_kill) continue;
+    QueueState* qs = Find(ref.queue);
+    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end() || eit->second.killed) {
+      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
+    }
+  }
+  const bool log = NeedsLogging(pt.ops);
+  uint64_t end_offset = 0;
+  std::shared_ptr<wal::LogWriter> w;
+  if (log) {
+    w = wal;
+    std::string record;
+    r->EncodeRecord(kRecPrepare, id, pt.ops, &record);
+    RRQ_RETURN_IF_ERROR(w->AddRecord(record, &end_offset));
+  }
+  pt.prepared = true;
+  lock.unlock();
+  if (log) return w->SyncTo(end_offset);  // A yes vote must be durable.
+  return Status::OK();
+}
+
+Status QueueRepository::Shard::CommitTxn(txn::TxnId id) {
+  QueueRepository* r = repo;
+  // The commit record carries no ops; encode it before taking the lock.
+  std::string record;
+  if (r->options_.env != nullptr) {
+    r->EncodeRecord(kRecCommit, id, {}, &record);
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = txns.find(id);
+  if (it == txns.end()) return Status::OK();  // No ops here.
+  PendingTxn pt = std::move(it->second);
+  txns.erase(it);
+  if (!pt.prepared) {
+    return Status::Internal("commit of unprepared transaction");
+  }
+  const bool log = NeedsLogging(pt.ops);
+  uint64_t end_offset = 0;
+  std::shared_ptr<wal::LogWriter> w;
+  if (log) {
+    w = wal;
+    RRQ_RETURN_IF_ERROR(w->AddRecord(record, &end_offset));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : pt.ops) r->ApplyMicroOp(this, op, &notify);
+  // Locked elements consumed by kRemove ops are gone; make sure any
+  // still-live ones (defensive) are unlocked.
+  for (const LockedRef& ref : pt.locked) {
+    QueueState* qs = Find(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit != qs->elements.end() && eit->second.locked_by == id) {
+      eit->second.locked_by = txn::kInvalidTxnId;
+    }
+  }
+  const std::string replica = r->MaybeEncodeReplication(pt.ops);
+  std::vector<ReplTicket> tickets;
+  if (!replica.empty()) tickets.push_back(r->AcquireReplTicket(this));
+  lock.unlock();
+  if (log && r->options_.sync_commits) {
+    Status sync = w->SyncTo(end_offset);
+    if (!sync.ok()) {
+      r->DeliverReplica(tickets, "");
+      return sync;
+    }
+  }
+  r->NotifyWaiters(notify);
+  Status rs = r->DeliverReplica(tickets, replica);
+  r->EvaluateReactions(notify);
+  return rs;
+}
+
+Status QueueRepository::Shard::PrepareAndCommit(txn::TxnId id) {
+  QueueRepository* r = repo;
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = txns.find(id);
+  if (it == txns.end()) return Status::OK();
+  PendingTxn& pt = it->second;
+  for (const LockedRef& ref : pt.locked) {
+    if (ref.is_kill) continue;
+    QueueState* qs = Find(ref.queue);
+    if (qs == nullptr) return Status::Cancelled("queue destroyed: " + ref.queue);
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end() || eit->second.killed) {
+      return Status::Cancelled("element killed: " + std::to_string(ref.eid));
+    }
+  }
+  PendingTxn done = std::move(pt);
+  txns.erase(it);
+  const bool log = NeedsLogging(done.ops);
+  uint64_t end_offset = 0;
+  std::shared_ptr<wal::LogWriter> w;
+  if (log) {
+    w = wal;
+    std::string record;
+    r->EncodeRecord(kRecCommitted, id, done.ops, &record);
+    RRQ_RETURN_IF_ERROR(w->AddRecord(record, &end_offset));
+  }
+  std::vector<std::string> notify;
+  for (const MicroOp& op : done.ops) r->ApplyMicroOp(this, op, &notify);
+  for (const LockedRef& ref : done.locked) {
+    QueueState* qs = Find(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit != qs->elements.end() && eit->second.locked_by == id) {
+      eit->second.locked_by = txn::kInvalidTxnId;
+    }
+  }
+  const std::string replica = r->MaybeEncodeReplication(done.ops);
+  std::vector<ReplTicket> tickets;
+  if (!replica.empty()) tickets.push_back(r->AcquireReplTicket(this));
+  lock.unlock();
+  if (log && r->options_.sync_commits) {
+    Status sync = w->SyncTo(end_offset);
+    if (!sync.ok()) {
+      r->DeliverReplica(tickets, "");
+      return sync;
+    }
+  }
+  r->NotifyWaiters(notify);
+  Status rs = r->DeliverReplica(tickets, replica);
+  r->EvaluateReactions(notify);
+  return rs;
+}
+
+void QueueRepository::Shard::AbortTxn(txn::TxnId id) {
+  QueueRepository* r = repo;
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = txns.find(id);
+  if (it == txns.end()) return;
+  PendingTxn pt = std::move(it->second);
+  txns.erase(it);
+
+  // Abort side effects (§4.2): each element this transaction had
+  // dequeued returns to its queue with an incremented abort count; on
+  // the n-th abort it moves to the error queue instead. Killed
+  // elements are already durably deleted. These effects are themselves
+  // durable and are NOT undone by the abort — they auto-commit. An
+  // error queue hashed to another shard cannot commit under this lock:
+  // the element stays locked (invisible) here and the move runs
+  // through the cross-shard protocol after we release it.
+  std::vector<MicroOp> side_effects;
+  std::vector<MicroOp> spanning_effects;
+  for (const LockedRef& ref : pt.locked) {
+    QueueState* qs = Find(ref.queue);
+    if (qs == nullptr) continue;
+    auto eit = qs->elements.find(ref.eid);
+    if (eit == qs->elements.end()) continue;  // Killed & removed.
+    InternalElement& ie = eit->second;
+    if (ie.locked_by != id) continue;
+    if (ref.is_kill) {
+      // The kill was undone with the transaction: release the element
+      // intact.
+      ie.locked_by = txn::kInvalidTxnId;
+      ie.killed = false;
+      continue;
+    }
+    const uint32_t new_count = ie.meta.abort_count + 1;
+    const QueueOptions& qopt = qs->options;
+    if (!qopt.error_queue.empty() && new_count >= qopt.max_aborts) {
+      // Move to the error queue (stable element identity, §10). The
+      // payload is shared, not copied — only the metadata changes.
+      Element moved = ie.meta;
+      moved.abort_count = new_count;
+      moved.abort_code = "abort limit reached";
+      std::shared_ptr<const std::string> moved_payload = ie.payload;
+      MicroOp create;
+      create.kind = MicroOp::kCreateQueue;
+      create.queue = qopt.error_queue;
+      create.qoptions.durable = qopt.durable;
+      create.qoptions.max_aborts = 0;  // Error queues don't cascade.
+      MicroOp remove;
+      remove.kind = MicroOp::kRemove;
+      remove.queue = ref.queue;
+      remove.element.eid = ref.eid;
+      MicroOp insert;
+      insert.kind = MicroOp::kInsert;
+      insert.queue = qopt.error_queue;
+      insert.element = std::move(moved);
+      insert.payload = std::move(moved_payload);
+      const bool cross_shard =
+          r->ShardIndexOf(qopt.error_queue) != this->index;
+      if (cross_shard) {
+        // Leave the element locked so no dequeuer consumes it while
+        // the move is in flight; the spanning kRemove deletes it.
+        spanning_effects.push_back(std::move(create));
+        spanning_effects.push_back(std::move(remove));
+        spanning_effects.push_back(std::move(insert));
+      } else {
+        ie.locked_by = txn::kInvalidTxnId;
+        if (Find(qopt.error_queue) == nullptr) {
+          side_effects.push_back(std::move(create));
+        }
+        side_effects.push_back(std::move(remove));
+        side_effects.push_back(std::move(insert));
+      }
+      r->error_moves_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ie.locked_by = txn::kInvalidTxnId;
+      MicroOp bump;
+      bump.kind = MicroOp::kBumpAbortCount;
+      bump.queue = ref.queue;
+      bump.element.eid = ref.eid;
+      side_effects.push_back(std::move(bump));
+    }
+  }
+
+  std::vector<std::string> notify;
+  for (const LockedRef& ref : pt.locked) notify.push_back(ref.queue);
+  const bool log = !side_effects.empty() && NeedsLogging(side_effects);
+  uint64_t end_offset = 0;
+  std::shared_ptr<wal::LogWriter> w;
+  if (log) {
+    w = wal;
+    std::string record;
+    r->EncodeRecord(kRecCommitted, txn::kInvalidTxnId, side_effects, &record);
+    Status s = w->AddRecord(record, &end_offset);
+    if (!s.ok()) {
+      RRQ_LOG(kError) << r->name_ << ": abort side-effect logging failed: "
+                      << s.ToString();
+    }
+  }
+  for (const MicroOp& op : side_effects) r->ApplyMicroOp(this, op, &notify);
+  const std::string replica = r->MaybeEncodeReplication(side_effects);
+  std::vector<ReplTicket> tickets;
+  if (!replica.empty()) tickets.push_back(r->AcquireReplTicket(this));
+  lock.unlock();
+  if (log && r->options_.sync_commits) w->SyncTo(end_offset);
+  r->NotifyWaiters(notify);
+  r->DeliverReplica(tickets, replica);
+  r->EvaluateReactions(notify);
+  if (!spanning_effects.empty()) {
+    Status s = r->CommitSpanning(std::move(spanning_effects), "", true);
+    if (!s.ok()) {
+      RRQ_LOG(kError) << r->name_ << ": cross-shard error-queue move failed: "
+                      << s.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repository facade as a ResourceManager
+
+Status QueueRepository::Prepare(txn::TxnId id) {
+  for (auto& s : shards_) {
+    if (s->HasTxn(id)) RRQ_RETURN_IF_ERROR(s->Prepare(id));
+  }
+  return Status::OK();
+}
+
+Status QueueRepository::CommitTxn(txn::TxnId id) {
+  for (auto& s : shards_) {
+    if (s->HasTxn(id)) RRQ_RETURN_IF_ERROR(s->CommitTxn(id));
+  }
+  return Status::OK();
+}
+
+void QueueRepository::AbortTxn(txn::TxnId id) {
+  for (auto& s : shards_) {
+    if (s->HasTxn(id)) s->AbortTxn(id);
+  }
+}
+
+Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
+  std::vector<Shard*> involved;
+  for (auto& s : shards_) {
+    if (s->HasTxn(id)) involved.push_back(s.get());
+  }
+  if (involved.empty()) return Status::OK();
+  if (involved.size() == 1) return involved[0]->PrepareAndCommit(id);
+  // Spanning one-phase request: run real two-phase internally. Durable
+  // prepares on every shard before the first commit record mean
+  // recovery's global committed-id set resolves a mid-commit crash
+  // atomically.
+  for (Shard* s : involved) RRQ_RETURN_IF_ERROR(s->Prepare(id));
+  for (Shard* s : involved) RRQ_RETURN_IF_ERROR(s->CommitTxn(id));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+
+Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
+  Slice input = record;
+  if (input.empty()) return Status::InvalidArgument("empty record");
+  input.remove_prefix(1);  // Record type (always a committed set).
+  uint64_t id = 0;
+  uint64_t eid_watermark = 0;
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
+  AdvanceEid(eid_watermark);
+  uint64_t op_count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
+  std::vector<MicroOp> ops;
+  ops.reserve(static_cast<size_t>(op_count));
+  for (uint64_t i = 0; i < op_count; ++i) {
+    MicroOp op;
+    RRQ_RETURN_IF_ERROR(DecodeMicroOp(&input, &op));
+    ops.push_back(std::move(op));
+  }
+  if (ops.empty()) return Status::OK();
+  // Durable backups log the record verbatim when it lands on one local
+  // shard (it is already a valid committed record carrying the
+  // primary's eid watermark); a record spanning local shards goes
+  // through the cross-shard protocol so a backup crash can't apply it
+  // partially. Chained sinks receive the original bytes either way.
+  // Reactions don't fire: the primary's reactions arrive as ordinary
+  // records.
+  const size_t first = ShardIndexOf(ops[0].queue);
+  bool multi = false;
+  for (const MicroOp& op : ops) {
+    if (ShardIndexOf(op.queue) != first) {
+      multi = true;
+      break;
+    }
+  }
+  if (!multi) {
+    return CommitOnShard(shards_[first].get(), std::move(ops),
+                         record.ToString(), /*evaluate_reactions=*/false);
+  }
+  return CommitSpanning(std::move(ops), record.ToString(),
+                        /*evaluate_reactions=*/false);
+}
+
 // ---------------------------------------------------------------------------
 // Data definition
 
@@ -749,8 +1209,9 @@ Status QueueRepository::CreateQueue(const std::string& queue,
                                     QueueOptions qoptions) {
   if (queue.empty()) return Status::InvalidArgument("empty queue name");
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (queues_.count(queue) > 0) {
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->queues.count(queue) > 0) {
       return Status::AlreadyExists("queue exists: " + queue);
     }
   }
@@ -763,8 +1224,9 @@ Status QueueRepository::CreateQueue(const std::string& queue,
 
 Status QueueRepository::DestroyQueue(const std::string& queue) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    QueueState* qs = FindQueue(queue);
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(queue);
     if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
     if (qs->waiters > 0) {
       return Status::Busy("queue has blocked dequeuers: " + queue);
@@ -786,8 +1248,9 @@ Status QueueRepository::StartQueue(const std::string& queue) {
   op.kind = MicroOp::kStartQueue;
   op.queue = queue;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (FindQueue(queue) == nullptr) {
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->Find(queue) == nullptr) {
       return Status::NotFound("no such queue: " + queue);
     }
   }
@@ -799,8 +1262,9 @@ Status QueueRepository::StopQueue(const std::string& queue) {
   op.kind = MicroOp::kStopQueue;
   op.queue = queue;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (FindQueue(queue) == nullptr) {
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->Find(queue) == nullptr) {
       return Status::NotFound("no such queue: " + queue);
     }
   }
@@ -808,8 +1272,9 @@ Status QueueRepository::StopQueue(const std::string& queue) {
 }
 
 bool QueueRepository::QueueExists(const std::string& queue) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return FindQueue(queue) != nullptr;
+  const Shard* s = ShardFor(queue);
+  std::lock_guard<std::mutex> guard(s->mu);
+  return s->Find(queue) != nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -820,14 +1285,15 @@ Result<RegistrationInfo> QueueRepository::Register(
   RegistrationInfo info;
   std::shared_ptr<const std::string> last_payload;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    QueueState* qs = FindQueue(queue);
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(queue);
     if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
     auto it = qs->registrations.find(registrant);
     if (it != qs->registrations.end()) {
       // Re-registration after a failure: hand back the stable last-op
-      // record (§4.3). Only the payload refcount is touched under mu_;
-      // the byte copy happens below, after unlocking.
+      // record (§4.3). Only the payload refcount is touched under the
+      // shard lock; the byte copy happens below, after unlocking.
       info.was_registered = true;
       info.last_op = it->second.last.type;
       info.last_eid = it->second.last.eid;
@@ -851,8 +1317,9 @@ Result<RegistrationInfo> QueueRepository::Register(
 Status QueueRepository::Deregister(const std::string& queue,
                                    const std::string& registrant) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    QueueState* qs = FindQueue(queue);
+    Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(queue);
     if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
     if (qs->registrations.count(registrant) == 0) {
       return Status::NotFound("not registered: " + registrant);
@@ -889,41 +1356,46 @@ Result<ElementId> QueueRepository::Enqueue(txn::Transaction* t,
                                            uint32_t priority,
                                            const std::string& registrant,
                                            const Slice& tag) {
-  std::vector<MicroOp> ops;
-  ElementId eid;
-  std::string target;
+  const std::string target = ResolveRedirect(queue);
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    target = ResolveRedirect(queue);
-    QueueState* qs = FindQueue(target);
+    Shard* s = ShardFor(target);
+    std::lock_guard<std::mutex> guard(s->mu);
+    QueueState* qs = s->Find(target);
     if (qs == nullptr) return Status::NotFound("no such queue: " + target);
     if (!qs->started) {
       return Status::FailedPrecondition("queue stopped: " + target);
     }
-    if (!registrant.empty()) {
-      // Tagged operations require a registration on the *named* queue.
-      QueueState* named = FindQueue(queue);
-      auto rit = named->registrations.find(registrant);
-      if (rit == named->registrations.end()) {
-        return Status::NotConnected("not registered: " + registrant);
-      }
-      // Idempotent tagged enqueue: a resend (or a network-duplicated
-      // one-way message) carrying the registrant's current tag is the
-      // SAME logical request — acknowledge it without enqueuing again.
-      // This is the dedup persistent registration makes possible; it
-      // is what keeps Exactly-Once intact under message duplication.
-      if (rit->second.stable && !tag.empty() &&
-          rit->second.last.type == OpType::kEnqueue &&
-          Slice(rit->second.last.tag) == tag) {
-        return rit->second.last.eid;
-      }
-    }
-    eid = next_eid_++;
   }
+  if (!registrant.empty()) {
+    // Tagged operations require a registration on the *named* queue —
+    // which may live on a different shard than the redirect target.
+    Shard* ns = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(ns->mu);
+    QueueState* named = ns->Find(queue);
+    if (named == nullptr) {
+      return Status::NotConnected("not registered: " + registrant);
+    }
+    auto rit = named->registrations.find(registrant);
+    if (rit == named->registrations.end()) {
+      return Status::NotConnected("not registered: " + registrant);
+    }
+    // Idempotent tagged enqueue: a resend (or a network-duplicated
+    // one-way message) carrying the registrant's current tag is the
+    // SAME logical request — acknowledge it without enqueuing again.
+    // This is the dedup persistent registration makes possible; it
+    // is what keeps Exactly-Once intact under message duplication.
+    if (rit->second.stable && !tag.empty() &&
+        rit->second.last.type == OpType::kEnqueue &&
+        Slice(rit->second.last.tag) == tag) {
+      return rit->second.last.eid;
+    }
+  }
+  const ElementId eid = next_eid_.fetch_add(1, std::memory_order_relaxed);
 
-  // The contents are copied exactly once, outside mu_, into a shared
-  // immutable payload; the insert op, the last-op record, and the
-  // stored element all reference the same bytes.
+  // The contents are copied exactly once, outside the shard locks, into
+  // a shared immutable payload; the insert op, the last-op record, and
+  // the stored element all reference the same bytes.
+  std::vector<MicroOp> ops;
   MicroOp insert;
   insert.kind = MicroOp::kInsert;
   insert.queue = target;
@@ -967,7 +1439,8 @@ QueueRepository::InternalElement* QueueRepository::PickVisible(
     return nullptr;
   }
   // Content-based selection must show the selector full elements, so
-  // this path (and only this path) materializes contents under mu_.
+  // this path (and only this path) materializes contents under the
+  // shard lock.
   std::vector<InternalElement*> internal;
   for (const auto& [key, eid] : qs->order) {
     InternalElement& ie = qs->elements.at(eid);
@@ -995,8 +1468,9 @@ Result<Element> QueueRepository::DequeueInternal(
     txn::Transaction* t, const std::string& queue, const Selector* selector,
     const std::string& registrant, const Slice& tag,
     uint64_t timeout_micros) {
-  std::unique_lock<std::mutex> lock(mu_);
-  QueueState* qs = FindQueue(queue);
+  Shard* s = ShardFor(queue);
+  std::unique_lock<std::mutex> lock(s->mu);
+  QueueState* qs = s->Find(queue);
   if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
   if (!qs->started) return Status::FailedPrecondition("queue stopped: " + queue);
   if (!registrant.empty() && qs->registrations.count(registrant) == 0) {
@@ -1019,7 +1493,7 @@ Result<Element> QueueRepository::DequeueInternal(
     const auto wait_result = qs->cv.wait_until(lock, deadline);
     --qs->waiters;
     // The queue may have been stopped (not destroyed: waiters pin it).
-    qs = FindQueue(queue);
+    qs = s->Find(queue);
     if (qs == nullptr) return Status::NotFound("queue destroyed: " + queue);
     if (!qs->started) {
       return Status::FailedPrecondition("queue stopped: " + queue);
@@ -1053,26 +1527,11 @@ Result<Element> QueueRepository::DequeueInternal(
   }
 
   if (t == nullptr) {
-    // Auto-commit: log + apply while still holding the lock (via the
-    // Locked variant pattern inlined here to keep pick+consume atomic).
-    const bool log = NeedsLogging(ops);
-    uint64_t end_offset = 0;
-    wal::LogWriter* wal = wal_.get();
-    if (log) {
-      std::string record;
-      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-    }
-    std::vector<std::string> notify;
-    for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-    const std::string replica = MaybeEncodeReplication(ops);
-    lock.unlock();
+    // Auto-commit: log + apply while still holding the shard lock, so
+    // pick+consume stays atomic.
+    RRQ_RETURN_IF_ERROR(CommitOnShardLocked(s, lock, std::move(ops), "",
+                                            /*evaluate_reactions=*/true));
     if (payload != nullptr) copy.contents = *payload;
-    if (log && options_.sync_commits) {
-      RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-    }
-    AfterApply(notify);
-    RRQ_RETURN_IF_ERROR(Replicate(replica));
     return copy;
   }
 
@@ -1103,6 +1562,8 @@ Result<Element> QueueRepository::DequeueSelected(txn::Transaction* t,
 Result<Element> QueueRepository::DequeueFromSet(
     txn::Transaction* t, const std::vector<std::string>& queues,
     const std::string& registrant, const Slice& tag) {
+  // First-visible-wins in the caller's order; each probe takes only the
+  // shard owning that queue.
   for (const std::string& q : queues) {
     Result<Element> r = DequeueInternal(t, q, nullptr, registrant, tag, 0);
     if (r.ok()) return r;
@@ -1113,15 +1574,16 @@ Result<Element> QueueRepository::DequeueFromSet(
 
 Result<Element> QueueRepository::Read(const std::string& queue,
                                       ElementId eid) const {
-  // Under mu_: find the element and bump the payload refcount. The
-  // contents copy — the expensive part for large payloads — happens
-  // after unlock, off the global lock's critical path.
+  // Under the shard lock: find the element and bump the payload
+  // refcount. The contents copy — the expensive part for large
+  // payloads — happens after unlock, off the lock's critical path.
   Element result;
   std::shared_ptr<const std::string> payload;
   bool found = false;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    const QueueState* qs = FindQueue(queue);
+    const Shard* s = ShardFor(queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    const QueueState* qs = s->Find(queue);
     if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
     auto it = qs->elements.find(eid);
     if (it != qs->elements.end()) {
@@ -1152,8 +1614,9 @@ Result<Element> QueueRepository::Read(const std::string& queue,
 Result<bool> QueueRepository::KillElement(txn::Transaction* t,
                                           const std::string& queue,
                                           ElementId eid) {
-  std::unique_lock<std::mutex> lock(mu_);
-  QueueState* qs = FindQueue(queue);
+  Shard* s = ShardFor(queue);
+  std::unique_lock<std::mutex> lock(s->mu);
+  QueueState* qs = s->Find(queue);
   if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
   auto it = qs->elements.find(eid);
   if (it == qs->elements.end()) {
@@ -1177,61 +1640,30 @@ Result<bool> QueueRepository::KillElement(txn::Transaction* t,
       BufferTxnOps(t, {std::move(remove)}, {LockedRef{queue, eid, true}});
       return true;
     }
-    std::vector<MicroOp> ops{std::move(remove)};
-    const bool log = NeedsLogging(ops);
-    uint64_t end_offset = 0;
-    wal::LogWriter* wal = wal_.get();
-    if (log) {
-      std::string record;
-      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-      RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-    }
-    std::vector<std::string> notify;
-    for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-    const std::string replica = MaybeEncodeReplication(ops);
-    lock.unlock();
-    if (log && options_.sync_commits) {
-      RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-    }
-    AfterApply(notify);
-    RRQ_RETURN_IF_ERROR(Replicate(replica));
+    RRQ_RETURN_IF_ERROR(CommitOnShardLocked(s, lock, {std::move(remove)}, "",
+                                            /*evaluate_reactions=*/true));
     return true;
   }
 
   // Locked by an uncommitted dequeuer. If it already voted yes we can
   // no longer unilaterally abort it (§7's "not yet committed" window
   // closes at prepare).
-  auto tit = txns_.find(ie.locked_by);
-  if (tit != txns_.end() && tit->second.prepared) {
+  auto tit = s->txns.find(ie.locked_by);
+  if (tit != s->txns.end() && tit->second.prepared) {
     return false;
   }
   // Durably delete now; the dequeuer's prepare will find the element
   // gone and veto, aborting its transaction.
-  std::vector<MicroOp> ops{std::move(remove)};
-  const bool log = NeedsLogging(ops);
-  uint64_t end_offset = 0;
-  wal::LogWriter* wal = wal_.get();
-  if (log) {
-    std::string record;
-    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &record);
-    RRQ_RETURN_IF_ERROR(wal_->AddRecord(record, &end_offset));
-  }
-  std::vector<std::string> notify;
-  for (const MicroOp& op : ops) ApplyMicroOp(op, &notify);
-  const std::string replica = MaybeEncodeReplication(ops);
-  lock.unlock();
-  if (log && options_.sync_commits) {
-    RRQ_RETURN_IF_ERROR(wal->SyncTo(end_offset));
-  }
-  AfterApply(notify);
-  RRQ_RETURN_IF_ERROR(Replicate(replica));
+  RRQ_RETURN_IF_ERROR(CommitOnShardLocked(s, lock, {std::move(remove)}, "",
+                                          /*evaluate_reactions=*/true));
   return true;
 }
 
 Status QueueRepository::SetTrigger(const TriggerSpec& spec) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (FindQueue(spec.watched_queue) == nullptr) {
+    Shard* s = ShardFor(spec.watched_queue);
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->Find(spec.watched_queue) == nullptr) {
       return Status::NotFound("no such queue: " + spec.watched_queue);
     }
   }
@@ -1241,13 +1673,15 @@ Status QueueRepository::SetTrigger(const TriggerSpec& spec) {
   op.trigger = spec;
   RRQ_RETURN_IF_ERROR(AutoCommit({std::move(op)}));
   // The condition may already hold.
-  AfterApply({spec.watched_queue});
+  NotifyWaiters({spec.watched_queue});
+  EvaluateReactions({spec.watched_queue});
   return Status::OK();
 }
 
 Result<size_t> QueueRepository::Depth(const std::string& queue) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  const QueueState* qs = FindQueue(queue);
+  const Shard* s = ShardFor(queue);
+  std::lock_guard<std::mutex> guard(s->mu);
+  const QueueState* qs = s->Find(queue);
   if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
   size_t depth = 0;
   for (const auto& [key, eid] : qs->order) {
@@ -1259,17 +1693,20 @@ Result<size_t> QueueRepository::Depth(const std::string& queue) const {
 
 Result<QueueOptions> QueueRepository::GetQueueOptions(
     const std::string& queue) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  const QueueState* qs = FindQueue(queue);
+  const Shard* s = ShardFor(queue);
+  std::lock_guard<std::mutex> guard(s->mu);
+  const QueueState* qs = s->Find(queue);
   if (qs == nullptr) return Status::NotFound("no such queue: " + queue);
   return qs->options;
 }
 
 std::vector<std::string> QueueRepository::ListQueues() const {
-  std::lock_guard<std::mutex> guard(mu_);
   std::vector<std::string> names;
-  names.reserve(queues_.size());
-  for (const auto& [name, qs] : queues_) names.push_back(name);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> guard(s->mu);
+    for (const auto& [name, qs] : s->queues) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -1284,17 +1721,34 @@ Status QueueRepository::Open() {
   }
   env::Env* env = options_.env;
   RRQ_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
-  if (env->FileExists(CurrentPath())) {
+  const bool have_current = env->FileExists(CurrentPath());
+  if (have_current) {
     std::string current;
     RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, CurrentPath(), &current));
     Slice input(current);
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &generation_));
+    // Pre-sharding directories carry only the generation; the absent
+    // count means 1. The on-disk count always wins over the configured
+    // one — the WAL streams and checkpoint slices are keyed by it.
+    uint64_t disk_shards = 1;
+    if (!input.empty()) {
+      RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &disk_shards));
+      if (disk_shards == 0) {
+        return Status::Corruption("invalid shard count in CURRENT");
+      }
+    }
+    if (disk_shards != shards_.size()) {
+      RRQ_LOG(kInfo) << name_ << ": adopting on-disk shard count "
+                     << disk_shards << " (configured " << shards_.size()
+                     << ")";
+      BuildShards(static_cast<size_t>(disk_shards));
+    }
   }
   // A crash inside Checkpoint() can strand the previous generation's
-  // WAL/checkpoint (crash between the CURRENT switch and the retire),
-  // a freshly written next generation (crash before the CURRENT
-  // switch), or a half-written *.tmp. Sweep them before recovery
-  // creates any files of its own.
+  // WAL/checkpoint files (crash between the CURRENT switch and the
+  // retire), a freshly written next generation (crash before the
+  // CURRENT switch), or a half-written *.tmp. Sweep them before
+  // recovery creates any files of its own.
   {
     env::GcStats gc;
     RRQ_RETURN_IF_ERROR(
@@ -1302,38 +1756,91 @@ Status QueueRepository::Open() {
     gc_removed_.fetch_add(gc.removed, std::memory_order_relaxed);
     remove_failures_.fetch_add(gc.failures, std::memory_order_relaxed);
   }
-  if (env->FileExists(CurrentPath())) {
-    RRQ_RETURN_IF_ERROR(LoadCheckpoint(generation_));
-    RRQ_RETURN_IF_ERROR(ReplayWal(generation_));
+  if (have_current) {
+    std::vector<ShardRecovery> recs(shards_.size());
+    if (shards_.size() == 1) {
+      RRQ_RETURN_IF_ERROR(
+          RecoverShard(shards_[0].get(), generation_, &recs[0]));
+    } else {
+      // Each shard's checkpoint slice and WAL are independent: recover
+      // them in parallel.
+      std::vector<Status> statuses(shards_.size());
+      std::vector<std::thread> threads;
+      threads.reserve(shards_.size());
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        threads.emplace_back([this, i, &recs, &statuses] {
+          statuses[i] =
+              RecoverShard(shards_[i].get(), generation_, &recs[i]);
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      for (const Status& st : statuses) RRQ_RETURN_IF_ERROR(st);
+    }
+    // Resolve leftover prepares. A cross-shard commit writes its commit
+    // record on every involved shard after all prepares are durable, so
+    // the union of commit-record ids decides atomically: either some
+    // shard's commit record survived (commit everywhere) or none did
+    // (abort everywhere). Only external (TransactionManager) ids ever
+    // consult the in-doubt resolver; internal cross-shard ids are
+    // presumed aborted when no commit record survived.
+    std::unordered_set<txn::TxnId> committed;
+    for (const ShardRecovery& rec : recs) {
+      committed.insert(rec.committed.begin(), rec.committed.end());
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard* s = shards_[i].get();
+      for (const txn::TxnId id : recs[i].prepared_order) {
+        auto pit = recs[i].prepared.find(id);
+        if (pit == recs[i].prepared.end()) continue;  // Applied in replay.
+        bool commit = committed.count(id) > 0;
+        if (!commit && (id & kInternalTxnBit) == 0 &&
+            options_.in_doubt_resolver != nullptr) {
+          commit = options_.in_doubt_resolver(id);
+        }
+        if (commit) {
+          for (const MicroOp& op : pit->second) ApplyMicroOp(s, op, nullptr);
+          RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                         << " resolved to COMMIT";
+        } else {
+          RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
+                         << " resolved to ABORT (presumed)";
+        }
+      }
+    }
   }
-  RRQ_RETURN_IF_ERROR(OpenWalForAppend(generation_));
-  if (!env->FileExists(CurrentPath())) {
+  for (auto& s : shards_) {
+    RRQ_RETURN_IF_ERROR(OpenShardWal(s.get(), generation_));
+  }
+  if (!have_current) {
     std::string current;
     util::PutVarint64(&current, generation_);
-    RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
+    if (shards_.size() > 1) util::PutVarint64(&current, shards_.size());
+    RRQ_RETURN_IF_ERROR(
+        env::WriteStringToFileSync(env, current, CurrentPath()));
   }
   opened_ = true;
   return Status::OK();
 }
 
-Status QueueRepository::OpenWalForAppend(uint64_t generation) {
+Status QueueRepository::OpenShardWal(Shard* s, uint64_t generation) {
   env::Env* env = options_.env;
-  const std::string path = WalPath(generation);
+  const std::string path = WalPath(generation, s->index);
   uint64_t size = 0;
   if (env->FileExists(path)) {
     RRQ_RETURN_IF_ERROR(env->GetFileSize(path, &size));
   }
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
-  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size,
-                                          options_.group_commit);
+  s->wal = std::make_shared<wal::LogWriter>(std::move(file), size,
+                                            options_.group_commit);
   return Status::OK();
 }
 
-void QueueRepository::EncodeSnapshot(std::string* out) const {
+void QueueRepository::EncodeShardSnapshot(const Shard& s,
+                                          std::string* out) const {
   util::PutFixed64(out, next_eid_.load(std::memory_order_relaxed));
-  util::PutVarint64(out, queues_.size());
-  for (const auto& [name, qs] : queues_) {
+  util::PutVarint64(out, s.queues.size());
+  for (const auto& [name, qs] : s.queues) {
     util::PutLengthPrefixed(out, name);
     EncodeQueueOptions(qs->options, out);
     out->push_back(qs->started ? 1 : 0);
@@ -1357,14 +1864,15 @@ void QueueRepository::EncodeSnapshot(std::string* out) const {
       util::PutVarint64(out, 0);
     }
   }
-  util::PutVarint64(out, triggers_.size());
-  for (const TriggerSpec& t : triggers_) EncodeTrigger(t, out);
+  util::PutVarint64(out, s.triggers.size());
+  for (const TriggerSpec& t : s.triggers) EncodeTrigger(t, out);
 }
 
-Status QueueRepository::DecodeSnapshot(Slice input) {
+Status QueueRepository::DecodeShardSnapshot(Shard* s, Slice input) {
   uint64_t next_eid = 0;
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &next_eid));
-  next_eid_.store(next_eid, std::memory_order_relaxed);
+  // Shards decode in parallel; the counter takes the max slice value.
+  AdvanceEid(next_eid);
   uint64_t queue_count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &queue_count));
   for (uint64_t i = 0; i < queue_count; ++i) {
@@ -1406,44 +1914,44 @@ Status QueueRepository::DecodeSnapshot(Slice input) {
           std::make_shared<const std::string>(std::move(decoded.contents));
       decoded.contents.clear();
       ie.meta = std::move(decoded);
-      ie.seq = next_seq_++;
+      ie.seq = s->next_seq++;
       qs->order[{~ie.meta.priority, ie.seq}] = ie.meta.eid;
       qs->elements[ie.meta.eid] = std::move(ie);
     }
-    queues_[name] = std::move(qs);
+    s->queues[name] = std::move(qs);
   }
   uint64_t trigger_count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &trigger_count));
   for (uint64_t i = 0; i < trigger_count; ++i) {
     TriggerSpec t;
     RRQ_RETURN_IF_ERROR(DecodeTrigger(&input, &t));
-    triggers_.push_back(std::move(t));
+    s->triggers.push_back(std::move(t));
   }
   return Status::OK();
 }
 
-Status QueueRepository::LoadCheckpoint(uint64_t generation) {
+Status QueueRepository::LoadShardCheckpoint(Shard* s, uint64_t generation) {
   env::Env* env = options_.env;
-  const std::string path = CheckpointPath(generation);
+  const std::string path = CheckpointPath(generation, s->index);
   if (!env->FileExists(path)) return Status::OK();
   std::string data;
   RRQ_RETURN_IF_ERROR(env::ReadFileToString(env, path, &data));
-  std::lock_guard<std::mutex> guard(mu_);
-  return DecodeSnapshot(Slice(data));
+  std::lock_guard<std::mutex> guard(s->mu);
+  return DecodeShardSnapshot(s, Slice(data));
 }
 
-Status QueueRepository::ReplayWal(uint64_t generation) {
+Status QueueRepository::ReplayShardWal(Shard* s, uint64_t generation,
+                                       ShardRecovery* rec) {
   env::Env* env = options_.env;
-  const std::string path = WalPath(generation);
+  const std::string path = WalPath(generation, s->index);
   if (!env->FileExists(path)) return Status::OK();
   std::unique_ptr<env::SequentialFile> file;
   RRQ_RETURN_IF_ERROR(env->NewSequentialFile(path, &file));
   wal::LogReader reader(std::move(file));
 
-  std::unordered_map<txn::TxnId, std::vector<MicroOp>> prepared;
   Slice record;
   std::string scratch;
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(s->mu);
   while (reader.ReadRecord(&record, &scratch)) {
     Slice input = record;
     if (input.empty()) continue;
@@ -1453,9 +1961,7 @@ Status QueueRepository::ReplayWal(uint64_t generation) {
     uint64_t eid_watermark = 0;
     RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
     RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
-    if (eid_watermark > next_eid_.load(std::memory_order_relaxed)) {
-      next_eid_.store(eid_watermark, std::memory_order_relaxed);
-    }
+    AdvanceEid(eid_watermark);
 
     uint64_t op_count = 0;
     RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
@@ -1468,66 +1974,84 @@ Status QueueRepository::ReplayWal(uint64_t generation) {
     }
 
     if (type == kRecCommitted) {
-      for (const MicroOp& op : ops) ApplyMicroOp(op, nullptr);
+      for (const MicroOp& op : ops) ApplyMicroOp(s, op, nullptr);
     } else if (type == kRecPrepare) {
-      prepared[id] = std::move(ops);
+      if (rec->prepared.find(id) == rec->prepared.end()) {
+        rec->prepared_order.push_back(id);
+      }
+      rec->prepared[id] = std::move(ops);
     } else if (type == kRecCommit) {
-      auto it = prepared.find(id);
-      if (it != prepared.end()) {
-        for (const MicroOp& op : it->second) ApplyMicroOp(op, nullptr);
-        prepared.erase(it);
+      // Record the id even when the prepare lives on another shard's
+      // WAL: the merged set resolves cross-shard leftovers.
+      rec->committed.insert(id);
+      auto it = rec->prepared.find(id);
+      if (it != rec->prepared.end()) {
+        for (const MicroOp& op : it->second) ApplyMicroOp(s, op, nullptr);
+        rec->prepared.erase(it);
       }
     } else {
       return Status::Corruption("unknown repository WAL record type");
     }
   }
-
-  for (auto& [id, ops] : prepared) {
-    const bool committed =
-        options_.in_doubt_resolver != nullptr && options_.in_doubt_resolver(id);
-    if (committed) {
-      for (const MicroOp& op : ops) ApplyMicroOp(op, nullptr);
-      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
-                     << " resolved to COMMIT";
-    } else {
-      RRQ_LOG(kInfo) << name_ << ": in-doubt txn " << id
-                     << " resolved to ABORT (presumed)";
-    }
-  }
   return Status::OK();
+}
+
+Status QueueRepository::RecoverShard(Shard* s, uint64_t generation,
+                                     ShardRecovery* rec) {
+  RRQ_RETURN_IF_ERROR(LoadShardCheckpoint(s, generation));
+  return ReplayShardWal(s, generation, rec);
 }
 
 Status QueueRepository::Checkpoint() {
   if (options_.env == nullptr) return Status::OK();
   env::Env* env = options_.env;
-  std::lock_guard<std::mutex> guard(mu_);
+  // One atomic generation cut across all shards: every slice is written
+  // under every shard lock, then CURRENT switches all of them at once.
+  std::lock_guard<std::mutex> cp_guard(checkpoint_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
   const uint64_t next_gen = generation_ + 1;
 
-  std::string snapshot;
-  EncodeSnapshot(&snapshot);
-  RRQ_RETURN_IF_ERROR(
-      env::WriteStringToFileSync(env, snapshot, CheckpointPath(next_gen)));
+  std::vector<std::shared_ptr<wal::LogWriter>> new_wals(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* s = shards_[i].get();
+    std::string snapshot;
+    EncodeShardSnapshot(*s, &snapshot);
+    RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(
+        env, snapshot, CheckpointPath(next_gen, i)));
 
-  std::unique_ptr<env::WritableFile> file;
-  RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
-  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file), 0,
-                                                  options_.group_commit);
-  for (const auto& [id, pt] : txns_) {
-    if (!pt.prepared) continue;
-    std::string record;
-    EncodeRecord(kRecPrepare, id, pt.ops, &record);
-    RRQ_RETURN_IF_ERROR(new_wal->AddRecord(record));
+    std::unique_ptr<env::WritableFile> file;
+    RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen, i), &file));
+    auto new_wal = std::make_shared<wal::LogWriter>(std::move(file), 0,
+                                                    options_.group_commit);
+    // Prepared-but-undecided transactions must survive the truncation:
+    // re-log their prepare records into the new WAL.
+    for (const auto& [id, pt] : s->txns) {
+      if (!pt.prepared) continue;
+      std::string record;
+      EncodeRecord(kRecPrepare, id, pt.ops, &record);
+      RRQ_RETURN_IF_ERROR(new_wal->AddRecord(record));
+    }
+    RRQ_RETURN_IF_ERROR(new_wal->Sync());
+    new_wals[i] = std::move(new_wal);
   }
-  RRQ_RETURN_IF_ERROR(new_wal->Sync());
 
   std::string current;
   util::PutVarint64(&current, next_gen);
+  if (shards_.size() > 1) util::PutVarint64(&current, shards_.size());
   RRQ_RETURN_IF_ERROR(env::WriteStringToFileSync(env, current, CurrentPath()));
 
-  RemoveRetiredFile(WalPath(generation_));
-  RemoveRetiredFile(CheckpointPath(generation_));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    RemoveRetiredFile(WalPath(generation_, i));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    RemoveRetiredFile(CheckpointPath(generation_, i));
+  }
   generation_ = next_gen;
-  wal_ = std::move(new_wal);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->wal = std::move(new_wals[i]);
+  }
   return Status::OK();
 }
 
@@ -1539,19 +2063,34 @@ void QueueRepository::RemoveRetiredFile(const std::string& path) {
                  << s.ToString() << " (recovery GC will re-attempt)";
 }
 
+// ---------------------------------------------------------------------------
+// Statistics
+
 uint64_t QueueRepository::wal_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return wal_ == nullptr ? 0 : wal_->PhysicalSize();
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->wal != nullptr) total += s->wal->PhysicalSize();
+  }
+  return total;
 }
 
 uint64_t QueueRepository::wal_sync_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return wal_ == nullptr ? 0 : wal_->sync_count();
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->wal != nullptr) total += s->wal->sync_count();
+  }
+  return total;
 }
 
 uint64_t QueueRepository::wal_sync_request_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return wal_ == nullptr ? 0 : wal_->sync_request_count();
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> guard(s->mu);
+    if (s->wal != nullptr) total += s->wal->sync_request_count();
+  }
+  return total;
 }
 
 }  // namespace rrq::queue

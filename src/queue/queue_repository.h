@@ -35,6 +35,15 @@ struct RepositoryOptions {
   /// group commit). Disable to restore per-operation syncing, the
   /// baseline the group-commit benchmark measures against.
   bool group_commit = true;
+  /// Number of shards the repository is partitioned into (queues are
+  /// assigned by a stable hash of their name; each shard has its own
+  /// lock, WAL stream, and group-commit leader). 0 means
+  /// hardware_concurrency. 1 reproduces the pre-sharding single-lock
+  /// repository and its on-disk layout bit-for-bit. A durable directory
+  /// remembers its shard count: reopening adopts the on-disk count, so
+  /// pre-sharding data directories open unchanged regardless of this
+  /// setting.
+  unsigned shards = 0;
   /// In-doubt resolution at recovery (presumed abort by default).
   std::function<bool(txn::TxnId)> in_doubt_resolver;
   /// Invoked (outside the repository lock) when a committed enqueue
@@ -75,6 +84,20 @@ struct TriggerSpec {
 /// repository participates in one- and two-phase commit as a
 /// txn::ResourceManager.
 ///
+/// Internally the repository is partitioned into
+/// RepositoryOptions::shards shards keyed by queue-name hash. Each
+/// shard owns its queues, its mutex and condition variables, its WAL
+/// stream (WAL-<gen>-<shard>) with its own group-commit leader, and
+/// its slice of the checkpoint, so operations on queues in different
+/// shards never contend on a lock or serialize into the same log.
+/// Transactions spanning shards enlist each involved shard as a
+/// distinct ResourceManager with the TransactionManager (real 2PC);
+/// internal cross-shard auto-commits (redirected tagged enqueues,
+/// cross-shard error-queue moves, replicated records) use a
+/// prepare/commit protocol over the involved shard WALs that recovery
+/// resolves atomically. The eid counter is one process-wide atomic, so
+/// element ids stay unique and monotonic across shards.
+///
 /// Thread-safe.
 class QueueRepository final : public txn::ResourceManager {
  public:
@@ -84,7 +107,8 @@ class QueueRepository final : public txn::ResourceManager {
   QueueRepository(const QueueRepository&) = delete;
   QueueRepository& operator=(const QueueRepository&) = delete;
 
-  /// Recovers durable state. Call once before use.
+  /// Recovers durable state (shards recover in parallel). Call once
+  /// before use.
   Status Open();
 
   // ---- Data definition (§4.1) ---------------------------------------
@@ -135,7 +159,8 @@ class QueueRepository final : public txn::ResourceManager {
                                   const Slice& tag = Slice());
 
   /// Dequeues from the first of `queues` that has a visible element
-  /// (queue sets, §9).
+  /// (queue sets, §9). The queues may live on different shards; the
+  /// first-visible-wins scan order is the caller's order regardless.
   Result<Element> DequeueFromSet(txn::Transaction* t,
                                  const std::vector<std::string>& queues,
                                  const std::string& registrant = "",
@@ -162,7 +187,9 @@ class QueueRepository final : public txn::ResourceManager {
   /// replication_sink (§10 queue replication). Ops apply with their
   /// original eids; the eid counter advances past the primary's
   /// watermark so a promoted backup never reuses ids. Durable backups
-  /// log the record before applying.
+  /// log the record before applying. A record whose ops land on
+  /// several local shards applies through the cross-shard commit
+  /// protocol, so it stays atomic across a backup crash.
   Status ApplyReplicatedRecord(const Slice& record);
 
   // ---- Introspection ----------------------------------------------------
@@ -172,7 +199,23 @@ class QueueRepository final : public txn::ResourceManager {
   std::vector<std::string> ListQueues() const;
   Result<QueueOptions> GetQueueOptions(const std::string& queue) const;
 
+  /// Number of shards (resolved at Open; on-disk count wins for
+  /// durable directories).
+  size_t shard_count() const { return shards_.size(); }
+  /// Stable shard index of `queue` (FNV-1a of the name, mod
+  /// shard_count). Exposed so tests and benches can construct queue
+  /// names that do / don't share a shard.
+  size_t shard_of(const std::string& queue) const {
+    return ShardIndexOf(queue);
+  }
+
   // ---- txn::ResourceManager ----------------------------------------------
+  // The repository itself stays a ResourceManager for compatibility
+  // (calls fan out to every shard holding state for the transaction),
+  // but transactional operations enlist the involved shards directly,
+  // so the TransactionManager coordinates cross-shard atomicity with
+  // its decision log and single-shard transactions keep the fused
+  // one-phase fast path.
   std::string_view rm_name() const override { return name_; }
   Status Prepare(txn::TxnId txn) override;
   Status CommitTxn(txn::TxnId txn) override;
@@ -185,6 +228,10 @@ class QueueRepository final : public txn::ResourceManager {
   uint64_t error_move_count() const {
     return error_moves_.load(std::memory_order_relaxed);
   }
+  uint64_t replication_failure_count() const {
+    return replication_failures_.load(std::memory_order_relaxed);
+  }
+  /// Physical WAL bytes, summed across the shard WAL streams.
   uint64_t wal_bytes() const;
   /// Failed RemoveFile calls on the retirement/GC path (checkpoint
   /// retiring the previous generation, recovery GC). Nonzero means
@@ -196,15 +243,16 @@ class QueueRepository final : public txn::ResourceManager {
   uint64_t recovery_gc_removed_count() const {
     return gc_removed_.load(std::memory_order_relaxed);
   }
-  /// Physical WAL syncs issued. Under concurrent committers this is
-  /// less than wal_sync_request_count(): the ratio is the group-commit
-  /// batching factor.
+  /// Physical WAL syncs issued, summed across shards. Under concurrent
+  /// committers this is less than wal_sync_request_count(): the ratio
+  /// is the group-commit batching factor.
   uint64_t wal_sync_count() const;
-  /// Durability requests made against the WAL (commits that needed a
-  /// sync).
+  /// Durability requests made against the WALs (commits that needed a
+  /// sync), summed across shards.
   uint64_t wal_sync_request_count() const;
 
-  /// Writes a checkpoint and truncates the WAL.
+  /// Writes a checkpoint (one slice per shard under a single atomic
+  /// generation cut) and truncates the WALs.
   Status Checkpoint();
 
  private:
@@ -213,9 +261,9 @@ class QueueRepository final : public txn::ResourceManager {
   //
   // Element contents ride in `payload` (immutable, refcounted) when
   // the op was built from live state — sharing the bytes instead of
-  // copying them under mu_. Ops decoded from the WAL carry contents
-  // inline in `element.contents`; PayloadOf() normalizes the two.
-  // EncodeMicroOp writes identical bytes either way.
+  // copying them under the shard lock. Ops decoded from the WAL carry
+  // contents inline in `element.contents`; PayloadOf() normalizes the
+  // two. EncodeMicroOp writes identical bytes either way.
   struct MicroOp {
     enum Kind : unsigned char {
       kCreateQueue = 1,
@@ -246,7 +294,7 @@ class QueueRepository final : public txn::ResourceManager {
   // A live element. The metadata (eid, priority, abort bookkeeping)
   // lives in `meta` with empty contents; the contents are a shared
   // immutable string, so handing an element to a reader is a refcount
-  // bump under mu_ and the byte copy happens outside the lock.
+  // bump under the shard lock and the byte copy happens outside it.
   struct InternalElement {
     Element meta;                        // meta.contents is always empty.
     std::shared_ptr<const std::string> payload;
@@ -295,81 +343,126 @@ class QueueRepository final : public txn::ResourceManager {
     bool prepared = false;
   };
 
-  // ---- helpers (mu_ held unless noted) --------------------------------
-  QueueState* FindQueue(const std::string& queue);
-  const QueueState* FindQueue(const std::string& queue) const;
+  // One shard: a slice of the queue namespace with its own lock, WAL
+  // stream, pending-transaction table, and triggers. Defined in the
+  // .cc. Each shard is a ResourceManager in its own right; the
+  // TransactionManager sees one participant per involved shard.
+  struct Shard;
+  // Per-shard recovery scratch (leftover prepared transactions and
+  // commit-record ids seen), merged after the parallel replay.
+  struct ShardRecovery;
+  // A reserved replication-delivery slot on one shard (sink calls must
+  // arrive in apply order; see DeliverReplica).
+  struct ReplTicket {
+    Shard* shard = nullptr;
+    uint64_t ticket = 0;
+  };
+
+  // ---- helpers --------------------------------------------------------
+  size_t ShardIndexOf(const std::string& queue) const;
+  Shard* ShardFor(const std::string& queue);
+  const Shard* ShardFor(const std::string& queue) const;
   std::string ResolveRedirect(const std::string& queue) const;
-  // Applies a committed micro-op to in-memory state. Returns queues
-  // whose waiters should be notified / alerts to fire.
-  void ApplyMicroOp(const MicroOp& op,
+  // Applies a committed micro-op to shard `s` (its lock held). Returns
+  // queues whose waiters should be notified / alerts to fire.
+  void ApplyMicroOp(Shard* s, const MicroOp& op,
                     std::vector<std::string>* notify_queues);
   // Serialization.
   static void EncodeMicroOp(const MicroOp& op, std::string* out);
   static Status DecodeMicroOp(Slice* input, MicroOp* op);
   void EncodeRecord(unsigned char type, txn::TxnId id,
                     const std::vector<MicroOp>& ops, std::string* out) const;
-  // Logs and applies an auto-committed op list. Handles durable vs
-  // volatile ops, notification, alerts. Takes mu_ itself.
+  // Logs and applies an auto-committed op list: single-shard op lists
+  // take one shard lock and append one record; op lists spanning
+  // shards go through CommitSpanning. Takes shard locks itself.
   Status AutoCommit(std::vector<MicroOp> ops);
-  // Buffers ops under txn `t` (enlists repository). Takes mu_ itself.
+  // Single-shard auto-commit. `record` may carry pre-encoded bytes to
+  // log verbatim (replicated records); empty means encode from `ops`.
+  Status CommitOnShard(Shard* s, std::vector<MicroOp> ops,
+                       std::string record, bool evaluate_reactions);
+  // Same, entered with the shard lock already held (dequeue/kill
+  // decide-and-commit without a window). Releases the lock.
+  Status CommitOnShardLocked(Shard* s, std::unique_lock<std::mutex>& lock,
+                             std::vector<MicroOp> ops, std::string record,
+                             bool evaluate_reactions);
+  // Cross-shard auto-commit: prepares on every involved shard WAL
+  // under an internal txn id, then commits everywhere with one
+  // coordinator sync. Recovery resolves leftover prepares against the
+  // union of commit records across shards, so the op list applies
+  // atomically or not at all. `record` as in CommitOnShard.
+  Status CommitSpanning(std::vector<MicroOp> ops, std::string record,
+                        bool evaluate_reactions);
+  // Buffers ops under txn `t` and enlists each involved shard with the
+  // transaction. Takes shard locks itself.
   void BufferTxnOps(txn::Transaction* t, std::vector<MicroOp> ops,
                     std::vector<LockedRef> locked);
-  // Whether any micro-op touches a durable queue (or repo metadata).
-  bool NeedsLogging(const std::vector<MicroOp>& ops) const;
   // Core dequeue machinery shared by all dequeue flavors.
   Result<Element> DequeueInternal(txn::Transaction* t,
                                   const std::string& queue,
                                   const Selector* selector,
                                   const std::string& registrant,
                                   const Slice& tag, uint64_t timeout_micros);
-  // Picks the next visible element. Requires mu_ held. Returns nullptr
-  // when none; sets *head_locked when strict-FIFO found a locked head.
+  // Picks the next visible element. Requires the owning shard's lock.
+  // Returns nullptr when none; sets *head_locked when strict-FIFO
+  // found a locked head.
   InternalElement* PickVisible(QueueState* qs, const Selector* selector,
                                bool* head_locked);
-  // Post-commit bookkeeping: notify waiters; when evaluate_reactions,
-  // also fire alerts & triggers (replicated applies don't — the
-  // primary's reactions arrive as ordinary records).
-  void AfterApply(const std::vector<std::string>& notify_queues,
-                  bool evaluate_reactions = true);
-  // Encodes `ops` for the replication sink (empty when none). mu_ held.
+  // Wakes blocked dequeuers on the named queues (groups by shard; call
+  // without shard locks).
+  void NotifyWaiters(const std::vector<std::string>& notify_queues);
+  // Fires alerts & triggers for the named queues (replicated applies
+  // don't — the primary's reactions arrive as ordinary records). Call
+  // without shard locks, after the commit's replication delivery, so a
+  // trigger's own replication can't overtake the record that fired it.
+  void EvaluateReactions(const std::vector<std::string>& notify_queues);
+  // Encodes `ops` for the replication sink (empty when none).
   std::string MaybeEncodeReplication(const std::vector<MicroOp>& ops) const;
-  // Pushes one record to the sink. Call without mu_.
-  Status Replicate(const std::string& record);
+  // Reserves the next delivery slot on `s` (its lock must be held, so
+  // ticket order == apply order).
+  ReplTicket AcquireReplTicket(Shard* s);
+  // Delivers one record to the sink in ticket order (waits for earlier
+  // tickets on every involved shard, calls the sink, releases the
+  // slots). Call without shard locks. Consumes the tickets even when
+  // `record` is empty or the sink fails.
+  Status DeliverReplica(const std::vector<ReplTicket>& tickets,
+                        const std::string& record);
   MicroOp MakeLastOpMicro(const std::string& queue,
                           const std::string& registrant, OpType type,
                           const Slice& tag, const Element& meta,
                           std::shared_ptr<const std::string> payload) const;
-  Status OpenWalForAppend(uint64_t generation);
-  Status LoadCheckpoint(uint64_t generation);
-  Status ReplayWal(uint64_t generation);
-  std::string WalPath(uint64_t g) const;
-  std::string CheckpointPath(uint64_t g) const;
+  void BuildShards(size_t count);
+  Status OpenShardWal(Shard* s, uint64_t generation);
+  Status LoadShardCheckpoint(Shard* s, uint64_t generation);
+  Status ReplayShardWal(Shard* s, uint64_t generation, ShardRecovery* rec);
+  Status RecoverShard(Shard* s, uint64_t generation, ShardRecovery* rec);
+  std::string WalPath(uint64_t g, size_t shard) const;
+  std::string CheckpointPath(uint64_t g, size_t shard) const;
   std::string CurrentPath() const;
-  void EncodeSnapshot(std::string* out) const;
-  Status DecodeSnapshot(Slice input);
+  void EncodeShardSnapshot(const Shard& s, std::string* out) const;
+  Status DecodeShardSnapshot(Shard* s, Slice input);
+  // Removes a retired/orphaned file, logging and counting failures.
+  void RemoveRetiredFile(const std::string& path);
+  // Lifts the eid counter to at least `floor` (replicated records,
+  // recovery watermarks).
+  void AdvanceEid(uint64_t floor);
 
   const std::string name_;
   RepositoryOptions options_;
   bool opened_ = false;
 
-  // Global repository lock. Element payloads are shared immutable
-  // strings, so the hot paths (Read / Dequeue / Register recovery)
-  // only bump a refcount while holding mu_ and materialize the byte
-  // copy for the caller after unlocking.
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<QueueState>> queues_;
-  std::unordered_map<txn::TxnId, PendingTxn> txns_;
-  std::vector<TriggerSpec> triggers_;
-  // Atomic so commit records can be encoded outside mu_: a record's
-  // eid watermark only has to cover the eids of its own ops, which are
-  // always allocated before the record is encoded.
-  std::atomic<uint64_t> next_eid_{1};
-  uint64_t next_seq_ = 1;
-  uint64_t generation_ = 0;
-  std::unique_ptr<wal::LogWriter> wal_;
+  // The shards. Sized by the constructor from options_.shards and
+  // re-sized by Open() when a durable directory's on-disk count
+  // differs; immutable afterwards, so lock-free to index.
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Removes a retired/orphaned file, logging and counting failures.
-  void RemoveRetiredFile(const std::string& path);
+  // Atomic so commit records can be encoded outside shard locks (a
+  // record's eid watermark only has to cover the eids of its own ops,
+  // which are always allocated before the record is encoded) and so
+  // eids stay unique across shards without a shared lock.
+  std::atomic<uint64_t> next_eid_{1};
+  // Serializes Checkpoint() and guards generation_ after Open.
+  std::mutex checkpoint_mu_;
+  uint64_t generation_ = 0;
 
   std::atomic<uint64_t> enqueues_{0};
   std::atomic<uint64_t> dequeues_{0};
@@ -377,11 +470,6 @@ class QueueRepository final : public txn::ResourceManager {
   std::atomic<uint64_t> replication_failures_{0};
   std::atomic<uint64_t> remove_failures_{0};
   std::atomic<uint64_t> gc_removed_{0};
-
- public:
-  uint64_t replication_failure_count() const {
-    return replication_failures_.load(std::memory_order_relaxed);
-  }
 };
 
 }  // namespace rrq::queue

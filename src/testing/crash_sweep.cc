@@ -97,7 +97,8 @@ server::RequestHandler MakeHandler(storage::KvStore* kv) {
   };
 }
 
-Status BuildHarness(env::Env* env, bool group_commit, Harness* h) {
+Status BuildHarness(env::Env* env, const SweepConfig& cfg, Harness* h) {
+  const bool group_commit = cfg.group_commit;
   txn::TxnManagerOptions topt;
   topt.env = env;
   topt.dir = "txn";
@@ -119,6 +120,7 @@ Status BuildHarness(env::Env* env, bool group_commit, Harness* h) {
   ropt.env = env;
   ropt.dir = "qm";
   ropt.group_commit = group_commit;
+  ropt.shards = cfg.shards;
   ropt.in_doubt_resolver = resolver;
   h->repo = std::make_unique<queue::QueueRepository>("qm", ropt);
   RRQ_RETURN_IF_ERROR(h->repo->Open());
@@ -313,9 +315,26 @@ void CheckGenerationFileSet(env::Env* env, const std::string& dir,
     judge->Violation(dir + ": corrupt CURRENT");
     return;
   }
-  const std::set<std::string> allowed = {
-      "CURRENT", "WAL-" + std::to_string(generation),
-      "CHECKPOINT-" + std::to_string(generation)};
+  // Sharded repositories append the shard count to CURRENT and write
+  // one WAL/CHECKPOINT pair per shard; single-stream directories carry
+  // neither the count nor the per-shard suffix.
+  uint64_t shard_count = 1;
+  if (!input.empty() &&
+      (!util::GetVarint64(&input, &shard_count).ok() || shard_count == 0)) {
+    judge->Violation(dir + ": corrupt shard count in CURRENT");
+    return;
+  }
+  std::set<std::string> allowed = {"CURRENT"};
+  std::vector<std::string> wals;
+  for (uint64_t i = 0; i < shard_count; ++i) {
+    const std::string suffix = shard_count > 1
+                                   ? std::to_string(generation) + "-" +
+                                         std::to_string(i)
+                                   : std::to_string(generation);
+    wals.push_back("WAL-" + suffix);
+    allowed.insert("WAL-" + suffix);
+    allowed.insert("CHECKPOINT-" + suffix);
+  }
   std::vector<std::string> children;
   s = env->GetChildren(dir, &children);
   if (!s.ok()) {
@@ -327,9 +346,12 @@ void CheckGenerationFileSet(env::Env* env, const std::string& dir,
       judge->Violation(dir + ": orphan file survived recovery: " + name);
     }
   }
-  if (!env->FileExists(dir + "/WAL-" + std::to_string(generation))) {
-    judge->Violation(dir + ": CURRENT names generation " +
-                     std::to_string(generation) + " but its WAL is missing");
+  for (const std::string& wal : wals) {
+    if (!env->FileExists(dir + "/" + wal)) {
+      judge->Violation(dir + ": CURRENT names generation " +
+                       std::to_string(generation) + " but " + wal +
+                       " is missing");
+    }
   }
 }
 
@@ -435,7 +457,7 @@ std::vector<std::string> RunOnePoint(const SweepConfig& cfg, uint64_t k,
 
   {
     Harness first;
-    Status s = BuildHarness(&env, cfg.group_commit, &first);
+    Status s = BuildHarness(&env, cfg, &first);
     if (s.ok()) {
       RunWorkload(&first, &env, cfg, &judge);
     } else if (!env.down()) {
@@ -458,7 +480,7 @@ std::vector<std::string> RunOnePoint(const SweepConfig& cfg, uint64_t k,
   // The dead incarnation is gone; restart and recover.
   env.Disarm();
   Harness second;
-  Status s = BuildHarness(&env, cfg.group_commit, &second);
+  Status s = BuildHarness(&env, cfg, &second);
   if (!s.ok()) {
     judge.Violation("recovery failed: " + s.ToString());
     return judge.violations;
@@ -492,9 +514,11 @@ SweepResult RunCrashSweep(const SweepConfig& config) {
   }
   result.total_ops = ops;
 
-  const std::string mode = std::string("gc=") +
-                           (config.group_commit ? "1" : "0") +
-                           (config.torn_writes ? ",torn" : "");
+  std::string mode = std::string("gc=") + (config.group_commit ? "1" : "0") +
+                     (config.torn_writes ? ",torn" : "");
+  if (config.shards > 1) {
+    mode += ",shards=" + std::to_string(config.shards);
+  }
   for (uint64_t k = 0; k < result.total_ops; k += stride) {
     uint64_t ignored = 0;
     std::vector<std::string> violations = RunOnePoint(config, k, &ignored);

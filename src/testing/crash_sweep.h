@@ -25,6 +25,10 @@ struct SweepConfig {
   /// Run every stride-th crash index (1 = exhaustive). CI smoke runs
   /// use a stride > 1 on the torn configurations to bound time.
   uint64_t stride = 1;
+  /// Shard count for the queue repository (per-shard WAL streams and
+  /// checkpoint slices; 1 = the single-stream layout). The sweep's
+  /// file-set invariant adapts to the per-shard naming.
+  unsigned shards = 1;
 };
 
 /// Outcome of a sweep.

@@ -67,5 +67,27 @@ TEST(CrashSweepTest, TornWritesPerOpSync) {
   ExpectClean(config);
 }
 
+// Sharded repository (4 WAL streams, per-shard checkpoint slices):
+// crash-before-op. Recovery must resolve cross-shard prepares
+// atomically and the GC must retire per-shard orphan generations —
+// CheckGenerationFileSet asserts no WAL-<g>-<s>/CHECKPOINT-<g>-<s>
+// stragglers survive.
+TEST(CrashSweepTest, ShardedEveryCrashPointRecovers) {
+  SweepConfig config;
+  config.group_commit = true;
+  config.shards = 4;
+  config.stride = FullSweep() ? 1 : 3;
+  ExpectClean(config);
+}
+
+TEST(CrashSweepTest, ShardedTornWrites) {
+  SweepConfig config;
+  config.group_commit = true;
+  config.torn_writes = true;
+  config.shards = 4;
+  config.stride = FullSweep() ? 1 : 3;
+  ExpectClean(config);
+}
+
 }  // namespace
 }  // namespace rrq::testing

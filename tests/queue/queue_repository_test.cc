@@ -24,6 +24,7 @@ class QueueRepositoryTest : public ::testing::Test {
     RepositoryOptions options;
     options.env = &env_;
     options.dir = "/qm";
+    options.shards = 1;  // Tests below hand-craft single-stream file names.
     options.in_doubt_resolver = [this](txn::TxnId id) {
       return txn_mgr_->WasCommitted(id);
     };
@@ -725,6 +726,7 @@ TEST_F(QueueRepositoryTest, FailedRetirementIsCountedNotFatal) {
   RepositoryOptions options;
   options.env = &flaky;
   options.dir = "/flaky-qm";
+  options.shards = 1;
   {
     QueueRepository repo("flaky-qm", options);
     ASSERT_TRUE(repo.Open().ok());
@@ -764,8 +766,221 @@ TEST_F(QueueRepositoryTest, CorruptRegistrationTypeFailsOpen) {
   RepositoryOptions options;
   options.env = &env_;
   options.dir = "/qm";
+  options.shards = 1;
   QueueRepository corrupt("qm", options);
   EXPECT_TRUE(corrupt.Open().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded repository semantics
+
+class ShardedRepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    txn_mgr_ = std::make_unique<txn::TransactionManager>();
+    ASSERT_TRUE(txn_mgr_->Open().ok());
+    repo_ = MakeRepo(4);
+    ASSERT_EQ(repo_->shard_count(), 4u);
+  }
+
+  std::unique_ptr<QueueRepository> MakeRepo(unsigned shards) {
+    RepositoryOptions options;
+    options.env = &env_;
+    options.dir = "/sq";
+    options.shards = shards;
+    options.in_doubt_resolver = [this](txn::TxnId id) {
+      return txn_mgr_->WasCommitted(id);
+    };
+    auto repo = std::make_unique<QueueRepository>("sq", options);
+    EXPECT_TRUE(repo->Open().ok());
+    return repo;
+  }
+
+  // First unused "q<n>" whose name hashes to `shard`.
+  std::string NameOnShard(size_t shard) {
+    for (;; ++name_seq_) {
+      std::string name = "q" + std::to_string(name_seq_);
+      if (repo_->shard_of(name) == shard) {
+        ++name_seq_;
+        return name;
+      }
+    }
+  }
+
+  env::MemEnv env_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  std::unique_ptr<QueueRepository> repo_;
+  int name_seq_ = 0;
+};
+
+TEST_F(ShardedRepositoryTest, CrossShardTransactionCommitsAtomically) {
+  const std::string qa = NameOnShard(0);
+  const std::string qb = NameOnShard(2);
+  ASSERT_NE(repo_->shard_of(qa), repo_->shard_of(qb));
+  ASSERT_TRUE(repo_->CreateQueue(qa).ok());
+  ASSERT_TRUE(repo_->CreateQueue(qb).ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), qa, "a").ok());
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), qb, "b").ok());
+  EXPECT_EQ(*repo_->Depth(qa), 0u);  // Nothing visible before commit.
+  EXPECT_EQ(*repo_->Depth(qb), 0u);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*repo_->Depth(qa), 1u);
+  EXPECT_EQ(*repo_->Depth(qb), 1u);
+}
+
+TEST_F(ShardedRepositoryTest, CrossShardTransactionAbortsAtomically) {
+  const std::string qa = NameOnShard(1);
+  const std::string qb = NameOnShard(3);
+  ASSERT_TRUE(repo_->CreateQueue(qa).ok());
+  ASSERT_TRUE(repo_->CreateQueue(qb).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qa, "a").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qb, "b").ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), qa).ok());
+  ASSERT_TRUE(repo_->Dequeue(txn.get(), qb).ok());
+  txn->Abort();
+  // Both elements are back, on both shards.
+  EXPECT_EQ(*repo_->Depth(qa), 1u);
+  EXPECT_EQ(*repo_->Depth(qb), 1u);
+  EXPECT_EQ(repo_->Dequeue(nullptr, qa)->contents, "a");
+  EXPECT_EQ(repo_->Dequeue(nullptr, qb)->contents, "b");
+}
+
+TEST_F(ShardedRepositoryTest, CrossShardPreparedTransactionRecovers) {
+  const std::string qa = NameOnShard(0);
+  const std::string qb = NameOnShard(3);
+  ASSERT_TRUE(repo_->CreateQueue(qa).ok());
+  ASSERT_TRUE(repo_->CreateQueue(qb).ok());
+  auto txn = txn_mgr_->Begin();
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), qa, "a").ok());
+  ASSERT_TRUE(repo_->Enqueue(txn.get(), qb, "b").ok());
+  ASSERT_TRUE(repo_->Prepare(txn->id()).ok());
+  const txn::TxnId id = txn->id();
+  env_.SimulateCrash();
+
+  // Resolver says committed: both shards' prepared slices apply, or
+  // neither — never one.
+  RepositoryOptions options;
+  options.env = &env_;
+  options.dir = "/sq";
+  options.shards = 4;
+  options.in_doubt_resolver = [id](txn::TxnId q) { return q == id; };
+  QueueRepository recovered("sq", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(*recovered.Depth(qa), 1u);
+  EXPECT_EQ(*recovered.Depth(qb), 1u);
+  txn->Abort();
+}
+
+TEST_F(ShardedRepositoryTest, DequeueFromSetScansAcrossShards) {
+  const std::string qa = NameOnShard(0);
+  const std::string qb = NameOnShard(2);
+  ASSERT_TRUE(repo_->CreateQueue(qa).ok());
+  ASSERT_TRUE(repo_->CreateQueue(qb).ok());
+  EXPECT_TRUE(repo_->DequeueFromSet(nullptr, {qa, qb}).status().IsNotFound());
+  // Only the later-listed queue (a different shard) has an element.
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qb, "from-b").ok());
+  auto got = repo_->DequeueFromSet(nullptr, {qa, qb});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "from-b");
+  // With both populated, the caller's scan order wins, not shard order.
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qa, "from-a").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qb, "from-b2").ok());
+  got = repo_->DequeueFromSet(nullptr, {qa, qb});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->contents, "from-a");
+}
+
+TEST_F(ShardedRepositoryTest, AbortLimitMovesElementAcrossShards) {
+  const std::string q = NameOnShard(1);
+  const std::string err = NameOnShard(2);
+  QueueOptions qopts;
+  qopts.max_aborts = 2;
+  qopts.error_queue = err;
+  ASSERT_TRUE(repo_->CreateQueue(q, qopts).ok());
+  const ElementId eid = *repo_->Enqueue(nullptr, q, "poison");
+  for (int round = 0; round < 2; ++round) {
+    auto txn = txn_mgr_->Begin();
+    ASSERT_TRUE(repo_->Dequeue(txn.get(), q).ok()) << "round " << round;
+    txn->Abort();
+  }
+  // The poisoned element crossed shards into the on-demand error queue.
+  EXPECT_TRUE(repo_->Dequeue(nullptr, q).status().IsNotFound());
+  ASSERT_TRUE(repo_->QueueExists(err));
+  auto dead = repo_->Dequeue(nullptr, err);
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ(dead->contents, "poison");
+  EXPECT_EQ(dead->eid, eid);
+  EXPECT_EQ(dead->abort_count, 2u);
+  EXPECT_FALSE(dead->abort_code.empty());
+  EXPECT_EQ(repo_->error_move_count(), 1u);
+}
+
+TEST_F(ShardedRepositoryTest, SingleStreamDirAdoptedByShardedConfig) {
+  // A directory written by shards=1 must open bit-for-bit compatible
+  // under a sharded configuration: the on-disk count wins.
+  RepositoryOptions legacy;
+  legacy.env = &env_;
+  legacy.dir = "/legacy";
+  legacy.shards = 1;
+  {
+    QueueRepository repo("legacy", legacy);
+    ASSERT_TRUE(repo.Open().ok());
+    ASSERT_TRUE(repo.CreateQueue("q").ok());
+    ASSERT_TRUE(repo.Enqueue(nullptr, "q", "survivor").ok());
+  }
+  ASSERT_TRUE(env_.FileExists("/legacy/WAL-0"));
+  RepositoryOptions wide = legacy;
+  wide.shards = 8;
+  QueueRepository reopened("legacy", wide);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.shard_count(), 1u);
+  EXPECT_TRUE(env_.FileExists("/legacy/WAL-0"));
+  EXPECT_FALSE(env_.FileExists("/legacy/WAL-0-0"));
+  EXPECT_EQ(reopened.Dequeue(nullptr, "q")->contents, "survivor");
+}
+
+TEST_F(ShardedRepositoryTest, OnDiskShardCountAdoptedOnReopen) {
+  const std::string qa = NameOnShard(0);
+  const std::string qb = NameOnShard(3);
+  ASSERT_TRUE(repo_->CreateQueue(qa).ok());
+  ASSERT_TRUE(repo_->CreateQueue(qb).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qa, "a").ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, qb, "b").ok());
+  repo_.reset();
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_TRUE(env_.FileExists("/sq/WAL-0-" + std::to_string(s)));
+  }
+  // A mismatched configuration (1 shard) adopts the on-disk 4.
+  auto reopened = MakeRepo(1);
+  EXPECT_EQ(reopened->shard_count(), 4u);
+  EXPECT_EQ(reopened->Dequeue(nullptr, qa)->contents, "a");
+  EXPECT_EQ(reopened->Dequeue(nullptr, qb)->contents, "b");
+}
+
+TEST_F(ShardedRepositoryTest, PerShardOrphanGenerationsRemoved) {
+  const std::string q = NameOnShard(2);
+  ASSERT_TRUE(repo_->CreateQueue(q).ok());
+  ASSERT_TRUE(repo_->Enqueue(nullptr, q, "survivor").ok());
+  ASSERT_TRUE(repo_->Checkpoint().ok());  // Now at generation 1.
+  repo_.reset();
+  // A crash inside the sharded Checkpoint() can strand any shard's
+  // slice of either generation, plus half-written tmps.
+  ASSERT_TRUE(env::WriteStringToFileSync(&env_, "stale", "/sq/WAL-0-2").ok());
+  ASSERT_TRUE(
+      env::WriteStringToFileSync(&env_, "stale", "/sq/CHECKPOINT-7-1").ok());
+  ASSERT_TRUE(
+      env::WriteStringToFileSync(&env_, "half", "/sq/CHECKPOINT-2-0.tmp").ok());
+  repo_ = MakeRepo(4);
+  EXPECT_GE(repo_->recovery_gc_removed_count(), 3u);
+  EXPECT_FALSE(env_.FileExists("/sq/WAL-0-2"));
+  EXPECT_FALSE(env_.FileExists("/sq/CHECKPOINT-7-1"));
+  EXPECT_FALSE(env_.FileExists("/sq/CHECKPOINT-2-0.tmp"));
+  for (int s = 0; s < 4; ++s) {  // Live generation survives, all slices.
+    EXPECT_TRUE(env_.FileExists("/sq/WAL-1-" + std::to_string(s)));
+  }
+  EXPECT_EQ(repo_->Dequeue(nullptr, q)->contents, "survivor");
 }
 
 }  // namespace

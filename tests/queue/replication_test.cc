@@ -3,6 +3,8 @@
 // via persistent registration.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "client/clerk.h"
 #include "comm/network.h"
 #include "env/mem_env.h"
@@ -235,6 +237,57 @@ TEST_F(ReplicationTest, ReplicationOverFaultyNetworkCountsFailures) {
   // replicated CreateQueue).
   EXPECT_LT(*backup->Depth("q"), 100u);
   EXPECT_EQ(*primary.Depth("q"), 100u);
+}
+
+TEST_F(ReplicationTest, ShardedPrimaryReplicatesInApplyOrderPerQueue) {
+  // With shards>1 the primary has one replication stream per shard;
+  // the per-shard delivery tickets must still hand the sink each
+  // queue's records in apply order, even under concurrent producers.
+  auto backup = std::make_unique<QueueRepository>("sh-backup");
+  ASSERT_TRUE(backup->Open().ok());
+  RepositoryOptions options;
+  options.shards = 4;
+  options.replication_sink = [&backup](const Slice& record) {
+    return backup->ApplyReplicatedRecord(record);
+  };
+  QueueRepository primary("sh-primary", options);
+  ASSERT_TRUE(primary.Open().ok());
+  ASSERT_EQ(primary.shard_count(), 4u);
+
+  // One queue per shard, one producer thread per queue.
+  std::vector<std::string> queues;
+  for (size_t shard = 0; shard < 4; ++shard) {
+    for (int i = 0;; ++i) {
+      std::string name = "rq" + std::to_string(i);
+      if (primary.shard_of(name) == shard) {
+        queues.push_back(name);
+        break;
+      }
+    }
+    ASSERT_TRUE(primary.CreateQueue(queues.back()).ok());
+  }
+  constexpr int kPerQueue = 50;
+  std::vector<std::thread> producers;
+  for (const std::string& queue : queues) {
+    producers.emplace_back([&primary, queue]() {
+      for (int n = 0; n < kPerQueue; ++n) {
+        ASSERT_TRUE(
+            primary.Enqueue(nullptr, queue, std::to_string(n)).ok());
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+
+  // The backup saw every record, and each queue's contents come back
+  // in the exact order the primary committed them.
+  for (const std::string& queue : queues) {
+    ASSERT_EQ(*backup->Depth(queue), static_cast<size_t>(kPerQueue)) << queue;
+    for (int n = 0; n < kPerQueue; ++n) {
+      auto got = backup->Dequeue(nullptr, queue);
+      ASSERT_TRUE(got.ok()) << queue << " #" << n;
+      EXPECT_EQ(got->contents, std::to_string(n)) << queue;
+    }
+  }
 }
 
 }  // namespace
