@@ -180,7 +180,7 @@ struct Chain {
   void StartPair() {
     api->EnqueueAsync(
         queue, "payload-0123456789", 0, clerk, "tag" + std::to_string(remaining),
-        [this](Result<queue::ElementId> eid) {
+        /*one_way=*/false, [this](Result<queue::ElementId> eid) {
           if (!eid.ok()) {
             failed->store(true);
             Finish();

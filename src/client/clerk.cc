@@ -1,8 +1,36 @@
 #include "client/clerk.h"
 
+#include <memory>
+#include <utility>
+
 #include "util/coding.h"
 
 namespace rrq::client {
+
+namespace {
+
+// A failed Send whose enqueue certainly did not commit server-side:
+// the session can stay where it is and the caller may simply retry or
+// give up. Everything outside this whitelist — Unavailable, TimedOut,
+// a Corruption on the *reply* decode (the op executed; its outcome is
+// unreadable), IOError, Internal — is §2 uncertainty.
+bool SendDefinitelyNotExecuted(const Status& s) {
+  return s.IsNotFound() || s.IsInvalidArgument() || s.IsAlreadyExists() ||
+         s.IsFailedPrecondition();
+}
+
+// A failed Receive whose destructive dequeue certainly did not commit:
+// the reply simply is not there yet (server-side timeout, element
+// locked, queue missing) and the session stays in Req-Sent to Receive
+// again. Note Corruption is NOT here: a reply that arrived but failed
+// to decode proves the dequeue executed — treating it as "poll again"
+// silently loses the committed dequeue's element.
+bool DequeueDefinitelyNotCommitted(const Status& s) {
+  return s.IsTimedOut() || s.IsBusy() || s.IsNotFound() ||
+         s.IsInvalidArgument() || s.IsFailedPrecondition();
+}
+
+}  // namespace
 
 std::string EncodeReplyTag(const Slice& rid, const Slice& ckpt) {
   std::string tag;
@@ -68,32 +96,86 @@ Status Clerk::Disconnect() {
   connected_ = false;
   Status s1 = options_.api->Deregister(options_.request_queue,
                                        options_.client_id);
+  // With a self-loop clerk (request queue == reply queue) there is only
+  // one registration to drop.
+  if (options_.reply_queue == options_.request_queue) return s1;
   Status s2 = options_.api->Deregister(options_.reply_queue,
                                        options_.client_id);
   if (!s1.ok()) return s1;
   return s2;
 }
 
+void Clerk::ResetSession() {
+  // The op is in doubt (e.g. lost acknowledgement). The session is no
+  // longer usable; the client resolves the doubt by reconnecting and
+  // comparing rids (§2). Reflect that by disconnecting locally.
+  machine_ = SessionStateMachine();
+  connected_ = false;
+}
+
+Status Clerk::FinishSend(const std::string& rid,
+                         const Result<queue::ElementId>& r) {
+  if (!r.ok()) {
+    if (!SendDefinitelyNotExecuted(r.status())) ResetSession();
+    return r.status();
+  }
+  // The transition was Check()ed before the enqueue was issued, so this
+  // cannot fail while the clerk's one-op-at-a-time contract holds.
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kSend));
+  rid_tag_ = rid;
+  last_request_eid_ = *r;  // kInvalidElementId in one-way mode.
+  return Status::OK();
+}
+
 Status Clerk::Send(const Slice& request, const std::string& rid) {
   if (!connected_) return Status::NotConnected("Send before Connect");
   if (rid.empty()) return Status::InvalidArgument("rid must be non-empty");
-  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kSend));
+  RRQ_RETURN_IF_ERROR(machine_.Check(SessionEvent::kSend));
 
   auto r = options_.api->Enqueue(options_.request_queue, request,
                                  options_.request_priority,
                                  options_.client_id, rid,
                                  options_.send_mode == SendMode::kOneWay);
+  return FinishSend(rid, r);
+}
+
+void Clerk::SendAsync(const Slice& request, const std::string& rid,
+                      std::function<void(Status)> done) {
+  if (!connected_) {
+    done(Status::NotConnected("Send before Connect"));
+    return;
+  }
+  if (rid.empty()) {
+    done(Status::InvalidArgument("rid must be non-empty"));
+    return;
+  }
+  if (Status s = machine_.Check(SessionEvent::kSend); !s.ok()) {
+    done(std::move(s));
+    return;
+  }
+  options_.api->EnqueueAsync(
+      options_.request_queue, request, options_.request_priority,
+      options_.client_id, rid,
+      options_.send_mode == SendMode::kOneWay,
+      [this, rid, done = std::move(done)](Result<queue::ElementId> r) {
+        done(FinishSend(rid, r));
+      });
+}
+
+Result<std::string> Clerk::FinishReceive(Result<queue::Element> r) {
   if (!r.ok()) {
-    // The send is in doubt (e.g. lost acknowledgement). The session is
-    // no longer usable; the client resolves the doubt by reconnecting
-    // and comparing rids (§2). Reflect that by disconnecting locally.
-    machine_ = SessionStateMachine();
-    connected_ = false;
+    if (!DequeueDefinitelyNotCommitted(r.status())) {
+      // The dequeue may have committed (connectivity lost, deadline
+      // expired, or the reply arrived unreadable): stay would-be
+      // Req-Sent forever. Drop the session; re-Connect sees r_rid and
+      // recovers the element via Rereceive.
+      ResetSession();
+    }
     return r.status();
   }
-  rid_tag_ = rid;
-  last_request_eid_ = *r;  // kInvalidElementId in one-way mode.
-  return Status::OK();
+  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kReceiveReply));
+  last_reply_eid_ = r->eid;
+  return std::move(r->contents);
 }
 
 Result<std::string> Clerk::Receive(const Slice& ckpt) {
@@ -105,18 +187,26 @@ Result<std::string> Clerk::Receive(const Slice& ckpt) {
   const std::string tag = EncodeReplyTag(rid_tag_, ckpt);
   auto r = options_.api->Dequeue(options_.reply_queue, options_.client_id,
                                  tag, options_.receive_timeout_micros);
-  if (!r.ok()) {
-    if (r.status().IsUnavailable()) {
-      // Connectivity lost mid-dequeue: the dequeue may or may not have
-      // committed. Resolve by reconnecting.
-      machine_ = SessionStateMachine();
-      connected_ = false;
-    }
-    return r.status();
+  return FinishReceive(std::move(r));
+}
+
+void Clerk::ReceiveAsync(const Slice& ckpt,
+                         std::function<void(Result<std::string>)> done) {
+  if (!connected_) {
+    done(Status::NotConnected("Receive before Connect"));
+    return;
   }
-  RRQ_RETURN_IF_ERROR(machine_.Apply(SessionEvent::kReceiveReply));
-  last_reply_eid_ = r->eid;
-  return r->contents;
+  if (machine_.state() != SessionState::kReqSent) {
+    done(Status::FailedPrecondition("Receive without an outstanding request"));
+    return;
+  }
+  const std::string tag = EncodeReplyTag(rid_tag_, ckpt);
+  options_.api->DequeueAsync(
+      options_.reply_queue, options_.client_id, tag,
+      options_.receive_timeout_micros,
+      [this, done = std::move(done)](Result<queue::Element> r) {
+        done(FinishReceive(std::move(r)));
+      });
 }
 
 Result<std::string> Clerk::Rereceive() {
@@ -135,6 +225,118 @@ Result<std::string> Clerk::Transceive(const Slice& request,
                                       const Slice& ckpt) {
   RRQ_RETURN_IF_ERROR(Send(request, rid));
   return Receive(ckpt);
+}
+
+void Clerk::TransceiveAsync(const Slice& request, const std::string& rid,
+                            const Slice& ckpt, bool overlap_receive,
+                            std::function<void(Result<std::string>)> done) {
+  if (!overlap_receive || options_.receive_timeout_micros == 0) {
+    // Serialized chain: the dequeue goes out only after the enqueue's
+    // acknowledgement, exactly like the sync Transceive but without a
+    // blocked thread between the two.
+    SendAsync(request, rid,
+              [this, ckpt = ckpt.ToString(),
+               done = std::move(done)](Status s) mutable {
+                if (!s.ok()) {
+                  done(std::move(s));
+                  return;
+                }
+                ReceiveAsync(ckpt, std::move(done));
+              });
+    return;
+  }
+
+  if (!connected_) {
+    done(Status::NotConnected("Transceive before Connect"));
+    return;
+  }
+  if (rid.empty()) {
+    done(Status::InvalidArgument("rid must be non-empty"));
+    return;
+  }
+  if (Status s = machine_.Check(SessionEvent::kSend); !s.ok()) {
+    done(std::move(s));
+    return;
+  }
+
+  // Window of two: the enqueue and the reply dequeue leave together
+  // (one corked send, one round trip). The session optimistically
+  // enters Req-Sent so the dequeue's tag carries this rid; clerk state
+  // is otherwise only touched by whichever completion fires last, so
+  // the two in-flight ops never race on it.
+  {
+    Status applied = machine_.Apply(SessionEvent::kSend);
+    if (!applied.ok()) {
+      done(std::move(applied));
+      return;
+    }
+  }
+  rid_tag_ = rid;
+
+  struct Op {
+    Clerk* clerk;
+    std::function<void(Result<std::string>)> done;
+    std::mutex mu;
+    int pending = 2;
+    Status send_status;
+    queue::ElementId send_eid = queue::kInvalidElementId;
+    Status recv_status;
+    std::string reply;
+    queue::ElementId reply_eid = queue::kInvalidElementId;
+
+    void Complete() {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        last = --pending == 0;
+      }
+      if (!last) return;
+      Clerk* c = clerk;
+      if (send_status.ok() && recv_status.ok()) {
+        c->last_request_eid_ = send_eid;
+        Status applied = c->machine_.Apply(SessionEvent::kReceiveReply);
+        if (!applied.ok()) {
+          done(std::move(applied));
+          return;
+        }
+        c->last_reply_eid_ = reply_eid;
+        done(std::move(reply));
+        return;
+      }
+      // Overlapped mode folds every failure into §2 uncertainty: the
+      // enqueue and/or dequeue may have committed; re-Connect decides.
+      c->ResetSession();
+      done(!send_status.ok() ? std::move(send_status)
+                             : std::move(recv_status));
+    }
+  };
+  auto op = std::make_shared<Op>();
+  op->clerk = this;
+  op->done = std::move(done);
+
+  const std::string tag = EncodeReplyTag(rid, ckpt);
+  options_.api->EnqueueAsync(
+      options_.request_queue, request, options_.request_priority,
+      options_.client_id, rid, options_.send_mode == SendMode::kOneWay,
+      [op](Result<queue::ElementId> r) {
+        if (r.ok()) {
+          op->send_eid = *r;
+        } else {
+          op->send_status = r.status();
+        }
+        op->Complete();
+      });
+  options_.api->DequeueAsync(
+      options_.reply_queue, options_.client_id, tag,
+      options_.receive_timeout_micros, [op](Result<queue::Element> r) {
+        if (r.ok()) {
+          op->reply = std::move(r->contents);
+          op->reply_eid = r->eid;
+        } else {
+          op->recv_status = r.status();
+        }
+        op->Complete();
+      });
 }
 
 Result<bool> Clerk::CancelLastRequest() {

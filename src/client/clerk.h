@@ -1,6 +1,7 @@
 #ifndef RRQ_CLIENT_CLERK_H_
 #define RRQ_CLIENT_CLERK_H_
 
+#include <functional>
 #include <string>
 
 #include "client/session_state.h"
@@ -64,7 +65,20 @@ struct ConnectResult {
 /// sequential program of §2, and the queue manager is its gateway into
 /// the transactional world.
 ///
-/// Single-threaded (one clerk per client thread).
+/// Failure contract: a failed queue op is classified as *definite*
+/// (the op certainly did not execute — NotFound, InvalidArgument, a
+/// server-side Dequeue timeout, ...) or *uncertain* (it may have
+/// committed server-side — connectivity loss, a transport deadline
+/// expiry, a reply that arrived but failed to decode). Definite
+/// failures leave the session exactly where it was; uncertain ones
+/// drop the session to Disconnected so the caller resolves the rid's
+/// fate through re-Connect (§2's never-resend rule) — never by a blind
+/// retry that a stale Req-Sent state would confusingly reject.
+///
+/// Single-threaded (one clerk per client thread). The *Async variants
+/// keep that model — one logical thread of control per clerk — but let
+/// it span completion callbacks, so many clerks can pipeline their ops
+/// on one shared multiplexed channel.
 class Clerk {
  public:
   explicit Clerk(ClerkOptions options);
@@ -99,6 +113,35 @@ class Clerk {
   Result<std::string> Transceive(const Slice& request, const std::string& rid,
                                  const Slice& ckpt);
 
+  // ---- Pipelined variants -------------------------------------------
+  // Same protocol, same state machine, but the queue op is issued
+  // through QueueApi's *Async hooks so many clerks can keep ops in
+  // flight on one shared channel. At most one async op (or one
+  // transceive) may be outstanding per clerk; the completion callback
+  // may run on the transport's demux thread and must not block.
+
+  /// Asynchronous Send: `done` fires with the same status contract as
+  /// Send (including the uncertain-failure session reset).
+  void SendAsync(const Slice& request, const std::string& rid,
+                 std::function<void(Status)> done);
+
+  /// Asynchronous Receive; same contract as Receive.
+  void ReceiveAsync(const Slice& ckpt,
+                    std::function<void(Result<std::string>)> done);
+
+  /// Pipelined Transceive. With `overlap_receive` the dequeue for the
+  /// reply is put on the wire *together with* the enqueue (a per-clerk
+  /// window of two ops corked into one send) instead of after its
+  /// acknowledgement — one round trip per request instead of two. The
+  /// reply dequeue then rides the long-poll bound, so the clerk's
+  /// receive_timeout_micros must be nonzero (falls back to the
+  /// serialized chain otherwise). Overlapped failures trade precise
+  /// classification for latency: any failure resets the session and is
+  /// resolved through re-Connect.
+  void TransceiveAsync(const Slice& request, const std::string& rid,
+                       const Slice& ckpt, bool overlap_receive,
+                       std::function<void(Result<std::string>)> done);
+
   /// Cancels the last sent request (§7): succeeds iff the request has
   /// not yet been consumed by a committed dequeue.
   Result<bool> CancelLastRequest();
@@ -108,6 +151,14 @@ class Clerk {
   queue::ElementId last_request_eid() const { return last_request_eid_; }
 
  private:
+  // Commits (or classifies the failure of) the enqueue backing a Send
+  // for `rid`; shared by the sync and async paths.
+  Status FinishSend(const std::string& rid, const Result<queue::ElementId>& r);
+  // Likewise for the dequeue backing a Receive.
+  Result<std::string> FinishReceive(Result<queue::Element> r);
+  // Uncertain failure (§2): forget the session; re-Connect resolves.
+  void ResetSession();
+
   ClerkOptions options_;
   SessionStateMachine machine_;
   bool connected_ = false;

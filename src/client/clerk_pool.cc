@@ -1,0 +1,143 @@
+#include "client/clerk_pool.h"
+
+#include <utility>
+
+namespace rrq::client {
+
+ClerkPool::ClerkPool(ClerkPoolOptions options)
+    : options_(std::move(options)),
+      channel_(options_.channel),
+      api_(&channel_) {
+  const int n = options_.clerks < 1 ? 1 : options_.clerks;
+  slots_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->client_id = options_.client_prefix + "-" + std::to_string(i);
+    slot->reply_queue = options_.reply_queue_prefix + slot->client_id;
+    slot->request_queue =
+        options_.self_loop ? slot->reply_queue : options_.request_queue;
+
+    ReliableClientOptions rc;
+    rc.clerk.client_id = slot->client_id;
+    rc.clerk.request_queue = slot->request_queue;
+    rc.clerk.reply_queue = slot->reply_queue;
+    rc.clerk.api = &api_;  // The shared channel: this is the pool.
+    rc.clerk.send_mode = options_.send_mode;
+    rc.clerk.receive_timeout_micros = options_.receive_timeout_micros;
+    rc.clerk.request_priority = options_.request_priority;
+    rc.max_recovery_attempts = options_.max_recovery_attempts;
+    rc.max_poll_attempts = options_.max_poll_attempts;
+    slot->reliable =
+        std::make_unique<ReliableClient>(std::move(rc), ReplyProcessor());
+    slots_.push_back(std::move(slot));
+  }
+}
+
+ClerkPool::~ClerkPool() {
+  if (started_) Stop();
+}
+
+const std::string& ClerkPool::client_id(size_t i) const {
+  return slots_[i]->client_id;
+}
+const std::string& ClerkPool::reply_queue(size_t i) const {
+  return slots_[i]->reply_queue;
+}
+const std::string& ClerkPool::request_queue(size_t i) const {
+  return slots_[i]->request_queue;
+}
+
+Status ClerkPool::Start() {
+  if (started_) return Status::FailedPrecondition("pool already started");
+  if (options_.provision_queues) {
+    if (!options_.self_loop) {
+      Status s = api_.CreateQueue(options_.request_queue);
+      if (!s.ok() && !s.IsAlreadyExists()) return s;
+    }
+    for (const auto& slot : slots_) {
+      Status s = api_.CreateQueue(slot->reply_queue);
+      if (!s.ok() && !s.IsAlreadyExists()) return s;
+    }
+  }
+  for (const auto& slot : slots_) {
+    RRQ_RETURN_IF_ERROR(slot->reliable->Start());
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status ClerkPool::Stop() {
+  if (!started_) return Status::OK();
+  started_ = false;
+  Status first;
+  for (const auto& slot : slots_) {
+    Status s = slot->reliable->Stop();
+    // The daemon being gone is a normal way for a pool to stop.
+    if (!s.ok() && !s.IsUnavailable() && !s.IsNotConnected() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+Result<std::string> ClerkPool::Execute(size_t i, const Slice& request) {
+  return slots_[i]->reliable->Execute(request);
+}
+
+void ClerkPool::TransceiveAsync(
+    size_t i, const Slice& request, const std::string& rid, const Slice& ckpt,
+    bool overlap_receive, std::function<void(Result<std::string>)> done) {
+  Slot* slot = slots_[i].get();
+  Clerk* c = slot->reliable->clerk();
+  if (c == nullptr) {
+    done(Status::NotConnected("slot never connected — call Start()"));
+    return;
+  }
+  c->TransceiveAsync(
+      request, rid, ckpt, overlap_receive,
+      [slot, done = std::move(done)](Result<std::string> r) {
+        slot->transceives.fetch_add(1, std::memory_order_relaxed);
+        if (!r.ok()) {
+          slot->failures.fetch_add(1, std::memory_order_relaxed);
+          if (net::IsCallDeadlineExpiry(r.status())) {
+            slot->deadline_expiries.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        done(std::move(r));
+      });
+}
+
+Result<ConnectResult> ClerkPool::Resynchronize(size_t i) {
+  return slots_[i]->reliable->Resynchronize();
+}
+
+Status ClerkPool::ResynchronizeAll() {
+  Status first;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Clerk* c = slots_[i]->reliable->clerk();
+    if (c != nullptr && c->state() != SessionState::kDisconnected) continue;
+    auto r = Resynchronize(i);
+    if (!r.ok() && first.ok()) first = r.status();
+  }
+  return first;
+}
+
+ClerkPool::SlotStats ClerkPool::slot_stats(size_t i) const {
+  const Slot& slot = *slots_[i];
+  SlotStats stats;
+  stats.transceives = slot.transceives.load(std::memory_order_relaxed);
+  stats.failures = slot.failures.load(std::memory_order_relaxed);
+  stats.deadline_expiries =
+      slot.deadline_expiries.load(std::memory_order_relaxed);
+  const uint64_t reconnects = slot.reliable->reconnects();
+  stats.resyncs = reconnects > 0 ? reconnects - 1 : 0;
+  return stats;
+}
+
+uint64_t ClerkPool::resyncs() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) total += slot_stats(i).resyncs;
+  return total;
+}
+
+}  // namespace rrq::client

@@ -7,6 +7,22 @@
 
 namespace rrq::client {
 
+namespace {
+
+// Statuses after which the clerk dropped its session for §2
+// uncertainty — the op may have committed server-side (connectivity
+// loss, a transport deadline expiry, or a reply that arrived but
+// failed to decode). Recover by reconnecting and comparing rids.
+// (TimedOut only reaches here from a Send — a Receive's TimedOut is
+// consumed by the poll branch first — and a timed-out Send is as
+// in-doubt as a lost acknowledgement.)
+bool NeedsReconnect(const Status& s) {
+  return s.IsUnavailable() || s.IsNotConnected() || s.IsCorruption() ||
+         s.IsTimedOut();
+}
+
+}  // namespace
+
 ReliableClient::ReliableClient(ReliableClientOptions options,
                                ReplyProcessor processor)
     : options_(std::move(options)), processor_(std::move(processor)) {}
@@ -55,6 +71,7 @@ Status ReliableClient::Reconnect(ConnectResult* result) {
       *result = *r;
       const uint64_t recovered = ParseSeq(r->s_rid);
       if (recovered >= next_seq_) next_seq_ = recovered + 1;
+      ++reconnects_;
       return Status::OK();
     }
     last = r.status();
@@ -136,7 +153,8 @@ Result<std::string> ReliableClient::AwaitReply(const std::string& rid,
       auto replay = clerk_->Rereceive();
       if (!replay.ok()) {
         const Status& s = replay.status();
-        if (s.IsUnavailable() || s.IsNotConnected()) {
+        if (s.IsUnavailable() || s.IsNotConnected()) {  // NOT Corruption: a
+          // corrupt retained element stays corrupt across reconnects.
           ++recoveries;
           RRQ_RETURN_IF_ERROR(reconnect_and_classify());
           continue;
@@ -185,9 +203,9 @@ Result<std::string> ReliableClient::AwaitReply(const std::string& rid,
       }
       continue;  // Reply not there yet; poll again.
     }
-    if (!s.IsUnavailable() && !s.IsNotConnected()) return s;
+    if (!NeedsReconnect(s)) return s;
 
-    // Connectivity lost: the dequeue may or may not have committed.
+    // Uncertainty: the dequeue may or may not have committed.
     ++recoveries;
     RRQ_RETURN_IF_ERROR(reconnect_and_classify());
     // If not resumed-with-reply we are back in Req-Sent: Receive again.
@@ -222,7 +240,7 @@ Result<std::string> ReliableClient::Execute(const Slice& request) {
         sent = true;  // A resend round found the request already sent.
         break;
       }
-      if (!s.IsUnavailable() && !s.IsNotConnected()) return s;
+      if (!NeedsReconnect(s)) return s;
       // The send is in doubt. Reconnect and ask the system what it saw.
       ConnectResult cr;
       RRQ_RETURN_IF_ERROR(Reconnect(&cr));
@@ -239,6 +257,12 @@ Result<std::string> ReliableClient::Execute(const Slice& request) {
     // NotFound: a one-way send was lost in transit — resend this rid.
   }
   return Status::Unavailable("could not complete request: " + rid);
+}
+
+Result<ConnectResult> ReliableClient::Resynchronize() {
+  ConnectResult cr;
+  RRQ_RETURN_IF_ERROR(Reconnect(&cr));
+  return cr;
 }
 
 Result<bool> ReliableClient::CancelInFlight() {

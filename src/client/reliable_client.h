@@ -67,11 +67,22 @@ class ReliableClient {
 
   Status Stop();
 
+  /// Reconnects the clerk now (bounded attempts, like any recovery
+  /// reconnect) and returns the connect-time resynchronization result
+  /// — without receiving or processing a pending reply. For callers
+  /// driving the clerk directly (a pipelined pool) that resolve the
+  /// recovered rids themselves; Execute()'s own recovery never needs
+  /// this.
+  Result<ConnectResult> Resynchronize();
+
   /// Number of requests successfully completed by this incarnation.
   uint64_t completed() const { return completed_; }
   /// Replies that were (possibly) delivered more than once to the
   /// processor.
   uint64_t redeliveries() const { return redeliveries_; }
+  /// Successful clerk reconnects (1 = just the initial Start connect;
+  /// more = recoveries after connectivity loss).
+  uint64_t reconnects() const { return reconnects_; }
 
   Clerk* clerk() { return clerk_.get(); }
 
@@ -102,6 +113,7 @@ class ReliableClient {
   uint64_t next_seq_ = 1;
   uint64_t completed_ = 0;
   uint64_t redeliveries_ = 0;
+  uint64_t reconnects_ = 0;
   bool started_ = false;
 };
 

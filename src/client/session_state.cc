@@ -27,7 +27,7 @@ std::string_view SessionEventName(SessionEvent event) {
   return "?";
 }
 
-Status SessionStateMachine::Apply(SessionEvent event) {
+Status SessionStateMachine::Check(SessionEvent event) const {
   auto reject = [this, event]() {
     return Status::FailedPrecondition(
         std::string(SessionEventName(event)) + " not allowed in state " +
@@ -36,11 +36,9 @@ Status SessionStateMachine::Apply(SessionEvent event) {
   switch (event) {
     case SessionEvent::kConnect:
       if (state_ != SessionState::kDisconnected) return reject();
-      state_ = SessionState::kConnected;
       return Status::OK();
     case SessionEvent::kDisconnect:
       if (state_ == SessionState::kDisconnected) return reject();
-      state_ = SessionState::kDisconnected;
       return Status::OK();
     case SessionEvent::kSend:
       // A Send implicitly acknowledges the previous reply (§3); legal
@@ -49,22 +47,43 @@ Status SessionStateMachine::Apply(SessionEvent event) {
           state_ != SessionState::kReplyRecvd) {
         return reject();
       }
-      state_ = SessionState::kReqSent;
       return Status::OK();
     case SessionEvent::kReceiveIntermediate:
       if (state_ != SessionState::kReqSent) return reject();
-      state_ = SessionState::kIntermediateIo;
       return Status::OK();
     case SessionEvent::kSendIntermediate:
       if (state_ != SessionState::kIntermediateIo) return reject();
-      state_ = SessionState::kReqSent;
       return Status::OK();
     case SessionEvent::kReceiveReply:
       if (state_ != SessionState::kReqSent) return reject();
-      state_ = SessionState::kReplyRecvd;
       return Status::OK();
   }
   return reject();
+}
+
+Status SessionStateMachine::Apply(SessionEvent event) {
+  RRQ_RETURN_IF_ERROR(Check(event));
+  switch (event) {
+    case SessionEvent::kConnect:
+      state_ = SessionState::kConnected;
+      break;
+    case SessionEvent::kDisconnect:
+      state_ = SessionState::kDisconnected;
+      break;
+    case SessionEvent::kSend:
+      state_ = SessionState::kReqSent;
+      break;
+    case SessionEvent::kReceiveIntermediate:
+      state_ = SessionState::kIntermediateIo;
+      break;
+    case SessionEvent::kSendIntermediate:
+      state_ = SessionState::kReqSent;
+      break;
+    case SessionEvent::kReceiveReply:
+      state_ = SessionState::kReplyRecvd;
+      break;
+  }
+  return Status::OK();
 }
 
 Status SessionStateMachine::ResumeAt(SessionState state) {

@@ -47,6 +47,13 @@ class SessionStateMachine {
   /// caller passes the resolved target via ResumeAt instead.
   Status Apply(SessionEvent event);
 
+  /// Validates `event` without applying it — the same verdict Apply
+  /// would give. Lets the clerk check an operation's legality *before*
+  /// issuing its queue op and commit the transition only on evidence
+  /// of success, so a definite failure (NotFound, InvalidArgument, ...)
+  /// leaves the session exactly where it was.
+  Status Check(SessionEvent event) const;
+
   /// Connect-time resynchronization: jump to the state the returned
   /// rids imply (Fig 1's branches out of the Connect operation).
   Status ResumeAt(SessionState state);

@@ -165,10 +165,29 @@ Status QueueServiceDispatcher::Handle(const Slice& request,
 // ---------------------------------------------------------------------------
 // ChannelQueueApi
 
+namespace {
+
+// CallOptions for a Dequeue carrying `timeout_micros` of server-side
+// wait: the transport must outlast the server's park plus transit
+// (saturating; a 0 timeout keeps the channel default).
+CallOptions DequeueCallOptions(uint64_t timeout_micros) {
+  CallOptions options;
+  if (timeout_micros > 0) {
+    options.min_deadline_micros =
+        timeout_micros > UINT64_MAX - kBlockingCallMarginMicros
+            ? UINT64_MAX
+            : timeout_micros + kBlockingCallMarginMicros;
+  }
+  return options;
+}
+
+}  // namespace
+
 Status ChannelQueueApi::CallService(const std::string& request,
-                                    std::string* payload) {
+                                    std::string* payload,
+                                    const CallOptions& options) {
   std::string reply;
-  RRQ_RETURN_IF_ERROR(channel_->Call(request, &reply));
+  RRQ_RETURN_IF_ERROR(channel_->Call(request, &reply, options));
   Slice input(reply);
   Status s = DecodeStatus(&input);
   if (!s.ok()) return s;
@@ -246,7 +265,10 @@ Result<queue::Element> ChannelQueueApi::Dequeue(const std::string& queue,
   util::PutLengthPrefixed(&request, tag);
   util::PutFixed64(&request, timeout_micros);
   std::string payload;
-  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  // A blocking dequeue's deadline must cover the server's full wait
+  // bound, not the channel default (see kBlockingCallMarginMicros).
+  RRQ_RETURN_IF_ERROR(
+      CallService(request, &payload, DequeueCallOptions(timeout_micros)));
   Slice input(payload);
   queue::Element element;
   RRQ_RETURN_IF_ERROR(DecodeElement(&input, &element));
@@ -255,7 +277,7 @@ Result<queue::Element> ChannelQueueApi::Dequeue(const std::string& queue,
 
 void ChannelQueueApi::EnqueueAsync(
     const std::string& queue, const Slice& contents, uint32_t priority,
-    const std::string& registrant, const Slice& tag,
+    const std::string& registrant, const Slice& tag, bool one_way,
     std::function<void(Result<queue::ElementId>)> done) {
   std::string request;
   request.push_back(static_cast<char>(kOpEnqueue));
@@ -264,6 +286,16 @@ void ChannelQueueApi::EnqueueAsync(
   util::PutVarint32(&request, priority);
   util::PutLengthPrefixed(&request, registrant);
   util::PutLengthPrefixed(&request, tag);
+  if (one_way) {
+    // Fire-and-forget (§5): nothing to wait for, complete inline.
+    Status s = channel_->SendOneWay(request);
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    done(queue::ElementId{queue::kInvalidElementId});
+    return;
+  }
   channel_->CallAsync(
       request, [done = std::move(done)](Status s, std::string reply) {
         if (!s.ok()) {
@@ -296,7 +328,8 @@ void ChannelQueueApi::DequeueAsync(
   util::PutLengthPrefixed(&request, tag);
   util::PutFixed64(&request, timeout_micros);
   channel_->CallAsync(
-      request, [done = std::move(done)](Status s, std::string reply) {
+      request, DequeueCallOptions(timeout_micros),
+      [done = std::move(done)](Status s, std::string reply) {
         if (!s.ok()) {
           done(std::move(s));
           return;

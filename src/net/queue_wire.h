@@ -44,6 +44,17 @@ Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options);
 /// return false (the dispatcher rejects them quickly anyway).
 bool QueueRequestMayBlock(const Slice& request);
 
+/// Transit margin added on top of a blocking Dequeue's server-side
+/// wait bound when deriving the transport call deadline
+/// (CallOptions::min_deadline_micros = timeout + margin): the server
+/// is allowed to park for the full `timeout_micros`, so the client
+/// must outwait that plus scheduling and wire latency. Without this a
+/// long-poll whose timeout exceeds the channel's default deadline is
+/// expired client-side while the server's *destructive* dequeue can
+/// still commit — the reply is then discarded as a late straggler and
+/// the element is silently lost to the clerk.
+constexpr uint64_t kBlockingCallMarginMicros = 5'000'000;
+
 /// Serves the byte protocol against a local repository. This is the
 /// whole server side of the protocol: the simulated QueueService and
 /// the rrqd daemon's TCP loop both delegate here, so every transport
@@ -100,15 +111,17 @@ class ChannelQueueApi final : public queue::QueueApi {
   Result<bool> KillElement(const std::string& queue,
                            queue::ElementId eid) override;
 
-  // ---- Pipelined variants (not part of QueueApi) --------------------
+  // ---- Pipelined variants -------------------------------------------
+  // True wire concurrency over a v2 channel: multiple ops in flight
+  // from a single thread, completions demuxed by correlation id.
 
   void EnqueueAsync(const std::string& queue, const Slice& contents,
                     uint32_t priority, const std::string& registrant,
-                    const Slice& tag,
-                    std::function<void(Result<queue::ElementId>)> done);
+                    const Slice& tag, bool one_way,
+                    std::function<void(Result<queue::ElementId>)> done) override;
   void DequeueAsync(const std::string& queue, const std::string& registrant,
                     const Slice& tag, uint64_t timeout_micros,
-                    std::function<void(Result<queue::Element>)> done);
+                    std::function<void(Result<queue::Element>)> done) override;
 
   // ---- Admin extensions (not part of QueueApi) ----------------------
 
@@ -119,7 +132,8 @@ class ChannelQueueApi final : public queue::QueueApi {
   Result<size_t> Depth(const std::string& queue);
 
  private:
-  Status CallService(const std::string& request, std::string* payload);
+  Status CallService(const std::string& request, std::string* payload,
+                     const CallOptions& options = {});
 
   Channel* channel_;
 };

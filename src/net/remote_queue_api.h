@@ -52,6 +52,19 @@ class TcpRemoteQueueApi final : public queue::QueueApi {
                            queue::ElementId eid) override {
     return api_.KillElement(queue, eid);
   }
+  void EnqueueAsync(
+      const std::string& queue, const Slice& contents, uint32_t priority,
+      const std::string& registrant, const Slice& tag, bool one_way,
+      std::function<void(Result<queue::ElementId>)> done) override {
+    api_.EnqueueAsync(queue, contents, priority, registrant, tag, one_way,
+                      std::move(done));
+  }
+  void DequeueAsync(
+      const std::string& queue, const std::string& registrant, const Slice& tag,
+      uint64_t timeout_micros,
+      std::function<void(Result<queue::Element>)> done) override {
+    api_.DequeueAsync(queue, registrant, tag, timeout_micros, std::move(done));
+  }
 
   /// Provisions `queue` on the daemon (a remote client's only way to
   /// create its private reply queue).

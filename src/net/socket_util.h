@@ -55,17 +55,20 @@ inline void SetNonBlocking(int fd) {
 }
 
 // Waits until `fd` is ready for `events` or `deadline_micros` (steady
-// clock) passes. OK / TimedOut / IOError.
+// clock) passes. OK / TimedOut / IOError. Deadlines far in the future
+// (up to UINT64_MAX = effectively unbounded) are handled by polling in
+// bounded slices, so the int timeout handed to poll() never overflows.
 inline Status PollFd(int fd, short events, uint64_t deadline_micros) {
   while (true) {
     const uint64_t now = NowMicros();
     if (now >= deadline_micros) return Status::TimedOut("poll deadline");
     pollfd pfd{fd, events, 0};
+    const uint64_t remaining_ms = (deadline_micros - now + 999) / 1000;
     const int timeout_ms =
-        static_cast<int>((deadline_micros - now + 999) / 1000);
+        static_cast<int>(remaining_ms < 60'000 ? remaining_ms : 60'000);
     const int n = poll(&pfd, 1, timeout_ms);
     if (n > 0) return Status::OK();
-    if (n == 0) return Status::TimedOut("poll deadline");
+    if (n == 0) continue;  // Slice expired; the deadline check decides.
     if (errno == EINTR) continue;
     return Errno("poll");
   }

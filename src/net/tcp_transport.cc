@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -48,6 +49,16 @@ void KickEventFd(int fd) {
   const uint64_t one = 1;
   ssize_t ignored = write(fd, &one, sizeof(one));
   (void)ignored;
+}
+
+// Absolute deadline for a call: now + max(channel default, the
+// caller's minimum). Saturating — a caller asking for an effectively
+// unbounded wait gets UINT64_MAX, which the reader treats as "no
+// deadline" (it can never be <= now).
+uint64_t CallDeadline(uint64_t now, uint64_t default_micros,
+                      uint64_t min_deadline_micros) {
+  const uint64_t budget = std::max(default_micros, min_deadline_micros);
+  return budget > UINT64_MAX - now ? UINT64_MAX : now + budget;
 }
 
 }  // namespace
@@ -293,7 +304,7 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
       }
       for (auto& done : expired) {
         deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
-        done(Status::Unavailable("call deadline exceeded"), std::string());
+        done(Status::Unavailable(kCallDeadlineExceededMessage), std::string());
       }
     }
 
@@ -424,7 +435,8 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
 }
 
 Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
-                          const Slice& request, std::string* reply) {
+                          const Slice& request, std::string* reply,
+                          uint64_t min_deadline_micros) {
   std::lock_guard<std::mutex> wguard(write_mu_);
   std::string framed;
   {
@@ -439,7 +451,8 @@ Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
     return s;
   }
 
-  const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
+  const uint64_t deadline = CallDeadline(
+      NowMicros(), options_.call_timeout_micros, min_deadline_micros);
   char buf[16384];
   std::string wire;
   while (true) {
@@ -454,9 +467,9 @@ Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
       // A straggler reply may still arrive on this stream and v1
       // replies carry no ids, so the connection cannot be reused.
       TearDownV1(sock);
-      return Status::Unavailable(ready.IsTimedOut()
-                                     ? "call deadline exceeded"
-                                     : "poll failed: " + ready.ToString());
+      return Status::Unavailable(
+          ready.IsTimedOut() ? std::string(kCallDeadlineExceededMessage)
+                             : "poll failed: " + ready.ToString());
     }
     const ssize_t n = recv(sock->fd, buf, sizeof(buf), 0);
     if (n == 0) {
@@ -490,6 +503,11 @@ void TcpChannel::TearDownV1(const std::shared_ptr<Sock>& sock) {
 }
 
 void TcpChannel::CallAsync(const Slice& request, Callback done) {
+  CallAsync(request, CallOptions{}, std::move(done));
+}
+
+void TcpChannel::CallAsync(const Slice& request, const CallOptions& options,
+                           Callback done) {
   std::shared_ptr<Sock> sock;
   uint32_t version = 0;
   uint64_t id = 0;
@@ -506,7 +524,9 @@ void TcpChannel::CallAsync(const Slice& request, Callback done) {
     version = wire_version_;
     if (version >= kProtocolV2) {
       id = next_id_++;
-      const uint64_t deadline = NowMicros() + options_.call_timeout_micros;
+      const uint64_t deadline =
+          CallDeadline(NowMicros(), options_.call_timeout_micros,
+                       options.min_deadline_micros);
       pending_.emplace(id, PendingCall{std::move(done), deadline});
       wake = deadline < reader_wait_until_;
     }
@@ -514,7 +534,7 @@ void TcpChannel::CallAsync(const Slice& request, Callback done) {
 
   if (version < kProtocolV2) {
     std::string reply;
-    Status s = CallV1(sock, request, &reply);
+    Status s = CallV1(sock, request, &reply, options.min_deadline_micros);
     done(std::move(s), std::move(reply));
     return;
   }
@@ -582,6 +602,11 @@ Status TcpChannel::DrainOutbuf(const std::shared_ptr<Sock>& sock) {
 }
 
 Status TcpChannel::Call(const Slice& request, std::string* reply) {
+  return Call(request, reply, CallOptions{});
+}
+
+Status TcpChannel::Call(const Slice& request, std::string* reply,
+                        const CallOptions& options) {
   struct Waiter {
     std::mutex mu;
     std::condition_variable cv;
@@ -590,7 +615,7 @@ Status TcpChannel::Call(const Slice& request, std::string* reply) {
     std::string reply;
   };
   auto waiter = std::make_shared<Waiter>();
-  CallAsync(request, [waiter](Status s, std::string r) {
+  CallAsync(request, options, [waiter](Status s, std::string r) {
     std::lock_guard<std::mutex> guard(waiter->mu);
     waiter->status = std::move(s);
     waiter->reply = std::move(r);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -200,6 +201,20 @@ struct TcpChannelOptions {
   uint32_t max_protocol_version = kProtocolV2;
 };
 
+/// Message carried by the Unavailable status a TcpChannel produces
+/// when a call's own deadline expires (v1 and v2 alike). Stable: pool
+/// and clerk layers match on it to attribute expiries per caller.
+inline constexpr std::string_view kCallDeadlineExceededMessage =
+    "call deadline exceeded";
+
+/// True when `s` is a TcpChannel per-call deadline expiry — the §2
+/// uncertainty flavor where the request is known to have been sent but
+/// the reply was given up on (any straggler is discarded by id).
+inline bool IsCallDeadlineExpiry(const Status& s) {
+  return s.IsUnavailable() &&
+         s.message().find(kCallDeadlineExceededMessage) != std::string_view::npos;
+}
+
 /// Client connection to a TcpServer. Connects lazily on first use and
 /// reconnects (with backoff, bounded) whenever a call finds the
 /// channel disconnected.
@@ -228,6 +243,11 @@ class TcpChannel final : public Channel {
   /// Futures-style synchronous call, built on CallAsync: registers the
   /// call, then blocks until its callback fires.
   Status Call(const Slice& request, std::string* reply) override;
+  /// Call whose deadline is max(call_timeout_micros, the caller's
+  /// min_deadline_micros) — the knob blocking server-side ops use so
+  /// the transport outwaits them (CallOptions::min_deadline_micros).
+  Status Call(const Slice& request, std::string* reply,
+              const CallOptions& options) override;
 
   /// Pipelined call: returns as soon as the request is on the wire
   /// (or has failed). `done` fires exactly once — from the demux
@@ -235,6 +255,8 @@ class TcpChannel final : public Channel {
   /// inline on a v1 connection or when the send itself fails. The
   /// callback must not call Close() or destroy the channel.
   void CallAsync(const Slice& request, Callback done) override;
+  void CallAsync(const Slice& request, const CallOptions& options,
+                 Callback done) override;
 
   /// Best effort: a one-way message that cannot be sent is silently
   /// lost (the §5 contract — no failure signal exists for it).
@@ -295,7 +317,7 @@ class TcpChannel final : public Channel {
   Status DrainOutbuf(const std::shared_ptr<Sock>& sock);
   // v1 serialized exchange (PR 3 semantics) under write_mu_.
   Status CallV1(const std::shared_ptr<Sock>& sock, const Slice& request,
-                std::string* reply);
+                std::string* reply, uint64_t min_deadline_micros);
   void TearDownV1(const std::shared_ptr<Sock>& sock);
 
   TcpChannelOptions options_;

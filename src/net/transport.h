@@ -15,6 +15,19 @@ namespace rrq::net {
 using RpcHandler =
     std::function<Status(const Slice& request, std::string* reply)>;
 
+/// Per-call knobs a caller can attach to Call/CallAsync.
+struct CallOptions {
+  /// Raises this call's deadline to at least this many microseconds
+  /// from now (0 = use the channel's default). Callers issuing an op
+  /// the *server* is allowed to park on — a Dequeue carrying a wait
+  /// timeout — must set this to the server-side bound plus a transit
+  /// margin, or the transport can expire the call while the server is
+  /// still legitimately working on it (and a destructive op may then
+  /// commit server-side with its reply discarded as a straggler).
+  /// Never *lowers* the deadline below the channel default.
+  uint64_t min_deadline_micros = 0;
+};
+
 /// Client side of one logical connection to a service. Two
 /// implementations: TcpChannel (a real socket) and the simulated
 /// network's channel inside comm::RemoteQueueApi — tests and
@@ -42,6 +55,15 @@ class Channel {
   /// Unavailable on any connectivity failure.
   virtual Status Call(const Slice& request, std::string* reply) = 0;
 
+  /// Call with per-call options. The base implementation ignores the
+  /// options (a transport without deadlines has nothing to stretch);
+  /// deadline-enforcing transports override this.
+  virtual Status Call(const Slice& request, std::string* reply,
+                      const CallOptions& options) {
+    (void)options;
+    return Call(request, reply);
+  }
+
   /// Asynchronous Call. The base implementation degrades to the
   /// synchronous Call and invokes `done` inline, so every channel is
   /// pipelinable in interface even when the transport underneath is
@@ -50,6 +72,13 @@ class Channel {
     std::string reply;
     Status s = Call(request, &reply);
     done(std::move(s), std::move(reply));
+  }
+
+  /// CallAsync with per-call options; base ignores them, like Call.
+  virtual void CallAsync(const Slice& request, const CallOptions& options,
+                         Callback done) {
+    (void)options;
+    CallAsync(request, std::move(done));
   }
 
   /// Fire-and-forget message (§5's one-way Send): no acknowledgement,

@@ -1,6 +1,7 @@
 #ifndef RRQ_QUEUE_QUEUE_API_H_
 #define RRQ_QUEUE_QUEUE_API_H_
 
+#include <functional>
 #include <string>
 
 #include "queue/element.h"
@@ -44,6 +45,27 @@ class QueueApi {
 
   virtual Result<bool> KillElement(const std::string& queue,
                                    ElementId eid) = 0;
+
+  // ---- Pipelined variants -------------------------------------------
+  // Default implementations degrade to the synchronous op and invoke
+  // `done` inline, so every api is pipelinable in interface; transports
+  // with a multiplexed wire (net::ChannelQueueApi over a v2 TcpChannel)
+  // override them with true in-flight concurrency. Callbacks may run on
+  // an internal transport thread and must not block.
+
+  virtual void EnqueueAsync(const std::string& queue, const Slice& contents,
+                            uint32_t priority, const std::string& registrant,
+                            const Slice& tag, bool one_way,
+                            std::function<void(Result<ElementId>)> done) {
+    done(Enqueue(queue, contents, priority, registrant, tag, one_way));
+  }
+
+  virtual void DequeueAsync(const std::string& queue,
+                            const std::string& registrant, const Slice& tag,
+                            uint64_t timeout_micros,
+                            std::function<void(Result<Element>)> done) {
+    done(Dequeue(queue, registrant, tag, timeout_micros));
+  }
 };
 
 /// QueueApi over a co-located repository.

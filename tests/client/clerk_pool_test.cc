@@ -1,0 +1,325 @@
+// The shared-channel clerk pool against a real in-process TCP queue
+// service: N clerks multiplexing one socket, each keeping its private
+// reply queue and rid protocol. Covers provisioning, concurrent
+// reliable execution over the single connection, the pipelined
+// transceive path, long-poll receives that outlive the channel's
+// default call deadline, and pool-wide resynchronization after the
+// server restarts.
+
+#include "client/clerk_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/queue_wire.h"
+#include "net/tcp_transport.h"
+#include "queue/envelope.h"
+#include "queue/queue_repository.h"
+
+namespace rrq::client {
+namespace {
+
+class ClerkPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    repo_ = std::make_unique<queue::QueueRepository>("qm");
+    ASSERT_TRUE(repo_->Open().ok());
+    dispatcher_ = std::make_unique<net::QueueServiceDispatcher>(repo_.get());
+    StartServer(0);
+  }
+
+  void TearDown() override { StopServerProgram(); }
+
+  void StartServer(uint16_t port) {
+    net::TcpServerOptions options;
+    options.port = port;
+    options.workers = 2;
+    server_ = std::make_unique<net::TcpServer>(
+        options, [this](const Slice& request, std::string* reply) {
+          return dispatcher_->Handle(request, reply);
+        });
+    server_->set_blocking_hint(net::QueueRequestMayBlock);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  ClerkPoolOptions PoolOptions(int clerks) {
+    ClerkPoolOptions options;
+    options.channel.port = server_->port();
+    options.channel.max_connect_attempts = 10;
+    options.channel.backoff_initial_micros = 1'000;
+    options.clerks = clerks;
+    options.receive_timeout_micros = 500'000;
+    return options;
+  }
+
+  // A server program draining the shared request queue directly from
+  // the repository and replying to each request's private reply queue.
+  void StartServerProgram() {
+    serving_.store(true);
+    server_program_ = std::thread([this] {
+      while (serving_.load()) {
+        auto got = repo_->Dequeue(nullptr, "requests", "", Slice(), 20'000);
+        if (!got.ok()) continue;
+        queue::RequestEnvelope request;
+        if (!queue::DecodeRequestEnvelope(got->contents, &request).ok()) {
+          continue;
+        }
+        queue::ReplyEnvelope reply;
+        reply.rid = request.rid;
+        reply.body = "done:" + request.body;
+        ASSERT_TRUE(repo_->Enqueue(nullptr, request.reply_queue,
+                                   queue::EncodeReplyEnvelope(reply))
+                        .ok());
+      }
+    });
+  }
+
+  void StopServerProgram() {
+    if (server_program_.joinable()) {
+      serving_.store(false);
+      server_program_.join();
+    }
+  }
+
+  std::unique_ptr<queue::QueueRepository> repo_;
+  std::unique_ptr<net::QueueServiceDispatcher> dispatcher_;
+  std::unique_ptr<net::TcpServer> server_;
+  std::thread server_program_;
+  std::atomic<bool> serving_{false};
+};
+
+TEST_F(ClerkPoolTest, StartProvisionsQueuesAndConnectsEveryClerk) {
+  ClerkPool pool(PoolOptions(4));
+  ASSERT_TRUE(pool.Start().ok());
+  EXPECT_EQ(pool.size(), 4u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_NE(pool.clerk(i), nullptr);
+    EXPECT_EQ(pool.clerk(i)->state(), SessionState::kConnected);
+    EXPECT_EQ(pool.reply_queue(i), "reply.pool-" + std::to_string(i));
+    EXPECT_EQ(pool.request_queue(i), "requests");
+  }
+  // All four Connect resynchronizations rode ONE connection.
+  EXPECT_EQ(pool.channel()->connects(), 1u);
+  EXPECT_TRUE(repo_->Depth("requests").ok());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_TRUE(repo_->Depth(pool.reply_queue(i)).ok());
+  }
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
+TEST_F(ClerkPoolTest, ConcurrentExecutesShareOneConnection) {
+  StartServerProgram();
+  constexpr int kClerks = 4;
+  constexpr int kRequestsPerClerk = 8;
+  ClerkPool pool(PoolOptions(kClerks));
+  ASSERT_TRUE(pool.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kClerks);
+  for (int i = 0; i < kClerks; ++i) {
+    drivers.emplace_back([&pool, &failures, i] {
+      for (int r = 0; r < kRequestsPerClerk; ++r) {
+        const std::string body =
+            "c" + std::to_string(i) + ":" + std::to_string(r);
+        auto reply = pool.Execute(static_cast<size_t>(i), body);
+        if (!reply.ok() || *reply != "done:" + body) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.reliable(i)->completed(),
+              static_cast<uint64_t>(kRequestsPerClerk));
+  }
+  // The load-bearing claim: every clerk's whole workload multiplexed
+  // over a single TCP connection.
+  EXPECT_EQ(pool.channel()->connects(), 1u);
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
+TEST_F(ClerkPoolTest, PipelinedTransceiveChainsRunOnOneSocket) {
+  // Self-loop mode: each clerk's request queue is its own reply queue,
+  // so a transceive is a self-contained enqueue→dequeue pair and the
+  // chains exercise the pure pool + wire path with no server program.
+  constexpr int kClerks = 4;
+  constexpr int kPairsPerClerk = 25;
+  ClerkPoolOptions options = PoolOptions(kClerks);
+  options.self_loop = true;
+  options.receive_timeout_micros = 0;  // Element is committed by then.
+  ClerkPool pool(options);
+  ASSERT_TRUE(pool.Start().ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = kClerks;
+  std::atomic<int> failures{0};
+
+  // One closed-loop chain per clerk, all in flight together: each
+  // completion launches the clerk's next transceive from the demux
+  // callback.
+  struct Chain {
+    ClerkPool* pool;
+    size_t slot;
+    int remaining;
+    std::mutex* mu;
+    std::condition_variable* cv;
+    int* outstanding;
+    std::atomic<int>* failures;
+
+    void Launch() {
+      const int seq = remaining;
+      const std::string body = "b" + std::to_string(slot) + ":" +
+                               std::to_string(seq);
+      const std::string rid = pool->client_id(slot) + "#" +
+                              std::to_string(seq);
+      pool->TransceiveAsync(
+          slot, body, rid, Slice(), /*overlap_receive=*/false,
+          [this, body](Result<std::string> reply) {
+            if (!reply.ok() || *reply != body) failures->fetch_add(1);
+            if (--remaining > 0) {
+              Launch();
+              return;
+            }
+            std::lock_guard<std::mutex> lock(*mu);
+            if (--*outstanding == 0) cv->notify_one();
+          });
+    }
+  };
+
+  std::vector<std::unique_ptr<Chain>> chains;
+  chains.reserve(kClerks);
+  for (int i = 0; i < kClerks; ++i) {
+    auto chain = std::make_unique<Chain>();
+    chain->pool = &pool;
+    chain->slot = static_cast<size_t>(i);
+    chain->remaining = kPairsPerClerk;
+    chain->mu = &mu;
+    chain->cv = &cv;
+    chain->outstanding = &outstanding;
+    chain->failures = &failures;
+    chains.push_back(std::move(chain));
+  }
+  for (auto& chain : chains) chain->Launch();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.channel()->connects(), 1u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto stats = pool.slot_stats(i);
+    EXPECT_EQ(stats.transceives, static_cast<uint64_t>(kPairsPerClerk));
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_EQ(stats.deadline_expiries, 0u);
+  }
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
+TEST_F(ClerkPoolTest, LongPollReceiveOutlivesChannelDefaultDeadline) {
+  // Pool-level regression for the headline bug: a clerk Receive whose
+  // long-poll bound exceeds the channel's default call deadline must
+  // wait the reply out, not fail with a client-side deadline while the
+  // committed server-side dequeue loses the element.
+  ClerkPoolOptions options = PoolOptions(1);
+  options.channel.call_timeout_micros = 150'000;   // 150ms default...
+  options.receive_timeout_micros = 5'000'000;      // ...5s long-poll.
+  ClerkPool pool(options);
+  ASSERT_TRUE(pool.Start().ok());
+
+  queue::RequestEnvelope request;
+  request.rid = "rid-lp";
+  request.reply_queue = pool.reply_queue(0);
+  request.body = "slow-work";
+  ASSERT_TRUE(
+      pool.clerk(0)->Send(queue::EncodeRequestEnvelope(request), "rid-lp")
+          .ok());
+  // No server program yet: the Receive parks server-side well past the
+  // channel default before the reply shows up.
+  std::thread late_server([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    StartServerProgram();
+  });
+  auto reply = pool.clerk(0)->Receive("");
+  late_server.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  queue::ReplyEnvelope envelope;
+  ASSERT_TRUE(queue::DecodeReplyEnvelope(*reply, &envelope).ok());
+  EXPECT_EQ(envelope.rid, "rid-lp");
+  EXPECT_EQ(envelope.body, "done:slow-work");
+  EXPECT_EQ(pool.channel()->deadline_expiries(), 0u);
+  EXPECT_EQ(pool.channel()->late_replies(), 0u);
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
+TEST_F(ClerkPoolTest, ResynchronizeAllRecoversEveryClerkAfterRestart) {
+  constexpr int kClerks = 3;
+  ClerkPool pool(PoolOptions(kClerks));
+  ASSERT_TRUE(pool.Start().ok());
+
+  // Slot 0 has a request in flight when the server dies; the others
+  // are idle. A channel failure drops all of them at once.
+  queue::RequestEnvelope pending;
+  pending.rid = "rid-r";
+  pending.reply_queue = pool.reply_queue(0);
+  pending.body = "pending";
+  ASSERT_TRUE(
+      pool.clerk(0)->Send(queue::EncodeRequestEnvelope(pending), "rid-r")
+          .ok());
+  const uint16_t port = server_->port();
+  server_->Stop();
+  server_.reset();
+
+  // Every clerk observes the loss as an uncertain failure and lands
+  // Disconnected — exactly where re-Connect can resolve it. (Slot 0
+  // notices on its pending Receive, the idle slots on their next Send.)
+  EXPECT_FALSE(pool.clerk(0)->Receive("").ok());
+  for (int i = 1; i < kClerks; ++i) {
+    const std::string rid = "rid-idle-" + std::to_string(i);
+    EXPECT_FALSE(pool.clerk(static_cast<size_t>(i))->Send("x", rid).ok());
+  }
+  for (int i = 0; i < kClerks; ++i) {
+    EXPECT_EQ(pool.clerk(static_cast<size_t>(i))->state(),
+              SessionState::kDisconnected);
+  }
+
+  StartServer(port);
+  ASSERT_TRUE(pool.ResynchronizeAll().ok());
+  EXPECT_GE(pool.channel()->connects(), 2u);
+  EXPECT_EQ(pool.resyncs(), static_cast<uint64_t>(kClerks));
+
+  // Slot 0's uncertainty resolved by the registration: the system
+  // remembers rid-r, so the session resumes Req-Sent and the reply is
+  // received without resending.
+  auto cr = pool.Resynchronize(0);
+  ASSERT_TRUE(cr.ok());
+  EXPECT_EQ(cr->s_rid, "rid-r");
+  EXPECT_EQ(cr->resumed_state, SessionState::kReqSent);
+  StartServerProgram();
+  auto reply = pool.clerk(0)->Receive("");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  queue::ReplyEnvelope envelope;
+  ASSERT_TRUE(queue::DecodeReplyEnvelope(*reply, &envelope).ok());
+  EXPECT_EQ(envelope.body, "done:pending");
+  // The idle clerks resumed Connected and still work.
+  for (int i = 1; i < kClerks; ++i) {
+    EXPECT_EQ(pool.clerk(static_cast<size_t>(i))->state(),
+              SessionState::kConnected);
+  }
+  auto executed = pool.Execute(1, "post-restart");
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  EXPECT_EQ(*executed, "done:post-restart");
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
+}  // namespace
+}  // namespace rrq::client

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "queue/queue_api.h"
 #include "txn/txn_manager.h"
 
@@ -228,6 +232,268 @@ TEST_F(ClerkTest, TwoClientsKeepSeparateState) {
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(*r1, "r:from-c1");
   EXPECT_EQ(*r2, "r:from-c2");
+}
+
+// ---- Failure classification (§2): definite vs uncertain --------------
+
+// Wraps a real api and fails the next Enqueue/Dequeue with a chosen
+// status. With execute_first the real op still commits — modeling a
+// lost acknowledgement or an undecodable reply, the §2 uncertainty.
+class FlakyApi : public queue::QueueApi {
+ public:
+  explicit FlakyApi(queue::QueueApi* base) : base_(base) {}
+
+  void FailNextEnqueue(Status status, bool execute_first) {
+    enqueue_failure_ = std::move(status);
+    enqueue_executes_ = execute_first;
+  }
+  void FailNextDequeue(Status status, bool execute_first) {
+    dequeue_failure_ = std::move(status);
+    dequeue_executes_ = execute_first;
+  }
+
+  Result<queue::RegistrationInfo> Register(const std::string& queue,
+                                           const std::string& registrant,
+                                           bool stable) override {
+    return base_->Register(queue, registrant, stable);
+  }
+  Status Deregister(const std::string& queue,
+                    const std::string& registrant) override {
+    return base_->Deregister(queue, registrant);
+  }
+  Result<queue::ElementId> Enqueue(const std::string& queue,
+                                   const Slice& contents, uint32_t priority,
+                                   const std::string& registrant,
+                                   const Slice& tag, bool one_way) override {
+    if (!enqueue_failure_.ok()) {
+      Status failure = std::move(enqueue_failure_);
+      enqueue_failure_ = Status::OK();
+      if (enqueue_executes_) {
+        auto real =
+            base_->Enqueue(queue, contents, priority, registrant, tag, one_way);
+        EXPECT_TRUE(real.ok()) << real.status().ToString();
+      }
+      return failure;
+    }
+    return base_->Enqueue(queue, contents, priority, registrant, tag, one_way);
+  }
+  Result<queue::Element> Dequeue(const std::string& queue,
+                                 const std::string& registrant,
+                                 const Slice& tag,
+                                 uint64_t timeout_micros) override {
+    if (!dequeue_failure_.ok()) {
+      Status failure = std::move(dequeue_failure_);
+      dequeue_failure_ = Status::OK();
+      if (dequeue_executes_) {
+        auto real = base_->Dequeue(queue, registrant, tag, timeout_micros);
+        EXPECT_TRUE(real.ok()) << real.status().ToString();
+      }
+      return failure;
+    }
+    return base_->Dequeue(queue, registrant, tag, timeout_micros);
+  }
+  Result<queue::Element> Read(const std::string& queue,
+                              queue::ElementId eid) override {
+    return base_->Read(queue, eid);
+  }
+  Result<bool> KillElement(const std::string& queue,
+                           queue::ElementId eid) override {
+    return base_->KillElement(queue, eid);
+  }
+
+ private:
+  queue::QueueApi* base_;
+  Status enqueue_failure_;
+  bool enqueue_executes_ = false;
+  Status dequeue_failure_;
+  bool dequeue_executes_ = false;
+};
+
+TEST_F(ClerkTest, SendDefiniteFailureLeavesSessionIntact) {
+  FlakyApi flaky(api_.get());
+  ClerkOptions options = Options();
+  options.api = &flaky;
+  Clerk clerk(options);
+  ASSERT_TRUE(clerk.Connect().ok());
+
+  // NotFound is definite: the enqueue certainly did not execute, so
+  // the session must stay Connected and the very next Send (same rid!)
+  // must be accepted without any reconnect ceremony.
+  flaky.FailNextEnqueue(Status::NotFound("no such queue"), false);
+  EXPECT_TRUE(clerk.Send("work", "rid-1").IsNotFound());
+  EXPECT_EQ(clerk.state(), SessionState::kConnected);
+  EXPECT_TRUE(clerk.last_sent_rid().empty());
+
+  ASSERT_TRUE(clerk.Send("work", "rid-1").ok());
+  EXPECT_EQ(clerk.state(), SessionState::kReqSent);
+  EXPECT_EQ(clerk.last_sent_rid(), "rid-1");
+}
+
+TEST_F(ClerkTest, SendLostAckResolvedByReconnectNotResend) {
+  FlakyApi flaky(api_.get());
+  ClerkOptions options = Options();
+  options.api = &flaky;
+  {
+    Clerk clerk(options);
+    ASSERT_TRUE(clerk.Connect().ok());
+    // The enqueue commits but the ack is lost: the clerk cannot know,
+    // so it must drop the session rather than sit in a state where a
+    // blind retry would double-submit or be confusingly rejected.
+    flaky.FailNextEnqueue(Status::Unavailable("ack lost"), true);
+    EXPECT_TRUE(clerk.Send("work", "rid-7").IsUnavailable());
+    EXPECT_EQ(clerk.state(), SessionState::kDisconnected);
+  }
+  // Re-Connect resolves the uncertainty: the system remembers rid-7,
+  // so the request is NOT resent (§2's never-resend rule) and the
+  // reply is received normally.
+  Clerk reborn(options);
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  EXPECT_EQ(cr->s_rid, "rid-7");
+  EXPECT_EQ(cr->resumed_state, SessionState::kReqSent);
+  ServeOne();
+  auto reply = reborn.Receive("");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "done:work");
+  EXPECT_EQ(*repo_->Depth("req"), 0u);
+}
+
+TEST_F(ClerkTest, SendLostBeforeCommitIsSafeToResend) {
+  FlakyApi flaky(api_.get());
+  ClerkOptions options = Options();
+  options.api = &flaky;
+  {
+    Clerk clerk(options);
+    ASSERT_TRUE(clerk.Connect().ok());
+    flaky.FailNextEnqueue(Status::Unavailable("connection reset"), false);
+    EXPECT_TRUE(clerk.Send("work", "rid-3").IsUnavailable());
+    EXPECT_EQ(clerk.state(), SessionState::kDisconnected);
+  }
+  Clerk reborn(options);
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  // The system never saw rid-3: resending the same rid is safe and
+  // must be accepted by a fresh session.
+  EXPECT_TRUE(cr->s_rid.empty());
+  EXPECT_EQ(cr->resumed_state, SessionState::kConnected);
+  ASSERT_TRUE(reborn.Send("work", "rid-3").ok());
+  ServeOne();
+  EXPECT_TRUE(reborn.Receive("").ok());
+}
+
+TEST_F(ClerkTest, ReceiveCorruptionDropsSessionAndRereceiveRecovers) {
+  FlakyApi flaky(api_.get());
+  ClerkOptions options = Options();
+  options.api = &flaky;
+  {
+    Clerk clerk(options);
+    ASSERT_TRUE(clerk.Connect().ok());
+    ASSERT_TRUE(clerk.Send("work", "rid-c").ok());
+    ServeOne();
+    // The dequeue commits server-side but the reply fails to decode in
+    // transit: the op executed, so the session must NOT stay Req-Sent
+    // (the pre-fix behavior, which stranded the committed dequeue and
+    // lost the element) — it must drop for re-Connect resolution.
+    flaky.FailNextDequeue(Status::Corruption("undecodable reply"), true);
+    EXPECT_TRUE(clerk.Receive("ck").status().IsCorruption());
+    EXPECT_EQ(clerk.state(), SessionState::kDisconnected);
+  }
+  Clerk reborn(options);
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  // The registration proves the dequeue committed for rid-c...
+  EXPECT_EQ(cr->r_rid, "rid-c");
+  EXPECT_EQ(cr->resumed_state, SessionState::kReplyRecvd);
+  // ...and the retained copy delivers the reply: nothing was lost.
+  auto replay = reborn.Rereceive();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(*replay, "done:work");
+}
+
+TEST_F(ClerkTest, ReceiveUncertainFailureResolvedByReconnect) {
+  FlakyApi flaky(api_.get());
+  ClerkOptions options = Options();
+  options.api = &flaky;
+  {
+    Clerk clerk(options);
+    ASSERT_TRUE(clerk.Connect().ok());
+    ASSERT_TRUE(clerk.Send("work", "rid-u").ok());
+    flaky.FailNextDequeue(Status::Unavailable("connection reset"), false);
+    EXPECT_TRUE(clerk.Receive("").status().IsUnavailable());
+    EXPECT_EQ(clerk.state(), SessionState::kDisconnected);
+  }
+  Clerk reborn(options);
+  auto cr = reborn.Connect();
+  ASSERT_TRUE(cr.ok());
+  // The dequeue never committed: still Req-Sent, Receive again.
+  EXPECT_EQ(cr->s_rid, "rid-u");
+  EXPECT_EQ(cr->resumed_state, SessionState::kReqSent);
+  ServeOne();
+  auto reply = reborn.Receive("");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "done:work");
+}
+
+// ---- Pipelined variants ----------------------------------------------
+
+TEST_F(ClerkTest, AsyncSendReceiveRoundTrip) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  Status send_status = Status::Unavailable("never completed");
+  clerk.SendAsync("ping", "rid-a", [&](Status s) { send_status = s; });
+  ASSERT_TRUE(send_status.ok()) << send_status.ToString();
+  EXPECT_EQ(clerk.state(), SessionState::kReqSent);
+  ServeOne();
+  Result<std::string> reply = Status::Unavailable("never completed");
+  clerk.ReceiveAsync("ck", [&](Result<std::string> r) { reply = std::move(r); });
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "done:ping");
+  EXPECT_EQ(clerk.state(), SessionState::kReplyRecvd);
+}
+
+TEST_F(ClerkTest, AsyncTransceiveSerializedRoundTrip) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  std::thread server([this]() {
+    for (int i = 0; i < 100; ++i) {
+      auto got = repo_->Dequeue(nullptr, "req");
+      if (got.ok()) {
+        ASSERT_TRUE(repo_->Enqueue(nullptr, "rep", "t:" + got->contents).ok());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<std::string> reply = Status::Unavailable("never completed");
+  clerk.TransceiveAsync("body", "rid-t", "ck", /*overlap_receive=*/false,
+                        [&](Result<std::string> r) { reply = std::move(r); });
+  server.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "t:body");
+  EXPECT_EQ(clerk.state(), SessionState::kReplyRecvd);
+}
+
+TEST_F(ClerkTest, AsyncTransceiveOverlappedRoundTrip) {
+  Clerk clerk(Options());
+  ASSERT_TRUE(clerk.Connect().ok());
+  std::thread server([this]() {
+    for (int i = 0; i < 100; ++i) {
+      auto got = repo_->Dequeue(nullptr, "req");
+      if (got.ok()) {
+        ASSERT_TRUE(repo_->Enqueue(nullptr, "rep", "o:" + got->contents).ok());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<std::string> reply = Status::Unavailable("never completed");
+  clerk.TransceiveAsync("body", "rid-o", "ck", /*overlap_receive=*/true,
+                        [&](Result<std::string> r) { reply = std::move(r); });
+  server.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "o:body");
+  EXPECT_EQ(clerk.state(), SessionState::kReplyRecvd);
+  EXPECT_EQ(clerk.last_sent_rid(), "rid-o");
 }
 
 }  // namespace

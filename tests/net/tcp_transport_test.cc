@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/queue_wire.h"
 #include "net/wire.h"
+#include "queue/queue_repository.h"
 
 namespace rrq::net {
 namespace {
@@ -482,6 +484,147 @@ TEST(TcpTransportTest, V2ChannelFallsBackAgainstV1Server) {
   EXPECT_EQ(reply, "v1:again");
   EXPECT_EQ(channel.connects(), 1u);
   EXPECT_EQ(server.rejected_hellos(), 1);
+}
+
+// ---- Per-call deadlines: options, long-polls, stragglers -------------
+
+TEST(TcpTransportTest, CallOptionsRaiseButNeverLowerTheDeadline) {
+  TcpServer server({}, [](const Slice&, std::string* reply) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    reply->assign("late");
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options = ChannelTo(server.port());
+  options.call_timeout_micros = 50'000;
+  TcpChannel channel(options);
+
+  // Raised: a 2s per-call minimum outlives the 200ms handler.
+  std::string reply;
+  CallOptions raised;
+  raised.min_deadline_micros = 2'000'000;
+  ASSERT_TRUE(channel.Call("a", &reply, raised).ok());
+  EXPECT_EQ(reply, "late");
+  EXPECT_EQ(channel.deadline_expiries(), 0u);
+
+  // min_deadline_micros below the channel default must NOT lower it:
+  // with a 2s channel default even a 1ms minimum waits the handler out.
+  TcpChannelOptions generous = ChannelTo(server.port());
+  generous.call_timeout_micros = 2'000'000;
+  TcpChannel channel2(generous);
+  CallOptions tiny;
+  tiny.min_deadline_micros = 1'000;
+  ASSERT_TRUE(channel2.Call("b", &reply, tiny).ok());
+  EXPECT_EQ(reply, "late");
+  EXPECT_EQ(channel2.deadline_expiries(), 0u);
+}
+
+TEST(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
+  // THE long-poll bug this PR fixes: a blocking Dequeue whose
+  // timeout_micros exceeds the channel's default call deadline used to
+  // be expired client-side while the server's *destructive* dequeue
+  // committed — the reply was then discarded as a late straggler and
+  // the element silently lost. The fix derives the call deadline from
+  // the op's own timeout (plus kBlockingCallMarginMicros), so the call
+  // must now return the element.
+  queue::QueueRepository repo("qm");
+  ASSERT_TRUE(repo.Open().ok());
+  ASSERT_TRUE(repo.CreateQueue("q").ok());
+  QueueServiceDispatcher dispatcher(&repo);
+  TcpServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(server_options,
+                   [&dispatcher](const Slice& request, std::string* reply) {
+                     return dispatcher.Handle(request, reply);
+                   });
+  server.set_blocking_hint(QueueRequestMayBlock);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options = ChannelTo(server.port());
+  options.call_timeout_micros = 150'000;  // Channel default: 150ms.
+  TcpChannel channel(options);
+  ChannelQueueApi api(&channel);
+  ASSERT_TRUE(api.Register("q", "c", /*stable=*/true).ok());
+
+  // The element arrives mid-poll, well after the channel default
+  // deadline, via a second channel.
+  std::thread producer([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    TcpChannel side(ChannelTo(server.port()));
+    ChannelQueueApi side_api(&side);
+    auto enqueued = side_api.Enqueue("q", "payload", 0, "", Slice(),
+                                     /*one_way=*/false);
+    ASSERT_TRUE(enqueued.ok()) << enqueued.status().ToString();
+  });
+
+  auto got = api.Dequeue("q", "c", Slice(), /*timeout_micros=*/5'000'000);
+  producer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->contents, "payload");
+  // The call was never expired and its reply never discarded.
+  EXPECT_EQ(channel.deadline_expiries(), 0u);
+  EXPECT_EQ(channel.late_replies(), 0u);
+  // And the committed dequeue was delivered, not lost: the queue is
+  // empty AND the retained copy names our registrant's element.
+  EXPECT_EQ(*repo.Depth("q"), 0u);
+}
+
+TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
+  // Several calls expire; each eventually produces exactly one
+  // straggler reply that is discarded by correlation id. Fast calls
+  // interleaved with the stragglers demux cleanly and the per-channel
+  // counters match: deadline_expiries == late_replies == the number of
+  // slow calls, and nothing else is miscounted or misdelivered.
+  TcpServerOptions server_options;
+  server_options.workers = 8;
+  TcpServer server(server_options,
+                   [](const Slice& request, std::string* reply) {
+                     if (request.ToString().rfind("slow", 0) == 0) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(250));
+                     }
+                     reply->assign("done:" + request.ToString());
+                     return Status::OK();
+                   });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options = ChannelTo(server.port());
+  options.call_timeout_micros = 60'000;
+  TcpChannel channel(options);
+
+  constexpr int kSlow = 3;
+  std::vector<std::thread> slow_calls;
+  std::atomic<int> expiries_seen{0};
+  slow_calls.reserve(kSlow);
+  for (int i = 0; i < kSlow; ++i) {
+    slow_calls.emplace_back([&channel, &expiries_seen, i] {
+      std::string reply;
+      Status s = channel.Call("slow" + std::to_string(i), &reply);
+      if (IsCallDeadlineExpiry(s)) expiries_seen.fetch_add(1);
+    });
+  }
+  // Interleaved fast traffic on the same channel while the slow calls
+  // are parked server-side.
+  for (int i = 0; i < 10; ++i) {
+    std::string reply;
+    ASSERT_TRUE(channel.Call("fast" + std::to_string(i), &reply).ok());
+    ASSERT_EQ(reply, "done:fast" + std::to_string(i));
+  }
+  for (auto& t : slow_calls) t.join();
+  EXPECT_EQ(expiries_seen.load(), kSlow);
+  EXPECT_EQ(channel.deadline_expiries(), static_cast<uint64_t>(kSlow));
+
+  // Every straggler arrives and is discarded — no more, no fewer.
+  for (int i = 0; i < 500 && channel.late_replies() < kSlow; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(channel.late_replies(), static_cast<uint64_t>(kSlow));
+  std::string reply;
+  ASSERT_TRUE(channel.Call("after", &reply).ok());
+  EXPECT_EQ(reply, "done:after");
+  EXPECT_EQ(channel.late_replies(), static_cast<uint64_t>(kSlow));
+  EXPECT_EQ(channel.connects(), 1u);
 }
 
 TEST(TcpTransportTest, SequentialConnectionChurnDoesNotLeak) {
