@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the project under AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the full test suite. ASan catches the lifetime bugs the
+# recovery and transport paths are prone to (buffers handed to the WAL,
+# retired LogWriters with in-flight appenders, connection teardown);
+# UBSan covers the varint/CRC decode paths that parse untrusted bytes
+# (shifts, overflow, misaligned loads). Usage: scripts/asan.sh
+# [ctest -R regex]. CXX/CC are honored (e.g. CXX=clang++-18
+# scripts/asan.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+FILTER="${1:-.}"
+
+COMPILER_ARGS=()
+[[ -n "${CXX:-}" ]] && COMPILER_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")
+[[ -n "${CC:-}" ]] && COMPILER_ARGS+=("-DCMAKE_C_COMPILER=${CC}")
+
+cmake -B "$BUILD_DIR" -S . -DRRQ_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "${COMPILER_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+# halt_on_error so UB fails the suite instead of scrolling past;
+# detect_leaks stays on (the default) to catch forgotten teardown.
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+RRQ_CRASH_SWEEP_FULL=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Repo-specific invariants that neither the compiler nor clang-tidy
+# enforces. Run from anywhere; CI runs it on every PR. Exits nonzero
+# with one line per violation.
+#
+#  1. src/ must not name raw std synchronization primitives. All
+#     locking goes through rrq::Mutex / rrq::MutexLock / rrq::CondVar
+#     (src/util/thread_annotations.h) so Clang thread-safety analysis
+#     sees every acquire/release. Tests and benches are exempt: they
+#     synchronize their own harness state and gain nothing from
+#     annotations.
+#  2. src/ headers and sources must not include <mutex> or
+#     <condition_variable> directly; the wrapper owns those includes.
+#  3. Bench binaries must publish machine-readable results through
+#     bench::WriteBenchJson (bench/bench_util.h), never by opening
+#     .json files themselves — the helper pins the output location to
+#     the repo root so tooling can find BENCH_*.json regardless of CWD.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+violation() {
+  echo "invariant violation: $1"
+  echo "$2" | sed 's/^/    /'
+  fail=1
+}
+
+# --- 1. Raw std primitives in src/ ---------------------------------
+hits=$(grep -rnE 'std::(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)\b' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/thread_annotations.h:' || true)
+if [[ -n "$hits" ]]; then
+  violation "raw std synchronization primitive in src/ (use rrq::Mutex / rrq::MutexLock / rrq::CondVar from util/thread_annotations.h)" "$hits"
+fi
+
+# --- 2. Direct <mutex>/<condition_variable> includes in src/ -------
+hits=$(grep -rnE '#include <(mutex|condition_variable|shared_mutex)>' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/thread_annotations.h:' || true)
+if [[ -n "$hits" ]]; then
+  violation "direct <mutex>/<condition_variable> include in src/ (util/thread_annotations.h owns these)" "$hits"
+fi
+
+# --- 3. Bench JSON goes through bench::WriteBenchJson --------------
+# A bench that opens a .json file itself bypasses the repo-root
+# pinning in WriteBenchJson.
+hits=$(grep -rnE '(fopen|ofstream)[^;]*\.json' bench/ --include='*.cc' || true)
+if [[ -n "$hits" ]]; then
+  violation "bench writes a .json file directly (use bench::WriteBenchJson from bench/bench_util.h)" "$hits"
+fi
+# Every bench that assembles a JSON payload must hand it to the helper.
+for f in bench/bench_*.cc; do
+  if grep -qE '"experiment"' "$f" && ! grep -q 'WriteBenchJson' "$f"; then
+    violation "bench builds a JSON payload but never calls bench::WriteBenchJson" "$f"
+  fi
+done
+
+# --- Informational: annotation coverage ----------------------------
+# The acceptance bar for the thread-safety work: GUARDED_BY use should
+# be on the order of the number of Mutex members. Printed, not gated —
+# new code legitimately shifts the ratio.
+mutexes=$(grep -rhoE '(^|[^:])\bMutex [a-z_]+_?;' src/ --include='*.h' --include='*.cc' | wc -l)
+guarded=$(grep -rho 'GUARDED_BY' src/ --include='*.h' --include='*.cc' \
+  --exclude=thread_annotations.h | wc -l)
+echo "info: ${mutexes} Mutex members, ${guarded} GUARDED_BY annotations in src/"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_invariants: FAILED"
+  exit 1
+fi
+echo "check_invariants: OK"

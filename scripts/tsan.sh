@@ -6,13 +6,19 @@
 # shard recovery), the KV store, the client/server stack, and the TCP
 # transport (acceptor + per-connection threads, clerk vs daemon-kill
 # races). Usage: scripts/tsan.sh [ctest -R regex]
+# CXX/CC are honored (e.g. CXX=clang++-18 scripts/tsan.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-log_test|group_commit_test|queue_repository_test|queue_property_test|replication_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test|clerk_test|clerk_pool_test|clerk_pool_exactly_once_test}"
+FILTER="${1:-log_test|frame_test|group_commit_test|queue_repository_test|queue_property_test|replication_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test|clerk_test|clerk_pool_test|clerk_pool_exactly_once_test|thread_annotations_test}"
 
-cmake -B "$BUILD_DIR" -S . -DRRQ_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+COMPILER_ARGS=()
+[[ -n "${CXX:-}" ]] && COMPILER_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")
+[[ -n "${CC:-}" ]] && COMPILER_ARGS+=("-DCMAKE_C_COMPILER=${CC}")
+
+cmake -B "$BUILD_DIR" -S . -DRRQ_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "${COMPILER_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
 # Full sweep: every crash index in every mode, torn writes included.
 RRQ_CRASH_SWEEP_FULL=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/coding.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::client {
 
@@ -276,8 +277,8 @@ void Clerk::TransceiveAsync(const Slice& request, const std::string& rid,
   struct Op {
     Clerk* clerk;
     std::function<void(Result<std::string>)> done;
-    std::mutex mu;
-    int pending = 2;
+    Mutex mu;
+    int pending GUARDED_BY(mu) = 2;
     Status send_status;
     queue::ElementId send_eid = queue::kInvalidElementId;
     Status recv_status;
@@ -287,7 +288,7 @@ void Clerk::TransceiveAsync(const Slice& request, const std::string& rid,
     void Complete() {
       bool last = false;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         last = --pending == 0;
       }
       if (!last) return;

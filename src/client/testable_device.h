@@ -4,12 +4,12 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::client {
 
@@ -40,12 +40,12 @@ class TicketPrinter final : public TestableDevice {
   TicketPrinter() = default;
 
   std::string ReadState() const override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return std::to_string(next_ticket_);
   }
 
   Status Emit(const Slice& output) override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     printed_.push_back(output.ToString());
     ++next_ticket_;
     return Status::OK();
@@ -53,14 +53,14 @@ class TicketPrinter final : public TestableDevice {
 
   /// Everything ever printed, in order (for verifying exactly-once).
   std::vector<std::string> printed() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return printed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  uint64_t next_ticket_ = 1;
-  std::vector<std::string> printed_;
+  mutable Mutex mu_;
+  uint64_t next_ticket_ GUARDED_BY(mu_) = 1;
+  std::vector<std::string> printed_ GUARDED_BY(mu_);
 };
 
 /// A cash dispenser: Emit parses the output as a decimal amount and
@@ -70,12 +70,12 @@ class CashDispenser final : public TestableDevice {
   CashDispenser() = default;
 
   std::string ReadState() const override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return std::to_string(total_dispensed_);
   }
 
   Status Emit(const Slice& output) override {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     errno = 0;
     char* end = nullptr;
     const std::string text = output.ToString();
@@ -89,18 +89,18 @@ class CashDispenser final : public TestableDevice {
   }
 
   uint64_t total_dispensed() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return total_dispensed_;
   }
   uint64_t dispense_count() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return dispense_count_;
   }
 
  private:
-  mutable std::mutex mu_;
-  uint64_t total_dispensed_ = 0;
-  uint64_t dispense_count_ = 0;
+  mutable Mutex mu_;
+  uint64_t total_dispensed_ GUARDED_BY(mu_) = 0;
+  uint64_t dispense_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rrq::client

@@ -10,7 +10,7 @@ std::pair<std::string, std::string> LinkKey(const std::string& a,
 }  // namespace
 
 Status Network::RegisterEndpoint(const std::string& name, Handler handler) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (endpoints_.count(name) > 0) {
     return Status::AlreadyExists("endpoint exists: " + name);
   }
@@ -19,7 +19,7 @@ Status Network::RegisterEndpoint(const std::string& name, Handler handler) {
 }
 
 void Network::RemoveEndpoint(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   endpoints_.erase(name);
 }
 
@@ -35,7 +35,7 @@ bool Network::TransmitOk(const std::string& a, const std::string& b,
   bool drop = false;
   bool dup = false;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     faults = FaultsFor(a, b);
     if (faults.partitioned) {
       drop = true;
@@ -61,7 +61,7 @@ Status Network::Call(const std::string& from, const std::string& to,
                      const Slice& request, std::string* reply) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       return Status::Unavailable("endpoint down: " + to);
@@ -87,7 +87,7 @@ Status Network::SendOneWay(const std::string& from, const std::string& to,
                            const Slice& message) {
   Handler handler;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       // One-way sends don't observe endpoint liveness.
@@ -107,17 +107,17 @@ Status Network::SendOneWay(const std::string& from, const std::string& to,
 
 void Network::SetLinkFaults(const std::string& a, const std::string& b,
                             LinkFaults faults) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   links_[LinkKey(a, b)] = faults;
 }
 
 void Network::Partition(const std::string& a, const std::string& b) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   links_[LinkKey(a, b)].partitioned = true;
 }
 
 void Network::Heal(const std::string& a, const std::string& b) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   links_[LinkKey(a, b)].partitioned = false;
 }
 

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "util/clock.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::comm {
 
@@ -80,12 +80,14 @@ class Network {
   // Returns false when the message is lost. Accounts stats and latency.
   bool TransmitOk(const std::string& a, const std::string& b,
                   bool* duplicate);
-  LinkFaults FaultsFor(const std::string& a, const std::string& b) const;
+  LinkFaults FaultsFor(const std::string& a, const std::string& b) const
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Handler> endpoints_;
-  std::map<std::pair<std::string, std::string>, LinkFaults> links_;
-  util::Rng rng_;
+  mutable Mutex mu_;
+  std::map<std::string, Handler> endpoints_ GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, LinkFaults> links_
+      GUARDED_BY(mu_);
+  util::Rng rng_ GUARDED_BY(mu_);
   util::Clock* clock_;
   std::atomic<uint64_t> sent_{0};
   std::atomic<uint64_t> dropped_{0};

@@ -3,27 +3,27 @@
 namespace rrq::core {
 
 void PropertyChecker::RecordSubmission(const std::string& rid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++rids_[rid].submissions;
 }
 
 void PropertyChecker::RecordCommittedExecution(const std::string& rid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++rids_[rid].executions;
 }
 
 void PropertyChecker::RecordReplyProcessed(const std::string& rid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++rids_[rid].replies_processed;
 }
 
 void PropertyChecker::RecordMismatchedReply(const std::string& rid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ++rids_[rid].mismatches;
 }
 
 PropertyChecker::Verdict PropertyChecker::Check() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Verdict verdict;
   for (const auto& [rid, record] : rids_) {
     if (record.submissions > 0) {
@@ -40,7 +40,7 @@ PropertyChecker::Verdict PropertyChecker::Check() const {
 }
 
 std::vector<std::string> PropertyChecker::Offenders() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<std::string> offenders;
   for (const auto& [rid, record] : rids_) {
     if (record.submissions > 0 && record.executions != 1) {

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace rrq::core {
 
@@ -66,8 +67,8 @@ class PropertyChecker {
     uint64_t mismatches = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, PerRid> rids_;
+  mutable Mutex mu_;
+  std::map<std::string, PerRid> rids_ GUARDED_BY(mu_);
 };
 
 }  // namespace rrq::core

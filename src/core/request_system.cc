@@ -13,14 +13,14 @@ class RequestSystem::ForwardingQueueApi final : public queue::QueueApi {
   Result<queue::RegistrationInfo> Register(const std::string& queue,
                                            const std::string& registrant,
                                            bool stable) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->Register(queue, registrant, stable);
   }
   Status Deregister(const std::string& queue,
                     const std::string& registrant) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->Deregister(queue, registrant);
@@ -30,7 +30,7 @@ class RequestSystem::ForwardingQueueApi final : public queue::QueueApi {
                                    const std::string& registrant,
                                    const Slice& tag,
                                    bool /*one_way*/) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->Enqueue(nullptr, queue, contents, priority, registrant, tag);
@@ -39,21 +39,21 @@ class RequestSystem::ForwardingQueueApi final : public queue::QueueApi {
                                  const std::string& registrant,
                                  const Slice& tag,
                                  uint64_t timeout_micros) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->Dequeue(nullptr, queue, registrant, tag, timeout_micros);
   }
   Result<queue::Element> Read(const std::string& queue,
                               queue::ElementId eid) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->Read(queue, eid);
   }
   Result<bool> KillElement(const std::string& queue,
                            queue::ElementId eid) override {
-    std::shared_lock<std::shared_mutex> guard(system_->backend_mu_);
+    ReaderMutexLock guard(system_->backend_mu_);
     queue::QueueRepository* repo = system_->repo_.get();
     if (repo == nullptr) return Down();
     return repo->KillElement(nullptr, queue, eid);
@@ -83,8 +83,11 @@ Status RequestSystem::BuildBackend() {
   repo_options.env = env;
   repo_options.dir = "/qm";
   repo_options.sync_commits = options_.sync_commits;
-  repo_options.in_doubt_resolver = [this](txn::TxnId id) {
-    return txn_mgr_ != nullptr && txn_mgr_->WasCommitted(id);
+  // Captures the manager pointer by value: the resolver runs inside
+  // repo_->Open() below (while backend_mu_ is held exclusively), and a
+  // rebuilt back end gets a fresh lambda over the fresh manager.
+  repo_options.in_doubt_resolver = [tm = txn_mgr_.get()](txn::TxnId id) {
+    return tm != nullptr && tm->WasCommitted(id);
   };
   repo_ = std::make_unique<queue::QueueRepository>("qm", repo_options);
   RRQ_RETURN_IF_ERROR(repo_->Open());
@@ -102,7 +105,10 @@ Status RequestSystem::BuildBackend() {
 
 Status RequestSystem::Open() {
   if (opened_) return Status::FailedPrecondition("system already open");
-  RRQ_RETURN_IF_ERROR(BuildBackend());
+  {
+    WriterMutexLock guard(backend_mu_);
+    RRQ_RETURN_IF_ERROR(BuildBackend());
+  }
   local_api_ = std::make_unique<ForwardingQueueApi>(this);
   if (options_.remote_clients) {
     remote_api_ = std::make_unique<comm::RemoteQueueApi>(
@@ -132,9 +138,15 @@ client::ClerkOptions RequestSystem::MakeClerkOptions(
 Result<std::unique_ptr<client::ReliableClient>> RequestSystem::MakeClient(
     const std::string& client_id, client::ReplyProcessor processor,
     client::TestableDevice* device) {
-  Status s = repo_->CreateQueue(ReplyQueueName(client_id),
-                                options_.request_queue_options);
-  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  {
+    ReaderMutexLock guard(backend_mu_);
+    if (repo_ == nullptr) {
+      return Status::Unavailable("queue manager is down");
+    }
+    Status s = repo_->CreateQueue(ReplyQueueName(client_id),
+                                  options_.request_queue_options);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
   if (options_.remote_clients) {
     network_.SetLinkFaults("clients", kQueueServiceName,
                            options_.client_link_faults);
@@ -163,10 +175,16 @@ RequestSystem::MakeStreamingClient(
     network_.SetLinkFaults("clients", kQueueServiceName,
                            options_.client_link_faults);
   }
-  for (int s = 0; s < window; ++s) {
-    Status status = repo_->CreateQueue(options.reply_queue_prefix +
-                                       std::to_string(s));
-    if (!status.ok() && !status.IsAlreadyExists()) return status;
+  {
+    ReaderMutexLock guard(backend_mu_);
+    if (repo_ == nullptr) {
+      return Status::Unavailable("queue manager is down");
+    }
+    for (int s = 0; s < window; ++s) {
+      Status status = repo_->CreateQueue(options.reply_queue_prefix +
+                                         std::to_string(s));
+      if (!status.ok() && !status.IsAlreadyExists()) return status;
+    }
   }
   auto streaming = std::make_unique<client::StreamingClient>(
       options, std::move(processor));
@@ -180,6 +198,7 @@ std::unique_ptr<server::Server> RequestSystem::MakeServer(
   options.name = "server";
   options.request_queue = kRequestQueue;
   options.threads = threads;
+  ReaderMutexLock guard(backend_mu_);
   return std::make_unique<server::Server>(options, repo_.get(),
                                           txn_mgr_.get(), std::move(handler));
 }
@@ -191,7 +210,7 @@ Status RequestSystem::CrashAndRecover() {
   }
   // Wait out in-flight client calls, then hold them off while the
   // node is down.
-  std::unique_lock<std::shared_mutex> guard(backend_mu_);
+  WriterMutexLock guard(backend_mu_);
   // Tear down the node...
   service_.reset();
   repo_.reset();

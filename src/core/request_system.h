@@ -2,8 +2,6 @@
 #define RRQ_CORE_REQUEST_SYSTEM_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "client/reliable_client.h"
@@ -17,6 +15,7 @@
 #include "txn/txn_manager.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::core {
 
@@ -61,8 +60,17 @@ class RequestSystem {
   /// Builds (or, after CrashAndRecover, rebuilds) the back end.
   Status Open();
 
-  queue::QueueRepository* repo() { return repo_.get(); }
-  txn::TransactionManager* txn_manager() { return txn_mgr_.get(); }
+  /// The returned pointer is valid until the next CrashAndRecover;
+  /// callers coordinating with crashes hold no stale handles (tests
+  /// re-fetch after recovery).
+  queue::QueueRepository* repo() {
+    ReaderMutexLock guard(backend_mu_);
+    return repo_.get();
+  }
+  txn::TransactionManager* txn_manager() {
+    ReaderMutexLock guard(backend_mu_);
+    return txn_mgr_.get();
+  }
   comm::Network* network() { return &network_; }
   env::MemEnv* mem_env() { return &mem_env_; }
 
@@ -109,17 +117,19 @@ class RequestSystem {
   // client handles survive CrashAndRecover.
   class ForwardingQueueApi;
 
-  Status BuildBackend();
+  Status BuildBackend() REQUIRES(backend_mu_);
 
   SystemOptions options_;
   env::MemEnv mem_env_;
   comm::Network network_;
   // Guards the back-end lifetime: client-side calls hold it shared,
   // CrashAndRecover holds it exclusively while tearing down/rebuilding.
-  std::shared_mutex backend_mu_;
-  std::unique_ptr<txn::TransactionManager> txn_mgr_;
-  std::unique_ptr<queue::QueueRepository> repo_;
-  std::unique_ptr<comm::QueueService> service_;
+  SharedMutex backend_mu_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_ GUARDED_BY(backend_mu_);
+  std::unique_ptr<queue::QueueRepository> repo_ GUARDED_BY(backend_mu_);
+  std::unique_ptr<comm::QueueService> service_ GUARDED_BY(backend_mu_);
+  // Written once by Open() before any concurrent use, never swapped
+  // afterwards (CrashAndRecover rebuilds the back end behind them).
   std::unique_ptr<ForwardingQueueApi> local_api_;
   std::unique_ptr<comm::RemoteQueueApi> remote_api_;
   bool opened_ = false;

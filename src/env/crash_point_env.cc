@@ -29,7 +29,7 @@ class CrashPointEnv::CrashWritableFile final : public WritableFile {
 };
 
 Status CrashPointEnv::OnMutatingOp(const Slice* payload, WritableFile* dest) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t index = ops_++;
   if (down_) {
     return Status::IOError("crashed process: I/O after crash point");
@@ -49,36 +49,36 @@ Status CrashPointEnv::OnMutatingOp(const Slice* payload, WritableFile* dest) {
 }
 
 void CrashPointEnv::ArmCrash(uint64_t op_index, util::Rng* torn_rng) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   armed_ = true;
   crash_at_ = op_index;
   torn_rng_ = torn_rng;
 }
 
 void CrashPointEnv::Disarm() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   armed_ = false;
   down_ = false;
   torn_rng_ = nullptr;
 }
 
 bool CrashPointEnv::crashed() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return crashed_;
 }
 
 bool CrashPointEnv::down() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return down_;
 }
 
 uint64_t CrashPointEnv::mutating_op_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return ops_;
 }
 
 void CrashPointEnv::ResetCounter() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ops_ = 0;
   crashed_ = false;
 }

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "env/env.h"
 #include "env/mem_env.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::env {
 
@@ -97,13 +97,13 @@ class CrashPointEnv final : public Env {
   Status OnMutatingOp(const Slice* payload, WritableFile* dest);
 
   MemEnv* base_;
-  mutable std::mutex mu_;
-  uint64_t ops_ = 0;
-  uint64_t crash_at_ = 0;
-  bool armed_ = false;
-  bool down_ = false;
-  bool crashed_ = false;
-  util::Rng* torn_rng_ = nullptr;
+  mutable Mutex mu_;
+  uint64_t ops_ GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_ GUARDED_BY(mu_) = 0;
+  bool armed_ GUARDED_BY(mu_) = false;
+  bool down_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  util::Rng* torn_rng_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace rrq::env

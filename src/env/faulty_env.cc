@@ -40,7 +40,7 @@ bool FaultyEnv::ShouldFail(uint32_t one_in) {
   if (one_in == 0 || suppressed_.load(std::memory_order_relaxed)) return false;
   bool fail;
   {
-    std::lock_guard<std::mutex> guard(rng_mu_);
+    MutexLock guard(rng_mu_);
     fail = rng_.Uniform(one_in) == 0;
   }
   if (fail) faults_.fetch_add(1, std::memory_order_relaxed);

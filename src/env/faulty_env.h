@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "env/env.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::env {
 
@@ -73,8 +73,8 @@ class FaultyEnv final : public Env {
   Env* base_;
   FaultConfig config_;
   std::atomic<bool> suppressed_{false};
-  std::mutex rng_mu_;
-  util::Rng rng_;
+  Mutex rng_mu_;
+  util::Rng rng_ GUARDED_BY(rng_mu_);
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> bytes_{0};

@@ -24,11 +24,11 @@ std::string CleanPath(const std::string& path) {
 
 class MemEnv::MemSequentialFile final : public SequentialFile {
  public:
-  MemSequentialFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+  MemSequentialFile(std::shared_ptr<FileState> file, Mutex* env_mu)
       : file_(std::move(file)), env_mu_(env_mu) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    std::lock_guard<std::mutex> guard(*env_mu_);
+    MutexLock guard(*env_mu_);
     if (pos_ >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
@@ -41,25 +41,25 @@ class MemEnv::MemSequentialFile final : public SequentialFile {
   }
 
   Status Skip(uint64_t n) override {
-    std::lock_guard<std::mutex> guard(*env_mu_);
+    MutexLock guard(*env_mu_);
     pos_ = std::min<size_t>(file_->data.size(), pos_ + static_cast<size_t>(n));
     return Status::OK();
   }
 
  private:
   std::shared_ptr<FileState> file_;
-  std::mutex* env_mu_;
+  Mutex* env_mu_;
   size_t pos_ = 0;
 };
 
 class MemEnv::MemRandomAccessFile final : public RandomAccessFile {
  public:
-  MemRandomAccessFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+  MemRandomAccessFile(std::shared_ptr<FileState> file, Mutex* env_mu)
       : file_(std::move(file)), env_mu_(env_mu) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> guard(*env_mu_);
+    MutexLock guard(*env_mu_);
     if (offset >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
@@ -73,16 +73,16 @@ class MemEnv::MemRandomAccessFile final : public RandomAccessFile {
 
  private:
   std::shared_ptr<FileState> file_;
-  std::mutex* env_mu_;
+  Mutex* env_mu_;
 };
 
 class MemEnv::MemWritableFile final : public WritableFile {
  public:
-  MemWritableFile(std::shared_ptr<FileState> file, std::mutex* env_mu)
+  MemWritableFile(std::shared_ptr<FileState> file, Mutex* env_mu)
       : file_(std::move(file)), env_mu_(env_mu) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> guard(*env_mu_);
+    MutexLock guard(*env_mu_);
     file_->data.append(data.data(), data.size());
     return Status::OK();
   }
@@ -90,7 +90,7 @@ class MemEnv::MemWritableFile final : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> guard(*env_mu_);
+    MutexLock guard(*env_mu_);
     file_->synced_size = file_->data.size();
     return Status::OK();
   }
@@ -99,12 +99,12 @@ class MemEnv::MemWritableFile final : public WritableFile {
 
  private:
   std::shared_ptr<FileState> file_;
-  std::mutex* env_mu_;
+  Mutex* env_mu_;
 };
 
 Status MemEnv::NewSequentialFile(const std::string& fname,
                                  std::unique_ptr<SequentialFile>* result) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = files_.find(CleanPath(fname));
   if (it == files_.end()) return Status::NotFound(fname);
   *result = std::make_unique<MemSequentialFile>(it->second, &mu_);
@@ -113,7 +113,7 @@ Status MemEnv::NewSequentialFile(const std::string& fname,
 
 Status MemEnv::NewRandomAccessFile(const std::string& fname,
                                    std::unique_ptr<RandomAccessFile>* result) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = files_.find(CleanPath(fname));
   if (it == files_.end()) return Status::NotFound(fname);
   *result = std::make_unique<MemRandomAccessFile>(it->second, &mu_);
@@ -122,7 +122,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
 
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto state = std::make_shared<FileState>();
   files_[CleanPath(fname)] = state;
   *result = std::make_unique<MemWritableFile>(std::move(state), &mu_);
@@ -131,7 +131,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
 
 Status MemEnv::NewAppendableFile(const std::string& fname,
                                  std::unique_ptr<WritableFile>* result) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto& slot = files_[CleanPath(fname)];
   if (slot == nullptr) slot = std::make_shared<FileState>();
   *result = std::make_unique<MemWritableFile>(slot, &mu_);
@@ -139,7 +139,7 @@ Status MemEnv::NewAppendableFile(const std::string& fname,
 }
 
 bool MemEnv::FileExists(const std::string& fname) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return files_.count(CleanPath(fname)) > 0;
 }
 
@@ -148,7 +148,7 @@ Status MemEnv::GetChildren(const std::string& dir,
   result->clear();
   std::string prefix = CleanPath(dir);
   if (!prefix.empty() && prefix.back() != '/') prefix.push_back('/');
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (const auto& [path, state] : files_) {
     if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
       std::string rest = path.substr(prefix.size());
@@ -160,25 +160,25 @@ Status MemEnv::GetChildren(const std::string& dir,
 }
 
 Status MemEnv::RemoveFile(const std::string& fname) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (files_.erase(CleanPath(fname)) == 0) return Status::NotFound(fname);
   return Status::OK();
 }
 
 Status MemEnv::CreateDirIfMissing(const std::string& dirname) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   dirs_[CleanPath(dirname)] = true;
   return Status::OK();
 }
 
 Status MemEnv::RemoveDir(const std::string& dirname) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   dirs_.erase(CleanPath(dirname));
   return Status::OK();
 }
 
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = files_.find(CleanPath(fname));
   if (it == files_.end()) return Status::NotFound(fname);
   *size = it->second->data.size();
@@ -186,7 +186,7 @@ Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
 }
 
 Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = files_.find(CleanPath(src));
   if (it == files_.end()) return Status::NotFound(src);
   files_[CleanPath(target)] = it->second;
@@ -195,7 +195,7 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
 }
 
 void MemEnv::SimulateCrash(util::Rng* torn_write_rng) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto& [path, state] : files_) {
     uint64_t keep = state->synced_size;
     uint64_t unsynced = state->data.size() - keep;
@@ -208,7 +208,7 @@ void MemEnv::SimulateCrash(util::Rng* torn_write_rng) {
 }
 
 uint64_t MemEnv::TotalBytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t total = 0;
   for (const auto& [path, state] : files_) total += state->data.size();
   return total;

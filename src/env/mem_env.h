@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "env/env.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::env {
 
@@ -70,10 +70,10 @@ class MemEnv final : public Env {
   class MemRandomAccessFile;
   class MemWritableFile;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Path -> file. shared_ptr so open handles survive RemoveFile.
-  std::map<std::string, std::shared_ptr<FileState>> files_;
-  std::map<std::string, bool> dirs_;
+  std::map<std::string, std::shared_ptr<FileState>> files_ GUARDED_BY(mu_);
+  std::map<std::string, bool> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace rrq::env

@@ -55,15 +55,17 @@ struct TcpServer::Conn {
   FrameReader reader;
   uint32_t version = 0;  // 0 until the first frame decides the mode
 
-  std::mutex mu;
-  bool closed = false;
-  bool want_write = false;
-  bool write_failed = false;
-  std::deque<std::string> outbox;  // framed replies awaiting the socket
-  size_t head_off = 0;             // bytes of outbox.front() already sent
+  Mutex mu;
+  bool closed GUARDED_BY(mu) = false;
+  bool want_write GUARDED_BY(mu) = false;
+  bool write_failed GUARDED_BY(mu) = false;
+  // Framed replies awaiting the socket.
+  std::deque<std::string> outbox GUARDED_BY(mu);
+  // Bytes of outbox.front() already sent.
+  size_t head_off GUARDED_BY(mu) = 0;
   // v1 in-order execution chain.
-  bool v1_busy = false;
-  std::deque<Task> v1_backlog;
+  bool v1_busy GUARDED_BY(mu) = false;
+  std::deque<Task> v1_backlog GUARDED_BY(mu);
 };
 
 TcpServer::TcpServer(TcpServerOptions options, RpcHandler handler)
@@ -127,7 +129,10 @@ Status TcpServer::Start() {
     workers = static_cast<int>(std::thread::hardware_concurrency());
     if (workers <= 0) workers = 4;
   }
-  pool_stop_ = false;
+  {
+    MutexLock guard(pool_mu_);
+    pool_stop_ = false;
+  }
   running_.store(true);
   loop_ = std::thread([this] { LoopMain(); });
   workers_.reserve(static_cast<size_t>(workers));
@@ -149,20 +154,21 @@ void TcpServer::Stop() {
   // Drain the pool: queued tasks still run (their replies go to
   // sockets that are still open), then workers exit.
   {
-    std::lock_guard<std::mutex> guard(pool_mu_);
+    MutexLock guard(pool_mu_);
     pool_stop_ = true;
   }
-  pool_cv_.notify_all();
+  pool_cv_.SignalAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
   {
-    std::unique_lock<std::mutex> guard(pool_mu_);
     std::vector<std::thread> elastic;
-    elastic.swap(blocking_live_);
-    blocking_finished_.clear();
-    guard.unlock();
+    {
+      MutexLock guard(pool_mu_);
+      elastic.swap(blocking_live_);
+      blocking_finished_.clear();
+    }
     for (auto& t : elastic) {
       if (t.joinable()) t.join();
     }
@@ -170,11 +176,11 @@ void TcpServer::Stop() {
 
   std::unordered_map<int, std::shared_ptr<Conn>> conns;
   {
-    std::lock_guard<std::mutex> guard(conns_mu_);
+    MutexLock guard(conns_mu_);
     conns.swap(conns_);
   }
   for (auto& [fd, conn] : conns) {
-    std::lock_guard<std::mutex> guard(conn->mu);
+    MutexLock guard(conn->mu);
     conn->closed = true;
     close(conn->fd);
   }
@@ -186,14 +192,14 @@ void TcpServer::Stop() {
 }
 
 std::shared_ptr<TcpServer::Conn> TcpServer::LookupConn(int fd) {
-  std::lock_guard<std::mutex> guard(conns_mu_);
+  MutexLock guard(conns_mu_);
   auto it = conns_.find(fd);
   return it == conns_.end() ? nullptr : it->second;
 }
 
 void TcpServer::RequestAttention(int fd) {
   {
-    std::lock_guard<std::mutex> guard(attention_mu_);
+    MutexLock guard(attention_mu_);
     attention_.push_back(fd);
   }
   const uint64_t one = 1;
@@ -204,7 +210,7 @@ void TcpServer::RequestAttention(int fd) {
 void TcpServer::ProcessAttention() {
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> guard(attention_mu_);
+    MutexLock guard(attention_mu_);
     fds.swap(attention_);
   }
   for (int fd : fds) {
@@ -212,7 +218,7 @@ void TcpServer::ProcessAttention() {
     if (!conn) continue;
     bool failed, want;
     {
-      std::lock_guard<std::mutex> guard(conn->mu);
+      MutexLock guard(conn->mu);
       failed = conn->write_failed;
       want = conn->want_write;
     }
@@ -274,7 +280,7 @@ void TcpServer::HandleAccept() {
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     {
-      std::lock_guard<std::mutex> guard(conns_mu_);
+      MutexLock guard(conns_mu_);
       conns_[fd] = conn;
     }
     epoll_event ev{};
@@ -376,7 +382,7 @@ bool TcpServer::DrainFrames(const std::shared_ptr<Conn>& conn) {
 void TcpServer::Dispatch(const std::shared_ptr<Conn>& conn, Task task) {
   const bool blocking = hint_ && hint_(Slice(task.body));
   if (conn->version == kProtocolV1) {
-    std::lock_guard<std::mutex> guard(conn->mu);
+    MutexLock guard(conn->mu);
     if (conn->v1_busy) {
       conn->v1_backlog.push_back(std::move(task));
       return;
@@ -402,7 +408,7 @@ void TcpServer::Dispatch(const std::shared_ptr<Conn>& conn, Task task) {
 void TcpServer::SubmitBatch() {
   if (loop_pending_.empty()) return;
   {
-    std::lock_guard<std::mutex> guard(pool_mu_);
+    MutexLock guard(pool_mu_);
     if (pool_stop_) {
       loop_pending_.clear();
       return;
@@ -413,7 +419,7 @@ void TcpServer::SubmitBatch() {
   // One wakeup per batch; workers chain further wakeups while the
   // queue stays non-empty (see WorkerMain), so a deep batch still
   // fans out across the pool without notifying per task.
-  pool_cv_.notify_one();
+  pool_cv_.Signal();
 }
 
 void TcpServer::RunTask(const std::shared_ptr<Conn>& conn, Task task,
@@ -446,7 +452,7 @@ void TcpServer::RunTask(const std::shared_ptr<Conn>& conn, Task task,
     Task next;
     bool have = false;
     {
-      std::lock_guard<std::mutex> guard(conn->mu);
+      MutexLock guard(conn->mu);
       if (!conn->v1_backlog.empty()) {
         next = std::move(conn->v1_backlog.front());
         conn->v1_backlog.pop_front();
@@ -471,49 +477,7 @@ void TcpServer::RunTask(const std::shared_ptr<Conn>& conn, Task task,
   }
 }
 
-void TcpServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
-                             std::string framed, bool defer_flush) {
-  {
-    std::lock_guard<std::mutex> guard(conn->mu);
-    if (conn->closed || conn->write_failed) return;
-    conn->outbox.push_back(std::move(framed));
-    // If the loop is already watching for writability, just queue: the
-    // next EPOLLOUT flushes everything accumulated — corked in one
-    // writev. Otherwise write now, or — on a pool worker — leave the
-    // bytes queued for FlushDeferred so the replies this drain
-    // produces go out in one writev instead of one syscall each.
-    if (conn->want_write) return;
-    if (!defer_flush) {
-      FlushLocked(conn.get());
-      if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
-      return;
-    }
-  }
-  auto& deferred = Deferred();
-  for (const auto& c : deferred) {
-    if (c == conn) return;
-  }
-  deferred.push_back(conn);
-}
-
-std::vector<std::shared_ptr<TcpServer::Conn>>& TcpServer::Deferred() {
-  static thread_local std::vector<std::shared_ptr<Conn>> deferred;
-  return deferred;
-}
-
-void TcpServer::FlushDeferred() {
-  auto& deferred = Deferred();
-  for (const auto& conn : deferred) {
-    std::lock_guard<std::mutex> guard(conn->mu);
-    if (conn->closed || conn->write_failed) continue;
-    if (conn->want_write) continue;  // EPOLLOUT will flush the outbox.
-    FlushLocked(conn.get());
-    if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
-  }
-  deferred.clear();
-}
-
-void TcpServer::FlushLocked(Conn* conn) {
+void TcpServer::FlushLocked(Conn* conn) REQUIRES(conn->mu) {
   while (!conn->outbox.empty()) {
     iovec iov[64];
     int cnt = 0;
@@ -548,11 +512,53 @@ void TcpServer::FlushLocked(Conn* conn) {
   }
 }
 
+void TcpServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
+                             std::string framed, bool defer_flush) {
+  {
+    MutexLock guard(conn->mu);
+    if (conn->closed || conn->write_failed) return;
+    conn->outbox.push_back(std::move(framed));
+    // If the loop is already watching for writability, just queue: the
+    // next EPOLLOUT flushes everything accumulated — corked in one
+    // writev. Otherwise write now, or — on a pool worker — leave the
+    // bytes queued for FlushDeferred so the replies this drain
+    // produces go out in one writev instead of one syscall each.
+    if (conn->want_write) return;
+    if (!defer_flush) {
+      FlushLocked(conn.get());
+      if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
+      return;
+    }
+  }
+  auto& deferred = Deferred();
+  for (const auto& c : deferred) {
+    if (c == conn) return;
+  }
+  deferred.push_back(conn);
+}
+
+std::vector<std::shared_ptr<TcpServer::Conn>>& TcpServer::Deferred() {
+  static thread_local std::vector<std::shared_ptr<Conn>> deferred;
+  return deferred;
+}
+
+void TcpServer::FlushDeferred() {
+  auto& deferred = Deferred();
+  for (const auto& conn : deferred) {
+    MutexLock guard(conn->mu);
+    if (conn->closed || conn->write_failed) continue;
+    if (conn->want_write) continue;  // EPOLLOUT will flush the outbox.
+    FlushLocked(conn.get());
+    if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
+  }
+  deferred.clear();
+}
+
 void TcpServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
   bool failed;
   bool drained;
   {
-    std::lock_guard<std::mutex> guard(conn->mu);
+    MutexLock guard(conn->mu);
     if (conn->closed) return;
     conn->want_write = false;
     FlushLocked(conn.get());
@@ -574,7 +580,7 @@ void TcpServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
 void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
                           bool protocol_error) {
   {
-    std::lock_guard<std::mutex> guard(conn->mu);
+    MutexLock guard(conn->mu);
     if (conn->closed) return;
     conn->closed = true;
     // Count before closing: a peer that has observed the FIN must
@@ -586,7 +592,7 @@ void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
     close(conn->fd);
   }
   {
-    std::lock_guard<std::mutex> guard(conns_mu_);
+    MutexLock guard(conns_mu_);
     conns_.erase(conn->fd);
   }
   active_conns_.fetch_sub(1, std::memory_order_relaxed);
@@ -594,7 +600,7 @@ void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
 
 void TcpServer::SubmitToPool(std::function<void()> fn, bool blocking) {
   if (blocking) {
-    std::lock_guard<std::mutex> guard(pool_mu_);
+    MutexLock guard(pool_mu_);
     if (pool_stop_) return;
     ReapBlockingThreadsLocked();
     if (blocking_threads_ < options_.max_blocking_threads) {
@@ -604,7 +610,7 @@ void TcpServer::SubmitToPool(std::function<void()> fn, bool blocking) {
         // Belt and braces: elastic tasks flush inline, but if one ever
         // deferred, the bytes must not die with this thread.
         FlushDeferred();
-        std::lock_guard<std::mutex> guard2(pool_mu_);
+        MutexLock guard2(pool_mu_);
         --blocking_threads_;
         blocking_finished_.push_back(std::this_thread::get_id());
       });
@@ -613,11 +619,11 @@ void TcpServer::SubmitToPool(std::function<void()> fn, bool blocking) {
     // Overflow cap hit: fall through to the bounded pool.
   }
   {
-    std::lock_guard<std::mutex> guard(pool_mu_);
+    MutexLock guard(pool_mu_);
     if (pool_stop_) return;
     pool_queue_.push_back(std::move(fn));
   }
-  pool_cv_.notify_one();
+  pool_cv_.Signal();
 }
 
 void TcpServer::ReapBlockingThreadsLocked() {
@@ -641,19 +647,18 @@ void TcpServer::WorkerMain() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       if (pool_queue_.empty() && !pool_stop_) {
         // About to sleep: send corked replies first — a deferred
         // flush may be all that stands between clients and their
         // replies, and nothing else would send it.
-        lock.unlock();
+        lock.Unlock();
         FlushDeferred();
-        lock.lock();
-        pool_cv_.wait(lock,
-                      [this] { return pool_stop_ || !pool_queue_.empty(); });
+        lock.Lock();
+        while (!pool_stop_ && pool_queue_.empty()) pool_cv_.Wait(pool_mu_);
       }
       if (pool_queue_.empty()) {  // pool_stop_ and drained.
-        lock.unlock();
+        lock.Unlock();
         FlushDeferred();
         return;
       }
@@ -662,7 +667,7 @@ void TcpServer::WorkerMain() {
       // Wake chaining: SubmitBatch notifies once per batch; each
       // worker that takes a task passes the baton while work remains,
       // so deep batches fan out without a notify per task.
-      if (!pool_queue_.empty()) pool_cv_.notify_one();
+      if (!pool_queue_.empty()) pool_cv_.Signal();
     }
     fn();
     if (Deferred().size() >= kMaxDeferredConns) FlushDeferred();

@@ -78,9 +78,9 @@ struct TcpChannel::Sock {
   // drains until the buffer stays empty. Concurrent callers cork their
   // frames into the active writer's next send instead of queueing on a
   // lock for a syscall apiece.
-  std::mutex out_mu;
-  std::string outbuf;
-  bool writer_active = false;
+  Mutex out_mu;
+  std::string outbuf GUARDED_BY(out_mu);
+  bool writer_active GUARDED_BY(out_mu) = false;
 
   ~Sock() {
     if (fd >= 0) close(fd);
@@ -94,26 +94,36 @@ TcpChannel::TcpChannel(TcpChannelOptions options)
 TcpChannel::~TcpChannel() { Close(); }
 
 void TcpChannel::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
-  std::shared_ptr<Sock> sock = sock_;
-  if (sock) {
-    if (wire_version_ >= kProtocolV2) {
-      // The reader owns teardown: it fails every pending call, clears
-      // sock_, and announces its exit.
-      sock->broken.store(true, std::memory_order_release);
-      shutdown(sock->fd, SHUT_RDWR);
-      KickEventFd(sock->wake_fd);
-    } else {
-      sock_.reset();
-      // Unblock a concurrent v1 exchange parked in recv().
-      shutdown(sock->fd, SHUT_RDWR);
+  MutexLock lock(mu_);
+  // Loop: a caller racing us through EnsureConnectedLocked() can join
+  // the reader we are waiting out and stand up a fresh connection while
+  // Wait() has mu_ released. Re-checking sock_ every wakeup means any
+  // such connection is torn down too, instead of us blocking forever on
+  // a healthy reader that will never exit (a real deadlock ASan runs
+  // hit in clerk_pool_exactly_once_test).
+  for (;;) {
+    std::shared_ptr<Sock> sock = sock_;
+    if (sock) {
+      if (wire_version_ >= kProtocolV2) {
+        // The reader owns teardown: it fails every pending call, clears
+        // sock_, and announces its exit.
+        sock->broken.store(true, std::memory_order_release);
+        shutdown(sock->fd, SHUT_RDWR);
+        KickEventFd(sock->wake_fd);
+      } else {
+        sock_.reset();
+        // Unblock a concurrent v1 exchange parked in recv().
+        shutdown(sock->fd, SHUT_RDWR);
+      }
     }
-  }
-  if (reader_.joinable()) {
-    reader_exit_cv_.wait(lock, [this] { return reader_done_; });
-    // The reader no longer touches channel state; joining under mu_
-    // cannot deadlock.
-    reader_.join();
+    if (!reader_.joinable()) return;
+    if (reader_done_) {
+      // The reader no longer touches channel state; joining under mu_
+      // cannot deadlock.
+      reader_.join();
+      continue;  // re-check: a racing reconnect may have run meanwhile
+    }
+    reader_exit_cv_.Wait(mu_);
   }
 }
 
@@ -204,14 +214,22 @@ Status TcpChannel::NegotiateV2(int fd, uint32_t* version) {
   }
 }
 
-Status TcpChannel::EnsureConnectedLocked(std::unique_lock<std::mutex>& lock) {
-  if (sock_) return Status::OK();
-  if (reader_.joinable()) {
+Status TcpChannel::EnsureConnectedLocked() {
+  // Re-check sock_ on every wakeup: when a dead connection strands
+  // several callers here, the first one to see reader_done_ joins the
+  // old reader, reconnects, and resets reader_done_ for the NEW reader.
+  // A waiter that only re-tested reader_done_ would then sleep until
+  // the healthy new connection failed — i.e. forever (deadlock observed
+  // in clerk_pool_exactly_once_test under sanitizer load). Seeing sock_
+  // set means that caller finished the job for us.
+  for (;;) {
+    if (sock_) return Status::OK();
+    if (!reader_.joinable() || reader_done_) break;
     // A previous connection's reader may still be failing its pending
     // calls; wait for it to finish with channel state before rebuilding.
-    reader_exit_cv_.wait(lock, [this] { return reader_done_; });
-    reader_.join();
+    reader_exit_cv_.Wait(mu_);
   }
+  if (reader_.joinable()) reader_.join();
 
   // Reconnect-with-backoff, bounded. This is the only retry loop in
   // the transport, and it runs strictly before any request bytes are
@@ -270,6 +288,24 @@ Status TcpChannel::EnsureConnectedLocked(std::unique_lock<std::mutex>& lock) {
                              last.ToString());
 }
 
+void TcpChannel::BreakConnectionForTest() {
+  std::shared_ptr<Sock> sock;
+  {
+    MutexLock lock(mu_);
+    sock = sock_;
+    if (sock && wire_version_ < kProtocolV2) {
+      // v1 has no reader to run teardown; drop the socket directly.
+      sock_.reset();
+    }
+  }
+  if (sock == nullptr) return;
+  if (sock->wake_fd >= 0) {
+    BreakConnection(sock);
+  } else {
+    shutdown(sock->fd, SHUT_RDWR);
+  }
+}
+
 void TcpChannel::BreakConnection(const std::shared_ptr<Sock>& sock) {
   sock->broken.store(true, std::memory_order_release);
   shutdown(sock->fd, SHUT_RDWR);
@@ -292,7 +328,7 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
       const uint64_t now = NowMicros();
       std::vector<Callback> expired;
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         for (auto it = pending_.begin(); it != pending_.end();) {
           if (it->second.deadline_micros <= now) {
             expired.push_back(std::move(it->second.done));
@@ -318,7 +354,7 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
       // pending deadline passes — then loop back to the checks above.
       int timeout_ms = -1;
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         uint64_t min_deadline = UINT64_MAX;
         for (const auto& [id, pc] : pending_) {
           min_deadline = std::min(min_deadline, pc.deadline_micros);
@@ -388,7 +424,7 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
       Status handled = DecodeStatus(&p);
       Callback done;
       {
-        std::lock_guard<std::mutex> guard(mu_);
+        MutexLock guard(mu_);
         auto it = pending_.find(id);
         if (it != pending_.end()) {
           done = std::move(it->second.done);
@@ -420,7 +456,7 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
   // only then announce the exit (a reconnect must not race us).
   std::vector<Callback> victims;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     for (auto& [id, pc] : pending_) victims.push_back(std::move(pc.done));
     pending_.clear();
     if (sock_ == sock) sock_.reset();
@@ -428,16 +464,16 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
   shutdown(sock->fd, SHUT_RDWR);  // Unblock writers still holding sock.
   for (auto& done : victims) done(fail, std::string());
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     reader_done_ = true;
   }
-  reader_exit_cv_.notify_all();
+  reader_exit_cv_.SignalAll();
 }
 
 Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
                           const Slice& request, std::string* reply,
                           uint64_t min_deadline_micros) {
-  std::lock_guard<std::mutex> wguard(write_mu_);
+  MutexLock wguard(write_mu_);
   std::string framed;
   {
     std::string payload;
@@ -498,7 +534,7 @@ Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
 
 void TcpChannel::TearDownV1(const std::shared_ptr<Sock>& sock) {
   shutdown(sock->fd, SHUT_RDWR);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (sock_ == sock) sock_.reset();
 }
 
@@ -513,10 +549,10 @@ void TcpChannel::CallAsync(const Slice& request, const CallOptions& options,
   uint64_t id = 0;
   bool wake = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    Status s = EnsureConnectedLocked(lock);
+    MutexLock lock(mu_);
+    Status s = EnsureConnectedLocked();
     if (!s.ok()) {
-      lock.unlock();
+      lock.Unlock();
       done(std::move(s), std::string());
       return;
     }
@@ -560,7 +596,7 @@ void TcpChannel::CallAsync(const Slice& request, const CallOptions& options,
 Status TcpChannel::SendV2(const std::shared_ptr<Sock>& sock,
                           std::string framed) {
   {
-    std::lock_guard<std::mutex> guard(sock->out_mu);
+    MutexLock guard(sock->out_mu);
     sock->outbuf.append(framed);
     // An active writer is obliged to re-check the buffer before it
     // retires, so these bytes ride its next send.
@@ -571,7 +607,7 @@ Status TcpChannel::SendV2(const std::shared_ptr<Sock>& sock,
 }
 
 bool TcpChannel::CorkOutbuf(const std::shared_ptr<Sock>& sock) {
-  std::lock_guard<std::mutex> guard(sock->out_mu);
+  MutexLock guard(sock->out_mu);
   if (sock->writer_active) return false;
   sock->writer_active = true;
   return true;
@@ -581,7 +617,7 @@ Status TcpChannel::DrainOutbuf(const std::shared_ptr<Sock>& sock) {
   std::string local;
   while (true) {
     {
-      std::lock_guard<std::mutex> guard(sock->out_mu);
+      MutexLock guard(sock->out_mu);
       if (sock->outbuf.empty()) {
         sock->writer_active = false;
         return Status::OK();
@@ -594,7 +630,7 @@ Status TcpChannel::DrainOutbuf(const std::shared_ptr<Sock>& sock) {
       // The stream is broken mid-frame; callers whose bytes we
       // combined are failed with everyone else when the caller breaks
       // the connection and the reader sweeps pending_.
-      std::lock_guard<std::mutex> guard(sock->out_mu);
+      MutexLock guard(sock->out_mu);
       sock->writer_active = false;
       return s;
     }
@@ -608,22 +644,22 @@ Status TcpChannel::Call(const Slice& request, std::string* reply) {
 Status TcpChannel::Call(const Slice& request, std::string* reply,
                         const CallOptions& options) {
   struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;
-    std::string reply;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu);
+    std::string reply GUARDED_BY(mu);
   };
   auto waiter = std::make_shared<Waiter>();
   CallAsync(request, options, [waiter](Status s, std::string r) {
-    std::lock_guard<std::mutex> guard(waiter->mu);
+    MutexLock guard(waiter->mu);
     waiter->status = std::move(s);
     waiter->reply = std::move(r);
     waiter->done = true;
-    waiter->cv.notify_all();
+    waiter->cv.SignalAll();
   });
-  std::unique_lock<std::mutex> lock(waiter->mu);
-  waiter->cv.wait(lock, [&] { return waiter->done; });
+  MutexLock lock(waiter->mu);
+  while (!waiter->done) waiter->cv.Wait(waiter->mu);
   if (waiter->status.ok()) *reply = std::move(waiter->reply);
   return waiter->status;
 }
@@ -633,8 +669,8 @@ Status TcpChannel::SendOneWay(const Slice& message) {
   uint32_t version = 0;
   Status s;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    s = EnsureConnectedLocked(lock);
+    MutexLock lock(mu_);
+    s = EnsureConnectedLocked();
     if (s.ok()) {
       sock = sock_;
       version = wire_version_;
@@ -652,7 +688,7 @@ Status TcpChannel::SendOneWay(const Slice& message) {
       s = SendV2(sock, std::move(framed));
       if (!s.ok()) BreakConnection(sock);
     } else {
-      std::lock_guard<std::mutex> wguard(write_mu_);
+      MutexLock wguard(write_mu_);
       s = SendAll(sock->fd, framed);
       if (!s.ok()) TearDownV1(sock);
     }

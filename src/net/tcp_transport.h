@@ -2,12 +2,10 @@
 #define RRQ_NET_TCP_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -18,6 +16,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::net {
 
@@ -124,8 +123,9 @@ class TcpServer {
   // bytes. Per worker thread; the loop thread never defers.
   std::vector<std::shared_ptr<Conn>>& Deferred();
   void FlushDeferred();
-  // Requires conn->mu. Writes the outbox until empty, EAGAIN
-  // (want_write set), or a hard error (write_failed set).
+  // Requires conn->mu (annotated at the definition; Conn is incomplete
+  // here). Writes the outbox until empty, EAGAIN (want_write set), or
+  // a hard error (write_failed set).
   void FlushLocked(Conn* conn);
   void CloseConn(const std::shared_ptr<Conn>& conn, bool protocol_error);
   std::shared_ptr<Conn> LookupConn(int fd);
@@ -135,8 +135,8 @@ class TcpServer {
   void ProcessAttention();
   void SubmitToPool(std::function<void()> fn, bool blocking);
   void WorkerMain();
-  // Requires pool_mu_. Joins elastic threads that have finished.
-  void ReapBlockingThreadsLocked();
+  // Joins elastic threads that have finished.
+  void ReapBlockingThreadsLocked() REQUIRES(pool_mu_);
 
   TcpServerOptions options_;
   RpcHandler handler_;
@@ -150,24 +150,26 @@ class TcpServer {
 
   // Connection roster. The loop thread is the only mutator; workers
   // reach connections through the shared_ptr captured at dispatch.
-  std::mutex conns_mu_;
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  Mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
 
-  std::mutex attention_mu_;
-  std::vector<int> attention_;
+  Mutex attention_mu_;
+  std::vector<int> attention_ GUARDED_BY(attention_mu_);
 
   // Tasks decoded by the current readable sweep, awaiting SubmitBatch.
   // Loop thread only.
   std::vector<std::function<void()>> loop_pending_;
 
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  std::deque<std::function<void()>> pool_queue_;
+  Mutex pool_mu_;
+  CondVar pool_cv_;
+  std::deque<std::function<void()>> pool_queue_ GUARDED_BY(pool_mu_);
+  // Start()/Stop() only, which the caller serializes; workers never
+  // touch the vector itself.
   std::vector<std::thread> workers_;
-  bool pool_stop_ = false;
-  int blocking_threads_ = 0;
-  std::vector<std::thread> blocking_live_;
-  std::vector<std::thread::id> blocking_finished_;
+  bool pool_stop_ GUARDED_BY(pool_mu_) = false;
+  int blocking_threads_ GUARDED_BY(pool_mu_) = 0;
+  std::vector<std::thread> blocking_live_ GUARDED_BY(pool_mu_);
+  std::vector<std::thread::id> blocking_finished_ GUARDED_BY(pool_mu_);
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> served_{0};
@@ -280,6 +282,10 @@ class TcpChannel final : public Channel {
   uint64_t deadline_expiries() const {
     return deadline_expiries_.load(std::memory_order_relaxed);
   }
+  /// Test hook: severs the live connection exactly as an I/O error
+  /// would — pending calls fail, the next call reconnects. Lets tests
+  /// drive the failure/reconnect races against a healthy server.
+  void BreakConnectionForTest();
   /// Wire version of the current (or most recent) connection; 0 before
   /// the first connect.
   uint32_t negotiated_version() const {
@@ -293,8 +299,8 @@ class TcpChannel final : public Channel {
     uint64_t deadline_micros = 0;
   };
 
-  // Connect + negotiate. Requires mu_ held (may sleep in backoff).
-  Status EnsureConnectedLocked(std::unique_lock<std::mutex>& lock);
+  // Connect + negotiate. May sleep in backoff (holding mu_).
+  Status EnsureConnectedLocked() REQUIRES(mu_);
   Status ConnectOnce(int* fd_out);
   // Sends the hello and waits for the server's. FailedPrecondition is
   // the internal "v1 server closed on us" verdict (never escapes).
@@ -322,25 +328,28 @@ class TcpChannel final : public Channel {
 
   TcpChannelOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable reader_exit_cv_;
-  std::shared_ptr<Sock> sock_;     // null while disconnected
-  uint32_t wire_version_ = 0;      // of sock_
-  uint32_t server_version_hint_ = 0;  // 1 after a v1 server dropped a hello
-  uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, PendingCall> pending_;
+  Mutex mu_;
+  CondVar reader_exit_cv_;
+  std::shared_ptr<Sock> sock_ GUARDED_BY(mu_);  // null while disconnected
+  uint32_t wire_version_ GUARDED_BY(mu_) = 0;   // of sock_
+  // 1 after a v1 server dropped a hello.
+  uint32_t server_version_hint_ GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, PendingCall> pending_ GUARDED_BY(mu_);
   // Deadline the reader is currently sleeping toward (UINT64_MAX =
   // none); a new call with an earlier one kicks the wake eventfd.
-  uint64_t reader_wait_until_ = 0;
+  uint64_t reader_wait_until_ GUARDED_BY(mu_) = 0;
+  // Spawned and joined under mu_ (join happens only after the reader
+  // announced reader_done_, so it cannot deadlock).
   std::thread reader_;
-  bool reader_done_ = true;
+  bool reader_done_ GUARDED_BY(mu_) = true;
 
   // Serializes socket writes (the single writer path); on a v1
   // connection it also covers the reply read, i.e. the whole exchange
   // (each Sock carries its own v1 FrameReader, so a straggling
   // exchange on a torn-down socket never shares state with a fresh
   // connection).
-  std::mutex write_mu_;
+  Mutex write_mu_;
 
   std::atomic<uint64_t> connects_{0};
   std::atomic<uint64_t> one_ways_lost_{0};

@@ -2,12 +2,10 @@
 #define RRQ_QUEUE_QUEUE_REPOSITORY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +17,7 @@
 #include "txn/txn_manager.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/log_writer.h"
 
 namespace rrq::queue {
@@ -316,6 +315,11 @@ class QueueRepository final : public txn::ResourceManager {
     LastOpRecord last;
   };
 
+  // Every QueueState field is guarded by the owning Shard's `mu` (not
+  // expressible as GUARDED_BY: the shard type is defined in the .cc
+  // and a member cannot name its container's lock). All access runs
+  // inside Shard helpers or repository functions annotated
+  // REQUIRES(s->mu).
   struct QueueState {
     QueueOptions options;
     bool started = true;
@@ -324,7 +328,7 @@ class QueueRepository final : public txn::ResourceManager {
     // (inverted priority, seq) -> eid.
     std::map<std::pair<uint32_t, uint64_t>, ElementId> order;
     std::unordered_map<std::string, RegistrationRecord> registrations;
-    std::condition_variable cv;
+    CondVar cv;       // Waits on the owning Shard's mu.
     int waiters = 0;  // Blocked dequeuers (pins the queue against destroy).
   };
 
@@ -376,15 +380,34 @@ class QueueRepository final : public txn::ResourceManager {
   // take one shard lock and append one record; op lists spanning
   // shards go through CommitSpanning. Takes shard locks itself.
   Status AutoCommit(std::vector<MicroOp> ops);
+  // A commit staged under one shard lock, handed off to FinishCommit
+  // once the lock is released: the WAL writer + offset to sync, the
+  // record bytes for the replication sink, the queues to notify, and
+  // the reserved replication tickets.
+  struct CommitHandoff {
+    bool log = false;
+    std::shared_ptr<wal::LogWriter> wal;
+    uint64_t end_offset = 0;
+    std::string record;
+    bool replicate = false;
+    std::vector<std::string> notify;
+    std::vector<ReplTicket> tickets;
+  };
   // Single-shard auto-commit. `record` may carry pre-encoded bytes to
   // log verbatim (replicated records); empty means encode from `ops`.
   Status CommitOnShard(Shard* s, std::vector<MicroOp> ops,
                        std::string record, bool evaluate_reactions);
-  // Same, entered with the shard lock already held (dequeue/kill
-  // decide-and-commit without a window). Releases the lock.
-  Status CommitOnShardLocked(Shard* s, std::unique_lock<std::mutex>& lock,
-                             std::vector<MicroOp> ops, std::string record,
-                             bool evaluate_reactions);
+  // First half of a single-shard commit, run under the shard lock
+  // (REQUIRES(s->mu) on the definition): appends the record, applies
+  // the ops, reserves the replication ticket. The caller releases the
+  // lock and passes `out` to FinishCommit. On error nothing was
+  // applied and `out` needs no cleanup. The dequeue/kill paths use
+  // this directly so decide-and-commit stays atomic under the lock.
+  Status StageCommitLocked(Shard* s, std::vector<MicroOp> ops,
+                           std::string record, CommitHandoff* out);
+  // Second half: syncs the WAL, wakes waiters, delivers replication in
+  // ticket order, fires reactions. Call with no shard locks held.
+  Status FinishCommit(CommitHandoff h, bool evaluate_reactions);
   // Cross-shard auto-commit: prepares on every involved shard WAL
   // under an internal txn id, then commits everywhere with one
   // coordinator sync. Recovery resolves leftover prepares against the
@@ -460,9 +483,11 @@ class QueueRepository final : public txn::ResourceManager {
   // which are always allocated before the record is encoded) and so
   // eids stay unique across shards without a shared lock.
   std::atomic<uint64_t> next_eid_{1};
-  // Serializes Checkpoint() and guards generation_ after Open.
-  std::mutex checkpoint_mu_;
-  uint64_t generation_ = 0;
+  // Serializes Checkpoint() and guards generation_ (Open() holds it
+  // for its whole durable path, so recovery reads are covered too).
+  // Lock order: checkpoint_mu_ before any Shard::mu.
+  Mutex checkpoint_mu_;
+  uint64_t generation_ GUARDED_BY(checkpoint_mu_) = 0;
 
   std::atomic<uint64_t> enqueues_{0};
   std::atomic<uint64_t> dequeues_{0};

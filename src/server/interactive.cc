@@ -13,7 +13,7 @@ IoLog::IoLog(env::Env* env, std::string path)
 
 Status IoLog::Open() {
   if (env_ == nullptr) return Status::OK();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (env_->FileExists(path_)) {
     std::string data;
     RRQ_RETURN_IF_ERROR(env::ReadFileToString(env_, path_, &data));
@@ -42,7 +42,7 @@ Status IoLog::Open() {
 
 Status IoLog::Record(const std::string& rid, uint32_t step,
                      const Slice& prompt, const Slice& input) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   entries_[{rid, step}] = Entry{prompt.ToString(), input.ToString()};
   if (file_ != nullptr) {
     std::string record;
@@ -58,7 +58,7 @@ Status IoLog::Record(const std::string& rid, uint32_t step,
 
 Result<std::string> IoLog::Lookup(const std::string& rid, uint32_t step,
                                   const Slice& prompt) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = entries_.find({rid, step});
   if (it == entries_.end()) return Status::NotFound("no logged exchange");
   if (Slice(it->second.prompt) != prompt) {
@@ -77,7 +77,7 @@ Result<std::string> IoLog::Lookup(const std::string& rid, uint32_t step,
 }
 
 void IoLog::Forget(const std::string& rid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = entries_.lower_bound({rid, 0});
   while (it != entries_.end() && it->first.first == rid) {
     it = entries_.erase(it);

@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "txn/txn_manager.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::server {
 
@@ -72,9 +72,9 @@ class IoLog {
 
   env::Env* env_;
   std::string path_;
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, uint32_t>, Entry> entries_;
-  std::unique_ptr<env::WritableFile> file_;
+  mutable Mutex mu_;
+  std::map<std::pair<std::string, uint32_t>, Entry> entries_ GUARDED_BY(mu_);
+  std::unique_ptr<env::WritableFile> file_ GUARDED_BY(mu_);
   std::atomic<uint64_t> replays_{0};
 };
 

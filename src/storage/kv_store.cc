@@ -53,6 +53,9 @@ Status KvStore::Open() {
   }
   env::Env* env = options_.env;
   RRQ_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
+  // Recovery mutates every guarded field; hold mu_ for the whole
+  // durable path (Open runs before any concurrent use anyway).
+  MutexLock guard(mu_);
 
   if (env->FileExists(CurrentPath())) {
     std::string current;
@@ -89,7 +92,7 @@ Status KvStore::Open() {
   return Status::OK();
 }
 
-Status KvStore::LoadCheckpoint(uint64_t generation) {
+Status KvStore::LoadCheckpoint(uint64_t generation) REQUIRES(mu_) {
   env::Env* env = options_.env;
   const std::string path = CheckpointPath(generation);
   if (!env->FileExists(path)) return Status::OK();  // Empty baseline.
@@ -98,7 +101,6 @@ Status KvStore::LoadCheckpoint(uint64_t generation) {
   Slice input(data);
   uint64_t count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &count));
-  std::lock_guard<std::mutex> guard(mu_);
   for (uint64_t i = 0; i < count; ++i) {
     std::string key, value;
     RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &key));
@@ -108,7 +110,7 @@ Status KvStore::LoadCheckpoint(uint64_t generation) {
   return Status::OK();
 }
 
-Status KvStore::ReplayWal(uint64_t generation) {
+Status KvStore::ReplayWal(uint64_t generation) REQUIRES(mu_) {
   env::Env* env = options_.env;
   const std::string path = WalPath(generation);
   if (!env->FileExists(path)) return Status::OK();
@@ -120,7 +122,6 @@ Status KvStore::ReplayWal(uint64_t generation) {
   std::unordered_map<txn::TxnId, WriteSet> prepared;
   Slice record;
   std::string scratch;
-  std::lock_guard<std::mutex> guard(mu_);
   while (reader.ReadRecord(&record, &scratch)) {
     Slice input = record;
     if (input.empty()) continue;
@@ -186,7 +187,7 @@ Status KvStore::ReplayWal(uint64_t generation) {
   return Status::OK();
 }
 
-Status KvStore::OpenWalForAppend(uint64_t generation) {
+Status KvStore::OpenWalForAppend(uint64_t generation) REQUIRES(mu_) {
   env::Env* env = options_.env;
   const std::string path = WalPath(generation);
   uint64_t size = 0;
@@ -195,7 +196,7 @@ Status KvStore::OpenWalForAppend(uint64_t generation) {
   }
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
-  wal_ = std::make_unique<wal::LogWriter>(std::move(file), size,
+  wal_ = std::make_shared<wal::LogWriter>(std::move(file), size,
                                           options_.group_commit);
   return Status::OK();
 }
@@ -224,11 +225,13 @@ void KvStore::EncodeWriteSet(txn::TxnId id, const WriteSet& ws,
 }
 
 Status KvStore::LogAndMaybeSync(const std::string& record, bool sync) {
-  // Snapshot the writer pointer under mu_; Checkpoint() swaps wal_.
-  wal::LogWriter* wal = nullptr;
+  // Snapshot the writer under mu_; Checkpoint() swaps wal_. The
+  // shared_ptr keeps the retired writer alive if a checkpoint races
+  // this append.
+  std::shared_ptr<wal::LogWriter> wal;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    wal = wal_.get();
+    MutexLock guard(mu_);
+    wal = wal_;
   }
   if (wal == nullptr) return Status::OK();
   uint64_t end_offset = 0;
@@ -245,7 +248,7 @@ Status KvStore::Put(txn::Transaction* t, const Slice& key,
   RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kExclusive,
                               options_.lock_timeout_micros));
   t->Enlist(this);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   pending_[t->id()].push_back(WriteOp{key.ToString(), value.ToString()});
   return Status::OK();
 }
@@ -254,7 +257,7 @@ Status KvStore::Delete(txn::Transaction* t, const Slice& key) {
   RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kExclusive,
                               options_.lock_timeout_micros));
   t->Enlist(this);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   pending_[t->id()].push_back(WriteOp{key.ToString(), std::nullopt});
   return Status::OK();
 }
@@ -262,7 +265,7 @@ Status KvStore::Delete(txn::Transaction* t, const Slice& key) {
 Result<std::string> KvStore::Get(txn::Transaction* t, const Slice& key) {
   RRQ_RETURN_IF_ERROR(t->Lock(LockKey(key), txn::LockMode::kShared,
                               options_.lock_timeout_micros));
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   // Read own (deferred) writes: scan the write set backwards.
   auto it = pending_.find(t->id());
   if (it != pending_.end()) {
@@ -287,7 +290,7 @@ Result<std::string> KvStore::GetForUpdate(txn::Transaction* t,
 }
 
 Result<std::string> KvStore::GetCommitted(const Slice& key) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto found = data_.find(key.ToString());
   if (found == data_.end()) return Status::NotFound(key.ToString());
   return found->second;
@@ -295,7 +298,7 @@ Result<std::string> KvStore::GetCommitted(const Slice& key) const {
 
 std::vector<std::string> KvStore::ScanKeys(const std::string& prefix) const {
   std::vector<std::string> keys;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto it = data_.lower_bound(prefix);
        it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
        ++it) {
@@ -305,7 +308,7 @@ std::vector<std::string> KvStore::ScanKeys(const std::string& prefix) const {
 }
 
 size_t KvStore::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return data_.size();
 }
 
@@ -314,18 +317,22 @@ size_t KvStore::size() const {
 
 Status KvStore::Prepare(txn::TxnId id) {
   std::string record;
+  bool have_wal = false;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     auto it = pending_.find(id);
     WriteSet ws = it == pending_.end() ? WriteSet{} : std::move(it->second);
     if (it != pending_.end()) pending_.erase(it);
     EncodeWriteSet(id, ws, kRecPrepare, &record);
     prepared_[id] = std::move(ws);
+    // Snapshotted under mu_: Checkpoint() swaps wal_ (the old code read
+    // it unlocked here, racing the swap).
+    have_wal = wal_ != nullptr;
   }
   // Prepared state must survive a crash: sync unconditionally.
-  Status s = LogAndMaybeSync(record, /*sync=*/wal_ != nullptr);
+  Status s = LogAndMaybeSync(record, /*sync=*/have_wal);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     prepared_.erase(id);
     return s;
   }
@@ -337,7 +344,7 @@ Status KvStore::CommitTxn(txn::TxnId id) {
   record.push_back(static_cast<char>(kRecCommit));
   util::PutFixed64(&record, id);
   RRQ_RETURN_IF_ERROR(LogAndMaybeSync(record, options_.sync_commits));
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = prepared_.find(id);
   if (it == prepared_.end()) {
     return Status::Internal("commit of unprepared transaction");
@@ -351,7 +358,7 @@ Status KvStore::PrepareAndCommit(txn::TxnId id) {
   std::string record;
   WriteSet ws;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     auto it = pending_.find(id);
     if (it != pending_.end()) {
       ws = std::move(it->second);
@@ -361,14 +368,14 @@ Status KvStore::PrepareAndCommit(txn::TxnId id) {
   EncodeWriteSet(id, ws, kRecCommitted, &record);
   Status s = LogAndMaybeSync(record, options_.sync_commits);
   if (!s.ok()) return s;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   ApplyLocked(ws);
   return Status::OK();
 }
 
 void KvStore::AbortTxn(txn::TxnId id) {
   // Presumed abort: drop volatile state, log nothing.
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   pending_.erase(id);
   prepared_.erase(id);
 }
@@ -380,7 +387,7 @@ Status KvStore::Checkpoint() {
   if (options_.env == nullptr) return Status::OK();
   env::Env* env = options_.env;
 
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const uint64_t next_gen = generation_ + 1;
 
   // 1. Snapshot committed state.
@@ -397,7 +404,7 @@ Status KvStore::Checkpoint() {
   //    transactions stay resolvable.
   std::unique_ptr<env::WritableFile> file;
   RRQ_RETURN_IF_ERROR(env->NewWritableFile(WalPath(next_gen), &file));
-  auto new_wal = std::make_unique<wal::LogWriter>(std::move(file), 0,
+  auto new_wal = std::make_shared<wal::LogWriter>(std::move(file), 0,
                                                   options_.group_commit);
   for (const auto& [id, ws] : prepared_) {
     std::string record;
@@ -429,17 +436,17 @@ void KvStore::RemoveRetiredFile(const std::string& path) {
 }
 
 uint64_t KvStore::wal_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return wal_ == nullptr ? 0 : wal_->PhysicalSize();
 }
 
 uint64_t KvStore::wal_sync_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return wal_ == nullptr ? 0 : wal_->sync_count();
 }
 
 uint64_t KvStore::wal_sync_request_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return wal_ == nullptr ? 0 : wal_->sync_request_count();
 }
 

@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -17,6 +16,7 @@
 #include "util/result.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/log_writer.h"
 
 namespace rrq::storage {
@@ -110,7 +110,10 @@ class KvStore final : public txn::ResourceManager {
   uint64_t checkpoint_count() const {
     return checkpoints_.load(std::memory_order_relaxed);
   }
-  uint64_t recovered_txn_count() const { return recovered_txns_; }
+  uint64_t recovered_txn_count() const {
+    MutexLock guard(mu_);
+    return recovered_txns_;
+  }
   /// Failed RemoveFile calls on the retirement/GC path (checkpoint
   /// retiring the previous generation, recovery GC). Nonzero means
   /// orphan files may be accumulating; the crash sweep asserts on it.
@@ -134,12 +137,14 @@ class KvStore final : public txn::ResourceManager {
   static void EncodeWriteSet(txn::TxnId id, const WriteSet& ws,
                              unsigned char type, std::string* out);
   Status LogAndMaybeSync(const std::string& record, bool sync);
-  // Applies a write set to committed state. Requires mu_ held.
-  void ApplyLocked(const WriteSet& ws);
+  // Applies a write set to committed state.
+  void ApplyLocked(const WriteSet& ws) REQUIRES(mu_);
   void RemoveRetiredFile(const std::string& path);
-  Status OpenWalForAppend(uint64_t generation);
-  Status LoadCheckpoint(uint64_t generation);
-  Status ReplayWal(uint64_t generation);
+  // Recovery steps, called from Open() which holds mu_ for the whole
+  // durable path.
+  Status OpenWalForAppend(uint64_t generation) REQUIRES(mu_);
+  Status LoadCheckpoint(uint64_t generation) REQUIRES(mu_);
+  Status ReplayWal(uint64_t generation) REQUIRES(mu_);
   std::string WalPath(uint64_t generation) const;
   std::string CheckpointPath(uint64_t generation) const;
   std::string CurrentPath() const;
@@ -148,13 +153,20 @@ class KvStore final : public txn::ResourceManager {
   KvStoreOptions options_;
   bool opened_ = false;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> data_;            // Committed state.
-  std::unordered_map<txn::TxnId, WriteSet> pending_;   // Active write sets.
-  std::unordered_map<txn::TxnId, WriteSet> prepared_;  // Voted yes.
-  uint64_t generation_ = 0;
-  std::unique_ptr<wal::LogWriter> wal_;
-  uint64_t recovered_txns_ = 0;
+  mutable Mutex mu_;
+  // Committed state.
+  std::map<std::string, std::string> data_ GUARDED_BY(mu_);
+  // Active write sets.
+  std::unordered_map<txn::TxnId, WriteSet> pending_ GUARDED_BY(mu_);
+  // Voted yes.
+  std::unordered_map<txn::TxnId, WriteSet> prepared_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  // Swapped by Checkpoint(); committers snapshot the shared_ptr under
+  // mu_ and append outside it (LogWriter is internally synchronized;
+  // the shared_ptr keeps the retired writer alive until the last
+  // in-flight appender drops it).
+  std::shared_ptr<wal::LogWriter> wal_ GUARDED_BY(mu_);
+  uint64_t recovered_txns_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> remove_failures_{0};
   std::atomic<uint64_t> gc_removed_{0};

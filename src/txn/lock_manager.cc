@@ -64,7 +64,7 @@ void LockManager::MaybeEraseEntry(const std::string& key) {
 
 Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode,
                          uint64_t timeout_micros) {
-  std::unique_lock<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   LockEntry& entry = table_[key];
 
   if (IsCompatible(entry, txn, mode)) {
@@ -123,7 +123,7 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode,
       if (h != txn) my_edges.insert(h);
     }
     if (bounded) {
-      if (e.cv.wait_until(guard, deadline) == std::cv_status::timeout &&
+      if (e.cv.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
           !IsCompatible(table_[key], txn, mode)) {
         result = Status::TimedOut("lock wait timed out: " + key);
         break;
@@ -131,7 +131,7 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode,
     } else {
       // Bounded internal wait so new deadlock cycles are re-examined
       // even without an explicit wakeup.
-      e.cv.wait_for(guard, std::chrono::milliseconds(50));
+      e.cv.WaitFor(mu_, std::chrono::milliseconds(50));
     }
   }
 
@@ -152,7 +152,7 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode,
 }
 
 void LockManager::Unlock(TxnId txn, const std::string& key) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return;
   LockEntry& entry = it->second;
@@ -163,12 +163,12 @@ void LockManager::Unlock(TxnId txn, const std::string& key) {
     hit->second.erase(key);
     if (hit->second.empty()) held_.erase(hit);
   }
-  entry.cv.notify_all();
+  entry.cv.SignalAll();
   MaybeEraseEntry(key);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto hit = held_.find(txn);
   if (hit == held_.end()) return;
   for (const std::string& key : hit->second) {
@@ -177,7 +177,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     LockEntry& entry = it->second;
     if (entry.exclusive_holder == txn) entry.exclusive_holder = kInvalidTxnId;
     entry.shared_holders.erase(txn);
-    entry.cv.notify_all();
+    entry.cv.SignalAll();
     MaybeEraseEntry(key);
   }
   held_.erase(hit);
@@ -186,7 +186,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 
 bool LockManager::Holds(TxnId txn, const std::string& key,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return false;
   const LockEntry& entry = it->second;

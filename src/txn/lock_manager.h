@@ -2,10 +2,8 @@
 #define RRQ_TXN_LOCK_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -13,6 +11,7 @@
 
 #include "txn/types.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::txn {
 
@@ -67,22 +66,24 @@ class LockManager {
     // Holders. Either one exclusive holder, or N shared holders.
     std::set<TxnId> shared_holders;
     TxnId exclusive_holder = kInvalidTxnId;
-    std::condition_variable cv;
+    CondVar cv;
     int waiter_count = 0;
   };
 
-  // All private helpers require mu_ held.
-  bool IsCompatible(const LockEntry& entry, TxnId txn, LockMode mode) const;
-  void Grant(LockEntry* entry, TxnId txn, LockMode mode);
-  bool WouldDeadlock(TxnId waiter, const LockEntry& entry) const;
-  void MaybeEraseEntry(const std::string& key);
+  bool IsCompatible(const LockEntry& entry, TxnId txn, LockMode mode) const
+      REQUIRES(mu_);
+  void Grant(LockEntry* entry, TxnId txn, LockMode mode) REQUIRES(mu_);
+  bool WouldDeadlock(TxnId waiter, const LockEntry& entry) const
+      REQUIRES(mu_);
+  void MaybeEraseEntry(const std::string& key) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, LockEntry> table_;
+  mutable Mutex mu_;
+  std::map<std::string, LockEntry> table_ GUARDED_BY(mu_);
   // txn -> keys it holds (for ReleaseAll).
-  std::unordered_map<TxnId, std::unordered_set<std::string>> held_;
+  std::unordered_map<TxnId, std::unordered_set<std::string>> held_
+      GUARDED_BY(mu_);
   // Wait-for edges: waiter -> set of holders it waits on.
-  std::unordered_map<TxnId, std::set<TxnId>> wait_for_;
+  std::unordered_map<TxnId, std::set<TxnId>> wait_for_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> waits_{0};
   std::atomic<uint64_t> wait_micros_{0};

@@ -95,7 +95,7 @@ Status TransactionManager::Open() {
     wal::LogReader reader(std::move(file));
     Slice record;
     std::string scratch;
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     while (reader.ReadRecord(&record, &scratch)) {
       if (record.size() != 9) continue;  // type + fixed64 id
       unsigned char type = static_cast<unsigned char>(record[0]);
@@ -127,7 +127,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 }
 
 bool TransactionManager::WasCommitted(TxnId id) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return committed_.count(id) > 0;
 }
 
@@ -192,7 +192,7 @@ Status TransactionManager::CommitInternal(Transaction* t) {
       return Status::Aborted("decision logging failed: " +
                              std::string(s.message()));
     }
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     committed_.insert(t->id_);
   }
 
@@ -214,7 +214,7 @@ Status TransactionManager::CommitInternal(Transaction* t) {
   {
     // All participants answered; the decision can be forgotten.
     LogDecision(kDecisionForget, t->id_, /*sync=*/false);
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     committed_.erase(t->id_);
   }
 

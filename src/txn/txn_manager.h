@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "txn/types.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wal/log_writer.h"
 
 namespace rrq::txn {
@@ -137,8 +137,13 @@ class TransactionManager {
   uint16_t epoch_ = 0;
   bool opened_ = false;
 
-  mutable std::mutex mu_;
-  std::unordered_set<TxnId> committed_;  // Decided, not yet forgotten.
+  mutable Mutex mu_;
+  // Decided, not yet forgotten.
+  std::unordered_set<TxnId> committed_ GUARDED_BY(mu_);
+  // Created once by Open() before any concurrent use and never swapped
+  // afterwards (unlike KvStore's wal_ there is no checkpoint that
+  // replaces it), so reads need no lock; LogWriter itself is
+  // internally synchronized.
   std::unique_ptr<wal::LogWriter> decision_log_;
 
   std::atomic<uint64_t> commits_{0};

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace rrq::util {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,7 +38,7 @@ void LogMessage(LogLevel level, const char* file, int line,
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> guard(g_log_mutex);
+  MutexLock guard(g_log_mutex);
   fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), base, line, msg.c_str());
 }
 

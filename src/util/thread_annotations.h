@@ -1,0 +1,246 @@
+#ifndef RRQ_UTIL_THREAD_ANNOTATIONS_H_
+#define RRQ_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis support for the whole tree.
+//
+// Every mutex-guarded field in the codebase carries a GUARDED_BY
+// annotation, every helper that must run under a lock carries
+// REQUIRES, and every public entry point that takes a lock internally
+// carries EXCLUDES. Under clang with -Wthread-safety (the
+// RRQ_THREAD_SAFETY=ON CMake path, enforced in CI with
+// -Werror=thread-safety) violations of the locking discipline are
+// compile errors; under gcc the macros expand to nothing and the
+// wrappers below compile down to the plain std primitives.
+//
+// This is the only file in src/ allowed to name std::mutex,
+// std::shared_mutex, std::lock_guard, std::unique_lock, or
+// std::condition_variable directly — scripts/check_invariants.sh
+// enforces that. Everything else uses rrq::Mutex / rrq::MutexLock /
+// rrq::CondVar (and rrq::SharedMutex where reader concurrency pays).
+//
+// See DESIGN.md §11 for the lock hierarchy and the rules for
+// extending the annotations.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RRQ_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RRQ_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) RRQ_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY RRQ_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) RRQ_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) RRQ_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) RRQ_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) RRQ_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RRQ_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace rrq {
+
+class CondVar;
+
+/// Annotated wrapper around std::mutex. The analysis tracks it as a
+/// capability: fields declared GUARDED_BY(mu_) may only be touched
+/// while mu_ is held, and functions declared REQUIRES(mu_) may only be
+/// called with it held.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis, not the runtime) that the calling
+  /// context holds this mutex when the fact cannot be proven
+  /// intra-procedurally. Use sparingly; prefer REQUIRES.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over rrq::Mutex, relockable: Unlock()/Lock() allow
+/// the leader/follower patterns (drop the lock across a physical sync,
+/// reacquire after) while keeping the analysis informed.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before a blocking syscall). The destructor
+  /// becomes a no-op unless Lock() reacquires first.
+  void Unlock() RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  /// Reacquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Annotated reader/writer lock. The analysis distinguishes shared
+/// acquisition (concurrent readers of GUARDED_BY fields) from
+/// exclusive acquisition (a lone writer).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) lock over rrq::SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over rrq::SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to rrq::Mutex at each wait site. Waits are
+/// annotated REQUIRES(mu): from the analysis's point of view the lock
+/// is held across the wait (it is released and reacquired inside, which
+/// the analysis need not see).
+///
+/// Predicate re-checking is the caller's job — use the standard loop:
+///
+///   rrq::MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// (A predicate-lambda overload would defeat the analysis: the lambda
+/// body is analyzed as a separate function that cannot prove the lock
+/// is held, so every guarded read inside it would warn.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  /// Returns std::cv_status::timeout when the deadline passed (the
+  /// caller re-checks its predicate either way).
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rrq
+
+#endif  // RRQ_UTIL_THREAD_ANNOTATIONS_H_

@@ -17,7 +17,7 @@ LogWriter::LogWriter(std::unique_ptr<env::WritableFile> dest,
       durable_offset_(initial_offset) {}
 
 Status LogWriter::AddRecord(const Slice& record, uint64_t* end_offset) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const char* ptr = record.data();
   size_t left = record.size();
 
@@ -87,10 +87,10 @@ Status LogWriter::SyncTo(uint64_t offset) {
     // serialized. This is the baseline group commit is measured
     // against.
     sync_requests_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> guard(sync_mu_);
+    MutexLock guard(sync_mu_);
     uint64_t target;
     {
-      std::lock_guard<std::mutex> append_guard(mu_);
+      MutexLock append_guard(mu_);
       target = physical_size_;
     }
     RRQ_RETURN_IF_ERROR(dest_->Flush());
@@ -100,50 +100,50 @@ Status LogWriter::SyncTo(uint64_t offset) {
     return Status::OK();
   }
 
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   if (durable_offset_ >= offset) return Status::OK();  // Already covered.
   sync_requests_.fetch_add(1, std::memory_order_relaxed);
   while (true) {
     if (durable_offset_ >= offset) return Status::OK();  // Leader covered us.
     if (!sync_in_progress_) break;
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(sync_mu_);
   }
 
   // Become the sync leader. The physical sync runs without sync_mu_ so
   // new committers can append and queue up behind this round.
   sync_in_progress_ = true;
-  lock.unlock();
+  lock.Unlock();
 
   // Snapshot the append frontier first: the sync below covers at least
   // these bytes (it may cover more — that only over-delivers
   // durability, which is always safe for a redo-only log).
   uint64_t target;
   {
-    std::lock_guard<std::mutex> append_guard(mu_);
+    MutexLock append_guard(mu_);
     target = physical_size_;
   }
   Status s = dest_->Flush();
   if (s.ok()) s = dest_->Sync();
 
-  lock.lock();
+  lock.Lock();
   sync_in_progress_ = false;
   if (s.ok()) {
     physical_syncs_.fetch_add(1, std::memory_order_relaxed);
     if (target > durable_offset_) durable_offset_ = target;
   }
-  sync_cv_.notify_all();
+  sync_cv_.SignalAll();
   return s;
 }
 
 Status LogWriter::Sync() { return SyncTo(PhysicalSize()); }
 
 uint64_t LogWriter::PhysicalSize() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return physical_size_;
 }
 
 uint64_t LogWriter::durable_offset() const {
-  std::lock_guard<std::mutex> guard(sync_mu_);
+  MutexLock guard(sync_mu_);
   return durable_offset_;
 }
 

@@ -2,13 +2,12 @@
 #define RRQ_WAL_LOG_WRITER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "env/env.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::wal {
 
@@ -82,23 +81,27 @@ class LogWriter {
   }
 
  private:
-  Status EmitPhysicalRecord(unsigned char type, const char* ptr, size_t n);
-  // Flush+Sync the file and advance the watermark to (at least) the
-  // physical size observed on entry. Called without locks held.
-  Status PhysicalSync();
+  Status EmitPhysicalRecord(unsigned char type, const char* ptr, size_t n)
+      REQUIRES(mu_);
 
+  // dest_ itself is deliberately unguarded: Append runs under mu_ while
+  // the sync leader calls Flush/Sync concurrently with no lock held —
+  // the WritableFile contract allows an append racing a sync (the sync
+  // then covers at least the bytes visible when it started).
   std::unique_ptr<env::WritableFile> dest_;
   const bool group_commit_;
-  mutable std::mutex mu_;  // Serializes appends; guards physical_size_.
-  int block_offset_;       // Current offset within the current block.
-  uint64_t physical_size_;
+  mutable Mutex mu_;  // Serializes appends; guards physical_size_.
+  // Current offset within the current block.
+  int block_offset_ GUARDED_BY(mu_);
+  uint64_t physical_size_ GUARDED_BY(mu_);
 
-  // Group-commit state. sync_mu_ is ordered after mu_ and never held
-  // across the physical sync itself.
-  mutable std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  bool sync_in_progress_ = false;
-  uint64_t durable_offset_;
+  // Group-commit state. Lock order: sync_mu_ before mu_ (the per-op
+  // sync path snapshots the append frontier while holding sync_mu_);
+  // sync_mu_ is never held across the physical sync itself.
+  mutable Mutex sync_mu_ ACQUIRED_BEFORE(mu_);
+  CondVar sync_cv_;
+  bool sync_in_progress_ GUARDED_BY(sync_mu_) = false;
+  uint64_t durable_offset_ GUARDED_BY(sync_mu_);
 
   std::atomic<uint64_t> physical_syncs_{0};
   std::atomic<uint64_t> sync_requests_{0};

@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -582,7 +584,7 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
                    [](const Slice& request, std::string* reply) {
                      if (request.ToString().rfind("slow", 0) == 0) {
                        std::this_thread::sleep_for(
-                           std::chrono::milliseconds(250));
+                           std::chrono::milliseconds(2000));
                      }
                      reply->assign("done:" + request.ToString());
                      return Status::OK();
@@ -590,7 +592,11 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
   ASSERT_TRUE(server.Start().ok());
 
   TcpChannelOptions options = ChannelTo(server.port());
-  options.call_timeout_micros = 60'000;
+  // Far above a sanitized-build round trip — full-suite ASan runs on
+  // the 1-core CI box showed a legitimate fast call can take over
+  // 200ms under scheduler starvation — and far below the slow
+  // handler's 2s, so only the slow calls expire.
+  options.call_timeout_micros = 500'000;
   TcpChannel channel(options);
 
   constexpr int kSlow = 3;
@@ -605,18 +611,25 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
     });
   }
   // Interleaved fast traffic on the same channel while the slow calls
-  // are parked server-side.
+  // are parked server-side. Join before any fatal assertion: an early
+  // ASSERT return with joinable threads would terminate() and bury
+  // the failure message.
+  std::vector<Status> fast(10);
+  std::vector<std::string> fast_replies(10);
   for (int i = 0; i < 10; ++i) {
-    std::string reply;
-    ASSERT_TRUE(channel.Call("fast" + std::to_string(i), &reply).ok());
-    ASSERT_EQ(reply, "done:fast" + std::to_string(i));
+    fast[static_cast<size_t>(i)] =
+        channel.Call("fast" + std::to_string(i), &fast_replies[i]);
   }
   for (auto& t : slow_calls) t.join();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fast[i].ok()) << i << ": " << fast[i].ToString();
+    ASSERT_EQ(fast_replies[i], "done:fast" + std::to_string(i));
+  }
   EXPECT_EQ(expiries_seen.load(), kSlow);
   EXPECT_EQ(channel.deadline_expiries(), static_cast<uint64_t>(kSlow));
 
   // Every straggler arrives and is discarded — no more, no fewer.
-  for (int i = 0; i < 500 && channel.late_replies() < kSlow; ++i) {
+  for (int i = 0; i < 1000 && channel.late_replies() < kSlow; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_EQ(channel.late_replies(), static_cast<uint64_t>(kSlow));
@@ -625,6 +638,93 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
   EXPECT_EQ(reply, "done:after");
   EXPECT_EQ(channel.late_replies(), static_cast<uint64_t>(kSlow));
   EXPECT_EQ(channel.connects(), 1u);
+}
+
+TEST(TcpTransportTest, ConcurrentRetriesAfterConnectionLossAllRecover) {
+  // Regression test for a reconnect-race deadlock. When a v2
+  // connection dies, the reader fails every pending call BEFORE it
+  // announces its exit via reader_done_, so the failed callers retry
+  // immediately and pile up inside EnsureConnectedLocked() waiting for
+  // the old reader. The first waiter to wake joined it, reconnected,
+  // and reset reader_done_ for the NEW reader — and any second waiter
+  // that re-tested only reader_done_ went back to sleep waiting for a
+  // healthy connection to fail, i.e. forever. ASan/TSan runs of
+  // clerk_pool_exactly_once_test hit exactly that hang. The fix
+  // re-checks sock_ on every wakeup; this test drives many rounds of
+  // the race and hangs (ctest timeout) without it.
+  // The server stays up the whole time — the winner's reconnect must
+  // SUCCEED (and reset reader_done_) for the loser to strand.
+  TcpServer server({}, [](const Slice& request, std::string* reply) {
+    reply->assign(request.ToString());
+    return Status::OK();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions options = ChannelTo(server.port());
+  options.max_connect_attempts = 5;
+  TcpChannel channel(options);
+  std::string warm;
+  ASSERT_TRUE(channel.Call("warm", &warm).ok());
+
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> successes{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&channel, &stop, &successes] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        struct Waiter {
+          std::mutex mu;
+          std::condition_variable cv;
+          bool done = false;
+          Status status;
+        } w;
+        channel.CallAsync("r", [&w](Status s, std::string) {
+          const bool failed = !s.ok();
+          {
+            std::lock_guard<std::mutex> lock(w.mu);
+            w.done = true;
+            w.status = std::move(s);
+            // Notify under the lock: the caller frees the waiter the
+            // moment it wakes, and a notify outside the lock could
+            // still be touching the cv when that happens.
+            w.cv.notify_one();
+          }
+          // Teardown fires failure callbacks on the demux reader
+          // BEFORE it announces its exit. Dawdling here after waking
+          // the caller guarantees the caller's instant retry reaches
+          // the reconnect path first — the pile-up that stranded
+          // waiters. (Touches nothing after notify: the caller frees
+          // the waiter as soon as it wakes.)
+          if (failed) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        });
+        std::unique_lock<std::mutex> lock(w.mu);
+        w.cv.wait(lock, [&w] { return w.done; });
+        if (w.status.ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    channel.BreakConnectionForTest();
+  }
+
+  // Every caller must still be making progress after the last break;
+  // a stranded caller would hang the join (and trip the ctest
+  // timeout), which is precisely the pre-fix failure mode.
+  const uint64_t before = successes.load();
+  for (int i = 0; i < 1000 && successes.load() < before + kCallers; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(successes.load(), before + kCallers);
+  stop.store(true);
+  for (auto& th : callers) th.join();
+  EXPECT_GT(successes.load(), 0u);
 }
 
 TEST(TcpTransportTest, SequentialConnectionChurnDoesNotLeak) {

@@ -1,0 +1,180 @@
+// Tests for the annotated synchronization wrappers every subsystem
+// locks through (util/thread_annotations.h): the runtime semantics the
+// wrappers must preserve over the std primitives — mutual exclusion,
+// CV wait/notify with the LevelDB-style adopt/release dance, deadline
+// waits, try-lock, early-unlock/relock, and reader/writer sharing.
+// (The *annotations* themselves are exercised at compile time by the
+// RRQ_THREAD_SAFETY=ON clang CI job; under gcc they are no-ops.)
+#include "util/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rrq {
+namespace {
+
+TEST(MutexTest, MutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLock) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Contended try-lock must fail, not block. std::mutex makes
+  // same-thread re-try-lock UB, so probe from another thread.
+  bool acquired = true;
+  std::thread prober([&mu, &acquired] { acquired = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, ScopedUnlockRelock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.Unlock();  // e.g. dropping the lock across a physical sync
+  {
+    MutexLock reentrant(mu);  // must not deadlock: lock really released
+  }
+  lock.Lock();  // destructor unlocks again
+}
+
+TEST(CondVarTest, WaitSignal) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.Signal();
+  waiter.join();
+}
+
+TEST(CondVarTest, SignalAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.SignalAll();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitUntilTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(20);
+  // Nobody signals: the deadline must fire and the lock must still be
+  // held afterwards (guarded state stays accessible).
+  EXPECT_EQ(cv.WaitUntil(mu, deadline), std::cv_status::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVarTest, WaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_EQ(cv.WaitFor(mu, std::chrono::milliseconds(10)),
+            std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitReleasesLockWhileBlocked) {
+  // The adopt/release dance inside Wait() must actually release the
+  // mutex while blocked — otherwise the signaler below would deadlock
+  // trying to set the predicate.
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  });
+  // Keep signaling until the waiter observes the predicate; acquiring
+  // mu here proves Wait() released it.
+  bool done = false;
+  while (!done) {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.Signal();
+    std::this_thread::yield();
+    done = true;
+  }
+  waiter.join();
+}
+
+TEST(SharedMutexTest, ConcurrentReadersExclusiveWriter) {
+  SharedMutex mu;
+  int value = 0;
+  // Two readers hold the lock shared at once; a writer excludes both.
+  {
+    ReaderMutexLock r1(mu);
+    bool second_reader_ok = false;
+    std::thread t([&mu, &second_reader_ok] {
+      ReaderMutexLock r2(mu);  // must not block on r1
+      second_reader_ok = true;
+    });
+    t.join();
+    EXPECT_TRUE(second_reader_ok);
+  }
+  constexpr int kWriters = 4;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&mu, &value] {
+      for (int i = 0; i < kIters; ++i) {
+        WriterMutexLock lock(mu);
+        ++value;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  WriterMutexLock lock(mu);
+  EXPECT_EQ(value, kWriters * kIters);
+}
+
+}  // namespace
+}  // namespace rrq
