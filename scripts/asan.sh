@@ -4,7 +4,10 @@
 # recovery and transport paths are prone to (buffers handed to the WAL,
 # retired LogWriters with in-flight appenders, connection teardown);
 # UBSan covers the varint/CRC decode paths that parse untrusted bytes
-# (shifts, overflow, misaligned loads). Usage: scripts/asan.sh
+# (shifts, overflow, misaligned loads). The full suite includes the
+# replication pipeline (tests/repl/ + replicated_failover_test), whose
+# wire decoders and applier also parse untrusted input.
+# Usage: scripts/asan.sh
 # [ctest -R regex]. CXX/CC are honored (e.g. CXX=clang++-18
 # scripts/asan.sh).
 set -euo pipefail

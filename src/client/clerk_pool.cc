@@ -31,6 +31,7 @@ ClerkPool::ClerkPool(ClerkPoolOptions options)
         std::make_unique<ReliableClient>(std::move(rc), ReplyProcessor());
     slots_.push_back(std::move(slot));
   }
+  busy_.assign(slots_.size(), false);
 }
 
 ClerkPool::~ClerkPool() {
@@ -82,6 +83,47 @@ Status ClerkPool::Stop() {
 
 Result<std::string> ClerkPool::Execute(size_t i, const Slice& request) {
   return slots_[i]->reliable->Execute(request);
+}
+
+size_t ClerkPool::ClaimSlot() {
+  MutexLock lock(slots_mu_);
+  for (;;) {
+    for (size_t i = 0; i < busy_.size(); ++i) {
+      if (!busy_[i]) {
+        busy_[i] = true;
+        return i;
+      }
+    }
+    slot_free_cv_.Wait(slots_mu_);
+  }
+}
+
+void ClerkPool::ReleaseSlot(size_t i) {
+  {
+    MutexLock lock(slots_mu_);
+    busy_[i] = false;
+  }
+  slot_free_cv_.Signal();
+}
+
+Result<std::string> ClerkPool::Execute(const Slice& request) {
+  const size_t i = ClaimSlot();
+  Result<std::string> r = slots_[i]->reliable->Execute(request);
+  ReleaseSlot(i);
+  return r;
+}
+
+Status ClerkPool::Repoint(const std::string& host, uint16_t port) {
+  // Retargeting is all that happens eagerly, because clerk sessions
+  // are *durable* state the backup replicated: registrations and
+  // remembered rids are already there. A slot mid-Execute when the
+  // primary died recovers through Execute's own reconnect loop (now
+  // against the new target — touching its ReliableClient here would
+  // race with that); an idle slot's next call reconnects the channel
+  // transparently. Callers driving raw TransceiveAsync resolve their
+  // in-doubt ops with ResynchronizeAll, as always.
+  channel_.SetTarget(host, port);
+  return Status::OK();
 }
 
 void ClerkPool::TransceiveAsync(

@@ -15,6 +15,7 @@
 #include "util/result.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rrq::client {
 
@@ -98,6 +99,22 @@ class ClerkPool {
   /// across daemon kills. One logical caller per slot.
   Result<std::string> Execute(size_t i, const Slice& request);
 
+  /// Load-balanced reliable execution: claims any currently-free slot
+  /// (lowest index first), runs Execute on it, and releases it.
+  /// Blocks while every slot is busy, so any number of caller threads
+  /// can share the pool — the pool itself becomes the paper's
+  /// many-callers-few-sessions funnel. Safe to mix with per-slot
+  /// Execute only for slots those callers own exclusively.
+  Result<std::string> Execute(const Slice& request);
+
+  /// Repoints the pool's channel at another daemon (a promoted
+  /// backup). Clerk sessions are durable state the backup replicated,
+  /// so nothing per-slot happens eagerly: in-flight Executes recover
+  /// through their own reconnect loops against the new target, and
+  /// idle slots reconnect on next use. Safe to call while every slot
+  /// is mid-Execute — that is the failover scenario it exists for.
+  Status Repoint(const std::string& host, uint16_t port);
+
   /// Raw pipelined Transceive on slot i's clerk (no recovery). See
   /// Clerk::TransceiveAsync for `overlap_receive`.
   void TransceiveAsync(size_t i, const Slice& request, const std::string& rid,
@@ -138,11 +155,20 @@ class ClerkPool {
     std::atomic<uint64_t> deadline_expiries{0};
   };
 
+  // Claims the lowest free slot for pool-level Execute (blocks while
+  // all are busy); ReleaseSlot returns it and wakes one waiter.
+  size_t ClaimSlot();
+  void ReleaseSlot(size_t i);
+
   ClerkPoolOptions options_;
   net::TcpChannel channel_;
   net::ChannelQueueApi api_;
   std::vector<std::unique_ptr<Slot>> slots_;
   bool started_ = false;
+
+  Mutex slots_mu_;
+  CondVar slot_free_cv_;
+  std::vector<bool> busy_ GUARDED_BY(slots_mu_);
 };
 
 }  // namespace rrq::client

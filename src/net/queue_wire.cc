@@ -51,6 +51,30 @@ Status DecodeQueueOptions(Slice* input, queue::QueueOptions* options) {
   return Status::OK();
 }
 
+void EncodeReplStatusInfo(const ReplStatusInfo& info, std::string* out) {
+  util::PutLengthPrefixed(out, info.role);
+  util::PutLengthPrefixed(out, info.state);
+  util::PutFixed64(out, info.stream_id);
+  util::PutFixed64(out, info.acked_seq);
+  util::PutFixed64(out, info.head_seq);
+  util::PutFixed64(out, info.reconnects);
+  out->push_back(info.promoted ? 1 : 0);
+  util::PutLengthPrefixed(out, info.last_error);
+}
+
+Status DecodeReplStatusInfo(Slice* input, ReplStatusInfo* info) {
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &info->role));
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &info->state));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &info->stream_id));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &info->acked_seq));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &info->head_seq));
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, &info->reconnects));
+  if (input->empty()) return Status::Corruption("truncated repl status");
+  info->promoted = (*input)[0] != 0;
+  input->remove_prefix(1);
+  return util::GetLengthPrefixedString(input, &info->last_error);
+}
+
 bool QueueRequestMayBlock(const Slice& request) {
   Slice input = request;
   if (input.empty() ||
@@ -81,6 +105,29 @@ Status QueueServiceDispatcher::Handle(const Slice& request,
 
   std::string queue;
   RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(&input, &queue));
+
+  // An unpromoted backup refuses mutations but keeps serving reads
+  // and admin ops, so clerks probing a not-yet-promoted daemon get a
+  // clean verdict instead of divergent state.
+  if (write_gate_) {
+    switch (op) {
+      case kOpRegister:
+      case kOpDeregister:
+      case kOpEnqueue:
+      case kOpDequeue:
+      case kOpKill:
+      case kOpCreateQueue: {
+        Status gate = write_gate_();
+        if (!gate.ok()) {
+          EncodeStatus(gate, reply);
+          return Status::OK();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
 
   switch (op) {
     case kOpRegister: {
@@ -155,6 +202,25 @@ Status QueueServiceDispatcher::Handle(const Slice& request,
       auto r = repo_->Depth(queue);
       EncodeStatus(r.status(), reply);
       if (r.ok()) util::PutFixed64(reply, *r);
+      return Status::OK();
+    }
+    case kOpReplStatus: {
+      ReplStatusInfo info;
+      if (repl_status_fn_) {
+        info = repl_status_fn_();
+      } else {
+        info.role = "standalone";
+        info.state = "none";
+      }
+      EncodeStatus(Status::OK(), reply);
+      EncodeReplStatusInfo(info, reply);
+      return Status::OK();
+    }
+    case kOpPromote: {
+      Status s = promote_fn_
+                     ? promote_fn_()
+                     : Status::FailedPrecondition("daemon is not a backup");
+      EncodeStatus(s, reply);
       return Status::OK();
     }
     default:
@@ -396,6 +462,26 @@ Result<size_t> ChannelQueueApi::Depth(const std::string& queue) {
   uint64_t depth = 0;
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &depth));
   return static_cast<size_t>(depth);
+}
+
+Result<ReplStatusInfo> ChannelQueueApi::ReplicationStatus() {
+  std::string request;
+  request.push_back(static_cast<char>(kOpReplStatus));
+  util::PutLengthPrefixed(&request, "");
+  std::string payload;
+  RRQ_RETURN_IF_ERROR(CallService(request, &payload));
+  Slice input(payload);
+  ReplStatusInfo info;
+  RRQ_RETURN_IF_ERROR(DecodeReplStatusInfo(&input, &info));
+  return info;
+}
+
+Status ChannelQueueApi::Promote() {
+  std::string request;
+  request.push_back(static_cast<char>(kOpPromote));
+  util::PutLengthPrefixed(&request, "");
+  std::string payload;
+  return CallService(request, &payload);
 }
 
 }  // namespace rrq::net

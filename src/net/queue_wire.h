@@ -31,6 +31,33 @@ constexpr unsigned char kOpKill = 6;
 // reply queues on the daemon and to observe depths.
 constexpr unsigned char kOpCreateQueue = 7;
 constexpr unsigned char kOpDepth = 8;
+// Replication admin ops (PR 9): observe the shipping pipeline and
+// promote a backup to primary. Both carry an empty queue-name field so
+// every request keeps the [op][queue][fields] shape.
+constexpr unsigned char kOpReplStatus = 9;
+constexpr unsigned char kOpPromote = 10;
+
+/// Snapshot of a daemon's replication posture, served by kOpReplStatus
+/// (both roles answer it; fields that don't apply are empty/zero).
+struct ReplStatusInfo {
+  /// "primary" | "backup" | "standalone".
+  std::string role;
+  /// Sender pipeline state on a primary ("shipping", "snapshot", ...);
+  /// "applying" / "promoted" on a backup.
+  std::string state;
+  uint64_t stream_id = 0;
+  /// Primary: highest sequence the backup acked. Backup: its applied
+  /// watermark.
+  uint64_t acked_seq = 0;
+  /// Primary: newest sequence produced. Backup: equal to acked_seq.
+  uint64_t head_seq = 0;
+  uint64_t reconnects = 0;
+  bool promoted = false;
+  std::string last_error;
+};
+
+void EncodeReplStatusInfo(const ReplStatusInfo& info, std::string* out);
+Status DecodeReplStatusInfo(Slice* input, ReplStatusInfo* info);
 
 void EncodeElement(const queue::Element& e, std::string* out);
 Status DecodeElement(Slice* input, queue::Element* e);
@@ -72,8 +99,30 @@ class QueueServiceDispatcher {
   /// `*reply`.
   Status Handle(const Slice& request, std::string* reply);
 
+  // ---- Replication hooks (all optional; set before serving) ----------
+
+  /// Serves kOpReplStatus. Unset: the op reports a standalone daemon.
+  void set_replication_status_fn(std::function<ReplStatusInfo()> fn) {
+    repl_status_fn_ = std::move(fn);
+  }
+  /// Serves kOpPromote. Unset: the op fails FailedPrecondition (only a
+  /// backup can be promoted).
+  void set_promote_fn(std::function<Status()> fn) {
+    promote_fn_ = std::move(fn);
+  }
+  /// Consulted before every state-mutating op (register, enqueue,
+  /// dequeue, kill, create). A non-OK return is sent to the client as
+  /// the op's status — how an unpromoted backup refuses writes while
+  /// still answering reads and admin ops. Must be thread-safe.
+  void set_write_gate(std::function<Status()> gate) {
+    write_gate_ = std::move(gate);
+  }
+
  private:
   queue::QueueRepository* repo_;
+  std::function<ReplStatusInfo()> repl_status_fn_;
+  std::function<Status()> promote_fn_;
+  std::function<Status()> write_gate_;
 };
 
 /// queue::QueueApi over any Channel speaking the byte protocol — the
@@ -130,6 +179,11 @@ class ChannelQueueApi final : public queue::QueueApi {
   Status CreateQueue(const std::string& queue,
                      const queue::QueueOptions& options = {});
   Result<size_t> Depth(const std::string& queue);
+  /// Replication posture of the daemon (either role).
+  Result<ReplStatusInfo> ReplicationStatus();
+  /// Promotes a backup daemon to primary (idempotent; the daemon
+  /// starts accepting writes and refuses further replication).
+  Status Promote();
 
  private:
   Status CallService(const std::string& request, std::string* payload,

@@ -10,6 +10,8 @@
 //   rrqd --dir /var/lib/rrqd [--host 127.0.0.1] [--port 0]
 //        [--threads 2] [--workers N] [--request-queue requests]
 //        [--no-server]
+//        [--role primary|backup] [--replicate-to H:P] [--repl-port P]
+//        [--repl-mode async|ack] [--audit-queue NAME]
 //
 // --workers sizes the TCP handler pool (0 = hardware concurrency):
 // that many queue-service requests execute in parallel, their commits
@@ -24,6 +26,20 @@
 // "done:<rid>:<count>" — so a post-mortem inspection of the store
 // reveals exactly how many times each request executed, which is what
 // the cross-process exactly-once test verifies.
+//
+// Replication (PR 9): "--role primary --replicate-to H:P" ships every
+// committed record to the backup daemon's replication listener at
+// H:P; "--repl-mode ack" additionally holds each commit's visibility
+// until the backup acknowledges it (semi-synchronous — the local
+// commit stands and the error surfaces if the backup is unreachable).
+// "--role backup --repl-port P" serves the replication protocol on a
+// second listener (announced as "rrqd: repl listening on <host>:<port>")
+// and refuses client writes until a Promote admin op arrives; the
+// demo server is only started at promotion, against the replicated
+// state. --audit-queue makes the demo server enqueue
+// "exec:<rid>:<count>" into that queue atomically with each
+// execution, giving failover tests a replicated audit trail of
+// exactly which requests executed.
 
 #include <unistd.h>
 
@@ -41,9 +57,14 @@
 #include "net/tcp_transport.h"
 #include "queue/envelope.h"
 #include "queue/queue_repository.h"
+#include "repl/replica_applier.h"
+#include "repl/replication_log.h"
+#include "repl/replication_sender.h"
 #include "server/server.h"
 #include "storage/kv_store.h"
 #include "txn/txn_manager.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace {
 
@@ -56,11 +77,30 @@ void Usage(const char* argv0) {
                "usage: %s --dir <state-dir> [--host H] [--port P] "
                "[--threads N] [--workers N] [--shards N] "
                "[--request-queue NAME] [--no-server]\n"
+               "  [--role primary|backup] [--replicate-to H:P] "
+               "[--repl-port P] [--repl-mode async|ack] "
+               "[--audit-queue NAME]\n"
                "  --shards N  queue-repository shards (per-shard WAL "
                "streams; 0 = hardware concurrency).\n"
                "              An existing --dir keeps its on-disk shard "
-               "count.\n",
+               "count.\n"
+               "  --role primary requires --replicate-to; --role backup "
+               "serves replication on --repl-port\n"
+               "              and refuses writes until promoted.\n",
                argv0);
+}
+
+// "host:port" -> (host, port). False on malformed input.
+bool ParseHostPort(const std::string& in, std::string* host, uint16_t* port) {
+  const size_t colon = in.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= in.size()) {
+    return false;
+  }
+  const long p = std::strtol(in.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  *host = in.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
 }
 
 }  // namespace
@@ -71,11 +111,16 @@ int main(int argc, char** argv) {
   std::string dir;
   std::string host = "127.0.0.1";
   std::string request_queue = "requests";
+  std::string audit_queue;
+  std::string role = "standalone";
+  std::string replicate_to;
   int port = 0;
+  int repl_port = 0;
   int threads = 1;
   int workers = 0;  // 0 = hardware concurrency
   int shards = 0;   // 0 = hardware concurrency
   bool run_server = true;
+  bool repl_ack = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,16 +145,47 @@ int main(int argc, char** argv) {
       shards = std::atoi(next());
     } else if (arg == "--request-queue") {
       request_queue = next();
+    } else if (arg == "--audit-queue") {
+      audit_queue = next();
     } else if (arg == "--no-server") {
       run_server = false;
+    } else if (arg == "--role") {
+      role = next();
+    } else if (arg == "--replicate-to") {
+      replicate_to = next();
+    } else if (arg == "--repl-port") {
+      repl_port = std::atoi(next());
+    } else if (arg == "--repl-mode") {
+      const std::string mode = next();
+      if (mode == "ack") {
+        repl_ack = true;
+      } else if (mode == "async") {
+        repl_ack = false;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return 2;
     }
   }
-  if (dir.empty() || port < 0 || port > 65535 || threads < 1 || workers < 0 ||
-      shards < 0) {
+  if (dir.empty() || port < 0 || port > 65535 || repl_port < 0 ||
+      repl_port > 65535 || threads < 1 || workers < 0 || shards < 0) {
     Usage(argv[0]);
+    return 2;
+  }
+  if (role != "standalone" && role != "primary" && role != "backup") {
+    Usage(argv[0]);
+    return 2;
+  }
+  const bool is_primary = role == "primary";
+  const bool is_backup = role == "backup";
+  std::string backup_host;
+  uint16_t backup_port = 0;
+  if (is_primary &&
+      !ParseHostPort(replicate_to, &backup_host, &backup_port)) {
+    std::fprintf(stderr, "rrqd: --role primary needs --replicate-to H:P\n");
     return 2;
   }
 
@@ -134,6 +210,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Primary role: every commit's record is appended to the in-memory
+  // replication log, which the sender drains to the backup. In ack
+  // mode the sink also blocks (bounded) until the backup acknowledged
+  // the record — but only once the sender is running, so boot-time
+  // commits (queue provisioning, recovery side effects) don't stall
+  // against a backup that isn't connected yet.
+  repl::ReplicationLog repl_log;
+  std::atomic<bool> ack_gate{false};
+  constexpr uint64_t kAckTimeoutMicros = 5'000'000;
+
   queue::RepositoryOptions repo_options;
   repo_options.env = env;
   repo_options.dir = dir + "/qm";
@@ -141,15 +227,43 @@ int main(int argc, char** argv) {
   repo_options.in_doubt_resolver = [&txn_mgr](txn::TxnId id) {
     return txn_mgr.WasCommitted(id);
   };
+  if (is_primary) {
+    repo_options.replication_sink = [&repl_log, &ack_gate,
+                                     repl_ack](const Slice& record) {
+      const uint64_t seq = repl_log.Append(record.ToString());
+      if (repl_ack && ack_gate.load(std::memory_order_acquire)) {
+        return repl_log.WaitAcked(seq, kAckTimeoutMicros);
+      }
+      return Status::OK();
+    };
+  }
   queue::QueueRepository repo("qm", repo_options);
   if (Status s = repo.Open(); !s.ok()) {
     std::fprintf(stderr, "rrqd: repository: %s\n", s.ToString().c_str());
     return 1;
   }
-  if (Status s = repo.CreateQueue(request_queue);
-      !s.ok() && !s.IsAlreadyExists()) {
-    std::fprintf(stderr, "rrqd: create queue: %s\n", s.ToString().c_str());
-    return 1;
+  // A backup must stay empty until the primary seeds it (the applier
+  // refuses to adopt a stream into a non-empty repository), so its
+  // queues are only provisioned at promotion — and usually arrive
+  // from the primary's snapshot anyway.
+  auto provision_queues = [&]() -> Status {
+    if (Status s = repo.CreateQueue(request_queue);
+        !s.ok() && !s.IsAlreadyExists()) {
+      return s;
+    }
+    if (!audit_queue.empty()) {
+      if (Status s = repo.CreateQueue(audit_queue);
+          !s.ok() && !s.IsAlreadyExists()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  };
+  if (!is_backup) {
+    if (Status s = provision_queues(); !s.ok()) {
+      std::fprintf(stderr, "rrqd: create queue: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
 
   storage::KvStoreOptions db_options;
@@ -167,16 +281,21 @@ int main(int argc, char** argv) {
   // The demo back end: count executions per rid, transactionally with
   // the dequeue/reply, so every request's execution count is exactly
   // the number of committed server transactions that processed it.
+  // With --audit-queue, each execution also enqueues an audit record
+  // in the same transaction — and since queue state (unlike the
+  // KvStore) is what replication ships, the audit queue is the
+  // durable cross-failover record of what ran.
   std::unique_ptr<server::Server> server;
-  if (run_server) {
+  auto start_server = [&]() -> Status {
     server::ServerOptions server_options;
     server_options.name = "rrqd-server";
     server_options.request_queue = request_queue;
     server_options.threads = threads;
     server = std::make_unique<server::Server>(
         server_options, &repo, &txn_mgr,
-        [&db](txn::Transaction* t,
-              const queue::RequestEnvelope& request) -> Result<std::string> {
+        [&db, &repo, audit_queue](
+            txn::Transaction* t,
+            const queue::RequestEnvelope& request) -> Result<std::string> {
           const std::string key = "exec/" + request.rid;
           uint64_t count = 0;
           auto prior = db.GetForUpdate(t, key);
@@ -187,15 +306,127 @@ int main(int argc, char** argv) {
           }
           ++count;
           RRQ_RETURN_IF_ERROR(db.Put(t, key, std::to_string(count)));
-          return "done:" + request.rid + ":" + std::to_string(count);
+          const std::string done =
+              "done:" + request.rid + ":" + std::to_string(count);
+          if (!audit_queue.empty()) {
+            auto eid = repo.Enqueue(t, audit_queue,
+                                    Slice("exec:" + request.rid + ":" +
+                                          std::to_string(count)));
+            if (!eid.ok()) return eid.status();
+          }
+          return done;
         });
-    if (Status s = server->Start(); !s.ok()) {
+    return server->Start();
+  };
+  // A backup's server starts at promotion instead: until then the
+  // replicated request queue must only be consumed by the primary.
+  if (run_server && !is_backup) {
+    if (Status s = start_server(); !s.ok()) {
       std::fprintf(stderr, "rrqd: server: %s\n", s.ToString().c_str());
       return 1;
     }
   }
 
+  // Backup role: the applier serves the replication protocol on its
+  // own listener and client writes are gated off until promotion.
+  repl::ReplicaApplierOptions applier_options;
+  applier_options.env = env;
+  applier_options.dir = dir;  // REPL_STREAM beside txn/qm/db.
+  applier_options.repo = &repo;
+  repl::ReplicaApplier applier(applier_options);
+  std::unique_ptr<net::TcpServer> repl_server;
+  if (is_backup) {
+    if (Status s = applier.Open(); !s.ok()) {
+      std::fprintf(stderr, "rrqd: applier: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    net::TcpServerOptions repl_tcp_options;
+    repl_tcp_options.bind_address = host;
+    repl_tcp_options.port = static_cast<uint16_t>(repl_port);
+    repl_server = std::make_unique<net::TcpServer>(
+        repl_tcp_options,
+        [&applier](const Slice& request, std::string* reply) {
+          return applier.Handle(request, reply);
+        });
+    if (Status s = repl_server->Start(); !s.ok()) {
+      std::fprintf(stderr, "rrqd: repl listen: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
   net::QueueServiceDispatcher dispatcher(&repo);
+  if (is_backup) {
+    dispatcher.set_write_gate([&applier]() {
+      if (applier.promoted()) return Status::OK();
+      return Status::FailedPrecondition(
+          "backup refuses writes until promoted");
+    });
+    // Promotion: seal the applier against the dead primary's stream,
+    // provision any queues the seed never carried, and bring up the
+    // demo server over the replicated request queue. Serialized +
+    // idempotent — concurrent Promote ops from racing operators must
+    // not double-start the server.
+    static Mutex promote_mu;
+    static bool promote_done = false;
+    dispatcher.set_promote_fn([&]() -> Status {
+      MutexLock lock(promote_mu);
+      if (promote_done) return Status::OK();
+      const uint64_t cut = applier.Promote();
+      RRQ_RETURN_IF_ERROR(provision_queues());
+      if (run_server) RRQ_RETURN_IF_ERROR(start_server());
+      promote_done = true;
+      std::printf("rrqd: promoted at seq %llu\n",
+                  static_cast<unsigned long long>(cut));
+      std::fflush(stdout);
+      return Status::OK();
+    });
+    dispatcher.set_replication_status_fn([&applier]() {
+      net::ReplStatusInfo info;
+      info.role = "backup";
+      info.promoted = applier.promoted();
+      info.state = info.promoted ? "promoted" : "applying";
+      info.stream_id = applier.stream_id();
+      info.acked_seq = applier.applied_seq();
+      info.head_seq = info.acked_seq;
+      return info;
+    });
+  }
+
+  // Primary role: per-boot random stream identity (a restarted
+  // primary is a new stream — its in-memory log restarts at 1, so the
+  // backup must be reseeded rather than silently double-applied).
+  std::unique_ptr<repl::ReplicationSender> sender;
+  if (is_primary) {
+    util::Rng rng(static_cast<uint64_t>(
+                      std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                  (static_cast<uint64_t>(getpid()) << 32));
+    uint64_t stream_id = 0;
+    while (stream_id == 0) stream_id = rng.Next();
+    repl::ReplicationSenderOptions sender_options;
+    sender_options.host = backup_host;
+    sender_options.port = backup_port;
+    sender_options.stream_id = stream_id;
+    sender = std::make_unique<repl::ReplicationSender>(sender_options,
+                                                       &repl_log, &repo);
+    if (Status s = sender->Start(); !s.ok()) {
+      std::fprintf(stderr, "rrqd: sender: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ack_gate.store(true, std::memory_order_release);
+    dispatcher.set_replication_status_fn([&sender]() {
+      const repl::ReplicationState st = sender->state();
+      net::ReplStatusInfo info;
+      info.role = "primary";
+      info.state = st.state;
+      info.stream_id = st.stream_id;
+      info.acked_seq = st.acked_seq;
+      info.head_seq = st.head_seq;
+      info.reconnects = st.reconnects;
+      info.last_error = st.last_error;
+      return info;
+    });
+  }
+
   net::TcpServerOptions tcp_options;
   tcp_options.bind_address = host;
   tcp_options.port = static_cast<uint16_t>(port);
@@ -216,6 +447,10 @@ int main(int argc, char** argv) {
 
   std::printf("rrqd: listening on %s:%u (pid %d)\n", host.c_str(),
               static_cast<unsigned>(tcp.port()), static_cast<int>(getpid()));
+  if (repl_server != nullptr) {
+    std::printf("rrqd: repl listening on %s:%u\n", host.c_str(),
+                static_cast<unsigned>(repl_server->port()));
+  }
   std::fflush(stdout);
 
   while (!g_stop) {
@@ -224,7 +459,10 @@ int main(int argc, char** argv) {
 
   std::printf("rrqd: shutting down\n");
   std::fflush(stdout);
+  if (sender != nullptr) sender->Stop();
+  repl_log.Shutdown();
   tcp.Stop();
+  if (repl_server != nullptr) repl_server->Stop();
   if (server != nullptr) server->Stop();
   return 0;
 }

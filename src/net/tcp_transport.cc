@@ -127,6 +127,17 @@ void TcpChannel::Close() {
   }
 }
 
+void TcpChannel::SetTarget(const std::string& host, uint16_t port) {
+  {
+    MutexLock lock(mu_);
+    options_.host = host;
+    options_.port = port;
+    // The new server may speak a different protocol version.
+    server_version_hint_ = 0;
+  }
+  Close();
+}
+
 Status TcpChannel::ConnectOnce(int* fd_out) {
   sockaddr_in addr;
   RRQ_RETURN_IF_ERROR(MakeAddr(options_.host, options_.port, &addr));

@@ -268,6 +268,14 @@ class TcpChannel final : public Channel {
   /// reconnects. Must not be called from a call's callback.
   void Close();
 
+  /// Repoints the channel at a different server (failover: a promoted
+  /// backup): tears the current connection down like Close() and
+  /// directs the next reconnect at host:port. Calls in flight fail
+  /// with Unavailable and their fate is resolved by the client
+  /// protocol, exactly as for a connection loss. Must not be called
+  /// from a call's callback.
+  void SetTarget(const std::string& host, uint16_t port);
+
   uint64_t connects() const { return connects_.load(std::memory_order_relaxed); }
   uint64_t one_ways_lost() const {
     return one_ways_lost_.load(std::memory_order_relaxed);

@@ -320,6 +320,7 @@ void QueueRepository::EncodeMicroOp(const MicroOp& op, std::string* out) {
       break;
     case MicroOp::kRemove:
     case MicroOp::kBumpAbortCount:
+    case MicroOp::kSetReplWatermark:
       util::PutFixed64(out, op.element.eid);
       break;
     case MicroOp::kSetLastOp:
@@ -362,6 +363,7 @@ Status QueueRepository::DecodeMicroOp(Slice* input, MicroOp* op) {
       return DecodeElement(input, &op->element);
     case MicroOp::kRemove:
     case MicroOp::kBumpAbortCount:
+    case MicroOp::kSetReplWatermark:
       return util::GetFixed64(input, &op->element.eid);
     case MicroOp::kSetLastOp: {
       RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &op->registrant));
@@ -518,6 +520,14 @@ void QueueRepository::ApplyMicroOp(Shard* s, const MicroOp& op,
     case MicroOp::kSetTrigger:
       s->triggers.push_back(op.trigger);
       break;
+    case MicroOp::kSetReplWatermark: {
+      uint64_t cur = applied_repl_seq_.load(std::memory_order_relaxed);
+      while (op.element.eid > cur &&
+             !applied_repl_seq_.compare_exchange_weak(
+                 cur, op.element.eid, std::memory_order_release)) {
+      }
+      break;
+    }
     case MicroOp::kClearTrigger: {
       auto it = std::find_if(s->triggers.begin(), s->triggers.end(),
                              [&op](const TriggerSpec& t) {
@@ -670,9 +680,15 @@ Status QueueRepository::FinishCommit(CommitHandoff h,
       return sync;
     }
   }
-  NotifyWaiters(h.notify);
+  // Replication delivery runs before waiter wakeup: under an ack-mode
+  // sink the commit's effects must not become visible to a blocked
+  // dequeuer until the backup holds the record, or a consumer could
+  // act on state that a failover would lose. (The commit itself
+  // already stands locally either way — the sink's verdict only gates
+  // visibility and is surfaced to the committer.)
   Status rs =
       DeliverReplica(h.tickets, h.replicate ? h.record : std::string());
+  NotifyWaiters(h.notify);
   // Reactions fire after the replication delivery so a trigger's own
   // record cannot overtake (or deadlock behind) the record that fired
   // it.
@@ -853,8 +869,9 @@ Status QueueRepository::CommitSpanning(std::vector<MicroOp> ops,
     DeliverReplica(tickets, "");
     return first_error;
   }
-  NotifyWaiters(notify);
+  // Delivery precedes wakeup (see FinishCommit).
   Status rs = DeliverReplica(tickets, replicate ? record : std::string());
+  NotifyWaiters(notify);
   if (evaluate_reactions) EvaluateReactions(notify);
   return rs;
 }
@@ -986,8 +1003,9 @@ Status QueueRepository::Shard::CommitTxn(txn::TxnId id) {
       return sync;
     }
   }
-  r->NotifyWaiters(notify);
+  // Delivery precedes wakeup (see FinishCommit).
   Status rs = r->DeliverReplica(tickets, replica);
+  r->NotifyWaiters(notify);
   r->EvaluateReactions(notify);
   return rs;
 }
@@ -1039,8 +1057,9 @@ Status QueueRepository::Shard::PrepareAndCommit(txn::TxnId id) {
       return sync;
     }
   }
-  r->NotifyWaiters(notify);
+  // Delivery precedes wakeup (see FinishCommit).
   Status rs = r->DeliverReplica(tickets, replica);
+  r->NotifyWaiters(notify);
   r->EvaluateReactions(notify);
   return rs;
 }
@@ -1148,8 +1167,8 @@ void QueueRepository::Shard::AbortTxn(txn::TxnId id) {
   if (!replica.empty()) tickets.push_back(r->AcquireReplTicket(this));
   lock.Unlock();
   if (log && r->options_.sync_commits) w->SyncTo(end_offset);
-  r->NotifyWaiters(notify);
   r->DeliverReplica(tickets, replica);
+  r->NotifyWaiters(notify);
   r->EvaluateReactions(notify);
   if (!spanning_effects.empty()) {
     Status s = r->CommitSpanning(std::move(spanning_effects), "", true);
@@ -1203,6 +1222,11 @@ Status QueueRepository::PrepareAndCommit(txn::TxnId id) {
 // Replication
 
 Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
+  return ApplyReplicatedRecord(record, /*seq=*/0);
+}
+
+Status QueueRepository::ApplyReplicatedRecord(const Slice& record,
+                                              uint64_t seq) {
   Slice input = record;
   if (input.empty()) return Status::InvalidArgument("empty record");
   input.remove_prefix(1);  // Record type (always a committed set).
@@ -1210,7 +1234,6 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
   uint64_t eid_watermark = 0;
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &id));
   RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &eid_watermark));
-  AdvanceEid(eid_watermark);
   uint64_t op_count = 0;
   RRQ_RETURN_IF_ERROR(util::GetVarint64(&input, &op_count));
   std::vector<MicroOp> ops;
@@ -1219,6 +1242,41 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
     MicroOp op;
     RRQ_RETURN_IF_ERROR(DecodeMicroOp(&input, &op));
     ops.push_back(std::move(op));
+  }
+  // Only fully-decoded records mutate state (AdvanceEid included):
+  // a truncated or bit-flipped record must leave the backup unchanged.
+  AdvanceEid(eid_watermark);
+  if (seq != 0) {
+    // Duplicate delivery (sender retry after a lost ack, or a restart
+    // resending from an older watermark): already applied, ack again.
+    if (seq <= applied_repl_seq()) return Status::OK();
+    // The watermark advances atomically with the record's effects by
+    // riding in the record as a micro-op, which forces re-encoding
+    // (the logged bytes must contain the marker so recovery replays
+    // it). A watermark-only record (no ops) is the snapshot-end
+    // barrier.
+    MicroOp marker;
+    marker.kind = MicroOp::kSetReplWatermark;
+    marker.queue = ops.empty() ? "" : ops[0].queue;
+    marker.element.eid = seq;
+    ops.push_back(std::move(marker));
+    std::string rerecord;
+    EncodeRecord(kRecCommitted, txn::kInvalidTxnId, ops, &rerecord);
+    const size_t first = ShardIndexOf(ops[0].queue);
+    bool multi = false;
+    for (const MicroOp& op : ops) {
+      if (ShardIndexOf(op.queue) != first) {
+        multi = true;
+        break;
+      }
+    }
+    if (!multi) {
+      return CommitOnShard(shards_[first].get(), std::move(ops),
+                           std::move(rerecord),
+                           /*evaluate_reactions=*/false);
+    }
+    return CommitSpanning(std::move(ops), std::move(rerecord),
+                          /*evaluate_reactions=*/false);
   }
   if (ops.empty()) return Status::OK();
   // Durable backups log the record verbatim when it lands on one local
@@ -1242,6 +1300,117 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record) {
   }
   return CommitSpanning(std::move(ops), record.ToString(),
                         /*evaluate_reactions=*/false);
+}
+
+Status QueueRepository::CommitReplWatermark(uint64_t seq) {
+  std::string record;
+  EncodeRecord(kRecCommitted, txn::kInvalidTxnId, {}, &record);
+  return ApplyReplicatedRecord(record, seq);
+}
+
+Status QueueRepository::CaptureReplicaSnapshot(
+    const std::function<void()>& at_barrier,
+    std::vector<std::string>* records) NO_THREAD_SAFETY_ANALYSIS {
+  records->clear();
+  // Same order as Checkpoint(): checkpoint_mu_ first (so a concurrent
+  // checkpoint can't interleave), then every shard lock ascending.
+  MutexLock ckpt_guard(checkpoint_mu_);
+  ShardLockSet locks;
+  for (auto& shard : shards_) locks.Add(&shard->mu);
+  // Drain in-flight sink deliveries: every commit that applied before
+  // we took the locks has finished its replication hand-off, so state
+  // captured here is exactly "everything at or before the barrier".
+  // Deliveries only need repl_mu, so they complete while we hold mu;
+  // new tickets can't appear (they are taken under mu).
+  for (auto& shard : shards_) {
+    MutexLock guard(shard->repl_mu);
+    while (shard->repl_done != shard->repl_next) {
+      shard->repl_cv.Wait(shard->repl_mu);
+    }
+  }
+  if (at_barrier) at_barrier();
+  constexpr size_t kElementsPerRecord = 256;
+  for (auto& shard : shards_) {
+    for (const auto& [name, qs] : shard->queues) {
+      // One metadata record per queue: creation, started flag,
+      // registrations and their saved last-ops.
+      std::vector<MicroOp> meta;
+      {
+        MicroOp create;
+        create.kind = MicroOp::kCreateQueue;
+        create.queue = name;
+        create.qoptions = qs->options;
+        meta.push_back(std::move(create));
+      }
+      if (!qs->started) {
+        MicroOp stop;
+        stop.kind = MicroOp::kStopQueue;
+        stop.queue = name;
+        meta.push_back(std::move(stop));
+      }
+      for (const auto& [registrant, reg] : qs->registrations) {
+        MicroOp r;
+        r.kind = MicroOp::kRegister;
+        r.queue = name;
+        r.registrant = registrant;
+        r.stable = reg.stable;
+        meta.push_back(std::move(r));
+        if (reg.stable && reg.last.type != OpType::kNone) {
+          MicroOp last;
+          last.kind = MicroOp::kSetLastOp;
+          last.queue = name;
+          last.registrant = registrant;
+          last.op_type = reg.last.type;
+          last.tag = reg.last.tag;
+          last.element = reg.last.meta;
+          last.element.eid = reg.last.eid;
+          last.payload = reg.last.payload;
+          meta.push_back(std::move(last));
+        }
+      }
+      records->emplace_back();
+      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, meta, &records->back());
+      // Elements in dequeue order, chunked. Volatile-queue elements
+      // ship too: the backup mirrors live state, not just the durable
+      // subset (its own durability policy still honors the queue's
+      // options because volatile inserts skip the backup's WAL).
+      std::vector<MicroOp> chunk;
+      for (const auto& [key, eid] : qs->order) {
+        const InternalElement& ie = qs->elements.at(eid);
+        MicroOp ins;
+        ins.kind = MicroOp::kInsert;
+        ins.queue = name;
+        ins.element = ie.meta;
+        ins.payload = ie.payload;
+        chunk.push_back(std::move(ins));
+        if (chunk.size() >= kElementsPerRecord) {
+          records->emplace_back();
+          EncodeRecord(kRecCommitted, txn::kInvalidTxnId, chunk,
+                       &records->back());
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) {
+        records->emplace_back();
+        EncodeRecord(kRecCommitted, txn::kInvalidTxnId, chunk,
+                     &records->back());
+      }
+    }
+    if (!shard->triggers.empty()) {
+      std::vector<MicroOp> trigs;
+      for (const TriggerSpec& t : shard->triggers) {
+        MicroOp op;
+        op.kind = MicroOp::kSetTrigger;
+        op.queue = t.watched_queue;
+        op.trigger = t;
+        trigs.push_back(std::move(op));
+      }
+      records->emplace_back();
+      EncodeRecord(kRecCommitted, txn::kInvalidTxnId, trigs,
+                   &records->back());
+    }
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -1926,6 +2095,9 @@ void QueueRepository::EncodeShardSnapshot(const Shard& s, std::string* out)
   }
   util::PutVarint64(out, s.triggers.size());
   for (const TriggerSpec& t : s.triggers) EncodeTrigger(t, out);
+  // Trailing (optional for old checkpoints) applied replication
+  // watermark, so a checkpointed backup doesn't forget how far it got.
+  util::PutFixed64(out, applied_repl_seq());
 }
 
 Status QueueRepository::DecodeShardSnapshot(Shard* s, Slice input)
@@ -1987,6 +2159,15 @@ Status QueueRepository::DecodeShardSnapshot(Shard* s, Slice input)
     TriggerSpec t;
     RRQ_RETURN_IF_ERROR(DecodeTrigger(&input, &t));
     s->triggers.push_back(std::move(t));
+  }
+  // Checkpoints written before replication shipping end here.
+  if (!input.empty()) {
+    uint64_t repl_seq = 0;
+    RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, &repl_seq));
+    uint64_t cur = applied_repl_seq_.load(std::memory_order_relaxed);
+    while (repl_seq > cur && !applied_repl_seq_.compare_exchange_weak(
+                                 cur, repl_seq, std::memory_order_release)) {
+    }
   }
   return Status::OK();
 }

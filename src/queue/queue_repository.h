@@ -191,6 +191,41 @@ class QueueRepository final : public txn::ResourceManager {
   /// protocol, so it stays atomic across a backup crash.
   Status ApplyReplicatedRecord(const Slice& record);
 
+  /// Sequence-tracked apply for networked WAL shipping (src/repl/):
+  /// `seq` is the shipper's monotonically increasing record sequence
+  /// number. A record whose seq is at or below the applied watermark
+  /// is a duplicate delivery and is acknowledged without re-applying;
+  /// a fresh record applies atomically WITH the watermark advance (the
+  /// watermark rides inside the record as a micro-op, so a backup
+  /// crash can never apply one without the other — re-delivery after
+  /// recovery then dedups instead of double-applying). seq 0 means
+  /// untracked and behaves exactly like the single-argument overload.
+  Status ApplyReplicatedRecord(const Slice& record, uint64_t seq);
+
+  /// Highest replication sequence number durably applied by this
+  /// repository (0 = none). Survives restart: the watermark is logged
+  /// atomically with each applied record and carried by checkpoints.
+  uint64_t applied_repl_seq() const {
+    return applied_repl_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Captures a consistent full-state snapshot for seeding a backup:
+  /// under every shard lock — after draining in-flight replication
+  /// deliveries, so everything already handed to the sink is excluded
+  /// from the barrier point — invokes `at_barrier` (the caller records
+  /// its shipping position S there), then serializes all queues,
+  /// registrations, elements, and triggers as ordinary replication
+  /// records. Feeding the records to an empty backup's
+  /// ApplyReplicatedRecord (seq 0) followed by records S+1, S+2, ...
+  /// reproduces this repository's state exactly.
+  Status CaptureReplicaSnapshot(const std::function<void()>& at_barrier,
+                                std::vector<std::string>* records);
+
+  /// Durably advances the applied replication watermark to `seq`
+  /// without applying any ops — the snapshot-install completion step
+  /// (equivalent to applying an empty seq-tracked record).
+  Status CommitReplWatermark(uint64_t seq);
+
   // ---- Introspection ----------------------------------------------------
 
   /// Committed, visible depth of `queue`.
@@ -277,6 +312,12 @@ class QueueRepository final : public txn::ResourceManager {
       kSetTrigger = 10,
       kClearTrigger = 11,
       kBumpAbortCount = 12,
+      // Advances the applied replication watermark (element.eid holds
+      // the sequence number). Appended by the seq-tracked
+      // ApplyReplicatedRecord so the watermark commits atomically with
+      // the record's effects; `queue` routes the op to a shard but is
+      // otherwise ignored.
+      kSetReplWatermark = 13,
     };
     Kind kind;
     std::string queue;
@@ -488,6 +529,11 @@ class QueueRepository final : public txn::ResourceManager {
   // Lock order: checkpoint_mu_ before any Shard::mu.
   Mutex checkpoint_mu_;
   uint64_t generation_ GUARDED_BY(checkpoint_mu_) = 0;
+
+  // Highest replication sequence applied (see applied_repl_seq()).
+  // Advanced by ApplyMicroOp(kSetReplWatermark) with a CAS-max, read
+  // lock-free for dedup.
+  std::atomic<uint64_t> applied_repl_seq_{0};
 
   std::atomic<uint64_t> enqueues_{0};
   std::atomic<uint64_t> dequeues_{0};

@@ -1,0 +1,102 @@
+#include "repl/repl_wire.h"
+
+#include "net/frame.h"
+#include "util/coding.h"
+
+namespace rrq::repl {
+
+namespace {
+
+void AppendHeader(unsigned char op, uint64_t stream_id, std::string* out) {
+  out->push_back(static_cast<char>(op));
+  util::PutFixed64(out, stream_id);
+}
+
+}  // namespace
+
+void EncodeHello(uint64_t stream_id, std::string* out) {
+  AppendHeader(kReplHello, stream_id, out);
+}
+
+void EncodeShip(uint64_t stream_id, uint64_t first_seq,
+                const std::vector<std::string>& records, std::string* out) {
+  AppendHeader(kReplShip, stream_id, out);
+  util::PutFixed64(out, first_seq);
+  util::PutVarint64(out, records.size());
+  for (const std::string& record : records) {
+    util::PutLengthPrefixed(out, record);
+  }
+}
+
+void EncodeSnapshotBegin(uint64_t stream_id, uint64_t barrier_seq,
+                         std::string* out) {
+  AppendHeader(kReplSnapshotBegin, stream_id, out);
+  util::PutFixed64(out, barrier_seq);
+}
+
+void EncodeSnapshotChunk(uint64_t stream_id, const Slice& record,
+                         std::string* out) {
+  AppendHeader(kReplSnapshotChunk, stream_id, out);
+  util::PutLengthPrefixed(out, record);
+}
+
+void EncodeSnapshotEnd(uint64_t stream_id, std::string* out) {
+  AppendHeader(kReplSnapshotEnd, stream_id, out);
+}
+
+Status DecodeRequestHeader(Slice* input, unsigned char* op,
+                           uint64_t* stream_id) {
+  if (input->empty()) return Status::Corruption("empty repl request");
+  *op = static_cast<unsigned char>((*input)[0]);
+  input->remove_prefix(1);
+  return util::GetFixed64(input, stream_id);
+}
+
+Status DecodeShipBody(Slice* input, uint64_t* first_seq,
+                      std::vector<std::string>* records) {
+  records->clear();
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(input, first_seq));
+  uint64_t count = 0;
+  RRQ_RETURN_IF_ERROR(util::GetVarint64(input, &count));
+  // A count the remaining bytes cannot possibly hold is garbage;
+  // reject before reserving anything.
+  if (count > input->size()) {
+    return Status::Corruption("ship record count exceeds payload");
+  }
+  records->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string record;
+    RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, &record));
+    records->push_back(std::move(record));
+  }
+  if (!input->empty()) {
+    return Status::Corruption("trailing bytes after ship records");
+  }
+  return Status::OK();
+}
+
+Status DecodeSnapshotBeginBody(Slice* input, uint64_t* barrier_seq) {
+  return util::GetFixed64(input, barrier_seq);
+}
+
+Status DecodeSnapshotChunkBody(Slice* input, std::string* record) {
+  RRQ_RETURN_IF_ERROR(util::GetLengthPrefixedString(input, record));
+  if (!input->empty()) {
+    return Status::Corruption("trailing bytes after snapshot chunk");
+  }
+  return Status::OK();
+}
+
+void EncodeReplReply(const Status& status, uint64_t watermark,
+                     std::string* out) {
+  net::EncodeStatus(status, out);
+  util::PutFixed64(out, watermark);
+}
+
+Status DecodeReplReply(Slice input, uint64_t* watermark) {
+  Status app = net::DecodeStatus(&input);
+  RRQ_RETURN_IF_ERROR(util::GetFixed64(&input, watermark));
+  return app;
+}
+
+}  // namespace rrq::repl

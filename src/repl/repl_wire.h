@@ -1,0 +1,83 @@
+#ifndef RRQ_REPL_REPL_WIRE_H_
+#define RRQ_REPL_REPL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::repl {
+
+// Byte protocol for primary/backup WAL shipping (DESIGN.md §12). The
+// messages ride the ordinary TCP transport as opaque RPC payloads: the
+// sender is a TcpChannel client, the applier an RpcHandler on the
+// backup's replication TcpServer. Like the queue service protocol,
+// every reply is [EncodeStatus(application status)][fixed64 watermark]
+// — the watermark (the backup's applied replication sequence) travels
+// on errors too, so a sender can rewind to exactly where the backup
+// stands after a gap or a reconnect.
+//
+// Every request carries the primary's per-boot random stream id: a
+// sequence number is only meaningful within one primary incarnation
+// (the replication log is in-memory), so a backup refuses records from
+// a stream it wasn't seeded by instead of silently misapplying them.
+//
+// All decoders are a trust boundary: truncated or malformed payloads
+// return Corruption/InvalidArgument and leave outputs unusable, never
+// half-parsed state that gets acted on.
+
+enum ReplOp : unsigned char {
+  /// [stream_id:8] -> watermark reply. Opens (or resumes) a shipping
+  /// session; OK means the backup accepts the stream and reports how
+  /// far it got.
+  kReplHello = 1,
+  /// [stream_id:8][first_seq:8][varint count][count length-prefixed
+  /// records] -> watermark reply. Records carry consecutive sequence
+  /// numbers first_seq, first_seq+1, ... Duplicates (<= watermark) are
+  /// acknowledged without re-applying; a gap (first_seq > watermark+1)
+  /// is rejected so the sender rewinds.
+  kReplShip = 2,
+  /// [stream_id:8][barrier_seq:8] -> watermark reply. Starts a
+  /// full-state seed onto an EMPTY backup; barrier_seq is the
+  /// sender's log position the snapshot is consistent with.
+  kReplSnapshotBegin = 3,
+  /// [stream_id:8][length-prefixed record] -> watermark reply. One
+  /// snapshot record, applied untracked (the watermark only advances
+  /// at kReplSnapshotEnd, so a crash mid-seed is detectable).
+  kReplSnapshotChunk = 4,
+  /// [stream_id:8] -> watermark reply. Durably installs the barrier
+  /// watermark and adopts the stream; shipping then resumes at
+  /// barrier_seq+1.
+  kReplSnapshotEnd = 5,
+};
+
+void EncodeHello(uint64_t stream_id, std::string* out);
+void EncodeShip(uint64_t stream_id, uint64_t first_seq,
+                const std::vector<std::string>& records, std::string* out);
+void EncodeSnapshotBegin(uint64_t stream_id, uint64_t barrier_seq,
+                         std::string* out);
+void EncodeSnapshotChunk(uint64_t stream_id, const Slice& record,
+                         std::string* out);
+void EncodeSnapshotEnd(uint64_t stream_id, std::string* out);
+
+/// Decodes the op byte and stream id shared by every request;
+/// `*input` is left at the op-specific fields.
+Status DecodeRequestHeader(Slice* input, unsigned char* op,
+                           uint64_t* stream_id);
+Status DecodeShipBody(Slice* input, uint64_t* first_seq,
+                      std::vector<std::string>* records);
+Status DecodeSnapshotBeginBody(Slice* input, uint64_t* barrier_seq);
+Status DecodeSnapshotChunkBody(Slice* input, std::string* record);
+
+/// Reply codec: application status + the backup's applied watermark.
+void EncodeReplReply(const Status& status, uint64_t watermark,
+                     std::string* out);
+/// Returns the application status; `*watermark` is valid whenever the
+/// reply itself parsed, regardless of that status.
+Status DecodeReplReply(Slice input, uint64_t* watermark);
+
+}  // namespace rrq::repl
+
+#endif  // RRQ_REPL_REPL_WIRE_H_

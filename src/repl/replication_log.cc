@@ -1,0 +1,110 @@
+#include "repl/replication_log.h"
+
+#include <chrono>
+
+namespace rrq::repl {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineAfter(uint64_t micros) {
+  return std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+}
+
+}  // namespace
+
+uint64_t ReplicationLog::Append(std::string record) {
+  MutexLock lock(mu_);
+  const uint64_t seq = next_++;
+  records_.push_back(std::move(record));
+  while (records_.size() > max_buffered_) {
+    if (base_ > acked_) overflowed_ = true;
+    records_.pop_front();
+    ++base_;
+  }
+  appended_cv_.SignalAll();
+  return seq;
+}
+
+uint64_t ReplicationLog::head_seq() const {
+  MutexLock lock(mu_);
+  return next_ - 1;
+}
+
+uint64_t ReplicationLog::base_seq() const {
+  MutexLock lock(mu_);
+  return base_;
+}
+
+uint64_t ReplicationLog::acked() const {
+  MutexLock lock(mu_);
+  return acked_;
+}
+
+bool ReplicationLog::overflowed() const {
+  MutexLock lock(mu_);
+  return overflowed_;
+}
+
+void ReplicationLog::Acked(uint64_t seq) {
+  MutexLock lock(mu_);
+  if (seq <= acked_) return;
+  acked_ = seq;
+  while (base_ <= acked_ && !records_.empty()) {
+    records_.pop_front();
+    ++base_;
+  }
+  acked_cv_.SignalAll();
+}
+
+Status ReplicationLog::WaitAcked(uint64_t seq, uint64_t timeout_micros) {
+  const auto deadline = DeadlineAfter(timeout_micros);
+  MutexLock lock(mu_);
+  while (acked_ < seq) {
+    if (shutdown_) return Status::Cancelled("replication log shut down");
+    if (acked_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
+        acked_ < seq) {
+      return Status::Unavailable("replication ack timed out");
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicationLog::Fetch(uint64_t from_seq, size_t max_records,
+                             uint64_t timeout_micros,
+                             std::vector<std::string>* records) {
+  records->clear();
+  if (from_seq == 0 || max_records == 0) {
+    return Status::InvalidArgument("bad fetch bounds");
+  }
+  const auto deadline = DeadlineAfter(timeout_micros);
+  MutexLock lock(mu_);
+  while (from_seq >= next_) {  // Nothing at or past from_seq yet.
+    if (shutdown_) return Status::Cancelled("replication log shut down");
+    if (appended_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
+        from_seq >= next_) {
+      return shutdown_ ? Status::Cancelled("replication log shut down")
+                       : Status::NotFound("no new records");
+    }
+  }
+  if (from_seq < base_) {
+    return Status::Aborted("records below " + std::to_string(base_) +
+                              " no longer retained");
+  }
+  const size_t offset = static_cast<size_t>(from_seq - base_);
+  const size_t available = records_.size() - offset;
+  const size_t take = available < max_records ? available : max_records;
+  records->reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    records->push_back(records_[offset + i]);
+  }
+  return Status::OK();
+}
+
+void ReplicationLog::Shutdown() {
+  MutexLock lock(mu_);
+  shutdown_ = true;
+  appended_cv_.SignalAll();
+  acked_cv_.SignalAll();
+}
+
+}  // namespace rrq::repl

@@ -1,0 +1,212 @@
+#include "repl/replication_sender.h"
+
+#include <chrono>
+#include <utility>
+
+#include "repl/repl_wire.h"
+
+namespace rrq::repl {
+
+ReplicationSender::ReplicationSender(ReplicationSenderOptions options,
+                                     ReplicationLog* log,
+                                     queue::QueueRepository* repo)
+    : options_(std::move(options)), log_(log), repo_(repo) {
+  options_.channel.host = options_.host;
+  options_.channel.port = options_.port;
+  channel_ = std::make_unique<net::TcpChannel>(options_.channel);
+}
+
+ReplicationSender::~ReplicationSender() { Stop(); }
+
+Status ReplicationSender::Start() {
+  if (options_.stream_id == 0) {
+    return Status::InvalidArgument("stream id must be nonzero");
+  }
+  if (started_.exchange(true)) return Status::OK();
+  stop_.store(false);
+  SetState("connecting");
+  thread_ = std::thread([this] { SenderMain(); });
+  return Status::OK();
+}
+
+void ReplicationSender::Stop() {
+  if (!started_.load()) return;
+  stop_.store(true);
+  {
+    MutexLock lock(mu_);
+    stop_cv_.SignalAll();
+  }
+  // Fail any call parked on the channel so the thread notices quickly.
+  channel_->Close();
+  if (thread_.joinable()) thread_.join();
+  started_.store(false);
+  SetState("stopped");
+}
+
+ReplicationState ReplicationSender::state() const {
+  ReplicationState out;
+  {
+    MutexLock lock(mu_);
+    out.state = state_;
+    out.last_error = last_error_;
+  }
+  out.stream_id = options_.stream_id;
+  out.acked_seq = log_->acked();
+  out.head_seq = log_->head_seq();
+  out.ships_sent = ships_sent_.load(std::memory_order_relaxed);
+  out.snapshot_records_sent =
+      snapshot_records_sent_.load(std::memory_order_relaxed);
+  out.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ReplicationSender::SetState(const std::string& state) {
+  MutexLock lock(mu_);
+  state_ = state;
+}
+
+void ReplicationSender::SetError(const Status& error) {
+  MutexLock lock(mu_);
+  last_error_ = error.ToString();
+}
+
+bool ReplicationSender::BackoffSleep(uint64_t* backoff_micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(*backoff_micros);
+  {
+    MutexLock lock(mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (stop_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+  *backoff_micros = *backoff_micros * 2 > options_.backoff_max_micros
+                        ? options_.backoff_max_micros
+                        : *backoff_micros * 2;
+  return !stop_.load(std::memory_order_acquire);
+}
+
+void ReplicationSender::SenderMain() {
+  uint64_t backoff = options_.backoff_initial_micros;
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunSession();
+    if (stop_.load(std::memory_order_acquire)) break;
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    SetState("connecting");
+    if (!BackoffSleep(&backoff)) break;
+  }
+  SetState("stopped");
+}
+
+Status ReplicationSender::CallBackup(const std::string& request,
+                                     uint64_t* watermark) {
+  std::string reply;
+  RRQ_RETURN_IF_ERROR(channel_->Call(Slice(request), &reply));
+  return DecodeReplReply(Slice(reply), watermark);
+}
+
+Status ReplicationSender::SendSnapshot(uint64_t* resume_seq) {
+  SetState("snapshot");
+  // The barrier pins the log position the captured state includes:
+  // every commit at or before the capture has appended (shard delivery
+  // drained inside CaptureReplicaSnapshot), so state == records 1..S
+  // and tailing from S+1 loses nothing.
+  std::vector<std::string> records;
+  uint64_t barrier = 0;
+  RRQ_RETURN_IF_ERROR(repo_->CaptureReplicaSnapshot(
+      [this, &barrier] { barrier = log_->head_seq(); }, &records));
+  uint64_t watermark = 0;
+  std::string request;
+  EncodeSnapshotBegin(options_.stream_id, barrier, &request);
+  RRQ_RETURN_IF_ERROR(CallBackup(request, &watermark));
+  for (const std::string& record : records) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return Status::Cancelled("stopping");
+    }
+    request.clear();
+    EncodeSnapshotChunk(options_.stream_id, Slice(record), &request);
+    RRQ_RETURN_IF_ERROR(CallBackup(request, &watermark));
+    snapshot_records_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  request.clear();
+  EncodeSnapshotEnd(options_.stream_id, &request);
+  RRQ_RETURN_IF_ERROR(CallBackup(request, &watermark));
+  log_->Acked(watermark);
+  *resume_seq = barrier + 1;
+  return Status::OK();
+}
+
+void ReplicationSender::RunSession() {
+  std::string request;
+  EncodeHello(options_.stream_id, &request);
+  uint64_t watermark = 0;
+  Status s = CallBackup(request, &watermark);
+  if (!s.ok()) {
+    SetError(s);
+    return;
+  }
+  uint64_t next = 0;
+  if (watermark == 0) {
+    // Fresh (or wiped) backup: full seed, then tail.
+    uint64_t resume = 0;
+    s = SendSnapshot(&resume);
+    if (!s.ok()) {
+      SetError(s);
+      return;
+    }
+    next = resume;
+  } else {
+    if (watermark + 1 < log_->base_seq()) {
+      // The backup's position slid out of the retention window; no
+      // record stream can reconnect its history to ours.
+      SetState("fell_behind");
+      SetError(Status::Aborted(
+          "backup watermark " + std::to_string(watermark) +
+          " below retained base " + std::to_string(log_->base_seq()) +
+          "; reseed required"));
+      return;
+    }
+    log_->Acked(watermark);
+    next = watermark + 1;
+  }
+
+  SetState("shipping");
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<std::string> records;
+    s = log_->Fetch(next, options_.batch_max_records,
+                    options_.poll_timeout_micros, &records);
+    if (s.IsNotFound()) continue;  // Idle poll; re-check stop.
+    if (s.IsCancelled()) return;
+    if (s.IsAborted()) {
+      SetState("fell_behind");
+      SetError(s);
+      return;
+    }
+    if (!s.ok()) {
+      SetError(s);
+      return;
+    }
+    request.clear();
+    EncodeShip(options_.stream_id, next, records, &request);
+    s = CallBackup(request, &watermark);
+    if (!s.ok()) {
+      if (s.IsFailedPrecondition() && watermark + 1 < next &&
+          watermark + 1 >= log_->base_seq()) {
+        // Gap verdict: the backup told us where it stands — rewind.
+        // (Only when that actually moves us: a rejection at the
+        // backup's own watermark — promoted, wrong stream — must not
+        // tight-loop here; it falls through to reconnect/backoff.)
+        next = watermark + 1;
+        continue;
+      }
+      SetError(s);
+      return;
+    }
+    ships_sent_.fetch_add(1, std::memory_order_relaxed);
+    log_->Acked(watermark);
+    next = watermark + 1;
+  }
+}
+
+}  // namespace rrq::repl

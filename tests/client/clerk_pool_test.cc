@@ -321,5 +321,52 @@ TEST_F(ClerkPoolTest, ResynchronizeAllRecoversEveryClerkAfterRestart) {
   EXPECT_TRUE(pool.Stop().ok());
 }
 
+TEST_F(ClerkPoolTest, PoolLevelExecuteBalancesAcrossFreeSlots) {
+  StartServerProgram();
+  constexpr int kClerks = 2;
+  constexpr int kDrivers = 6;
+  constexpr int kRequestsPerDriver = 5;
+  ClerkPool pool(PoolOptions(kClerks));
+  ASSERT_TRUE(pool.Start().ok());
+
+  // Sequentially the pool always hands out the lowest free slot, so a
+  // lone caller rides slot 0 every time.
+  for (int r = 0; r < 3; ++r) {
+    auto reply = pool.Execute(Slice("solo:" + std::to_string(r)));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, "done:solo:" + std::to_string(r));
+  }
+  EXPECT_EQ(pool.reliable(0)->completed(), 3u);
+  EXPECT_EQ(pool.reliable(1)->completed(), 0u);
+
+  // More drivers than slots: callers without a free slot block until
+  // one is released, never fail, and every request completes. This is
+  // the slot-claim protocol the failover test's drivers rely on.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&pool, &failures, d] {
+      for (int r = 0; r < kRequestsPerDriver; ++r) {
+        const std::string body =
+            "d" + std::to_string(d) + ":" + std::to_string(r);
+        auto reply = pool.Execute(Slice(body));
+        if (!reply.ok() || *reply != "done:" + body) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  uint64_t completed = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    completed += pool.reliable(i)->completed();
+  }
+  EXPECT_EQ(completed, static_cast<uint64_t>(3 + kDrivers * kRequestsPerDriver));
+  // Contention forced the pool past slot 0.
+  EXPECT_GT(pool.reliable(1)->completed(), 0u);
+  EXPECT_EQ(pool.channel()->connects(), 1u);
+  EXPECT_TRUE(pool.Stop().ok());
+}
+
 }  // namespace
 }  // namespace rrq::client

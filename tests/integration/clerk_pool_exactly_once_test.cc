@@ -1,7 +1,9 @@
 // The paper's guarantees for a whole clerk *pool*: K clerks share one
 // pipelined TCP connection to an rrqd daemon in a child process; the
-// daemon is SIGKILLed mid-workload and restarted on the same port and
-// state directory. Every clerk must ride out the shared-channel loss —
+// daemon is SIGKILLed mid-workload and restarted on the same state
+// directory (on a fresh ephemeral port — the shared channel is
+// retargeted — so a parallel test grabbing the old port can never
+// flake the respawn). Every clerk must ride out the shared-channel loss —
 // the one failure drops all K sessions at once — and resolve its own
 // §2 uncertainty through re-Connect. Afterwards the daemon's durable
 // KvStore is opened in-process and the per-rid execution counters fed
@@ -96,20 +98,24 @@ TEST(ClerkPoolExactlyOnceTest, PoolSurvivesDaemonSigkillMidWorkload) {
   std::atomic<bool> killed{false};
 
   // The assassin: once kKillAfter requests have completed across the
-  // pool, SIGKILL the daemon, pause, and restart it on the same port
-  // and state directory.
-  std::thread killer([&daemon, &completed, &killed, &dir, port]() {
+  // pool, SIGKILL the daemon, pause, restart it on the same state
+  // directory but a fresh ephemeral port, and retarget the shared
+  // channel at the reborn daemon.
+  std::thread killer([&daemon, &pool, &completed, &killed, &dir]() {
     while (completed.load(std::memory_order_acquire) < kKillAfter) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     ASSERT_TRUE(daemon.Signal(SIGKILL).ok());
     auto status = daemon.Wait();
     ASSERT_TRUE(status.ok()) << status.status().ToString();
-    killed.store(true, std::memory_order_release);
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
-    ASSERT_TRUE(daemon.Spawn(RrqdArgv(dir, port)).ok());
+    ASSERT_TRUE(daemon.Spawn(RrqdArgv(dir, 0)).ok());
     auto line = daemon.WaitForLine("listening on", 30'000'000);
     ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const uint16_t new_port = ParsePort(*line);
+    ASSERT_NE(new_port, 0);
+    ASSERT_TRUE(pool.Repoint("127.0.0.1", new_port).ok());
+    killed.store(true, std::memory_order_release);
   });
 
   // One driver thread per clerk, all multiplexing the one socket. Slot

@@ -1,7 +1,8 @@
 // The paper's guarantees, out of process: a ReliableClient talks over
 // real loopback TCP to an rrqd daemon in a child process; the daemon
-// is SIGKILLed mid-workload and restarted on the same port and state
-// directory. Afterwards the daemon's durable KvStore is opened
+// is SIGKILLed mid-workload and restarted on the same state directory
+// (on a fresh ephemeral port — the channel is retargeted — so a
+// parallel test grabbing the old port can never flake the respawn). Afterwards the daemon's durable KvStore is opened
 // in-process and the per-rid execution counters it kept are fed to the
 // PropertyChecker: every submitted request must have executed exactly
 // once, every reply processed at least once, and every processed reply
@@ -103,24 +104,28 @@ TEST(RemoteExactlyOnceTest, SurvivesDaemonSigkillMidWorkload) {
   ASSERT_TRUE(client.Start().ok());
 
   // The assassin: once kKillAfter requests have completed, SIGKILL the
-  // daemon, pause, and restart it on the same port and state
-  // directory. The main loop holds request kKillAfter+1 until the kill
-  // has landed, so the remaining requests provably run against a
-  // daemon that died and recovered.
+  // daemon, pause, and restart it on the same state directory but a
+  // fresh ephemeral port, then retarget the channel. The main loop
+  // holds request kKillAfter+1 until the restart has landed, so the
+  // remaining requests provably run against a daemon that died and
+  // recovered.
   std::atomic<int> completed{0};
   std::atomic<bool> killed{false};
-  std::thread killer([&daemon, &completed, &killed, &dir, port]() {
+  std::thread killer([&daemon, &api, &completed, &killed, &dir]() {
     while (completed.load(std::memory_order_acquire) < kKillAfter) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     ASSERT_TRUE(daemon.Signal(SIGKILL).ok());
     auto status = daemon.Wait();
     ASSERT_TRUE(status.ok()) << status.status().ToString();
-    killed.store(true, std::memory_order_release);
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
-    ASSERT_TRUE(daemon.Spawn(RrqdArgv(dir, port)).ok());
+    ASSERT_TRUE(daemon.Spawn(RrqdArgv(dir, 0)).ok());
     auto line = daemon.WaitForLine("listening on", 30'000'000);
     ASSERT_TRUE(line.ok()) << line.status().ToString();
+    const uint16_t new_port = ParsePort(*line);
+    ASSERT_NE(new_port, 0);
+    api.channel()->SetTarget("127.0.0.1", new_port);
+    killed.store(true, std::memory_order_release);
   });
 
   for (int i = 1; i <= kRequests; ++i) {

@@ -290,5 +290,243 @@ TEST_F(ReplicationTest, ShardedPrimaryReplicatesInApplyOrderPerQueue) {
   }
 }
 
+// ---- Sequence-tracked apply (PR 9: networked shipping) --------------
+// ApplyReplicatedRecord(record, seq) embeds the shipped sequence in
+// the applied record, so the watermark is atomic with the effects and
+// re-shipped records dedup instead of double-applying.
+
+TEST_F(ReplicationTest, SeqTrackedApplyDedupsReshippedRecords) {
+  auto standby = std::make_unique<QueueRepository>("standby");
+  ASSERT_TRUE(standby->Open().ok());
+  // Capture the primary's records instead of applying them directly.
+  std::vector<std::string> shipped;
+  RepositoryOptions options;
+  options.replication_sink = [&shipped](const Slice& record) {
+    shipped.push_back(record.ToString());
+    return Status::OK();
+  };
+  QueueRepository head("head-seq", options);
+  ASSERT_TRUE(head.Open().ok());
+  ASSERT_TRUE(head.CreateQueue("q").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "a").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "b").ok());
+  ASSERT_EQ(shipped.size(), 3u);
+
+  for (size_t i = 0; i < shipped.size(); ++i) {
+    ASSERT_TRUE(
+        standby->ApplyReplicatedRecord(Slice(shipped[i]), i + 1).ok());
+  }
+  EXPECT_EQ(standby->applied_repl_seq(), 3u);
+  EXPECT_EQ(*standby->Depth("q"), 2u);
+
+  // A sender that lost its ack re-ships everything: at-or-below the
+  // watermark is a silent no-op, not a duplicate apply.
+  for (size_t i = 0; i < shipped.size(); ++i) {
+    ASSERT_TRUE(
+        standby->ApplyReplicatedRecord(Slice(shipped[i]), i + 1).ok());
+  }
+  EXPECT_EQ(standby->applied_repl_seq(), 3u);
+  EXPECT_EQ(*standby->Depth("q"), 2u);
+}
+
+TEST_F(ReplicationTest, AppliedWatermarkSurvivesCrashRecovery) {
+  env::MemEnv env;
+  RepositoryOptions options;
+  options.env = &env;
+  options.dir = "/standby";
+  {
+    QueueRepository standby("standby-wm", options);
+    ASSERT_TRUE(standby.Open().ok());
+    ASSERT_TRUE(standby.CommitReplWatermark(42).ok());
+    EXPECT_EQ(standby.applied_repl_seq(), 42u);
+  }
+  env.SimulateCrash();
+  QueueRepository recovered("standby-wm", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  // The watermark rode the WAL record — the rebooted backup resumes
+  // from 43, not from a reseed.
+  EXPECT_EQ(recovered.applied_repl_seq(), 42u);
+}
+
+TEST_F(ReplicationTest, WatermarkSurvivesCheckpointedRecovery) {
+  env::MemEnv env;
+  RepositoryOptions options;
+  options.env = &env;
+  options.dir = "/standby-ckpt";
+  {
+    QueueRepository standby("standby-ckpt", options);
+    ASSERT_TRUE(standby.Open().ok());
+    ASSERT_TRUE(standby.CreateQueue("q").ok());
+    ASSERT_TRUE(standby.CommitReplWatermark(7).ok());
+    ASSERT_TRUE(standby.Checkpoint().ok());
+    ASSERT_TRUE(standby.CommitReplWatermark(9).ok());
+  }
+  env.SimulateCrash();
+  QueueRepository recovered("standby-ckpt", options);
+  ASSERT_TRUE(recovered.Open().ok());
+  // Checkpoint slice carries 7; the tail WAL replays up to 9.
+  EXPECT_EQ(recovered.applied_repl_seq(), 9u);
+}
+
+TEST_F(ReplicationTest, CaptureReplicaSnapshotSeedsAnEquivalentStandby) {
+  // Build a primary with every kind of replicated state: elements with
+  // priorities, a stable registrant with a remembered op, a stopped
+  // queue, and an armed trigger.
+  QueueRepository head("snap-head");
+  ASSERT_TRUE(head.Open().ok());
+  ASSERT_TRUE(head.CreateQueue("work").ok());
+  ASSERT_TRUE(head.CreateQueue("stopped").ok());
+  ASSERT_TRUE(head.CreateQueue("join").ok());
+  auto e1 = head.Enqueue(nullptr, "work", "first", 5);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "work", "second").ok());
+  ASSERT_TRUE(head.Register("work", "tagger", /*stable=*/true).ok());
+  ASSERT_TRUE(
+      head.Enqueue(nullptr, "work", "tagged", 0, "tagger", "rid#1").ok());
+  ASSERT_TRUE(head.StopQueue("stopped").ok());
+  TriggerSpec trigger;
+  trigger.watched_queue = "work";
+  trigger.remaining = 100;
+  trigger.target_queue = "join";
+  trigger.contents = "go";
+  ASSERT_TRUE(head.SetTrigger(trigger).ok());
+
+  bool barrier_ran = false;
+  std::vector<std::string> records;
+  ASSERT_TRUE(head.CaptureReplicaSnapshot([&] { barrier_ran = true; },
+                                          &records)
+                  .ok());
+  EXPECT_TRUE(barrier_ran);
+  ASSERT_FALSE(records.empty());
+
+  QueueRepository standby("snap-standby");
+  ASSERT_TRUE(standby.Open().ok());
+  for (const std::string& record : records) {
+    ASSERT_TRUE(standby.ApplyReplicatedRecord(Slice(record)).ok());
+  }
+  ASSERT_TRUE(standby.CommitReplWatermark(17).ok());
+
+  EXPECT_EQ(standby.applied_repl_seq(), 17u);
+  EXPECT_EQ(*standby.Depth("work"), 3u);
+  EXPECT_TRUE(standby.QueueExists("stopped"));
+  auto mirrored = standby.Read("work", *e1);
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored->contents, "first");
+  EXPECT_EQ(mirrored->priority, 5u);
+  // The stable registrant's remembered tag crossed over — a clerk
+  // failing over to the seeded standby resynchronizes exactly as
+  // ClientFailsOverWithFullResync proved for record-at-a-time
+  // replication.
+  auto reg = standby.Register("work", "tagger", /*stable=*/true);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg->last_tag, "rid#1");
+  // A stopped queue stays stopped on the standby.
+  EXPECT_TRUE(standby.Enqueue(nullptr, "stopped", "x")
+                  .status()
+                  .IsFailedPrecondition());
+  // Eids never regress: new standby allocations run past the
+  // primary's watermark.
+  auto fresh = standby.Enqueue(nullptr, "work", "new");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, *e1);
+}
+
+// ---- Hostile records (satellite: the applier's trust boundary) ------
+// A backup's ApplyReplicatedRecord faces the network: truncated,
+// corrupted, duplicated, or reordered records must yield a clean
+// status — never a crash, never a half-applied record.
+
+TEST_F(ReplicationTest, TruncatedRecordsRejectWithoutPartialApply) {
+  auto standby = std::make_unique<QueueRepository>("trunc");
+  ASSERT_TRUE(standby->Open().ok());
+  std::vector<std::string> shipped;
+  RepositoryOptions options;
+  options.replication_sink = [&shipped](const Slice& record) {
+    shipped.push_back(record.ToString());
+    return Status::OK();
+  };
+  QueueRepository head("trunc-head", options);
+  ASSERT_TRUE(head.Open().ok());
+  ASSERT_TRUE(head.CreateQueue("q").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "payload", 3).ok());
+  ASSERT_EQ(shipped.size(), 2u);
+
+  // Seed the queue, then try every truncation of the enqueue record.
+  ASSERT_TRUE(standby->ApplyReplicatedRecord(Slice(shipped[0]), 1).ok());
+  const std::string& enq = shipped[1];
+  for (size_t len = 0; len < enq.size(); ++len) {
+    Status s =
+        standby->ApplyReplicatedRecord(Slice(enq.data(), len), 2);
+    EXPECT_FALSE(s.ok()) << "truncation at " << len << " applied";
+    // Nothing half-applied: depth unchanged, watermark unchanged.
+    EXPECT_EQ(*standby->Depth("q"), 0u) << "truncation at " << len;
+    EXPECT_EQ(standby->applied_repl_seq(), 1u) << "truncation at " << len;
+  }
+  // The intact record still applies afterwards.
+  ASSERT_TRUE(standby->ApplyReplicatedRecord(Slice(enq), 2).ok());
+  EXPECT_EQ(*standby->Depth("q"), 1u);
+  EXPECT_EQ(standby->applied_repl_seq(), 2u);
+}
+
+TEST_F(ReplicationTest, BitFlippedRecordsNeverCrashTheApplier) {
+  // Flip every bit of a small record. Some flips still decode (a
+  // changed payload byte is indistinguishable from a different
+  // payload — the wire CRC exists to catch those in transit); the
+  // applier's own contract is that *no* flip crashes it and every
+  // rejected flip leaves state untouched.
+  std::vector<std::string> shipped;
+  RepositoryOptions options;
+  options.replication_sink = [&shipped](const Slice& record) {
+    shipped.push_back(record.ToString());
+    return Status::OK();
+  };
+  QueueRepository head("flip-head", options);
+  ASSERT_TRUE(head.Open().ok());
+  ASSERT_TRUE(head.CreateQueue("q").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "x").ok());
+  const std::string enq = shipped[1];
+
+  for (size_t bit = 0; bit < enq.size() * 8; ++bit) {
+    auto standby = std::make_unique<QueueRepository>("flip");
+    ASSERT_TRUE(standby->Open().ok());
+    ASSERT_TRUE(standby->ApplyReplicatedRecord(Slice(shipped[0]), 1).ok());
+    std::string mutated = enq;
+    mutated[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutated[bit / 8]) ^ (1u << (bit % 8)));
+    Status s = standby->ApplyReplicatedRecord(Slice(mutated), 2);
+    if (!s.ok()) {
+      EXPECT_EQ(*standby->Depth("q"), 0u) << "bit " << bit;
+      EXPECT_EQ(standby->applied_repl_seq(), 1u) << "bit " << bit;
+    }
+  }
+}
+
+TEST_F(ReplicationTest, StaleAndReorderedSequencesDedupNotDiverge) {
+  std::vector<std::string> shipped;
+  RepositoryOptions options;
+  options.replication_sink = [&shipped](const Slice& record) {
+    shipped.push_back(record.ToString());
+    return Status::OK();
+  };
+  QueueRepository head("reorder-head", options);
+  ASSERT_TRUE(head.Open().ok());
+  ASSERT_TRUE(head.CreateQueue("q").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "a").ok());
+  ASSERT_TRUE(head.Enqueue(nullptr, "q", "b").ok());
+  ASSERT_EQ(shipped.size(), 3u);
+
+  auto standby = std::make_unique<QueueRepository>("reorder");
+  ASSERT_TRUE(standby->Open().ok());
+  for (size_t i = 0; i < shipped.size(); ++i) {
+    ASSERT_TRUE(
+        standby->ApplyReplicatedRecord(Slice(shipped[i]), i + 1).ok());
+  }
+  // An old record arriving late (seq below watermark) is dropped even
+  // though its bytes are perfectly valid.
+  ASSERT_TRUE(standby->ApplyReplicatedRecord(Slice(shipped[1]), 2).ok());
+  EXPECT_EQ(*standby->Depth("q"), 2u);
+  EXPECT_EQ(standby->applied_repl_seq(), 3u);
+}
+
 }  // namespace
 }  // namespace rrq::queue

@@ -1,0 +1,169 @@
+// The replication byte protocol is a trust boundary: roundtrips must
+// be exact, and truncated/trailing/malformed payloads must fail closed
+// (mirrors tests/net/protocol_fuzz_test.cc for the queue protocol).
+#include "repl/repl_wire.h"
+
+#include <gtest/gtest.h>
+
+namespace rrq::repl {
+namespace {
+
+TEST(ReplWireTest, HelloRoundtrip) {
+  std::string request;
+  EncodeHello(0xdeadbeefcafe, &request);
+  Slice input(request);
+  unsigned char op = 0;
+  uint64_t stream = 0;
+  ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+  EXPECT_EQ(op, kReplHello);
+  EXPECT_EQ(stream, 0xdeadbeefcafeull);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(ReplWireTest, ShipRoundtrip) {
+  std::string request;
+  EncodeShip(7, 41, {"alpha", "", "gamma"}, &request);
+  Slice input(request);
+  unsigned char op = 0;
+  uint64_t stream = 0;
+  ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+  EXPECT_EQ(op, kReplShip);
+  EXPECT_EQ(stream, 7u);
+  uint64_t first_seq = 0;
+  std::vector<std::string> records;
+  ASSERT_TRUE(DecodeShipBody(&input, &first_seq, &records).ok());
+  EXPECT_EQ(first_seq, 41u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "alpha");
+  EXPECT_EQ(records[1], "");
+  EXPECT_EQ(records[2], "gamma");
+}
+
+TEST(ReplWireTest, SnapshotRoundtrips) {
+  std::string request;
+  EncodeSnapshotBegin(9, 123, &request);
+  {
+    Slice input(request);
+    unsigned char op = 0;
+    uint64_t stream = 0;
+    ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+    EXPECT_EQ(op, kReplSnapshotBegin);
+    uint64_t barrier = 0;
+    ASSERT_TRUE(DecodeSnapshotBeginBody(&input, &barrier).ok());
+    EXPECT_EQ(barrier, 123u);
+  }
+  request.clear();
+  EncodeSnapshotChunk(9, "record-bytes", &request);
+  {
+    Slice input(request);
+    unsigned char op = 0;
+    uint64_t stream = 0;
+    ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+    EXPECT_EQ(op, kReplSnapshotChunk);
+    std::string record;
+    ASSERT_TRUE(DecodeSnapshotChunkBody(&input, &record).ok());
+    EXPECT_EQ(record, "record-bytes");
+  }
+  request.clear();
+  EncodeSnapshotEnd(9, &request);
+  {
+    Slice input(request);
+    unsigned char op = 0;
+    uint64_t stream = 0;
+    ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+    EXPECT_EQ(op, kReplSnapshotEnd);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(ReplWireTest, ReplyCarriesWatermarkEvenOnError) {
+  std::string reply;
+  EncodeReplReply(Status::FailedPrecondition("sequence gap"), 55, &reply);
+  uint64_t watermark = 0;
+  Status s = DecodeReplReply(Slice(reply), &watermark);
+  EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+  EXPECT_EQ(watermark, 55u);
+
+  reply.clear();
+  EncodeReplReply(Status::OK(), 56, &reply);
+  ASSERT_TRUE(DecodeReplReply(Slice(reply), &watermark).ok());
+  EXPECT_EQ(watermark, 56u);
+}
+
+TEST(ReplWireTest, TruncationsFailClosed) {
+  std::vector<std::string> requests(4);
+  EncodeHello(7, &requests[0]);
+  EncodeShip(7, 3, {"abc", "defg"}, &requests[1]);
+  EncodeSnapshotBegin(7, 12, &requests[2]);
+  EncodeSnapshotChunk(7, "chunk", &requests[3]);
+  for (const std::string& full : requests) {
+    for (size_t len = 0; len < full.size(); ++len) {
+      Slice input(full.data(), len);
+      unsigned char op = 0;
+      uint64_t stream = 0;
+      Status header = DecodeRequestHeader(&input, &op, &stream);
+      if (!header.ok()) continue;  // Failed closed at the header.
+      Status body;
+      uint64_t u64 = 0;
+      std::vector<std::string> records;
+      std::string record;
+      switch (op) {
+        case kReplShip:
+          body = DecodeShipBody(&input, &u64, &records);
+          break;
+        case kReplSnapshotBegin:
+          body = DecodeSnapshotBeginBody(&input, &u64);
+          break;
+        case kReplSnapshotChunk:
+          body = DecodeSnapshotChunkBody(&input, &record);
+          break;
+        default:
+          continue;  // Hello/End bodies are empty; nothing to fail.
+      }
+      EXPECT_FALSE(body.ok())
+          << "truncation to " << len << " of a " << full.size()
+          << "-byte op " << static_cast<int>(full[0]) << " decoded";
+    }
+  }
+}
+
+TEST(ReplWireTest, TrailingBytesRejected) {
+  std::string request;
+  EncodeShip(7, 3, {"abc"}, &request);
+  request.push_back('\0');
+  Slice input(request);
+  unsigned char op = 0;
+  uint64_t stream = 0;
+  ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+  uint64_t first_seq = 0;
+  std::vector<std::string> records;
+  EXPECT_FALSE(DecodeShipBody(&input, &first_seq, &records).ok());
+
+  request.clear();
+  EncodeSnapshotChunk(7, "chunk", &request);
+  request.push_back('x');
+  Slice chunk_input(request);
+  ASSERT_TRUE(DecodeRequestHeader(&chunk_input, &op, &stream).ok());
+  std::string record;
+  EXPECT_FALSE(DecodeSnapshotChunkBody(&chunk_input, &record).ok());
+}
+
+TEST(ReplWireTest, AbsurdShipCountRejected) {
+  // A corrupt varint count larger than the remaining bytes must not
+  // drive a huge reserve/loop.
+  std::string request;
+  EncodeShip(7, 3, {}, &request);
+  // Patch the count varint (last byte of the empty-ship encoding) to
+  // a large value with no records following.
+  request.back() = static_cast<char>(0x7f);
+  Slice input(request);
+  unsigned char op = 0;
+  uint64_t stream = 0;
+  ASSERT_TRUE(DecodeRequestHeader(&input, &op, &stream).ok());
+  uint64_t first_seq = 0;
+  std::vector<std::string> records;
+  EXPECT_FALSE(DecodeShipBody(&input, &first_seq, &records).ok());
+}
+
+}  // namespace
+}  // namespace rrq::repl

@@ -1,0 +1,137 @@
+// The primary-side replication log: sequencing, ack trimming,
+// retention overflow, and the blocking fetch/ack waits the sender and
+// ack-mode committers park on.
+#include "repl/replication_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rrq::repl {
+namespace {
+
+TEST(ReplicationLogTest, AppendsSequenceFromOne) {
+  ReplicationLog log;
+  EXPECT_EQ(log.head_seq(), 0u);
+  EXPECT_EQ(log.base_seq(), 1u);
+  EXPECT_EQ(log.Append("a"), 1u);
+  EXPECT_EQ(log.Append("b"), 2u);
+  EXPECT_EQ(log.head_seq(), 2u);
+  EXPECT_EQ(log.base_seq(), 1u);
+}
+
+TEST(ReplicationLogTest, FetchReturnsFromRequestedSeq) {
+  ReplicationLog log;
+  log.Append("a");
+  log.Append("b");
+  log.Append("c");
+  std::vector<std::string> records;
+  ASSERT_TRUE(log.Fetch(2, 10, 0, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "b");
+  EXPECT_EQ(records[1], "c");
+  // max_records bounds the batch.
+  records.clear();
+  ASSERT_TRUE(log.Fetch(1, 2, 0, &records).ok());
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "a");
+}
+
+TEST(ReplicationLogTest, AckTrimsAndIsMonotonic) {
+  ReplicationLog log;
+  for (int i = 0; i < 5; ++i) log.Append("r" + std::to_string(i));
+  log.Acked(3);
+  EXPECT_EQ(log.acked(), 3u);
+  EXPECT_EQ(log.base_seq(), 4u);
+  // A stale (lower) ack neither regresses nor un-trims.
+  log.Acked(1);
+  EXPECT_EQ(log.acked(), 3u);
+  EXPECT_EQ(log.base_seq(), 4u);
+  // Fetching below the base is the fell-behind verdict.
+  std::vector<std::string> records;
+  Status s = log.Fetch(2, 10, 0, &records);
+  EXPECT_TRUE(s.IsAborted()) << s.ToString();
+}
+
+TEST(ReplicationLogTest, RetentionDropsOldestAndFlagsOverflow) {
+  ReplicationLog log(/*max_buffered=*/3);
+  for (int i = 1; i <= 5; ++i) log.Append(std::to_string(i));
+  EXPECT_EQ(log.head_seq(), 5u);
+  EXPECT_EQ(log.base_seq(), 3u);
+  EXPECT_TRUE(log.overflowed());  // Unacked records were dropped.
+  std::vector<std::string> records;
+  EXPECT_TRUE(log.Fetch(1, 10, 0, &records).IsAborted());
+  ASSERT_TRUE(log.Fetch(3, 10, 0, &records).ok());
+  EXPECT_EQ(records.size(), 3u);
+}
+
+TEST(ReplicationLogTest, AckedTrimmingIsNotOverflow) {
+  ReplicationLog log(/*max_buffered=*/3);
+  for (int i = 1; i <= 3; ++i) log.Append(std::to_string(i));
+  log.Acked(3);
+  for (int i = 4; i <= 6; ++i) log.Append(std::to_string(i));
+  EXPECT_FALSE(log.overflowed());
+}
+
+TEST(ReplicationLogTest, FetchPastHeadTimesOutNotFound) {
+  ReplicationLog log;
+  log.Append("a");
+  std::vector<std::string> records;
+  Status s = log.Fetch(2, 10, 1'000, &records);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(ReplicationLogTest, BlockedFetchWakesOnAppend) {
+  ReplicationLog log;
+  std::vector<std::string> records;
+  std::thread appender([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.Append("late");
+  });
+  Status s = log.Fetch(1, 10, 5'000'000, &records);
+  appender.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "late");
+}
+
+TEST(ReplicationLogTest, WaitAckedReleasesOnAck) {
+  ReplicationLog log;
+  log.Append("a");
+  std::thread acker([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.Acked(1);
+  });
+  EXPECT_TRUE(log.WaitAcked(1, 5'000'000).ok());
+  acker.join();
+}
+
+TEST(ReplicationLogTest, WaitAckedTimesOutUnavailable) {
+  ReplicationLog log;
+  log.Append("a");
+  Status s = log.WaitAcked(1, 1'000);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(ReplicationLogTest, ShutdownCancelsBlockedWaiters) {
+  ReplicationLog log;
+  log.Append("a");
+  std::thread stopper([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.Shutdown();
+  });
+  std::vector<std::string> records;
+  EXPECT_TRUE(log.Fetch(2, 10, 60'000'000, &records).IsCancelled());
+  EXPECT_TRUE(log.WaitAcked(1, 60'000'000).IsCancelled());
+  stopper.join();
+}
+
+TEST(ReplicationLogTest, FetchZeroIsInvalid) {
+  ReplicationLog log;
+  std::vector<std::string> records;
+  EXPECT_TRUE(log.Fetch(0, 10, 0, &records).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rrq::repl
