@@ -215,10 +215,17 @@ int main(int argc, char** argv) {
   // mode the sink also blocks (bounded) until the backup acknowledged
   // the record — but only once the sender is running, so boot-time
   // commits (queue provisioning, recovery side effects) don't stall
-  // against a backup that isn't connected yet.
+  // against a backup that isn't connected yet. An unreachable backup
+  // must not throttle the primary to one commit per ack timeout
+  // either: after kAckDegradeAfter consecutive timeouts the gate
+  // degrades to async (the conventional semi-sync escape), and
+  // re-engages once the sender reports shipping again.
   repl::ReplicationLog repl_log;
   std::atomic<bool> ack_gate{false};
+  std::atomic<uint32_t> ack_misses{0};
   constexpr uint64_t kAckTimeoutMicros = 5'000'000;
+  constexpr uint32_t kAckDegradeAfter = 2;
+  std::unique_ptr<repl::ReplicationSender> sender;  // Created below.
 
   queue::RepositoryOptions repo_options;
   repo_options.env = env;
@@ -228,13 +235,25 @@ int main(int argc, char** argv) {
     return txn_mgr.WasCommitted(id);
   };
   if (is_primary) {
-    repo_options.replication_sink = [&repl_log, &ack_gate,
-                                     repl_ack](const Slice& record) {
+    repo_options.replication_sink = [&repl_log, &ack_gate, &ack_misses,
+                                     &sender, repl_ack](const Slice& record) {
       const uint64_t seq = repl_log.Append(record.ToString());
-      if (repl_ack && ack_gate.load(std::memory_order_acquire)) {
-        return repl_log.WaitAcked(seq, kAckTimeoutMicros);
+      if (!repl_ack || !ack_gate.load(std::memory_order_acquire)) {
+        return Status::OK();
       }
-      return Status::OK();
+      if (ack_misses.load(std::memory_order_acquire) >= kAckDegradeAfter) {
+        if (sender == nullptr || sender->state().state != "shipping") {
+          return Status::OK();  // Degraded: backup still unreachable.
+        }
+        ack_misses.store(0, std::memory_order_release);
+      }
+      Status s = repl_log.WaitAcked(seq, kAckTimeoutMicros);
+      if (s.IsUnavailable()) {
+        ack_misses.fetch_add(1, std::memory_order_acq_rel);
+      } else if (s.ok()) {
+        ack_misses.store(0, std::memory_order_release);
+      }
+      return s;
     };
   }
   queue::QueueRepository repo("qm", repo_options);
@@ -395,7 +414,6 @@ int main(int argc, char** argv) {
   // Primary role: per-boot random stream identity (a restarted
   // primary is a new stream — its in-memory log restarts at 1, so the
   // backup must be reseeded rather than silently double-applied).
-  std::unique_ptr<repl::ReplicationSender> sender;
   if (is_primary) {
     util::Rng rng(static_cast<uint64_t>(
                       std::chrono::steady_clock::now().time_since_epoch().count()) ^

@@ -681,11 +681,14 @@ Status QueueRepository::FinishCommit(CommitHandoff h,
     }
   }
   // Replication delivery runs before waiter wakeup: under an ack-mode
-  // sink the commit's effects must not become visible to a blocked
-  // dequeuer until the backup holds the record, or a consumer could
-  // act on state that a failover would lose. (The commit itself
-  // already stands locally either way — the sink's verdict only gates
-  // visibility and is surfaced to the committer.)
+  // sink a blocked dequeuer must not be woken into the commit's
+  // effects until the backup holds the record, or it could act on
+  // state that a failover would lose. Note the scope: this gates
+  // *wakeup*, not visibility — the effects were published when the
+  // shard lock dropped after StageCommitLocked, so a polling
+  // (timeout=0) Dequeue or Depth can observe them before the ack.
+  // (The commit itself already stands locally either way — the sink's
+  // verdict is surfaced to the committer.)
   Status rs =
       DeliverReplica(h.tickets, h.replicate ? h.record : std::string());
   NotifyWaiters(h.notify);
@@ -1303,9 +1306,13 @@ Status QueueRepository::ApplyReplicatedRecord(const Slice& record,
 }
 
 Status QueueRepository::CommitReplWatermark(uint64_t seq) {
+  return ApplyReplicatedRecord(NoopReplicationRecord(), seq);
+}
+
+std::string QueueRepository::NoopReplicationRecord() const {
   std::string record;
   EncodeRecord(kRecCommitted, txn::kInvalidTxnId, {}, &record);
-  return ApplyReplicatedRecord(record, seq);
+  return record;
 }
 
 Status QueueRepository::CaptureReplicaSnapshot(

@@ -226,6 +226,13 @@ class QueueRepository final : public txn::ResourceManager {
   /// (equivalent to applying an empty seq-tracked record).
   Status CommitReplWatermark(uint64_t seq);
 
+  /// An encoded empty committed record: applying it changes no queue
+  /// state (beyond the watermark advance its sequence implies). The
+  /// sender pads an empty ReplicationLog with one before seeding so
+  /// the seed barrier — and thus a seeded backup's watermark — is
+  /// never 0, which must always mean "fresh backup".
+  std::string NoopReplicationRecord() const;
+
   // ---- Introspection ----------------------------------------------------
 
   /// Committed, visible depth of `queue`.

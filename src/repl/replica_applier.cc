@@ -144,6 +144,13 @@ Status ReplicaApplier::HandleSnapshotBegin(uint64_t stream, Slice* body,
                                            uint64_t* watermark) {
   uint64_t barrier = 0;
   RRQ_RETURN_IF_ERROR(DecodeSnapshotBeginBody(body, &barrier));
+  if (barrier == 0) {
+    // A zero-barrier seed would commit watermark 0 — indistinguishable
+    // from "never seeded" on the next hello, which then tries to
+    // re-seed the bound stream and wedges. The sender pads its log so
+    // this never happens; refuse it outright from anyone else.
+    return Status::InvalidArgument("zero snapshot barrier");
+  }
   if (stream_id_ != 0) {
     return Status::FailedPrecondition(
         "bound to another stream; reseed required");

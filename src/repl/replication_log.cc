@@ -61,12 +61,24 @@ Status ReplicationLog::WaitAcked(uint64_t seq, uint64_t timeout_micros) {
   MutexLock lock(mu_);
   while (acked_ < seq) {
     if (shutdown_) return Status::Cancelled("replication log shut down");
+    if (snapshotting_) return Status::OK();  // Seed in progress; see header.
     if (acked_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
         acked_ < seq) {
       return Status::Unavailable("replication ack timed out");
     }
   }
   return Status::OK();
+}
+
+void ReplicationLog::BeginSnapshot() {
+  MutexLock lock(mu_);
+  snapshotting_ = true;
+  acked_cv_.SignalAll();
+}
+
+void ReplicationLog::EndSnapshot() {
+  MutexLock lock(mu_);
+  snapshotting_ = false;
 }
 
 Status ReplicationLog::Fetch(uint64_t from_seq, size_t max_records,

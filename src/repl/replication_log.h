@@ -55,7 +55,19 @@ class ReplicationLog {
   /// Blocks until `seq` is acked, Shutdown() runs, or
   /// `timeout_micros` elapses (Unavailable — the semi-synchronous
   /// commit gate: the caller's commit stands, the error is surfaced).
+  /// Returns OK immediately between BeginSnapshot()/EndSnapshot().
   Status WaitAcked(uint64_t seq, uint64_t timeout_micros);
+
+  /// Marks a seed snapshot in progress: WaitAcked returns OK without
+  /// blocking (already-parked waiters are released) until
+  /// EndSnapshot(). The sender cannot advance acks while it is busy
+  /// capturing/shipping the seed, so ack-mode committers parking
+  /// behind it would deadlock the capture's delivery drain — and the
+  /// gate is moot anyway: until the seed completes there is no
+  /// consistent backup to fail over to. Ack mode degrades to async
+  /// for the duration of the seed.
+  void BeginSnapshot();
+  void EndSnapshot();
 
   /// Copies up to `max_records` records starting at `from_seq` into
   /// `*records`. Blocks up to `timeout_micros` when `from_seq` is past
@@ -82,6 +94,7 @@ class ReplicationLog {
   uint64_t acked_ GUARDED_BY(mu_) = 0;
   bool overflowed_ GUARDED_BY(mu_) = false;
   bool shutdown_ GUARDED_BY(mu_) = false;
+  bool snapshotting_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rrq::repl

@@ -90,7 +90,7 @@ bool ReplicationSender::BackoffSleep(uint64_t* backoff_micros) {
 void ReplicationSender::SenderMain() {
   uint64_t backoff = options_.backoff_initial_micros;
   while (!stop_.load(std::memory_order_acquire)) {
-    RunSession();
+    if (RunSession()) backoff = options_.backoff_initial_micros;
     if (stop_.load(std::memory_order_acquire)) break;
     reconnects_.fetch_add(1, std::memory_order_relaxed);
     SetState("connecting");
@@ -108,6 +108,26 @@ Status ReplicationSender::CallBackup(const std::string& request,
 
 Status ReplicationSender::SendSnapshot(uint64_t* resume_seq) {
   SetState("snapshot");
+  // Ack waits are suspended for the whole seed: this thread is the
+  // only one that advances acks, so an ack-mode committer parked in
+  // WaitAcked while we hold every shard lock in CaptureReplicaSnapshot
+  // would stall the capture's delivery drain until its full ack
+  // timeout — once per in-flight commit, serially. The gate protects
+  // nothing yet anyway (no seeded backup exists to fail over to), so
+  // ack mode degrades to async until tailing resumes.
+  log_->BeginSnapshot();
+  struct AckResume {
+    ReplicationLog* log;
+    ~AckResume() { log->EndSnapshot(); }
+  } ack_resume{log_};
+  // A seed at barrier 0 (nothing ever committed through the sink)
+  // would leave the backup's watermark at 0, indistinguishable on
+  // reconnect from a fresh backup — the sender would try to re-seed a
+  // bound stream and wedge. Pad the empty log with one no-op record
+  // so the barrier is always nonzero.
+  if (log_->head_seq() == 0) {
+    log_->Append(repo_->NoopReplicationRecord());
+  }
   // The barrier pins the log position the captured state includes:
   // every commit at or before the capture has appended (shard delivery
   // drained inside CaptureReplicaSnapshot), so state == records 1..S
@@ -137,14 +157,14 @@ Status ReplicationSender::SendSnapshot(uint64_t* resume_seq) {
   return Status::OK();
 }
 
-void ReplicationSender::RunSession() {
+bool ReplicationSender::RunSession() {
   std::string request;
   EncodeHello(options_.stream_id, &request);
   uint64_t watermark = 0;
   Status s = CallBackup(request, &watermark);
   if (!s.ok()) {
     SetError(s);
-    return;
+    return false;
   }
   uint64_t next = 0;
   if (watermark == 0) {
@@ -153,7 +173,7 @@ void ReplicationSender::RunSession() {
     s = SendSnapshot(&resume);
     if (!s.ok()) {
       SetError(s);
-      return;
+      return false;
     }
     next = resume;
   } else {
@@ -165,7 +185,7 @@ void ReplicationSender::RunSession() {
           "backup watermark " + std::to_string(watermark) +
           " below retained base " + std::to_string(log_->base_seq()) +
           "; reseed required"));
-      return;
+      return false;
     }
     log_->Acked(watermark);
     next = watermark + 1;
@@ -177,15 +197,15 @@ void ReplicationSender::RunSession() {
     s = log_->Fetch(next, options_.batch_max_records,
                     options_.poll_timeout_micros, &records);
     if (s.IsNotFound()) continue;  // Idle poll; re-check stop.
-    if (s.IsCancelled()) return;
+    if (s.IsCancelled()) return true;
     if (s.IsAborted()) {
       SetState("fell_behind");
       SetError(s);
-      return;
+      return true;
     }
     if (!s.ok()) {
       SetError(s);
-      return;
+      return true;
     }
     request.clear();
     EncodeShip(options_.stream_id, next, records, &request);
@@ -201,12 +221,13 @@ void ReplicationSender::RunSession() {
         continue;
       }
       SetError(s);
-      return;
+      return true;
     }
     ships_sent_.fetch_add(1, std::memory_order_relaxed);
     log_->Acked(watermark);
     next = watermark + 1;
   }
+  return true;
 }
 
 }  // namespace rrq::repl

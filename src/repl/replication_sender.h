@@ -84,7 +84,10 @@ class ReplicationSender {
   void SenderMain();
   // One connect → hello → (snapshot) → ship cycle; returns when the
   // connection breaks or Stop() is requested. Sets state/last_error.
-  void RunSession();
+  // True when the session reached the shipping state — the caller
+  // resets its reconnect backoff (a healthy session must not leave
+  // the next disconnect paying the maximum backoff).
+  bool RunSession();
   Status CallBackup(const std::string& request, uint64_t* watermark);
   Status SendSnapshot(uint64_t* resume_seq);
   // Interruptible backoff sleep; returns false when stopping.

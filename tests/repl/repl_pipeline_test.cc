@@ -275,6 +275,97 @@ TEST(ReplPipelineTest, GapAndWrongStreamRejected) {
   EXPECT_TRUE(unseeded.IsFailedPrecondition()) << unseeded.ToString();
 }
 
+TEST(ReplPipelineTest, EmptyPrimarySeedHasNonzeroWatermarkAndResumes) {
+  // A primary that never committed anything still seeds at a nonzero
+  // barrier (the sender pads its empty log with one no-op record). A
+  // zero-barrier seed would leave the backup's watermark at 0 —
+  // indistinguishable from "fresh" on the next hello, so every
+  // reconnect would retry a seed the bound stream then refuses, and
+  // replication would wedge.
+  ReplicationLog log;
+  queue::RepositoryOptions primary_options;
+  primary_options.replication_sink = [&log](const Slice& record) {
+    log.Append(record.ToString());
+    return Status::OK();
+  };
+  queue::QueueRepository primary("primary", primary_options);
+  ASSERT_TRUE(primary.Open().ok());
+
+  env::MemEnv backup_env;
+  BackupNode backup(&backup_env);
+  {
+    ReplicationSender sender(SenderTo(backup.server->port(), 0xbead), &log,
+                             &primary);
+    ASSERT_TRUE(sender.Start().ok());
+    ASSERT_TRUE(
+        Eventually([&] { return sender.state().state == "shipping"; }));
+    sender.Stop();
+  }
+  EXPECT_EQ(backup.applier->stream_id(), 0xbeadull);
+  EXPECT_GE(backup.repo->applied_repl_seq(), 1u);  // Never 0 once seeded.
+
+  // A reconnecting sender resumes the bound stream instead of wedging
+  // on a refused re-seed, and new commits tail through.
+  ReplicationSender again(SenderTo(backup.server->port(), 0xbead), &log,
+                          &primary);
+  ASSERT_TRUE(again.Start().ok());
+  ASSERT_TRUE(Eventually([&] { return again.state().state == "shipping"; }));
+  ASSERT_TRUE(primary.CreateQueue("q").ok());
+  ASSERT_TRUE(primary.Enqueue(nullptr, "q", "tailed").ok());
+  ASSERT_TRUE(Eventually([&] {
+    auto depth = backup.repo->Depth("q");
+    return depth.ok() && *depth == 1;
+  }));
+  again.Stop();
+}
+
+TEST(ReplPipelineTest, ZeroBarrierSeedRejected) {
+  // Belt and braces on the backup side: a snapshot that announces
+  // barrier 0 is refused outright (it would commit watermark 0 and
+  // recreate the ambiguity above).
+  env::MemEnv backup_env;
+  BackupNode backup(&backup_env);
+  std::string request, reply;
+  uint64_t watermark = 0;
+  EncodeSnapshotBegin(0x4444, 0, &request);
+  ASSERT_TRUE(backup.applier->Handle(Slice(request), &reply).ok());
+  Status s = DecodeReplReply(Slice(reply), &watermark);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(ReplPipelineTest, SeedingReleasesParkedAckWaiters) {
+  // An ack-mode committer parked in WaitAcked holds its shard's
+  // replication ticket, and CaptureReplicaSnapshot's delivery drain
+  // waits on that ticket while the sender — the only thread that can
+  // advance acks — is the one doing the capture. BeginSnapshot breaks
+  // the cycle: the parked waiter releases (async-degraded) and the
+  // seed proceeds instead of stalling a full ack timeout per commit.
+  ReplicationLog log;
+  queue::RepositoryOptions primary_options;
+  primary_options.replication_sink = [&log](const Slice& record) {
+    const uint64_t seq = log.Append(record.ToString());
+    return log.WaitAcked(seq, 20'000'000);
+  };
+  queue::QueueRepository primary("primary", primary_options);
+  ASSERT_TRUE(primary.Open().ok());
+
+  // Park a committer before any sender exists.
+  std::thread committer(
+      [&primary] { EXPECT_TRUE(primary.CreateQueue("q").ok()); });
+  ASSERT_TRUE(Eventually([&] { return log.head_seq() == 1; }));
+
+  env::MemEnv backup_env;
+  BackupNode backup(&backup_env);
+  ReplicationSender sender(SenderTo(backup.server->port(), 0xfade), &log,
+                           &primary);
+  ASSERT_TRUE(sender.Start().ok());
+  // Well under the 20s ack timeout: only the release path gets here.
+  ASSERT_TRUE(Eventually([&] { return sender.state().state == "shipping"; }));
+  committer.join();
+  EXPECT_TRUE(Eventually([&] { return backup.repo->QueueExists("q"); }));
+  sender.Stop();
+}
+
 TEST(ReplPipelineTest, AckModeSinkReleasesOnBackupAck) {
   // The semi-synchronous gate end to end: a committer blocks in the
   // sink until the backup acked its record.

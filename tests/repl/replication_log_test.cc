@@ -127,6 +127,34 @@ TEST(ReplicationLogTest, ShutdownCancelsBlockedWaiters) {
   stopper.join();
 }
 
+TEST(ReplicationLogTest, SnapshotSuspendsAckWaits) {
+  // While a seed snapshot is in progress the sender can't advance
+  // acks, so WaitAcked must not park (ack mode degrades to async for
+  // the duration of the seed).
+  ReplicationLog log;
+  log.Append("a");
+  log.BeginSnapshot();
+  EXPECT_TRUE(log.WaitAcked(1, 60'000'000).ok());  // No blocking.
+  log.EndSnapshot();
+  // The gate re-engages once the snapshot ends.
+  Status s = log.WaitAcked(1, 1'000);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(ReplicationLogTest, BeginSnapshotReleasesParkedAckWaiters) {
+  // A committer already parked in WaitAcked when the seed starts must
+  // be released immediately — the capture drain waits on it.
+  ReplicationLog log;
+  log.Append("a");
+  std::thread snapshotter([&log] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    log.BeginSnapshot();
+  });
+  EXPECT_TRUE(log.WaitAcked(1, 60'000'000).ok());
+  snapshotter.join();
+  log.EndSnapshot();
+}
+
 TEST(ReplicationLogTest, FetchZeroIsInvalid) {
   ReplicationLog log;
   std::vector<std::string> records;
