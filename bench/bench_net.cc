@@ -1,6 +1,8 @@
-// E18 (supersedes E17): TCP transport — RPC latency and queue-op
-// throughput over a real socket, comparing three client models against
-// the same epoll-driven server:
+// E22 (supersedes E18): TCP transport — RPC latency, queue-op
+// throughput, and loop-syscall cost over a real socket, comparing
+// three client models against the same server under BOTH event-loop
+// backends (epoll readiness loops vs io_uring submission/completion
+// rings, DESIGN.md §13):
 //
 //   serialized_v1   one v1 channel per clerk thread, one call in
 //                   flight per connection (the PR 3 protocol) — the
@@ -8,8 +10,9 @@
 //   shared_channel  every clerk thread issues synchronous calls on ONE
 //                   multiplexed v2 channel (demuxed by correlation id);
 //   pipelined       K asynchronous call chains in flight per channel ×
-//                   M channels, the wire kept full instead of idling a
-//                   round trip per op.
+//                   M channels (including a 1×32 deep pipeline), the
+//                   wire kept full instead of idling a round trip per
+//                   op.
 //
 // An rrqd-equivalent service (TcpServer + QueueServiceDispatcher over
 // a volatile repository) runs in-process and is reached over loopback
@@ -17,11 +20,17 @@
 // scheduling — no fsync in the loop. Latency is measured as round
 // trips on one channel (p50/p99/p99.9); throughput as Enqueue+Dequeue
 // pairs, each clerk on a private queue (the paper's client model).
+// Every throughput point also reports the combined client+server
+// loop-syscall deltas (IoLoopStats) per pair — the collapse the uring
+// backend exists to buy.
 //
 // Each throughput point takes the best of three trials to damp loopback
-// scheduler noise (one trial under --smoke).
+// scheduler noise (one trial under --smoke). The uring column is
+// skipped (with the probe's reason) on kernels that cannot run it.
 //
 // Emits BENCH_net.json (full runs only; --smoke skips the write).
+#include <sys/utsname.h>
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -35,6 +44,7 @@
 #include "bench/bench_util.h"
 #include "comm/network.h"
 #include "comm/queue_service.h"
+#include "net/io_backend.h"
 #include "net/queue_wire.h"
 #include "net/tcp_transport.h"
 #include "queue/queue_repository.h"
@@ -106,13 +116,27 @@ void Die(const char* what, const Status& status) {
   std::exit(1);
 }
 
+// One throughput point: ops/s plus the combined client+server
+// loop-syscall deltas for the measured run (per-pair figures are
+// derived at report time).
+struct Tput {
+  double ops_per_sec = 0;
+  uint64_t pairs = 0;
+  uint64_t waits = 0;        // blocking event waits, both sides
+  uint64_t io_syscalls = 0;  // IoLoopStats::io_syscalls(), both sides
+};
+
+uint64_t StatsWaits(const net::IoLoopStats& s) { return s.waits; }
+
 // Synchronous Enqueue+Dequeue pairs from `threads` clerks. With
 // `shared_channel` each clerk calls through one multiplexed v2
 // channel; otherwise each clerk owns a v1 channel (one call in flight
 // per connection — the serialized PR 3 model).
-double MeasureSyncThroughput(uint16_t port, int threads, bool shared_channel) {
+Tput MeasureSyncThroughput(net::TcpServer* server, net::IoBackendKind backend,
+                           int threads, bool shared_channel) {
   net::TcpChannelOptions options;
-  options.port = port;
+  options.port = server->port();
+  options.backend = backend;
   std::unique_ptr<net::TcpChannel> shared;
   std::unique_ptr<net::ChannelQueueApi> shared_api;
   if (shared_channel) {
@@ -121,10 +145,14 @@ double MeasureSyncThroughput(uint16_t port, int threads, bool shared_channel) {
   } else {
     options.max_protocol_version = net::kProtocolV1;
   }
+  const net::IoLoopStats server_before = server->io_stats();
+  std::atomic<uint64_t> client_waits{0};
+  std::atomic<uint64_t> client_syscalls{0};
   std::vector<std::thread> workers;
   bench::Stopwatch watch;
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([port, t, options, &shared_api]() {
+    workers.emplace_back([t, options, &shared_api, &client_waits,
+                          &client_syscalls]() {
       std::unique_ptr<net::TcpChannel> own;
       std::unique_ptr<net::ChannelQueueApi> own_api;
       net::ChannelQueueApi* api = shared_api.get();
@@ -149,11 +177,30 @@ double MeasureSyncThroughput(uint16_t port, int threads, bool shared_channel) {
                                     /*timeout_micros=*/0);
         if (!element.ok()) Die("dequeue", element.status());
       }
+      if (own) {
+        const net::IoLoopStats s = own->io_stats();
+        client_waits.fetch_add(StatsWaits(s));
+        client_syscalls.fetch_add(s.io_syscalls());
+      }
     });
   }
   for (auto& w : workers) w.join();
   const double elapsed = watch.ElapsedSeconds();
-  return 2.0 * pairs_per_clerk * threads / elapsed;
+
+  Tput out;
+  out.pairs = static_cast<uint64_t>(pairs_per_clerk) * threads;
+  out.ops_per_sec = 2.0 * static_cast<double>(out.pairs) / elapsed;
+  const net::IoLoopStats server_after = server->io_stats();
+  out.waits = server_after.waits - server_before.waits +
+              client_waits.load();
+  out.io_syscalls = server_after.io_syscalls() - server_before.io_syscalls() +
+                    client_syscalls.load();
+  if (shared) {
+    const net::IoLoopStats s = shared->io_stats();
+    out.waits += StatsWaits(s);
+    out.io_syscalls += s.io_syscalls();
+  }
+  return out;
 }
 
 // One asynchronous Enqueue→Dequeue call chain. Each completion starts
@@ -204,10 +251,12 @@ struct Chain {
 
 // K in-flight chains per channel × M channels. Chain setup (queue
 // creation, registration) happens before the clock starts.
-double MeasurePipelinedThroughput(uint16_t port, int channels,
-                                  int inflight_per_channel) {
+Tput MeasurePipelinedThroughput(net::TcpServer* server,
+                                net::IoBackendKind backend, int channels,
+                                int inflight_per_channel) {
   net::TcpChannelOptions options;
-  options.port = port;
+  options.port = server->port();
+  options.backend = backend;
   std::vector<std::unique_ptr<net::TcpChannel>> chans;
   std::vector<std::unique_ptr<net::ChannelQueueApi>> apis;
   for (int m = 0; m < channels; ++m) {
@@ -244,6 +293,10 @@ double MeasurePipelinedThroughput(uint16_t port, int channels,
     }
   }
 
+  const net::IoLoopStats server_before = server->io_stats();
+  std::vector<net::IoLoopStats> chan_before;
+  for (auto& c : chans) chan_before.push_back(c->io_stats());
+
   bench::Stopwatch watch;
   for (auto& chain : chains) chain->StartPair();
   {
@@ -255,22 +308,148 @@ double MeasurePipelinedThroughput(uint16_t port, int channels,
     fprintf(stderr, "pipelined chain failed\n");
     std::exit(1);
   }
-  return 2.0 * pairs_per_clerk * total / elapsed;
+
+  Tput out;
+  out.pairs = static_cast<uint64_t>(pairs_per_clerk) * total;
+  out.ops_per_sec = 2.0 * static_cast<double>(out.pairs) / elapsed;
+  const net::IoLoopStats server_after = server->io_stats();
+  out.waits = server_after.waits - server_before.waits;
+  out.io_syscalls = server_after.io_syscalls() - server_before.io_syscalls();
+  for (size_t i = 0; i < chans.size(); ++i) {
+    const net::IoLoopStats s = chans[i]->io_stats();
+    out.waits += StatsWaits(s) - StatsWaits(chan_before[i]);
+    out.io_syscalls += s.io_syscalls() - chan_before[i].io_syscalls();
+  }
+  return out;
 }
 
 template <typename Fn>
-double BestOf(Fn measure) {
-  double best = 0;
-  for (int i = 0; i < trials; ++i) best = std::max(best, measure());
+Tput BestOf(Fn measure) {
+  Tput best;
+  for (int i = 0; i < trials; ++i) {
+    Tput t = measure();
+    if (t.ops_per_sec > best.ops_per_sec) best = t;
+  }
   return best;
+}
+
+double PerPair(uint64_t count, uint64_t pairs) {
+  return pairs == 0 ? 0.0 : static_cast<double>(count) /
+                                static_cast<double>(pairs);
+}
+
+struct PipelinePoint {
+  int channels;
+  int inflight;
+};
+
+// Everything measured against one backend's server.
+struct BackendResults {
+  net::IoBackendKind kind = net::IoBackendKind::kEpoll;
+  const char* server_backend = "none";  // what the server actually ran
+  LatencyStats depth_latency;
+  LatencyStats read_latency;
+  std::vector<std::pair<int, Tput>> serialized;       // threads -> point
+  std::vector<std::pair<int, Tput>> shared;           // threads -> point
+  std::vector<std::pair<PipelinePoint, Tput>> pipelined;
+};
+
+BackendResults RunBackend(net::IoBackendKind kind) {
+  BackendResults results;
+  results.kind = kind;
+
+  // A fresh repository per backend: both columns start from identical
+  // queue state.
+  queue::QueueRepository repo("qm", {});
+  if (!repo.Open().ok()) Die("repo open", Status::Internal("open failed"));
+  for (int t = 0; t < 8; ++t) {
+    Status created = repo.CreateQueue("bench.t" + std::to_string(t));
+    if (!created.ok()) Die("create queue", created);
+  }
+  Status probe_created = repo.CreateQueue("probe");
+  if (!probe_created.ok()) Die("create probe queue", probe_created);
+
+  net::QueueServiceDispatcher dispatcher(&repo);
+  net::TcpServerOptions server_options;
+  server_options.workers = 2;
+  server_options.backend = kind;
+  net::TcpServer server(server_options,
+                        [&dispatcher](const Slice& request,
+                                      std::string* reply) {
+                          return dispatcher.Handle(request, reply);
+                        });
+  server.set_blocking_hint(net::QueueRequestMayBlock);
+  Status started = server.Start();
+  if (!started.ok()) Die("server start", started);
+  results.server_backend = server.io_backend_name();
+
+  // ---- Latency ----
+  net::TcpChannelOptions channel_options;
+  channel_options.port = server.port();
+  channel_options.backend = kind;
+  {
+    net::TcpChannel channel(channel_options);
+    net::ChannelQueueApi tcp_api(&channel);
+    results.depth_latency = MeasureLatency(&tcp_api, "probe");
+    ReadProbe<net::ChannelQueueApi> tcp_probe{&tcp_api};
+    results.read_latency = MeasureLatency(&tcp_probe, "probe");
+  }
+
+  // ---- Throughput ----
+  for (int threads : {1, 2, 4, 8}) {
+    results.serialized.emplace_back(threads, BestOf([&] {
+      return MeasureSyncThroughput(&server, kind, threads, false);
+    }));
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    results.shared.emplace_back(threads, BestOf([&] {
+      return MeasureSyncThroughput(&server, kind, threads, true);
+    }));
+  }
+  for (const auto& point : std::vector<PipelinePoint>{
+           {1, 1}, {1, 2}, {1, 4}, {1, 8}, {1, 32}, {2, 4}, {2, 8}, {4, 8}}) {
+    results.pipelined.emplace_back(point, BestOf([&] {
+      return MeasurePipelinedThroughput(&server, kind, point.channels,
+                                        point.inflight);
+    }));
+  }
+
+  server.Stop();
+  return results;
+}
+
+const Tput* FindPipelined(const BackendResults& r, int channels,
+                          int inflight) {
+  for (const auto& [point, tput] : r.pipelined) {
+    if (point.channels == channels && point.inflight == inflight) {
+      return &tput;
+    }
+  }
+  return nullptr;
+}
+
+std::string KernelRelease() {
+  utsname u{};
+  if (uname(&u) != 0) return "unknown";
+  return u.release;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  net::IoBackendKind only_backend = net::IoBackendKind::kAuto;
+  bool backend_filter = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      if (!net::ParseIoBackend(argv[++i], &only_backend)) {
+        fprintf(stderr, "bench_net: unknown --backend %s\n", argv[i]);
+        return 2;
+      }
+      backend_filter = only_backend != net::IoBackendKind::kAuto;
+    }
   }
   if (smoke) {
     latency_rounds = 200;
@@ -278,147 +457,198 @@ int main(int argc, char** argv) {
     trials = 1;
   }
 
-  printf("E18: TCP transport latency and throughput (volatile repository,\n"
-         "loopback TCP vs the simulated in-process network)%s\n\n",
+  printf("E22: TCP transport latency, throughput, and loop syscalls per\n"
+         "backend (volatile repository, loopback TCP)%s\n\n",
          smoke ? " [smoke]" : "");
 
-  // Service side, shared by every measurement below. Worker count is
-  // pinned so the comparison is between client models, not host core
-  // counts.
-  queue::QueueRepository repo("qm", {});
-  if (!repo.Open().ok()) return 1;
-  for (int t = 0; t < 8; ++t) {
-    if (!repo.CreateQueue("bench.t" + std::to_string(t)).ok()) return 1;
+  std::string probe_reason;
+  const bool have_uring = net::UringAvailable(&probe_reason);
+  printf("kernel %s; io_uring probe: %s%s%s\n\n", KernelRelease().c_str(),
+         have_uring ? "available" : "unavailable",
+         have_uring ? "" : " — ", have_uring ? "" : probe_reason.c_str());
+
+  std::vector<BackendResults> all;
+  for (net::IoBackendKind kind :
+       {net::IoBackendKind::kEpoll, net::IoBackendKind::kUring}) {
+    if (backend_filter && kind != only_backend) continue;
+    if (kind == net::IoBackendKind::kUring && !have_uring) {
+      if (backend_filter) {
+        // Same ladder as rrqd: a forced uring on a kernel without it
+        // degrades to epoll rather than failing (the CI smoke for the
+        // uring leg exercises exactly this on older runners).
+        printf("forced uring degrades to epoll: %s\n\n",
+               probe_reason.c_str());
+        all.push_back(RunBackend(net::IoBackendKind::kEpoll));
+      } else {
+        printf("skipping uring column: %s\n\n", probe_reason.c_str());
+      }
+      continue;
+    }
+    all.push_back(RunBackend(kind));
   }
-  if (!repo.CreateQueue("probe").ok()) return 1;
 
-  net::QueueServiceDispatcher dispatcher(&repo);
-  net::TcpServerOptions server_options;
-  server_options.workers = 2;
-  net::TcpServer server(server_options,
-                        [&dispatcher](const Slice& request,
-                                      std::string* reply) {
-                          return dispatcher.Handle(request, reply);
-                        });
-  server.set_blocking_hint(net::QueueRequestMayBlock);
-  if (!server.Start().ok()) return 1;
+  // Baseline: the same dispatcher shape behind the simulated Network,
+  // measured once (no TCP, so no backend dimension).
+  LatencyStats sim_read_latency;
+  {
+    queue::QueueRepository repo("qm", {});
+    if (!repo.Open().ok()) return 1;
+    Status created = repo.CreateQueue("probe");
+    if (!created.ok()) return 1;
+    comm::Network network(17);
+    comm::QueueService sim_service(&network, "qm", &repo);
+    comm::RemoteQueueApi sim_api(&network, "clerk-0", "qm");
+    ReadProbe<comm::RemoteQueueApi> sim_probe{&sim_api};
+    sim_read_latency = MeasureLatency(&sim_probe, "probe");
+  }
 
-  // Baseline: the same dispatcher behind the simulated Network.
-  comm::Network network(17);
-  comm::QueueService sim_service(&network, "qm", &repo);
-
-  // ---- Latency ------------------------------------------------------
-  net::TcpChannelOptions channel_options;
-  channel_options.port = server.port();
-  net::TcpChannel channel(channel_options);
-  net::ChannelQueueApi tcp_api(&channel);
-  const LatencyStats tcp_latency = MeasureLatency(&tcp_api, "probe");
-
-  // The simulated network's RemoteQueueApi has no Depth op, so the
-  // head-to-head comparison uses the Read probe on both transports.
-  ReadProbe<net::ChannelQueueApi> tcp_probe{&tcp_api};
-  const LatencyStats tcp_read_latency = MeasureLatency(&tcp_probe, "probe");
-  comm::RemoteQueueApi sim_api(&network, "clerk-0", "qm");
-  ReadProbe<comm::RemoteQueueApi> sim_probe{&sim_api};
-  const LatencyStats sim_read_latency = MeasureLatency(&sim_probe, "probe");
-
-  bench::Table latency_table(
-      {"probe", "transport", "mean us", "p50 us", "p99 us", "p99.9 us"});
-  auto add_latency = [&latency_table](const char* probe, const char* transport,
+  // ---- Report ----
+  bench::Table latency_table({"probe", "backend", "mean us", "p50 us",
+                              "p99 us", "p99.9 us"});
+  auto add_latency = [&latency_table](const char* probe, const char* backend,
                                       const LatencyStats& s) {
-    latency_table.AddRow({probe, transport, Fmt(s.mean_micros),
+    latency_table.AddRow({probe, backend, Fmt(s.mean_micros),
                           Fmt(s.p50_micros), Fmt(s.p99_micros),
                           Fmt(s.p999_micros)});
   };
-  add_latency("Depth", "tcp", tcp_latency);
-  add_latency("Read", "tcp", tcp_read_latency);
+  for (const auto& r : all) {
+    add_latency("Depth", r.server_backend, r.depth_latency);
+    add_latency("Read", r.server_backend, r.read_latency);
+  }
   add_latency("Read", "sim", sim_read_latency);
   latency_table.Print();
   printf("\n");
 
-  // ---- Throughput ---------------------------------------------------
-  const uint16_t port = server.port();
-
-  bench::Table tput_table({"mode", "channels", "in flight", "ops/s", "vs v1@8"});
-  std::string serialized_json;
-  std::string shared_json;
-  std::string pipelined_json;
-
-  double serialized_at_8 = 0;
-  for (int threads : {1, 2, 4, 8}) {
-    const double ops = BestOf(
-        [&] { return MeasureSyncThroughput(port, threads, false); });
-    if (threads == 8) serialized_at_8 = ops;
-    tput_table.AddRow({"serialized v1", std::to_string(threads),
-                       std::to_string(threads), Fmt(ops, 0), "-"});
-    if (!serialized_json.empty()) serialized_json += ",\n";
-    serialized_json += "    {\"threads\": " + std::to_string(threads) +
-                       ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
-  }
-
-  for (int threads : {1, 2, 4, 8}) {
-    const double ops =
-        BestOf([&] { return MeasureSyncThroughput(port, threads, true); });
-    tput_table.AddRow({"shared channel", "1", std::to_string(threads),
-                       Fmt(ops, 0), Fmt(ops / serialized_at_8, 2) + "x"});
-    if (!shared_json.empty()) shared_json += ",\n";
-    shared_json += "    {\"threads\": " + std::to_string(threads) +
-                   ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
-  }
-
-  double pipelined_at_8 = 0;
-  struct PipelinePoint {
-    int channels;
-    int inflight;
-  };
-  for (const auto& point : std::vector<PipelinePoint>{
-           {1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 4}, {2, 8}, {4, 8}}) {
-    const double ops = BestOf([&] {
-      return MeasurePipelinedThroughput(port, point.channels, point.inflight);
-    });
-    const int total = point.channels * point.inflight;
-    if (point.channels == 1 && point.inflight == 8) pipelined_at_8 = ops;
-    tput_table.AddRow({"pipelined", std::to_string(point.channels),
-                       std::to_string(total), Fmt(ops, 0),
-                       Fmt(ops / serialized_at_8, 2) + "x"});
-    if (!pipelined_json.empty()) pipelined_json += ",\n";
-    pipelined_json += "    {\"channels\": " + std::to_string(point.channels) +
-                      ", \"inflight_per_channel\": " +
-                      std::to_string(point.inflight) +
-                      ", \"total_inflight\": " + std::to_string(total) +
-                      ", \"ops_per_sec\": " + Fmt(ops, 0) + "}";
+  bench::Table tput_table({"mode", "backend", "channels", "in flight",
+                           "ops/s", "waits/pair", "iosys/pair"});
+  for (const auto& r : all) {
+    for (const auto& [threads, t] : r.serialized) {
+      tput_table.AddRow({"serialized v1", r.server_backend,
+                         std::to_string(threads), std::to_string(threads),
+                         Fmt(t.ops_per_sec, 0),
+                         Fmt(PerPair(t.waits, t.pairs), 2),
+                         Fmt(PerPair(t.io_syscalls, t.pairs), 2)});
+    }
+    for (const auto& [threads, t] : r.shared) {
+      tput_table.AddRow({"shared channel", r.server_backend, "1",
+                         std::to_string(threads), Fmt(t.ops_per_sec, 0),
+                         Fmt(PerPair(t.waits, t.pairs), 2),
+                         Fmt(PerPair(t.io_syscalls, t.pairs), 2)});
+    }
+    for (const auto& [point, t] : r.pipelined) {
+      tput_table.AddRow({"pipelined", r.server_backend,
+                         std::to_string(point.channels),
+                         std::to_string(point.channels * point.inflight),
+                         Fmt(t.ops_per_sec, 0),
+                         Fmt(PerPair(t.waits, t.pairs), 2),
+                         Fmt(PerPair(t.io_syscalls, t.pairs), 2)});
+    }
   }
   tput_table.Print();
-  printf("\npipelined (1x8) vs serialized v1 (8 threads): %.2fx\n",
-         pipelined_at_8 / serialized_at_8);
+  printf("\n");
+
+  if (all.size() == 2) {
+    const BackendResults& ep = all[0];
+    const BackendResults& ur = all[1];
+    for (const auto& [c, k] : std::vector<std::pair<int, int>>{{1, 8},
+                                                               {1, 32}}) {
+      const Tput* e = FindPipelined(ep, c, k);
+      const Tput* u = FindPipelined(ur, c, k);
+      if (e == nullptr || u == nullptr) continue;
+      // io_syscalls is the apples-to-apples wait-path cost: epoll's
+      // loops pay wait + recv + send syscalls for a burst, uring's pay
+      // enters (each enter both submits and waits).
+      printf("pipelined %dx%d: uring/epoll ops %.2fx, loop syscalls/pair "
+             "%.2f -> %.2f (%.1fx fewer)\n",
+             c, k, u->ops_per_sec / e->ops_per_sec,
+             PerPair(e->io_syscalls, e->pairs),
+             PerPair(u->io_syscalls, u->pairs),
+             PerPair(e->io_syscalls, e->pairs) /
+                 std::max(PerPair(u->io_syscalls, u->pairs), 1e-9));
+    }
+  }
 
   if (!smoke) {
-    std::string json = "{\n  \"experiment\": \"net\",\n  \"latency\": {\n";
     auto latency_json = [](const LatencyStats& s) {
       return "{\"mean_us\": " + Fmt(s.mean_micros) +
              ", \"p50_us\": " + Fmt(s.p50_micros) +
              ", \"p99_us\": " + Fmt(s.p99_micros) +
              ", \"p999_us\": " + Fmt(s.p999_micros) + "}";
     };
-    json += "    \"tcp_depth\": " + latency_json(tcp_latency) + ",\n";
-    json += "    \"tcp_read\": " + latency_json(tcp_read_latency) + ",\n";
-    json += "    \"sim_read\": " + latency_json(sim_read_latency) + "\n  },\n";
-    json += "  \"serialized_v1\": [\n" + serialized_json + "\n  ],\n";
-    json += "  \"shared_channel\": [\n" + shared_json + "\n  ],\n";
-    json += "  \"pipelined\": [\n" + pipelined_json + "\n  ],\n";
-    // The PR 3 thread-per-connection server's committed 8-thread
-    // number, kept as the fixed before/after reference (the fresh
-    // serialized_v1 curve above also rides the new epoll server, which
-    // made even the old protocol faster).
-    constexpr double kPr3SerializedAt8 = 64474.0;
-    json += "  \"pipelined_1x8_vs_serialized_8\": " +
-            Fmt(pipelined_at_8 / serialized_at_8, 2) + ",\n";
-    json += "  \"pr3_serialized_8_baseline\": " + Fmt(kPr3SerializedAt8, 0) +
+    auto tput_json = [](const Tput& t) {
+      return std::string("\"ops_per_sec\": ") + Fmt(t.ops_per_sec, 0) +
+             ", \"waits_per_pair\": " + Fmt(PerPair(t.waits, t.pairs), 3) +
+             ", \"io_syscalls_per_pair\": " +
+             Fmt(PerPair(t.io_syscalls, t.pairs), 3);
+    };
+
+    std::string json = "{\n  \"experiment\": \"net\",\n";
+    json += "  \"kernel\": \"" + KernelRelease() + "\",\n";
+    json += std::string("  \"uring_probe\": {\"available\": ") +
+            (have_uring ? "true" : "false") + ", \"reason\": \"" +
+            probe_reason + "\"},\n";
+    json += "  \"sim_read_latency\": " + latency_json(sim_read_latency) +
             ",\n";
-    json += "  \"pipelined_1x8_vs_pr3_baseline\": " +
-            Fmt(pipelined_at_8 / kPr3SerializedAt8, 2) + "\n}\n";
+    json += "  \"backends\": {\n";
+    for (size_t b = 0; b < all.size(); ++b) {
+      const BackendResults& r = all[b];
+      json += std::string("    \"") + r.server_backend + "\": {\n";
+      json += "      \"tcp_depth_latency\": " +
+              latency_json(r.depth_latency) + ",\n";
+      json += "      \"tcp_read_latency\": " + latency_json(r.read_latency) +
+              ",\n";
+      json += "      \"serialized_v1\": [\n";
+      for (size_t i = 0; i < r.serialized.size(); ++i) {
+        const auto& [threads, t] = r.serialized[i];
+        json += "        {\"threads\": " + std::to_string(threads) + ", " +
+                tput_json(t) + "}" +
+                (i + 1 < r.serialized.size() ? ",\n" : "\n");
+      }
+      json += "      ],\n      \"shared_channel\": [\n";
+      for (size_t i = 0; i < r.shared.size(); ++i) {
+        const auto& [threads, t] = r.shared[i];
+        json += "        {\"threads\": " + std::to_string(threads) + ", " +
+                tput_json(t) + "}" + (i + 1 < r.shared.size() ? ",\n" : "\n");
+      }
+      json += "      ],\n      \"pipelined\": [\n";
+      for (size_t i = 0; i < r.pipelined.size(); ++i) {
+        const auto& [point, t] = r.pipelined[i];
+        json += "        {\"channels\": " + std::to_string(point.channels) +
+                ", \"inflight_per_channel\": " +
+                std::to_string(point.inflight) + ", \"total_inflight\": " +
+                std::to_string(point.channels * point.inflight) + ", " +
+                tput_json(t) + "}" +
+                (i + 1 < r.pipelined.size() ? ",\n" : "\n");
+      }
+      json += "      ]\n    }";
+      json += (b + 1 < all.size() ? ",\n" : "\n");
+    }
+    json += "  }";
+
+    if (all.size() == 2) {
+      const Tput* e8 = FindPipelined(all[0], 1, 8);
+      const Tput* u8 = FindPipelined(all[1], 1, 8);
+      const Tput* e32 = FindPipelined(all[0], 1, 32);
+      const Tput* u32 = FindPipelined(all[1], 1, 32);
+      if (e8 != nullptr && u8 != nullptr) {
+        json += ",\n  \"pipelined_1x8_uring_vs_epoll_ops\": " +
+                Fmt(u8->ops_per_sec / e8->ops_per_sec, 2);
+        json += ",\n  \"pipelined_1x8_loop_syscall_reduction\": " +
+                Fmt(PerPair(e8->io_syscalls, e8->pairs) /
+                        std::max(PerPair(u8->io_syscalls, u8->pairs), 1e-9),
+                    2);
+      }
+      if (e32 != nullptr && u32 != nullptr) {
+        json += ",\n  \"pipelined_1x32_uring_vs_epoll_ops\": " +
+                Fmt(u32->ops_per_sec / e32->ops_per_sec, 2);
+        json += ",\n  \"pipelined_1x32_loop_syscall_reduction\": " +
+                Fmt(PerPair(e32->io_syscalls, e32->pairs) /
+                        std::max(PerPair(u32->io_syscalls, u32->pairs), 1e-9),
+                    2);
+      }
+    }
+    json += "\n}\n";
     bench::WriteBenchJson("net", json);
   }
-  server.Stop();
   return 0;
 }

@@ -15,6 +15,11 @@
 #     bench::WriteBenchJson (bench/bench_util.h), never by opening
 #     .json files themselves — the helper pins the output location to
 #     the repo root so tooling can find BENCH_*.json regardless of CWD.
+#  4. Event-loop mechanics stay behind the IoBackend seam (DESIGN.md
+#     §13): raw epoll_* / io_uring_* call sites in src/net/ are
+#     confined to epoll_backend.cc and uring_backend.cc. Transport
+#     logic that needs the loop goes through the seam, so a backend
+#     can be swapped (or a third added) without touching it.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +59,14 @@ for f in bench/bench_*.cc; do
     violation "bench builds a JSON payload but never calls bench::WriteBenchJson" "$f"
   fi
 done
+
+# --- 4. Backend syscalls confined to the backend TUs ---------------
+hits=$(grep -rnE '\b(epoll_create1?|epoll_ctl|epoll_wait|io_uring_setup|io_uring_enter|io_uring_register)\s*\(' \
+  src/net/ --include='*.h' --include='*.cc' \
+  | grep -vE '^src/net/(epoll_backend|uring_backend)\.cc:' || true)
+if [[ -n "$hits" ]]; then
+  violation "raw epoll_*/io_uring_* call outside src/net/{epoll,uring}_backend.cc (go through the IoBackend seam, DESIGN.md §13)" "$hits"
+fi
 
 # --- Informational: annotation coverage ----------------------------
 # The acceptance bar for the thread-safety work: GUARDED_BY use should

@@ -13,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-log_test|frame_test|group_commit_test|queue_repository_test|queue_property_test|replication_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test|clerk_test|clerk_pool_test|clerk_pool_exactly_once_test|thread_annotations_test|replication_log_test|repl_wire_test|repl_pipeline_test|applier_crash_sweep_test|replicated_failover_test}"
+FILTER="${1:-log_test|frame_test|group_commit_test|queue_repository_test|queue_property_test|replication_test|kv_store_test|txn_manager_test|streaming_client_test|server_test|crash_sweep_test|io_backend_test|tcp_transport_test|protocol_fuzz_test|remote_exactly_once_test|clerk_test|clerk_pool_test|clerk_pool_exactly_once_test|thread_annotations_test|replication_log_test|repl_wire_test|repl_pipeline_test|applier_crash_sweep_test|replicated_failover_test}"
 
 COMPILER_ARGS=()
 [[ -n "${CXX:-}" ]] && COMPILER_ARGS+=("-DCMAKE_CXX_COMPILER=${CXX}")

@@ -1,8 +1,14 @@
-// TcpServer: one epoll-driven I/O loop plus a bounded worker pool.
+// TcpServer: one backend-driven I/O loop plus a bounded worker pool.
+//
+// The kernel mechanics — how readiness/completions are waited for and
+// how bytes move — live behind ServerIoBackend (net/io_backend.h):
+// epoll_backend.cc is the readiness loop from PR 5, uring_backend.cc
+// the io_uring completion loop (DESIGN.md §13). This file keeps the
+// protocol and dispatch logic, which is backend-agnostic.
 //
 // Threading model, kept deliberately narrow:
 //   - The loop thread is the only code that accepts, reads sockets,
-//     mutates the connection roster, or calls epoll_ctl.
+//     mutates the connection roster, or talks to the backend.
 //   - Workers run handlers and write replies. A reply is appended to
 //     the connection's outbox under its mutex; a pool worker defers
 //     the socket write until it runs out of queued tasks (or hits a
@@ -10,7 +16,8 @@
 //     writev — and a batch of pipelined requests costs one reply
 //     syscall, not one per request. Elastic threads and backpressured
 //     sockets flush as before: on EAGAIN the writer leaves
-//     `want_write` set and asks the loop to arm EPOLLOUT.
+//     `want_write` set and asks the loop to arm write interest
+//     (EPOLLOUT on epoll, a WRITEV SQE on uring).
 //   - Connection objects travel by shared_ptr, so a worker finishing a
 //     handler after the peer hung up writes to nothing: `closed` is
 //     checked under the same mutex that guards the fd.
@@ -22,8 +29,6 @@
 // concurrent calls from one socket execute in parallel and their
 // commits meet in the WAL's group-commit window.
 
-#include <sys/epoll.h>
-#include <sys/uio.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -42,31 +47,6 @@ using internal::Errno;
 using internal::MakeAddr;
 using internal::SetNoDelay;
 using internal::SetNonBlocking;
-
-struct TcpServer::Task {
-  unsigned char kind = 0;  // kMsgCall, kMsgCallV2, or kMsgOneWay
-  uint64_t corr_id = 0;    // kMsgCallV2 only
-  std::string body;
-};
-
-struct TcpServer::Conn {
-  int fd = -1;
-  // Loop-thread-only state.
-  FrameReader reader;
-  uint32_t version = 0;  // 0 until the first frame decides the mode
-
-  Mutex mu;
-  bool closed GUARDED_BY(mu) = false;
-  bool want_write GUARDED_BY(mu) = false;
-  bool write_failed GUARDED_BY(mu) = false;
-  // Framed replies awaiting the socket.
-  std::deque<std::string> outbox GUARDED_BY(mu);
-  // Bytes of outbox.front() already sent.
-  size_t head_off GUARDED_BY(mu) = 0;
-  // v1 in-order execution chain.
-  bool v1_busy GUARDED_BY(mu) = false;
-  std::deque<Task> v1_backlog GUARDED_BY(mu);
-};
 
 TcpServer::TcpServer(TcpServerOptions options, RpcHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
@@ -106,23 +86,29 @@ Status TcpServer::Start() {
   port_ = ntohs(bound.sin_port);
   SetNonBlocking(fd);
 
-  epoll_fd_ = epoll_create1(0);
   wake_fd_ = eventfd(0, EFD_NONBLOCK);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    Status s = Errno(epoll_fd_ < 0 ? "epoll_create1" : "eventfd");
+  if (wake_fd_ < 0) {
+    Status s = Errno("eventfd");
     close(fd);
-    if (epoll_fd_ >= 0) close(epoll_fd_);
-    if (wake_fd_ >= 0) close(wake_fd_);
-    epoll_fd_ = wake_fd_ = -1;
     return s;
   }
   listen_fd_ = fd;
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  std::string note;
+  const IoBackendKind resolved = ResolveIoBackend(options_.backend, &note);
+  if (!note.empty()) {
+    RRQ_LOG(kWarn) << "tcp_server: " << note;
+  }
+  backend_ = CreateServerIoBackend(resolved, &io_counters_);
+  Status started = backend_->Start(listen_fd_, wake_fd_, &sink_);
+  if (!started.ok()) {
+    close(listen_fd_);
+    close(wake_fd_);
+    listen_fd_ = wake_fd_ = -1;
+    backend_.reset();
+    return started;
+  }
+  backend_name_.store(backend_->name(), std::memory_order_relaxed);
 
   int workers = options_.workers;
   if (workers <= 0) {
@@ -174,6 +160,10 @@ void TcpServer::Stop() {
     }
   }
 
+  // Workers are gone: nobody references the ring or the epoll set any
+  // more, so the backend can drop in-flight operations.
+  if (backend_) backend_->Shutdown();
+
   std::unordered_map<int, std::shared_ptr<Conn>> conns;
   {
     MutexLock guard(conns_mu_);
@@ -186,9 +176,8 @@ void TcpServer::Stop() {
   }
   active_conns_.store(0, std::memory_order_relaxed);
   if (listen_fd_ >= 0) close(listen_fd_);
-  if (epoll_fd_ >= 0) close(epoll_fd_);
   if (wake_fd_ >= 0) close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  listen_fd_ = wake_fd_ = -1;
 }
 
 std::shared_ptr<TcpServer::Conn> TcpServer::LookupConn(int fd) {
@@ -225,99 +214,60 @@ void TcpServer::ProcessAttention() {
     if (failed) {
       CloseConn(conn, false);
     } else if (want) {
-      epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLOUT;
-      ev.data.fd = conn->fd;
-      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      backend_->SubmitWritev(conn);
     }
   }
 }
 
 void TcpServer::LoopMain() {
-  epoll_event events[128];
   while (running_.load(std::memory_order_relaxed)) {
-    const int n = epoll_wait(epoll_fd_, events, 128, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
-        uint64_t tick;
-        while (read(wake_fd_, &tick, sizeof(tick)) > 0) {
-        }
-        continue;
-      }
-      if (!running_.load(std::memory_order_relaxed)) return;
-      if (fd == listen_fd_) {
-        HandleAccept();
-        continue;
-      }
-      std::shared_ptr<Conn> conn = LookupConn(fd);
-      if (!conn) continue;  // Closed earlier in this batch.
-      if (events[i].events & EPOLLERR) {
-        CloseConn(conn, false);
-        continue;
-      }
-      if (events[i].events & EPOLLOUT) HandleWritable(conn);
-      if (LookupConn(fd) != conn) continue;  // HandleWritable closed it.
-      if (events[i].events & (EPOLLIN | EPOLLHUP)) HandleReadable(conn);
-    }
+    if (!backend_->Wait().ok()) return;
+    if (!running_.load(std::memory_order_relaxed)) return;
+    // Everything this cycle decoded goes to the pool in one handoff.
+    SubmitBatch();
     ProcessAttention();
   }
 }
 
-void TcpServer::HandleAccept() {
-  while (true) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN: drained (or a transient error; epoll re-fires).
-    }
-    SetNonBlocking(fd);
-    SetNoDelay(fd);
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
+void TcpServer::SinkImpl::OnAccepted(int fd) {
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  auto conn = std::make_shared<ServerConn>();
+  conn->fd = fd;
+  {
+    MutexLock guard(server_->conns_mu_);
+    server_->conns_[fd] = conn;
+  }
+  Status armed = server_->backend_->SubmitRecv(conn);
+  if (!armed.ok()) {
     {
-      MutexLock guard(conns_mu_);
-      conns_[fd] = conn;
+      MutexLock guard(server_->conns_mu_);
+      server_->conns_.erase(fd);
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    close(fd);
+    return;
+  }
+  server_->accepted_.fetch_add(1, std::memory_order_relaxed);
+  server_->active_conns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpServer::SinkImpl::OnRecvData(const std::shared_ptr<ServerConn>& conn,
+                                     Slice data) {
+  conn->reader.Feed(data);
+  if (!server_->DrainFrames(conn)) {
+    server_->CloseConn(conn, /*protocol_error=*/true);
   }
 }
 
-void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
-  char buf[65536];
-  // Bounded reads per wakeup so one firehose connection cannot pin the
-  // loop; level-triggered epoll re-fires for the rest.
-  for (int round = 0; round < 4; ++round) {
-    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn->reader.Feed(Slice(buf, static_cast<size_t>(n)));
-      if (!DrainFrames(conn)) {
-        CloseConn(conn, /*protocol_error=*/true);
-        break;
-      }
-      continue;
-    }
-    if (n == 0) {
-      CloseConn(conn, /*protocol_error=*/!conn->reader.AtEnd().ok());
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    CloseConn(conn, false);  // Reset: the peer is gone.
-    break;
-  }
-  // Everything this sweep decoded goes to the pool in one handoff.
-  SubmitBatch();
+void TcpServer::SinkImpl::OnRecvEof(const std::shared_ptr<ServerConn>& conn) {
+  server_->CloseConn(conn, /*protocol_error=*/!conn->reader.AtEnd().ok());
 }
+
+void TcpServer::SinkImpl::OnConnError(const std::shared_ptr<ServerConn>& conn) {
+  server_->CloseConn(conn, false);  // Reset: the peer is gone.
+}
+
+void TcpServer::SinkImpl::OnWake() {}
 
 bool TcpServer::DrainFrames(const std::shared_ptr<Conn>& conn) {
   std::string payload;
@@ -477,55 +427,21 @@ void TcpServer::RunTask(const std::shared_ptr<Conn>& conn, Task task,
   }
 }
 
-void TcpServer::FlushLocked(Conn* conn) REQUIRES(conn->mu) {
-  while (!conn->outbox.empty()) {
-    iovec iov[64];
-    int cnt = 0;
-    for (const auto& b : conn->outbox) {
-      const size_t off = (cnt == 0) ? conn->head_off : 0;
-      iov[cnt].iov_base = const_cast<char*>(b.data()) + off;
-      iov[cnt].iov_len = b.size() - off;
-      if (++cnt == 64) break;
-    }
-    const ssize_t n = writev(conn->fd, iov, cnt);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        conn->want_write = true;
-        return;
-      }
-      conn->write_failed = true;  // Peer gone; the loop reaps us.
-      return;
-    }
-    size_t left = static_cast<size_t>(n);
-    while (left > 0) {
-      const size_t avail = conn->outbox.front().size() - conn->head_off;
-      if (left >= avail) {
-        left -= avail;
-        conn->outbox.pop_front();
-        conn->head_off = 0;
-      } else {
-        conn->head_off += left;
-        left = 0;
-      }
-    }
-  }
-}
-
 void TcpServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
                              std::string framed, bool defer_flush) {
   {
     MutexLock guard(conn->mu);
     if (conn->closed || conn->write_failed) return;
     conn->outbox.push_back(std::move(framed));
-    // If the loop is already watching for writability, just queue: the
-    // next EPOLLOUT flushes everything accumulated — corked in one
-    // writev. Otherwise write now, or — on a pool worker — leave the
-    // bytes queued for FlushDeferred so the replies this drain
-    // produces go out in one writev instead of one syscall each.
+    // If the backend already owns draining this outbox (EPOLLOUT armed
+    // or a WRITEV SQE in flight), just queue: the backend flushes
+    // everything accumulated — corked in one writev. Otherwise write
+    // now, or — on a pool worker — leave the bytes queued for
+    // FlushDeferred so the replies this drain produces go out in one
+    // writev instead of one syscall each.
     if (conn->want_write) return;
     if (!defer_flush) {
-      FlushLocked(conn.get());
+      FlushOutboxLocked(conn.get(), &io_counters_);
       if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
       return;
     }
@@ -542,39 +458,48 @@ std::vector<std::shared_ptr<TcpServer::Conn>>& TcpServer::Deferred() {
   return deferred;
 }
 
+void TcpServer::PublishDeferredLocked() {
+  auto& deferred = Deferred();
+  for (auto& conn : deferred) {
+    bool already = false;
+    for (const auto& c : orphan_deferred_) {
+      if (c == conn) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) orphan_deferred_.push_back(std::move(conn));
+  }
+  deferred.clear();
+  // An idle worker's wait predicate covers the orphan list, so this
+  // wake is enough for the replies to go out while we run the task.
+  pool_cv_.Signal();
+}
+
 void TcpServer::FlushDeferred() {
   auto& deferred = Deferred();
+  {
+    MutexLock guard(pool_mu_);
+    for (auto& conn : orphan_deferred_) {
+      bool already = false;
+      for (const auto& c : deferred) {
+        if (c == conn) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) deferred.push_back(std::move(conn));
+    }
+    orphan_deferred_.clear();
+  }
   for (const auto& conn : deferred) {
     MutexLock guard(conn->mu);
     if (conn->closed || conn->write_failed) continue;
-    if (conn->want_write) continue;  // EPOLLOUT will flush the outbox.
-    FlushLocked(conn.get());
+    if (conn->want_write) continue;  // The backend drains the outbox.
+    FlushOutboxLocked(conn.get(), &io_counters_);
     if (conn->want_write || conn->write_failed) RequestAttention(conn->fd);
   }
   deferred.clear();
-}
-
-void TcpServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
-  bool failed;
-  bool drained;
-  {
-    MutexLock guard(conn->mu);
-    if (conn->closed) return;
-    conn->want_write = false;
-    FlushLocked(conn.get());
-    failed = conn->write_failed;
-    drained = !conn->want_write;
-  }
-  if (failed) {
-    CloseConn(conn, false);
-    return;
-  }
-  if (drained) {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = conn->fd;
-    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
-  }
 }
 
 void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
@@ -588,13 +513,15 @@ void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn,
     if (protocol_error) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     }
-    // closing the fd removes it from the epoll set.
+    // Closing the fd removes it from the epoll set; in-flight uring
+    // ops are cancelled by Retire below (by user_data, §13).
     close(conn->fd);
   }
   {
     MutexLock guard(conns_mu_);
     conns_.erase(conn->fd);
   }
+  backend_->Retire(conn);
   active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -648,14 +575,24 @@ void TcpServer::WorkerMain() {
     std::function<void()> fn;
     {
       MutexLock lock(pool_mu_);
-      if (pool_queue_.empty() && !pool_stop_) {
+      if (pool_queue_.empty() && !pool_stop_ &&
+          (!Deferred().empty() || !orphan_deferred_.empty())) {
         // About to sleep: send corked replies first — a deferred
         // flush may be all that stands between clients and their
-        // replies, and nothing else would send it.
+        // replies, and nothing else would send it. Covers orphans
+        // published by workers that are now parked inside a task.
         lock.Unlock();
         FlushDeferred();
         lock.Lock();
-        while (!pool_stop_ && pool_queue_.empty()) pool_cv_.Wait(pool_mu_);
+      }
+      while (!pool_stop_ && pool_queue_.empty()) {
+        pool_cv_.Wait(pool_mu_);
+        if (!orphan_deferred_.empty() && pool_queue_.empty() && !pool_stop_) {
+          // Woken to flush another worker's published replies.
+          lock.Unlock();
+          FlushDeferred();
+          lock.Lock();
+        }
       }
       if (pool_queue_.empty()) {  // pool_stop_ and drained.
         lock.Unlock();
@@ -668,6 +605,10 @@ void TcpServer::WorkerMain() {
       // worker that takes a task passes the baton while work remains,
       // so deep batches fan out without a notify per task.
       if (!pool_queue_.empty()) pool_cv_.Signal();
+      // This task may block indefinitely; replies already corked on
+      // this thread must not wait out its runtime (a finished fast
+      // call's reply stranded behind a parked slow handler).
+      if (!Deferred().empty()) PublishDeferredLocked();
     }
     fn();
     if (Deferred().size() >= kMaxDeferredConns) FlushDeferred();

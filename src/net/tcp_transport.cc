@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "net/socket_util.h"
+#include "net/uring_backend.h"
 #include "util/coding.h"
 #include "util/logging.h"
 
@@ -24,11 +25,12 @@ using internal::SetNoDelay;
 
 namespace {
 
-Status SendAll(int fd, const Slice& data) {
+Status SendAll(int fd, const Slice& data, IoCounters* counters) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (counters) counters->sends.fetch_add(1, std::memory_order_relaxed);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return Status::Unavailable("send failed: " +
@@ -81,6 +83,14 @@ struct TcpChannel::Sock {
   Mutex out_mu;
   std::string outbuf GUARDED_BY(out_mu);
   bool writer_active GUARDED_BY(out_mu) = false;
+
+  // When the demux reader runs on io_uring it owns every SQE, so
+  // senders never write the socket themselves: SendV2 parks the writer
+  // role (`ring_handoff`) and kicks the wake eventfd, and the reader
+  // turns the accumulated outbuf into one SEND SQE on its next enter —
+  // a pipelined burst's sends and its reply reaping share a syscall.
+  bool ring_mode GUARDED_BY(out_mu) = false;
+  bool ring_handoff GUARDED_BY(out_mu) = false;
 
   ~Sock() {
     if (fd >= 0) close(fd);
@@ -181,7 +191,7 @@ Status TcpChannel::NegotiateV2(int fd, uint32_t* version) {
     AppendHelloPayload(&payload, options_.max_protocol_version);
     AppendFrame(&framed, payload);
   }
-  RRQ_RETURN_IF_ERROR(SendAll(fd, framed));
+  RRQ_RETURN_IF_ERROR(SendAll(fd, framed, &io_counters_));
 
   FrameReader reader;
   char buf[4096];
@@ -287,6 +297,9 @@ Status TcpChannel::EnsureConnectedLocked() {
     wire_version_ = version;
     version_.store(version, std::memory_order_relaxed);
     connects_.fetch_add(1, std::memory_order_relaxed);
+    if (version < kProtocolV2) {
+      io_backend_.store("v1", std::memory_order_relaxed);
+    }
     if (version >= kProtocolV2) {
       reader_done_ = false;
       reader_wait_until_ = UINT64_MAX;
@@ -325,143 +338,39 @@ void TcpChannel::BreakConnection(const std::shared_ptr<Sock>& sock) {
 
 void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
   FrameReader reader;
-  char buf[65536];
-  Status fail;  // set => tear the connection down
 
-  while (fail.ok()) {
-    if (sock->broken.load(std::memory_order_acquire)) {
-      fail = Status::Unavailable("connection closed");
-      break;
-    }
-    // Expire per-call deadlines. The call fails; the connection does
-    // not — its straggler reply, if any, is discarded by id below.
-    {
-      const uint64_t now = NowMicros();
-      std::vector<Callback> expired;
-      {
-        MutexLock guard(mu_);
-        for (auto it = pending_.begin(); it != pending_.end();) {
-          if (it->second.deadline_micros <= now) {
-            expired.push_back(std::move(it->second.done));
-            it = pending_.erase(it);
-          } else {
-            ++it;
-          }
-        }
+  // Resolve the reader-loop mechanics for this connection. A forced or
+  // preferred uring that cannot be set up degrades to the poll loop
+  // with a logged reason — a connection always comes up (§13).
+  std::unique_ptr<ClientUringIo> uring;
+  {
+    std::string note;
+    const IoBackendKind resolved = ResolveIoBackend(options_.backend, &note);
+    if (resolved == IoBackendKind::kUring) {
+      std::string reason;
+      uring =
+          ClientUringIo::Create(sock->fd, sock->wake_fd, &io_counters_, &reason);
+      if (!uring) {
+        RRQ_LOG(kWarn) << "tcp_channel: io_uring reader setup failed ("
+                       << reason << "); using poll";
       }
-      for (auto& done : expired) {
-        deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
-        done(Status::Unavailable(kCallDeadlineExceededMessage), std::string());
-      }
-    }
-
-    // Fast path: on a busy pipelined connection the next replies are
-    // usually already buffered, so try the read before paying for a
-    // poll syscall.
-    const ssize_t r = recv(sock->fd, buf, sizeof(buf), MSG_DONTWAIT);
-    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Nothing buffered. Sleep until the socket is readable, a new
-      // earlier deadline is registered (wake_fd), or the earliest
-      // pending deadline passes — then loop back to the checks above.
-      int timeout_ms = -1;
-      {
-        MutexLock guard(mu_);
-        uint64_t min_deadline = UINT64_MAX;
-        for (const auto& [id, pc] : pending_) {
-          min_deadline = std::min(min_deadline, pc.deadline_micros);
-        }
-        reader_wait_until_ = min_deadline;
-        if (min_deadline != UINT64_MAX) {
-          const uint64_t now = NowMicros();
-          timeout_ms =
-              min_deadline <= now
-                  ? 0
-                  : static_cast<int>(std::min<uint64_t>(
-                        (min_deadline - now + 999) / 1000, 60'000));
-        }
-      }
-      pollfd pfds[2] = {{sock->fd, POLLIN, 0}, {sock->wake_fd, POLLIN, 0}};
-      const int n = poll(pfds, 2, timeout_ms);
-      if (n < 0 && errno != EINTR) {
-        fail = Status::Unavailable("poll failed: " +
-                                   std::string(std::strerror(errno)));
-        break;
-      }
-      if (n > 0 && pfds[1].revents != 0) DrainEventFd(sock->wake_fd);
-      continue;
-    }
-    if (r == 0) {
-      // EOF with calls possibly executed server-side: the §2
-      // uncertainty, surfaced as Unavailable to every pending call.
-      fail = Status::Unavailable(reader.AtEnd().ok()
-                                     ? "connection closed by server"
-                                     : "connection torn mid-reply");
-      break;
-    }
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      fail = Status::Unavailable("recv failed: " +
-                                 std::string(std::strerror(errno)));
-      break;
-    }
-    reader.Feed(Slice(buf, static_cast<size_t>(r)));
-
-    // Claim the writer role for the duration of this reply burst:
-    // calls issued by the callbacks below (a pipelined clerk's next
-    // op, typically) accumulate in the outbuf and go to the socket in
-    // one send after the burst instead of one syscall per callback.
-    const bool corked = CorkOutbuf(sock);
-    std::string payload;
-    while (fail.ok()) {
-      Status next = reader.Next(&payload);
-      if (next.IsNotFound()) break;
-      if (!next.ok()) {
-        fail = Status::Unavailable("protocol corruption: " + next.ToString());
-        break;
-      }
-      Slice p(payload);
-      uint64_t id = 0;
-      if (p.empty() || static_cast<unsigned char>(p[0]) != kMsgReplyV2) {
-        fail = Status::Unavailable("protocol corruption: bad reply kind");
-        break;
-      }
-      p.remove_prefix(1);
-      if (!util::GetVarint64(&p, &id).ok()) {
-        fail = Status::Unavailable("protocol corruption: bad correlation id");
-        break;
-      }
-      // A malformed status encoding is delivered to the one matching
-      // call as Corruption; the stream itself is still well framed.
-      Status handled = DecodeStatus(&p);
-      Callback done;
-      {
-        MutexLock guard(mu_);
-        auto it = pending_.find(id);
-        if (it != pending_.end()) {
-          done = std::move(it->second.done);
-          pending_.erase(it);
-        }
-      }
-      if (!done) {
-        // Straggler from an expired deadline (or an id the server made
-        // up): discard. Never resent, never re-matched — §2 holds.
-        late_replies_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      if (handled.ok()) {
-        done(Status::OK(), std::string(p.data(), p.size()));
-      } else {
-        done(std::move(handled), std::string());
-      }
-    }
-    if (corked) {
-      // Send whatever the burst's callbacks queued, in one syscall.
-      Status drained = DrainOutbuf(sock);
-      if (fail.ok() && !drained.ok()) {
-        fail = Status::Unavailable("send failed: " + drained.ToString());
-      }
+    } else if (!note.empty()) {
+      RRQ_LOG(kWarn) << "tcp_channel: " << note;
     }
   }
+  io_backend_.store(uring ? "uring" : "poll", std::memory_order_relaxed);
+  if (uring) {
+    // From here on senders park their bytes for the ring instead of
+    // writing the socket (SendV2 handoff). Sends issued before this
+    // flips went out directly under the writer_active claim, which the
+    // handoff honors — the two regimes never write concurrently.
+    MutexLock guard(sock->out_mu);
+    sock->ring_mode = true;
+  }
+
+  // set => tear the connection down
+  Status fail = uring ? ReaderLoopUring(sock, &reader, uring.get())
+                      : ReaderLoopPoll(sock, &reader);
 
   // Teardown: fail every pending call, release the connection, and
   // only then announce the exit (a reconnect must not race us).
@@ -481,6 +390,223 @@ void TcpChannel::ReaderMain(std::shared_ptr<Sock> sock) {
   reader_exit_cv_.SignalAll();
 }
 
+uint64_t TcpChannel::SweepDeadlines() {
+  // Expire per-call deadlines. The call fails; the connection does
+  // not — its straggler reply, if any, is discarded by id later.
+  const uint64_t now = NowMicros();
+  std::vector<Callback> expired;
+  uint64_t min_deadline = UINT64_MAX;
+  {
+    MutexLock guard(mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.deadline_micros <= now) {
+        expired.push_back(std::move(it->second.done));
+        it = pending_.erase(it);
+      } else {
+        min_deadline = std::min(min_deadline, it->second.deadline_micros);
+        ++it;
+      }
+    }
+    // A new call with an earlier deadline than this kicks the wake fd.
+    reader_wait_until_ = min_deadline;
+  }
+  for (auto& done : expired) {
+    deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
+    done(Status::Unavailable(kCallDeadlineExceededMessage), std::string());
+  }
+  return min_deadline;
+}
+
+Status TcpChannel::DispatchReplies(FrameReader* reader) {
+  std::string payload;
+  while (true) {
+    Status next = reader->Next(&payload);
+    if (next.IsNotFound()) return Status::OK();
+    if (!next.ok()) {
+      return Status::Unavailable("protocol corruption: " + next.ToString());
+    }
+    Slice p(payload);
+    uint64_t id = 0;
+    if (p.empty() || static_cast<unsigned char>(p[0]) != kMsgReplyV2) {
+      return Status::Unavailable("protocol corruption: bad reply kind");
+    }
+    p.remove_prefix(1);
+    if (!util::GetVarint64(&p, &id).ok()) {
+      return Status::Unavailable("protocol corruption: bad correlation id");
+    }
+    // A malformed status encoding is delivered to the one matching
+    // call as Corruption; the stream itself is still well framed.
+    Status handled = DecodeStatus(&p);
+    Callback done;
+    {
+      MutexLock guard(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        done = std::move(it->second.done);
+        pending_.erase(it);
+      }
+    }
+    if (!done) {
+      // Straggler from an expired deadline (or an id the server made
+      // up): discard. Never resent, never re-matched — §2 holds.
+      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (handled.ok()) {
+      done(Status::OK(), std::string(p.data(), p.size()));
+    } else {
+      done(std::move(handled), std::string());
+    }
+  }
+}
+
+Status TcpChannel::ReaderLoopPoll(const std::shared_ptr<Sock>& sock,
+                                  FrameReader* reader) {
+  char buf[65536];
+  while (true) {
+    if (sock->broken.load(std::memory_order_acquire)) {
+      return Status::Unavailable("connection closed");
+    }
+    const uint64_t min_deadline = SweepDeadlines();
+
+    // Fast path: on a busy pipelined connection the next replies are
+    // usually already buffered, so try the read before paying for a
+    // poll syscall.
+    const ssize_t r = recv(sock->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    io_counters_.recvs.fetch_add(1, std::memory_order_relaxed);
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nothing buffered. Sleep until the socket is readable, a new
+      // earlier deadline is registered (wake_fd), or the earliest
+      // pending deadline passes — then loop back to the checks above.
+      int timeout_ms = -1;
+      if (min_deadline != UINT64_MAX) {
+        const uint64_t now = NowMicros();
+        timeout_ms = min_deadline <= now
+                         ? 0
+                         : static_cast<int>(std::min<uint64_t>(
+                               (min_deadline - now + 999) / 1000, 60'000));
+      }
+      pollfd pfds[2] = {{sock->fd, POLLIN, 0}, {sock->wake_fd, POLLIN, 0}};
+      io_counters_.waits.fetch_add(1, std::memory_order_relaxed);
+      const int n = poll(pfds, 2, timeout_ms);
+      if (n < 0 && errno != EINTR) {
+        return Status::Unavailable("poll failed: " +
+                                   std::string(std::strerror(errno)));
+      }
+      if (n > 0 && pfds[1].revents != 0) {
+        DrainEventFd(sock->wake_fd);
+        io_counters_.recvs.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (r == 0) {
+      // EOF with calls possibly executed server-side: the §2
+      // uncertainty, surfaced as Unavailable to every pending call.
+      return Status::Unavailable(reader->AtEnd().ok()
+                                     ? "connection closed by server"
+                                     : "connection torn mid-reply");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    reader->Feed(Slice(buf, static_cast<size_t>(r)));
+
+    // Claim the writer role for the duration of this reply burst:
+    // calls issued by the callbacks below (a pipelined clerk's next
+    // op, typically) accumulate in the outbuf and go to the socket in
+    // one send after the burst instead of one syscall per callback.
+    const bool corked = CorkOutbuf(sock);
+    Status st = DispatchReplies(reader);
+    if (corked) {
+      // Send whatever the burst's callbacks queued, in one syscall.
+      Status drained = DrainOutbuf(sock);
+      if (st.ok() && !drained.ok()) {
+        st = Status::Unavailable("send failed: " + drained.ToString());
+      }
+    }
+    if (!st.ok()) return st;
+  }
+}
+
+Status TcpChannel::ReaderLoopUring(const std::shared_ptr<Sock>& sock,
+                                   FrameReader* reader, ClientUringIo* io) {
+  while (true) {
+    if (sock->broken.load(std::memory_order_acquire)) {
+      return Status::Unavailable("connection closed");
+    }
+    const uint64_t min_deadline = SweepDeadlines();
+    uint64_t timeout = UINT64_MAX;
+    if (min_deadline != UINT64_MAX) {
+      const uint64_t now = NowMicros();
+      timeout = min_deadline <= now
+                    ? 0
+                    : std::min<uint64_t>(min_deadline - now, 60'000'000);
+    }
+
+    // One enter covers the whole cycle: it submits the recv re-arm and
+    // any queued send bytes, then waits for completions — where the
+    // poll loop pays recv + poll + send for the same burst. A finite
+    // sweep deadline means calls are pending, so the wait may run past
+    // a fresh send's inline completion to the replies it provokes.
+    bool fed = false;
+    ClientUringIo::Events ev;
+    io->Wait(
+        timeout, /*expect_reply=*/min_deadline != UINT64_MAX,
+        [&](Slice chunk) {
+          reader->Feed(chunk);
+          fed = true;
+        },
+        &ev);
+    // A sender that found no writer active parked the role for us
+    // (SendV2 handoff); a completed ring send leaves us holding it.
+    // Either way the role is legitimately ours, so FinishRingSend may
+    // queue the outbuf or retire the role.
+    bool handoff = false;
+    {
+      MutexLock guard(sock->out_mu);
+      handoff = sock->ring_handoff;
+      sock->ring_handoff = false;
+    }
+    if (handoff || ev.send_done) FinishRingSend(sock, io);
+    Status st;
+    if (fed) {
+      // Same corking contract as the poll loop, except the drain rides
+      // the ring: callbacks' calls accumulate in the outbuf and go out
+      // as one SEND SQE on the next enter.
+      const bool corked = CorkOutbuf(sock);
+      st = DispatchReplies(reader);
+      if (corked) FinishRingSend(sock, io);
+    }
+    if (!st.ok()) return st;
+    if (!ev.error.ok()) return ev.error;
+    if (ev.eof) {
+      return Status::Unavailable(reader->AtEnd().ok()
+                                     ? "connection closed by server"
+                                     : "connection torn mid-reply");
+    }
+  }
+}
+
+void TcpChannel::FinishRingSend(const std::shared_ptr<Sock>& sock,
+                                ClientUringIo* io) {
+  if (io->send_inflight()) return;
+  std::string local;
+  {
+    MutexLock guard(sock->out_mu);
+    if (sock->outbuf.empty()) {
+      sock->writer_active = false;
+      return;
+    }
+    local.swap(sock->outbuf);
+    // The writer role stays claimed until the queued bytes complete
+    // (Events::send_done), so concurrent senders keep corking into the
+    // outbuf instead of writing the socket themselves.
+  }
+  io->QueueSend(std::move(local));
+}
+
 Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
                           const Slice& request, std::string* reply,
                           uint64_t min_deadline_micros) {
@@ -492,7 +618,7 @@ Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
     payload.append(request.data(), request.size());
     AppendFrame(&framed, payload);
   }
-  Status s = SendAll(sock->fd, framed);
+  Status s = SendAll(sock->fd, framed, &io_counters_);
   if (!s.ok()) {
     TearDownV1(sock);
     return s;
@@ -519,6 +645,7 @@ Status TcpChannel::CallV1(const std::shared_ptr<Sock>& sock,
                              : "poll failed: " + ready.ToString());
     }
     const ssize_t n = recv(sock->fd, buf, sizeof(buf), 0);
+    io_counters_.recvs.fetch_add(1, std::memory_order_relaxed);
     if (n == 0) {
       Status torn = sock->v1_reader.AtEnd();
       TearDownV1(sock);
@@ -606,6 +733,7 @@ void TcpChannel::CallAsync(const Slice& request, const CallOptions& options,
 
 Status TcpChannel::SendV2(const std::shared_ptr<Sock>& sock,
                           std::string framed) {
+  bool handoff = false;
   {
     MutexLock guard(sock->out_mu);
     sock->outbuf.append(framed);
@@ -613,6 +741,17 @@ Status TcpChannel::SendV2(const std::shared_ptr<Sock>& sock,
     // retires, so these bytes ride its next send.
     if (sock->writer_active) return Status::OK();
     sock->writer_active = true;
+    if (sock->ring_mode) {
+      sock->ring_handoff = true;
+      handoff = true;
+    }
+  }
+  if (handoff) {
+    // The reader's ring owns the socket writes; wake it to turn the
+    // parked outbuf into a SEND SQE. Until the send completes the
+    // writer role stays claimed, so concurrent callers keep corking.
+    KickEventFd(sock->wake_fd);
+    return Status::OK();
   }
   return DrainOutbuf(sock);
 }
@@ -636,7 +775,7 @@ Status TcpChannel::DrainOutbuf(const std::shared_ptr<Sock>& sock) {
       local.clear();
       local.swap(sock->outbuf);
     }
-    Status s = SendAll(sock->fd, Slice(local));
+    Status s = SendAll(sock->fd, Slice(local), &io_counters_);
     if (!s.ok()) {
       // The stream is broken mid-frame; callers whose bytes we
       // combined are failed with everyone else when the caller breaks
@@ -700,7 +839,7 @@ Status TcpChannel::SendOneWay(const Slice& message) {
       if (!s.ok()) BreakConnection(sock);
     } else {
       MutexLock wguard(write_mu_);
-      s = SendAll(sock->fd, framed);
+      s = SendAll(sock->fd, framed, &io_counters_);
       if (!s.ok()) TearDownV1(sock);
     }
   }

@@ -13,12 +13,15 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/io_backend.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace rrq::net {
+
+class ClientUringIo;  // net/uring_backend.h
 
 // See net/wire.h for the v1/v2 payload layouts and how the version is
 // negotiated on the first frame of each connection.
@@ -35,9 +38,14 @@ struct TcpServerOptions {
   /// long-poll cannot starve the bounded pool. This caps how many may
   /// exist at once; past the cap such requests fall back to the pool.
   int max_blocking_threads = 64;
+  /// Event-loop mechanics (DESIGN.md §13): kAuto prefers io_uring and
+  /// falls back to epoll with a logged reason when the kernel or
+  /// sandbox denies it — never a startup failure.
+  IoBackendKind backend = IoBackendKind::kAuto;
 };
 
-/// Serves an RpcHandler over TCP. One epoll-driven I/O loop owns every
+/// Serves an RpcHandler over TCP. One I/O loop — epoll readiness or an
+/// io_uring completion ring, chosen at Start() — owns every
 /// socket (accept, reads, backpressured writes); decoded requests are
 /// executed on a bounded worker pool, so concurrent calls from one v2
 /// connection — and from many connections — run handlers in parallel
@@ -96,15 +104,38 @@ class TcpServer {
   uint64_t v1_connections() const {
     return v1_conns_.load(std::memory_order_relaxed);
   }
+  /// Per-loop I/O syscall counters for the resolved backend (§13):
+  /// waits/recvs/sends for epoll, enters/SQE batches/CQEs for uring.
+  IoLoopStats io_stats() const {
+    return SnapshotIoCounters(backend_name_.load(std::memory_order_relaxed),
+                              io_counters_);
+  }
+  /// "epoll" or "uring" once started; what kAuto actually resolved to.
+  const char* io_backend_name() const {
+    return backend_name_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Conn;
-  struct Task;
+  using Conn = ServerConn;
+  using Task = ServerTask;
+
+  // ServerIoBackend::Sink — events delivered by backend_->Wait() on
+  // the loop thread.
+  class SinkImpl final : public ServerIoBackend::Sink {
+   public:
+    explicit SinkImpl(TcpServer* server) : server_(server) {}
+    void OnAccepted(int fd) override;
+    void OnRecvData(const std::shared_ptr<ServerConn>& conn,
+                    Slice data) override;
+    void OnRecvEof(const std::shared_ptr<ServerConn>& conn) override;
+    void OnConnError(const std::shared_ptr<ServerConn>& conn) override;
+    void OnWake() override;
+
+   private:
+    TcpServer* const server_;
+  };
 
   void LoopMain();
-  void HandleAccept();
-  void HandleReadable(const std::shared_ptr<Conn>& conn);
-  void HandleWritable(const std::shared_ptr<Conn>& conn);
   // Decodes buffered frames into dispatched tasks; false on protocol
   // violation (caller closes the connection).
   bool DrainFrames(const std::shared_ptr<Conn>& conn);
@@ -123,14 +154,16 @@ class TcpServer {
   // bytes. Per worker thread; the loop thread never defers.
   std::vector<std::shared_ptr<Conn>>& Deferred();
   void FlushDeferred();
-  // Requires conn->mu (annotated at the definition; Conn is incomplete
-  // here). Writes the outbox until empty, EAGAIN (want_write set), or
-  // a hard error (write_failed set).
-  void FlushLocked(Conn* conn);
+  // Hands this thread's deferred connections to the pool-wide orphan
+  // list and wakes an idle worker to flush them. A worker about to run
+  // a task of unknown duration must not carry deferred bytes into it:
+  // the task may sleep for seconds while a finished reply sits unsent
+  // in the outbox with nothing left to send it.
+  void PublishDeferredLocked() REQUIRES(pool_mu_);
   void CloseConn(const std::shared_ptr<Conn>& conn, bool protocol_error);
   std::shared_ptr<Conn> LookupConn(int fd);
-  // Asks the loop to re-examine `fd` (arm EPOLLOUT / reap a failed
-  // writer). Safe from any thread.
+  // Asks the loop to re-examine `fd` (re-arm write interest / reap a
+  // failed writer). Safe from any thread.
   void RequestAttention(int fd);
   void ProcessAttention();
   void SubmitToPool(std::function<void()> fn, bool blocking);
@@ -143,10 +176,16 @@ class TcpServer {
   BlockingHint hint_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
   int wake_fd_ = -1;
   uint16_t port_ = 0;
   std::thread loop_;
+
+  // Event-loop mechanics behind the Sink seam. Created in Start()
+  // (kAuto resolves against the uring probe), shut down in Stop().
+  std::unique_ptr<ServerIoBackend> backend_;
+  SinkImpl sink_{this};
+  IoCounters io_counters_;
+  std::atomic<const char*> backend_name_{"none"};
 
   // Connection roster. The loop thread is the only mutator; workers
   // reach connections through the shared_ptr captured at dispatch.
@@ -163,6 +202,10 @@ class TcpServer {
   Mutex pool_mu_;
   CondVar pool_cv_;
   std::deque<std::function<void()>> pool_queue_ GUARDED_BY(pool_mu_);
+  // Deferred-reply connections published by workers that moved on to
+  // another task before flushing (see PublishDeferredLocked). Drained
+  // by FlushDeferred from whichever thread flushes next.
+  std::vector<std::shared_ptr<Conn>> orphan_deferred_ GUARDED_BY(pool_mu_);
   // Start()/Stop() only, which the caller serializes; workers never
   // touch the vector itself.
   std::vector<std::thread> workers_;
@@ -201,6 +244,12 @@ struct TcpChannelOptions {
   /// interop tests; kProtocolV2 multiplexes and falls back to v1
   /// automatically when the server drops the hello.
   uint32_t max_protocol_version = kProtocolV2;
+  /// Reader-loop mechanics for v2 connections (DESIGN.md §13): kAuto
+  /// prefers io_uring — the demux reader submits corked sends, re-arms
+  /// its recv, and reaps reply completions in one io_uring_enter — and
+  /// falls back to the poll() loop when unavailable. v1 connections
+  /// always use plain blocking syscalls.
+  IoBackendKind backend = IoBackendKind::kAuto;
 };
 
 /// Message carried by the Unavailable status a TcpChannel produces
@@ -299,6 +348,16 @@ class TcpChannel final : public Channel {
   uint32_t negotiated_version() const {
     return version_.load(std::memory_order_relaxed);
   }
+  /// Per-loop I/O syscall counters for the reader/writer paths (§13).
+  IoLoopStats io_stats() const {
+    return SnapshotIoCounters(io_backend_.load(std::memory_order_relaxed),
+                              io_counters_);
+  }
+  /// "uring" or "poll" for the current (or most recent) v2 connection;
+  /// "none" before the first connect, "v1" on a serialized connection.
+  const char* io_backend_name() const {
+    return io_backend_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Sock;  // fd + reader-wake eventfd; closed when the last user lets go
@@ -314,6 +373,22 @@ class TcpChannel final : public Channel {
   // the internal "v1 server closed on us" verdict (never escapes).
   Status NegotiateV2(int fd, uint32_t* version);
   void ReaderMain(std::shared_ptr<Sock> sock);
+  // Reader-loop bodies behind ReaderMain's shared setup/teardown. Each
+  // returns the connection-fatal status.
+  Status ReaderLoopPoll(const std::shared_ptr<Sock>& sock,
+                        FrameReader* reader);
+  Status ReaderLoopUring(const std::shared_ptr<Sock>& sock,
+                         FrameReader* reader, ClientUringIo* io);
+  // Fails every expired pending call; returns the earliest remaining
+  // deadline (UINT64_MAX = none) and records it as reader_wait_until_.
+  uint64_t SweepDeadlines();
+  // Dispatches every complete reply frame in `reader` to its pending
+  // call; non-OK on a corrupt stream.
+  Status DispatchReplies(FrameReader* reader);
+  // Called on a send completion in the uring reader: re-queues bytes
+  // that accumulated while the send was in flight, or retires the
+  // combining-writer role.
+  void FinishRingSend(const std::shared_ptr<Sock>& sock, ClientUringIo* io);
   // Marks the socket dead and wakes the reader, which fails every
   // pending call and clears the connection.
   void BreakConnection(const std::shared_ptr<Sock>& sock);
@@ -364,6 +439,8 @@ class TcpChannel final : public Channel {
   std::atomic<uint64_t> late_replies_{0};
   std::atomic<uint64_t> deadline_expiries_{0};
   std::atomic<uint32_t> version_{0};
+  IoCounters io_counters_;
+  std::atomic<const char*> io_backend_{"none"};
 };
 
 }  // namespace rrq::net

@@ -1,0 +1,100 @@
+#ifndef RRQ_NET_URING_BACKEND_H_
+#define RRQ_NET_URING_BACKEND_H_
+
+/// io_uring side of the IoBackend seam. Everything that talks to the
+/// ring — the runtime capability probe, the server completion loop,
+/// and the client channel's ring I/O — lives behind this header so
+/// uring_backend.cc is the only translation unit with raw io_uring_*
+/// syscalls (scripts/check_invariants.sh enforces this).
+///
+/// The image has no liburing, so uring_backend.cc drives the rings
+/// with raw syscall(2) + mmap and release/acquire atomics, mirroring
+/// what liburing's fast path does.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/io_backend.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace rrq::net {
+
+namespace uring_internal {
+class Ring;  // raw SQ/CQ wrapper, defined in uring_backend.cc
+}
+
+/// Ring-driven I/O for one TcpChannel connection: the demux reader
+/// parks in one io_uring_enter that simultaneously submits the corked
+/// request bytes, re-arms the receive, and reaps reply completions —
+/// the "one syscall per pipelined burst" path of DESIGN.md §13.
+///
+/// All methods are reader-thread-only. Counters are shared with the
+/// owning channel so epoll/poll and uring runs report through the same
+/// TcpChannel::io_stats() surface.
+class ClientUringIo {
+ public:
+  /// Returns null (with a reason) when the ring cannot be set up; the
+  /// channel then falls back to the poll()-based reader loop.
+  static std::unique_ptr<ClientUringIo> Create(int sock_fd, int wake_fd,
+                                               IoCounters* counters,
+                                               std::string* reason);
+  ~ClientUringIo();
+
+  ClientUringIo(const ClientUringIo&) = delete;
+  ClientUringIo& operator=(const ClientUringIo&) = delete;
+
+  /// Hands one buffer to the ring for transmission. At most one send
+  /// may be in flight: the combining-writer holds `writer_active` from
+  /// QueueSend until Events::send_done, so frame bytes hit the socket
+  /// exactly once and in order (§2 never-resend: a short send is
+  /// resumed at its byte offset, never re-encoded).
+  void QueueSend(std::string data);
+  bool send_inflight() const { return send_inflight_; }
+
+  struct Events {
+    bool wake = false;       // wake eventfd fired (already drained)
+    bool eof = false;        // peer closed the connection
+    bool send_done = false;  // the QueueSend'd buffer fully left
+    bool timed_out = false;  // deadline expired with no completion
+    Status error;            // hard recv/send/ring failure
+  };
+
+  /// One blocking cycle: submits pending SQEs (send, recv re-arm) and
+  /// waits up to `timeout_micros` (UINT64_MAX = forever) unless
+  /// completions are already queued. Received chunks are delivered via
+  /// `on_recv` (data valid only during the call); everything else is
+  /// reported through `*ev`. `expect_reply` says the caller has calls
+  /// outstanding, so a freshly submitted send's inline completion need
+  /// not end the wait by itself — the reply (or EOF) will.
+  void Wait(uint64_t timeout_micros, bool expect_reply,
+            const std::function<void(Slice)>& on_recv, Events* ev);
+
+ private:
+  ClientUringIo(std::unique_ptr<uring_internal::Ring> ring, int sock_fd,
+                int wake_fd, IoCounters* counters);
+
+  bool PrepPending();  // false when the ring is wedged (sets wedged_)
+
+  std::unique_ptr<uring_internal::Ring> ring_;
+  const int sock_fd_;
+  const int wake_fd_;
+  IoCounters* const counters_;
+
+  std::string recv_buf_;
+  bool recv_armed_ = false;
+  bool wake_armed_ = false;
+
+  std::string send_buf_;
+  size_t send_off_ = 0;  // bytes of send_buf_ already accepted by the kernel
+  bool send_inflight_ = false;
+  bool send_submitted_ = false;
+
+  Status wedged_ = Status::OK();
+};
+
+}  // namespace rrq::net
+
+#endif  // RRQ_NET_URING_BACKEND_H_

@@ -53,9 +53,13 @@ uint16_t ParsePort(const std::string& listening_line) {
 }
 
 std::vector<std::string> RrqdArgv(const std::string& dir, uint16_t port) {
+  // Forced uring: the daemon this pool hammers (and SIGKILLs) runs the
+  // io_uring backend wherever the kernel has it, degrading to epoll
+  // with a logged reason elsewhere — never a startup failure (§13).
   return {RRQD_BINARY,  "--dir",     dir,
           "--port",     std::to_string(port),
-          "--threads",  "2"};
+          "--threads",  "2",
+          "--net-backend", "uring"};
 }
 
 std::string ParseRidFromReply(const std::string& reply) {

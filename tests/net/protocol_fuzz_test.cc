@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/io_backend.h"
 #include "net/queue_wire.h"
 #include "net/tcp_transport.h"
 #include "net/wire.h"
@@ -296,8 +297,47 @@ std::string MakeV2ReplyFrame(uint64_t corr_id, const Status& s,
   return wire;
 }
 
-TEST(ProtocolFuzzTest, ServerDropsCorruptAndUnknownCorrelationFrames) {
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+// Transport-facing fuzz cases run against both event-loop backends —
+// framing violations and demux rules must hold whether the bytes
+// arrive via epoll readiness recv or a uring provided-buffer CQE. The
+// uring row skips (with the probe's reason) where the kernel cannot
+// run it.
+class ProtocolFuzzTransportTest
+    : public ::testing::TestWithParam<IoBackendKind> {
+ protected:
+  void SetUp() override {
+    std::string why;
+    if (GetParam() == IoBackendKind::kUring && !UringAvailable(&why)) {
+      GTEST_SKIP() << "io_uring unavailable on this host: " << why;
+    }
+  }
+
+  TcpServerOptions ServerOpts() const {
+    TcpServerOptions options;
+    options.backend = GetParam();
+    return options;
+  }
+
+  TcpChannelOptions FuzzChannelTo(uint16_t port) const {
+    TcpChannelOptions options;
+    options.port = port;
+    options.backend = GetParam();
+    options.max_connect_attempts = 5;
+    options.backoff_initial_micros = 1'000;
+    options.call_timeout_micros = 2'000'000;
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ProtocolFuzzTransportTest,
+    ::testing::Values(IoBackendKind::kEpoll, IoBackendKind::kUring),
+    [](const ::testing::TestParamInfo<IoBackendKind>& info) {
+      return std::string(IoBackendName(info.param));
+    });
+
+TEST_P(ProtocolFuzzTransportTest, ServerDropsCorruptAndUnknownCorrelationFrames) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign(request.ToString());
     return Status::OK();
   });
@@ -344,17 +384,18 @@ TEST(ProtocolFuzzTest, ServerDropsCorruptAndUnknownCorrelationFrames) {
   // None of it hurt well-behaved clients.
   TcpChannelOptions options;
   options.port = server.port();
+  options.backend = GetParam();
   TcpChannel channel(options);
   std::string reply;
   ASSERT_TRUE(channel.Call("fine", &reply).ok());
   EXPECT_EQ(reply, "fine");
 }
 
-TEST(ProtocolFuzzTest, ServerAnswersDuplicateCorrelationIdsIndependently) {
+TEST_P(ProtocolFuzzTransportTest, ServerAnswersDuplicateCorrelationIdsIndependently) {
   // The server does not police id uniqueness — ids are client
   // bookkeeping. Two calls with the same id get two replies carrying
   // that id, and the connection stays healthy.
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign("r:" + request.ToString());
     return Status::OK();
   });
@@ -457,16 +498,7 @@ class ScriptedV2Server {
   std::thread thread_;
 };
 
-TcpChannelOptions FuzzChannelTo(uint16_t port) {
-  TcpChannelOptions options;
-  options.port = port;
-  options.max_connect_attempts = 5;
-  options.backoff_initial_micros = 1'000;
-  options.call_timeout_micros = 2'000'000;
-  return options;
-}
-
-TEST(ProtocolFuzzTest, ClientDiscardsUnknownCorrelationIdReplies) {
+TEST_P(ProtocolFuzzTransportTest, ClientDiscardsUnknownCorrelationIdReplies) {
   ScriptedV2Server server([](uint64_t id) {
     // A ghost reply for an id that was never issued, then the real one.
     return MakeV2ReplyFrame(id + 1'000'000, Status::OK(), "ghost") +
@@ -481,7 +513,7 @@ TEST(ProtocolFuzzTest, ClientDiscardsUnknownCorrelationIdReplies) {
   EXPECT_EQ(channel.connects(), 1u);
 }
 
-TEST(ProtocolFuzzTest, ClientIgnoresDuplicateReplies) {
+TEST_P(ProtocolFuzzTransportTest, ClientIgnoresDuplicateReplies) {
   ScriptedV2Server server([](uint64_t id) {
     return MakeV2ReplyFrame(id, Status::OK(), "first") +
            MakeV2ReplyFrame(id, Status::OK(), "dup");
@@ -502,7 +534,7 @@ TEST(ProtocolFuzzTest, ClientIgnoresDuplicateReplies) {
   EXPECT_EQ(channel.connects(), 1u);
 }
 
-TEST(ProtocolFuzzTest, ClientPoisonsConnectionOnCorruptCorrelationVarint) {
+TEST_P(ProtocolFuzzTransportTest, ClientPoisonsConnectionOnCorruptCorrelationVarint) {
   ScriptedV2Server server([](uint64_t /*id*/) {
     std::string payload(1, static_cast<char>(kMsgReplyV2));
     payload.append(10, static_cast<char>(0x80));  // Varint never ends.
@@ -522,7 +554,7 @@ TEST(ProtocolFuzzTest, ClientPoisonsConnectionOnCorruptCorrelationVarint) {
   EXPECT_GE(channel.connects(), 2u);
 }
 
-TEST(ProtocolFuzzTest, ClientPoisonsConnectionOnWrongReplyKind) {
+TEST_P(ProtocolFuzzTransportTest, ClientPoisonsConnectionOnWrongReplyKind) {
   ScriptedV2Server server([](uint64_t id) {
     // A call frame where a reply should be: framing violation.
     return MakeV2CallFrame(id, "confused peer");

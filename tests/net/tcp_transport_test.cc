@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/io_backend.h"
 #include "net/queue_wire.h"
 #include "net/wire.h"
 #include "queue/queue_repository.h"
@@ -23,16 +24,43 @@
 namespace rrq::net {
 namespace {
 
-TcpChannelOptions ChannelTo(uint16_t port) {
-  TcpChannelOptions options;
-  options.port = port;
-  options.max_connect_attempts = 3;
-  options.backoff_initial_micros = 1'000;
-  return options;
-}
+// The whole transport contract runs against both event-loop backends:
+// every case is parameterized over epoll and io_uring, and the uring
+// row skips (with the probe's reason) on kernels that cannot run it.
+class TcpTransportTest : public ::testing::TestWithParam<IoBackendKind> {
+ protected:
+  void SetUp() override {
+    std::string why;
+    if (GetParam() == IoBackendKind::kUring && !UringAvailable(&why)) {
+      GTEST_SKIP() << "io_uring unavailable on this host: " << why;
+    }
+  }
 
-TEST(TcpTransportTest, CallRoundTrip) {
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+  TcpServerOptions ServerOpts() const {
+    TcpServerOptions options;
+    options.backend = GetParam();
+    return options;
+  }
+
+  TcpChannelOptions ChannelTo(uint16_t port) const {
+    TcpChannelOptions options;
+    options.port = port;
+    options.backend = GetParam();
+    options.max_connect_attempts = 3;
+    options.backoff_initial_micros = 1'000;
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TcpTransportTest,
+    ::testing::Values(IoBackendKind::kEpoll, IoBackendKind::kUring),
+    [](const ::testing::TestParamInfo<IoBackendKind>& info) {
+      return std::string(IoBackendName(info.param));
+    });
+
+TEST_P(TcpTransportTest, CallRoundTrip) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign("echo:" + request.ToString());
     return Status::OK();
   });
@@ -49,8 +77,8 @@ TEST(TcpTransportTest, CallRoundTrip) {
   EXPECT_EQ(server.requests_served(), 2u);
 }
 
-TEST(TcpTransportTest, HandlerErrorStatusPropagates) {
-  TcpServer server({}, [](const Slice& request, std::string* /*reply*/) {
+TEST_P(TcpTransportTest, HandlerErrorStatusPropagates) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* /*reply*/) {
     return Status::NotFound("no queue " + request.ToString());
   });
   ASSERT_TRUE(server.Start().ok());
@@ -65,8 +93,8 @@ TEST(TcpTransportTest, HandlerErrorStatusPropagates) {
   EXPECT_EQ(channel.connects(), 1u);
 }
 
-TEST(TcpTransportTest, LargePayloadRoundTrip) {
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+TEST_P(TcpTransportTest, LargePayloadRoundTrip) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign(request.ToString());
     return Status::OK();
   });
@@ -80,7 +108,7 @@ TEST(TcpTransportTest, LargePayloadRoundTrip) {
   EXPECT_EQ(reply, big);
 }
 
-TEST(TcpTransportTest, NoServerIsUnavailable) {
+TEST_P(TcpTransportTest, NoServerIsUnavailable) {
   TcpServer probe({}, [](const Slice&, std::string*) { return Status::OK(); });
   ASSERT_TRUE(probe.Start().ok());
   const uint16_t dead_port = probe.port();
@@ -92,12 +120,12 @@ TEST(TcpTransportTest, NoServerIsUnavailable) {
   EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
 }
 
-TEST(TcpTransportTest, ReconnectsAfterServerRestartOnSamePort) {
+TEST_P(TcpTransportTest, ReconnectsAfterServerRestartOnSamePort) {
   auto echo = [](const Slice& request, std::string* reply) {
     reply->assign(request.ToString());
     return Status::OK();
   };
-  auto server = std::make_unique<TcpServer>(TcpServerOptions{}, echo);
+  auto server = std::make_unique<TcpServer>(ServerOpts(), echo);
   ASSERT_TRUE(server->Start().ok());
   const uint16_t port = server->port();
 
@@ -115,7 +143,7 @@ TEST(TcpTransportTest, ReconnectsAfterServerRestartOnSamePort) {
 
   // Server comes back on the same port; the channel recovers by
   // reconnecting on the next Call — never by resending "two".
-  TcpServerOptions restart_options;
+  TcpServerOptions restart_options = ServerOpts();
   restart_options.port = port;
   server = std::make_unique<TcpServer>(restart_options, echo);
   ASSERT_TRUE(server->Start().ok());
@@ -131,9 +159,9 @@ TEST(TcpTransportTest, ReconnectsAfterServerRestartOnSamePort) {
   EXPECT_GE(channel.connects(), 2u);
 }
 
-TEST(TcpTransportTest, OneWayIsDeliveredWithoutReply) {
+TEST_P(TcpTransportTest, OneWayIsDeliveredWithoutReply) {
   std::atomic<int> one_ways{0};
-  TcpServer server({}, [&one_ways](const Slice& request, std::string* reply) {
+  TcpServer server(ServerOpts(), [&one_ways](const Slice& request, std::string* reply) {
     if (request == Slice("oneway")) {
       one_ways.fetch_add(1);
     } else {
@@ -158,7 +186,7 @@ TEST(TcpTransportTest, OneWayIsDeliveredWithoutReply) {
   EXPECT_EQ(channel.one_ways_lost(), 0u);
 }
 
-TEST(TcpTransportTest, OneWayToDeadServerIsSilentlyLost) {
+TEST_P(TcpTransportTest, OneWayToDeadServerIsSilentlyLost) {
   TcpServer probe({}, [](const Slice&, std::string*) { return Status::OK(); });
   ASSERT_TRUE(probe.Start().ok());
   const uint16_t dead_port = probe.port();
@@ -170,8 +198,8 @@ TEST(TcpTransportTest, OneWayToDeadServerIsSilentlyLost) {
   EXPECT_EQ(channel.one_ways_lost(), 1u);
 }
 
-TEST(TcpTransportTest, CallDeadlineExpiresAsUnavailable) {
-  TcpServer server({}, [](const Slice&, std::string* reply) {
+TEST_P(TcpTransportTest, CallDeadlineExpiresAsUnavailable) {
+  TcpServer server(ServerOpts(), [](const Slice&, std::string* reply) {
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
     reply->assign("late");
     return Status::OK();
@@ -186,8 +214,8 @@ TEST(TcpTransportTest, CallDeadlineExpiresAsUnavailable) {
   EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
 }
 
-TEST(TcpTransportTest, GarbageBytesDropTheConnection) {
-  TcpServer server({}, [](const Slice&, std::string* reply) {
+TEST_P(TcpTransportTest, GarbageBytesDropTheConnection) {
+  TcpServer server(ServerOpts(), [](const Slice&, std::string* reply) {
     reply->assign("ok");
     return Status::OK();
   });
@@ -222,7 +250,7 @@ TEST(TcpTransportTest, GarbageBytesDropTheConnection) {
   EXPECT_EQ(reply, "ok");
 }
 
-TEST(TcpTransportTest, InvalidAddressFailsFastWithoutRetry) {
+TEST_P(TcpTransportTest, InvalidAddressFailsFastWithoutRetry) {
   TcpChannelOptions options;
   options.host = "not-a-host-name";
   options.port = 1;
@@ -234,12 +262,12 @@ TEST(TcpTransportTest, InvalidAddressFailsFastWithoutRetry) {
 
 // ---- Wire v2: multiplexing, deadlines, negotiation -------------------
 
-TEST(TcpTransportTest, ConcurrentCallsOnSharedChannelDemuxCorrectly) {
+TEST_P(TcpTransportTest, ConcurrentCallsOnSharedChannelDemuxCorrectly) {
   // Many threads share ONE channel; the server's worker pool completes
   // requests out of submission order (the handler sleeps longer for
   // lower-numbered requests), so the reply demux must route every
   // reply to the call that made the matching request.
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     const std::string body = request.ToString();
     const int shuffle = 1 + static_cast<int>(body.size() % 5);
     std::this_thread::sleep_for(std::chrono::milliseconds(shuffle));
@@ -281,11 +309,11 @@ TEST(TcpTransportTest, ConcurrentCallsOnSharedChannelDemuxCorrectly) {
             static_cast<uint64_t>(kThreads * kCallsPerThread));
 }
 
-TEST(TcpTransportTest, DeadlineExpiryDoesNotPoisonTheConnection) {
+TEST_P(TcpTransportTest, DeadlineExpiryDoesNotPoisonTheConnection) {
   // Explicit worker count: with the default (hardware concurrency, 1
   // on small CI machines) the slow request would occupy the only
   // worker and starve the fast one into its own deadline.
-  TcpServerOptions server_options;
+  TcpServerOptions server_options = ServerOpts();
   server_options.workers = 4;
   TcpServer server(server_options, [](const Slice& request,
                                       std::string* reply) {
@@ -323,8 +351,8 @@ TEST(TcpTransportTest, DeadlineExpiryDoesNotPoisonTheConnection) {
   EXPECT_EQ(channel.connects(), 1u);
 }
 
-TEST(TcpTransportTest, V1ChannelInteroperatesWithV2Server) {
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+TEST_P(TcpTransportTest, V1ChannelInteroperatesWithV2Server) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign("echo:" + request.ToString());
     return Status::OK();
   });
@@ -345,8 +373,8 @@ TEST(TcpTransportTest, V1ChannelInteroperatesWithV2Server) {
   EXPECT_EQ(server.v1_connections(), 1u);
 }
 
-TEST(TcpTransportTest, RawV1BytesInteroperateWithV2Server) {
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+TEST_P(TcpTransportTest, RawV1BytesInteroperateWithV2Server) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign("echo:" + request.ToString());
     return Status::OK();
   });
@@ -465,7 +493,7 @@ class MiniV1Server {
   std::thread thread_;
 };
 
-TEST(TcpTransportTest, V2ChannelFallsBackAgainstV1Server) {
+TEST_P(TcpTransportTest, V2ChannelFallsBackAgainstV1Server) {
   MiniV1Server server;
 
   TcpChannelOptions options = ChannelTo(server.port());
@@ -490,8 +518,8 @@ TEST(TcpTransportTest, V2ChannelFallsBackAgainstV1Server) {
 
 // ---- Per-call deadlines: options, long-polls, stragglers -------------
 
-TEST(TcpTransportTest, CallOptionsRaiseButNeverLowerTheDeadline) {
-  TcpServer server({}, [](const Slice&, std::string* reply) {
+TEST_P(TcpTransportTest, CallOptionsRaiseButNeverLowerTheDeadline) {
+  TcpServer server(ServerOpts(), [](const Slice&, std::string* reply) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     reply->assign("late");
     return Status::OK();
@@ -522,7 +550,7 @@ TEST(TcpTransportTest, CallOptionsRaiseButNeverLowerTheDeadline) {
   EXPECT_EQ(channel2.deadline_expiries(), 0u);
 }
 
-TEST(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
+TEST_P(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
   // THE long-poll bug this PR fixes: a blocking Dequeue whose
   // timeout_micros exceeds the channel's default call deadline used to
   // be expired client-side while the server's *destructive* dequeue
@@ -534,7 +562,7 @@ TEST(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
   ASSERT_TRUE(repo.Open().ok());
   ASSERT_TRUE(repo.CreateQueue("q").ok());
   QueueServiceDispatcher dispatcher(&repo);
-  TcpServerOptions server_options;
+  TcpServerOptions server_options = ServerOpts();
   server_options.workers = 2;
   TcpServer server(server_options,
                    [&dispatcher](const Slice& request, std::string* reply) {
@@ -551,7 +579,7 @@ TEST(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
 
   // The element arrives mid-poll, well after the channel default
   // deadline, via a second channel.
-  std::thread producer([&server] {
+  std::thread producer([&server, this] {
     std::this_thread::sleep_for(std::chrono::milliseconds(400));
     TcpChannel side(ChannelTo(server.port()));
     ChannelQueueApi side_api(&side);
@@ -572,13 +600,13 @@ TEST(TcpTransportTest, BlockingDequeueOutlivesChannelDefaultDeadline) {
   EXPECT_EQ(*repo.Depth("q"), 0u);
 }
 
-TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
+TEST_P(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
   // Several calls expire; each eventually produces exactly one
   // straggler reply that is discarded by correlation id. Fast calls
   // interleaved with the stragglers demux cleanly and the per-channel
   // counters match: deadline_expiries == late_replies == the number of
   // slow calls, and nothing else is miscounted or misdelivered.
-  TcpServerOptions server_options;
+  TcpServerOptions server_options = ServerOpts();
   server_options.workers = 8;
   TcpServer server(server_options,
                    [](const Slice& request, std::string* reply) {
@@ -592,11 +620,12 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
   ASSERT_TRUE(server.Start().ok());
 
   TcpChannelOptions options = ChannelTo(server.port());
-  // Far above a sanitized-build round trip — full-suite ASan runs on
-  // the 1-core CI box showed a legitimate fast call can take over
-  // 200ms under scheduler starvation — and far below the slow
+  // Far above a sanitized-build round trip — full-suite ASan/TSan
+  // runs on the 1-core CI box showed a legitimate fast call can take
+  // hundreds of ms under scheduler starvation (and the suite now runs
+  // every test twice, once per backend) — and still half the slow
   // handler's 2s, so only the slow calls expire.
-  options.call_timeout_micros = 500'000;
+  options.call_timeout_micros = 1'000'000;
   TcpChannel channel(options);
 
   constexpr int kSlow = 3;
@@ -640,7 +669,7 @@ TEST(TcpTransportTest, LateReplyAccountingMatchesStragglersExactly) {
   EXPECT_EQ(channel.connects(), 1u);
 }
 
-TEST(TcpTransportTest, ConcurrentRetriesAfterConnectionLossAllRecover) {
+TEST_P(TcpTransportTest, ConcurrentRetriesAfterConnectionLossAllRecover) {
   // Regression test for a reconnect-race deadlock. When a v2
   // connection dies, the reader fails every pending call BEFORE it
   // announces its exit via reader_done_, so the failed callers retry
@@ -654,7 +683,7 @@ TEST(TcpTransportTest, ConcurrentRetriesAfterConnectionLossAllRecover) {
   // the race and hangs (ctest timeout) without it.
   // The server stays up the whole time — the winner's reconnect must
   // SUCCEED (and reset reader_done_) for the loser to strand.
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign(request.ToString());
     return Status::OK();
   });
@@ -727,12 +756,12 @@ TEST(TcpTransportTest, ConcurrentRetriesAfterConnectionLossAllRecover) {
   EXPECT_GT(successes.load(), 0u);
 }
 
-TEST(TcpTransportTest, SequentialConnectionChurnDoesNotLeak) {
+TEST_P(TcpTransportTest, SequentialConnectionChurnDoesNotLeak) {
   // Regression test for the PR 3 connection-thread leak: the old
   // server spawned a detached-until-Stop thread per connection and
   // never reaped finished ones. A few hundred sequential connections
   // must leave the server with zero live connection state.
-  TcpServer server({}, [](const Slice& request, std::string* reply) {
+  TcpServer server(ServerOpts(), [](const Slice& request, std::string* reply) {
     reply->assign(request.ToString());
     return Status::OK();
   });

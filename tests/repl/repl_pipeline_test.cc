@@ -96,7 +96,13 @@ TEST(ReplPipelineTest, FreshBackupIsSnapshotSeededThenTailed) {
                            &primary);
   ASSERT_TRUE(sender.Start().ok());
 
-  ASSERT_TRUE(Eventually([&] { return *backup.repo->Depth("q") == 2; }));
+  // Depth becomes visible when the last snapshot chunk applies; the
+  // stream binding and barrier watermark install with the trailing
+  // kReplSnapshotEnd, so wait for the whole seed to land.
+  ASSERT_TRUE(Eventually([&] {
+    return *backup.repo->Depth("q") == 2 &&
+           backup.repo->applied_repl_seq() == 3;
+  }));
   EXPECT_EQ(backup.applier->stream_id(), 0xfeedull);
   // The seed installed the barrier watermark (3 records shipped to
   // the log before the snapshot: create + 2 enqueues).
